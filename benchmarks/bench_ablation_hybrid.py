@@ -1,0 +1,66 @@
+"""Ablation: model-seeded search (the paper's §VII future work).
+
+Seeds a steady-state GA with the ranking model's top candidates and
+compares early-budget progress against the plain GA — quantifying how much
+iterative compilation the trained model can skip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_sizes, save_output
+from repro.search.genetic import GenerationalGA
+from repro.search.hybrid import ModelSeededSearch
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+from repro.util.tables import Table
+
+TARGETS = ("laplacian-256x256x256", "gradient-128x128x128")
+BUDGET = 64
+
+
+def test_model_seeded_search(context, out_dir, benchmark):
+    tuner = context.tuner(bench_sizes()[-1])
+    assert tuner.model is not None
+
+    def run_all():
+        rows = []
+        for label in TARGETS:
+            inst = benchmark_by_id(label)
+            plain = GenerationalGA(patus_space(3), context.machine.fork(), seed=3)
+            seeded = ModelSeededSearch(
+                patus_space(3),
+                context.machine.fork(),
+                tuner.model,
+                tuner.encoder,
+                seed=3,
+            )
+            p = plain.tune(inst, budget=BUDGET)
+            s = seeded.tune(inst, budget=BUDGET)
+            p_curve = p.best_curve([8, BUDGET])
+            s_curve = s.best_curve([8, BUDGET])
+            rows.append(
+                {
+                    "benchmark": label,
+                    "plain@8": p_curve[8],
+                    "seeded@8": s_curve[8],
+                    "plain@64": p_curve[BUDGET],
+                    "seeded@64": s_curve[BUDGET],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        ["benchmark", "plain@8", "seeded@8", "plain@64", "seeded@64"],
+        title="Ablation — model-seeded search (times in s, lower is better)",
+    )
+    for row in rows:
+        table.add_mapping(row)
+    save_output(out_dir, "ablation_hybrid", table.render(floatfmt=".4g"))
+
+    # seeding must help (or at worst tie) in the early-budget regime
+    early_ratio = np.mean([r["seeded@8"] / r["plain@8"] for r in rows])
+    assert early_ratio < 1.1

@@ -1,0 +1,61 @@
+"""Fig. 4 bench: speedup over the GA base configuration.
+
+Regenerates the Fig. 4 bars (searches at a fixed evaluation budget versus
+ordinal-regression tuners at several training sizes) and asserts the
+paper's qualitative shape: the model's top-ranked configuration is
+competitive with the searches on most benchmarks without spending a single
+target evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_sizes, save_output
+from repro.experiments.common import experiment_scale
+from repro.experiments.fig4 import Fig4Config, format_fig4, run_fig4
+from repro.stencil.suite import TEST_BENCHMARKS
+
+SMALL_BENCHMARKS = (
+    "blur-1024x768",
+    "tricubic-256x256x256",
+    "edge-512x512",
+    "gradient-256x256x256",
+    "laplacian-128x128x128",
+    "divergence-128x128x128",
+)
+
+
+def test_fig4_speedups(context, out_dir, benchmark):
+    if experiment_scale() == "paper":
+        config = Fig4Config(
+            benchmarks=tuple(i.label() for i in TEST_BENCHMARKS),
+            evaluations=1024,
+            training_sizes=bench_sizes(),
+        )
+    else:
+        config = Fig4Config(
+            benchmarks=SMALL_BENCHMARKS,
+            evaluations=192,
+            training_sizes=bench_sizes(),
+        )
+
+    result = benchmark.pedantic(
+        run_fig4, args=(config, context), rounds=1, iterations=1
+    )
+    save_output(out_dir, "fig4", format_fig4(result))
+
+    regression_cols = [
+        m for m in next(iter(result.speedups.values())) if "ord.regression" in m
+    ]
+    largest_model = regression_cols[-1]
+
+    per_bench = np.array(
+        [row[largest_model] for row in result.speedups.values()]
+    )
+    # paper shape: the model is within a factor ~2 of GA on every benchmark
+    # (worst paper case: laplacian 128³ at 0.75) and near-GA on most
+    assert per_bench.min() > 0.4
+    assert np.median(per_bench) > 0.7
+    # and on at least one benchmark it gets close to the search solutions
+    assert per_bench.max() > 0.85

@@ -1,0 +1,34 @@
+"""Fig. 7 bench: Kendall-τ distribution versus training-set size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_output
+from repro.experiments.common import experiment_scale
+from repro.experiments.fig7 import PAPER_SIZES, Fig7Config, format_fig7, run_fig7
+
+
+def test_fig7_distribution(context, out_dir, benchmark):
+    if experiment_scale() == "paper":
+        sizes = PAPER_SIZES
+    else:
+        sizes = (640, 960, 1600, 2600)
+    config = Fig7Config(sizes=sizes)
+
+    result = benchmark.pedantic(
+        run_fig7, args=(config, context), rounds=1, iterations=1
+    )
+    save_output(out_dir, "fig7", format_fig7(result, histograms=True))
+
+    medians = [result.box_stats(s)["median"] for s in sizes]
+    stds = [float(result.taus[s].std()) for s in sizes]
+    # paper shape: "slightly improves on average, but consistently improves
+    # in variance, therefore stabilizing the quality of the ranking".
+    # The variance claim is the strong one; medians at tiny sizes are
+    # degenerate (few points per group → τ quantized to {±1, ±1/3, ...}).
+    assert stds[-1] < 0.5 * stds[0]
+    assert all(b <= a + 0.02 for a, b in zip(stds, stds[1:]))
+    # all medians clearly positive and the largest size stays high
+    assert min(medians) > 0.2
+    assert medians[-1] > 0.5

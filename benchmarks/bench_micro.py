@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the hot paths.
+
+These pin the performance claims the library's design depends on: batch
+feature encoding of the full 8640-candidate preset, model scoring (Table
+II's "< 1 ms regression"), O(n log n) Kendall τ at candidate-set size, pair
+generation, and single cost-model evaluations (what every simulated
+"execution" costs the experiment harnesses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.encoder import FeatureEncoder
+from repro.machine.cost import CostModel
+from repro.ranking.kendall import kendall_tau
+from repro.ranking.partial import group_pairs
+from repro.stencil.execution import StencilExecution
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.presets import preset_candidates
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return FeatureEncoder()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return benchmark_by_id("laplacian-128x128x128")
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return preset_candidates(3)
+
+
+def test_encode_preset_batch(benchmark, encoder, instance, candidates):
+    """Encoding all 8640 3-D candidates for one instance."""
+    X = benchmark(lambda: encoder.encode_batch(instance, candidates))
+    assert X.shape == (8640, encoder.num_features)
+
+
+def test_score_preset_batch(benchmark, encoder, instance, candidates):
+    """The Table II 'Regression' row: one matrix-vector product."""
+    X = encoder.encode_batch(instance, candidates)
+    w = np.random.default_rng(0).random(encoder.num_features)
+    scores = benchmark(lambda: X @ w)
+    assert scores.shape == (8640,)
+
+
+def test_kendall_tau_at_candidate_scale(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.random(8640)
+    y = x + 0.1 * rng.random(8640)
+    tau = benchmark(lambda: kendall_tau(x, y))
+    assert tau > 0.5
+
+
+def test_pair_generation(benchmark):
+    rng = np.random.default_rng(2)
+    times = rng.random(200)
+    better, worse = benchmark(lambda: group_pairs(times, max_pairs=3000, rng=0))
+    assert better.size == 3000
+
+
+def test_cost_model_single_eval(benchmark, instance):
+    model = CostModel()
+    execution = StencilExecution(instance, TuningVector(64, 16, 16, 2, 1))
+    t = benchmark(lambda: model.sweep_cost(execution).total_s)
+    assert t > 0
+
+
+def test_cost_model_across_tunings(benchmark, instance):
+    """Cost of evaluating a fresh tuning vector (no cache)."""
+    model = CostModel()
+    from repro.tuning.space import patus_space
+
+    tunings = patus_space(3).random_vectors(64, rng=3)
+    idx = iter(range(10**9))
+
+    def one():
+        i = next(idx) % len(tunings)
+        return model.sweep_cost(StencilExecution(instance, tunings[i])).total_s
+
+    t = benchmark(one)
+    assert t > 0

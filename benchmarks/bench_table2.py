@@ -1,0 +1,62 @@
+"""Table II bench: phase timing versus training-set size.
+
+Regenerates the paper's Table II rows (TS compile accounting, TS generation
+accounting, measured training wall-clock, measured regression wall-clock)
+and additionally micro-benchmarks the two *measured* phases so
+pytest-benchmark reports robust statistics for them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_sizes, save_output
+from repro.experiments.table2 import Table2Config, format_table2, run_table2
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.presets import preset_candidates
+
+
+def test_table2_rows(context, out_dir, benchmark):
+    """Regenerate all Table II rows (one pedantic round)."""
+    config = Table2Config(sizes=bench_sizes())
+
+    result = benchmark.pedantic(
+        run_table2, args=(config, context), rounds=1, iterations=1
+    )
+    text = format_table2(result)
+    save_output(out_dir, "table2", text)
+    # shape assertions: generation grows with size, ranking stays sub-second
+    gens = [row["ts_generation_s"] for row in result.rows]
+    assert gens == sorted(gens)
+    assert all(row["regression_s"] < 1.0 for row in result.rows)
+    # TS compile accounting lands in the paper's tens-of-hours regime
+    assert 16 * 3600 < result.rows[0]["ts_comp_s"] < 64 * 3600
+
+
+def test_training_phase(context, benchmark):
+    """Measured RankSVM fit time at the smallest Table II size."""
+    data = context.training_set(bench_sizes()[0]).data
+
+    def fit():
+        return RankSVM(RankSVMConfig(seed=0)).fit(data)
+
+    model = benchmark(fit)
+    assert model.is_fitted
+
+
+def test_regression_phase(context, benchmark):
+    """Measured ranking time for the 8640-candidate 3-D preset set.
+
+    The paper reports < 1 ms for the SVM-Rank binary; the pure-numpy path
+    stays within a small constant factor of that.
+    """
+    tuner = context.tuner(bench_sizes()[0])
+    instance = benchmark_by_id("laplacian-128x128x128")
+    candidates = preset_candidates(3)
+    X = tuner.encoder.encode_batch(instance, candidates)
+    model = tuner.model
+    assert model is not None
+
+    scores = benchmark(lambda: model.decision_function(X))
+    assert scores.shape == (8640,)

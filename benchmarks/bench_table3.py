@@ -1,0 +1,41 @@
+"""Table III bench: registry regeneration + reference-executor throughput.
+
+Besides printing the benchmark registry, this bench times one reference
+(numpy) sweep of each Table III kernel at a reduced size — a sanity check
+that the functional substrate scales sensibly with pattern density.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_output
+from repro.experiments.table3 import format_table3, run_table3
+from repro.stencil.grid import Grid
+from repro.stencil.reference import apply_kernel
+from repro.stencil.suite import BENCHMARKS
+
+
+def test_table3_registry(benchmark, out_dir):
+    """Regenerate the Table III rows."""
+    result = benchmark(run_table3)
+    save_output(out_dir, "table3", format_table3(result))
+    assert len(result.rows) == 9
+    assert result.num_benchmarks == 17
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_reference_sweep(benchmark, name):
+    """One numpy reference sweep per kernel (reduced grids)."""
+    bench = BENCHMARKS[name]
+    kernel = bench.kernel
+    size = (64, 64, 64) if kernel.dims == 3 else (512, 512, 1)
+    halo = kernel.radius
+    grids = [
+        Grid.random(size, halo=halo, dtype=kernel.dtype, rng=i)
+        for i in range(kernel.num_buffers)
+    ]
+    out = Grid.zeros(size, halo, kernel.dtype)
+
+    result = benchmark(lambda: apply_kernel(kernel, grids, out=out))
+    assert float(abs(result.interior).sum()) > 0

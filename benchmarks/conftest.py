@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+A single session-scoped :class:`ExperimentContext` is built once (training
+sets are the expensive artifact) and shared by every bench.  Scale defaults
+to ``small`` so the whole suite runs in minutes on a laptop; set
+``REPRO_SCALE=paper`` to run the full paper configurations.
+
+Every experiment bench writes its rendered table/series to
+``benchmarks/out/<name>.txt`` so results can be inspected after the run
+(EXPERIMENTS.md records one such run).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, experiment_scale
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: training sizes used by the small-scale benches
+SMALL_SIZES = (960, 2600)
+PAPER_SIZES = (960, 3840, 6720, 16000)
+
+
+def bench_sizes() -> tuple[int, ...]:
+    """Training sizes matching the active scale."""
+    return PAPER_SIZES if experiment_scale() == "paper" else SMALL_SIZES
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Shared context with the base training set prebuilt."""
+    ctx = ExperimentContext(seed=0)
+    ctx.base_training_set(max(bench_sizes()))
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_output(out_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered experiment output for post-run inspection."""
+    (out_dir / f"{name}.txt").write_text(text + "\n")

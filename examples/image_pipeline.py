@@ -1,0 +1,106 @@
+"""Per-stage autotuning of a 2-D image-processing pipeline.
+
+The image-processing scenario from the paper's introduction (Halide-style
+workloads): a two-stage pipeline — 5×5 Gaussian-ish blur followed by a 3×3
+edge-detection stencil — applied to a 1024×768 image.  Each stage has a
+*different* optimal tuning configuration (blur is compute-heavier; edge is
+lighter with a smaller halo), and the autotuner picks per-stage configs
+from the 1600-candidate 2-D preset without executing any of them.
+
+The example also runs the pipeline *functionally* (numpy reference) on a
+synthetic image and reports simulated per-stage and pipeline times against
+an untiled default.
+
+Run:  python examples/image_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    OrdinalAutotuner,
+    SimulatedMachine,
+    StencilExecution,
+    StencilInstance,
+    StencilKernel,
+    TrainingSetBuilder,
+    TuningVector,
+)
+from repro.stencil.grid import Grid
+from repro.stencil.pattern import StencilPattern
+from repro.stencil.reference import apply_kernel
+from repro.stencil.shapes import hypercube
+
+
+def make_pipeline() -> list[tuple[StencilKernel, list[dict]]]:
+    """(kernel, weights) per stage."""
+    blur_pattern = hypercube(2, 2)
+    # separable-gaussian-like weights, normalized
+    blur_w = {}
+    for (dx, dy, dz) in blur_pattern.offsets:
+        blur_w[(dx, dy, dz)] = float(np.exp(-(dx * dx + dy * dy) / 2.0))
+    total = sum(blur_w.values())
+    blur_w = {k: v / total for k, v in blur_w.items()}
+    blur = StencilKernel.single_buffer("pipeline-blur", blur_pattern, "float")
+
+    edge_pattern = StencilPattern.from_points(
+        [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)]
+    )
+    edge_w = {(0, 0, 0): 4.0, (1, 0, 0): -1.0, (-1, 0, 0): -1.0,
+              (0, 1, 0): -1.0, (0, -1, 0): -1.0}
+    edge = StencilKernel.single_buffer("pipeline-edge", edge_pattern, "float")
+    return [(blur, [blur_w]), (edge, [edge_w])]
+
+
+def synthetic_image(width: int, height: int) -> Grid:
+    """A float image with a few hard edges (for the functional demo)."""
+    img = np.zeros((width, height, 1), dtype=np.float32)
+    img[width // 4 : width // 2, :, 0] = 1.0
+    img[:, height // 3 : height // 2, 0] += 0.5
+    return Grid.from_interior(img, halo=2)
+
+
+def main() -> None:
+    width, height = 1024, 768
+    machine = SimulatedMachine(seed=0)
+    print("training the autotuner...")
+    tuner = OrdinalAutotuner().train(TrainingSetBuilder(machine, seed=0).build(2600))
+
+    stages = make_pipeline()
+    image = synthetic_image(width, height)
+
+    default = TuningVector(bx=1024, by=1024, bz=1, unroll=0, chunk=1)
+    total_tuned = total_default = 0.0
+    current = image
+    print(f"\npipeline on a {width}x{height} image:")
+    for kernel, weights in stages:
+        instance = StencilInstance(kernel, (width, height, 1))
+        pick = tuner.best(instance)
+
+        # functional stage execution (numpy reference with real weights)
+        current = apply_kernel(kernel, [current], weights=weights)
+        current.fill_halo_periodic()
+
+        t_tuned = machine.true_time(StencilExecution(instance, pick))
+        t_default = machine.true_time(StencilExecution(instance, default))
+        total_tuned += t_tuned
+        total_default += t_default
+        print(f"  {kernel.name:16s} pick={pick}  "
+              f"{t_tuned * 1e3:6.2f} ms vs default {t_default * 1e3:6.2f} ms "
+              f"({t_default / t_tuned:4.1f}x)")
+
+    edges = current.interior
+    print(f"\n  edge-map stats: min={edges.min():.3f} max={edges.max():.3f} "
+          f"nonzero={float((np.abs(edges) > 1e-3).mean()) * 100:.1f}%")
+    print(f"  pipeline: tuned {total_tuned * 1e3:.2f} ms vs "
+          f"default {total_default * 1e3:.2f} ms "
+          f"→ speedup {total_default / total_tuned:.2f}x")
+    # per-stage configs should differ: the stages have different shapes
+    picks = [tuner.best(StencilInstance(k, (width, height, 1))) for k, _ in stages]
+    if picks[0] != picks[1]:
+        print("  note: the tuner chose different configurations per stage")
+
+
+if __name__ == "__main__":
+    main()

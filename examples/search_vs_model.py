@@ -1,0 +1,58 @@
+"""Iterative search versus the trained ranking model (mini Fig. 4 / Fig. 5).
+
+Runs the paper's four search algorithms with a reduced budget on a couple
+of benchmarks, alongside the ordinal-regression tuner picking from the
+pre-defined candidate set, and prints the speedup-vs-GA bars plus the
+time-to-solution asymmetry.
+
+Run:  python examples/search_vs_model.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulatedMachine, StencilExecution, benchmark_by_id, preset_candidates
+from repro.experiments.common import SEARCH_METHODS, ExperimentContext
+from repro.util.tables import Table
+
+BENCHMARKS = ("gradient-256x256x256", "blur-1024x768")
+BUDGET = 192
+TRAINING_SIZE = 2600
+
+
+def main() -> None:
+    ctx = ExperimentContext(seed=0)
+    print(f"training the model on {TRAINING_SIZE} points...")
+    ctx.base_training_set(TRAINING_SIZE)
+    tuner = ctx.tuner(TRAINING_SIZE)
+    machine = ctx.machine
+
+    for label in BENCHMARKS:
+        instance = benchmark_by_id(label)
+        candidates = preset_candidates(instance.dims)
+
+        rows = []
+        ga_time = None
+        for name in SEARCH_METHODS:
+            result = ctx.search(name, instance).tune(instance, budget=BUDGET)
+            if name == "genetic algorithm":
+                ga_time = result.best_time
+            rows.append((f"{name} ({BUDGET} evals)", result.best_time,
+                         result.total_wall_s))
+
+        pick = tuner.best(instance, candidates)
+        pick_time = machine.true_time(StencilExecution(instance, pick))
+        rows.append((f"ord.regression (0 evals)", pick_time,
+                     tuner.last_rank_seconds))
+
+        assert ga_time is not None
+        table = Table(
+            ["method", "best time (ms)", "speedup vs GA", "time-to-solution (s)"],
+            title=f"\n{label}",
+        )
+        for name, t, tts in rows:
+            table.add_row([name, t * 1e3, ga_time / t, tts])
+        print(table.render(floatfmt=".3f"))
+
+
+if __name__ == "__main__":
+    main()

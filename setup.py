@@ -1,0 +1,5 @@
+"""Legacy setup shim: the sandbox lacks the `wheel` package, so PEP 660
+editable installs cannot build; `pip install -e .` falls back to this."""
+from setuptools import setup
+
+setup()

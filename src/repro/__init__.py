@@ -1,0 +1,90 @@
+"""repro — reproduction of *Autotuning Stencil Computations with Structural
+Ordinal Regression Learning* (Cosenza, Durillo, Ermon, Juurlink; IPDPS 2017).
+
+The library implements the paper's complete system on a simulated testbed:
+
+* stencil modeling and the feature-vector encoding framework (§III);
+* the ordinal-regression (RankSVM) formulation over partial rankings (§IV);
+* a PATUS-like source-to-source compiler substrate with loop blocking,
+  unrolling and chunking (§V);
+* an analytical Xeon E5-2680 v3 performance model standing in for the
+  paper's hardware;
+* the four iterative-compilation search baselines and the experiment
+  harnesses for every table and figure (§VI).
+
+Quickstart::
+
+    from repro import (OrdinalAutotuner, SimulatedMachine, TrainingSetBuilder,
+                       benchmark_by_id)
+
+    machine = SimulatedMachine(seed=0)
+    training_set = TrainingSetBuilder(machine).build(3840)
+    tuner = OrdinalAutotuner().train(training_set)
+    best = tuner.best(benchmark_by_id("laplacian-128x128x128"))
+
+See ``examples/`` for runnable scenarios, ``benchmarks/`` for the
+table/figure regeneration harnesses, and DESIGN.md / EXPERIMENTS.md for the
+reproduction methodology.
+"""
+
+from repro.autotune import (
+    CompilationWorkflow,
+    OrdinalAutotuner,
+    TrainingSet,
+    TrainingSetBuilder,
+)
+from repro.features import FeatureEncoder
+from repro.learn import RankSVM, RankSVMConfig
+from repro.machine import MachineSpec, SimulatedMachine, XEON_E5_2680_V3
+from repro.ranking import RankingGroups, kendall_tau
+from repro.search import (
+    DifferentialEvolution,
+    EvolutionStrategy,
+    GenerationalGA,
+    RandomSearch,
+    SteadyStateGA,
+)
+from repro.stencil import (
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    StencilExecution,
+    StencilInstance,
+    StencilKernel,
+    StencilPattern,
+    benchmark_by_id,
+)
+from repro.tuning import TuningSpace, TuningVector, patus_space, preset_candidates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "CompilationWorkflow",
+    "DifferentialEvolution",
+    "EvolutionStrategy",
+    "FeatureEncoder",
+    "GenerationalGA",
+    "MachineSpec",
+    "OrdinalAutotuner",
+    "RandomSearch",
+    "RankSVM",
+    "RankSVMConfig",
+    "RankingGroups",
+    "SimulatedMachine",
+    "StencilExecution",
+    "StencilInstance",
+    "StencilKernel",
+    "StencilPattern",
+    "SteadyStateGA",
+    "TEST_BENCHMARKS",
+    "TrainingSet",
+    "TrainingSetBuilder",
+    "TuningSpace",
+    "TuningVector",
+    "XEON_E5_2680_V3",
+    "__version__",
+    "benchmark_by_id",
+    "kendall_tau",
+    "patus_space",
+    "preset_candidates",
+]

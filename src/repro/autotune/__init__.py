@@ -1,0 +1,37 @@
+"""End-to-end autotuning framework (paper §V).
+
+Ties the substrates together:
+
+* :mod:`repro.autotune.training` — the Fig. 3 training pipeline: generate
+  the 60 synthetic stencil codes (4 shape families × dimensionalities ×
+  radii × dtypes × buffer counts), instantiate them at the paper's input
+  sizes (~200 instances), measure randomly drawn tuning vectors on the
+  simulated machine (twice as many for 3-D kernels), and assemble the
+  grouped ranking dataset;
+* :mod:`repro.autotune.dataset` — the persisted training-set artifact with
+  wall-clock accounting for Table II;
+* :mod:`repro.autotune.autotuner` — :class:`OrdinalAutotuner`, the
+  standalone tuner: rank a candidate set for an unseen stencil in
+  milliseconds and return the top configuration (§V-C);
+* :mod:`repro.autotune.workflow` — the compile-time workflow: DSL in,
+  tuned compiled variant out, with double-compilation accounting.
+"""
+
+from repro.autotune.training import (
+    TrainingSetBuilder,
+    generate_training_kernels,
+    training_instances,
+)
+from repro.autotune.dataset import TrainingSet
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.autotune.workflow import CompilationWorkflow, TunedBinary
+
+__all__ = [
+    "CompilationWorkflow",
+    "OrdinalAutotuner",
+    "TrainingSet",
+    "TrainingSetBuilder",
+    "TunedBinary",
+    "generate_training_kernels",
+    "training_instances",
+]

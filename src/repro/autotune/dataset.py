@@ -1,0 +1,114 @@
+"""The training-set artifact.
+
+Bundles the grouped ranking data with everything Table II accounts for:
+the simulated wall-clock spent executing training points ("TS Generation")
+and the accounted double-compilation time of the training codes
+("TS Comp.").  Serializable to ``.npz`` so the expensive phase runs once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.ranking.partial import RankingGroups
+
+__all__ = ["TrainingSet"]
+
+
+@dataclass
+class TrainingSet:
+    """Grouped ranking data plus provenance and cost accounting."""
+
+    data: RankingGroups
+    #: group id → human-readable instance label
+    group_labels: dict[int, str] = field(default_factory=dict)
+    #: simulated machine seconds spent measuring the points
+    generation_wall_s: float = 0.0
+    #: accounted PATUS+gcc seconds for compiling the training codes
+    compile_wall_s: float = 0.0
+    #: encoder fingerprint the features were produced with
+    encoder_fingerprint: str = ""
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def num_instances(self) -> int:
+        """Distinct stencil instances (ranking groups)."""
+        return self.data.num_groups
+
+    def summary(self) -> str:
+        """One-line description for logs and experiment output."""
+        return (
+            f"TrainingSet({len(self)} points, {self.num_instances} instances, "
+            f"gen={self.generation_wall_s:.0f}s sim, "
+            f"comp={self.compile_wall_s / 3600.0:.1f}h acct)"
+        )
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the training set to an ``.npz`` archive."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            X=self.data.X,
+            times=self.data.times,
+            groups=np.asarray(self.data.groups, dtype=np.int64),
+            meta=np.array(
+                json.dumps(
+                    {
+                        "group_labels": {str(k): v for k, v in self.group_labels.items()},
+                        "generation_wall_s": self.generation_wall_s,
+                        "compile_wall_s": self.compile_wall_s,
+                        "encoder_fingerprint": self.encoder_fingerprint,
+                    }
+                )
+            ),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "TrainingSet":
+        """Inverse of :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            data = RankingGroups(
+                archive["X"], archive["times"], archive["groups"]
+            )
+            meta = json.loads(str(archive["meta"]))
+        return cls(
+            data=data,
+            group_labels={int(k): v for k, v in meta["group_labels"].items()},
+            generation_wall_s=float(meta["generation_wall_s"]),
+            compile_wall_s=float(meta["compile_wall_s"]),
+            encoder_fingerprint=meta.get("encoder_fingerprint", ""),
+        )
+
+    def subset_points(self, n: int, rng_seed: int = 0) -> "TrainingSet":
+        """A smaller training set with ~n points, subsampled *per group*.
+
+        Keeps every instance represented (≥ 2 points per group where
+        possible), matching how the paper varies training-set size while
+        always covering all 200 instances.
+        """
+        if n >= len(self):
+            return self
+        frac = n / len(self)
+        rng = np.random.default_rng(rng_seed)
+        keep: list[np.ndarray] = []
+        for _, rows in self.data.iter_groups():
+            k = max(2, int(round(frac * rows.size)))
+            k = min(k, rows.size)
+            keep.append(rng.choice(rows, size=k, replace=False))
+        rows = np.sort(np.concatenate(keep))
+        return TrainingSet(
+            data=self.data.subset(rows),
+            group_labels=self.group_labels,
+            generation_wall_s=self.generation_wall_s * rows.size / len(self),
+            compile_wall_s=self.compile_wall_s,
+            encoder_fingerprint=self.encoder_fingerprint,
+        )

@@ -1,0 +1,194 @@
+"""Training-set generation: the Fig. 3 pipeline.
+
+The paper generates **60 synthetic stencil codes** from the four Fig. 1
+shape families with varying offsets, buffer counts and scalar types, both
+2-D and 3-D; instantiates them at sizes 64³/128³/256³ (3-D) and
+256²/512²/1024²/2048² (2-D) for **~200 instances**; and executes each
+instance with randomly drawn tuning vectors — *twice as many for 3-D
+kernels*, whose space is larger.  Runtimes and ranks are collected into the
+training set.
+
+This module reproduces that corpus deterministically.  The exact 60-code
+enumeration (below) is our reconstruction — the paper does not list its
+codes — but spans the same axes: 4 shapes × {2-D, 3-D} × radii {1, 2, 3} ×
+{float, double} = 48 single-buffer codes, plus 12 two-buffer variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autotune.dataset import TrainingSet
+from repro.codegen.compiler import PatusCompiler
+from repro.features.encoder import FeatureEncoder
+from repro.machine.executor import SimulatedMachine
+from repro.ranking.partial import RankingGroups
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import TRAINING_SHAPES
+from repro.tuning.space import patus_space
+from repro.util.rng import spawn
+
+__all__ = ["generate_training_kernels", "training_instances", "TrainingSetBuilder"]
+
+#: 3-D training input sizes (paper §V-B)
+SIZES_3D = ((64, 64, 64), (128, 128, 128), (256, 256, 256))
+#: 2-D training input sizes (paper §V-B)
+SIZES_2D = ((256, 256, 1), (512, 512, 1), (1024, 1024, 1), (2048, 2048, 1))
+
+
+def generate_training_kernels() -> list[StencilKernel]:
+    """The 60 synthetic training codes (deterministic enumeration).
+
+    >>> len(generate_training_kernels())
+    60
+    """
+    kernels: list[StencilKernel] = []
+    # 48 single-buffer codes: shape × dims × radius × dtype
+    for shape_name, shape_fn in TRAINING_SHAPES.items():
+        for dims in (2, 3):
+            for radius in (1, 2, 3):
+                for dtype in ("float", "double"):
+                    pattern = shape_fn(dims, radius)
+                    kernels.append(
+                        StencilKernel(
+                            f"train-{shape_name}-{dims}d-r{radius}-{dtype}",
+                            (pattern,),
+                            dtype=dtype,
+                            space_dims=dims,
+                        )
+                    )
+    # 12 two-buffer variants (multi-buffer coverage, as the paper's corpus has)
+    two_buffer_specs = [
+        ("hypercube", 2, 1, "float"),
+        ("hypercube", 2, 2, "float"),
+        ("hypercube", 3, 1, "float"),
+        ("hypercube", 3, 2, "float"),
+        ("laplacian", 2, 1, "double"),
+        ("laplacian", 2, 2, "double"),
+        ("laplacian", 3, 1, "double"),
+        ("laplacian", 3, 2, "double"),
+        ("line", 2, 2, "float"),
+        ("line", 3, 2, "float"),
+        ("hyperplane", 2, 1, "double"),
+        ("hyperplane", 3, 1, "double"),
+    ]
+    for shape_name, dims, radius, dtype in two_buffer_specs:
+        pattern = TRAINING_SHAPES[shape_name](dims, radius)
+        kernels.append(
+            StencilKernel(
+                f"train-{shape_name}-{dims}d-r{radius}-{dtype}-2buf",
+                (pattern, pattern),
+                dtype=dtype,
+                space_dims=dims,
+            )
+        )
+    assert len(kernels) == 60
+    return kernels
+
+
+def training_instances(
+    kernels: "list[StencilKernel] | None" = None,
+) -> list[StencilInstance]:
+    """All kernel × size instances (~200; exactly 210 for the default corpus).
+
+    >>> len(training_instances())
+    210
+    """
+    if kernels is None:
+        kernels = generate_training_kernels()
+    instances: list[StencilInstance] = []
+    for kernel in kernels:
+        sizes = SIZES_3D if kernel.dims == 3 else SIZES_2D
+        for size in sizes:
+            instances.append(StencilInstance(kernel, size))
+    return instances
+
+
+@dataclass
+class TrainingSetBuilder:
+    """Executes the Fig. 3 pipeline on a simulated machine.
+
+    ``build(total_points)`` distributes the point budget over all training
+    instances with 2:1 weight for 3-D kernels (they get twice as many
+    random tuning vectors, per the paper), measures every execution, and
+    returns the encoded :class:`TrainingSet` including Table II accounting.
+    """
+
+    machine: SimulatedMachine
+    encoder: FeatureEncoder = field(default_factory=FeatureEncoder)
+    seed: int = 0
+    #: timed runs per training execution
+    repeats: int = 1
+
+    def point_allocation(
+        self, instances: list[StencilInstance], total_points: int
+    ) -> list[int]:
+        """Per-instance point counts (2:1 for 3-D, each ≥ 2, sum ≈ total)."""
+        if total_points < 2 * len(instances):
+            raise ValueError(
+                f"need at least {2 * len(instances)} points for "
+                f"{len(instances)} instances, got {total_points}"
+            )
+        weights = np.array([2.0 if q.dims == 3 else 1.0 for q in instances])
+        raw = total_points * weights / weights.sum()
+        counts = np.maximum(np.round(raw).astype(int), 2)
+        return counts.tolist()
+
+    def build(
+        self,
+        total_points: int,
+        kernels: "list[StencilKernel] | None" = None,
+    ) -> TrainingSet:
+        """Generate, execute and encode a training set of ~``total_points``."""
+        kernels = generate_training_kernels() if kernels is None else kernels
+        instances = training_instances(kernels)
+        counts = self.point_allocation(instances, total_points)
+
+        compiler = PatusCompiler()
+        compile_s = compiler.training_set_compile_seconds(kernels)
+
+        wall_before = self.machine.simulated_wall_s
+        X_blocks: list[np.ndarray] = []
+        times_blocks: list[np.ndarray] = []
+        group_blocks: list[np.ndarray] = []
+        labels: dict[int, str] = {}
+        for gid, (instance, count) in enumerate(zip(instances, counts)):
+            rng = spawn(self.seed, "training-tunings", instance.label())
+            space = patus_space(instance.dims)
+            tunings = space.random_vectors(count, rng=rng)
+            measured = np.array(
+                [
+                    self.machine.measure(
+                        StencilExecution(instance, tv), repeats=self.repeats
+                    ).time
+                    for tv in tunings
+                ]
+            )
+            X_blocks.append(self.encoder.encode_batch(instance, tunings))
+            times_blocks.append(measured)
+            group_blocks.append(np.full(count, gid, dtype=np.int64))
+            labels[gid] = instance.label()
+
+        data = RankingGroups(
+            np.vstack(X_blocks),
+            np.concatenate(times_blocks),
+            np.concatenate(group_blocks),
+        )
+        return TrainingSet(
+            data=data,
+            group_labels=labels,
+            generation_wall_s=self.machine.simulated_wall_s - wall_before,
+            compile_wall_s=compile_s,
+            encoder_fingerprint=self.fingerprint(),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable id of the encoder layout (guards model/encoder pairing)."""
+        return (
+            f"r{self.encoder.max_radius}-p{int(self.encoder.include_pattern)}-"
+            f"i{int(self.encoder.interactions)}-d{self.encoder.num_features}"
+        )

@@ -1,0 +1,49 @@
+"""PATUS-like source-to-source stencil compiler substrate (paper §V-A).
+
+The paper's implementation validates the autotuner through the PATUS DSL
+compiler: stencil specifications are lowered to blocked, unrolled,
+OpenMP-annotated C.  This package rebuilds that pipeline in Python:
+
+* :mod:`repro.codegen.dsl` — a small textual stencil DSL with parser and
+  printer (kernel ↔ text round trip);
+* :mod:`repro.codegen.ir` — a loop-nest intermediate representation;
+* :mod:`repro.codegen.lower` — stencil → naive loop nest;
+* :mod:`repro.codegen.transforms` — the three PATUS transformations as IR
+  passes: loop blocking, innermost-loop unrolling, chunked thread
+  scheduling;
+* :mod:`repro.codegen.emit_c` — C/OpenMP source emission;
+* :mod:`repro.codegen.interp` — an IR interpreter over numpy grids, used
+  to *prove* every transformation is semantics-preserving (tests compare
+  interpreted transformed IR against the numpy reference executor);
+* :mod:`repro.codegen.compiler` — the driver plus the double-compilation
+  (PATUS + gcc) wall-clock accounting model behind Table II's "TS Comp."
+  column.
+"""
+
+from repro.codegen.dsl import kernel_to_dsl, parse_dsl
+from repro.codegen.ir import Loop, LoopNest, PointUpdate
+from repro.codegen.lower import lower_kernel
+from repro.codegen.transforms import (
+    apply_blocking,
+    apply_chunking,
+    apply_unrolling,
+)
+from repro.codegen.emit_c import emit_c
+from repro.codegen.interp import interpret
+from repro.codegen.compiler import CompiledVariant, PatusCompiler
+
+__all__ = [
+    "CompiledVariant",
+    "Loop",
+    "LoopNest",
+    "PatusCompiler",
+    "PointUpdate",
+    "apply_blocking",
+    "apply_chunking",
+    "apply_unrolling",
+    "emit_c",
+    "interpret",
+    "kernel_to_dsl",
+    "lower_kernel",
+    "parse_dsl",
+]

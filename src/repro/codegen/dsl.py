@@ -1,0 +1,146 @@
+"""A small textual stencil DSL (the PATUS-DSL role in the pipeline).
+
+Grammar (line oriented, ``#`` comments)::
+
+    stencil <name> {
+        grid: 2d | 3d
+        dtype: float | double
+        extra_reads: <int>          # optional
+        buffer <name> {
+            (dx, dy[, dz]): <weight>
+            ...
+        }
+        ... more buffers ...
+    }
+
+Parsing yields the kernel *and* its per-buffer weight maps (the weights are
+code, not tuning — they define the computation the generated loop nest
+performs).  :func:`kernel_to_dsl` prints the inverse, and the round trip is
+property-tested.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Sequence
+
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.pattern import Offset, StencilPattern
+from repro.stencil.reference import default_weights
+
+__all__ = ["parse_dsl", "kernel_to_dsl", "DslError"]
+
+
+class DslError(ValueError):
+    """Raised on malformed DSL input, with a line number."""
+
+
+_POINT_RE = re.compile(
+    r"^\(\s*(-?\d+)\s*,\s*(-?\d+)\s*(?:,\s*(-?\d+)\s*)?\)\s*:\s*([-+0-9.eE]+)$"
+)
+
+
+def parse_dsl(text: str) -> tuple[StencilKernel, list[dict[Offset, float]]]:
+    """Parse DSL text into ``(kernel, per-buffer weights)``."""
+    name: str | None = None
+    dims: int | None = None
+    dtype = "float"
+    extra_reads = 0
+    buffers: list[dict[Offset, float]] = []
+    current: dict[Offset, float] | None = None
+    depth = 0
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        def err(msg: str) -> DslError:
+            return DslError(f"line {lineno}: {msg} ({raw.strip()!r})")
+
+        if line.startswith("stencil "):
+            m = re.match(r"^stencil\s+([\w.-]+)\s*\{$", line)
+            if not m or depth != 0:
+                raise err("malformed stencil header")
+            name = m.group(1)
+            depth = 1
+        elif line.startswith("buffer "):
+            m = re.match(r"^buffer\s+([\w.-]+)\s*\{$", line)
+            if not m or depth != 1:
+                raise err("malformed buffer header")
+            current = {}
+            depth = 2
+        elif line == "}":
+            if depth == 2:
+                if not current:
+                    raise err("empty buffer block")
+                buffers.append(current)
+                current = None
+                depth = 1
+            elif depth == 1:
+                depth = 0
+            else:
+                raise err("unbalanced '}'")
+        elif depth == 1 and ":" in line:
+            key, _, value = (s.strip() for s in line.partition(":"))
+            if key == "grid":
+                if value not in ("2d", "3d"):
+                    raise err(f"grid must be 2d or 3d, got {value!r}")
+                dims = int(value[0])
+            elif key == "dtype":
+                dtype = value
+            elif key == "extra_reads":
+                extra_reads = int(value)
+            else:
+                raise err(f"unknown property {key!r}")
+        elif depth == 2:
+            m = _POINT_RE.match(line)
+            if not m:
+                raise err("malformed point line")
+            dx, dy = int(m.group(1)), int(m.group(2))
+            dz = int(m.group(3)) if m.group(3) is not None else 0
+            assert current is not None
+            off = (dx, dy, dz)
+            if off in current:
+                raise err(f"duplicate point {off}")
+            current[off] = float(m.group(4))
+        else:
+            raise err("unexpected line")
+
+    if depth != 0:
+        raise DslError("unexpected end of input: unclosed block")
+    if name is None or dims is None or not buffers:
+        raise DslError("stencil needs a name, a grid property and >= 1 buffer")
+
+    patterns = tuple(StencilPattern.from_points(b.keys()) for b in buffers)
+    kernel = StencilKernel(
+        name,
+        patterns,
+        dtype=dtype,
+        extra_point_reads=extra_reads,
+        space_dims=dims,
+    )
+    return kernel, buffers
+
+
+def kernel_to_dsl(
+    kernel: StencilKernel,
+    weights: Sequence[Mapping[Offset, float]] | None = None,
+) -> str:
+    """Print a kernel (plus optional weights) back into DSL text."""
+    if weights is None:
+        weights = [default_weights(p) for p in kernel.buffer_patterns]
+    lines = [f"stencil {kernel.name} {{"]
+    lines.append(f"    grid: {kernel.dims}d")
+    lines.append(f"    dtype: {kernel.dtype.value}")
+    if kernel.extra_point_reads:
+        lines.append(f"    extra_reads: {kernel.extra_point_reads}")
+    for b, (pattern, wmap) in enumerate(zip(kernel.buffer_patterns, weights)):
+        lines.append(f"    buffer b{b} {{")
+        for off in pattern.offsets:
+            dx, dy, dz = off
+            w = float(wmap.get(off, 0.0))
+            lines.append(f"        ({dx}, {dy}, {dz}): {w!r}")
+        lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

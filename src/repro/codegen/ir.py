@@ -1,0 +1,133 @@
+"""Loop-nest intermediate representation.
+
+The IR is deliberately small — exactly rich enough to express what PATUS
+emits for a Jacobi stencil sweep:
+
+* :class:`PointUpdate` — the body statement: one output point written as a
+  weighted sum of reads from input buffers at fixed offsets, with an
+  optional index shift (used by unrolling to replicate the body);
+* :class:`Loop` — a counted loop over one axis with lower/upper *bound
+  expressions* (either absolute or tile-relative), a step, and metadata
+  flags (``parallel``, ``chunk``, ``unrolled``);
+* :class:`LoopNest` — the root: buffer declarations plus the outermost
+  loop, with the originating kernel/tuning recorded for diagnostics.
+
+Bounds are kept symbolic (name + offset) so passes can reason about them;
+the interpreter and the C emitter resolve them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Union
+
+__all__ = ["Bound", "PointUpdate", "Loop", "LoopNest", "walk_loops"]
+
+AXES = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class Bound:
+    """A loop bound: ``base + offset`` where base is a symbol or a constant.
+
+    ``base`` may be ``""`` (pure constant), an axis-size symbol (``"sx"``),
+    or a tile-index symbol (``"txe"`` = tile-end for x, etc.).
+    """
+
+    base: str
+    offset: int = 0
+
+    def shifted(self, delta: int) -> "Bound":
+        """Bound displaced by a constant."""
+        return Bound(self.base, self.offset + delta)
+
+    def __str__(self) -> str:
+        if not self.base:
+            return str(self.offset)
+        if self.offset == 0:
+            return self.base
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.base} {sign} {abs(self.offset)}"
+
+
+@dataclass(frozen=True)
+class PointUpdate:
+    """``out[x+sx, y+sy, z+sz] = Σ_b Σ_off w · buf_b[x+dx, y+dy, z+dz]``.
+
+    ``terms`` maps ``(buffer_index, (dx, dy, dz)) -> weight``; ``shift``
+    displaces every index (output and reads) — the unroller uses it to
+    replicate the statement along x.
+    """
+
+    terms: tuple[tuple[tuple[int, tuple[int, int, int]], float], ...]
+    shift: tuple[int, int, int] = (0, 0, 0)
+
+    def shifted(self, dx: int, dy: int = 0, dz: int = 0) -> "PointUpdate":
+        sx, sy, sz = self.shift
+        return PointUpdate(self.terms, (sx + dx, sy + dy, sz + dz))
+
+    @property
+    def num_reads(self) -> int:
+        """Scalar loads per execution of this statement."""
+        return len(self.terms)
+
+
+Body = Union["Loop", PointUpdate]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop along one axis."""
+
+    var: str  # e.g. "x", "y", "tz" (tile loop over z)
+    lo: Bound
+    hi: Bound  # exclusive
+    step: int = 1
+    body: tuple[Body, ...] = ()
+    #: OpenMP-parallel loop (the collapsed tile loop)
+    parallel: bool = False
+    #: chunk size for dynamic scheduling (only meaningful when parallel)
+    chunk: int = 1
+    #: True once the unroller replicated the body over this loop's step
+    unrolled: bool = False
+
+    def with_body(self, body: tuple[Body, ...]) -> "Loop":
+        return replace(self, body=body)
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """Root of a lowered stencil sweep."""
+
+    kernel_name: str
+    dims: int
+    size: tuple[int, int, int]
+    num_buffers: int
+    dtype: str
+    root: Loop
+    #: record of applied transformation parameters (provenance)
+    tuning_note: str = ""
+    halo: int = field(default=0)
+
+    def describe(self) -> str:
+        """One-line summary for logs."""
+        return (
+            f"{self.kernel_name} {self.size} buffers={self.num_buffers} "
+            f"dtype={self.dtype} [{self.tuning_note}]"
+        )
+
+
+def walk_loops(node: Body) -> Iterator[Loop]:
+    """Depth-first iteration over all loops in a subtree."""
+    if isinstance(node, Loop):
+        yield node
+        for child in node.body:
+            yield from walk_loops(child)
+
+
+def find_loop(nest: LoopNest, var: str) -> Loop:
+    """Locate the unique loop with the given induction variable."""
+    found = [loop for loop in walk_loops(nest.root) if loop.var == var]
+    if len(found) != 1:
+        raise KeyError(f"expected exactly one loop {var!r}, found {len(found)}")
+    return found[0]

@@ -1,0 +1,71 @@
+"""Lowering: stencil kernel → naive loop nest.
+
+The naive sweep iterates the interior points in z → y → x order (x is the
+unit-stride axis, as PATUS and every C stencil generator arranges) and
+executes one :class:`~repro.codegen.ir.PointUpdate` per point.  All
+transformations are applied afterwards as IR passes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.codegen.ir import Bound, Loop, LoopNest, PointUpdate
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.pattern import Offset
+from repro.stencil.reference import default_weights
+
+__all__ = ["lower_kernel", "build_update"]
+
+
+def build_update(
+    kernel: StencilKernel,
+    weights: Sequence[Mapping[Offset, float]] | None = None,
+) -> PointUpdate:
+    """The per-point body statement for a kernel.
+
+    ``weights`` supplies one mapping per buffer; defaults to the library's
+    deterministic distance weights (shared with the reference executor, so
+    interpreter-vs-reference comparisons are meaningful).
+    """
+    if weights is None:
+        weights = [default_weights(p) for p in kernel.buffer_patterns]
+    if len(weights) != kernel.num_buffers:
+        raise ValueError(
+            f"kernel reads {kernel.num_buffers} buffers, got {len(weights)} weight maps"
+        )
+    terms: list[tuple[tuple[int, tuple[int, int, int]], float]] = []
+    for b, (pattern, wmap) in enumerate(zip(kernel.buffer_patterns, weights)):
+        for off in pattern.offsets:
+            w = float(wmap.get(off, 0.0))
+            if w != 0.0:
+                terms.append(((b, off), w))
+    return PointUpdate(tuple(terms))
+
+
+def lower_kernel(
+    kernel: StencilKernel,
+    size: tuple[int, int, int],
+    weights: Sequence[Mapping[Offset, float]] | None = None,
+) -> LoopNest:
+    """Lower one Jacobi sweep over the interior of a ``size`` grid.
+
+    Loop bounds are expressed against the interior (0 … s-1 per axis); the
+    halo is handled by grid padding at execution time, exactly as the
+    reference executor does.
+    """
+    sx, sy, sz = size
+    update = build_update(kernel, weights)
+    x_loop = Loop("x", Bound("", 0), Bound("sx"), body=(update,))
+    y_loop = Loop("y", Bound("", 0), Bound("sy"), body=(x_loop,))
+    z_loop = Loop("z", Bound("", 0), Bound("sz"), body=(y_loop,), parallel=True)
+    return LoopNest(
+        kernel_name=kernel.name,
+        dims=kernel.dims,
+        size=(sx, sy, sz),
+        num_buffers=kernel.num_buffers,
+        dtype=kernel.dtype.value,
+        root=z_loop,
+        tuning_note="naive",
+        halo=kernel.radius,
+    )

@@ -1,0 +1,132 @@
+"""The three PATUS code transformations as IR passes (paper §V).
+
+* :func:`apply_blocking` — rectangular loop tiling with clipped edge tiles;
+* :func:`apply_unrolling` — innermost-loop unrolling with a remainder loop;
+* :func:`apply_chunking` — chunked assignment of consecutive tiles to
+  OpenMP threads.
+
+Each pass validates its input shape and parameters and records provenance
+in the nest's ``tuning_note``.  Passes are *semantics-preserving* for
+Jacobi sweeps (output and input grids are distinct); the test suite proves
+this by interpreting transformed nests against the numpy reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.codegen.ir import Bound, Loop, LoopNest, PointUpdate, walk_loops
+from repro.tuning.vector import TuningVector
+
+__all__ = ["apply_blocking", "apply_unrolling", "apply_chunking", "apply_tuning"]
+
+_SIZE_SYMBOL = {"x": "sx", "y": "sy", "z": "sz"}
+
+
+def _require_point_loop(nest: LoopNest, var: str) -> Loop:
+    loops = [lp for lp in walk_loops(nest.root) if lp.var == var]
+    if len(loops) != 1:
+        raise ValueError(
+            f"pass expects exactly one {var!r} loop, found {len(loops)} "
+            f"(was the nest already transformed?)"
+        )
+    return loops[0]
+
+
+def apply_blocking(nest: LoopNest, block: tuple[int, int, int]) -> LoopNest:
+    """Tile the z/y/x point loops with sizes ``(bx, by, bz)``.
+
+    Produces tile loops ``tz → ty → tx`` (the parallel work units) around
+    clipped point loops ``z → y → x``.  Edge tiles are clipped through the
+    symbolic tile-end bounds ``tze/tye/txe = min(t + b, s)``.
+    """
+    bx, by, bz = block
+    for b in (bx, by, bz):
+        if b < 1:
+            raise ValueError(f"block sizes must be >= 1, got {block}")
+    if any(lp.var.startswith("t") for lp in walk_loops(nest.root)):
+        raise ValueError("nest already has tile loops; expected exactly one naive nest")
+    for var in ("x", "y", "z"):
+        _require_point_loop(nest, var)
+
+    update = _the_update(nest)
+    x_loop = Loop("x", Bound("tx"), Bound("txe"), body=(update,))
+    y_loop = Loop("y", Bound("ty"), Bound("tye"), body=(x_loop,))
+    z_loop = Loop("z", Bound("tz"), Bound("tze"), body=(y_loop,))
+    tx_loop = Loop("tx", Bound("", 0), Bound("sx"), step=bx, body=(z_loop,))
+    ty_loop = Loop("ty", Bound("", 0), Bound("sy"), step=by, body=(tx_loop,))
+    tz_loop = Loop(
+        "tz", Bound("", 0), Bound("sz"), step=bz, body=(ty_loop,), parallel=True
+    )
+    note = f"{nest.tuning_note}+block({bx},{by},{bz})"
+    return replace(nest, root=tz_loop, tuning_note=note)
+
+
+def apply_unrolling(nest: LoopNest, unroll: int) -> LoopNest:
+    """Unroll the innermost x loop by ``unroll`` (0/1 = no change).
+
+    The main loop steps by ``unroll`` executing the body replicated with
+    shifts ``0 … unroll-1``; the remainder points are kept in the loop's
+    ``remainder`` body, executed per point after the main part.
+    """
+    if unroll in (0, 1):
+        return nest
+    if unroll < 0:
+        raise ValueError(f"unroll must be >= 0, got {unroll}")
+    x_loop = _require_point_loop(nest, "x")
+    if x_loop.unrolled:
+        raise ValueError("x loop is already unrolled")
+    body = x_loop.body
+    if len(body) != 1 or not isinstance(body[0], PointUpdate):
+        raise ValueError("unrolling expects a single PointUpdate body")
+    update = body[0]
+    replicated = tuple(update.shifted(k) for k in range(unroll))
+    new_x = replace(
+        x_loop, step=unroll, body=replicated, unrolled=True
+    )
+    root = _replace_loop(nest.root, "x", new_x)
+    note = f"{nest.tuning_note}+unroll({unroll})"
+    return replace(nest, root=root, tuning_note=note)
+
+
+def apply_chunking(nest: LoopNest, chunk: int) -> LoopNest:
+    """Set the OpenMP chunk size on the parallel (outermost tile) loop."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    parallel = [lp for lp in walk_loops(nest.root) if lp.parallel]
+    if not parallel:
+        raise ValueError("nest has no parallel loop to chunk")
+    target = parallel[0]
+    new_target = replace(target, chunk=chunk)
+    root = _replace_loop(nest.root, target.var, new_target)
+    note = f"{nest.tuning_note}+chunk({chunk})"
+    return replace(nest, root=root, tuning_note=note)
+
+
+def apply_tuning(nest: LoopNest, tuning: TuningVector) -> LoopNest:
+    """The full PATUS pipeline: blocking, then unrolling, then chunking."""
+    nest = apply_blocking(nest, tuning.block)
+    nest = apply_unrolling(nest, tuning.unroll)
+    nest = apply_chunking(nest, tuning.chunk)
+    return nest
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _the_update(nest: LoopNest) -> PointUpdate:
+    x_loop = _require_point_loop(nest, "x")
+    if len(x_loop.body) != 1 or not isinstance(x_loop.body[0], PointUpdate):
+        raise ValueError("expected a single PointUpdate in the x loop")
+    return x_loop.body[0]
+
+
+def _replace_loop(node: Loop, var: str, replacement: Loop) -> Loop:
+    """Return a copy of the subtree with the loop ``var`` swapped out."""
+    if node.var == var:
+        return replacement
+    new_body = tuple(
+        _replace_loop(child, var, replacement) if isinstance(child, Loop) else child
+        for child in node.body
+    )
+    return node.with_body(new_body)

@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness regenerates the corresponding table's rows or figure's series
+and prints them in the paper's layout:
+
+* :mod:`repro.experiments.table2` — pre-processing/regression timing vs
+  training-set size;
+* :mod:`repro.experiments.table3` — the benchmark registry;
+* :mod:`repro.experiments.fig4` — speedup over the GA-1024 base
+  configuration for all 17 benchmarks, 4 searches × 4 model sizes;
+* :mod:`repro.experiments.fig5` — search-progress curves (GFlop/s versus
+  evaluations) plus time-to-solution for four stencils;
+* :mod:`repro.experiments.fig6` — per-instance Kendall τ at two training
+  sizes;
+* :mod:`repro.experiments.fig7` — Kendall-τ distribution across twelve
+  training sizes.
+
+Each module is executable (``python -m repro.experiments.fig4``) and scaled
+by the ``REPRO_SCALE`` environment variable: ``small`` (default, minutes on
+a laptop) or ``paper`` (the full configuration of the paper).
+"""
+
+from repro.experiments.common import ExperimentContext, experiment_scale
+
+__all__ = ["ExperimentContext", "experiment_scale"]

@@ -1,0 +1,104 @@
+"""Shared experiment plumbing: machines, trained tuners, scaling.
+
+The expensive shared artifact is the trained model family: several
+experiments need ordinal-regression tuners at multiple training-set sizes.
+:class:`ExperimentContext` builds the largest requested set once and
+derives the smaller sizes by per-group subsampling (the paper's sizes are
+nested samples of the same generation process), caching tuners per size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.autotune.dataset import TrainingSet
+from repro.autotune.training import TrainingSetBuilder
+from repro.features.encoder import FeatureEncoder
+from repro.learn.ranksvm import RankSVMConfig
+from repro.machine.executor import SimulatedMachine
+from repro.search.base import SearchAlgorithm
+from repro.search.differential import DifferentialEvolution
+from repro.search.evolution_strategy import EvolutionStrategy
+from repro.search.genetic import GenerationalGA
+from repro.search.steady_state import SteadyStateGA
+from repro.stencil.instance import StencilInstance
+from repro.tuning.space import patus_space
+
+__all__ = ["experiment_scale", "ExperimentContext", "SEARCH_METHODS"]
+
+#: the four iterative-compilation baselines of §VI-A, by display name
+SEARCH_METHODS: dict[str, type[SearchAlgorithm]] = {
+    "genetic algorithm": GenerationalGA,
+    "differential evolution": DifferentialEvolution,
+    "evolutive strategy": EvolutionStrategy,
+    "sGA": SteadyStateGA,
+}
+
+
+def experiment_scale() -> str:
+    """``small`` (default) or ``paper``, from the REPRO_SCALE env var."""
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale not in ("small", "paper"):
+        raise ValueError(f"REPRO_SCALE must be 'small' or 'paper', got {scale!r}")
+    return scale
+
+
+@dataclass
+class ExperimentContext:
+    """Lazy provider of machines, training sets and trained tuners."""
+
+    seed: int = 0
+    C: float = 0.01
+    machine: SimulatedMachine = field(default=None)  # type: ignore[assignment]
+    encoder: FeatureEncoder = field(default_factory=FeatureEncoder)
+    _base_set: TrainingSet | None = field(default=None, repr=False)
+    _tuners: dict[int, OrdinalAutotuner] = field(default_factory=dict, repr=False)
+    _sets: dict[int, TrainingSet] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.machine is None:
+            self.machine = SimulatedMachine(seed=self.seed)
+
+    # -- training sets ---------------------------------------------------------
+
+    def base_training_set(self, max_size: int) -> TrainingSet:
+        """The largest training set built so far (rebuilt if too small)."""
+        if self._base_set is None or len(self._base_set) < max_size:
+            builder = TrainingSetBuilder(
+                machine=self.machine.fork(), encoder=self.encoder, seed=self.seed
+            )
+            self._base_set = builder.build(max_size)
+            self._sets = {}
+            self._tuners = {}
+        return self._base_set
+
+    def training_set(self, size: int) -> TrainingSet:
+        """A training set of ~``size`` points (nested subsample of the base)."""
+        if size not in self._sets:
+            base = self.base_training_set(size)
+            self._sets[size] = base.subset_points(size, rng_seed=self.seed)
+        return self._sets[size]
+
+    def tuner(self, size: int) -> OrdinalAutotuner:
+        """A trained ordinal-regression tuner for the given set size."""
+        if size not in self._tuners:
+            tuner = OrdinalAutotuner(
+                encoder=self.encoder,
+                config=RankSVMConfig(C=self.C, seed=self.seed),
+            )
+            tuner.train(self.training_set(size))
+            self._tuners[size] = tuner
+        return self._tuners[size]
+
+    # -- searches ----------------------------------------------------------------
+
+    def search(self, name: str, instance: StencilInstance) -> SearchAlgorithm:
+        """A fresh, independently seeded search algorithm for one instance."""
+        cls = SEARCH_METHODS[name]
+        return cls(
+            space=patus_space(instance.dims),
+            machine=self.machine.fork(),
+            seed=self.seed,
+        )

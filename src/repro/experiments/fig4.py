@@ -1,0 +1,136 @@
+"""Fig. 4: speedup over the GA-1024 base configuration, all 17 benchmarks.
+
+For every test benchmark the paper compares, relative to the best solution
+a generational GA finds in 1024 evaluations:
+
+* the other three searches at 1024 evaluations each;
+* the ordinal-regression model's top-ranked configuration from the
+  pre-defined candidate set, at four training sizes (960 / 3840 / 6720 /
+  16000).
+
+Speedups use noise-free ground-truth times (measurement noise would only
+blur the comparison; the paper's bars average repeated runs to the same
+effect).  A speedup > 1 means the method beat the GA's solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    SEARCH_METHODS,
+    ExperimentContext,
+    experiment_scale,
+)
+from repro.stencil.execution import StencilExecution
+from repro.stencil.suite import TEST_BENCHMARKS, benchmark_by_id
+from repro.tuning.presets import preset_candidates
+from repro.util.tables import Table
+
+__all__ = ["Fig4Config", "Fig4Result", "run_fig4", "format_fig4"]
+
+PAPER_TRAINING_SIZES = (960, 3840, 6720, 16000)
+SMALL_TRAINING_SIZES = (960, 3840)
+SMALL_BENCHMARKS = (
+    "blur-1024x768",
+    "tricubic-256x256x256",
+    "edge-512x512",
+    "divergence-128x128x128",
+    "gradient-256x256x256",
+    "laplacian-128x128x128",
+)
+
+
+@dataclass
+class Fig4Config:
+    """Benchmarks, budget and model sizes; defaults follow REPRO_SCALE."""
+
+    benchmarks: tuple[str, ...] = field(
+        default_factory=lambda: tuple(i.label() for i in TEST_BENCHMARKS)
+        if experiment_scale() == "paper"
+        else SMALL_BENCHMARKS
+    )
+    evaluations: int = field(
+        default_factory=lambda: 1024 if experiment_scale() == "paper" else 256
+    )
+    training_sizes: tuple[int, ...] = field(
+        default_factory=lambda: PAPER_TRAINING_SIZES
+        if experiment_scale() == "paper"
+        else SMALL_TRAINING_SIZES
+    )
+    seed: int = 0
+
+
+@dataclass
+class Fig4Result:
+    """speedups[benchmark][method] relative to the GA base configuration."""
+
+    speedups: dict[str, dict[str, float]]
+    base_times: dict[str, float]
+    evaluations: int
+
+
+def run_fig4(
+    config: "Fig4Config | None" = None, context: "ExperimentContext | None" = None
+) -> Fig4Result:
+    """Run all searches and tuners on every configured benchmark."""
+    config = config or Fig4Config()
+    context = context or ExperimentContext(seed=config.seed)
+    machine = context.machine
+    context.base_training_set(max(config.training_sizes))
+
+    speedups: dict[str, dict[str, float]] = {}
+    base_times: dict[str, float] = {}
+    for label in config.benchmarks:
+        instance = benchmark_by_id(label)
+        candidates = preset_candidates(instance.dims)
+        per_method: dict[str, float] = {}
+
+        # searches (GA first: it defines the base configuration)
+        search_best: dict[str, float] = {}
+        for name in SEARCH_METHODS:
+            result = context.search(name, instance).tune(
+                instance, budget=config.evaluations
+            )
+            search_best[name] = machine.true_time(
+                StencilExecution(instance, result.best_tuning)
+            )
+        base = search_best["genetic algorithm"]
+        base_times[label] = base
+        for name, best_time in search_best.items():
+            per_method[f"{name} {config.evaluations} evaluations"] = base / best_time
+
+        # ordinal regression at each training size
+        for size in config.training_sizes:
+            tuner = context.tuner(size)
+            pick = tuner.best(instance, candidates)
+            t = machine.true_time(StencilExecution(instance, pick))
+            per_method[f"ord.regression C={context.C} size={size}"] = base / t
+
+        speedups[label] = per_method
+    return Fig4Result(
+        speedups=speedups, base_times=base_times, evaluations=config.evaluations
+    )
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Render one row per benchmark, one column per method."""
+    methods = list(next(iter(result.speedups.values())).keys())
+    table = Table(
+        ["benchmark", *methods],
+        title=(
+            "Fig. 4 — speedup vs base configuration found by a genetic "
+            f"algorithm after {result.evaluations} evaluations"
+        ),
+    )
+    for label, per_method in result.speedups.items():
+        table.add_row([label, *(per_method[m] for m in methods)])
+    return table.render(floatfmt=".3f")
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_fig4(run_fig4()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

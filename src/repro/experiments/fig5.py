@@ -1,0 +1,159 @@
+"""Fig. 5: search progress and time-to-solution for four stencils.
+
+The paper plots, for gradient 256³, tricubic 256³, blur 1024×768 and
+divergence 128³:
+
+* best-so-far performance (GFlop/s) of each search at evaluation counts
+  2⁰ … 2¹⁰;
+* the ordinal-regression tuners as horizontal lines (they spend no
+  evaluations);
+* a side bar chart of time-to-solution — accumulated testbed seconds for
+  the searches versus the milliseconds the model needs to rank candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    SEARCH_METHODS,
+    ExperimentContext,
+    experiment_scale,
+)
+from repro.stencil.execution import StencilExecution
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.presets import preset_candidates
+from repro.util.tables import Table, format_series
+
+__all__ = ["Fig5Config", "Fig5Result", "run_fig5", "format_fig5"]
+
+PAPER_STENCILS = (
+    "gradient-256x256x256",
+    "tricubic-256x256x256",
+    "blur-1024x768",
+    "divergence-128x128x128",
+)
+
+
+@dataclass
+class Fig5Config:
+    """Stencils, budget and model sizes; defaults follow REPRO_SCALE."""
+
+    stencils: tuple[str, ...] = field(
+        default_factory=lambda: PAPER_STENCILS
+        if experiment_scale() == "paper"
+        else PAPER_STENCILS[:2]
+    )
+    evaluations: int = field(
+        default_factory=lambda: 1024 if experiment_scale() == "paper" else 256
+    )
+    training_sizes: tuple[int, ...] = field(
+        default_factory=lambda: (960, 3840, 6720, 16000)
+        if experiment_scale() == "paper"
+        else (960, 3840)
+    )
+    seed: int = 0
+
+
+@dataclass
+class StencilProgress:
+    """All series for one stencil."""
+
+    label: str
+    checkpoints: list[int]
+    #: search name -> GFlop/s best-so-far at each checkpoint
+    search_curves: dict[str, list[float]]
+    #: "ord.regression size=N" -> constant GFlop/s level
+    regression_levels: dict[str, float]
+    #: method -> time-to-solution in seconds
+    time_to_solution: dict[str, float]
+
+
+@dataclass
+class Fig5Result:
+    """Per-stencil progress bundles."""
+
+    stencils: list[StencilProgress]
+
+
+def run_fig5(
+    config: "Fig5Config | None" = None, context: "ExperimentContext | None" = None
+) -> Fig5Result:
+    """Collect progress curves, regression levels and time-to-solution."""
+    config = config or Fig5Config()
+    context = context or ExperimentContext(seed=config.seed)
+    machine = context.machine
+    context.base_training_set(max(config.training_sizes))
+
+    max_exp = config.evaluations.bit_length() - 1
+    checkpoints = [2**e for e in range(max_exp + 1)]
+
+    out: list[StencilProgress] = []
+    for label in config.stencils:
+        instance = benchmark_by_id(label)
+        flops = instance.flops
+        candidates = preset_candidates(instance.dims)
+
+        curves: dict[str, list[float]] = {}
+        tts: dict[str, float] = {}
+        for name in SEARCH_METHODS:
+            result = context.search(name, instance).tune(
+                instance, budget=config.evaluations
+            )
+            curve = result.best_curve(checkpoints)
+            curves[name] = [flops / curve[k] / 1e9 for k in checkpoints]
+            tts[name] = result.total_wall_s
+
+        levels: dict[str, float] = {}
+        for size in config.training_sizes:
+            tuner = context.tuner(size)
+            pick = tuner.best(instance, candidates)
+            t = machine.true_time(StencilExecution(instance, pick))
+            key = f"ord.regression size={size}"
+            levels[key] = flops / t / 1e9
+            tts[key] = tuner.last_rank_seconds
+
+        out.append(
+            StencilProgress(
+                label=label,
+                checkpoints=checkpoints,
+                search_curves=curves,
+                regression_levels=levels,
+                time_to_solution=tts,
+            )
+        )
+    return Fig5Result(stencils=out)
+
+
+def format_fig5(result: Fig5Result) -> str:
+    """Render curve tables plus time-to-solution bars per stencil."""
+    blocks: list[str] = []
+    for sp in result.stencils:
+        blocks.append(
+            format_series(
+                sp.checkpoints,
+                sp.search_curves,
+                x_label="evaluations",
+                floatfmt=".2f",
+                title=f"Fig. 5 — {sp.label}: best-so-far GFlop/s",
+            )
+        )
+        level_table = Table(
+            ["model", "GFlop/s"], title="ordinal-regression levels (no evaluations)"
+        )
+        for name, level in sp.regression_levels.items():
+            level_table.add_row([name, level])
+        blocks.append(level_table.render(floatfmt=".2f"))
+        tts_table = Table(["method", "time-to-solution"], title="time-to-solution")
+        for name, seconds in sp.time_to_solution.items():
+            tts_table.add_row([name, f"{seconds:.4g}s"])
+        blocks.append(tts_table.render())
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_fig5(run_fig5()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

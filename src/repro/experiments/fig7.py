@@ -1,0 +1,109 @@
+"""Fig. 7: the Kendall-τ distribution across training-set sizes.
+
+The paper's box/violin plot over twelve sizes (960 … 32000, C = 0.01):
+the median improves slightly with more data while the variance shrinks
+markedly — the ranking quality *stabilizes*.  This harness reports the
+box-plot numbers (quartiles, whiskers, median) and an ASCII density sketch
+per size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext, experiment_scale
+from repro.util.tables import Table, format_histogram
+
+__all__ = ["Fig7Config", "Fig7Result", "run_fig7", "format_fig7"]
+
+PAPER_SIZES = (960, 1920, 2880, 3840, 4800, 5760, 6720, 7680, 8640, 9600, 16000, 32000)
+SMALL_SIZES = (960, 1920, 3840, 7680)
+
+
+@dataclass
+class Fig7Config:
+    """Training sizes to sweep; defaults follow REPRO_SCALE."""
+
+    sizes: tuple[int, ...] = field(
+        default_factory=lambda: PAPER_SIZES
+        if experiment_scale() == "paper"
+        else SMALL_SIZES
+    )
+    seed: int = 0
+
+
+@dataclass
+class Fig7Result:
+    """τ distribution per size."""
+
+    taus: dict[int, np.ndarray]
+
+    def box_stats(self, size: int) -> dict[str, float]:
+        """Median, quartiles, IQR whiskers and spread for one size."""
+        arr = self.taus[size]
+        q1, med, q3 = (float(np.percentile(arr, p)) for p in (25, 50, 75))
+        iqr = q3 - q1
+        return {
+            "median": med,
+            "q1": q1,
+            "q3": q3,
+            "iqr": iqr,
+            "lo_whisker": float(arr[arr >= q1 - 1.5 * iqr].min()),
+            "hi_whisker": float(arr[arr <= q3 + 1.5 * iqr].max()),
+            "std": float(arr.std()),
+        }
+
+
+def run_fig7(
+    config: "Fig7Config | None" = None, context: "ExperimentContext | None" = None
+) -> Fig7Result:
+    """Train at every size and collect the training-set τ distributions."""
+    config = config or Fig7Config()
+    context = context or ExperimentContext(seed=config.seed)
+    context.base_training_set(max(config.sizes))
+    taus: dict[int, np.ndarray] = {}
+    for size in config.sizes:
+        tuner = context.tuner(size)
+        data = context.training_set(size).data
+        assert tuner.model is not None
+        per_group = tuner.model.kendall_per_group(data)
+        taus[size] = np.array(list(per_group.values()))
+    return Fig7Result(taus=taus)
+
+
+def format_fig7(result: Fig7Result, histograms: bool = False) -> str:
+    """Render box-plot numbers per size (and optional ASCII densities)."""
+    table = Table(
+        ["size", "median", "q1", "q3", "iqr", "lo whisker", "hi whisker", "std"],
+        title="Fig. 7 — Kendall τ distribution vs training-set size (C = 0.01)",
+    )
+    for size in result.taus:
+        s = result.box_stats(size)
+        table.add_row(
+            [
+                size,
+                s["median"],
+                s["q1"],
+                s["q3"],
+                s["iqr"],
+                s["lo_whisker"],
+                s["hi_whisker"],
+                s["std"],
+            ]
+        )
+    blocks = [table.render(floatfmt=".3f")]
+    if histograms:
+        for size, arr in result.taus.items():
+            blocks.append(f"size={size}")
+            blocks.append(format_histogram(arr, bins=16, lo=-1.0, hi=1.0))
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_fig7(run_fig7(), histograms=True))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

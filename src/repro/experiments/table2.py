@@ -1,0 +1,104 @@
+"""Table II: computing time of the autotuning phases vs training-set size.
+
+For each training-set size the paper reports four columns:
+
+* **TS Comp.** — compiling all training codes (constant ≈ 32 h: binaries
+  depend on the code and unroll factor, not on how many points are drawn);
+* **TS Generation** — executing the training points (4 m … 145 m);
+* **Training** — fitting SVM-Rank (0.01 s … 0.36 s);
+* **Regression** — ranking a candidate set with the trained model (< 1 ms).
+
+Compilation and generation are *simulated-testbed* seconds from the
+accounting models; training and regression are *measured* wall-clock of
+this implementation (expect a constant-factor gap to the paper's C binary —
+recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ExperimentContext, experiment_scale
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.presets import preset_candidates
+from repro.util.tables import Table
+from repro.util.timing import format_seconds
+
+__all__ = ["Table2Config", "Table2Result", "run_table2", "format_table2"]
+
+PAPER_SIZES = (960, 1920, 2880, 3840, 4800, 5760, 6720, 7680, 8640, 9600, 16000, 32000)
+SMALL_SIZES = (960, 3840, 9600)
+
+
+@dataclass
+class Table2Config:
+    """Sizes to sweep; defaults follow REPRO_SCALE."""
+
+    sizes: tuple[int, ...] = field(
+        default_factory=lambda: PAPER_SIZES
+        if experiment_scale() == "paper"
+        else SMALL_SIZES
+    )
+    seed: int = 0
+
+
+@dataclass
+class Table2Result:
+    """One row per training-set size."""
+
+    rows: list[dict[str, float]]
+
+
+def run_table2(
+    config: "Table2Config | None" = None, context: "ExperimentContext | None" = None
+) -> Table2Result:
+    """Measure all four phases at every size."""
+    config = config or Table2Config()
+    context = context or ExperimentContext(seed=config.seed)
+    # rank target: the biggest candidate set (8640 3-D configs), as in §VI-A
+    rank_instance = benchmark_by_id("laplacian-128x128x128")
+    candidates = preset_candidates(3)
+
+    rows: list[dict[str, float]] = []
+    context.base_training_set(max(config.sizes))
+    for size in config.sizes:
+        ts = context.training_set(size)
+        tuner = context.tuner(size)
+        tuner.score_candidates(rank_instance, candidates)  # warm + measure
+        rows.append(
+            {
+                "size": float(len(ts)),
+                "ts_comp_s": ts.compile_wall_s,
+                "ts_generation_s": ts.generation_wall_s,
+                "training_s": tuner.last_train_seconds,
+                "regression_s": tuner.last_rank_seconds,
+            }
+        )
+    return Table2Result(rows=rows)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render in the paper's column layout."""
+    table = Table(
+        ["TS Size", "TS Comp.", "TS Generation", "Training", "Regression"],
+        title="Table II — computing time of the autotuning phases",
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                int(row["size"]),
+                format_seconds(row["ts_comp_s"]),
+                format_seconds(row["ts_generation_s"]),
+                f"{row['training_s']:.2f}s",
+                format_seconds(row["regression_s"]),
+            ]
+        )
+    return table.render()
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(format_table2(run_table2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

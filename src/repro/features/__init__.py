@@ -1,0 +1,23 @@
+"""Feature encoding: stencil executions → normalized vectors (paper §III).
+
+The paper maps every stencil execution ``(k, s, t)`` onto a single feature
+vector with all components normalized to ``[0, 1]``: the pattern as a dense
+(2R+1)³ occupancy matrix, the buffer count and scalar type, the input size,
+and the tuning parameters.
+
+One subtlety this reproduction makes explicit: with a *linear* ranking
+function over concatenated features, any feature that is constant within a
+query (all the instance features!) cancels out of every pairwise ranking
+constraint, so a purely concatenated encoding can only learn one global
+preference over tuning vectors.  :class:`FeatureEncoder` therefore offers
+``interactions=True`` (default) which adds products of tuning features with
+a compact instance descriptor — keeping the model linear (the paper's
+SVM-Rank machinery is unchanged) while letting rankings depend on the
+stencil and its size.  ``interactions=False`` gives the paper-literal
+concatenation; the ablation benchmark quantifies the difference.
+"""
+
+from repro.features.normalize import lin_norm, log2_norm, log_norm
+from repro.features.encoder import FeatureEncoder
+
+__all__ = ["FeatureEncoder", "lin_norm", "log2_norm", "log_norm"]

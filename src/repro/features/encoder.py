@@ -1,0 +1,303 @@
+"""The stencil-execution feature encoder (paper §III).
+
+Layout of the encoded vector (all components in ``[0, 1]``):
+
+1. **Pattern block** (optional, ``(2R+1)³`` entries, default R = 3 → 343):
+   the dense access-count matrix, counts normalized by the maximum count.
+   2-D patterns occupy the central z-plane, exactly as the paper maps both
+   dimensionalities into one space.
+2. **Instance scalars** (9): dimensionality flag, buffer count, dtype flag,
+   log-normalized sizes, radius, distinct points, reads per point.
+3. **Tuning block** (19): log-normalized block sizes, linear unroll, log
+   chunk, log block volume, per-axis block/size fit ratios, no-unroll flag,
+   plus *squared* block/unroll/chunk/volume terms and block-product cross
+   terms.  The quadratic basis matters: a linear scorer over monotone
+   features can only prefer the smallest or largest block, while real
+   blocking landscapes have interior optima — ``a·by + b·by²`` can place a
+   peak anywhere.
+4. **Interaction block** (optional, 19 × 14 = 266): outer product of the
+   tuning block with a compact instance descriptor.  Products of ``[0, 1]``
+   features stay in ``[0, 1]``.
+
+Batch encoding is vectorized: the per-instance parts are computed once and
+broadcast, so ranking 8640 candidate tunings costs one numpy pass (this is
+what makes model-based ranking "less than 1 ms per query" — Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.normalize import lin_norm, log_norm
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+
+__all__ = ["FeatureEncoder"]
+
+# normalization bounds shared by all encoders (library-wide constants)
+_SIZE_LO, _SIZE_HI = 16.0, 4096.0
+_BLOCK_LO, _BLOCK_HI = 1.0, 1024.0
+_VOLUME_LO, _VOLUME_HI = 1.0, 2.0**30
+_UNROLL_HI = 8.0
+_CHUNK_LO, _CHUNK_HI = 1.0, 16.0
+_MAX_POINTS = 128.0
+_MAX_READS = 128.0
+_MAX_BUFFERS = 4.0
+_MAX_RADIUS = 3.0
+
+
+@dataclass(frozen=True)
+class FeatureEncoder:
+    """Encodes instances × tunings into feature matrices.
+
+    >>> from repro.stencil import benchmark_by_id
+    >>> from repro.tuning import TuningVector
+    >>> enc = FeatureEncoder()
+    >>> inst = benchmark_by_id("laplacian-128x128x128")
+    >>> x = enc.encode(inst, TuningVector(64, 8, 8, 2, 1))
+    >>> x.shape == (enc.num_features,)
+    True
+    >>> bool((x >= 0).all() and (x <= 1).all())
+    True
+    """
+
+    max_radius: int = 3
+    include_pattern: bool = True
+    interactions: bool = True
+    _pattern_cells: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.max_radius < 1:
+            raise ValueError(f"max_radius must be >= 1, got {self.max_radius}")
+        side = 2 * self.max_radius + 1
+        object.__setattr__(
+            self, "_pattern_cells", side**3 if self.include_pattern else 0
+        )
+
+    # -- layout ---------------------------------------------------------------
+
+    N_INSTANCE = 9
+    N_TUNING = 19
+    N_DESCRIPTOR = 14
+
+    @property
+    def num_features(self) -> int:
+        """Total encoded dimensionality."""
+        n = self._pattern_cells + self.N_INSTANCE + self.N_TUNING
+        if self.interactions:
+            n += self.N_TUNING * self.N_DESCRIPTOR
+        return n
+
+    def feature_names(self) -> list[str]:
+        """Human-readable name per feature index (diagnostics, model dumps)."""
+        names: list[str] = []
+        r = self.max_radius
+        if self.include_pattern:
+            for dx in range(-r, r + 1):
+                for dy in range(-r, r + 1):
+                    for dz in range(-r, r + 1):
+                        names.append(f"pat[{dx},{dy},{dz}]")
+        names += [
+            "inst.is3d",
+            "inst.buffers",
+            "inst.dtype",
+            "inst.log_sx",
+            "inst.log_sy",
+            "inst.log_sz",
+            "inst.radius",
+            "inst.points",
+            "inst.reads",
+        ]
+        tuning_names = [
+            "tune.bx",
+            "tune.by",
+            "tune.bz",
+            "tune.unroll",
+            "tune.chunk",
+            "tune.volume",
+            "tune.fit_x",
+            "tune.fit_y",
+            "tune.fit_z",
+            "tune.no_unroll",
+            "tune.bx2",
+            "tune.by2",
+            "tune.bz2",
+            "tune.unroll2",
+            "tune.chunk2",
+            "tune.volume2",
+            "tune.bxby",
+            "tune.bybz",
+            "tune.bxbz",
+        ]
+        names += tuning_names
+        if self.interactions:
+            desc_names = [
+                "one",
+                "log_sx",
+                "log_sy",
+                "log_sz",
+                "is3d",
+                "radius",
+                "points",
+                "reads",
+                "dtype",
+                "buffers",
+                "zplanes",
+                "yplanes",
+                "xspan",
+                "mem_intensity",
+            ]
+            for t in tuning_names:
+                for d in desc_names:
+                    names.append(f"{t}*{d}")
+        assert len(names) == self.num_features
+        return names
+
+    # -- per-part encoders ---------------------------------------------------
+
+    def pattern_features(self, instance: StencilInstance) -> np.ndarray:
+        """Dense normalized pattern block (empty if disabled)."""
+        if not self.include_pattern:
+            return np.empty(0)
+        pattern = instance.kernel.pattern
+        if pattern.radius > self.max_radius:
+            raise ValueError(
+                f"kernel {instance.kernel.name!r} radius {pattern.radius} exceeds "
+                f"encoder max_radius {self.max_radius}"
+            )
+        dense = pattern.to_dense(self.max_radius).astype(float)
+        peak = dense.max()
+        if peak > 0:
+            dense /= peak
+        return dense.ravel()
+
+    def instance_features(self, instance: StencilInstance) -> np.ndarray:
+        """The 9 instance scalars."""
+        k = instance.kernel
+        sx, sy, sz = instance.size
+        return np.array(
+            [
+                1.0 if k.dims == 3 else 0.0,
+                lin_norm(k.num_buffers, 0, _MAX_BUFFERS),
+                k.dtype.feature,
+                log_norm(sx, _SIZE_LO, _SIZE_HI),
+                log_norm(sy, _SIZE_LO, _SIZE_HI),
+                log_norm(max(sz, 1), 1.0, _SIZE_HI) if sz > 1 else 0.0,
+                lin_norm(k.radius, 0, _MAX_RADIUS),
+                lin_norm(k.pattern.num_points, 0, _MAX_POINTS),
+                lin_norm(k.reads_per_point, 0, _MAX_READS),
+            ]
+        )
+
+    def instance_descriptor(self, instance: StencilInstance) -> np.ndarray:
+        """Compact descriptor used in the interaction block."""
+        k = instance.kernel
+        sx, sy, sz = instance.size
+        p = k.pattern
+        rows_per_plane = p.planes(axis=1)
+        xmin, xmax = p.axis_span(0)
+        mem_intensity = lin_norm(
+            k.bytes_per_point / max(k.flops_per_point, 1), 0.0, 2.0
+        )
+        return np.array(
+            [
+                1.0,
+                log_norm(sx, _SIZE_LO, _SIZE_HI),
+                log_norm(sy, _SIZE_LO, _SIZE_HI),
+                log_norm(max(sz, 1), 1.0, _SIZE_HI) if sz > 1 else 0.0,
+                1.0 if k.dims == 3 else 0.0,
+                lin_norm(k.radius, 0, _MAX_RADIUS),
+                lin_norm(p.num_points, 0, _MAX_POINTS),
+                lin_norm(k.reads_per_point, 0, _MAX_READS),
+                k.dtype.feature,
+                lin_norm(k.num_buffers, 0, _MAX_BUFFERS),
+                lin_norm(p.planes(axis=2), 0, 7),
+                lin_norm(rows_per_plane, 0, 7),
+                lin_norm(xmax - xmin, 0, 7),
+                mem_intensity,
+            ]
+        )
+
+    def tuning_features(
+        self, instance: StencilInstance, tunings: Sequence[TuningVector]
+    ) -> np.ndarray:
+        """Vectorized ``(n, 10)`` tuning block for one instance."""
+        raw = np.array([t.as_tuple() for t in tunings], dtype=float)
+        bx, by, bz, u, c = raw.T
+        sx, sy, sz = (float(v) for v in instance.size)
+        bx_n = log_norm(bx, _BLOCK_LO, _BLOCK_HI)
+        by_n = log_norm(by, _BLOCK_LO, _BLOCK_HI)
+        bz_n = log_norm(bz, _BLOCK_LO, _BLOCK_HI)
+        u_n = lin_norm(u, 0.0, _UNROLL_HI)
+        c_n = log_norm(c, _CHUNK_LO, _CHUNK_HI)
+        vol_n = log_norm(bx * by * bz, _VOLUME_LO, _VOLUME_HI)
+        cols = [
+            bx_n,
+            by_n,
+            bz_n,
+            u_n,
+            c_n,
+            vol_n,
+            np.minimum(bx, sx) / sx,
+            np.minimum(by, sy) / sy,
+            np.minimum(bz, sz) / sz,
+            (u == 0).astype(float),
+            bx_n**2,
+            by_n**2,
+            bz_n**2,
+            u_n**2,
+            c_n**2,
+            vol_n**2,
+            bx_n * by_n,
+            by_n * bz_n,
+            bx_n * bz_n,
+        ]
+        return np.column_stack(cols)
+
+    # -- public API -----------------------------------------------------------
+
+    def encode_batch(
+        self, instance: StencilInstance, tunings: Sequence[TuningVector]
+    ) -> np.ndarray:
+        """Encode many tunings of one instance: ``(n, num_features)``."""
+        n = len(tunings)
+        tune = self.tuning_features(instance, tunings)
+        parts = []
+        if self.include_pattern:
+            pat = self.pattern_features(instance)
+            parts.append(np.broadcast_to(pat, (n, pat.size)))
+        inst = self.instance_features(instance)
+        parts.append(np.broadcast_to(inst, (n, inst.size)))
+        parts.append(tune)
+        if self.interactions:
+            desc = self.instance_descriptor(instance)
+            inter = np.einsum("nt,d->ntd", tune, desc).reshape(n, -1)
+            parts.append(inter)
+        return np.concatenate(parts, axis=1)
+
+    def encode(
+        self, instance: StencilInstance, tuning: TuningVector
+    ) -> np.ndarray:
+        """Encode one execution as a 1-D feature vector."""
+        return self.encode_batch(instance, [tuning])[0]
+
+    def encode_execution(self, execution: StencilExecution) -> np.ndarray:
+        """Encode a :class:`StencilExecution` (convenience overload)."""
+        return self.encode(execution.instance, execution.tuning)
+
+    def encode_executions(
+        self, executions: Sequence[StencilExecution]
+    ) -> np.ndarray:
+        """Encode a heterogeneous list of executions, batching per instance."""
+        out = np.empty((len(executions), self.num_features))
+        by_instance: dict[StencilInstance, list[int]] = {}
+        for i, ex in enumerate(executions):
+            by_instance.setdefault(ex.instance, []).append(i)
+        for instance, idxs in by_instance.items():
+            block = self.encode_batch(instance, [executions[i].tuning for i in idxs])
+            out[idxs] = block
+        return out

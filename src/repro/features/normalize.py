@@ -1,0 +1,46 @@
+"""Scalar normalization helpers (everything lands in ``[0, 1]``).
+
+The paper requires each feature-vector component to be "a real value
+normalized to the interval [0, 1]".  Quantities spanning orders of magnitude
+(sizes, block volumes) use log-scale normalization so that doubling a block
+moves the feature by a constant step — matching how the landscape responds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lin_norm", "log_norm", "log2_norm"]
+
+
+def lin_norm(value: "float | np.ndarray", lo: float, hi: float) -> "float | np.ndarray":
+    """Linear map of ``[lo, hi]`` onto ``[0, 1]``, clipped.
+
+    >>> lin_norm(4, 0, 8)
+    0.5
+    """
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+    out = (np.asarray(value, dtype=float) - lo) / (hi - lo)
+    out = np.clip(out, 0.0, 1.0)
+    return float(out) if np.isscalar(value) or out.ndim == 0 else out
+
+
+def log_norm(value: "float | np.ndarray", lo: float, hi: float) -> "float | np.ndarray":
+    """Log-scale map of ``[lo, hi]`` onto ``[0, 1]``, clipped.
+
+    >>> round(log_norm(32, 2, 512), 4)
+    0.5
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got [{lo}, {hi}]")
+    v = np.maximum(np.asarray(value, dtype=float), lo)
+    out = (np.log(v) - np.log(lo)) / (np.log(hi) - np.log(lo))
+    out = np.clip(out, 0.0, 1.0)
+    return float(out) if np.isscalar(value) or out.ndim == 0 else out
+
+
+def log2_norm(value: "float | np.ndarray", lo: float, hi: float) -> "float | np.ndarray":
+    """Alias of :func:`log_norm` (base cancels); kept for call-site clarity
+    when the quantity is an exponent grid like power-of-two block sizes."""
+    return log_norm(value, lo, hi)

@@ -1,0 +1,142 @@
+"""The two traditional ML-autotuning strawmen the paper argues against (§IV-A).
+
+* :class:`RuntimeRegression` — "numerically model the performance with
+  regression": ridge regression on log-runtime.  Ranking candidates by
+  predicted runtime requires the model to get *absolute* performance right,
+  which the paper argues is a harder problem than ranking.
+* :class:`VariantClassifier` — "select the best variant from a finite set
+  of classes": a fixed codebook of tuning configurations (the winners seen
+  in training) and a one-vs-rest ridge classifier on instance features.
+  Its prediction quality is capped by the codebook — the class-coverage
+  problem the paper describes.
+
+Both expose the same scoring interface as :class:`~repro.learn.ranksvm.
+RankSVM` (higher score = predicted faster) so the ablation benchmarks can
+swap models freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ranking.partial import RankingGroups
+
+__all__ = ["RuntimeRegression", "VariantClassifier"]
+
+
+def _ridge_solve(A: np.ndarray, b: np.ndarray, alpha: float) -> np.ndarray:
+    """Ridge least squares via the normal equations (d × d solve)."""
+    d = A.shape[1]
+    gram = A.T @ A + alpha * np.eye(d)
+    return np.linalg.solve(gram, A.T @ b)
+
+
+@dataclass
+class RuntimeRegression:
+    """Ridge regression on log-runtime; scores are negated predictions."""
+
+    alpha: float = 1e-3
+    w_: np.ndarray | None = field(default=None, repr=False)
+    bias_: float = 0.0
+
+    def fit(self, data: RankingGroups) -> "RuntimeRegression":
+        """Least-squares fit of ``log(time) ≈ w·x + b``."""
+        y = np.log(np.asarray(data.times, dtype=float))
+        X = data.X
+        Xb = np.column_stack([X, np.ones(len(X))])
+        coef = _ridge_solve(Xb, y, self.alpha)
+        self.w_ = coef[:-1]
+        self.bias_ = float(coef[-1])
+        return self
+
+    def predict_log_time(self, X: np.ndarray) -> np.ndarray:
+        """Predicted log-runtime per row."""
+        if self.w_ is None:
+            raise RuntimeError("RuntimeRegression is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X @ self.w_ + self.bias_
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Higher = predicted faster (negated log-time)."""
+        return -self.predict_log_time(X)
+
+    def rank(self, X: np.ndarray) -> np.ndarray:
+        """Candidate indices best-first."""
+        return np.argsort(-self.decision_function(X), kind="stable")
+
+
+@dataclass
+class VariantClassifier:
+    """Best-variant classification with a winner codebook.
+
+    Training: for every instance group, the fastest execution's *tuning
+    feature block* becomes that group's class label; the ``num_classes``
+    most frequent winners form the codebook.  A one-vs-rest ridge model maps
+    instance features to class scores.
+
+    Scoring candidates: each candidate is scored by the (negated) distance
+    of its tuning features to the predicted class's codebook entry — the
+    classifier can only express "pick something close to a known winner".
+    """
+
+    num_classes: int = 16
+    alpha: float = 1e-2
+    #: column range of the tuning block inside the feature vector
+    tuning_slice: slice = field(default_factory=lambda: slice(None))
+    codebook_: np.ndarray | None = field(default=None, repr=False)
+    coef_: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, data: RankingGroups) -> "VariantClassifier":
+        """Build the codebook and train one-vs-rest ridge scorers."""
+        winners: list[np.ndarray] = []
+        instance_rows: list[np.ndarray] = []
+        for _, rows in data.iter_groups():
+            best = rows[np.argmin(data.times[rows])]
+            winners.append(data.X[best, self.tuning_slice])
+            instance_rows.append(data.X[best])
+        W = np.array(winners)
+        # cluster identical winners; keep the most frequent distinct ones
+        uniq, inv, counts = np.unique(
+            np.round(W, 6), axis=0, return_inverse=True, return_counts=True
+        )
+        top = np.argsort(-counts)[: self.num_classes]
+        self.codebook_ = uniq[top]
+        # assign every group to its nearest codebook class
+        labels = np.array(
+            [int(np.argmin(((self.codebook_ - w) ** 2).sum(axis=1))) for w in W]
+        )
+        X = np.array(instance_rows)
+        Xb = np.column_stack([X, np.ones(len(X))])
+        n_classes = self.codebook_.shape[0]
+        Y = -np.ones((len(X), n_classes))
+        Y[np.arange(len(X)), labels] = 1.0
+        self.coef_ = _ridge_solve(Xb, Y, self.alpha)
+        return self
+
+    def predict_class(self, x_instance: np.ndarray) -> int:
+        """Codebook index predicted for one (encoded) instance row."""
+        if self.coef_ is None or self.codebook_ is None:
+            raise RuntimeError("VariantClassifier is not fitted")
+        xb = np.append(np.asarray(x_instance, dtype=float), 1.0)
+        scores = xb @ self.coef_
+        return int(np.argmax(scores))
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Score candidates of one instance by closeness to the predicted winner.
+
+        All rows of ``X`` must belong to the same instance (as in candidate
+        ranking); the first row's instance features select the class.
+        """
+        if self.codebook_ is None:
+            raise RuntimeError("VariantClassifier is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        cls = self.predict_class(X[0])
+        target = self.codebook_[cls]
+        d = ((X[:, self.tuning_slice] - target) ** 2).sum(axis=1)
+        return -d
+
+    def rank(self, X: np.ndarray) -> np.ndarray:
+        """Candidate indices best-first."""
+        return np.argsort(-self.decision_function(X), kind="stable")

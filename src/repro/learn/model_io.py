@@ -1,0 +1,95 @@
+"""Model persistence.
+
+A trained autotuning model is the artifact the paper's workflow ships: the
+expensive training phase runs once per machine, then the model is loaded at
+compile time to rank candidates.  Models are stored as ``.npz`` archives
+holding the weight vector, the hyper-parameters and an encoder fingerprint
+so a model cannot silently be applied to a mismatched feature layout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(
+    model: RankSVM,
+    path: "str | Path",
+    encoder_fingerprint: str = "",
+) -> Path:
+    """Serialize a fitted :class:`RankSVM` to ``path`` (.npz)."""
+    if model.w_ is None:
+        raise ValueError("cannot save an unfitted model")
+    path = Path(path)
+    config = {
+        "C": model.config.C,
+        "margin": model.config.margin,
+        "solver": model.config.solver,
+        "max_iter": model.config.max_iter,
+        "tol": model.config.tol,
+        "max_pairs_per_group": model.config.max_pairs_per_group,
+        "tie_tol": model.config.tie_tol,
+        "seed": model.config.seed,
+    }
+    np.savez(
+        path,
+        w=model.w_,
+        meta=np.array(
+            json.dumps(
+                {
+                    "format_version": _FORMAT_VERSION,
+                    "config": config,
+                    "num_pairs": model.num_pairs_,
+                    "encoder_fingerprint": encoder_fingerprint,
+                }
+            )
+        ),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(
+    path: "str | Path", expect_fingerprint: str | None = None
+) -> RankSVM:
+    """Load a model saved by :func:`save_model`.
+
+    ``expect_fingerprint`` (if given) must match the fingerprint recorded at
+    save time — guards against pairing a model with the wrong encoder.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        w = archive["w"]
+        meta = json.loads(str(archive["meta"]))
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported model format: {meta.get('format_version')}")
+    if expect_fingerprint is not None:
+        stored = meta.get("encoder_fingerprint", "")
+        if stored != expect_fingerprint:
+            raise ValueError(
+                f"encoder fingerprint mismatch: model was trained with "
+                f"{stored!r}, expected {expect_fingerprint!r}"
+            )
+    cfg = meta["config"]
+    model = RankSVM(
+        RankSVMConfig(
+            C=cfg["C"],
+            margin=cfg["margin"],
+            solver=cfg["solver"],
+            max_iter=cfg["max_iter"],
+            tol=cfg["tol"],
+            max_pairs_per_group=cfg["max_pairs_per_group"],
+            tie_tol=cfg["tie_tol"],
+            seed=cfg["seed"],
+        )
+    )
+    model.w_ = np.asarray(w, dtype=float)
+    model.num_pairs_ = int(meta.get("num_pairs", 0))
+    return model

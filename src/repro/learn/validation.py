@@ -1,0 +1,108 @@
+"""Grouped cross-validation for the ranking model.
+
+The paper fixes ``C = 0.01`` (SVM-Rank's default); §VII notes parameter
+sensitivity as a study dimension.  This module provides the tooling a
+practitioner needs to *select* C on a new machine: k-fold cross-validation
+that splits **by instance group** (a stencil instance's executions must
+never straddle folds, otherwise the validation τ leaks training
+information), scoring each fold by mean per-group Kendall τ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.ranking.partial import RankingGroups
+from repro.util.rng import spawn
+
+__all__ = ["CVResult", "grouped_kfold", "cross_validate", "select_c"]
+
+
+def grouped_kfold(
+    groups: np.ndarray, k: int, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Split row indices into k folds without splitting any group.
+
+    Returns ``[(train_rows, test_rows), ...]`` with every group appearing
+    in exactly one test fold.
+    """
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    ids = np.unique(groups)
+    if ids.size < k:
+        raise ValueError(f"cannot make {k} folds from {ids.size} groups")
+    rng = spawn(seed, "grouped-kfold")
+    rng.shuffle(ids)
+    folds = np.array_split(ids, k)
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    for fold_ids in folds:
+        test_mask = np.isin(groups, fold_ids)
+        out.append((np.flatnonzero(~test_mask), np.flatnonzero(test_mask)))
+    return out
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Cross-validation outcome for one hyper-parameter setting."""
+
+    config: RankSVMConfig
+    fold_taus: tuple[float, ...]
+
+    @property
+    def mean_tau(self) -> float:
+        """Mean held-out τ across folds."""
+        return float(np.mean(self.fold_taus))
+
+    @property
+    def std_tau(self) -> float:
+        """Fold-to-fold standard deviation."""
+        return float(np.std(self.fold_taus))
+
+
+def cross_validate(
+    data: RankingGroups, config: RankSVMConfig, k: int = 4, seed: int = 0
+) -> CVResult:
+    """k-fold grouped CV of one configuration, scored by held-out τ."""
+    taus: list[float] = []
+    for train_rows, test_rows in grouped_kfold(np.asarray(data.groups), k, seed):
+        model = RankSVM(config).fit(data.subset(train_rows))
+        taus.append(model.mean_kendall(data.subset(test_rows)))
+    return CVResult(config=config, fold_taus=tuple(taus))
+
+
+def select_c(
+    data: RankingGroups,
+    c_grid: "tuple[float, ...]" = (1e-3, 1e-2, 1e-1, 1.0),
+    k: int = 4,
+    seed: int = 0,
+    base: "RankSVMConfig | None" = None,
+) -> tuple[RankSVMConfig, list[CVResult]]:
+    """Pick C by grouped CV; returns the winning config and all results.
+
+    Ties (within one fold standard error) resolve toward *smaller* C — the
+    conventional preference for the stronger regularizer.
+    """
+    base = base or RankSVMConfig()
+    results = []
+    for C in sorted(c_grid):
+        cfg = RankSVMConfig(
+            C=C,
+            margin=base.margin,
+            solver=base.solver,
+            pair_weighting=base.pair_weighting,
+            max_iter=base.max_iter,
+            tol=base.tol,
+            max_pairs_per_group=base.max_pairs_per_group,
+            tie_tol=base.tie_tol,
+            seed=base.seed,
+        )
+        results.append(cross_validate(data, cfg, k=k, seed=seed))
+    best = max(results, key=lambda r: r.mean_tau)
+    tolerance = best.std_tau / np.sqrt(max(k, 1))
+    for r in results:  # smallest C within one SE of the best
+        if r.mean_tau >= best.mean_tau - tolerance:
+            return r.config, results
+    return best.config, results

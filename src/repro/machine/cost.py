@@ -1,0 +1,117 @@
+"""ECM-style cost composition: one sweep's simulated execution time.
+
+The node-level time of a blocked, threaded stencil sweep is composed as
+
+``T_sweep = max(T_core, T_L2, T_L3, T_DRAM) · imbalance + T_overheads``
+
+where ``T_core`` comes from the SIMD/unroll model, the transfer terms from
+the layer-condition traffic model with per-level bandwidths, and imbalance /
+scheduling overhead from the chunking model.  The ``max`` expresses the
+bottleneck view of the execution-cache-memory model: a memory-bound stencil
+(e.g. the 7-point double-precision Laplacian at 256³) is insensitive to
+unrolling but very sensitive to blocking, while a compute-bound one (e.g.
+tricubic's 4×4×4 cube, 66 reads/point) behaves the other way around — the
+qualitative structure the paper's benchmarks exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cache import TrafficModel, TrafficReport
+from repro.machine.simd import SimdModel
+from repro.machine.spec import MachineSpec, XEON_E5_2680_V3
+from repro.machine.threads import ScheduleModel, ScheduleReport
+from repro.stencil.execution import StencilExecution
+
+__all__ = ["CostModel", "SweepCost"]
+
+
+@dataclass(frozen=True)
+class SweepCost:
+    """Breakdown of one sweep's noise-free execution time (seconds)."""
+
+    t_core: float
+    t_l2: float
+    t_l3: float
+    t_dram: float
+    schedule: ScheduleReport
+    traffic: TrafficReport
+    total_s: float
+
+    @property
+    def bottleneck(self) -> str:
+        """Which term dominates the node-level time."""
+        terms = {
+            "core": self.t_core,
+            "L2": self.t_l2,
+            "L3": self.t_l3,
+            "dram": self.t_dram,
+        }
+        return max(terms, key=terms.__getitem__)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True iff a transfer term (not the core) dominates."""
+        return self.bottleneck != "core"
+
+
+class CostModel:
+    """Noise-free sweep-time model for a given machine specification."""
+
+    def __init__(self, spec: MachineSpec = XEON_E5_2680_V3) -> None:
+        self.spec = spec
+        self.traffic_model = TrafficModel(spec)
+        self.simd_model = SimdModel(spec)
+        self.schedule_model = ScheduleModel(spec)
+
+    def sweep_cost(self, execution: StencilExecution) -> SweepCost:
+        """Full cost breakdown for one Jacobi sweep of ``execution``."""
+        spec = self.spec
+        inst = execution.instance
+        kernel = inst.kernel
+        tuning = execution.tuning
+
+        eff_block = execution.effective_block
+        ebx, eby, ebz = eff_block
+        tile_points = max(ebx * eby * ebz, 1)
+        sched = self.schedule_model.schedule(execution.num_tiles, tuning.chunk)
+        threads = sched.threads_used
+
+        # --- in-core compute --------------------------------------------
+        cycles = self.simd_model.cycles_per_point(kernel, ebx, tuning.unroll)
+        cycles += spec.row_overhead_cycles / ebx
+        cycles += spec.tile_overhead_cycles / tile_points
+        t_core = inst.num_points * cycles * spec.cycle_time_s() / threads
+
+        # --- cache / memory transfers ------------------------------------
+        traffic = self.traffic_model.analyze(
+            kernel, eff_block, threads, grid_points=inst.num_points
+        )
+        n = inst.num_points
+        # bytes crossing each boundary: L1 misses are served by L2, etc.
+        l2_bw = spec.cache("L2").bandwidth_gbs * 1e9 * threads
+        l3_bw = spec.cache("L3").bandwidth_gbs * 1e9 * threads
+        t_l2 = n * traffic.level_bytes["L1"] / l2_bw
+        t_l3 = n * traffic.level_bytes["L2"] / l3_bw
+        t_dram = n * traffic.level_bytes["L3"] / (spec.mem_bandwidth(threads) * 1e9)
+
+        t_node = max(t_core, t_l2, t_l3, t_dram)
+        total = t_node * sched.imbalance + sched.overhead_s
+        return SweepCost(
+            t_core=t_core,
+            t_l2=t_l2,
+            t_l3=t_l3,
+            t_dram=t_dram,
+            schedule=sched,
+            traffic=traffic,
+            total_s=total,
+        )
+
+    def sweep_time(self, execution: StencilExecution) -> float:
+        """Noise-free seconds per sweep."""
+        return self.sweep_cost(execution).total_s
+
+    def gflops(self, execution: StencilExecution) -> float:
+        """Noise-free sustained GFlop/s for the sweep."""
+        return execution.instance.flops / self.sweep_time(execution) / 1e9

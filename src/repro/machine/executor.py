@@ -1,0 +1,176 @@
+"""The simulated machine: measurement front-end over the cost model.
+
+:class:`SimulatedMachine` is the single entry point every other component
+uses to "run" a stencil variant.  It mirrors how the paper's testbed is
+used by the autotuners:
+
+* ``measure()`` performs a full autotuning **evaluation** — several timed
+  runs of one compiled variant — returning the median; it increments the
+  evaluation counter that search budgets are charged against;
+* ``wall_clock_cost()`` returns the simulated wall-clock seconds such an
+  evaluation would have consumed on the real machine (process setup plus
+  the timed sweeps), which feeds the time-to-solution accounting of Fig. 5
+  and Table II;
+* noise-free "true" times are available for analysis (``true_time``) so
+  ranking quality can be evaluated against ground truth.
+
+Sweep costs are cached per execution: the cost model is deterministic, so
+repeated queries are free — mirroring how a real harness caches binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cost import CostModel, SweepCost
+from repro.machine.noise import NoiseModel
+from repro.machine.spec import MachineSpec, XEON_E5_2680_V3
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+
+__all__ = ["Measurement", "SimulatedMachine"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of one autotuning evaluation (several timed runs)."""
+
+    execution: StencilExecution
+    times: tuple[float, ...]
+
+    @property
+    def time(self) -> float:
+        """Median run time in seconds — the value autotuners compare."""
+        return float(np.median(self.times))
+
+    @property
+    def best(self) -> float:
+        """Fastest observed run."""
+        return float(min(self.times))
+
+    @property
+    def gflops(self) -> float:
+        """Sustained GFlop/s at the median time."""
+        return self.execution.instance.flops / self.time / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"Measurement({self.execution.instance.label()}, "
+            f"t={self.time * 1e3:.3f}ms, {self.gflops:.2f} GFlop/s)"
+        )
+
+
+class SimulatedMachine:
+    """Measurement provider shared by training, search and experiments."""
+
+    #: fixed per-evaluation process/setup overhead on the simulated testbed
+    SETUP_SECONDS = 0.05
+    #: timed sweeps per run (kernels are run repeatedly and averaged)
+    SWEEPS_PER_RUN = 5
+
+    def __init__(
+        self,
+        spec: MachineSpec = XEON_E5_2680_V3,
+        noise: NoiseModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.noise = NoiseModel(seed=seed) if noise is None else noise
+        self.cost_model = CostModel(spec)
+        self._cost_cache: dict[StencilExecution, SweepCost] = {}
+        self.evaluations = 0
+        self.simulated_wall_s = 0.0
+
+    # -- core measurement API ------------------------------------------------
+
+    def sweep_cost(self, execution: StencilExecution) -> SweepCost:
+        """Cached noise-free cost breakdown."""
+        cost = self._cost_cache.get(execution)
+        if cost is None:
+            cost = self.cost_model.sweep_cost(execution)
+            self._cost_cache[execution] = cost
+        return cost
+
+    def true_time(self, execution: StencilExecution) -> float:
+        """Noise-free seconds per sweep (ground truth for rank evaluation)."""
+        return self.sweep_cost(execution).total_s
+
+    def run_time(self, execution: StencilExecution, repeat: int = 0) -> float:
+        """One noisy run (does not charge the evaluation budget)."""
+        base = self.true_time(execution)
+        return base * self.noise.factor(execution.stable_hash(), repeat)
+
+    def measure(self, execution: StencilExecution, repeats: int = 3) -> Measurement:
+        """One autotuning evaluation: ``repeats`` timed runs, median reported.
+
+        Charges one unit of evaluation budget and accumulates the simulated
+        wall-clock the evaluation would have cost on the real testbed.
+        """
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        times = tuple(self.run_time(execution, r) for r in range(repeats))
+        self.evaluations += 1
+        self.simulated_wall_s += self.wall_clock_cost(execution, repeats)
+        return Measurement(execution, times)
+
+    def measure_tuning(
+        self,
+        instance: StencilInstance,
+        tuning: TuningVector,
+        repeats: int = 3,
+    ) -> Measurement:
+        """Convenience: measure ``instance`` under ``tuning``."""
+        return self.measure(StencilExecution(instance, tuning), repeats)
+
+    def wall_clock_cost(self, execution: StencilExecution, repeats: int = 3) -> float:
+        """Simulated testbed seconds for one evaluation of ``execution``."""
+        per_run = self.true_time(execution) * self.SWEEPS_PER_RUN
+        return self.SETUP_SECONDS + repeats * per_run
+
+    # -- derived conveniences --------------------------------------------------
+
+    def gflops(self, execution: StencilExecution) -> float:
+        """Noise-free sustained GFlop/s."""
+        return execution.instance.flops / self.true_time(execution) / 1e9
+
+    def true_times(
+        self, instance: StencilInstance, tunings: list[TuningVector]
+    ) -> np.ndarray:
+        """Vector of noise-free times for many tunings of one instance."""
+        return np.array(
+            [self.true_time(StencilExecution(instance, t)) for t in tunings]
+        )
+
+    def best_tuning(
+        self, instance: StencilInstance, tunings: list[TuningVector]
+    ) -> tuple[TuningVector, float]:
+        """Ground-truth best tuning among candidates (oracle, for analysis)."""
+        times = self.true_times(instance, tunings)
+        idx = int(np.argmin(times))
+        return tunings[idx], float(times[idx])
+
+    # -- budget accounting -------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the evaluation counter and simulated wall clock."""
+        self.evaluations = 0
+        self.simulated_wall_s = 0.0
+
+    def fork(self) -> "SimulatedMachine":
+        """A fresh machine sharing spec/noise but with independent counters.
+
+        Search-method comparisons give each algorithm its own fork so budget
+        accounting never leaks between competitors, while the underlying
+        deterministic timings stay identical.
+        """
+        clone = SimulatedMachine(self.spec, self.noise)
+        clone._cost_cache = self._cost_cache  # deterministic → shareable
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedMachine({self.spec.name!r}, evaluations={self.evaluations})"
+        )

@@ -1,0 +1,42 @@
+"""Measurement-noise model.
+
+Real autotuning measurements jitter: frequency scaling, cache/TLB state and
+OS interference perturb every run by a few percent, with occasional larger
+spikes.  The noise model reproduces that with a multiplicative log-normal
+term plus a rare positive outlier, and is **deterministically seeded** from
+the execution's stable hash and the repeat index — so re-measuring the same
+variant returns the same sequence of times (experiments are reproducible
+end to end), while different variants get independent draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import spawn
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative noise: ``t_observed = t_true · exp(N(0, σ)) · spike``."""
+
+    sigma: float = 0.02
+    #: probability of an OS-interference spike on any single run
+    spike_probability: float = 0.01
+    #: spike magnitude (multiplier on the run time)
+    spike_factor: float = 1.12
+    seed: int = 0
+
+    def factor(self, execution_hash: int, repeat: int = 0) -> float:
+        """Noise multiplier for the ``repeat``-th run of a given execution."""
+        rng = spawn(self.seed, "noise", execution_hash, repeat)
+        f = float(rng.lognormal(mean=0.0, sigma=self.sigma)) if self.sigma > 0 else 1.0
+        if self.spike_probability > 0 and rng.random() < self.spike_probability:
+            f *= self.spike_factor
+        return f
+
+    def exact(self) -> "NoiseModel":
+        """A copy with noise disabled (used by analysis tools and tests)."""
+        return NoiseModel(sigma=0.0, spike_probability=0.0, seed=self.seed)

@@ -1,0 +1,72 @@
+"""Roofline diagnostics for the simulated machine.
+
+A practitioner's sanity lens over the cost model: for any kernel, compute
+its arithmetic intensity (flops per DRAM byte at the *best achievable*
+traffic), locate it against the machine's compute and bandwidth roofs, and
+classify it memory- or compute-bound.  The experiment harnesses use this to
+explain *why* e.g. tricubic tunes easily (far into the compute region —
+blocking barely matters) while the double-precision Laplacians live under
+the bandwidth roof where blocking is everything, mirroring the paper's
+per-benchmark discussion of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec, XEON_E5_2680_V3
+from repro.stencil.kernel import StencilKernel
+
+__all__ = ["RooflinePoint", "roofline", "ridge_intensity"]
+
+
+def ridge_intensity(spec: MachineSpec, dtype: "str") -> float:
+    """Flops/byte where the compute roof meets the bandwidth roof."""
+    peak = spec.peak_gflops(dtype) * spec.codegen_efficiency
+    return peak / spec.mem_bandwidth_gbs
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel located on the roofline."""
+
+    kernel_name: str
+    #: flops per DRAM byte assuming perfect in-cache reuse
+    arithmetic_intensity: float
+    #: attainable GFlop/s = min(compute roof, intensity × bandwidth)
+    attainable_gflops: float
+    #: the machine's ridge point (flops/byte)
+    ridge: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """True iff the kernel sits left of the ridge."""
+        return self.arithmetic_intensity < self.ridge
+
+
+def roofline(
+    kernel: StencilKernel, spec: MachineSpec = XEON_E5_2680_V3
+) -> RooflinePoint:
+    """Locate a kernel on the machine's roofline.
+
+    Intensity uses the *compulsory* traffic (each input grid streamed once
+    plus write-allocate + write-back of the output) — the best any blocking
+    can achieve, hence an upper bound on attainable performance.
+
+    >>> from repro.stencil.suite import get_benchmark
+    >>> roofline(get_benchmark("laplacian").kernel).memory_bound
+    True
+    >>> roofline(get_benchmark("tricubic").kernel).memory_bound
+    False
+    """
+    itemsize = kernel.dtype.itemsize
+    compulsory_bytes = (kernel.num_buffers + 2.0) * itemsize  # inputs + WA + WB
+    intensity = kernel.flops_per_point / compulsory_bytes
+    compute_roof = spec.peak_gflops(kernel.dtype) * spec.codegen_efficiency
+    bandwidth_roof = intensity * spec.mem_bandwidth_gbs
+    return RooflinePoint(
+        kernel_name=kernel.name,
+        arithmetic_intensity=intensity,
+        attainable_gflops=min(compute_roof, bandwidth_roof),
+        ridge=ridge_intensity(spec, kernel.dtype.value),
+    )

@@ -1,0 +1,137 @@
+"""Machine specifications.
+
+:data:`XEON_E5_2680_V3` mirrors the paper's evaluation platform: a
+12-core Haswell-EP at 2.5 GHz with AVX2 (256-bit vectors, FMA), 32 KB L1d /
+256 KB L2 per core, a 30 MB shared L3, and four DDR4-2133 channels.
+
+The spec also carries *behavioral* calibration constants (code-generation
+efficiency, loop and scheduling overheads).  Absolute times produced by the
+model are not meant to match the authors' silicon — the reproduction
+compares performance *shapes* — but the constants are chosen so GFlop/s
+magnitudes land in the ranges the paper's Fig. 5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stencil.kernel import DType
+from repro.util.validation import check_positive
+
+__all__ = ["CacheLevel", "MachineSpec", "XEON_E5_2680_V3"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    ``size_bytes`` is the total capacity of the unit (per-core for private
+    levels, whole-chip for shared ones); ``bandwidth_gbs`` is the sustained
+    bandwidth *per core* to the next-closer level.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 64
+    shared: bool = False
+    bandwidth_gbs: float = 100.0
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("line_bytes", self.line_bytes)
+        check_positive("bandwidth_gbs", self.bandwidth_gbs)
+
+    def effective_capacity(self, threads: int) -> int:
+        """Capacity available to one thread (shared levels are divided)."""
+        if self.shared:
+            return self.size_bytes // max(threads, 1)
+        return self.size_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Complete description of the simulated machine."""
+
+    name: str
+    cores: int
+    freq_ghz: float
+    simd_bytes: int = 32  # AVX2: 256-bit vectors
+    fma_ports: int = 2
+    load_ports: int = 2
+    caches: tuple[CacheLevel, ...] = field(default_factory=tuple)
+    #: sustained DRAM bandwidth with all cores streaming (GB/s)
+    mem_bandwidth_gbs: float = 52.0
+    #: sustained DRAM bandwidth of a single core (GB/s)
+    mem_bandwidth_single_gbs: float = 11.0
+    #: fraction of theoretical core throughput that generated stencil code
+    #: actually sustains (address arithmetic, imperfect scheduling, ...)
+    codegen_efficiency: float = 0.12
+    #: overhead per dynamically scheduled OpenMP chunk (microseconds)
+    chunk_overhead_us: float = 0.35
+    #: one-time parallel-region fork/join overhead (microseconds)
+    parallel_overhead_us: float = 6.0
+    #: per-(y,z)-row loop start/stop cost (cycles)
+    row_overhead_cycles: float = 9.0
+    #: per-tile prologue/epilogue cost (cycles)
+    tile_overhead_cycles: float = 160.0
+    #: number of architectural vector registers (register-pressure model)
+    vector_registers: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("freq_ghz", self.freq_ghz)
+        check_positive("simd_bytes", self.simd_bytes)
+        if len(self.caches) < 1:
+            raise ValueError("a machine needs at least one cache level")
+
+    # -- derived quantities -------------------------------------------------
+
+    def lanes(self, dtype: DType | str) -> int:
+        """SIMD lanes for the scalar type (8 float / 4 double for AVX2)."""
+        return self.simd_bytes // DType.parse(dtype).itemsize
+
+    def peak_flops_per_cycle(self, dtype: DType | str) -> float:
+        """Per-core peak: FMA ports × lanes × 2 flops."""
+        return self.fma_ports * self.lanes(dtype) * 2.0
+
+    def peak_gflops(self, dtype: DType | str, cores: int | None = None) -> float:
+        """Chip peak GFlop/s for ``cores`` cores (default: all)."""
+        n = self.cores if cores is None else cores
+        return self.peak_flops_per_cycle(dtype) * self.freq_ghz * n
+
+    def mem_bandwidth(self, threads: int) -> float:
+        """Sustained DRAM bandwidth (GB/s) for ``threads`` streaming cores.
+
+        A standard saturation curve: bandwidth rises with core count and
+        saturates near the chip limit (a single core cannot saturate DDR4).
+        """
+        t = max(1, min(threads, self.cores))
+        b_inf = self.mem_bandwidth_gbs
+        b_one = self.mem_bandwidth_single_gbs
+        # hyperbolic saturation through (1, b_one) with asymptote b_inf
+        k = b_one / (b_inf - b_one) if b_inf > b_one else 1e9
+        return b_inf * (k * t) / (1.0 + k * t)
+
+    def cycle_time_s(self) -> float:
+        """Seconds per cycle."""
+        return 1e-9 / self.freq_ghz
+
+    def cache(self, name: str) -> CacheLevel:
+        """Look up a cache level by name (e.g. ``"L2"``)."""
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise KeyError(name)
+
+
+#: The paper's evaluation platform (Intel Xeon E5-2680 v3, Haswell-EP).
+XEON_E5_2680_V3 = MachineSpec(
+    name="Intel Xeon E5-2680 v3",
+    cores=12,
+    freq_ghz=2.5,
+    caches=(
+        CacheLevel("L1", 32 * 1024, shared=False, bandwidth_gbs=130.0),
+        CacheLevel("L2", 256 * 1024, shared=False, bandwidth_gbs=60.0),
+        CacheLevel("L3", 30 * 1024 * 1024, shared=True, bandwidth_gbs=30.0),
+    ),
+)

@@ -1,0 +1,87 @@
+"""OpenMP work-distribution model (tiles, chunks, threads).
+
+PATUS assigns *chunks* of ``c`` consecutive tiles to threads.  The chunk
+size trades off two costs:
+
+* **dispatch overhead** — every chunk pays a scheduling cost, so tiny
+  chunks on a large tile grid waste time in the runtime;
+* **load imbalance** — with few, large chunks the last round of the
+  round-robin leaves threads idle (the classic ``ceil`` effect), and when
+  there are fewer chunks than threads some cores never work at all.
+
+The model computes an *imbalance factor* (≥ 1, the ratio of the busiest
+thread's work to the mean) and the serialized scheduling overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["ScheduleModel", "ScheduleReport"]
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Result of distributing a tile grid over threads."""
+
+    num_tiles: int
+    num_chunks: int
+    threads_used: int
+    #: busiest-thread work / perfectly balanced work (>= 1)
+    imbalance: float
+    #: scheduling + fork/join overhead in seconds
+    overhead_s: float
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Fraction of ideal speedup retained (1 / imbalance)."""
+        return 1.0 / self.imbalance
+
+
+@dataclass(frozen=True)
+class ScheduleModel:
+    """Distributes ``num_tiles`` tiles in chunks of ``chunk`` over the cores."""
+
+    spec: MachineSpec
+
+    def schedule(self, num_tiles: int, chunk: int) -> ScheduleReport:
+        """Compute imbalance and overhead for one sweep.
+
+        >>> from repro.machine.spec import XEON_E5_2680_V3
+        >>> m = ScheduleModel(XEON_E5_2680_V3)
+        >>> r = m.schedule(num_tiles=1200, chunk=1)
+        >>> r.threads_used
+        12
+        >>> r.imbalance
+        1.0
+        """
+        if num_tiles < 1:
+            raise ValueError(f"num_tiles must be >= 1, got {num_tiles}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        cores = self.spec.cores
+        num_chunks = ceil(num_tiles / chunk)
+        threads_used = min(cores, num_chunks)
+
+        # Round-robin chunks over threads; the busiest thread owns
+        # ceil(num_chunks / threads) chunks.  The final chunk may be short,
+        # which helps slightly; we model work in tiles.
+        chunks_per_thread = ceil(num_chunks / threads_used)
+        busiest_tiles = min(chunks_per_thread * chunk, num_tiles)
+        mean_tiles = num_tiles / threads_used
+        imbalance = busiest_tiles / mean_tiles
+
+        overhead_s = (
+            self.spec.parallel_overhead_us
+            + self.spec.chunk_overhead_us * num_chunks / threads_used
+        ) * 1e-6
+        return ScheduleReport(
+            num_tiles=num_tiles,
+            num_chunks=num_chunks,
+            threads_used=threads_used,
+            imbalance=imbalance,
+            overhead_s=overhead_s,
+        )

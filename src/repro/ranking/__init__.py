@@ -1,0 +1,37 @@
+"""Rank mathematics: Kendall correlation, partial rankings, rank metrics.
+
+The paper's evaluation (§VI-B) scores ranking quality with the Kendall τ
+coefficient between the model's predicted ordering of tuning configurations
+and the true runtime ordering, computed per stencil instance (rankings are
+only defined *within* an instance — the partial-ranking structure of §IV-D).
+"""
+
+from repro.ranking.kendall import (
+    count_inversions,
+    kendall_tau,
+    kendall_tau_naive,
+)
+from repro.ranking.partial import (
+    RankingGroups,
+    group_pairs,
+    ranks_from_runtimes,
+)
+from repro.ranking.metrics import (
+    precision_at_k,
+    spearman_rho,
+    top_k_regret,
+    top1_slowdown,
+)
+
+__all__ = [
+    "RankingGroups",
+    "count_inversions",
+    "group_pairs",
+    "kendall_tau",
+    "kendall_tau_naive",
+    "precision_at_k",
+    "ranks_from_runtimes",
+    "spearman_rho",
+    "top1_slowdown",
+    "top_k_regret",
+]

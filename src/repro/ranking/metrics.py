@@ -1,0 +1,83 @@
+"""Ranking-quality metrics beyond Kendall τ.
+
+These support the evaluation harnesses and the ablation studies: Spearman's
+rho as a second correlation view, and autotuning-specific metrics —
+``top_k_regret`` (how much slower is the best of the model's top-k picks
+than the true optimum) and ``top1_slowdown`` (the Fig. 4 quantity: the
+model's single pick versus a reference configuration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spearman_rho", "top_k_regret", "precision_at_k", "top1_slowdown"]
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with tie handling."""
+    v = np.asarray(values, dtype=float)
+    order = np.argsort(v, kind="stable")
+    ranks = np.empty(v.size, dtype=float)
+    ranks[order] = np.arange(1, v.size + 1, dtype=float)
+    # average ranks over ties
+    unique_vals, inv, counts = np.unique(v, return_inverse=True, return_counts=True)
+    sums = np.zeros(unique_vals.size)
+    np.add.at(sums, inv, ranks)
+    return sums[inv] / counts[inv]
+
+
+def spearman_rho(x: "np.ndarray | list[float]", y: "np.ndarray | list[float]") -> float:
+    """Spearman rank correlation (Pearson correlation of the rank vectors).
+
+    >>> spearman_rho([1, 2, 3], [10, 20, 30])
+    1.0
+    """
+    rx = _rankdata(np.asarray(x, dtype=float))
+    ry = _rankdata(np.asarray(y, dtype=float))
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx**2).sum() * (ry**2).sum())
+    return float((rx * ry).sum() / denom) if denom > 0 else 0.0
+
+
+def top_k_regret(times: np.ndarray, scores: np.ndarray, k: int = 1) -> float:
+    """Relative regret of the best runtime among the model's top-k picks.
+
+    ``scores`` are model scores where **higher is better**; ``times`` are
+    true runtimes (lower is better).  0.0 means the top-k contained the true
+    optimum; 0.25 means the best pick is 25 % slower than optimal.
+    """
+    t = np.asarray(times, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    if t.shape != s.shape or t.ndim != 1 or t.size == 0:
+        raise ValueError("times and scores must be equal-length non-empty 1-D")
+    k = max(1, min(k, t.size))
+    picks = np.argsort(-s, kind="stable")[:k]
+    best_pick = float(t[picks].min())
+    best_true = float(t.min())
+    return best_pick / best_true - 1.0
+
+
+def precision_at_k(times: np.ndarray, scores: np.ndarray, k: int = 10) -> float:
+    """Fraction of the model's top-k picks that are within the true top-k."""
+    t = np.asarray(times, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    k = max(1, min(k, t.size))
+    pred_top = set(np.argsort(-s, kind="stable")[:k].tolist())
+    true_top = set(np.argsort(t, kind="stable")[:k].tolist())
+    return len(pred_top & true_top) / k
+
+
+def top1_slowdown(times: np.ndarray, scores: np.ndarray, reference_time: float) -> float:
+    """Speedup of the model's top pick relative to a reference runtime.
+
+    This is the Fig. 4 quantity: > 1 means the model's configuration beats
+    the reference (e.g. the GA-1024 solution).
+    """
+    t = np.asarray(times, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    pick = int(np.argmax(s))
+    if t[pick] <= 0:
+        raise ValueError("runtimes must be positive")
+    return float(reference_time / t[pick])

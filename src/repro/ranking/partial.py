@@ -1,0 +1,174 @@
+"""Partial-ranking structure of the training data (paper §IV-D).
+
+Runtimes are only comparable *within* one stencil instance ``q = (k, s)``;
+the training set is therefore a union of per-instance (partial) rankings
+``P₁ … Pₙ``.  :class:`RankingGroups` carries feature rows, runtimes and the
+group id of every sample, and knows how to enumerate the within-group
+preference pairs the RankSVM constraints are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+__all__ = ["ranks_from_runtimes", "group_pairs", "RankingGroups"]
+
+
+def ranks_from_runtimes(times: "np.ndarray | list[float]", tie_tol: float = 0.0) -> np.ndarray:
+    """1-based ranks, fastest first, ties sharing a rank (paper Table I).
+
+    ``tie_tol`` treats runtimes within a relative tolerance as tied —
+    autotuning practice, since sub-noise differences are not real ordering
+    information.
+
+    >>> ranks_from_runtimes([12.0, 13.0, 20.0]).tolist()
+    [1, 2, 3]
+    >>> ranks_from_runtimes([10.0, 36.0, 35.0]).tolist()
+    [1, 3, 2]
+    >>> ranks_from_runtimes([5.0, 5.0, 7.0]).tolist()
+    [1, 1, 3]
+    """
+    t = np.asarray(times, dtype=float)
+    order = np.argsort(t, kind="stable")
+    ranks = np.empty(t.size, dtype=np.int64)
+    rank = 1
+    prev_time = None
+    prev_rank = 1
+    for pos, idx in enumerate(order, start=1):
+        if prev_time is not None and _tied(t[idx], prev_time, tie_tol):
+            ranks[idx] = prev_rank
+        else:
+            ranks[idx] = pos
+            prev_rank = pos
+            prev_time = t[idx]
+        rank += 1
+    return ranks
+
+
+def _tied(a: float, b: float, tol: float) -> bool:
+    if tol <= 0:
+        return a == b
+    scale = max(abs(a), abs(b), 1e-300)
+    return abs(a - b) / scale <= tol
+
+
+def group_pairs(
+    times: np.ndarray,
+    tie_tol: float = 0.0,
+    max_pairs: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Preference pairs (better_idx, worse_idx) within one group.
+
+    All ordered pairs with a strict (beyond ``tie_tol``) runtime difference
+    are produced; if ``max_pairs`` is set, a uniform subsample is drawn —
+    the standard way to cap the quadratic pair blow-up on large groups.
+    """
+    t = np.asarray(times, dtype=float)
+    n = t.size
+    if n < 2:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    i_idx, j_idx = np.triu_indices(n, k=1)
+    ti, tj = t[i_idx], t[j_idx]
+    if tie_tol > 0:
+        scale = np.maximum(np.maximum(np.abs(ti), np.abs(tj)), 1e-300)
+        distinct = np.abs(ti - tj) / scale > tie_tol
+    else:
+        distinct = ti != tj
+    i_idx, j_idx, ti, tj = i_idx[distinct], j_idx[distinct], ti[distinct], tj[distinct]
+    better = np.where(ti < tj, i_idx, j_idx)
+    worse = np.where(ti < tj, j_idx, i_idx)
+    if max_pairs is not None and better.size > max_pairs:
+        gen = as_generator(rng)
+        sel = gen.choice(better.size, size=max_pairs, replace=False)
+        better, worse = better[sel], worse[sel]
+    return better, worse
+
+
+@dataclass
+class RankingGroups:
+    """A grouped ranking dataset: features, runtimes, group ids.
+
+    ``groups`` assigns each row to the stencil instance it was measured on;
+    ids need not be contiguous or sorted.
+    """
+
+    X: np.ndarray
+    times: np.ndarray
+    groups: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=float)
+        self.times = np.asarray(self.times, dtype=float)
+        self.groups = np.asarray(self.groups)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got ndim={self.X.ndim}")
+        n = self.X.shape[0]
+        if self.times.shape != (n,) or self.groups.shape != (n,):
+            raise ValueError(
+                f"inconsistent sizes: X has {n} rows, times {self.times.shape}, "
+                f"groups {self.groups.shape}"
+            )
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct stencil instances."""
+        return int(np.unique(self.groups).size)
+
+    def iter_groups(self) -> Iterator[tuple[object, np.ndarray]]:
+        """Yield ``(group_id, row_indices)`` per instance."""
+        ids, inverse = np.unique(self.groups, return_inverse=True)
+        for g, gid in enumerate(ids):
+            yield gid, np.flatnonzero(inverse == g)
+
+    def all_pairs(
+        self,
+        tie_tol: float = 0.0,
+        max_pairs_per_group: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Global (better, worse) row-index arrays over all groups (the
+        union ``⋃ᵢ Pᵢ`` of the paper's Eq. 3)."""
+        gen = as_generator(rng)
+        betters: list[np.ndarray] = []
+        worses: list[np.ndarray] = []
+        for _, rows in self.iter_groups():
+            b, w = group_pairs(
+                self.times[rows],
+                tie_tol=tie_tol,
+                max_pairs=max_pairs_per_group,
+                rng=gen,
+            )
+            betters.append(rows[b])
+            worses.append(rows[w])
+        if not betters:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(betters), np.concatenate(worses)
+
+    def subset(self, rows: np.ndarray) -> "RankingGroups":
+        """Row-sliced copy (used by train/validation splits)."""
+        return RankingGroups(self.X[rows], self.times[rows], self.groups[rows])
+
+    def split_by_group(
+        self,
+        train_fraction: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> tuple["RankingGroups", "RankingGroups"]:
+        """Split whole groups into train/test (groups never straddle)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        gen = as_generator(rng)
+        ids = np.unique(self.groups)
+        gen.shuffle(ids)
+        n_train = max(1, int(round(train_fraction * ids.size)))
+        train_ids = set(ids[:n_train].tolist())
+        mask = np.array([g in train_ids for g in self.groups])
+        return self.subset(np.flatnonzero(mask)), self.subset(np.flatnonzero(~mask))

@@ -1,0 +1,42 @@
+"""Iterative-compilation search baselines (paper §VI-A).
+
+The paper compares the ordinal-regression autotuner against four
+search-based iterative-compilation methods, each given 1024 evaluations:
+
+* a **generational genetic algorithm** (the paper's most stable method,
+  whose 1024-evaluation result is the Fig. 4 speedup baseline);
+* a **steady-state genetic algorithm** (sGA);
+* **differential evolution**;
+* an **evolution strategy**.
+
+All algorithms share the :class:`SearchAlgorithm` budget/accounting
+contract: every proposal charges the budget and accrues the simulated
+testbed wall-clock; re-proposals of already-measured variants hit the
+measurement cache (same observed time, no recompilation) but still count
+as an iteration, matching the paper's fixed-iteration methodology.  Also
+included: plain random search, an OpenTuner-style multi-armed-bandit
+meta-search, and the paper's future-work hybrid (ranking-model-seeded
+search).
+"""
+
+from repro.search.base import EvaluationRecord, SearchAlgorithm, SearchResult
+from repro.search.random_search import RandomSearch
+from repro.search.genetic import GenerationalGA
+from repro.search.steady_state import SteadyStateGA
+from repro.search.differential import DifferentialEvolution
+from repro.search.evolution_strategy import EvolutionStrategy
+from repro.search.bandit import BanditMetaSearch
+from repro.search.hybrid import ModelSeededSearch
+
+__all__ = [
+    "BanditMetaSearch",
+    "DifferentialEvolution",
+    "EvaluationRecord",
+    "EvolutionStrategy",
+    "GenerationalGA",
+    "ModelSeededSearch",
+    "RandomSearch",
+    "SearchAlgorithm",
+    "SearchResult",
+    "SteadyStateGA",
+]

@@ -1,0 +1,213 @@
+"""Search-algorithm contract: budgets, evaluation caching, history curves.
+
+Every algorithm tunes one :class:`~repro.stencil.instance.StencilInstance`
+under a fixed evaluation budget (the paper uses 1024; "*we run every search
+for a fixed number of iterations regardless of their performance*").  The
+base class owns all measurement bookkeeping so subclasses only implement
+the proposal loop:
+
+* **every proposal consumes budget**, duplicates included — iterative
+  compilation re-runs a known binary when the search re-proposes it (no
+  recompilation, but the run is an iteration).  The measurement cache
+  guarantees the duplicate observes the same time, keeping runs
+  deterministic, and bounds wall-clock: a converged population cannot spin
+  outside the budget;
+* the history records evaluation order, so best-so-far curves at power-of-
+  two evaluation counts (Fig. 5's x-axis) fall out directly;
+* simulated testbed wall-clock accumulates per evaluation, giving the
+  time-to-solution bars of Fig. 5.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.executor import SimulatedMachine
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.tuning.space import TuningSpace
+from repro.tuning.vector import TuningVector
+from repro.util.rng import spawn
+
+__all__ = ["EvaluationRecord", "SearchResult", "SearchAlgorithm", "BudgetExhausted"]
+
+
+class BudgetExhausted(Exception):
+    """Raised internally when the evaluation budget runs out mid-iteration."""
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One charged evaluation: the variant, its measured time, its index."""
+
+    index: int
+    tuning: TuningVector
+    time: float
+    wall_clock_s: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one tuning run."""
+
+    algorithm: str
+    instance_label: str
+    history: list[EvaluationRecord] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        """Number of charged (unique) evaluations."""
+        return len(self.history)
+
+    @property
+    def best_record(self) -> EvaluationRecord:
+        """The fastest evaluated variant."""
+        if not self.history:
+            raise ValueError("empty search history")
+        return min(self.history, key=lambda r: r.time)
+
+    @property
+    def best_tuning(self) -> TuningVector:
+        """Tuning vector of the best variant."""
+        return self.best_record.tuning
+
+    @property
+    def best_time(self) -> float:
+        """Measured runtime of the best variant (seconds)."""
+        return self.best_record.time
+
+    @property
+    def total_wall_s(self) -> float:
+        """Simulated testbed time spent on all evaluations."""
+        return sum(r.wall_clock_s for r in self.history)
+
+    def best_curve(self, checkpoints: "list[int] | None" = None) -> dict[int, float]:
+        """Best-so-far time after k evaluations, at the given checkpoints.
+
+        Default checkpoints are the paper's Fig. 5 x-axis (2⁰ … 2¹⁰),
+        truncated to the evaluations actually performed.  Explicit
+        checkpoints beyond the history clamp to the final best.
+        """
+        if checkpoints is None:
+            checkpoints = [2**e for e in range(11) if 2**e <= len(self.history)]
+        times = np.array([r.time for r in self.history])
+        if times.size == 0:
+            return {}
+        running = np.minimum.accumulate(times)
+        out: dict[int, float] = {}
+        for k in checkpoints:
+            if k < 1:
+                continue
+            idx = min(k, times.size) - 1
+            out[k] = float(running[idx])
+        return out
+
+
+class SearchAlgorithm(abc.ABC):
+    """Template for budgeted search over a tuning space."""
+
+    name: str = "search"
+
+    def __init__(
+        self,
+        space: TuningSpace,
+        machine: SimulatedMachine,
+        seed: int = 0,
+        repeats: int = 3,
+    ) -> None:
+        self.space = space
+        self.machine = machine
+        self.seed = seed
+        self.repeats = repeats
+        self._cache: dict[TuningVector, float] = {}
+        self._result: SearchResult | None = None
+        self._budget = 0
+        self._instance: StencilInstance | None = None
+
+    # -- machinery ------------------------------------------------------------
+
+    def rng(self, *key: object) -> np.random.Generator:
+        """Independent stream for this algorithm/seed/key combination."""
+        return spawn(self.seed, self.name, *key)
+
+    def evaluate(self, tuning: TuningVector) -> float:
+        """Measure a variant, charging one unit of the evaluation budget.
+
+        Re-proposed variants hit the measurement cache (same observed time,
+        no re-measurement → deterministic) but still count as an iteration,
+        exactly as the paper's fixed-iteration searches behave.  Raises
+        :class:`BudgetExhausted` once the budget is spent.
+        """
+        assert self._result is not None and self._instance is not None
+        if len(self._result.history) >= self._budget:
+            raise BudgetExhausted
+        t = self._cache.get(tuning)
+        if t is None:
+            measurement = self.machine.measure(
+                StencilExecution(self._instance, tuning), repeats=self.repeats
+            )
+            t = measurement.time
+            self._cache[tuning] = t
+        self._result.history.append(
+            EvaluationRecord(
+                index=len(self._result.history),
+                tuning=tuning,
+                time=t,
+                wall_clock_s=self.machine.wall_clock_cost(
+                    StencilExecution(self._instance, tuning), self.repeats
+                ),
+            )
+        )
+        return t
+
+    @property
+    def remaining_budget(self) -> int:
+        """Evaluations still available."""
+        assert self._result is not None
+        return self._budget - len(self._result.history)
+
+    def tune(self, instance: StencilInstance, budget: int = 1024) -> SearchResult:
+        """Run the algorithm until the budget is exhausted."""
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if instance.dims != self.space.dims:
+            raise ValueError(
+                f"instance is {instance.dims}-D but space is {self.space.dims}-D"
+            )
+        self._cache = {}
+        self._instance = instance
+        self._budget = budget
+        self._result = SearchResult(self.name, instance.label())
+        try:
+            self._run(instance, budget)
+        except BudgetExhausted:
+            pass
+        result, self._result = self._result, None
+        self._instance = None
+        return result
+
+    @abc.abstractmethod
+    def _run(self, instance: StencilInstance, budget: int) -> None:
+        """Propose-and-evaluate loop; may simply loop forever and rely on
+        :class:`BudgetExhausted` to stop."""
+
+    # -- shared helpers for evolutionary subclasses ---------------------------
+
+    def _evaluate_population(self, population: list[TuningVector]) -> np.ndarray:
+        """Evaluate a population, returning the fitness (time) vector."""
+        return np.array([self.evaluate(t) for t in population])
+
+    def _tournament(
+        self,
+        population: list[TuningVector],
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+        k: int = 3,
+    ) -> TuningVector:
+        """k-tournament selection (lower time wins)."""
+        idx = rng.choice(len(population), size=min(k, len(population)), replace=False)
+        winner = idx[np.argmin(fitness[idx])]
+        return population[int(winner)]

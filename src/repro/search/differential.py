@@ -1,0 +1,53 @@
+"""Differential evolution over the unit-cube view of the tuning space.
+
+DE is a continuous-space method; integer/power-of-two parameters are
+handled by keeping the population in ``[0, 1]^5`` (block sizes live on
+their exponent axis there) and snapping to legal vectors only for
+evaluation — the standard discrete-DE recipe.  Classic *DE/rand/1/bin*
+mutation and binomial crossover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.base import SearchAlgorithm
+from repro.stencil.instance import StencilInstance
+
+__all__ = ["DifferentialEvolution"]
+
+
+class DifferentialEvolution(SearchAlgorithm):
+    """DE/rand/1/bin adapted to the discrete tuning space."""
+
+    name = "differential-evolution"
+
+    population_size: int = 24
+    weight: float = 0.7  # F
+    crossover_rate: float = 0.6  # CR
+
+    def _run(self, instance: StencilInstance, budget: int) -> None:
+        rng = self.rng(instance.label())
+        d = len(self.space.parameters)
+        pop_unit = rng.random((self.population_size, d))
+        population = [self.space.from_unit(u) for u in pop_unit]
+        fitness = self._evaluate_population(population)
+
+        while True:
+            for i in range(self.population_size):
+                r1, r2, r3 = rng.choice(
+                    [j for j in range(self.population_size) if j != i],
+                    size=3,
+                    replace=False,
+                )
+                mutant = pop_unit[r1] + self.weight * (pop_unit[r2] - pop_unit[r3])
+                mutant = np.clip(mutant, 0.0, 1.0)
+                cross = rng.random(d) < self.crossover_rate
+                cross[rng.integers(d)] = True  # guarantee one mutant gene
+                trial_unit = np.where(cross, mutant, pop_unit[i])
+                trial = self.space.from_unit(trial_unit)
+                trial_time = self.evaluate(trial)
+                if trial_time <= fitness[i]:
+                    pop_unit[i] = trial_unit
+                    population[i] = trial
+                    fitness[i] = trial_time

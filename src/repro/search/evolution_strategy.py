@@ -1,0 +1,58 @@
+"""(μ + λ) evolution strategy with self-adaptive step sizes.
+
+Each individual carries its own mutation strength σ which evolves with it
+(log-normal self-adaptation, Schwefel's rule).  Parents and offspring
+compete jointly for survival — the "plus" strategy, which is elitist and
+well suited to noisy evaluation landscapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.base import SearchAlgorithm
+from repro.stencil.instance import StencilInstance
+
+__all__ = ["EvolutionStrategy"]
+
+
+class EvolutionStrategy(SearchAlgorithm):
+    """Self-adaptive (μ + λ)-ES on the unit-cube view of the space."""
+
+    name = "evolution-strategy"
+
+    mu: int = 8
+    lam: int = 16
+    sigma_init: float = 0.25
+    sigma_min: float = 0.02
+
+    def _run(self, instance: StencilInstance, budget: int) -> None:
+        rng = self.rng(instance.label())
+        d = len(self.space.parameters)
+        tau = 1.0 / np.sqrt(2.0 * d)
+
+        parents_unit = rng.random((self.mu, d))
+        parents_sigma = np.full(self.mu, self.sigma_init)
+        parent_vecs = [self.space.from_unit(u) for u in parents_unit]
+        parents_fit = self._evaluate_population(parent_vecs)
+
+        while True:
+            child_units = np.empty((self.lam, d))
+            child_sigmas = np.empty(self.lam)
+            child_fit = np.empty(self.lam)
+            for j in range(self.lam):
+                p = int(rng.integers(self.mu))
+                sigma = parents_sigma[p] * np.exp(tau * rng.normal())
+                sigma = max(sigma, self.sigma_min)
+                unit = np.clip(parents_unit[p] + sigma * rng.normal(size=d), 0.0, 1.0)
+                child_units[j] = unit
+                child_sigmas[j] = sigma
+                child_fit[j] = self.evaluate(self.space.from_unit(unit))
+            # (μ + λ) survival: best μ of parents ∪ offspring
+            all_units = np.vstack([parents_unit, child_units])
+            all_sigmas = np.concatenate([parents_sigma, child_sigmas])
+            all_fit = np.concatenate([parents_fit, child_fit])
+            order = np.argsort(all_fit, kind="stable")[: self.mu]
+            parents_unit = all_units[order]
+            parents_sigma = all_sigmas[order]
+            parents_fit = all_fit[order]

@@ -1,0 +1,44 @@
+"""First-improvement hill climbing with random restarts.
+
+A deliberately simple local-search baseline: from a random start, propose
+single-parameter neighbour moves and accept the first improvement; restart
+from a fresh random point after a patience budget of non-improving moves.
+Useful in ablations as the "is the landscape even locally searchable?"
+control between random search and the evolutionary methods.
+"""
+
+from __future__ import annotations
+
+from repro.search.base import SearchAlgorithm
+from repro.stencil.instance import StencilInstance
+
+__all__ = ["HillClimber"]
+
+
+class HillClimber(SearchAlgorithm):
+    """First-improvement local search with restarts."""
+
+    name = "hill-climber"
+
+    #: non-improving proposals tolerated before a restart
+    patience: int = 24
+    #: neighbour step scale (exponent steps for pow-2 parameters)
+    scale: float = 1.0
+
+    def _run(self, instance: StencilInstance, budget: int) -> None:
+        rng = self.rng(instance.label())
+        while True:  # restarts; BudgetExhausted terminates
+            current = self.space.random_vector(rng)
+            current_time = self.evaluate(current)
+            stale = 0
+            while stale < self.patience:
+                candidate = self.space.neighbor(current, rng, scale=self.scale)
+                if candidate == current:
+                    stale += 1
+                    continue
+                t = self.evaluate(candidate)
+                if t < current_time:
+                    current, current_time = candidate, t
+                    stale = 0
+                else:
+                    stale += 1

@@ -1,0 +1,19 @@
+"""Uniform random search — the sanity baseline every tuner must beat."""
+
+from __future__ import annotations
+
+from repro.search.base import SearchAlgorithm
+from repro.stencil.instance import StencilInstance
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(SearchAlgorithm):
+    """Evaluates uniformly random (de-duplicated) tuning vectors."""
+
+    name = "random"
+
+    def _run(self, instance: StencilInstance, budget: int) -> None:
+        rng = self.rng(instance.label())
+        while True:
+            self.evaluate(self.space.random_vector(rng))

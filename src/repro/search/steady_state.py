@@ -1,0 +1,42 @@
+"""Steady-state genetic algorithm (the paper's "sGA").
+
+Unlike the generational GA, only one individual is produced per step and it
+replaces the current worst member if it improves on it — the population
+evolves continuously rather than in waves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.base import SearchAlgorithm
+from repro.stencil.instance import StencilInstance
+
+__all__ = ["SteadyStateGA"]
+
+
+class SteadyStateGA(SearchAlgorithm):
+    """One-offspring-per-step GA with worst-replacement."""
+
+    name = "steady-state-ga"
+
+    population_size: int = 32
+    mutation_rate: float = 0.35
+    tournament_k: int = 3
+
+    def _run(self, instance: StencilInstance, budget: int) -> None:
+        rng = self.rng(instance.label())
+        population = self.space.random_vectors(self.population_size, rng=rng)
+        fitness = self._evaluate_population(population)
+
+        while True:
+            parent_a = self._tournament(population, fitness, rng, self.tournament_k)
+            parent_b = self._tournament(population, fitness, rng, self.tournament_k)
+            child = self.space.crossover(parent_a, parent_b, rng)
+            if rng.random() < self.mutation_rate:
+                child = self.space.neighbor(child, rng, n_moves=1)
+            child_time = self.evaluate(child)
+            worst = int(np.argmax(fitness))
+            if child_time < fitness[worst]:
+                population[worst] = child
+                fitness[worst] = child_time

@@ -1,0 +1,58 @@
+"""Stencil modeling: patterns, kernels, instances, executions, grids (paper §III).
+
+The paper's algebraic framework represents any stencil computation by
+
+* a **pattern** (shape): which neighbour offsets are read, encoded as a
+  3-D occupancy structure around the updated point (2-D stencils live on
+  the ``z = 0`` plane of the same space);
+* the **number of buffers** read and their scalar **data type**;
+* an **input size** ``(sx, sy, sz)``;
+* a **tuning vector** of code-transformation parameters.
+
+This package implements that framework plus a numpy reference executor
+(functional semantics used for correctness testing of the code generator)
+and the registry of the nine Table III benchmark stencils.
+"""
+
+from repro.stencil.pattern import StencilPattern
+from repro.stencil.shapes import (
+    TRAINING_SHAPES,
+    hypercube,
+    hyperplane,
+    laplacian,
+    line,
+)
+from repro.stencil.kernel import DType, StencilKernel
+from repro.stencil.instance import StencilInstance
+from repro.stencil.execution import StencilExecution
+from repro.stencil.grid import Grid
+from repro.stencil.reference import apply_kernel, apply_stencil, jacobi_reference
+from repro.stencil.suite import (
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    Benchmark,
+    benchmark_by_id,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "DType",
+    "Grid",
+    "StencilExecution",
+    "StencilInstance",
+    "StencilKernel",
+    "StencilPattern",
+    "TEST_BENCHMARKS",
+    "TRAINING_SHAPES",
+    "apply_kernel",
+    "apply_stencil",
+    "benchmark_by_id",
+    "get_benchmark",
+    "hypercube",
+    "hyperplane",
+    "jacobi_reference",
+    "laplacian",
+    "line",
+]

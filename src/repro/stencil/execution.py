@@ -1,0 +1,94 @@
+"""Stencil executions: the triple ``(k, s, t)`` (paper §III-B).
+
+A :class:`StencilExecution` is the atom of the training set: one stencil
+kernel, at one input size, compiled with one tuning vector.  Executions are
+hashable value objects so measurement caches and pair generation can key on
+them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+from repro.util.rng import hash_seed
+from repro.util.validation import check_type
+
+__all__ = ["StencilExecution"]
+
+
+@dataclass(frozen=True)
+class StencilExecution:
+    """One concrete code variant of a stencil instance.
+
+    >>> from repro.stencil.shapes import laplacian
+    >>> from repro.stencil.kernel import StencilKernel
+    >>> k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    >>> q = StencilInstance(k, (64, 64, 64))
+    >>> e = StencilExecution(q, TuningVector(16, 8, 8, 2, 1))
+    >>> e.tiles
+    (4, 8, 8)
+    """
+
+    instance: StencilInstance
+    tuning: TuningVector
+
+    def __post_init__(self) -> None:
+        check_type("instance", self.instance, StencilInstance)
+        check_type("tuning", self.tuning, TuningVector)
+        if self.instance.dims == 2 and self.tuning.bz != 1:
+            raise ValueError(
+                f"2-D execution requires bz = 1, got bz = {self.tuning.bz}"
+            )
+
+    @property
+    def kernel(self):  # noqa: ANN201 - convenience passthrough
+        """The underlying kernel."""
+        return self.instance.kernel
+
+    @property
+    def tiles(self) -> tuple[int, int, int]:
+        """Number of tiles per dimension, ``ceil(size / block)``.
+
+        Blocks larger than the grid simply produce a single (clipped) tile,
+        which is how PATUS-generated loop nests behave.
+        """
+        return tuple(
+            -(-s // b) for s, b in zip(self.instance.size, self.tuning.block)
+        )  # type: ignore[return-value]
+
+    @property
+    def num_tiles(self) -> int:
+        """Total tile count — the unit of OpenMP work distribution."""
+        tx, ty, tz = self.tiles
+        return tx * ty * tz
+
+    @property
+    def effective_block(self) -> tuple[int, int, int]:
+        """Block dimensions clipped to the grid size."""
+        return tuple(
+            min(b, s) for s, b in zip(self.instance.size, self.tuning.block)
+        )  # type: ignore[return-value]
+
+    def stable_hash(self) -> int:
+        """A 64-bit hash stable across processes.
+
+        The machine model seeds its measurement noise with this, so repeated
+        measurements of the same execution are reproducible (and distinct
+        executions get independent noise).
+        """
+        return hash_seed(
+            self.instance.kernel.name,
+            tuple(sorted(self.instance.kernel.pattern.counts.items())),
+            self.instance.kernel.dtype.value,
+            self.instance.size,
+            self.tuning.as_tuple(),
+        )
+
+    def label(self) -> str:
+        """Human-readable id including the tuning vector."""
+        return f"{self.instance.label()}{self.tuning}"
+
+    def __repr__(self) -> str:
+        return f"StencilExecution({self.label()})"

@@ -1,0 +1,161 @@
+"""Grids (fields) with halo regions.
+
+A :class:`Grid` wraps a numpy array of interior shape ``(sx, sy, sz)``
+surrounded by a halo wide enough for a kernel's radius.  The interior is
+exposed as a *view* (never a copy — see the scientific-python guidance on
+views) so reference executors and the IR interpreter write results in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stencil.kernel import DType
+from repro.util.rng import as_generator
+from repro.util.validation import check_positive
+
+__all__ = ["Grid"]
+
+
+@dataclass
+class Grid:
+    """An ``(sx, sy, sz)`` field padded by ``halo`` ghost cells per side.
+
+    >>> g = Grid.zeros((8, 8, 1), halo=1)
+    >>> g.interior.shape
+    (8, 8, 1)
+    >>> g.data.shape
+    (10, 10, 3)
+    """
+
+    data: np.ndarray
+    halo: int
+    _interior_shape: tuple[int, int, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 3:
+            raise ValueError(f"grid storage must be 3-D, got ndim={self.data.ndim}")
+        if self.halo < 0:
+            raise ValueError(f"halo must be >= 0, got {self.halo}")
+        shape = tuple(s - 2 * self.halo for s in self.data.shape)
+        if any(s < 1 for s in shape):
+            raise ValueError(
+                f"storage {self.data.shape} too small for halo {self.halo}"
+            )
+        self._interior_shape = shape  # type: ignore[assignment]
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def _np_dtype(dtype: DType | str) -> np.dtype:
+        return np.dtype(np.float32 if DType.parse(dtype) is DType.FLOAT else np.float64)
+
+    @classmethod
+    def zeros(
+        cls, shape: tuple[int, ...], halo: int, dtype: DType | str = DType.DOUBLE
+    ) -> "Grid":
+        """Zero-initialized grid (halo included)."""
+        full = cls._full_shape(shape, halo)
+        return cls(np.zeros(full, dtype=cls._np_dtype(dtype)), halo)
+
+    @classmethod
+    def random(
+        cls,
+        shape: tuple[int, ...],
+        halo: int,
+        dtype: DType | str = DType.DOUBLE,
+        rng: np.random.Generator | int | None = None,
+    ) -> "Grid":
+        """Grid filled (halo included) with uniform random values in [0, 1)."""
+        gen = as_generator(rng)
+        full = cls._full_shape(shape, halo)
+        return cls(gen.random(full).astype(cls._np_dtype(dtype)), halo)
+
+    @classmethod
+    def from_interior(cls, interior: np.ndarray, halo: int) -> "Grid":
+        """Embed an existing interior array, zero-filling the halo."""
+        arr = np.asarray(interior)
+        if arr.ndim == 2:
+            arr = arr[:, :, np.newaxis]
+        full = cls._full_shape(arr.shape, halo)
+        data = np.zeros(full, dtype=arr.dtype)
+        g = cls(data, halo)
+        g.interior[...] = arr
+        return g
+
+    @staticmethod
+    def _full_shape(shape: tuple[int, ...], halo: int) -> tuple[int, int, int]:
+        check_positive("halo", halo, strict=False)
+        s = tuple(int(v) for v in shape)
+        if len(s) == 2:
+            s = (*s, 1)
+        if len(s) != 3:
+            raise ValueError(f"grid shape must be 2-D or 3-D, got {shape!r}")
+        return tuple(v + 2 * halo for v in s)  # type: ignore[return-value]
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Interior (logical) shape."""
+        return self._interior_shape
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Writable view of the interior (no copy)."""
+        h = self.halo
+        if h == 0:
+            return self.data
+        return self.data[h:-h, h:-h, h:-h]
+
+    def shifted_view(self, offset: tuple[int, int, int]) -> np.ndarray:
+        """Interior-shaped view displaced by ``offset`` (must fit in the halo).
+
+        This is the numpy idiom for stencil application: the update is a
+        weighted sum of shifted views, fully vectorized.
+        """
+        h = self.halo
+        for d in offset:
+            if abs(d) > h:
+                raise ValueError(f"offset {offset} exceeds halo {h}")
+        slices = tuple(
+            slice(h + d, h + d + n) for d, n in zip(offset, self._interior_shape)
+        )
+        return self.data[slices]
+
+    def fill_halo_periodic(self) -> None:
+        """Fill the halo by wrapping the interior periodically (torus)."""
+        h = self.halo
+        if h == 0:
+            return
+        for axis in range(3):
+            n = self._interior_shape[axis]
+            if n == 1:
+                # degenerate axis (2-D grids): replicate the single plane
+                src = [slice(None)] * 3
+                src[axis] = slice(h, h + 1)
+                for side in range(h):
+                    for dst_idx in (side, h + n + side):
+                        dst = [slice(None)] * 3
+                        dst[axis] = slice(dst_idx, dst_idx + 1)
+                        self.data[tuple(dst)] = self.data[tuple(src)]
+                continue
+            lo_dst = [slice(None)] * 3
+            lo_dst[axis] = slice(0, h)
+            lo_src = [slice(None)] * 3
+            lo_src[axis] = slice(n, n + h)
+            hi_dst = [slice(None)] * 3
+            hi_dst[axis] = slice(h + n, h + n + h)
+            hi_src = [slice(None)] * 3
+            hi_src[axis] = slice(h, 2 * h)
+            self.data[tuple(lo_dst)] = self.data[tuple(lo_src)]
+            self.data[tuple(hi_dst)] = self.data[tuple(hi_src)]
+
+    def copy(self) -> "Grid":
+        """Deep copy (fresh storage)."""
+        return Grid(self.data.copy(), self.halo)
+
+    def __repr__(self) -> str:
+        return f"Grid(shape={self.shape}, halo={self.halo}, dtype={self.data.dtype})"

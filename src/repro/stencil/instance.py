@@ -1,0 +1,88 @@
+"""Stencil instances: ``q = (k, s)`` — a kernel applied to a concrete size.
+
+An *instance* is the unit the ranking model groups training data by: tuning
+vectors are comparable (partially ordered by runtime) only within the same
+instance (paper §IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stencil.kernel import StencilKernel
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["StencilInstance"]
+
+Size = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class StencilInstance:
+    """A kernel bound to an input size ``(sx, sy, sz)``.
+
+    2-D kernels use ``sz = 1``.  The constructor checks that the grid is
+    large enough to contain at least one updated point inside the halo.
+
+    >>> from repro.stencil.shapes import laplacian
+    >>> from repro.stencil.kernel import StencilKernel
+    >>> k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    >>> q = StencilInstance(k, (128, 128, 128))
+    >>> q.num_points
+    2097152
+    """
+
+    kernel: StencilKernel
+    size: Size
+
+    def __post_init__(self) -> None:
+        check_type("kernel", self.kernel, StencilKernel)
+        size = tuple(int(s) for s in self.size)
+        if len(size) == 2:
+            size = (*size, 1)
+        if len(size) != 3:
+            raise ValueError(f"size must be 2-D or 3-D, got {self.size!r}")
+        for s in size:
+            check_positive("size component", s)
+        if self.kernel.dims == 2 and size[2] != 1:
+            raise ValueError(
+                f"2-D kernel {self.kernel.name!r} requires sz = 1, got {size[2]}"
+            )
+        halo = self.kernel.radius
+        active_dims = 3 if self.kernel.dims == 3 else 2
+        for axis in range(active_dims):
+            if size[axis] <= 2 * halo:
+                raise ValueError(
+                    f"size {size} too small for kernel halo {halo} on axis {axis}"
+                )
+        object.__setattr__(self, "size", size)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality inherited from the kernel."""
+        return self.kernel.dims
+
+    @property
+    def num_points(self) -> int:
+        """Total grid points updated per sweep."""
+        sx, sy, sz = self.size
+        return sx * sy * sz
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations per sweep."""
+        return self.num_points * self.kernel.flops_per_point
+
+    @property
+    def min_bytes(self) -> int:
+        """Compulsory memory traffic per sweep (perfect cache reuse)."""
+        return self.num_points * self.kernel.bytes_per_point
+
+    def label(self) -> str:
+        """Human-readable id, e.g. ``laplacian-128x128x128``."""
+        sx, sy, sz = self.size
+        dims = f"{sx}x{sy}" if self.dims == 2 else f"{sx}x{sy}x{sz}"
+        return f"{self.kernel.name}-{dims}"
+
+    def __repr__(self) -> str:
+        return f"StencilInstance({self.label()})"

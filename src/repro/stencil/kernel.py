@@ -1,0 +1,168 @@
+"""Stencil kernels: ``k = (pattern, buffers, dtype)`` (paper §III-A).
+
+A kernel bundles everything *static* about a stencil code: which neighbour
+offsets each input buffer reads, how many buffers there are, and the scalar
+type.  No hardware-dependent information is stored — the paper keeps the
+encoding portable across machines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import reduce
+
+from repro.stencil.pattern import StencilPattern
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["DType", "StencilKernel"]
+
+
+class DType(enum.Enum):
+    """Scalar buffer type; the paper encodes this as a single 0/1 feature."""
+
+    FLOAT = "float"
+    DOUBLE = "double"
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per scalar (4 for float, 8 for double)."""
+        return 4 if self is DType.FLOAT else 8
+
+    @property
+    def feature(self) -> float:
+        """The paper's encoding: 0.0 for float, 1.0 for double."""
+        return 0.0 if self is DType.FLOAT else 1.0
+
+    @classmethod
+    def parse(cls, value: "DType | str") -> "DType":
+        """Accept a :class:`DType` or its string name (case-insensitive)."""
+        if isinstance(value, DType):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(f"unknown dtype {value!r}; expected 'float' or 'double'") from None
+
+
+@dataclass(frozen=True)
+class StencilKernel:
+    """Static description of a stencil code.
+
+    ``buffer_patterns`` holds one access pattern per *read* buffer.  Most
+    kernels read all buffers with the same shape; the paper's `divergence`
+    benchmark is the exception (three buffers read with line shapes along
+    x, y and z respectively).
+
+    >>> from repro.stencil.shapes import laplacian
+    >>> k = StencilKernel("laplacian", (laplacian(3, 1),), dtype="double")
+    >>> k.num_buffers, k.dims, k.pattern.num_points
+    (1, 3, 7)
+    """
+
+    name: str
+    buffer_patterns: tuple[StencilPattern, ...]
+    dtype: DType = DType.FLOAT
+    #: optional extra single-point reads that are not part of the main shape
+    #: (e.g. the wave kernel's read of the previous-previous time step).
+    extra_point_reads: int = 0
+    #: explicit grid dimensionality.  A geometrically flat pattern (e.g. a
+    #: 3-D "line" stencil along x) still sweeps a 3-D grid; ``None`` infers
+    #: the dimensionality from the pattern, which is correct for patterns
+    #: that actually extend in z.
+    space_dims: int | None = None
+    iterate_over: str = field(default="jacobi", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.buffer_patterns:
+            raise ValueError("a kernel needs at least one buffer pattern")
+        for pattern in self.buffer_patterns:
+            check_type("buffer pattern", pattern, StencilPattern)
+        object.__setattr__(self, "dtype", DType.parse(self.dtype))
+        if self.extra_point_reads < 0:
+            raise ValueError("extra_point_reads must be >= 0")
+        if self.space_dims is not None:
+            if self.space_dims not in (2, 3):
+                raise ValueError(f"space_dims must be 2 or 3, got {self.space_dims}")
+            if self.space_dims < self.pattern.dims:
+                raise ValueError(
+                    f"space_dims {self.space_dims} smaller than pattern "
+                    f"dimensionality {self.pattern.dims}"
+                )
+
+    # -- convenience constructors -----------------------------------------
+
+    @classmethod
+    def single_buffer(
+        cls, name: str, pattern: StencilPattern, dtype: "DType | str" = DType.FLOAT
+    ) -> "StencilKernel":
+        """Kernel reading one buffer with the given pattern."""
+        return cls(name, (pattern,), DType.parse(dtype))
+
+    @classmethod
+    def replicated(
+        cls,
+        name: str,
+        pattern: StencilPattern,
+        buffers: int,
+        dtype: "DType | str" = DType.FLOAT,
+    ) -> "StencilKernel":
+        """Kernel reading ``buffers`` buffers, all with the same pattern."""
+        check_positive("buffers", buffers)
+        return cls(name, tuple([pattern] * buffers), DType.parse(dtype))
+
+    # -- derived static features ------------------------------------------
+
+    @property
+    def num_buffers(self) -> int:
+        """Number of input buffers read (paper's ``b``)."""
+        return len(self.buffer_patterns)
+
+    @property
+    def pattern(self) -> StencilPattern:
+        """Combined access pattern: the sum over buffers (paper §III-A)."""
+        return reduce(StencilPattern.merge, self.buffer_patterns)
+
+    @property
+    def dims(self) -> int:
+        """Grid dimensionality: explicit ``space_dims`` if set, else inferred."""
+        return self.space_dims if self.space_dims is not None else self.pattern.dims
+
+    @property
+    def radius(self) -> int:
+        """Halo width required by the widest buffer pattern."""
+        return self.pattern.radius
+
+    @property
+    def reads_per_point(self) -> int:
+        """Scalar loads issued per updated point (incl. multiplicity)."""
+        return self.pattern.num_reads + self.extra_point_reads
+
+    @property
+    def flops_per_point(self) -> int:
+        """Floating-point operations per updated point.
+
+        We use the standard convention for weighted stencils: one multiply
+        per read plus adds combining them (``reads`` muls + ``reads - 1``
+        adds + 1 final add/store fuse), i.e. ``2 * reads``.  GFlop/s figures
+        in the experiment harnesses are derived from this, matching how the
+        paper reports performance.
+        """
+        return 2 * self.reads_per_point
+
+    @property
+    def bytes_per_point(self) -> int:
+        """Minimum (perfect-cache) traffic per point: each input grid
+        streamed once plus the output store."""
+        return (self.num_buffers + 1) * self.dtype.itemsize
+
+    def working_planes(self) -> int:
+        """Distinct z-planes touched (layer-condition input for the cache model)."""
+        return self.pattern.planes(axis=2)
+
+    def __repr__(self) -> str:
+        return (
+            f"StencilKernel({self.name!r}, buffers={self.num_buffers}, "
+            f"dtype={self.dtype.value}, points={self.pattern.num_points}, "
+            f"dims={self.dims})"
+        )

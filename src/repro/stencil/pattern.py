@@ -1,0 +1,219 @@
+"""Stencil access patterns (the paper's "shape").
+
+A :class:`StencilPattern` records, for every neighbour offset
+``(dx, dy, dz)`` relative to the updated point, how many times that offset is
+read across all input buffers.  The paper (§III-A) represents the shape as an
+``(2R+1)³`` binary matrix for a maximum offset ``R``; for kernels that read
+several buffers "the access pattern is defined as the sum of accesses to each
+individual buffer", which is why we keep integer *counts* rather than a
+boolean mask.
+
+Two-dimensional stencils are a special case living entirely on the ``z = 0``
+plane, so 2-D and 3-D kernels share one feature space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["StencilPattern", "Offset"]
+
+Offset = tuple[int, int, int]
+
+
+def _canonical_offset(point: Iterable[int]) -> Offset:
+    coords = tuple(int(c) for c in point)
+    if len(coords) == 2:
+        coords = (*coords, 0)
+    if len(coords) != 3:
+        raise ValueError(f"pattern points must be 2-D or 3-D, got {coords!r}")
+    return coords  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class StencilPattern:
+    """An immutable multiset of neighbour offsets.
+
+    Construct from an iterable of 2-tuples (interpreted on the ``z = 0``
+    plane) or 3-tuples::
+
+        >>> lap5 = StencilPattern.from_points(
+        ...     [(0, -1), (-1, 0), (0, 0), (1, 0), (0, 1)])
+        >>> lap5.num_points
+        5
+        >>> lap5.radius
+        1
+        >>> lap5.dims
+        2
+    """
+
+    _counts: tuple[tuple[Offset, int], ...]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Iterable[int]]) -> "StencilPattern":
+        """Build a pattern from offsets; repeated offsets accumulate counts."""
+        counts: dict[Offset, int] = {}
+        for point in points:
+            off = _canonical_offset(point)
+            counts[off] = counts.get(off, 0) + 1
+        if not counts:
+            raise ValueError("a stencil pattern needs at least one point")
+        return cls(tuple(sorted(counts.items())))
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[Offset, int]) -> "StencilPattern":
+        """Build a pattern from an explicit ``offset -> count`` mapping."""
+        clean: dict[Offset, int] = {}
+        for off, count in counts.items():
+            check_positive("pattern count", count)
+            clean[_canonical_offset(off)] = int(count)
+        if not clean:
+            raise ValueError("a stencil pattern needs at least one point")
+        return cls(tuple(sorted(clean.items())))
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "StencilPattern":
+        """Inverse of :meth:`to_dense`: non-zero cells become offsets.
+
+        ``matrix`` must be a cube of odd edge length; the central cell is the
+        origin.  This round-trip is what lets a feature vector be decoded
+        back into a stencil shape (paper §III: "given such a vector, it is
+        also possible to reconstruct the stencil code").
+        """
+        arr = np.asarray(matrix)
+        if arr.ndim == 2:
+            arr = arr[:, :, np.newaxis]
+        if arr.ndim != 3:
+            raise ValueError(f"dense pattern must be 2-D or 3-D, got ndim={arr.ndim}")
+        if any(s % 2 == 0 for s in arr.shape):
+            raise ValueError(f"dense pattern must have odd edge lengths, got {arr.shape}")
+        center = tuple(s // 2 for s in arr.shape)
+        counts: dict[Offset, int] = {}
+        for idx in np.argwhere(arr != 0):
+            off = tuple(int(i - c) for i, c in zip(idx, center))
+            counts[off] = int(arr[tuple(idx)])  # type: ignore[index]
+        return cls.from_counts(counts)  # type: ignore[arg-type]
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def counts(self) -> dict[Offset, int]:
+        """``offset -> read count`` mapping (a fresh dict)."""
+        return dict(self._counts)
+
+    @property
+    def offsets(self) -> tuple[Offset, ...]:
+        """Sorted tuple of distinct offsets."""
+        return tuple(off for off, _ in self._counts)
+
+    @property
+    def num_points(self) -> int:
+        """Number of *distinct* offsets read."""
+        return len(self._counts)
+
+    @property
+    def num_reads(self) -> int:
+        """Total reads per updated point, counting multiplicity across buffers."""
+        return sum(count for _, count in self._counts)
+
+    @property
+    def radius(self) -> int:
+        """Maximum Chebyshev (max-norm) offset — the halo width required."""
+        return max(max(abs(c) for c in off) for off in self.offsets)
+
+    @property
+    def extent(self) -> tuple[int, int, int]:
+        """Per-axis maximum absolute offset ``(rx, ry, rz)``."""
+        offs = np.array(self.offsets)
+        return tuple(int(v) for v in np.abs(offs).max(axis=0))  # type: ignore[return-value]
+
+    @property
+    def dims(self) -> int:
+        """2 if every offset lies on the ``z = 0`` plane, else 3."""
+        return 2 if all(off[2] == 0 for off in self.offsets) else 3
+
+    @property
+    def reads_origin(self) -> bool:
+        """Whether the updated point itself is read (False for e.g. divergence)."""
+        return (0, 0, 0) in dict(self._counts)
+
+    def axis_span(self, axis: int) -> tuple[int, int]:
+        """``(min, max)`` offset along ``axis`` (0 = x, 1 = y, 2 = z)."""
+        vals = [off[axis] for off in self.offsets]
+        return min(vals), max(vals)
+
+    def planes(self, axis: int = 2) -> int:
+        """Number of distinct coordinate planes the pattern touches along ``axis``.
+
+        This drives the layer-condition cache analysis: a 3-D star of radius
+        ``r`` touches ``2r + 1`` z-planes, each of which must stay resident
+        for perfect reuse.
+        """
+        return len({off[axis] for off in self.offsets})
+
+    def to_dense(self, radius: int | None = None) -> np.ndarray:
+        """Return the ``(2R+1, 2R+1, 2R+1)`` integer count matrix.
+
+        ``radius`` defaults to the pattern's own radius; a larger value
+        embeds the pattern in a bigger matrix (used by the feature encoder to
+        put all kernels in one fixed-size space).
+        """
+        r = self.radius if radius is None else int(radius)
+        if r < self.radius:
+            raise ValueError(
+                f"radius {r} too small for pattern of radius {self.radius}"
+            )
+        size = 2 * r + 1
+        dense = np.zeros((size, size, size), dtype=np.int64)
+        for (dx, dy, dz), count in self._counts:
+            dense[dx + r, dy + r, dz + r] = count
+        return dense
+
+    # -- algebra -----------------------------------------------------------
+
+    def merge(self, other: "StencilPattern") -> "StencilPattern":
+        """Sum of two access patterns (multi-buffer kernels, paper §III-A)."""
+        check_type("other", other, StencilPattern)
+        counts = dict(self._counts)
+        for off, count in other._counts:
+            counts[off] = counts.get(off, 0) + count
+        return StencilPattern(tuple(sorted(counts.items())))
+
+    def __add__(self, other: "StencilPattern") -> "StencilPattern":
+        return self.merge(other)
+
+    def shifted(self, delta: Iterable[int]) -> "StencilPattern":
+        """Pattern translated by ``delta`` (used by codegen legality checks)."""
+        d = _canonical_offset(delta)
+        return StencilPattern(
+            tuple(
+                sorted(
+                    ((off[0] + d[0], off[1] + d[1], off[2] + d[2]), count)
+                    for off, count in self._counts
+                )
+            )
+        )
+
+    # -- protocol ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Offset]:
+        return iter(self.offsets)
+
+    def __contains__(self, point: Iterable[int]) -> bool:
+        return _canonical_offset(point) in dict(self._counts)
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    def __repr__(self) -> str:
+        return (
+            f"StencilPattern(points={self.num_points}, reads={self.num_reads}, "
+            f"radius={self.radius}, dims={self.dims})"
+        )

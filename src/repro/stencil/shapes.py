@@ -1,0 +1,123 @@
+"""Generators for the paper's four training-shape families (Fig. 1).
+
+The training set is built from synthetic stencils drawn from four shape
+families, each parameterized by an offset radius ``r`` and dimensionality:
+
+* **line** — points along a single axis, ``-r .. +r``;
+* **hyperplane** — all points of the plane orthogonal to one axis within
+  Chebyshev radius ``r``;
+* **hypercube** — all points with every coordinate in ``[-r, r]``;
+* **laplacian** — the axis "star": the origin plus points at distance
+  ``1 .. r`` along every axis direction (the classic ``6r + 1``-point 3-D /
+  ``4r + 1``-point 2-D high-order Laplacian).
+
+2-D variants are the same constructions restricted to the ``z = 0`` plane.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable
+
+from repro.stencil.pattern import StencilPattern
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["line", "hyperplane", "hypercube", "laplacian", "TRAINING_SHAPES"]
+
+
+def _check_args(dims: int, radius: int) -> None:
+    check_in_range("dims", dims, 2, 3)
+    check_positive("radius", radius)
+
+
+def line(dims: int, radius: int, axis: int = 0) -> StencilPattern:
+    """Line shape: ``2r + 1`` points along ``axis`` (Fig. 1a).
+
+    >>> line(3, 2).num_points
+    5
+    """
+    _check_args(dims, radius)
+    if not 0 <= axis < dims:
+        raise ValueError(f"axis must be in [0, {dims}), got {axis}")
+    points = []
+    for d in range(-radius, radius + 1):
+        point = [0, 0, 0]
+        point[axis] = d
+        points.append(tuple(point))
+    return StencilPattern.from_points(points)
+
+
+def hyperplane(dims: int, radius: int, normal_axis: int | None = None) -> StencilPattern:
+    """Hyperplane shape (Fig. 1b): full square of points orthogonal to one axis.
+
+    For 3-D kernels this is a ``(2r+1)²`` plane; for 2-D kernels the
+    "hyperplane" of the 2-D space is a line orthogonal to ``normal_axis``, and
+    we instead return the in-plane square (the natural 2-D analogue used by
+    the training generator).
+
+    >>> hyperplane(3, 1).num_points
+    9
+    """
+    _check_args(dims, radius)
+    if dims == 2:
+        points = [(dx, dy, 0) for dx, dy in product(range(-radius, radius + 1), repeat=2)]
+        return StencilPattern.from_points(points)
+    normal = 2 if normal_axis is None else normal_axis
+    if not 0 <= normal < 3:
+        raise ValueError(f"normal_axis must be in [0, 3), got {normal}")
+    axes = [a for a in range(3) if a != normal]
+    points = []
+    for da, db in product(range(-radius, radius + 1), repeat=2):
+        point = [0, 0, 0]
+        point[axes[0]] = da
+        point[axes[1]] = db
+        points.append(tuple(point))
+    return StencilPattern.from_points(points)
+
+
+def hypercube(dims: int, radius: int) -> StencilPattern:
+    """Hypercube shape (Fig. 1c): every point within Chebyshev radius ``r``.
+
+    >>> hypercube(2, 1).num_points
+    9
+    >>> hypercube(3, 1).num_points
+    27
+    """
+    _check_args(dims, radius)
+    rng = range(-radius, radius + 1)
+    if dims == 2:
+        points = [(dx, dy, 0) for dx, dy in product(rng, repeat=2)]
+    else:
+        points = list(product(rng, repeat=3))
+    return StencilPattern.from_points(points)
+
+
+def laplacian(dims: int, radius: int) -> StencilPattern:
+    """Laplacian "star" shape (Fig. 1d): origin + axis arms of length ``r``.
+
+    >>> laplacian(3, 1).num_points
+    7
+    >>> laplacian(3, 2).num_points
+    13
+    >>> laplacian(2, 1).num_points
+    5
+    """
+    _check_args(dims, radius)
+    points = [(0, 0, 0)]
+    for axis in range(dims):
+        for d in range(1, radius + 1):
+            for sign in (-1, 1):
+                point = [0, 0, 0]
+                point[axis] = sign * d
+                points.append(tuple(point))
+    return StencilPattern.from_points(points)
+
+
+#: The four families the training-set generator samples from (paper Fig. 1),
+#: name -> generator(dims, radius).
+TRAINING_SHAPES: dict[str, Callable[[int, int], StencilPattern]] = {
+    "line": line,
+    "hyperplane": hyperplane,
+    "hypercube": hypercube,
+    "laplacian": laplacian,
+}

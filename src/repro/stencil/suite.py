@@ -1,0 +1,192 @@
+"""The nine benchmark stencils of the paper (Table III) and the 17 test cases.
+
+Each :class:`Benchmark` bundles the kernel's static description with the
+input sizes the paper evaluates.  The module-level ``TEST_BENCHMARKS`` list
+reproduces the 17-benchmark x-axis of Fig. 4 in the paper's order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.pattern import StencilPattern
+from repro.stencil.shapes import hypercube, laplacian
+
+__all__ = [
+    "Benchmark",
+    "BENCHMARKS",
+    "TEST_BENCHMARKS",
+    "get_benchmark",
+    "benchmark_by_id",
+]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named stencil code plus the input sizes it is evaluated at."""
+
+    name: str
+    kernel: StencilKernel
+    sizes: tuple[tuple[int, int, int], ...]
+    description: str = ""
+
+    def instances(self) -> list[StencilInstance]:
+        """One :class:`StencilInstance` per evaluated size."""
+        return [StencilInstance(self.kernel, size) for size in self.sizes]
+
+    def instance(self, size: tuple[int, ...]) -> StencilInstance:
+        """The instance for one specific size (must be listed in Table III)."""
+        size3 = tuple(size) if len(size) == 3 else (*size, 1)
+        if size3 not in self.sizes:
+            raise KeyError(f"{self.name} is not evaluated at size {size}")
+        return StencilInstance(self.kernel, size3)  # type: ignore[arg-type]
+
+
+def _tricubic_kernel() -> StencilKernel:
+    """Tricubic interpolation: a 4×4×4 cube read from the data grid plus
+    centre-point reads of three coordinate grids (3 float buffers)."""
+    cube = StencilPattern.from_points(product(range(-1, 3), repeat=3))
+    center = StencilPattern.from_points([(0, 0, 0)])
+    return StencilKernel("tricubic", (cube, center, center), dtype="float")
+
+
+def _divergence_kernel() -> StencilKernel:
+    """Divergence of a vector field: each of the three double buffers is read
+    with a two-point line along its own axis (combined shape: the 6-point
+    star with the centre not read — Table III)."""
+    x_line = StencilPattern.from_points([(-1, 0, 0), (1, 0, 0)])
+    y_line = StencilPattern.from_points([(0, -1, 0), (0, 1, 0)])
+    z_line = StencilPattern.from_points([(0, 0, -1), (0, 0, 1)])
+    return StencilKernel("divergence", (x_line, y_line, z_line), dtype="double")
+
+
+def _gradient_kernel() -> StencilKernel:
+    """Gradient magnitude: 6-point star (centre not read), one double buffer."""
+    star = StencilPattern.from_points(
+        [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
+    )
+    return StencilKernel.single_buffer("gradient", star, "double")
+
+
+def _wave_kernel() -> StencilKernel:
+    """Wave equation: 13-point (radius-2) Laplacian star of u(t-1) plus one
+    extra centre read of u(t-2) — Table III's "13 laplacian + 1"."""
+    return StencilKernel(
+        "wave", (laplacian(3, 2),), dtype="float", extra_point_reads=1
+    )
+
+
+def _make_benchmarks() -> dict[str, Benchmark]:
+    two_d = lambda n: (n, n, 1)  # noqa: E731 - local shorthand
+    benchmarks = [
+        Benchmark(
+            "blur",
+            StencilKernel.single_buffer("blur", hypercube(2, 2), "float"),
+            (two_d(1024), (1024, 768, 1)),
+            "2-D 5×5 box blur (image processing)",
+        ),
+        Benchmark(
+            "edge",
+            StencilKernel.single_buffer("edge", hypercube(2, 1), "float"),
+            (two_d(512), two_d(1024)),
+            "2-D 3×3 edge detection",
+        ),
+        Benchmark(
+            "game-of-life",
+            StencilKernel.single_buffer("game-of-life", hypercube(2, 1), "float"),
+            (two_d(512), two_d(1024)),
+            "2-D 3×3 Game of Life generation",
+        ),
+        Benchmark(
+            "wave",
+            _wave_kernel(),
+            ((128,) * 3, (256,) * 3),
+            "3-D wave equation, 13-point Laplacian + previous time step",
+        ),
+        Benchmark(
+            "tricubic",
+            _tricubic_kernel(),
+            ((128,) * 3, (256,) * 3),
+            "3-D tricubic interpolation, 4×4×4 cube over 3 float buffers",
+        ),
+        Benchmark(
+            "divergence",
+            _divergence_kernel(),
+            ((128,) * 3,),
+            "3-D divergence: per-axis line reads over 3 double buffers",
+        ),
+        Benchmark(
+            "gradient",
+            _gradient_kernel(),
+            ((128,) * 3, (256,) * 3),
+            "3-D gradient: 6-point star, centre not read",
+        ),
+        Benchmark(
+            "laplacian",
+            StencilKernel.single_buffer("laplacian", laplacian(3, 1), "double"),
+            ((128,) * 3, (256,) * 3),
+            "3-D 7-point Laplacian",
+        ),
+        Benchmark(
+            "laplacian6",
+            StencilKernel.single_buffer("laplacian6", laplacian(3, 3), "double"),
+            ((128,) * 3, (256,) * 3),
+            "3-D 6th-order (19-point) Laplacian",
+        ),
+    ]
+    return {b.name: b for b in benchmarks}
+
+
+#: Table III registry: name -> benchmark.
+BENCHMARKS: dict[str, Benchmark] = _make_benchmarks()
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a Table III benchmark by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+
+
+def _test_benchmarks() -> list[StencilInstance]:
+    """The 17 test benchmarks in the paper's Fig. 4 x-axis order."""
+    order = [
+        ("blur", (1024, 1024, 1)),
+        ("blur", (1024, 768, 1)),
+        ("wave", (128, 128, 128)),
+        ("wave", (256, 256, 256)),
+        ("tricubic", (128, 128, 128)),
+        ("tricubic", (256, 256, 256)),
+        ("edge", (512, 512, 1)),
+        ("edge", (1024, 1024, 1)),
+        ("game-of-life", (512, 512, 1)),
+        ("game-of-life", (1024, 1024, 1)),
+        ("divergence", (128, 128, 128)),
+        ("gradient", (128, 128, 128)),
+        ("gradient", (256, 256, 256)),
+        ("laplacian", (128, 128, 128)),
+        ("laplacian", (256, 256, 256)),
+        ("laplacian6", (128, 128, 128)),
+        ("laplacian6", (256, 256, 256)),
+    ]
+    return [get_benchmark(name).instance(size) for name, size in order]
+
+
+#: Fig. 4's 17 test benchmarks, in paper order.
+TEST_BENCHMARKS: list[StencilInstance] = _test_benchmarks()
+
+
+def benchmark_by_id(label: str) -> StencilInstance:
+    """Resolve a label like ``laplacian-128x128x128`` to its instance."""
+    for inst in TEST_BENCHMARKS:
+        if inst.label() == label:
+            return inst
+    raise KeyError(
+        f"unknown benchmark id {label!r}; known: {[i.label() for i in TEST_BENCHMARKS]}"
+    )

@@ -1,0 +1,32 @@
+"""Tuning-parameter modeling (paper §III-B and §V).
+
+The PATUS transformation set exposes five integer parameters per stencil:
+
+* ``bx, by, bz`` — loop-blocking (tile) sizes per dimension, 2 … 1024
+  (``bz`` degenerates to 1 for 2-D kernels);
+* ``u`` — innermost-loop unroll factor, 0 (no unrolling) … 8;
+* ``c`` — chunk size: how many consecutive tiles are assigned to the same
+  OpenMP thread.
+
+This package defines the parameter/space abstractions used by both the
+search algorithms (which navigate the space) and the feature encoder (which
+normalizes tuning vectors into ``[0, 1]``), plus the paper's pre-defined
+hierarchical power-of-two candidate sets (1600 configurations for 2-D
+stencils, 8640 for 3-D).
+"""
+
+from repro.tuning.parameters import IntParameter, Parameter, PowerOfTwoParameter
+from repro.tuning.vector import TuningVector
+from repro.tuning.space import TuningSpace, patus_space
+from repro.tuning.presets import hierarchical_pow2_candidates, preset_candidates
+
+__all__ = [
+    "IntParameter",
+    "Parameter",
+    "PowerOfTwoParameter",
+    "TuningSpace",
+    "TuningVector",
+    "hierarchical_pow2_candidates",
+    "patus_space",
+    "preset_candidates",
+]

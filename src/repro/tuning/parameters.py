@@ -1,0 +1,194 @@
+"""Parameter types composing a tuning space.
+
+Each parameter knows its own domain, how to sample uniformly from it, how to
+clip arbitrary values back into it, how to propose neighbours (for local
+search moves), and its canonical power-of-two grid (for the paper's
+pre-defined candidate sets).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_power_of_two
+
+__all__ = ["Parameter", "IntParameter", "PowerOfTwoParameter"]
+
+
+class Parameter(abc.ABC):
+    """Abstract integer tuning parameter over a closed range."""
+
+    name: str
+    lo: int
+    hi: int
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a uniform random legal value."""
+
+    @abc.abstractmethod
+    def clip(self, value: float) -> int:
+        """Map an arbitrary real to the nearest legal value."""
+
+    @abc.abstractmethod
+    def grid(self) -> tuple[int, ...]:
+        """The canonical power-of-two grid inside the domain."""
+
+    @abc.abstractmethod
+    def cardinality(self) -> int:
+        """Number of legal values."""
+
+    def contains(self, value: int) -> bool:
+        """True iff ``value`` is a legal setting for this parameter."""
+        return self.clip(value) == value
+
+    def neighbor(self, value: int, rng: np.random.Generator, scale: float = 1.0) -> int:
+        """A local move: perturb ``value`` by a step proportional to ``scale``.
+
+        The default implementation takes a geometric-ish step in the clipped
+        domain; power-of-two parameters override this to move along the
+        exponent axis, which is the natural metric for block sizes.
+        """
+        span = max(self.hi - self.lo, 1)
+        step = rng.normal(0.0, max(scale * span * 0.1, 0.5))
+        return self.clip(value + step)
+
+    def normalize(self, value: int) -> float:
+        """Map a legal value into ``[0, 1]`` (linear by default)."""
+        if self.hi == self.lo:
+            return 0.0
+        return (value - self.lo) / (self.hi - self.lo)
+
+    def from_unit(self, u: float) -> int:
+        """Inverse of :meth:`normalize`: map ``[0, 1]`` to the nearest legal
+        value (continuous optimizers like DE/ES navigate this unit space)."""
+        u = float(np.clip(u, 0.0, 1.0))
+        return self.clip(self.lo + u * (self.hi - self.lo))
+
+
+@dataclass
+class IntParameter(Parameter):
+    """Uniform integer range ``[lo, hi]``.
+
+    ``grid_values`` optionally overrides the default power-of-two grid used
+    by the pre-defined candidate sets (e.g. the unroll factor uses
+    ``{0, 2, 4, 8}`` because ``u = 0`` means "no unrolling" and is equivalent
+    to ``u = 1``).
+
+    >>> p = IntParameter("u", 0, 8)
+    >>> p.cardinality()
+    9
+    >>> p.clip(12.7)
+    8
+    """
+
+    name: str
+    lo: int
+    hi: int
+    grid_values: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"{self.name}: hi < lo ({self.hi} < {self.lo})")
+        if self.grid_values is not None:
+            bad = [v for v in self.grid_values if not self.lo <= v <= self.hi]
+            if bad:
+                raise ValueError(f"{self.name}: grid values {bad} outside [{self.lo}, {self.hi}]")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.lo, self.hi + 1))
+
+    def clip(self, value: float) -> int:
+        return int(np.clip(round(float(value)), self.lo, self.hi))
+
+    def grid(self) -> tuple[int, ...]:
+        if self.grid_values is not None:
+            return tuple(self.grid_values)
+        vals = [v for v in _pow2_between(max(self.lo, 1), self.hi)]
+        if self.lo <= 0:
+            vals = [self.lo, *vals]
+        return tuple(dict.fromkeys(vals))
+
+    def cardinality(self) -> int:
+        return self.hi - self.lo + 1
+
+
+@dataclass
+class PowerOfTwoParameter(Parameter):
+    """Power-of-two values in ``[lo, hi]`` (both powers of two).
+
+    Block sizes are navigated on the exponent axis: a "step of one" doubles
+    or halves the block, which matches how tile-size landscapes behave.
+
+    >>> p = PowerOfTwoParameter("bx", 2, 1024)
+    >>> p.cardinality()
+    10
+    >>> p.clip(100)
+    128
+    """
+
+    name: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        check_power_of_two(f"{self.name}.lo", self.lo)
+        check_power_of_two(f"{self.name}.hi", self.hi)
+        if self.hi < self.lo:
+            raise ValueError(f"{self.name}: hi < lo ({self.hi} < {self.lo})")
+
+    @property
+    def lo_exp(self) -> int:
+        return int(self.lo).bit_length() - 1
+
+    @property
+    def hi_exp(self) -> int:
+        return int(self.hi).bit_length() - 1
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return 1 << int(rng.integers(self.lo_exp, self.hi_exp + 1))
+
+    def clip(self, value: float) -> int:
+        value = float(max(value, 1))
+        exp = int(np.clip(round(np.log2(value)), self.lo_exp, self.hi_exp))
+        return 1 << exp
+
+    def grid(self) -> tuple[int, ...]:
+        return tuple(1 << e for e in range(self.lo_exp, self.hi_exp + 1))
+
+    def cardinality(self) -> int:
+        return self.hi_exp - self.lo_exp + 1
+
+    def neighbor(self, value: int, rng: np.random.Generator, scale: float = 1.0) -> int:
+        exp = int(max(value, 1)).bit_length() - 1
+        step = int(round(rng.normal(0.0, max(scale, 0.5))))
+        if step == 0:
+            step = int(rng.choice([-1, 1]))
+        new_exp = int(np.clip(exp + step, self.lo_exp, self.hi_exp))
+        return 1 << new_exp
+
+    def normalize(self, value: int) -> float:
+        """Log-scale normalization: exponent mapped linearly into [0, 1]."""
+        if self.hi_exp == self.lo_exp:
+            return 0.0
+        exp = np.log2(max(float(value), 1.0))
+        return float((exp - self.lo_exp) / (self.hi_exp - self.lo_exp))
+
+    def from_unit(self, u: float) -> int:
+        """Unit space maps linearly onto the *exponent* axis."""
+        u = float(np.clip(u, 0.0, 1.0))
+        exp = self.lo_exp + u * (self.hi_exp - self.lo_exp)
+        return 1 << int(round(exp))
+
+
+def _pow2_between(lo: int, hi: int) -> list[int]:
+    vals = []
+    v = 1
+    while v <= hi:
+        if v >= lo:
+            vals.append(v)
+        v <<= 1
+    return vals

@@ -1,0 +1,81 @@
+"""Pre-defined candidate sets for the standalone autotuner (paper §VI-A).
+
+The paper evaluates the ordinal-regression model by letting it rank a fixed,
+statically chosen set of tuning configurations: *"This set consists of 1600
+for 2d stencils and 8640 for the 3d cases.  These options are statically
+chosen in a way that the search space is hierarchically sampled, by
+considering all combinations consisting of power of two values for each
+tuning parameter."*
+
+We reproduce that construction: enumerate the full power-of-two
+cross-product of the space, order it hierarchically (coarse grids first:
+lower maximum refinement level, then lower total refinement, then
+lexicographic), and truncate to the requested size.  For the 2-D PATUS space
+the full product has exactly 1600 elements, matching the paper; the 3-D
+product is larger, and truncation keeps the hierarchically coarsest 8640 —
+the same kind of "sampled hierarchically" subset the paper describes.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.tuning.space import TuningSpace, patus_space
+from repro.tuning.vector import TuningVector
+
+__all__ = [
+    "hierarchical_pow2_candidates",
+    "preset_candidates",
+    "PRESET_SIZE_2D",
+    "PRESET_SIZE_3D",
+]
+
+#: Candidate-set sizes used throughout the paper's evaluation.
+PRESET_SIZE_2D = 1600
+PRESET_SIZE_3D = 8640
+
+
+def _refinement_levels(grid: tuple[int, ...], value: int) -> int:
+    """Position of ``value`` inside its parameter grid = its refinement depth."""
+    return grid.index(value)
+
+
+def hierarchical_pow2_candidates(
+    space: TuningSpace, max_size: int | None = None
+) -> list[TuningVector]:
+    """All power-of-two grid combinations, hierarchically ordered.
+
+    The ordering key per combination is ``(max level, sum of levels,
+    lexicographic levels)`` where a parameter's *level* is its index in the
+    parameter's power-of-two grid.  Level-0 everywhere is the coarsest
+    configuration; increasing the key refines one axis at a time — exactly a
+    hierarchical sampling of the grid.  Truncating the ordered list therefore
+    keeps a well-spread, coarse-to-fine subset.
+    """
+    grids = [p.grid() for p in space.parameters]
+    combos = []
+    for values in product(*grids):
+        levels = tuple(
+            _refinement_levels(grid, v) for grid, v in zip(grids, values)
+        )
+        key = (max(levels), sum(levels), levels)
+        combos.append((key, values))
+    combos.sort(key=lambda item: item[0])
+    if max_size is not None:
+        combos = combos[:max_size]
+    return [TuningVector.from_iterable(values) for _, values in combos]
+
+
+def preset_candidates(dims: int) -> list[TuningVector]:
+    """The paper's pre-defined candidate set: 1600 (2-D) or 8640 (3-D).
+
+    >>> len(preset_candidates(2))
+    1600
+    >>> len(preset_candidates(3))
+    8640
+    """
+    if dims == 2:
+        return hierarchical_pow2_candidates(patus_space(2), PRESET_SIZE_2D)
+    if dims == 3:
+        return hierarchical_pow2_candidates(patus_space(3), PRESET_SIZE_3D)
+    raise ValueError(f"dims must be 2 or 3, got {dims}")

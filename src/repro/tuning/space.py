@@ -1,0 +1,224 @@
+"""The tuning space ``T`` the autotuner explores (paper §IV, §V).
+
+A :class:`TuningSpace` is an ordered set of :class:`~repro.tuning.parameters.
+Parameter` objects together with vector-level operations used by the search
+algorithms: uniform sampling, clipping, neighbour moves, crossover and
+array encoding/decoding.  :func:`patus_space` builds the concrete PATUS
+space used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.tuning.parameters import IntParameter, Parameter, PowerOfTwoParameter
+from repro.tuning.vector import TuningVector
+from repro.util.rng import as_generator
+
+__all__ = ["TuningSpace", "patus_space"]
+
+_PARAM_ORDER = ("bx", "by", "bz", "unroll", "chunk")
+
+
+@dataclass
+class TuningSpace:
+    """Search space over tuning vectors for a stencil of given dimensionality.
+
+    >>> space = patus_space(dims=3)
+    >>> space.dims, len(space.parameters)
+    (3, 5)
+    >>> space.contains(TuningVector(64, 8, 4, 2, 1))
+    True
+    """
+
+    dims: int
+    parameters: tuple[Parameter, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.dims not in (2, 3):
+            raise ValueError(f"dims must be 2 or 3, got {self.dims}")
+        names = [p.name for p in self.parameters]
+        if names != list(_PARAM_ORDER):
+            raise ValueError(f"parameters must be named {_PARAM_ORDER}, got {names}")
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Canonical parameter names in order."""
+        return _PARAM_ORDER
+
+    def parameter(self, name: str) -> Parameter:
+        """Look up a parameter by name."""
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def cardinality(self) -> int:
+        """Size of the full cross-product space.
+
+        The paper quotes ~10^6.5 for OpenTuner's stencil space; the exact
+        number here depends on the parameter domains but is of the same
+        order for the power-of-two PATUS space.
+        """
+        n = 1
+        for p in self.parameters:
+            n *= p.cardinality()
+        return n
+
+    def contains(self, vector: TuningVector) -> bool:
+        """True iff every component is a legal setting."""
+        return all(
+            p.contains(v) for p, v in zip(self.parameters, vector.as_tuple())
+        )
+
+    # -- sampling / repair ---------------------------------------------------
+
+    def clip(self, values: Iterable[float]) -> TuningVector:
+        """Repair an arbitrary real 5-vector into the nearest legal vector."""
+        vals = list(values)
+        if len(vals) != len(self.parameters):
+            raise ValueError(f"expected {len(self.parameters)} values, got {len(vals)}")
+        clipped = [p.clip(v) for p, v in zip(self.parameters, vals)]
+        return TuningVector.from_iterable(clipped)
+
+    def random_vector(self, rng: np.random.Generator | int | None = None) -> TuningVector:
+        """Draw a uniform random tuning vector."""
+        gen = as_generator(rng)
+        return TuningVector.from_iterable([p.sample(gen) for p in self.parameters])
+
+    def random_vectors(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        unique: bool = True,
+        max_tries_factor: int = 50,
+    ) -> list[TuningVector]:
+        """Draw ``n`` random vectors, de-duplicated by default.
+
+        Falls back to allowing duplicates if the space is too small to supply
+        ``n`` distinct vectors within ``n * max_tries_factor`` draws.
+        """
+        gen = as_generator(rng)
+        out: list[TuningVector] = []
+        seen: set[TuningVector] = set()
+        tries = 0
+        while len(out) < n:
+            vec = self.random_vector(gen)
+            tries += 1
+            if unique and vec in seen:
+                if tries > n * max_tries_factor:
+                    unique = False
+                continue
+            seen.add(vec)
+            out.append(vec)
+        return out
+
+    def neighbor(
+        self,
+        vector: TuningVector,
+        rng: np.random.Generator | int | None = None,
+        scale: float = 1.0,
+        n_moves: int = 1,
+    ) -> TuningVector:
+        """Propose a local move: perturb ``n_moves`` randomly chosen components."""
+        gen = as_generator(rng)
+        values = list(vector.as_tuple())
+        idxs = gen.choice(len(values), size=min(n_moves, len(values)), replace=False)
+        for i in idxs:
+            values[i] = self.parameters[i].neighbor(values[i], gen, scale)
+        return TuningVector.from_iterable(values)
+
+    def crossover(
+        self,
+        a: TuningVector,
+        b: TuningVector,
+        rng: np.random.Generator | int | None = None,
+    ) -> TuningVector:
+        """Uniform crossover of two parents (used by the genetic algorithms)."""
+        gen = as_generator(rng)
+        mask = gen.integers(0, 2, size=len(self.parameters)).astype(bool)
+        values = [
+            av if take_a else bv
+            for av, bv, take_a in zip(a.as_tuple(), b.as_tuple(), mask)
+        ]
+        return TuningVector.from_iterable(values)
+
+    # -- array encoding ------------------------------------------------------
+
+    def encode(self, vectors: Sequence[TuningVector]) -> np.ndarray:
+        """Stack vectors into an ``(n, 5)`` float array (raw values)."""
+        return np.array([v.as_tuple() for v in vectors], dtype=float)
+
+    def decode(self, array: np.ndarray) -> list[TuningVector]:
+        """Clip each row of an ``(n, 5)`` array back into legal vectors."""
+        arr = np.atleast_2d(np.asarray(array, dtype=float))
+        return [self.clip(row) for row in arr]
+
+    def normalize(self, vectors: Sequence[TuningVector]) -> np.ndarray:
+        """Per-parameter ``[0, 1]`` encoding (log-scale for pow-2 params).
+
+        This is the tuning part of the paper's feature vector.
+        """
+        raw = self.encode(vectors)
+        out = np.empty_like(raw)
+        for j, p in enumerate(self.parameters):
+            out[:, j] = [p.normalize(int(v)) for v in raw[:, j]]
+        return out
+
+    def to_unit(self, vector: TuningVector) -> np.ndarray:
+        """Map one vector into the continuous unit cube ``[0, 1]^5``."""
+        return np.array(
+            [p.normalize(v) for p, v in zip(self.parameters, vector.as_tuple())]
+        )
+
+    def from_unit(self, unit: np.ndarray) -> TuningVector:
+        """Snap a unit-cube point to the nearest legal tuning vector
+        (continuous optimizers like DE and ES move in this space)."""
+        unit = np.asarray(unit, dtype=float)
+        if unit.shape != (len(self.parameters),):
+            raise ValueError(f"expected shape ({len(self.parameters)},), got {unit.shape}")
+        return TuningVector.from_iterable(
+            [p.from_unit(u) for p, u in zip(self.parameters, unit)]
+        )
+
+
+def patus_space(
+    dims: int,
+    block_lo: int = 2,
+    block_hi: int = 1024,
+    unroll_hi: int = 8,
+    chunk_hi: int = 8,
+) -> TuningSpace:
+    """The PATUS tuning space of the paper (§V).
+
+    ``bx, by`` (and ``bz`` for 3-D kernels) are power-of-two block sizes in
+    ``[2, 1024]``; the unroll factor ranges 0–8 (0 = no unrolling); the chunk
+    size is a power of two.  For 2-D stencils the ``bz`` parameter is pinned
+    to the single value 1 so that both spaces share the same 5-vector layout
+    (and hence the same feature encoding).
+
+    With the default domains, the power-of-two grid cross-product has exactly
+    1600 elements for 2-D kernels (10 × 10 block grids, unroll grid
+    ``{0, 2, 4, 8}``, chunk grid ``{1, 2, 4, 8}``) — the size of the paper's
+    pre-defined 2-D candidate set.
+    """
+    if dims == 3:
+        bz: Parameter = PowerOfTwoParameter("bz", block_lo, block_hi)
+    else:
+        bz = PowerOfTwoParameter("bz", 1, 1)
+    unroll_grid = tuple(v for v in (0, 2, 4, 8) if v <= unroll_hi)
+    return TuningSpace(
+        dims=dims,
+        parameters=(
+            PowerOfTwoParameter("bx", block_lo, block_hi),
+            PowerOfTwoParameter("by", block_lo, block_hi),
+            bz,
+            IntParameter("unroll", 0, unroll_hi, grid_values=unroll_grid),
+            PowerOfTwoParameter("chunk", 1, chunk_hi),
+        ),
+    )

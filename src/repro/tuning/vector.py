@@ -1,0 +1,86 @@
+"""The tuning vector ``t = (bx, by, bz, u, c)`` (paper §V).
+
+A :class:`TuningVector` is a frozen value object so it can key dictionaries
+(evaluation caches, search archives) and be shared freely between search
+algorithms and the machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["TuningVector"]
+
+
+@dataclass(frozen=True, order=True)
+class TuningVector:
+    """Blocking sizes, unroll factor and chunk size for one stencil variant.
+
+    >>> t = TuningVector(bx=64, by=8, bz=4, unroll=2, chunk=1)
+    >>> t.block_volume
+    2048
+    >>> t.as_tuple()
+    (64, 8, 4, 2, 1)
+    """
+
+    bx: int
+    by: int
+    bz: int = 1
+    unroll: int = 0
+    chunk: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("bx", "by", "bz", "chunk"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+            object.__setattr__(self, name, int(value))
+        if not isinstance(self.unroll, (int, np.integer)) or self.unroll < 0:
+            raise ValueError(f"unroll must be a non-negative integer, got {self.unroll!r}")
+        object.__setattr__(self, "unroll", int(self.unroll))
+
+    @property
+    def block(self) -> tuple[int, int, int]:
+        """The tile dimensions ``(bx, by, bz)``."""
+        return (self.bx, self.by, self.bz)
+
+    @property
+    def block_volume(self) -> int:
+        """Number of grid points per tile."""
+        return self.bx * self.by * self.bz
+
+    @property
+    def effective_unroll(self) -> int:
+        """Unroll factor as replication count: 0 (off) and 1 both mean ×1."""
+        return max(self.unroll, 1)
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """``(bx, by, bz, unroll, chunk)``."""
+        return (self.bx, self.by, self.bz, self.unroll, self.chunk)
+
+    def as_array(self) -> np.ndarray:
+        """Float array view, in the canonical parameter order."""
+        return np.array(self.as_tuple(), dtype=float)
+
+    @classmethod
+    def from_iterable(cls, values: "list[int] | tuple[int, ...] | np.ndarray") -> "TuningVector":
+        """Build from 5 values in canonical order (inverse of :meth:`as_tuple`)."""
+        vals = [int(round(float(v))) for v in values]
+        if len(vals) != 5:
+            raise ValueError(f"expected 5 values (bx, by, bz, u, c), got {len(vals)}")
+        return cls(bx=vals[0], by=vals[1], bz=vals[2], unroll=vals[3], chunk=vals[4])
+
+    def replace(self, **changes: int) -> "TuningVector":
+        """Return a copy with some fields replaced."""
+        fields = dict(bx=self.bx, by=self.by, bz=self.bz, unroll=self.unroll, chunk=self.chunk)
+        fields.update(changes)
+        return TuningVector(**fields)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+    def __str__(self) -> str:
+        return f"(bx={self.bx}, by={self.by}, bz={self.bz}, u={self.unroll}, c={self.chunk})"

@@ -1,0 +1,31 @@
+"""Shared plumbing: deterministic RNG streams, ASCII reports, timing, validation.
+
+Nothing in this package knows about stencils or machine models; it is the
+dependency-free bottom layer of the library.
+"""
+
+from repro.util.rng import RngFactory, as_generator, hash_seed, spawn
+from repro.util.tables import Table, format_series, format_table
+from repro.util.timing import Stopwatch, format_seconds
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_type,
+)
+
+__all__ = [
+    "RngFactory",
+    "Stopwatch",
+    "Table",
+    "as_generator",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "check_type",
+    "format_seconds",
+    "format_series",
+    "format_table",
+    "hash_seed",
+    "spawn",
+]

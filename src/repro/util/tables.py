@@ -1,0 +1,139 @@
+"""ASCII table / series rendering for experiment harnesses.
+
+The experiment modules print the same rows and series the paper's tables and
+figures report.  This module renders them readably in a terminal without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["Table", "format_table", "format_series", "format_histogram"]
+
+
+def _fmt_cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table builder.
+
+    >>> t = Table(["name", "value"])
+    >>> t.add_row(["x", 1.5])
+    >>> print(t.render(floatfmt=".1f"))
+    name | value
+    ---- | -----
+    x    | 1.5
+    """
+
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    title: str | None = None
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append one row; its length must match the header."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def add_mapping(self, row: Mapping[str, Any], default: Any = "") -> None:
+        """Append a row given as a dict keyed by column name."""
+        self.add_row([row.get(col, default) for col in self.columns])
+
+    def sort_by(self, column: str, reverse: bool = False) -> None:
+        """Sort rows in place by the named column."""
+        idx = list(self.columns).index(column)
+        self.rows.sort(key=lambda r: r[idx], reverse=reverse)
+
+    def render(self, floatfmt: str = ".4g") -> str:
+        """Render the table as aligned ASCII text."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt_cell(v, floatfmt) for v in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+        lines.append(" | ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """One-shot helper: build and render a :class:`Table`."""
+    t = Table(list(columns), title=title)
+    for row in rows:
+        t.add_row(list(row))
+    return t.render(floatfmt=floatfmt)
+
+
+def format_series(
+    x: Sequence[Any],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render several aligned series (one column per named series).
+
+    Used by the figure harnesses to print e.g. GFlop/s versus evaluation
+    count for every search method, matching the paper's line plots.
+    """
+    columns = [x_label, *series.keys()]
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv, *(vals[i] for vals in series.values())])
+    return format_table(columns, rows, title=title, floatfmt=floatfmt)
+
+
+def format_histogram(
+    values: Sequence[float],
+    bins: int = 20,
+    width: int = 40,
+    lo: float | None = None,
+    hi: float | None = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render a vertical ASCII histogram (poor-man's violin plot for Fig. 7)."""
+    import numpy as np
+
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return "(empty)"
+    lo = float(arr.min()) if lo is None else lo
+    hi = float(arr.max()) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    counts, edges = np.histogram(arr, bins=bins, range=(lo, hi))
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(
+            f"[{format(left, floatfmt)}, {format(right, floatfmt)}) "
+            f"{bar} {int(count)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Wall-clock timing helpers used by the experiment harnesses (Table II)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration the way the paper's Table II does (ms / s / m / h).
+
+    >>> format_seconds(0.0004)
+    '<1 ms'
+    >>> format_seconds(0.02)
+    '0.02s'
+    >>> format_seconds(260)
+    '4m 20s'
+    >>> format_seconds(115200)
+    '32h 0m'
+    """
+    if seconds < 1e-3:
+        return "<1 ms"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f} ms" if seconds >= 0.1 else f"{seconds:.2g}s"
+    if seconds < 60:
+        return f"{seconds:.2f}s".rstrip("0").rstrip(".") + ("s" if "." not in f"{seconds:.2f}s" else "")
+    if seconds < 3600:
+        m, s = divmod(int(round(seconds)), 60)
+        return f"{m}m {s}s"
+    h, rem = divmod(int(round(seconds)), 3600)
+    return f"{h}h {rem // 60}m"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    >>> sw = Stopwatch()
+    >>> with sw.lap("train"):
+    ...     pass
+    >>> "train" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, watch: "Stopwatch", name: str) -> None:
+            self._watch = watch
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            self._watch.laps[self._name] = self._watch.laps.get(self._name, 0.0) + elapsed
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Context manager accumulating elapsed wall time under ``name``."""
+        return Stopwatch._Lap(self, name)
+
+    def total(self) -> float:
+        """Sum of all laps, in seconds."""
+        return sum(self.laps.values())
+
+    def report(self) -> str:
+        """Render laps as ``name: duration`` lines."""
+        return "\n".join(f"{k}: {format_seconds(v)}" for k, v in self.laps.items())

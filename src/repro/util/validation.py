@@ -1,0 +1,59 @@
+"""Argument-validation helpers with consistent error messages.
+
+Raising early with a precise message is the library-wide convention: every
+public constructor validates its inputs through these helpers so that a
+malformed stencil/tuning specification fails at construction, not deep inside
+the machine model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "check_type",
+    "check_positive",
+    "check_in_range",
+    "check_power_of_two",
+    "is_power_of_two",
+]
+
+
+def check_type(name: str, value: Any, *types: type) -> Any:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        expected = " or ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Raise :class:`ValueError` unless ``value`` is positive (``> 0`` by default)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Raise :class:`ValueError` unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive integral power of two.
+
+    >>> [v for v in range(1, 9) if is_power_of_two(v)]
+    [1, 2, 4, 8]
+    """
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Raise :class:`ValueError` unless ``value`` is a power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value

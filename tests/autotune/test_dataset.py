@@ -1,0 +1,75 @@
+"""Tests for the TrainingSet artifact."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.dataset import TrainingSet
+from repro.ranking.partial import RankingGroups
+
+
+@pytest.fixture()
+def small_set():
+    rng = np.random.default_rng(0)
+    X = rng.random((60, 5))
+    times = rng.random(60) + 0.1
+    groups = np.repeat(np.arange(6), 10)
+    return TrainingSet(
+        data=RankingGroups(X, times, groups),
+        group_labels={i: f"inst-{i}" for i in range(6)},
+        generation_wall_s=120.0,
+        compile_wall_s=3600.0,
+        encoder_fingerprint="fp-1",
+    )
+
+
+class TestPersistence:
+    def test_roundtrip(self, small_set, tmp_path):
+        path = tmp_path / "ts.npz"
+        small_set.save(path)
+        loaded = TrainingSet.load(path)
+        assert np.array_equal(loaded.data.X, small_set.data.X)
+        assert np.array_equal(loaded.data.times, small_set.data.times)
+        assert np.array_equal(loaded.data.groups, small_set.data.groups)
+        assert loaded.group_labels == small_set.group_labels
+        assert loaded.generation_wall_s == 120.0
+        assert loaded.compile_wall_s == 3600.0
+        assert loaded.encoder_fingerprint == "fp-1"
+
+    def test_summary_mentions_counts(self, small_set):
+        s = small_set.summary()
+        assert "60 points" in s and "6 instances" in s
+
+
+class TestSubset:
+    def test_subset_size_close(self, small_set):
+        sub = small_set.subset_points(30)
+        assert 24 <= len(sub) <= 36
+
+    def test_every_group_survives(self, small_set):
+        sub = small_set.subset_points(14)
+        assert sub.num_instances == 6
+
+    def test_minimum_two_per_group(self, small_set):
+        sub = small_set.subset_points(12)
+        for _, rows in sub.data.iter_groups():
+            assert rows.size >= 2
+
+    def test_oversized_request_returns_self(self, small_set):
+        assert small_set.subset_points(10_000) is small_set
+
+    def test_deterministic(self, small_set):
+        a = small_set.subset_points(30, rng_seed=1)
+        b = small_set.subset_points(30, rng_seed=1)
+        assert np.array_equal(a.data.times, b.data.times)
+
+    def test_generation_time_prorated(self, small_set):
+        sub = small_set.subset_points(30)
+        assert sub.generation_wall_s == pytest.approx(
+            120.0 * len(sub) / 60, rel=1e-9
+        )
+        assert sub.compile_wall_s == 3600.0  # compile cost is not per-point
+
+    def test_subset_rows_come_from_parent(self, small_set):
+        sub = small_set.subset_points(30)
+        parent_rows = {tuple(r) for r in small_set.data.X}
+        assert all(tuple(r) in parent_rows for r in sub.data.X)

@@ -1,0 +1,104 @@
+"""Tests for the Fig. 3 training pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.autotune.training import (
+    SIZES_2D,
+    SIZES_3D,
+    TrainingSetBuilder,
+    generate_training_kernels,
+    training_instances,
+)
+from repro.machine.executor import SimulatedMachine
+
+
+class TestCorpus:
+    def test_sixty_codes(self):
+        assert len(generate_training_kernels()) == 60
+
+    def test_names_unique(self):
+        names = [k.name for k in generate_training_kernels()]
+        assert len(set(names)) == 60
+
+    def test_both_dimensionalities(self):
+        kernels = generate_training_kernels()
+        assert {k.dims for k in kernels} == {2, 3}
+
+    def test_all_four_shapes_present(self):
+        names = " ".join(k.name for k in generate_training_kernels())
+        for shape in ("line", "hyperplane", "hypercube", "laplacian"):
+            assert shape in names
+
+    def test_dtypes_and_buffers_vary(self):
+        kernels = generate_training_kernels()
+        assert {k.dtype.value for k in kernels} == {"float", "double"}
+        assert {k.num_buffers for k in kernels} == {1, 2}
+
+    def test_instance_count_near_200(self):
+        instances = training_instances()
+        assert len(instances) == 210  # paper: "total number of instances q is 200"
+
+    def test_paper_sizes_used(self):
+        instances = training_instances()
+        sizes_3d = {q.size for q in instances if q.dims == 3}
+        sizes_2d = {q.size for q in instances if q.dims == 2}
+        assert sizes_3d == set(SIZES_3D)
+        assert sizes_2d == set(SIZES_2D)
+
+    def test_radius_within_encoder_limit(self):
+        assert max(k.radius for k in generate_training_kernels()) <= 3
+
+
+class TestAllocation:
+    def test_3d_gets_double_weight(self, machine):
+        builder = TrainingSetBuilder(machine)
+        instances = training_instances()
+        counts = builder.point_allocation(instances, 6000)
+        c3 = [c for q, c in zip(instances, counts) if q.dims == 3]
+        c2 = [c for q, c in zip(instances, counts) if q.dims == 2]
+        assert np.mean(c3) == pytest.approx(2.0 * np.mean(c2), rel=0.1)
+
+    def test_minimum_two_per_instance(self, machine):
+        builder = TrainingSetBuilder(machine)
+        counts = builder.point_allocation(training_instances(), 520)
+        assert min(counts) >= 2
+
+    def test_too_small_budget_rejected(self, machine):
+        builder = TrainingSetBuilder(machine)
+        with pytest.raises(ValueError, match="at least"):
+            builder.point_allocation(training_instances(), 100)
+
+
+class TestBuild:
+    def test_build_shape(self, tiny_training_set):
+        ts = tiny_training_set
+        assert ts.num_instances == 210
+        assert len(ts) >= 420
+        assert ts.data.X.shape[1] > 0
+
+    def test_features_in_unit_interval(self, tiny_training_set):
+        X = tiny_training_set.data.X
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_times_positive(self, tiny_training_set):
+        assert (tiny_training_set.data.times > 0).all()
+
+    def test_labels_cover_groups(self, tiny_training_set):
+        gids = set(np.unique(tiny_training_set.data.groups).tolist())
+        assert set(tiny_training_set.group_labels) == gids
+
+    def test_accounting_recorded(self, tiny_training_set):
+        assert tiny_training_set.generation_wall_s > 0
+        # Table II ballpark: the corpus compile is tens of hours
+        assert 16 * 3600 < tiny_training_set.compile_wall_s < 64 * 3600
+
+    def test_deterministic(self):
+        a = TrainingSetBuilder(SimulatedMachine(seed=3), seed=3).build(520)
+        b = TrainingSetBuilder(SimulatedMachine(seed=3), seed=3).build(520)
+        assert np.array_equal(a.data.times, b.data.times)
+        assert np.array_equal(a.data.X, b.data.X)
+
+    def test_fingerprint_stable(self, machine):
+        builder = TrainingSetBuilder(machine)
+        assert builder.fingerprint() == builder.fingerprint()

@@ -1,0 +1,72 @@
+"""Tests for the compiler driver and the double-compilation accounting."""
+
+import pytest
+
+from repro.codegen.compiler import PatusCompiler
+from repro.codegen.dsl import kernel_to_dsl
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture()
+def compiler():
+    return PatusCompiler()
+
+
+@pytest.fixture()
+def lap():
+    return StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+
+
+class TestCompile:
+    def test_produces_source_and_nest(self, compiler, lap):
+        v = compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 2, 1))
+        assert "#pragma omp" in v.c_source
+        assert v.nest.kernel_name == "lap"
+        assert v.compile_seconds > 0
+
+    def test_binary_cache_keyed_on_unroll(self, compiler, lap):
+        first = compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 2, 1))
+        same_unroll = compiler.compile(lap, (32, 32, 32), TuningVector(16, 4, 2, 2, 4))
+        new_unroll = compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 4, 1))
+        assert first.compile_seconds > 0
+        assert same_unroll.compile_seconds == 0.0  # blocks are runtime params
+        assert new_unroll.compile_seconds > 0
+
+    def test_unroll_0_and_1_share_binary(self, compiler, lap):
+        compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 0, 1))
+        again = compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 1, 1))
+        assert again.compile_seconds == 0.0
+
+    def test_accounting_accrues(self, compiler, lap):
+        compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 2, 1))
+        compiler.compile(lap, (32, 32, 32), TuningVector(8, 8, 8, 4, 1))
+        assert compiler.accounted_compile_s == pytest.approx(
+            compiler.estimate_compile_seconds(lap, 2)
+            + compiler.estimate_compile_seconds(lap, 4)
+        )
+
+    def test_compile_dsl_end_to_end(self, compiler, lap):
+        v = compiler.compile_dsl(kernel_to_dsl(lap), (16, 16, 16), TuningVector(4, 4, 4, 0, 1))
+        assert v.kernel.buffer_patterns == lap.buffer_patterns
+
+
+class TestTimeModel:
+    def test_dense_patterns_slower(self, compiler):
+        sparse = StencilKernel.single_buffer("s", laplacian(3, 1), "float")
+        dense = StencilKernel.single_buffer("d", hypercube(3, 2), "float")
+        assert compiler.estimate_compile_seconds(
+            dense, 2
+        ) > 2.0 * compiler.estimate_compile_seconds(sparse, 2)
+
+    def test_unroll_increases_gcc_time(self, compiler, lap):
+        assert compiler.gcc_seconds(lap, 8) > compiler.gcc_seconds(lap, 1)
+
+    def test_training_set_compile_near_paper_32h(self, compiler):
+        """The accounted corpus compile time must land near the paper's 32 h."""
+        from repro.autotune.training import generate_training_kernels
+
+        total = compiler.training_set_compile_seconds(generate_training_kernels())
+        hours = total / 3600.0
+        assert 16.0 < hours < 64.0  # same order as the paper's 32 h

@@ -1,0 +1,123 @@
+"""Tests for the stencil DSL parser/printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.dsl import DslError, kernel_to_dsl, parse_dsl
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.reference import default_weights
+from repro.stencil.shapes import TRAINING_SHAPES, laplacian
+from repro.stencil.suite import BENCHMARKS
+
+GOOD = """
+# a 2-D five-point laplacian
+stencil lap5 {
+    grid: 2d
+    dtype: float
+    buffer a {
+        (0, 0): 1.0
+        (1, 0): 0.25
+        (-1, 0): 0.25
+        (0, 1): 0.25
+        (0, -1): 0.25
+    }
+}
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        kernel, weights = parse_dsl(GOOD)
+        assert kernel.name == "lap5"
+        assert kernel.dims == 2
+        assert kernel.dtype.value == "float"
+        assert kernel.pattern.num_points == 5
+        assert weights[0][(1, 0, 0)] == 0.25
+
+    def test_comments_and_blanks_ignored(self):
+        kernel, _ = parse_dsl("# lead\n" + GOOD + "\n# trail\n")
+        assert kernel.name == "lap5"
+
+    def test_3d_points(self):
+        text = """stencil k {
+            grid: 3d
+            dtype: double
+            buffer a {
+                (0, 0, 0): 1.0
+                (0, 0, -1): 2.0
+            }
+        }"""
+        kernel, weights = parse_dsl(text)
+        assert kernel.dims == 3
+        assert weights[0][(0, 0, -1)] == 2.0
+
+    def test_extra_reads(self):
+        text = GOOD.replace("dtype: float", "dtype: float\n    extra_reads: 1")
+        kernel, _ = parse_dsl(text)
+        assert kernel.extra_point_reads == 1
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            (lambda s: s.replace("grid: 2d", "grid: 4d"), "grid must be"),
+            (lambda s: s.replace("(0, 0): 1.0", "(0 0): 1.0"), "malformed point"),
+            (lambda s: s.replace("stencil lap5 {", "stencil lap5"), "malformed stencil"),
+            (lambda s: s + "}", "unbalanced"),
+            (lambda s: s.replace("grid: 2d", "weird: yes"), "unknown property"),
+            (
+                lambda s: s.replace("(1, 0): 0.25", "(0, 0): 0.25"),
+                "duplicate point",
+            ),
+        ],
+    )
+    def test_malformed_inputs(self, mutation, message):
+        with pytest.raises(DslError, match=message):
+            parse_dsl(mutation(GOOD))
+
+    def test_unclosed_block(self):
+        with pytest.raises(DslError, match="unclosed"):
+            parse_dsl(GOOD.rstrip().rstrip("}"))
+
+    def test_empty_buffer(self):
+        text = "stencil k {\n grid: 2d\n buffer a {\n }\n}"
+        with pytest.raises(DslError, match="empty buffer"):
+            parse_dsl(text)
+
+    def test_error_reports_line_number(self):
+        bad = GOOD.replace("(1, 0): 0.25", "oops")
+        with pytest.raises(DslError, match=r"line \d+"):
+            parse_dsl(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_all_paper_benchmarks(self, name):
+        kernel = BENCHMARKS[name].kernel
+        text = kernel_to_dsl(kernel)
+        parsed, weights = parse_dsl(text)
+        assert parsed.buffer_patterns == kernel.buffer_patterns
+        assert parsed.dtype == kernel.dtype
+        assert parsed.dims == kernel.dims
+        assert parsed.extra_point_reads == kernel.extra_point_reads
+
+    def test_weights_survive(self):
+        kernel = BENCHMARKS["laplacian"].kernel
+        original = [default_weights(p) for p in kernel.buffer_patterns]
+        _, weights = parse_dsl(kernel_to_dsl(kernel, original))
+        assert weights[0] == {k: pytest.approx(v) for k, v in original[0].items()}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(sorted(TRAINING_SHAPES)),
+        st.sampled_from([2, 3]),
+        st.integers(1, 3),
+        st.sampled_from(["float", "double"]),
+    )
+    def test_training_corpus_roundtrip(self, shape, dims, radius, dtype):
+        kernel = StencilKernel(
+            "t", (TRAINING_SHAPES[shape](dims, radius),), dtype=dtype, space_dims=dims
+        )
+        parsed, _ = parse_dsl(kernel_to_dsl(kernel))
+        assert parsed.buffer_patterns == kernel.buffer_patterns
+        assert parsed.dims == kernel.dims

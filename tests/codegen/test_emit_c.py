@@ -1,0 +1,77 @@
+"""Structural tests for the C emitter."""
+
+import re
+
+import pytest
+
+from repro.codegen.emit_c import emit_c
+from repro.codegen.lower import lower_kernel
+from repro.codegen.transforms import apply_tuning
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import laplacian
+from repro.stencil.suite import BENCHMARKS
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture()
+def source():
+    k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    nest = apply_tuning(lower_kernel(k, (64, 64, 64)), TuningVector(16, 8, 8, 4, 2))
+    return emit_c(nest)
+
+
+class TestStructure:
+    def test_has_openmp_pragma_with_chunk(self, source):
+        assert "#pragma omp parallel for schedule(dynamic, 2)" in source
+
+    def test_function_signature(self, source):
+        assert "void lap_sweep(double *restrict out" in source
+        assert "const double *restrict in0" in source
+
+    def test_tile_bounds_clipped_with_min(self, source):
+        assert "MIN(tz + 8, sz)" in source
+        assert "MIN(tx + 16, sx)" in source
+
+    def test_unrolled_main_and_remainder(self, source):
+        assert "/* unrolled x4 */" in source
+        assert "/* remainder */" in source
+        # main loop writes 4 points per iteration
+        assert source.count("out[IDX(") >= 5  # 4 replicas + remainder
+
+    def test_unroll_shifts_in_indices(self, source):
+        assert "out[IDX(x + 3, y, z, sx, sy)]" in source
+
+    def test_halo_macro(self, source):
+        assert "#define HALO 1" in source
+
+    def test_custom_function_name(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        nest = lower_kernel(k, (8, 8, 8))
+        assert "void my_fn(" in emit_c(nest, function_name="my_fn")
+
+
+class TestKernelVariants:
+    def test_multibuffer_signature(self):
+        k = BENCHMARKS["divergence"].kernel
+        nest = apply_tuning(lower_kernel(k, (16, 16, 16)), TuningVector(4, 4, 4, 0, 1))
+        src = emit_c(nest)
+        for b in range(3):
+            assert f"const double *restrict in{b}" in src
+
+    def test_float_kernel_type(self):
+        k = BENCHMARKS["blur"].kernel
+        nest = apply_tuning(lower_kernel(k, (64, 64, 1)), TuningVector(8, 8, 1, 0, 1))
+        src = emit_c(nest)
+        assert "float *restrict out" in src
+
+    def test_no_unroll_no_remainder(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        nest = apply_tuning(lower_kernel(k, (8, 8, 8)), TuningVector(4, 4, 4, 0, 1))
+        src = emit_c(nest)
+        assert "remainder" not in src
+
+    def test_weights_appear_as_literals(self, source):
+        assert re.search(r"0\.5 \* in0\[IDX\(", source)
+
+    def test_braces_balanced(self, source):
+        assert source.count("{") == source.count("}")

@@ -1,0 +1,141 @@
+"""Structural tests for the IR and transformation passes."""
+
+import pytest
+
+from repro.codegen.ir import Bound, Loop, LoopNest, PointUpdate, find_loop, walk_loops
+from repro.codegen.lower import build_update, lower_kernel
+from repro.codegen.transforms import (
+    apply_blocking,
+    apply_chunking,
+    apply_tuning,
+    apply_unrolling,
+)
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import laplacian
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture()
+def lap():
+    return StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+
+
+@pytest.fixture()
+def nest(lap):
+    return lower_kernel(lap, (16, 12, 8))
+
+
+class TestBound:
+    def test_str_forms(self):
+        assert str(Bound("", 3)) == "3"
+        assert str(Bound("sx")) == "sx"
+        assert str(Bound("tx", -2)) == "tx - 2"
+
+    def test_shifted(self):
+        assert Bound("sx", 1).shifted(2) == Bound("sx", 3)
+
+
+class TestLowering:
+    def test_naive_nest_structure(self, nest):
+        loops = [lp.var for lp in walk_loops(nest.root)]
+        assert loops == ["z", "y", "x"]
+        assert nest.root.parallel
+
+    def test_update_terms(self, lap):
+        u = build_update(lap)
+        assert u.num_reads == 7
+        assert all(buf == 0 for (buf, _), _ in u.terms)
+
+    def test_weight_count_checked(self, lap):
+        with pytest.raises(ValueError, match="weight maps"):
+            build_update(lap, weights=[{}, {}])
+
+    def test_zero_weights_dropped(self, lap):
+        w = [{off: 0.0 for off in lap.pattern.offsets}]
+        assert build_update(lap, w).num_reads == 0
+
+
+class TestBlocking:
+    def test_tile_loops_created(self, nest):
+        blocked = apply_blocking(nest, (4, 4, 4))
+        loops = [lp.var for lp in walk_loops(blocked.root)]
+        assert loops == ["tz", "ty", "tx", "z", "y", "x"]
+
+    def test_parallel_moves_to_tile_loop(self, nest):
+        blocked = apply_blocking(nest, (4, 4, 4))
+        assert find_loop(blocked, "tz").parallel
+        assert not find_loop(blocked, "z").parallel
+
+    def test_steps_are_block_sizes(self, nest):
+        blocked = apply_blocking(nest, (4, 6, 2))
+        assert find_loop(blocked, "tx").step == 4
+        assert find_loop(blocked, "ty").step == 6
+        assert find_loop(blocked, "tz").step == 2
+
+    def test_double_blocking_rejected(self, nest):
+        blocked = apply_blocking(nest, (4, 4, 4))
+        with pytest.raises(ValueError, match="already has tile loops"):
+            apply_blocking(blocked, (2, 2, 2))
+
+    def test_invalid_block(self, nest):
+        with pytest.raises(ValueError):
+            apply_blocking(nest, (0, 4, 4))
+
+    def test_provenance_recorded(self, nest):
+        blocked = apply_blocking(nest, (4, 4, 4))
+        assert "block(4,4,4)" in blocked.tuning_note
+
+
+class TestUnrolling:
+    def test_body_replicated_with_shifts(self, nest):
+        blocked = apply_blocking(nest, (8, 4, 4))
+        unrolled = apply_unrolling(blocked, 4)
+        x = find_loop(unrolled, "x")
+        assert x.unrolled and x.step == 4
+        assert [stmt.shift[0] for stmt in x.body] == [0, 1, 2, 3]
+
+    def test_unroll_zero_and_one_noop(self, nest):
+        assert apply_unrolling(nest, 0) is nest
+        assert apply_unrolling(nest, 1) is nest
+
+    def test_double_unroll_rejected(self, nest):
+        u = apply_unrolling(nest, 2)
+        with pytest.raises(ValueError, match="already unrolled"):
+            apply_unrolling(u, 2)
+
+    def test_negative_rejected(self, nest):
+        with pytest.raises(ValueError):
+            apply_unrolling(nest, -2)
+
+
+class TestChunking:
+    def test_chunk_set_on_parallel_loop(self, nest):
+        blocked = apply_blocking(nest, (4, 4, 4))
+        chunked = apply_chunking(blocked, 8)
+        assert find_loop(chunked, "tz").chunk == 8
+
+    def test_invalid_chunk(self, nest):
+        with pytest.raises(ValueError):
+            apply_chunking(nest, 0)
+
+    def test_requires_parallel_loop(self, lap):
+        update = build_update(lap)
+        serial = Loop("x", Bound("", 0), Bound("sx"), body=(update,))
+        bad = LoopNest("k", 3, (4, 4, 4), 1, "double", serial)
+        with pytest.raises(ValueError, match="no parallel loop"):
+            apply_chunking(bad, 2)
+
+
+class TestFullPipeline:
+    def test_apply_tuning_composition(self, nest):
+        out = apply_tuning(nest, TuningVector(8, 4, 2, 4, 2))
+        assert "block(8,4,2)" in out.tuning_note
+        assert "unroll(4)" in out.tuning_note
+        assert "chunk(2)" in out.tuning_note
+
+    def test_point_update_shift_accumulates(self):
+        u = PointUpdate((((0, (0, 0, 0)), 1.0),))
+        assert u.shifted(2).shifted(1, 1, 0).shift == (3, 1, 0)
+
+    def test_describe_mentions_kernel(self, nest):
+        assert "lap" in nest.describe()

@@ -1,0 +1,82 @@
+"""Shared fixtures: machines, encoders and a small cached training set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune.training import TrainingSetBuilder
+from repro.features.encoder import FeatureEncoder
+from repro.machine.executor import SimulatedMachine
+from repro.ranking.partial import RankingGroups
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+from repro.tuning.space import patus_space
+
+
+@pytest.fixture()
+def machine() -> SimulatedMachine:
+    """A fresh, deterministic simulated machine."""
+    return SimulatedMachine(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def session_machine() -> SimulatedMachine:
+    """A shared machine for read-only measurements (cost cache reused)."""
+    return SimulatedMachine(seed=1234)
+
+
+@pytest.fixture()
+def encoder() -> FeatureEncoder:
+    return FeatureEncoder()
+
+
+@pytest.fixture()
+def lap3d() -> StencilKernel:
+    """The 7-point double-precision Laplacian."""
+    return StencilKernel.single_buffer("laplacian", laplacian(3, 1), "double")
+
+
+@pytest.fixture()
+def blur2d() -> StencilKernel:
+    """The 5×5 single-precision blur."""
+    return StencilKernel.single_buffer("blur", hypercube(2, 2), "float")
+
+
+@pytest.fixture()
+def lap3d_instance(lap3d: StencilKernel) -> StencilInstance:
+    return StencilInstance(lap3d, (64, 64, 64))
+
+
+@pytest.fixture(scope="session")
+def tiny_training_set():
+    """A ~500-point training set over the full 60-code corpus (cached)."""
+    builder = TrainingSetBuilder(machine=SimulatedMachine(seed=7), seed=7)
+    return builder.build(520)
+
+
+@pytest.fixture(scope="session")
+def synthetic_ranking_data() -> RankingGroups:
+    """A grouped dataset with a known, learnable structure.
+
+    Within every group, the runtime decreases in feature 0 and increases in
+    feature 1; other features are noise.  A correct ranker must learn
+    ``w[0] > 0 > w[1]``.
+    """
+    rng = np.random.default_rng(42)
+    n_groups, per_group, d = 12, 20, 6
+    X = rng.random((n_groups * per_group, d))
+    groups = np.repeat(np.arange(n_groups), per_group)
+    times = np.exp(-2.0 * X[:, 0] + 1.5 * X[:, 1] + 0.05 * rng.normal(size=len(X)))
+    return RankingGroups(X, times, groups)
+
+
+@pytest.fixture()
+def space3d():
+    return patus_space(3)
+
+
+@pytest.fixture()
+def space2d():
+    return patus_space(2)

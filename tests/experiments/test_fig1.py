@@ -1,0 +1,41 @@
+"""Tests for the Fig. 1 shape renderer."""
+
+from repro.experiments.fig1 import format_fig1, render_pattern, run_fig1
+from repro.stencil.shapes import hypercube, laplacian, line
+
+
+class TestRenderPattern:
+    def test_origin_marked(self):
+        art = render_pattern(laplacian(3, 1))
+        assert "o" in art
+
+    def test_point_count_matches(self):
+        p = hypercube(3, 1)
+        art = render_pattern(p)
+        assert art.count("#") + art.count("o") == p.num_points
+
+    def test_empty_planes_skipped(self):
+        # a line along x touches only the z = 0 plane
+        art = render_pattern(line(3, 2))
+        assert art.count("z =") == 1
+
+    def test_laplacian_r2_touches_five_planes(self):
+        art = render_pattern(laplacian(3, 2))
+        assert art.count("z =") == 5
+
+
+class TestHarness:
+    def test_all_families_rendered(self):
+        result = run_fig1()
+        assert set(result.renderings) == {"line", "hyperplane", "hypercube", "laplacian"}
+
+    def test_counts_table(self):
+        result = run_fig1(max_radius=3)
+        assert result.point_counts["laplacian"] == {1: 7, 2: 13, 3: 19}
+        assert result.point_counts["hypercube"] == {1: 27, 2: 125, 3: 343}
+
+    def test_format_contains_art_and_table(self):
+        out = format_fig1(run_fig1())
+        assert "Fig. 1" in out
+        assert "points per radius" in out
+        assert "#" in out

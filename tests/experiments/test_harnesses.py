@@ -1,0 +1,147 @@
+"""Tests for the table/figure harnesses (reduced configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import SEARCH_METHODS, ExperimentContext, experiment_scale
+from repro.experiments.fig4 import Fig4Config, format_fig4, run_fig4
+from repro.experiments.fig5 import Fig5Config, format_fig5, run_fig5
+from repro.experiments.fig6 import Fig6Config, format_fig6, run_fig6
+from repro.experiments.fig7 import Fig7Config, format_fig7, run_fig7
+from repro.experiments.table2 import Table2Config, format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def context():
+    """One shared context with a ~600-point base training set."""
+    ctx = ExperimentContext(seed=0)
+    ctx.base_training_set(640)
+    return ctx
+
+
+class TestScale:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert experiment_scale() == "small"
+
+    def test_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert experiment_scale() == "paper"
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            experiment_scale()
+
+
+class TestTable3:
+    def test_rows_and_counts(self):
+        result = run_table3()
+        assert len(result.rows) == 9
+        assert result.num_benchmarks == 17
+
+    def test_format_contains_all_stencils(self):
+        out = format_table3(run_table3())
+        for name in ("blur", "tricubic", "laplacian6"):
+            assert name in out
+
+
+class TestTable2:
+    def test_rows_and_monotonicity(self, context):
+        cfg = Table2Config(sizes=(520, 640))
+        result = run_table2(cfg, context)
+        assert len(result.rows) == 2
+        # generation time grows with training-set size
+        assert result.rows[1]["ts_generation_s"] > result.rows[0]["ts_generation_s"]
+        # regression (ranking 8640 candidates) is fast
+        assert all(r["regression_s"] < 0.5 for r in result.rows)
+        # compile accounting is constant across sizes
+        assert result.rows[0]["ts_comp_s"] == result.rows[1]["ts_comp_s"]
+
+    def test_format(self, context):
+        out = format_table2(run_table2(Table2Config(sizes=(520,)), context))
+        assert "TS Size" in out and "Regression" in out
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        cfg = Fig4Config(
+            benchmarks=("laplacian-128x128x128", "edge-512x512"),
+            evaluations=48,
+            training_sizes=(520, 640),
+        )
+        return run_fig4(cfg, context)
+
+    def test_all_methods_reported(self, result):
+        methods = next(iter(result.speedups.values()))
+        assert len(methods) == len(SEARCH_METHODS) + 2
+
+    def test_ga_speedup_is_one(self, result):
+        for label, per_method in result.speedups.items():
+            assert per_method["genetic algorithm 48 evaluations"] == pytest.approx(1.0)
+
+    def test_speedups_positive(self, result):
+        for per_method in result.speedups.values():
+            assert all(v > 0 for v in per_method.values())
+
+    def test_format(self, result):
+        out = format_fig4(result)
+        assert "speedup" in out
+        assert "laplacian-128x128x128" in out
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        cfg = Fig5Config(
+            stencils=("laplacian-128x128x128",),
+            evaluations=32,
+            training_sizes=(520,),
+        )
+        return run_fig5(cfg, context)
+
+    def test_curves_monotone_nondecreasing(self, result):
+        sp = result.stencils[0]
+        for series in sp.search_curves.values():
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_checkpoints_powers_of_two(self, result):
+        assert result.stencils[0].checkpoints == [1, 2, 4, 8, 16, 32]
+
+    def test_time_to_solution_model_much_faster(self, result):
+        tts = result.stencils[0].time_to_solution
+        search_min = min(v for k, v in tts.items() if "regression" not in k)
+        model_max = max(v for k, v in tts.items() if "regression" in k)
+        assert model_max < 0.01 * search_min
+
+    def test_format(self, result):
+        out = format_fig5(result)
+        assert "GFlop/s" in out and "time-to-solution" in out
+
+
+class TestFig6And7:
+    def test_fig6_tau_improves_with_size(self, context):
+        result = run_fig6(Fig6Config(sizes=(520, 640)), context)
+        stats_small = result.stats(520)
+        stats_large = result.stats(640)
+        assert -1.0 <= stats_small["median"] <= 1.0
+        assert stats_large["mean"] >= stats_small["mean"] - 0.1
+
+    def test_fig6_format(self, context):
+        out = format_fig6(run_fig6(Fig6Config(sizes=(520, 640)), context))
+        assert "Kendall" in out
+
+    def test_fig7_distribution_stats(self, context):
+        result = run_fig7(Fig7Config(sizes=(520, 640)), context)
+        for size, arr in result.taus.items():
+            assert arr.size == 210  # one tau per instance
+            box = result.box_stats(size)
+            assert box["q1"] <= box["median"] <= box["q3"]
+            assert box["lo_whisker"] <= box["q1"]
+            assert box["q3"] <= box["hi_whisker"]
+
+    def test_fig7_format_with_histograms(self, context):
+        out = format_fig7(run_fig7(Fig7Config(sizes=(520,)), context), histograms=True)
+        assert "distribution" in out and "#" in out

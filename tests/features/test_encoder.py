@@ -1,0 +1,151 @@
+"""Tests for the feature encoder (paper §III)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.encoder import FeatureEncoder
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+from repro.stencil.suite import TEST_BENCHMARKS, benchmark_by_id
+from repro.tuning.space import patus_space
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture(scope="module")
+def enc():
+    return FeatureEncoder()
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return benchmark_by_id("laplacian-128x128x128")
+
+
+class TestLayout:
+    def test_num_features_consistent(self, enc, inst):
+        x = enc.encode(inst, TuningVector(64, 8, 8, 2, 1))
+        assert x.shape == (enc.num_features,)
+
+    def test_feature_names_match_length(self, enc):
+        assert len(enc.feature_names()) == enc.num_features
+
+    def test_pattern_block_size(self):
+        enc = FeatureEncoder(max_radius=2)
+        assert enc.num_features == 125 + 9 + 19 + 19 * 14
+
+    def test_no_pattern_variant(self):
+        enc = FeatureEncoder(include_pattern=False)
+        assert enc.num_features == 9 + 19 + 19 * 14
+
+    def test_no_interactions_variant(self):
+        enc = FeatureEncoder(interactions=False)
+        assert enc.num_features == 343 + 9 + 19
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            FeatureEncoder(max_radius=0)
+
+
+class TestUnitInterval:
+    @settings(max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_all_features_in_01(self, seed):
+        enc = FeatureEncoder()
+        inst = benchmark_by_id("wave-128x128x128")
+        tv = patus_space(3).random_vector(seed)
+        x = enc.encode(inst, tv)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+
+    def test_all_benchmarks_encodable(self, enc):
+        for instance in TEST_BENCHMARKS:
+            tv = patus_space(instance.dims).random_vector(0)
+            x = enc.encode(instance, tv)
+            assert np.isfinite(x).all()
+            assert x.min() >= 0.0 and x.max() <= 1.0
+
+
+class TestPatternBlock:
+    def test_2d_lives_on_central_plane(self, enc):
+        k = StencilKernel.single_buffer("blur", hypercube(2, 1), "float")
+        q = StencilInstance(k, (64, 64))
+        pat = enc.pattern_features(q).reshape(7, 7, 7)
+        center_z = 3
+        assert pat[:, :, center_z].sum() > 0
+        other = pat.sum() - pat[:, :, center_z].sum()
+        assert other == 0.0
+
+    def test_counts_normalized_by_peak(self, enc):
+        k = StencilKernel.replicated("k", laplacian(3, 1), 2, "float")
+        q = StencilInstance(k, (64, 64, 64))
+        pat = enc.pattern_features(q)
+        assert pat.max() == 1.0
+
+    def test_radius_overflow_rejected(self, enc):
+        k = StencilKernel.single_buffer("wide", laplacian(3, 4), "float")
+        q = StencilInstance(k, (64, 64, 64))
+        with pytest.raises(ValueError, match="max_radius"):
+            enc.pattern_features(q)
+
+    def test_pattern_reconstructable(self, enc, inst):
+        """The paper: a feature vector can be decoded back into the shape."""
+        from repro.stencil.pattern import StencilPattern
+
+        dense = enc.pattern_features(inst).reshape(7, 7, 7)
+        decoded = StencilPattern.from_dense((dense > 0).astype(int))
+        assert decoded.offsets == inst.kernel.pattern.offsets
+
+
+class TestInstanceSensitivity:
+    def test_dtype_changes_features(self, enc):
+        f = StencilKernel.single_buffer("k", laplacian(3, 1), "float")
+        d = StencilKernel.single_buffer("k", laplacian(3, 1), "double")
+        tv = TuningVector(64, 8, 8, 2, 1)
+        xf = enc.encode(StencilInstance(f, (64, 64, 64)), tv)
+        xd = enc.encode(StencilInstance(d, (64, 64, 64)), tv)
+        assert not np.array_equal(xf, xd)
+
+    def test_size_changes_features(self, enc):
+        k = StencilKernel.single_buffer("k", laplacian(3, 1), "double")
+        tv = TuningVector(64, 8, 8, 2, 1)
+        a = enc.encode(StencilInstance(k, (64, 64, 64)), tv)
+        b = enc.encode(StencilInstance(k, (128, 128, 128)), tv)
+        assert not np.array_equal(a, b)
+
+    def test_tuning_changes_features(self, enc, inst):
+        a = enc.encode(inst, TuningVector(64, 8, 8, 2, 1))
+        b = enc.encode(inst, TuningVector(64, 8, 8, 4, 1))
+        assert not np.array_equal(a, b)
+
+
+class TestBatch:
+    def test_batch_matches_single(self, enc, inst):
+        tunings = patus_space(3).random_vectors(10, rng=1)
+        batch = enc.encode_batch(inst, tunings)
+        for i, tv in enumerate(tunings):
+            assert np.array_equal(batch[i], enc.encode(inst, tv))
+
+    def test_encode_executions_mixed_instances(self, enc):
+        a = benchmark_by_id("laplacian-128x128x128")
+        b = benchmark_by_id("blur-1024x768")
+        execs = [
+            StencilExecution(a, TuningVector(64, 8, 8, 2, 1)),
+            StencilExecution(b, TuningVector(64, 8, 1, 2, 1)),
+            StencilExecution(a, TuningVector(32, 8, 8, 2, 1)),
+        ]
+        X = enc.encode_executions(execs)
+        assert np.array_equal(X[0], enc.encode(a, execs[0].tuning))
+        assert np.array_equal(X[1], enc.encode(b, execs[1].tuning))
+        assert np.array_equal(X[2], enc.encode(a, execs[2].tuning))
+
+    def test_interaction_block_is_outer_product(self, inst):
+        enc = FeatureEncoder()
+        tv = TuningVector(64, 8, 8, 2, 1)
+        x = enc.encode(inst, tv)
+        tune = enc.tuning_features(inst, [tv])[0]
+        desc = enc.instance_descriptor(inst)
+        inter = x[-(enc.N_TUNING * enc.N_DESCRIPTOR):]
+        assert np.allclose(inter, np.outer(tune, desc).ravel())

@@ -1,0 +1,62 @@
+"""Tests for normalization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.features.normalize import lin_norm, log2_norm, log_norm
+
+
+class TestLinNorm:
+    def test_endpoints(self):
+        assert lin_norm(0, 0, 8) == 0.0
+        assert lin_norm(8, 0, 8) == 1.0
+
+    def test_clipping(self):
+        assert lin_norm(-5, 0, 8) == 0.0
+        assert lin_norm(99, 0, 8) == 1.0
+
+    def test_vectorized(self):
+        out = lin_norm(np.array([0.0, 4.0, 8.0]), 0, 8)
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            lin_norm(1, 5, 5)
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False))
+    def test_always_unit_interval(self, v):
+        assert 0.0 <= lin_norm(v, -10, 10) <= 1.0
+
+
+class TestLogNorm:
+    def test_endpoints(self):
+        assert log_norm(2, 2, 1024) == 0.0
+        assert log_norm(1024, 2, 1024) == 1.0
+
+    def test_geometric_midpoint(self):
+        mid = float(np.sqrt(2 * 1024))
+        assert log_norm(mid, 2, 1024) == pytest.approx(0.5)
+
+    def test_doubling_is_constant_step(self):
+        steps = np.diff([log_norm(2**e, 2, 1024) for e in range(1, 11)])
+        assert np.allclose(steps, steps[0])
+
+    def test_below_lo_clipped(self):
+        assert log_norm(0.5, 2, 1024) == 0.0
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            log_norm(1, 0, 8)
+        with pytest.raises(ValueError):
+            log_norm(1, 8, 2)
+
+    def test_log2_alias(self):
+        assert log2_norm(64, 2, 1024) == log_norm(64, 2, 1024)
+
+    def test_vectorized_matches_scalar(self):
+        vals = np.array([2.0, 16.0, 128.0])
+        vec = log_norm(vals, 2, 1024)
+        scal = [log_norm(float(v), 2, 1024) for v in vals]
+        assert np.allclose(vec, scal)

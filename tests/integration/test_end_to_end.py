@@ -1,0 +1,62 @@
+"""End-to-end flows: quickstart path, codegen-to-machine consistency,
+cross-component determinism."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilationWorkflow,
+    OrdinalAutotuner,
+    SimulatedMachine,
+    TrainingSetBuilder,
+    benchmark_by_id,
+)
+from repro.codegen.interp import interpret
+from repro.codegen.lower import lower_kernel
+from repro.codegen.transforms import apply_tuning
+from repro.learn.ranksvm import RankSVMConfig
+from repro.stencil.grid import Grid
+from repro.stencil.reference import apply_kernel
+
+
+class TestQuickstartPath:
+    """The README quickstart must work exactly as documented."""
+
+    def test_full_flow(self, tiny_training_set, tmp_path):
+        tuner = OrdinalAutotuner(config=RankSVMConfig(seed=0)).train(tiny_training_set)
+        inst = benchmark_by_id("laplacian-128x128x128")
+        best = tuner.best(inst)
+        machine = SimulatedMachine(seed=0)
+        measurement = machine.measure_tuning(inst, best)
+        assert measurement.time > 0
+        # persist and reuse
+        tuner.save(str(tmp_path / "model.npz"))
+        clone = OrdinalAutotuner().load(str(tmp_path / "model.npz"))
+        assert clone.best(inst) == best
+
+
+class TestWorkflowToMachine:
+    def test_tuned_binary_semantics_match_reference(self, tiny_training_set):
+        """The variant the workflow emits computes the right stencil."""
+        tuner = OrdinalAutotuner(config=RankSVMConfig(seed=0)).train(tiny_training_set)
+        machine = SimulatedMachine(seed=0)
+        workflow = CompilationWorkflow(tuner, machine)
+        kernel = benchmark_by_id("laplacian-128x128x128").kernel
+        size = (12, 10, 8)
+        binary = workflow.tune_kernel(kernel, size)
+        grids = [Grid.random(size, halo=kernel.radius, dtype=kernel.dtype, rng=3)]
+        ref = apply_kernel(kernel, grids)
+        out = interpret(binary.variant.nest, grids)
+        assert np.allclose(out.interior, ref.interior, rtol=1e-12)
+
+
+class TestDeterminismAcrossRuns:
+    def test_whole_pipeline_reproducible(self):
+        def run():
+            machine = SimulatedMachine(seed=99)
+            ts = TrainingSetBuilder(machine, seed=99).build(520)
+            tuner = OrdinalAutotuner(config=RankSVMConfig(seed=99)).train(ts)
+            inst = benchmark_by_id("gradient-256x256x256")
+            return tuner.best(inst)
+
+        assert run() == run()

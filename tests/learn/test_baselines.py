@@ -1,0 +1,99 @@
+"""Tests for the regression/classification strawmen (§IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.learn.baselines import RuntimeRegression, VariantClassifier
+from repro.ranking.partial import RankingGroups
+
+
+@pytest.fixture()
+def loglinear_data():
+    """Runtime is exactly log-linear in the features: regression's home turf."""
+    rng = np.random.default_rng(5)
+    X = rng.random((120, 4))
+    times = np.exp(1.0 - 1.5 * X[:, 0] + 0.8 * X[:, 2])
+    groups = np.repeat(np.arange(6), 20)
+    return RankingGroups(X, times, groups)
+
+
+class TestRuntimeRegression:
+    def test_recovers_loglinear_coefficients(self, loglinear_data):
+        model = RuntimeRegression(alpha=1e-8).fit(loglinear_data)
+        assert model.w_[0] == pytest.approx(-1.5, abs=0.05)
+        assert model.w_[2] == pytest.approx(0.8, abs=0.05)
+
+    def test_prediction_accuracy(self, loglinear_data):
+        model = RuntimeRegression(alpha=1e-8).fit(loglinear_data)
+        pred = model.predict_log_time(loglinear_data.X)
+        assert np.allclose(pred, np.log(loglinear_data.times), atol=0.05)
+
+    def test_ranking_perfect_on_own_turf(self, loglinear_data):
+        from repro.ranking.kendall import kendall_tau
+
+        model = RuntimeRegression(alpha=1e-8).fit(loglinear_data)
+        scores = model.decision_function(loglinear_data.X)
+        assert kendall_tau(-scores, loglinear_data.times) > 0.99
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RuntimeRegression().predict_log_time(np.zeros((2, 3)))
+
+    def test_rank_order(self, loglinear_data):
+        model = RuntimeRegression().fit(loglinear_data)
+        order = model.rank(loglinear_data.X[:10])
+        scores = model.decision_function(loglinear_data.X[:10])
+        assert (np.diff(scores[order]) <= 1e-12).all()
+
+
+class TestVariantClassifier:
+    @pytest.fixture()
+    def winner_data(self):
+        """Two clusters of instances with two distinct winning configs."""
+        rng = np.random.default_rng(9)
+        rows, times, groups = [], [], []
+        for g in range(10):
+            cluster = g % 2
+            for i in range(10):
+                tuning = rng.random(3)
+                # instance feature identifies the cluster
+                inst = np.array([float(cluster)])
+                target = np.array([0.2, 0.2, 0.2]) if cluster == 0 else np.array([0.8, 0.8, 0.8])
+                t = 1.0 + ((tuning - target) ** 2).sum()
+                rows.append(np.concatenate([inst, tuning]))
+                times.append(t)
+                groups.append(g)
+        return RankingGroups(np.array(rows), np.array(times), np.array(groups))
+
+    def test_fit_builds_codebook(self, winner_data):
+        clf = VariantClassifier(num_classes=4, tuning_slice=slice(1, 4)).fit(winner_data)
+        assert clf.codebook_ is not None
+        assert clf.codebook_.shape[1] == 3
+
+    def test_scores_prefer_configs_near_winner(self, winner_data):
+        clf = VariantClassifier(num_classes=4, tuning_slice=slice(1, 4)).fit(winner_data)
+        # candidates for a cluster-0 instance
+        X = np.array(
+            [
+                [0.0, 0.2, 0.2, 0.2],  # near the cluster-0 winner
+                [0.0, 0.8, 0.8, 0.8],  # near the cluster-1 winner
+            ]
+        )
+        scores = clf.decision_function(X)
+        assert scores[0] > scores[1]
+
+    def test_rank_best_first(self, winner_data):
+        clf = VariantClassifier(num_classes=4, tuning_slice=slice(1, 4)).fit(winner_data)
+        X = np.column_stack(
+            [np.zeros(20), np.linspace(0, 1, 20), np.linspace(0, 1, 20), np.linspace(0, 1, 20)]
+        )
+        best = clf.rank(X)[0]
+        assert np.linalg.norm(X[best, 1:] - 0.2) < 0.2
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            VariantClassifier().decision_function(np.zeros((2, 3)))
+
+    def test_codebook_capped(self, winner_data):
+        clf = VariantClassifier(num_classes=1, tuning_slice=slice(1, 4)).fit(winner_data)
+        assert clf.codebook_.shape[0] == 1

@@ -1,0 +1,73 @@
+"""Tests for grouped cross-validation and C selection."""
+
+import numpy as np
+import pytest
+
+from repro.learn.ranksvm import RankSVMConfig
+from repro.learn.validation import CVResult, cross_validate, grouped_kfold, select_c
+
+
+class TestGroupedKfold:
+    def test_groups_never_straddle(self):
+        groups = np.repeat(np.arange(12), 5)
+        for train, test in grouped_kfold(groups, k=4, seed=0):
+            assert set(groups[train]).isdisjoint(groups[test])
+
+    def test_every_group_tested_once(self):
+        groups = np.repeat(np.arange(12), 5)
+        tested: list[int] = []
+        for _, test in grouped_kfold(groups, k=4, seed=0):
+            tested.extend(np.unique(groups[test]).tolist())
+        assert sorted(tested) == list(range(12))
+
+    def test_partition_of_rows(self):
+        groups = np.repeat(np.arange(8), 3)
+        folds = grouped_kfold(groups, k=4, seed=1)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(24))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_kfold(np.array([0, 0, 1, 1]), k=1)
+        with pytest.raises(ValueError, match="cannot make"):
+            grouped_kfold(np.array([0, 0, 1, 1]), k=3)
+
+    def test_deterministic(self):
+        groups = np.repeat(np.arange(10), 4)
+        a = grouped_kfold(groups, k=5, seed=3)
+        b = grouped_kfold(groups, k=5, seed=3)
+        for (ta, sa), (tb, sb) in zip(a, b):
+            assert np.array_equal(ta, tb) and np.array_equal(sa, sb)
+
+
+class TestCrossValidate:
+    def test_learnable_data_positive_tau(self, synthetic_ranking_data):
+        result = cross_validate(
+            synthetic_ranking_data, RankSVMConfig(seed=0), k=3, seed=0
+        )
+        assert len(result.fold_taus) == 3
+        assert result.mean_tau > 0.5
+
+    def test_stats(self):
+        r = CVResult(RankSVMConfig(), (0.4, 0.6))
+        assert r.mean_tau == pytest.approx(0.5)
+        assert r.std_tau == pytest.approx(0.1)
+
+
+class TestSelectC:
+    def test_returns_grid_member(self, synthetic_ranking_data):
+        grid = (1e-3, 1e-1)
+        best, results = select_c(synthetic_ranking_data, c_grid=grid, k=3)
+        assert best.C in grid
+        assert len(results) == len(grid)
+
+    def test_prefers_smaller_c_on_tie(self, synthetic_ranking_data):
+        """On easily separable data most C values tie — pick the smallest
+        within one standard error."""
+        best, results = select_c(
+            synthetic_ranking_data, c_grid=(1e-2, 1e-1, 1.0), k=3
+        )
+        best_tau = max(r.mean_tau for r in results)
+        tol = max(r.std_tau for r in results) / np.sqrt(3)
+        eligible = [r.config.C for r in results if r.mean_tau >= best_tau - tol]
+        assert best.C == min(eligible)

@@ -1,0 +1,60 @@
+"""Tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.learn.model_io import load_model, save_model
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+
+
+@pytest.fixture()
+def fitted(synthetic_ranking_data):
+    return RankSVM(RankSVMConfig(C=0.05, solver="lbfgs", seed=3)).fit(
+        synthetic_ranking_data
+    )
+
+
+class TestRoundTrip:
+    def test_weights_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert np.array_equal(loaded.w_, fitted.w_)
+
+    def test_config_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        assert loaded.config == fitted.config
+
+    def test_num_pairs_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        assert load_model(path).num_pairs_ == fitted.num_pairs_
+
+    def test_scores_identical(self, fitted, tmp_path, synthetic_ranking_data):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path)
+        loaded = load_model(path)
+        X = synthetic_ranking_data.X[:10]
+        assert np.array_equal(
+            loaded.decision_function(X), fitted.decision_function(X)
+        )
+
+
+class TestGuards:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_model(RankSVM(), tmp_path / "m.npz")
+
+    def test_fingerprint_mismatch(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path, encoder_fingerprint="enc-v1")
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            load_model(path, expect_fingerprint="enc-v2")
+
+    def test_fingerprint_match_ok(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(fitted, path, encoder_fingerprint="enc-v1")
+        loaded = load_model(path, expect_fingerprint="enc-v1")
+        assert loaded.is_fitted

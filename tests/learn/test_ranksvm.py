@@ -1,0 +1,116 @@
+"""Tests for the RankSVM ordinal-regression model."""
+
+import numpy as np
+import pytest
+
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.ranking.partial import RankingGroups
+
+
+class TestConfig:
+    def test_paper_default_c(self):
+        assert RankSVMConfig().C == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankSVMConfig(C=0.0)
+        with pytest.raises(ValueError):
+            RankSVMConfig(solver="nope")
+        with pytest.raises(ValueError):
+            RankSVMConfig(pair_weighting="nope")
+
+
+class TestFit:
+    def test_learns_known_structure(self, synthetic_ranking_data):
+        model = RankSVM().fit(synthetic_ranking_data)
+        assert model.w_[0] > 0  # faster with feature 0
+        assert model.w_[1] < 0  # slower with feature 1
+
+    def test_mean_kendall_high_on_learnable_data(self, synthetic_ranking_data):
+        model = RankSVM().fit(synthetic_ranking_data)
+        assert model.mean_kendall(synthetic_ranking_data) > 0.8
+
+    def test_mean_weighting_underfits(self, synthetic_ranking_data):
+        """The literal C/m weighting with C=0.01 barely moves the weights."""
+        sum_model = RankSVM(RankSVMConfig(pair_weighting="sum")).fit(
+            synthetic_ranking_data
+        )
+        mean_model = RankSVM(RankSVMConfig(pair_weighting="mean")).fit(
+            synthetic_ranking_data
+        )
+        assert np.linalg.norm(mean_model.w_) < 0.1 * np.linalg.norm(sum_model.w_)
+
+    def test_sgd_solver_agrees(self, synthetic_ranking_data):
+        lb = RankSVM(RankSVMConfig(solver="lbfgs")).fit(synthetic_ranking_data)
+        sg = RankSVM(RankSVMConfig(solver="sgd")).fit(synthetic_ranking_data)
+        assert sg.mean_kendall(synthetic_ranking_data) > 0.6
+        assert np.sign(sg.w_[0]) == np.sign(lb.w_[0])
+
+    def test_num_pairs_recorded(self, synthetic_ranking_data):
+        model = RankSVM().fit(synthetic_ranking_data)
+        assert model.num_pairs_ > 0
+
+    def test_pair_cap_respected(self, synthetic_ranking_data):
+        model = RankSVM(RankSVMConfig(max_pairs_per_group=5)).fit(
+            synthetic_ranking_data
+        )
+        assert model.num_pairs_ <= 5 * synthetic_ranking_data.num_groups
+
+
+class TestInference:
+    @pytest.fixture()
+    def fitted(self, synthetic_ranking_data):
+        return RankSVM().fit(synthetic_ranking_data)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RankSVM().decision_function(np.zeros((2, 3)))
+
+    def test_dimension_mismatch(self, fitted):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            fitted.decision_function(np.zeros((2, 99)))
+
+    def test_rank_is_descending_in_score(self, fitted, synthetic_ranking_data):
+        X = synthetic_ranking_data.X[:15]
+        order = fitted.rank(X)
+        scores = fitted.decision_function(X)
+        assert (np.diff(scores[order]) <= 1e-12).all()
+
+    def test_predict_best_is_rank_head(self, fitted, synthetic_ranking_data):
+        X = synthetic_ranking_data.X[:15]
+        assert fitted.predict_best(X) == fitted.rank(X)[0]
+
+    def test_1d_input_promoted(self, fitted, synthetic_ranking_data):
+        x = synthetic_ranking_data.X[0]
+        assert fitted.decision_function(x).shape == (1,)
+
+    def test_is_fitted_flag(self, fitted):
+        assert fitted.is_fitted
+        assert not RankSVM().is_fitted
+
+
+class TestKendallEvaluation:
+    def test_per_group_keys(self, synthetic_ranking_data):
+        model = RankSVM().fit(synthetic_ranking_data)
+        taus = model.kendall_per_group(synthetic_ranking_data)
+        assert set(taus) == set(np.unique(synthetic_ranking_data.groups))
+
+    def test_perfect_model_tau_one(self):
+        """A model scoring exactly -time must get τ = 1 in every group."""
+        rng = np.random.default_rng(0)
+        X = rng.random((40, 1))
+        times = X[:, 0].copy()  # time equals the only feature
+        groups = np.repeat([0, 1], 20)
+        data = RankingGroups(X, times, groups)
+        model = RankSVM()
+        model.w_ = np.array([-1.0])  # score = -time
+        taus = model.kendall_per_group(data)
+        assert all(t == 1.0 for t in taus.values())
+
+    def test_anti_model_tau_minus_one(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((20, 1))
+        data = RankingGroups(X, X[:, 0].copy(), np.zeros(20, dtype=int))
+        model = RankSVM()
+        model.w_ = np.array([1.0])
+        assert model.mean_kendall(data) == -1.0

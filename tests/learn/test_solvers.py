@@ -1,0 +1,117 @@
+"""Tests for the pairwise RankSVM solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn.solvers import (
+    pairwise_hinge_loss,
+    solve_lbfgs,
+    solve_sgd,
+)
+
+
+def _separable_problem(n=60, d=4, seed=0):
+    """Pairs perfectly ordered by feature 0."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    quality = X[:, 0]
+    better, worse = [], []
+    for i in range(n):
+        for j in range(n):
+            if quality[i] > quality[j] + 0.05:
+                better.append(i)
+                worse.append(j)
+    return X, np.array(better), np.array(worse)
+
+
+class TestLbfgs:
+    def test_learns_separable_direction(self):
+        X, better, worse = _separable_problem()
+        res = solve_lbfgs(X, better, worse, C=10.0)
+        scores = X @ res.w
+        violations = (scores[better] <= scores[worse]).mean()
+        assert violations < 0.02
+        assert res.w[0] > 0
+
+    def test_objective_decreases_from_zero(self):
+        X, better, worse = _separable_problem()
+        res = solve_lbfgs(X, better, worse, C=10.0)
+        at_zero = pairwise_hinge_loss(np.zeros(X.shape[1]), X, better, worse, 10.0)
+        assert res.objective < at_zero
+
+    def test_regularization_shrinks_weights(self):
+        X, better, worse = _separable_problem()
+        strong = solve_lbfgs(X, better, worse, C=0.001)
+        weak = solve_lbfgs(X, better, worse, C=100.0)
+        assert np.linalg.norm(strong.w) < np.linalg.norm(weak.w)
+
+    def test_warm_start(self):
+        X, better, worse = _separable_problem()
+        first = solve_lbfgs(X, better, worse, C=10.0)
+        warm = solve_lbfgs(X, better, worse, C=10.0, w0=first.w)
+        assert warm.iterations <= first.iterations
+
+    def test_input_validation(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="no preference pairs"):
+            solve_lbfgs(X, np.array([], dtype=int), np.array([], dtype=int), 1.0)
+        with pytest.raises(IndexError):
+            solve_lbfgs(X, np.array([9]), np.array([0]), 1.0)
+        with pytest.raises(ValueError):
+            solve_lbfgs(np.zeros(4), np.array([0]), np.array([1]), 1.0)
+
+    def test_gradient_matches_finite_difference(self):
+        from repro.learn.solvers import _objective_and_grad
+
+        X, better, worse = _separable_problem(n=25, seed=3)
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=X.shape[1]) * 0.5
+        obj, grad = _objective_and_grad(w, X, better, worse, 5.0, 1.0)
+        eps = 1e-6
+        for k in range(X.shape[1]):
+            wp = w.copy()
+            wp[k] += eps
+            op, _ = _objective_and_grad(wp, X, better, worse, 5.0, 1.0)
+            fd = (op - obj) / eps
+            assert grad[k] == pytest.approx(fd, rel=1e-3, abs=1e-5)
+
+
+class TestSgd:
+    def test_learns_separable_direction(self):
+        X, better, worse = _separable_problem(seed=1)
+        res = solve_sgd(X, better, worse, C=200.0, epochs=60, rng=0)
+        scores = X @ res.w
+        assert (scores[better] > scores[worse]).mean() > 0.95
+
+    def test_deterministic_given_seed(self):
+        X, better, worse = _separable_problem(seed=2)
+        a = solve_sgd(X, better, worse, C=10.0, rng=5)
+        b = solve_sgd(X, better, worse, C=10.0, rng=5)
+        assert np.array_equal(a.w, b.w)
+
+    def test_agrees_with_lbfgs_on_ranking(self):
+        """Both solvers must induce (nearly) the same ordering."""
+        X, better, worse = _separable_problem(seed=6)
+        w1 = solve_lbfgs(X, better, worse, C=10.0).w
+        w2 = solve_sgd(X, better, worse, C=10.0, epochs=80, rng=1).w
+        from repro.ranking.kendall import kendall_tau
+
+        assert kendall_tau(X @ w1, X @ w2) > 0.9
+
+
+class TestLossFunction:
+    def test_zero_weights_full_hinge(self):
+        X, better, worse = _separable_problem(n=20)
+        m = better.size
+        loss = pairwise_hinge_loss(np.zeros(X.shape[1]), X, better, worse, C=2.0)
+        assert loss == pytest.approx(2.0 / m * m)  # each pair contributes 1²
+
+    @settings(max_examples=20)
+    @given(st.floats(0.01, 100.0))
+    def test_loss_nonnegative(self, C):
+        X, better, worse = _separable_problem(n=15, seed=9)
+        rng = np.random.default_rng(11)
+        w = rng.normal(size=X.shape[1])
+        assert pairwise_hinge_loss(w, X, better, worse, C) >= 0.0

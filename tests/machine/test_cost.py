@@ -1,0 +1,112 @@
+"""Tests for the ECM-style cost composition — the tuning landscape itself."""
+
+import pytest
+
+from repro.machine.cost import CostModel
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.stencil.suite import benchmark_by_id, get_benchmark
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+def _cost(model, label, tuning):
+    inst = benchmark_by_id(label)
+    return model.sweep_cost(StencilExecution(inst, tuning))
+
+
+class TestBottlenecks:
+    def test_large_laplacian_is_memory_bound(self, model):
+        cost = _cost(model, "laplacian-256x256x256", TuningVector(256, 16, 16, 2, 1))
+        assert cost.memory_bound
+        assert cost.bottleneck == "dram"
+
+    def test_tricubic_is_compute_bound(self, model):
+        cost = _cost(model, "tricubic-256x256x256", TuningVector(256, 8, 8, 2, 1))
+        assert cost.bottleneck == "core"
+
+    def test_small_2d_not_dram_bound(self, model):
+        cost = _cost(model, "edge-512x512", TuningVector(128, 32, 1, 2, 1))
+        assert cost.bottleneck != "dram"
+
+
+class TestLandscapeShape:
+    def test_blocking_matters_for_memory_bound(self, model):
+        good = _cost(model, "laplacian-256x256x256", TuningVector(256, 16, 16, 2, 1))
+        bad = _cost(model, "laplacian-256x256x256", TuningVector(1024, 1024, 1024, 2, 1))
+        assert bad.total_s > 1.2 * good.total_s
+
+    def test_tiny_blocks_hurt(self, model):
+        good = _cost(model, "laplacian-256x256x256", TuningVector(256, 16, 16, 2, 1))
+        tiny = _cost(model, "laplacian-256x256x256", TuningVector(2, 2, 2, 2, 1))
+        assert tiny.total_s > 2.0 * good.total_s
+
+    def test_unroll_matters_for_compute_bound(self, model):
+        u0 = _cost(model, "tricubic-256x256x256", TuningVector(256, 8, 8, 0, 1))
+        u2 = _cost(model, "tricubic-256x256x256", TuningVector(256, 8, 8, 2, 1))
+        assert u2.total_s < u0.total_s
+
+    def test_unroll_insensitive_for_memory_bound(self, model):
+        u0 = _cost(model, "laplacian-256x256x256", TuningVector(256, 16, 16, 0, 1))
+        u4 = _cost(model, "laplacian-256x256x256", TuningVector(256, 16, 16, 4, 1))
+        assert abs(u0.total_s - u4.total_s) / u0.total_s < 0.05
+
+    def test_chunking_tradeoff(self, model):
+        """Huge chunks must underutilize; chunk=1 must beat chunk=max."""
+        small = _cost(model, "laplacian-128x128x128", TuningVector(32, 16, 16, 2, 1))
+        huge = _cost(model, "laplacian-128x128x128", TuningVector(32, 16, 16, 2, 1024))
+        assert huge.total_s > small.total_s
+
+    def test_gflops_ordering_matches_paper(self, model):
+        """Fig. 5 magnitudes: tricubic ≫ blur > divergence ≈ gradient."""
+        tricubic = model.gflops(
+            StencilExecution(
+                benchmark_by_id("tricubic-256x256x256"), TuningVector(256, 8, 8, 2, 1)
+            )
+        )
+        gradient = model.gflops(
+            StencilExecution(
+                benchmark_by_id("gradient-256x256x256"), TuningVector(256, 16, 16, 2, 1)
+            )
+        )
+        assert tricubic > 3.0 * gradient
+
+
+class TestSanity:
+    def test_time_positive_everywhere(self, model):
+        inst = benchmark_by_id("wave-128x128x128")
+        from repro.tuning.space import patus_space
+
+        for tv in patus_space(3).random_vectors(100, rng=0):
+            assert model.sweep_time(StencilExecution(inst, tv)) > 0
+
+    def test_bigger_grid_takes_longer(self, model):
+        t = TuningVector(128, 16, 16, 2, 1)
+        small = model.sweep_time(
+            StencilExecution(benchmark_by_id("laplacian-128x128x128"), t)
+        )
+        large = model.sweep_time(
+            StencilExecution(benchmark_by_id("laplacian-256x256x256"), t)
+        )
+        assert large > 4.0 * small  # 8x points, bandwidth-bound
+
+    def test_deterministic(self, model):
+        e = StencilExecution(
+            benchmark_by_id("blur-1024x768"), TuningVector(128, 32, 1, 4, 2)
+        )
+        assert model.sweep_time(e) == model.sweep_time(e)
+
+    def test_gflops_below_peak(self, model):
+        from repro.machine.spec import XEON_E5_2680_V3
+
+        for label, tv in [
+            ("tricubic-256x256x256", TuningVector(512, 8, 8, 2, 1)),
+            ("blur-1024x1024", TuningVector(256, 32, 1, 4, 1)),
+        ]:
+            inst = benchmark_by_id(label)
+            g = model.gflops(StencilExecution(inst, tv))
+            assert g < XEON_E5_2680_V3.peak_gflops(inst.kernel.dtype)

@@ -1,0 +1,105 @@
+"""Tests for the SimulatedMachine measurement front-end."""
+
+import numpy as np
+import pytest
+
+from repro.machine.executor import SimulatedMachine
+from repro.stencil.execution import StencilExecution
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture()
+def inst():
+    return benchmark_by_id("laplacian-128x128x128")
+
+
+@pytest.fixture()
+def execution(inst):
+    return StencilExecution(inst, TuningVector(64, 16, 16, 2, 1))
+
+
+class TestMeasurement:
+    def test_median_and_best(self, machine, execution):
+        m = machine.measure(execution, repeats=5)
+        assert m.time == np.median(m.times)
+        assert m.best == min(m.times)
+        assert len(m.times) == 5
+
+    def test_gflops_consistent(self, machine, execution):
+        m = machine.measure(execution)
+        assert m.gflops == pytest.approx(
+            execution.instance.flops / m.time / 1e9
+        )
+
+    def test_noise_around_truth(self, machine, execution):
+        truth = machine.true_time(execution)
+        m = machine.measure(execution, repeats=3)
+        assert abs(m.time - truth) / truth < 0.25
+
+    def test_reproducible_across_machines(self, execution):
+        a = SimulatedMachine(seed=9).measure(execution).time
+        b = SimulatedMachine(seed=9).measure(execution).time
+        assert a == b
+
+    def test_seed_changes_noise_not_truth(self, execution):
+        a = SimulatedMachine(seed=1)
+        b = SimulatedMachine(seed=2)
+        assert a.true_time(execution) == b.true_time(execution)
+        assert a.measure(execution).time != b.measure(execution).time
+
+    def test_repeats_validated(self, machine, execution):
+        with pytest.raises(ValueError):
+            machine.measure(execution, repeats=0)
+
+    def test_measure_tuning_convenience(self, machine, inst):
+        m = machine.measure_tuning(inst, TuningVector(64, 16, 16, 2, 1))
+        assert m.execution.instance == inst
+
+
+class TestAccounting:
+    def test_evaluation_counter(self, machine, execution):
+        machine.measure(execution)
+        machine.measure(execution)
+        assert machine.evaluations == 2
+
+    def test_wall_clock_accrues(self, machine, execution):
+        machine.measure(execution)
+        assert machine.simulated_wall_s > machine.SETUP_SECONDS
+
+    def test_wall_clock_model(self, machine, execution):
+        per_run = machine.true_time(execution) * machine.SWEEPS_PER_RUN
+        expected = machine.SETUP_SECONDS + 3 * per_run
+        assert machine.wall_clock_cost(execution, 3) == pytest.approx(expected)
+
+    def test_reset(self, machine, execution):
+        machine.measure(execution)
+        machine.reset_counters()
+        assert machine.evaluations == 0
+        assert machine.simulated_wall_s == 0.0
+
+    def test_fork_isolated_counters_shared_truth(self, machine, execution):
+        machine.measure(execution)
+        fork = machine.fork()
+        assert fork.evaluations == 0
+        assert fork.true_time(execution) == machine.true_time(execution)
+
+
+class TestHelpers:
+    def test_true_times_vector(self, machine, inst):
+        tunings = patus_space(3).random_vectors(10, rng=0)
+        times = machine.true_times(inst, tunings)
+        assert times.shape == (10,)
+        assert (times > 0).all()
+
+    def test_best_tuning_is_argmin(self, machine, inst):
+        tunings = patus_space(3).random_vectors(25, rng=1)
+        best, best_t = machine.best_tuning(inst, tunings)
+        times = machine.true_times(inst, tunings)
+        assert best_t == times.min()
+        assert machine.true_time(StencilExecution(inst, best)) == best_t
+
+    def test_cost_cache_hit(self, machine, execution):
+        machine.true_time(execution)
+        assert execution in machine._cost_cache

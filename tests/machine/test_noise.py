@@ -1,0 +1,51 @@
+"""Tests for the measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.noise import NoiseModel
+
+
+class TestDeterminism:
+    def test_same_inputs_same_factor(self):
+        n = NoiseModel(seed=1)
+        assert n.factor(1234, 0) == n.factor(1234, 0)
+
+    def test_repeat_changes_factor(self):
+        n = NoiseModel(seed=1)
+        assert n.factor(1234, 0) != n.factor(1234, 1)
+
+    def test_execution_hash_changes_factor(self):
+        n = NoiseModel(seed=1)
+        assert n.factor(1234, 0) != n.factor(5678, 0)
+
+    def test_seed_changes_factor(self):
+        assert NoiseModel(seed=1).factor(9, 0) != NoiseModel(seed=2).factor(9, 0)
+
+
+class TestDistribution:
+    def test_mean_near_one(self):
+        n = NoiseModel(sigma=0.02, spike_probability=0.0, seed=3)
+        factors = np.array([n.factor(h, 0) for h in range(4000)])
+        assert factors.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_sigma_controls_spread(self):
+        tight = NoiseModel(sigma=0.01, spike_probability=0.0, seed=4)
+        wide = NoiseModel(sigma=0.10, spike_probability=0.0, seed=4)
+        t = np.std([tight.factor(h, 0) for h in range(2000)])
+        w = np.std([wide.factor(h, 0) for h in range(2000)])
+        assert w > 5.0 * t
+
+    def test_factors_positive(self):
+        n = NoiseModel(sigma=0.1, seed=5)
+        assert all(n.factor(h, 0) > 0 for h in range(1000))
+
+    def test_spikes_occur_at_expected_rate(self):
+        n = NoiseModel(sigma=0.0, spike_probability=0.05, spike_factor=2.0, seed=6)
+        factors = np.array([n.factor(h, 0) for h in range(4000)])
+        spike_rate = (factors > 1.5).mean()
+        assert 0.03 < spike_rate < 0.07
+
+    def test_exact_disables_everything(self):
+        n = NoiseModel(sigma=0.05, spike_probability=0.5, seed=7).exact()
+        assert all(n.factor(h, r) == 1.0 for h in range(50) for r in range(3))

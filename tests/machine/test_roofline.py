@@ -1,0 +1,63 @@
+"""Tests for the roofline diagnostics."""
+
+import pytest
+
+from repro.machine.roofline import ridge_intensity, roofline
+from repro.machine.spec import XEON_E5_2680_V3
+from repro.stencil.suite import get_benchmark
+
+
+class TestRoofline:
+    def test_laplacian_memory_bound(self):
+        point = roofline(get_benchmark("laplacian").kernel)
+        assert point.memory_bound
+        # 14 flops / 24 compulsory bytes
+        assert point.arithmetic_intensity == pytest.approx(14.0 / 24.0)
+
+    def test_tricubic_compute_bound(self):
+        point = roofline(get_benchmark("tricubic").kernel)
+        assert not point.memory_bound
+
+    def test_attainable_below_both_roofs(self):
+        for name in ("laplacian", "tricubic", "blur", "divergence"):
+            k = get_benchmark(name).kernel
+            p = roofline(k)
+            compute_roof = (
+                XEON_E5_2680_V3.peak_gflops(k.dtype)
+                * XEON_E5_2680_V3.codegen_efficiency
+            )
+            assert p.attainable_gflops <= compute_roof + 1e-9
+            assert p.attainable_gflops <= (
+                p.arithmetic_intensity * XEON_E5_2680_V3.mem_bandwidth_gbs + 1e-9
+            )
+
+    def test_ridge_consistency(self):
+        p = roofline(get_benchmark("laplacian").kernel)
+        assert p.ridge == pytest.approx(ridge_intensity(XEON_E5_2680_V3, "double"))
+
+    def test_cost_model_agrees_with_roofline_classification(self):
+        """Kernels far from the ridge must be classified identically by the
+        detailed cost model (at a sensible tuning) and the roofline."""
+        from repro.machine.cost import CostModel
+        from repro.stencil.execution import StencilExecution
+        from repro.stencil.suite import benchmark_by_id
+        from repro.tuning.vector import TuningVector
+
+        model = CostModel()
+        cases = {
+            "laplacian-256x256x256": True,  # memory bound
+            "tricubic-256x256x256": False,  # compute bound
+        }
+        for label, expect_memory in cases.items():
+            inst = benchmark_by_id(label)
+            cost = model.sweep_cost(
+                StencilExecution(inst, TuningVector(256, 16, 8, 2, 1))
+            )
+            assert cost.memory_bound == expect_memory
+            assert roofline(inst.kernel).memory_bound == expect_memory
+
+    def test_float_ridge_above_double(self):
+        # float peak is 2x double at equal bandwidth → larger ridge intensity
+        assert ridge_intensity(XEON_E5_2680_V3, "float") > ridge_intensity(
+            XEON_E5_2680_V3, "double"
+        )

@@ -1,0 +1,75 @@
+"""Tests for the SIMD/unroll model."""
+
+import pytest
+
+from repro.machine.simd import SimdModel
+from repro.machine.spec import XEON_E5_2680_V3
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+
+
+@pytest.fixture()
+def model():
+    return SimdModel(XEON_E5_2680_V3)
+
+
+@pytest.fixture()
+def lap():
+    return StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+
+
+class TestVectorEfficiency:
+    def test_multiple_of_lanes_perfect(self, model):
+        assert model.vector_efficiency(64, 8) == 1.0
+
+    def test_remainder_penalized(self, model):
+        assert model.vector_efficiency(9, 8) == pytest.approx(9 / 16)
+
+    def test_tiny_block_wastes_lanes(self, model):
+        assert model.vector_efficiency(2, 8) == pytest.approx(0.25)
+
+    def test_zero_extent_guard(self, model):
+        assert model.vector_efficiency(0, 8) > 0
+
+
+class TestUnroll:
+    def test_moderate_unroll_helps(self, model, lap):
+        rolled = model.unroll_factor_cycles(lap, 1)
+        unrolled = model.unroll_factor_cycles(lap, 4)
+        assert unrolled < rolled
+
+    def test_register_pressure_hurts_wide_patterns(self, model):
+        wide = StencilKernel.single_buffer("cube", hypercube(3, 3), "double")
+        assert model.unroll_factor_cycles(wide, 8) > model.unroll_factor_cycles(wide, 2)
+
+    def test_unroll_zero_equals_one(self, model, lap):
+        assert model.unroll_factor_cycles(lap, 0) == model.unroll_factor_cycles(lap, 1)
+
+    def test_loop_overhead_shrinks_with_unroll(self, model):
+        assert model.loop_overhead_cycles(8, 8) < model.loop_overhead_cycles(1, 8)
+
+
+class TestCyclesPerPoint:
+    def test_positive(self, model, lap):
+        assert model.cycles_per_point(lap, 64, 2) > 0
+
+    def test_more_reads_more_cycles(self, model, lap):
+        heavy = StencilKernel.single_buffer("cube", hypercube(3, 2), "double")
+        assert model.body_cycles_per_point(heavy) > model.body_cycles_per_point(lap)
+
+    def test_float_cheaper_than_double(self, model):
+        f = StencilKernel.single_buffer("f", laplacian(3, 1), "float")
+        d = StencilKernel.single_buffer("d", laplacian(3, 1), "double")
+        assert model.body_cycles_per_point(f) < model.body_cycles_per_point(d)
+
+    def test_small_inner_extent_costs_more(self, model, lap):
+        assert model.cycles_per_point(lap, 2, 0) > model.cycles_per_point(lap, 64, 0)
+
+    def test_codegen_efficiency_scales(self, lap):
+        import dataclasses
+
+        fast_spec = dataclasses.replace(XEON_E5_2680_V3, codegen_efficiency=0.5)
+        slow_spec = dataclasses.replace(XEON_E5_2680_V3, codegen_efficiency=0.1)
+        fast = SimdModel(fast_spec).body_cycles_per_point(lap)
+        slow = SimdModel(slow_spec).body_cycles_per_point(lap)
+        assert slow == pytest.approx(5.0 * fast)

@@ -1,0 +1,65 @@
+"""Tests for the machine specification."""
+
+import pytest
+
+from repro.machine.spec import XEON_E5_2680_V3, CacheLevel, MachineSpec
+
+
+class TestCacheLevel:
+    def test_private_capacity(self):
+        l1 = CacheLevel("L1", 32 * 1024)
+        assert l1.effective_capacity(12) == 32 * 1024
+
+    def test_shared_capacity_divided(self):
+        l3 = CacheLevel("L3", 30 * 1024 * 1024, shared=True)
+        assert l3.effective_capacity(12) == 30 * 1024 * 1024 // 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel("L1", 0)
+
+
+class TestXeonSpec:
+    def test_paper_platform(self):
+        assert XEON_E5_2680_V3.cores == 12
+        assert XEON_E5_2680_V3.freq_ghz == 2.5
+        assert XEON_E5_2680_V3.cache("L2").size_bytes == 256 * 1024
+
+    def test_lanes(self):
+        assert XEON_E5_2680_V3.lanes("float") == 8
+        assert XEON_E5_2680_V3.lanes("double") == 4
+
+    def test_peak_flops(self):
+        # 12 cores × 2.5 GHz × 2 FMA × 4 lanes × 2 flops = 480 DP GFlop/s
+        assert XEON_E5_2680_V3.peak_gflops("double") == pytest.approx(480.0)
+        assert XEON_E5_2680_V3.peak_gflops("float") == pytest.approx(960.0)
+
+    def test_unknown_cache(self):
+        with pytest.raises(KeyError):
+            XEON_E5_2680_V3.cache("L4")
+
+    def test_needs_cache_levels(self):
+        with pytest.raises(ValueError):
+            MachineSpec("m", cores=1, freq_ghz=1.0, caches=())
+
+
+class TestBandwidthSaturation:
+    def test_single_core_value(self):
+        bw1 = XEON_E5_2680_V3.mem_bandwidth(1)
+        assert bw1 == pytest.approx(XEON_E5_2680_V3.mem_bandwidth_single_gbs, rel=1e-9)
+
+    def test_monotone_in_threads(self):
+        prev = 0.0
+        for t in range(1, 13):
+            bw = XEON_E5_2680_V3.mem_bandwidth(t)
+            assert bw > prev
+            prev = bw
+
+    def test_saturates_below_chip_limit(self):
+        assert XEON_E5_2680_V3.mem_bandwidth(12) < XEON_E5_2680_V3.mem_bandwidth_gbs
+
+    def test_clamped_to_core_count(self):
+        assert XEON_E5_2680_V3.mem_bandwidth(64) == XEON_E5_2680_V3.mem_bandwidth(12)
+
+    def test_cycle_time(self):
+        assert XEON_E5_2680_V3.cycle_time_s() == pytest.approx(0.4e-9)

@@ -1,0 +1,66 @@
+"""Tests for the OpenMP scheduling model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.spec import XEON_E5_2680_V3
+from repro.machine.threads import ScheduleModel
+
+
+@pytest.fixture()
+def model():
+    return ScheduleModel(XEON_E5_2680_V3)
+
+
+class TestSchedule:
+    def test_perfect_balance(self, model):
+        r = model.schedule(num_tiles=1200, chunk=1)
+        assert r.imbalance == pytest.approx(1.0)
+        assert r.threads_used == 12
+
+    def test_fewer_tiles_than_cores(self, model):
+        r = model.schedule(num_tiles=3, chunk=1)
+        assert r.threads_used == 3
+        assert r.imbalance == pytest.approx(1.0)
+
+    def test_single_tile(self, model):
+        r = model.schedule(num_tiles=1, chunk=1)
+        assert r.threads_used == 1
+        assert r.num_chunks == 1
+
+    def test_ceil_imbalance(self, model):
+        # 13 tiles over 12 threads: busiest owns 2, mean = 13/12
+        r = model.schedule(num_tiles=13, chunk=1)
+        assert r.imbalance == pytest.approx(2 / (13 / 12))
+
+    def test_large_chunks_can_underutilize(self, model):
+        balanced = model.schedule(num_tiles=1200, chunk=1)
+        chunky = model.schedule(num_tiles=1200, chunk=512)
+        assert chunky.threads_used < 12 or chunky.imbalance > balanced.imbalance
+
+    def test_overhead_decreases_with_chunk(self, model):
+        fine = model.schedule(num_tiles=10_000, chunk=1)
+        coarse = model.schedule(num_tiles=10_000, chunk=8)
+        assert coarse.overhead_s < fine.overhead_s
+
+    def test_parallel_efficiency_inverse(self, model):
+        r = model.schedule(num_tiles=13, chunk=1)
+        assert r.parallel_efficiency == pytest.approx(1.0 / r.imbalance)
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.schedule(0, 1)
+        with pytest.raises(ValueError):
+            model.schedule(10, 0)
+
+    @given(st.integers(1, 50_000), st.integers(1, 64))
+    def test_invariants(self, tiles, chunk):
+        model = ScheduleModel(XEON_E5_2680_V3)
+        r = model.schedule(tiles, chunk)
+        assert 1 <= r.threads_used <= 12
+        assert r.imbalance >= 1.0 - 1e-12
+        assert r.overhead_s > 0
+        assert r.num_chunks == -(-tiles // chunk)
+        # busiest thread cannot exceed all tiles
+        assert r.imbalance <= r.threads_used + 1e-12

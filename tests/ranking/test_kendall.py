@@ -1,0 +1,139 @@
+"""Tests for Kendall τ — cross-checked against the naive oracle and scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.ranking.kendall import count_inversions, kendall_tau, kendall_tau_naive
+
+float_lists = st.lists(
+    st.floats(-100, 100, allow_nan=False), min_size=2, max_size=60
+)
+
+
+class TestCountInversions:
+    def test_sorted(self):
+        assert count_inversions(np.arange(10)) == 0
+
+    def test_reversed(self):
+        assert count_inversions(np.arange(10)[::-1]) == 45
+
+    def test_single_swap(self):
+        assert count_inversions(np.array([2, 1, 3, 4])) == 1
+
+    def test_empty_and_singleton(self):
+        assert count_inversions(np.array([])) == 0
+        assert count_inversions(np.array([5])) == 0
+
+    @given(st.lists(st.integers(0, 50), min_size=0, max_size=80))
+    def test_matches_quadratic_oracle(self, values):
+        arr = np.array(values)
+        expected = sum(
+            1
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if values[i] > values[j]
+        )
+        assert count_inversions(arr) == expected
+
+
+class TestKendallBasics:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+    def test_paper_formula_with_ties_excludes_them(self):
+        # gamma: tied pairs don't enter the denominator
+        tau = kendall_tau([1, 1, 2], [1, 2, 3])
+        assert tau == 1.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(500)
+        y = rng.random(500)
+        assert abs(kendall_tau(x, y)) < 0.1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2], variant="zzz")
+
+    def test_degenerate_all_tied(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pair_count_too_small(self):
+        assert kendall_tau([1.0], [2.0]) == 0.0
+
+
+class TestCrossChecks:
+    @settings(max_examples=60)
+    @given(float_lists)
+    def test_fast_matches_naive_gamma(self, xs):
+        rng = np.random.default_rng(len(xs))
+        ys = rng.random(len(xs))
+        assert kendall_tau(xs, ys) == pytest.approx(
+            kendall_tau_naive(xs, ys), abs=1e-12
+        )
+
+    @settings(max_examples=60)
+    @given(st.lists(st.integers(0, 8), min_size=2, max_size=50))
+    def test_fast_matches_naive_with_ties(self, xs):
+        rng = np.random.default_rng(sum(xs) + len(xs))
+        ys = rng.integers(0, 5, size=len(xs))
+        for variant in ("gamma", "a", "b"):
+            assert kendall_tau(xs, ys, variant) == pytest.approx(
+                kendall_tau_naive(xs, ys, variant), abs=1e-12
+            )
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 20), min_size=3, max_size=60))
+    def test_tau_b_matches_scipy(self, xs):
+        rng = np.random.default_rng(len(xs) * 7 + 1)
+        ys = rng.integers(0, 10, size=len(xs))
+        ours = kendall_tau(xs, ys, variant="b")
+        theirs = stats.kendalltau(xs, ys).statistic
+        if np.isnan(theirs):
+            assert ours == 0.0
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+class TestInvarianceProperties:
+    @settings(max_examples=40)
+    @given(float_lists)
+    def test_symmetry(self, xs):
+        rng = np.random.default_rng(13)
+        ys = list(rng.random(len(xs)))
+        assert kendall_tau(xs, ys) == pytest.approx(kendall_tau(ys, xs), abs=1e-12)
+
+    @settings(max_examples=40)
+    @given(float_lists)
+    def test_negation_flips_sign(self, xs):
+        rng = np.random.default_rng(17)
+        ys = rng.random(len(xs))
+        assert kendall_tau(xs, -ys) == pytest.approx(-kendall_tau(xs, ys), abs=1e-12)
+
+    @settings(max_examples=40)
+    @given(float_lists)
+    def test_monotone_transform_invariant(self, xs):
+        rng = np.random.default_rng(19)
+        ys = rng.random(len(xs))
+        # scaling by 2 is exact in binary floating point, so the ordering
+        # (including which pairs are tied) is preserved bit-for-bit
+        assert kendall_tau(xs, ys) == pytest.approx(
+            kendall_tau(2.0 * np.asarray(xs), ys), abs=1e-12
+        )
+
+    @settings(max_examples=40)
+    @given(float_lists)
+    def test_range(self, xs):
+        rng = np.random.default_rng(23)
+        ys = rng.random(len(xs))
+        assert -1.0 <= kendall_tau(xs, ys) <= 1.0

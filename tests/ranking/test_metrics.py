@@ -1,0 +1,84 @@
+"""Tests for rank metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.ranking.metrics import precision_at_k, spearman_rho, top1_slowdown, top_k_regret
+
+
+class TestSpearman:
+    def test_perfect(self):
+        assert spearman_rho([1, 2, 3], [2, 4, 6]) == 1.0
+
+    def test_reversed(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == -1.0
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 30), min_size=3, max_size=50))
+    def test_matches_scipy(self, xs):
+        rng = np.random.default_rng(len(xs))
+        ys = rng.integers(0, 20, size=len(xs))
+        theirs = stats.spearmanr(xs, ys).statistic
+        ours = spearman_rho(xs, ys)
+        if np.isnan(theirs):
+            assert ours == 0.0
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+class TestTopKRegret:
+    def test_zero_when_top1_correct(self):
+        times = np.array([2.0, 1.0, 3.0])
+        scores = np.array([0.1, 0.9, 0.0])
+        assert top_k_regret(times, scores, k=1) == 0.0
+
+    def test_regret_value(self):
+        times = np.array([2.0, 1.0, 3.0])
+        scores = np.array([0.9, 0.1, 0.0])  # picks the 2.0 config
+        assert top_k_regret(times, scores, k=1) == pytest.approx(1.0)
+
+    def test_larger_k_never_increases_regret(self):
+        rng = np.random.default_rng(0)
+        times = rng.random(30) + 0.5
+        scores = rng.random(30)
+        regrets = [top_k_regret(times, scores, k) for k in range(1, 31)]
+        assert all(a >= b - 1e-12 for a, b in zip(regrets, regrets[1:]))
+        assert regrets[-1] == 0.0  # k = n always contains the optimum
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_regret(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestPrecisionAtK:
+    def test_perfect_model(self):
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        assert precision_at_k(times, -times, k=2) == 1.0
+
+    def test_disjoint(self):
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        assert precision_at_k(times, times, k=2) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        t, s = rng.random(20), rng.random(20)
+        assert 0.0 <= precision_at_k(t, s, 5) <= 1.0
+
+
+class TestTop1Slowdown:
+    def test_speedup_above_one_when_better(self):
+        times = np.array([1.0, 2.0])
+        scores = np.array([5.0, 0.0])
+        assert top1_slowdown(times, scores, reference_time=2.0) == 2.0
+
+    def test_below_one_when_worse(self):
+        times = np.array([4.0, 2.0])
+        scores = np.array([5.0, 0.0])
+        assert top1_slowdown(times, scores, reference_time=2.0) == 0.5
+
+    def test_positive_times_required(self):
+        with pytest.raises(ValueError):
+            top1_slowdown(np.array([0.0]), np.array([1.0]), 1.0)

@@ -1,0 +1,124 @@
+"""Tests for partial rankings and pair generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranking.partial import RankingGroups, group_pairs, ranks_from_runtimes
+
+
+class TestRanks:
+    def test_paper_table1_examples(self):
+        # instance q2 of Table I: runtimes 10, 36, 35 → ranks 1, 3, 2
+        assert ranks_from_runtimes([10.0, 36.0, 35.0]).tolist() == [1, 3, 2]
+        # instance q4: 25, 21, 12 → 3, 2, 1
+        assert ranks_from_runtimes([25.0, 21.0, 12.0]).tolist() == [3, 2, 1]
+
+    def test_ties_share_rank(self):
+        assert ranks_from_runtimes([5.0, 5.0, 7.0]).tolist() == [1, 1, 3]
+
+    def test_tie_tolerance(self):
+        ranks = ranks_from_runtimes([1.000, 1.004, 2.0], tie_tol=0.01)
+        assert ranks[0] == ranks[1]
+
+    @given(st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=40))
+    def test_rank_of_minimum_is_one(self, times):
+        ranks = ranks_from_runtimes(times)
+        assert ranks[int(np.argmin(times))] == 1
+
+    @given(st.lists(st.floats(0.1, 100, allow_nan=False), min_size=2, max_size=40))
+    def test_ranks_monotone_in_time(self, times):
+        ranks = ranks_from_runtimes(times)
+        order = np.argsort(times, kind="stable")
+        assert all(
+            ranks[order[i]] <= ranks[order[i + 1]] for i in range(len(times) - 1)
+        )
+
+
+class TestGroupPairs:
+    def test_better_always_faster(self):
+        times = np.array([3.0, 1.0, 2.0])
+        better, worse = group_pairs(times)
+        assert (times[better] < times[worse]).all()
+        assert better.size == 3
+
+    def test_ties_excluded(self):
+        better, worse = group_pairs(np.array([1.0, 1.0, 2.0]))
+        assert better.size == 2  # only pairs against the slow one
+
+    def test_tie_tolerance_excludes_near_ties(self):
+        better, worse = group_pairs(np.array([1.0, 1.001, 2.0]), tie_tol=0.01)
+        assert better.size == 2
+
+    def test_max_pairs_subsamples(self):
+        times = np.arange(1.0, 41.0)
+        better, worse = group_pairs(times, max_pairs=50, rng=0)
+        assert better.size == 50
+        assert (times[better] < times[worse]).all()
+
+    def test_small_group(self):
+        better, worse = group_pairs(np.array([1.0]))
+        assert better.size == 0
+
+
+class TestRankingGroups:
+    def _make(self):
+        X = np.arange(12.0).reshape(6, 2)
+        times = np.array([3.0, 1.0, 2.0, 5.0, 4.0, 6.0])
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        return RankingGroups(X, times, groups)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            RankingGroups(np.zeros((3, 2)), np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError, match="2-D"):
+            RankingGroups(np.zeros(3), np.zeros(3), np.zeros(3))
+
+    def test_iter_groups(self):
+        data = self._make()
+        seen = dict(data.iter_groups())
+        assert set(seen) == {0, 1}
+        assert seen[0].tolist() == [0, 1, 2]
+
+    def test_all_pairs_within_groups_only(self):
+        data = self._make()
+        better, worse = data.all_pairs()
+        assert better.size == 6  # 3 per group
+        assert (data.groups[better] == data.groups[worse]).all()
+        assert (data.times[better] < data.times[worse]).all()
+
+    def test_num_groups(self):
+        assert self._make().num_groups == 2
+
+    def test_subset(self):
+        data = self._make()
+        sub = data.subset(np.array([0, 1, 3]))
+        assert len(sub) == 3
+        assert sub.num_groups == 2
+
+    def test_split_by_group_never_straddles(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((100, 3))
+        groups = np.repeat(np.arange(10), 10)
+        data = RankingGroups(X, rng.random(100), groups)
+        train, test = data.split_by_group(0.7, rng=1)
+        assert set(np.unique(train.groups)).isdisjoint(np.unique(test.groups))
+        assert len(train) + len(test) == 100
+
+    def test_split_fraction_validated(self):
+        with pytest.raises(ValueError):
+            self._make().split_by_group(1.5)
+
+    @settings(max_examples=20)
+    @given(st.integers(2, 8), st.integers(2, 15))
+    def test_pair_count_formula(self, n_groups, per_group):
+        rng = np.random.default_rng(n_groups * per_group)
+        n = n_groups * per_group
+        data = RankingGroups(
+            rng.random((n, 2)),
+            rng.permutation(n).astype(float),  # all distinct
+            np.repeat(np.arange(n_groups), per_group),
+        )
+        better, _ = data.all_pairs()
+        assert better.size == n_groups * per_group * (per_group - 1) // 2

@@ -1,0 +1,100 @@
+"""Behavioral tests for the four paper search algorithms + random + bandit."""
+
+import numpy as np
+import pytest
+
+from repro.machine.executor import SimulatedMachine
+from repro.search.bandit import BanditMetaSearch
+from repro.search.differential import DifferentialEvolution
+from repro.search.evolution_strategy import EvolutionStrategy
+from repro.search.genetic import GenerationalGA
+from repro.search.random_search import RandomSearch
+from repro.search.steady_state import SteadyStateGA
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+
+ALGORITHMS = [
+    RandomSearch,
+    GenerationalGA,
+    SteadyStateGA,
+    DifferentialEvolution,
+    EvolutionStrategy,
+    BanditMetaSearch,
+]
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return benchmark_by_id("laplacian-128x128x128")
+
+
+@pytest.fixture(scope="module")
+def shared_machine():
+    return SimulatedMachine(seed=11)
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("cls", ALGORITHMS)
+    def test_respects_budget(self, cls, inst, shared_machine):
+        s = cls(patus_space(3), shared_machine.fork(), seed=1)
+        result = s.tune(inst, budget=60)
+        assert result.evaluations == 60
+
+    @pytest.mark.parametrize("cls", ALGORITHMS)
+    def test_legal_proposals_only(self, cls, inst, shared_machine):
+        space = patus_space(3)
+        s = cls(space, shared_machine.fork(), seed=2)
+        result = s.tune(inst, budget=60)
+        for record in result.history:
+            assert space.contains(record.tuning)
+
+    @pytest.mark.parametrize("cls", ALGORITHMS)
+    def test_deterministic(self, cls, inst):
+        a = cls(patus_space(3), SimulatedMachine(seed=4), seed=7).tune(inst, 40)
+        b = cls(patus_space(3), SimulatedMachine(seed=4), seed=7).tune(inst, 40)
+        assert [r.tuning for r in a.history] == [r.tuning for r in b.history]
+
+    @pytest.mark.parametrize("cls", [GenerationalGA, SteadyStateGA, DifferentialEvolution, EvolutionStrategy])
+    def test_improves_over_initial_population(self, cls, inst, shared_machine):
+        s = cls(patus_space(3), shared_machine.fork(), seed=3)
+        result = s.tune(inst, budget=200)
+        init = min(r.time for r in result.history[:16])
+        assert result.best_time <= init
+
+    @pytest.mark.parametrize("cls", [GenerationalGA, SteadyStateGA, DifferentialEvolution, EvolutionStrategy])
+    def test_beats_or_matches_random_on_average(self, cls, inst, shared_machine):
+        """Over a few seeds, evolutionary search must not lose badly to random."""
+        ratios = []
+        for seed in range(3):
+            ev = cls(patus_space(3), shared_machine.fork(), seed=seed).tune(inst, 150)
+            rnd = RandomSearch(patus_space(3), shared_machine.fork(), seed=seed).tune(
+                inst, 150
+            )
+            ratios.append(ev.best_time / rnd.best_time)
+        assert np.mean(ratios) < 1.15
+
+    @pytest.mark.parametrize("cls", ALGORITHMS)
+    def test_2d_space_supported(self, cls, shared_machine):
+        inst2d = benchmark_by_id("edge-512x512")
+        s = cls(patus_space(2), shared_machine.fork(), seed=5)
+        result = s.tune(inst2d, budget=40)
+        assert result.evaluations == 40
+        assert all(r.tuning.bz == 1 for r in result.history)
+
+
+class TestConvergenceQuality:
+    def test_ga_with_big_budget_near_oracle(self, inst, shared_machine):
+        """GA-300 should land within 25% of the oracle best over a sample."""
+        machine = shared_machine.fork()
+        ga = GenerationalGA(patus_space(3), machine, seed=9)
+        result = ga.tune(inst, budget=300)
+        pool = patus_space(3).random_vectors(3000, rng=0)
+        oracle_best = min(machine.true_times(inst, pool))
+        assert result.best_time < 1.25 * oracle_best
+
+    def test_longer_budget_no_worse(self, inst, shared_machine):
+        s_short = GenerationalGA(patus_space(3), shared_machine.fork(), seed=10)
+        s_long = GenerationalGA(patus_space(3), shared_machine.fork(), seed=10)
+        short = s_short.tune(inst, budget=64)
+        long = s_long.tune(inst, budget=256)
+        assert long.best_time <= short.best_time + 1e-12

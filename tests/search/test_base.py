@@ -1,0 +1,142 @@
+"""Tests for the search budget/caching/history contract."""
+
+import numpy as np
+import pytest
+
+from repro.search.base import SearchAlgorithm
+from repro.search.random_search import RandomSearch
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture()
+def inst():
+    return benchmark_by_id("laplacian-128x128x128")
+
+
+@pytest.fixture()
+def search(machine):
+    return RandomSearch(patus_space(3), machine, seed=0)
+
+
+class TestBudget:
+    def test_exact_budget_spent(self, search, inst):
+        result = search.tune(inst, budget=40)
+        assert result.evaluations == 40
+
+    def test_machine_counter_bounded_by_budget(self, machine, inst):
+        """The machine only measures distinct variants (cache re-serves
+        duplicates), so its counter never exceeds the charged budget."""
+        s = RandomSearch(patus_space(3), machine, seed=0)
+        result = s.tune(inst, budget=25)
+        assert result.evaluations == 25
+        assert machine.evaluations <= 25
+
+    def test_budget_validated(self, search, inst):
+        with pytest.raises(ValueError):
+            search.tune(inst, budget=0)
+
+    def test_dims_mismatch(self, machine):
+        s = RandomSearch(patus_space(2), machine, seed=0)
+        with pytest.raises(ValueError, match="3-D"):
+            s.tune(benchmark_by_id("laplacian-128x128x128"), budget=4)
+
+
+class TestHistory:
+    def test_indices_sequential(self, search, inst):
+        result = search.tune(inst, budget=20)
+        assert [r.index for r in result.history] == list(range(20))
+
+    def test_best_is_minimum(self, search, inst):
+        result = search.tune(inst, budget=30)
+        times = [r.time for r in result.history]
+        assert result.best_time == min(times)
+        assert result.best_record.time == result.best_time
+
+    def test_wall_clock_positive(self, search, inst):
+        result = search.tune(inst, budget=10)
+        assert result.total_wall_s > 0
+
+    def test_best_curve_monotone(self, search, inst):
+        result = search.tune(inst, budget=64)
+        curve = result.best_curve()
+        keys = sorted(curve)
+        assert keys == [1, 2, 4, 8, 16, 32, 64]
+        vals = [curve[k] for k in keys]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_best_curve_clamps_to_history(self, search, inst):
+        result = search.tune(inst, budget=10)
+        curve = result.best_curve([1, 1000])
+        assert curve[1000] == result.best_time
+
+    def test_empty_history_raises(self):
+        from repro.search.base import SearchResult
+
+        with pytest.raises(ValueError):
+            SearchResult("x", "y").best_record
+
+
+class TestCache:
+    def test_duplicates_consume_budget_but_measure_once(self, machine, inst):
+        """Re-proposals are iterations (paper: fixed iteration count) but
+        the machine is only asked to measure each distinct variant once."""
+
+        class Repeater(SearchAlgorithm):
+            name = "repeater"
+
+            def _run(self, instance, budget):
+                t = TuningVector(64, 16, 16, 2, 1)
+                while True:
+                    self.evaluate(t)
+
+        s = Repeater(patus_space(3), machine, seed=0)
+        result = s.tune(inst, budget=10)
+        assert result.evaluations == 10
+        assert len({r.tuning for r in result.history}) == 1
+        assert machine.evaluations == 1
+
+    def test_converged_population_terminates(self, machine, inst):
+        """A search that only ever proposes one config must terminate
+        promptly instead of spinning outside the budget (regression test
+        for the generational-GA convergence stall)."""
+        import time
+
+        class Stuck(SearchAlgorithm):
+            name = "stuck"
+
+            def _run(self, instance, budget):
+                t = TuningVector(8, 8, 8, 0, 1)
+                while True:
+                    self.evaluate(t)
+
+        start = time.perf_counter()
+        Stuck(patus_space(3), machine, seed=0).tune(inst, budget=2000)
+        assert time.perf_counter() - start < 5.0
+
+    def test_cached_value_consistent(self, machine, inst):
+        s = RandomSearch(patus_space(3), machine, seed=0)
+        s._instance = inst
+        s._budget = 5
+        from repro.search.base import SearchResult
+
+        s._result = SearchResult("random", inst.label())
+        t = TuningVector(64, 16, 16, 2, 1)
+        assert s.evaluate(t) == s.evaluate(t)
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self, inst):
+        from repro.machine.executor import SimulatedMachine
+
+        a = RandomSearch(patus_space(3), SimulatedMachine(seed=3), seed=5).tune(inst, 20)
+        b = RandomSearch(patus_space(3), SimulatedMachine(seed=3), seed=5).tune(inst, 20)
+        assert [r.tuning for r in a.history] == [r.tuning for r in b.history]
+
+    def test_different_seed_different_proposals(self, inst):
+        from repro.machine.executor import SimulatedMachine
+
+        a = RandomSearch(patus_space(3), SimulatedMachine(seed=3), seed=5).tune(inst, 20)
+        b = RandomSearch(patus_space(3), SimulatedMachine(seed=3), seed=6).tune(inst, 20)
+        assert [r.tuning for r in a.history] != [r.tuning for r in b.history]

@@ -1,0 +1,49 @@
+"""Tests for the hill-climbing baseline."""
+
+import pytest
+
+from repro.machine.executor import SimulatedMachine
+from repro.search.hillclimb import HillClimber
+from repro.search.random_search import RandomSearch
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return benchmark_by_id("laplacian-128x128x128")
+
+
+class TestHillClimber:
+    def test_respects_budget(self, inst):
+        s = HillClimber(patus_space(3), SimulatedMachine(seed=0), seed=0)
+        assert s.tune(inst, budget=50).evaluations == 50
+
+    def test_deterministic(self, inst):
+        a = HillClimber(patus_space(3), SimulatedMachine(seed=1), seed=2).tune(inst, 40)
+        b = HillClimber(patus_space(3), SimulatedMachine(seed=1), seed=2).tune(inst, 40)
+        assert [r.tuning for r in a.history] == [r.tuning for r in b.history]
+
+    def test_legal_proposals(self, inst):
+        space = patus_space(3)
+        s = HillClimber(space, SimulatedMachine(seed=2), seed=3)
+        for record in s.tune(inst, budget=60).history:
+            assert space.contains(record.tuning)
+
+    def test_competitive_with_random(self, inst):
+        import numpy as np
+
+        ratios = []
+        for seed in range(3):
+            machine = SimulatedMachine(seed=40 + seed)
+            hc = HillClimber(patus_space(3), machine.fork(), seed=seed).tune(inst, 120)
+            rs = RandomSearch(patus_space(3), machine.fork(), seed=seed).tune(inst, 120)
+            ratios.append(hc.best_time / rs.best_time)
+        assert np.mean(ratios) < 1.2
+
+    def test_restarts_do_not_lose_best(self, inst):
+        s = HillClimber(patus_space(3), SimulatedMachine(seed=5), seed=6)
+        s.patience = 4  # force many restarts
+        result = s.tune(inst, budget=100)
+        times = [r.time for r in result.history]
+        assert result.best_time == min(times)

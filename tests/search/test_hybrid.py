@@ -1,0 +1,79 @@
+"""Tests for the model-seeded search (the paper's future-work hybrid)."""
+
+import pytest
+
+from repro.features.encoder import FeatureEncoder
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.machine.executor import SimulatedMachine
+from repro.ranking.partial import RankingGroups
+from repro.search.hybrid import ModelSeededSearch
+from repro.search.random_search import RandomSearch
+from repro.stencil.execution import StencilExecution
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    """A model trained on a few hundred simulated laplacian-family points."""
+    from repro.stencil.instance import StencilInstance
+    from repro.stencil.kernel import StencilKernel
+    from repro.stencil.shapes import laplacian
+
+    machine = SimulatedMachine(seed=21)
+    enc = FeatureEncoder()
+    rows, times, gids = [], [], []
+    rng = np.random.default_rng(2)
+    gid = 0
+    for radius, dtype in [(1, "double"), (2, "float"), (3, "double")]:
+        k = StencilKernel.single_buffer(f"lap{radius}", laplacian(3, radius), dtype)
+        for size in [(64, 64, 64), (128, 128, 128)]:
+            inst = StencilInstance(k, size)
+            tunings = patus_space(3).random_vectors(60, rng=rng)
+            rows.append(enc.encode_batch(inst, tunings))
+            times.append(
+                np.array(
+                    [machine.run_time(StencilExecution(inst, t)) for t in tunings]
+                )
+            )
+            gids.append(np.full(60, gid))
+            gid += 1
+    data = RankingGroups(np.vstack(rows), np.concatenate(times), np.concatenate(gids))
+    model = RankSVM(RankSVMConfig()).fit(data)
+    return model, enc
+
+
+class TestModelSeededSearch:
+    def test_respects_budget(self, trained_model):
+        model, enc = trained_model
+        s = ModelSeededSearch(
+            patus_space(3), SimulatedMachine(seed=22), model, enc, seed=0
+        )
+        result = s.tune(benchmark_by_id("laplacian-128x128x128"), budget=50)
+        assert result.evaluations == 50
+
+    def test_seeded_start_beats_random_start_early(self, trained_model):
+        """With a decent model, the first evaluations are already good."""
+        model, enc = trained_model
+        inst = benchmark_by_id("laplacian-256x256x256")
+        machine = SimulatedMachine(seed=23)
+        hybrid = ModelSeededSearch(patus_space(3), machine.fork(), model, enc, seed=1)
+        random = RandomSearch(patus_space(3), machine.fork(), seed=1)
+        h = hybrid.tune(inst, budget=32)
+        r = random.tune(inst, budget=32)
+        h_first = min(rec.time for rec in h.history[:8])
+        r_first = min(rec.time for rec in r.history[:8])
+        assert h_first < 1.1 * r_first
+
+    def test_deterministic(self, trained_model):
+        model, enc = trained_model
+        inst = benchmark_by_id("laplacian-128x128x128")
+        a = ModelSeededSearch(
+            patus_space(3), SimulatedMachine(seed=24), model, enc, seed=5
+        ).tune(inst, 30)
+        b = ModelSeededSearch(
+            patus_space(3), SimulatedMachine(seed=24), model, enc, seed=5
+        ).tune(inst, 30)
+        assert [x.tuning for x in a.history] == [x.tuning for x in b.history]

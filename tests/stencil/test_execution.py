@@ -1,0 +1,70 @@
+"""Tests for StencilExecution tiles and hashing."""
+
+import pytest
+
+from repro.stencil.execution import StencilExecution
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+from repro.tuning.vector import TuningVector
+
+
+@pytest.fixture()
+def q3():
+    k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    return StencilInstance(k, (64, 64, 64))
+
+
+class TestValidation:
+    def test_2d_requires_bz1(self):
+        k = StencilKernel.single_buffer("blur", hypercube(2, 1), "float")
+        q = StencilInstance(k, (64, 64))
+        with pytest.raises(ValueError, match="bz = 1"):
+            StencilExecution(q, TuningVector(16, 16, 4))
+
+    def test_type_checks(self, q3):
+        with pytest.raises(TypeError):
+            StencilExecution(q3, (16, 16, 16, 0, 1))  # type: ignore[arg-type]
+
+
+class TestTiles:
+    def test_exact_division(self, q3):
+        e = StencilExecution(q3, TuningVector(16, 8, 4, 0, 1))
+        assert e.tiles == (4, 8, 16)
+        assert e.num_tiles == 512
+
+    def test_ceil_division(self, q3):
+        e = StencilExecution(q3, TuningVector(48, 64, 64, 0, 1))
+        assert e.tiles == (2, 1, 1)
+
+    def test_oversized_block_clipped(self, q3):
+        e = StencilExecution(q3, TuningVector(1024, 1024, 1024, 0, 1))
+        assert e.tiles == (1, 1, 1)
+        assert e.effective_block == (64, 64, 64)
+
+    def test_kernel_passthrough(self, q3):
+        e = StencilExecution(q3, TuningVector(16, 16, 16))
+        assert e.kernel is q3.kernel
+
+
+class TestHash:
+    def test_stable_across_objects(self, q3):
+        a = StencilExecution(q3, TuningVector(16, 8, 4, 2, 1))
+        b = StencilExecution(q3, TuningVector(16, 8, 4, 2, 1))
+        assert a.stable_hash() == b.stable_hash()
+
+    def test_tuning_changes_hash(self, q3):
+        a = StencilExecution(q3, TuningVector(16, 8, 4, 2, 1))
+        b = StencilExecution(q3, TuningVector(16, 8, 4, 2, 2))
+        assert a.stable_hash() != b.stable_hash()
+
+    def test_size_changes_hash(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        t = TuningVector(16, 8, 4, 2, 1)
+        a = StencilExecution(StencilInstance(k, (64, 64, 64)), t)
+        b = StencilExecution(StencilInstance(k, (128, 128, 128)), t)
+        assert a.stable_hash() != b.stable_hash()
+
+    def test_label(self, q3):
+        e = StencilExecution(q3, TuningVector(16, 8, 4, 2, 1))
+        assert "lap-64x64x64" in e.label()

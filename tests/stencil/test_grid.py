@@ -1,0 +1,82 @@
+"""Tests for Grid halo handling and views."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import Grid
+
+
+class TestConstruction:
+    def test_zeros_shapes(self):
+        g = Grid.zeros((8, 6, 4), halo=2)
+        assert g.shape == (8, 6, 4)
+        assert g.data.shape == (12, 10, 8)
+
+    def test_2d_promoted(self):
+        g = Grid.zeros((8, 6), halo=1)
+        assert g.shape == (8, 6, 1)
+
+    def test_random_fills_everything(self):
+        g = Grid.random((4, 4, 4), halo=1, rng=0)
+        assert (g.data != 0).mean() > 0.9
+
+    def test_dtype_mapping(self):
+        assert Grid.zeros((4, 4, 4), 0, "float").data.dtype == np.float32
+        assert Grid.zeros((4, 4, 4), 0, "double").data.dtype == np.float64
+
+    def test_from_interior(self):
+        arr = np.arange(8.0).reshape(2, 2, 2)
+        g = Grid.from_interior(arr, halo=1)
+        assert np.array_equal(g.interior, arr)
+        assert g.data[0, 0, 0] == 0.0
+
+    def test_negative_halo(self):
+        with pytest.raises(ValueError):
+            Grid.zeros((4, 4, 4), halo=-1)
+
+
+class TestViews:
+    def test_interior_is_view(self):
+        g = Grid.zeros((4, 4, 4), halo=1)
+        g.interior[0, 0, 0] = 7.0
+        assert g.data[1, 1, 1] == 7.0
+
+    def test_shifted_view_shape(self):
+        g = Grid.random((6, 5, 4), halo=2, rng=1)
+        v = g.shifted_view((1, -2, 0))
+        assert v.shape == (6, 5, 4)
+
+    def test_shifted_view_content(self):
+        g = Grid.zeros((3, 3, 3), halo=1)
+        g.data[2, 1, 1] = 5.0  # interior point (1, 0, 0)
+        assert g.shifted_view((1, 0, 0))[0, 0, 0] == 5.0
+
+    def test_shift_exceeding_halo(self):
+        g = Grid.zeros((4, 4, 4), halo=1)
+        with pytest.raises(ValueError, match="exceeds halo"):
+            g.shifted_view((2, 0, 0))
+
+    def test_halo_zero_interior_is_data(self):
+        g = Grid.zeros((4, 4, 4), halo=0)
+        assert g.interior is g.data
+
+
+class TestHaloFill:
+    def test_periodic_wrap(self):
+        g = Grid.zeros((4, 4, 4), halo=1)
+        g.interior[...] = np.arange(64.0).reshape(4, 4, 4)
+        g.fill_halo_periodic()
+        # low halo plane along x equals the high interior plane
+        assert np.array_equal(g.data[0, 1:-1, 1:-1], g.interior[3])
+
+    def test_degenerate_axis_replicates(self):
+        g = Grid.zeros((4, 4, 1), halo=1)
+        g.interior[...] = 1.0
+        g.fill_halo_periodic()
+        assert np.array_equal(g.data[1:-1, 1:-1, 0], g.data[1:-1, 1:-1, 1])
+
+    def test_copy_is_deep(self):
+        g = Grid.random((4, 4, 4), halo=1, rng=2)
+        c = g.copy()
+        c.interior[0, 0, 0] += 1.0
+        assert g.interior[0, 0, 0] != c.interior[0, 0, 0]

@@ -1,0 +1,67 @@
+"""Tests for StencilInstance validation and derived quantities."""
+
+import pytest
+
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+
+
+@pytest.fixture()
+def lap():
+    return StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+
+
+@pytest.fixture()
+def blur():
+    return StencilKernel.single_buffer("blur", hypercube(2, 2), "float")
+
+
+class TestValidation:
+    def test_2d_size_promoted(self, blur):
+        q = StencilInstance(blur, (128, 128))
+        assert q.size == (128, 128, 1)
+
+    def test_2d_kernel_rejects_depth(self, blur):
+        with pytest.raises(ValueError, match="sz = 1"):
+            StencilInstance(blur, (128, 128, 4))
+
+    def test_too_small_for_halo(self, blur):
+        with pytest.raises(ValueError, match="too small"):
+            StencilInstance(blur, (4, 128))
+
+    def test_nonpositive_size(self, lap):
+        with pytest.raises(ValueError):
+            StencilInstance(lap, (0, 64, 64))
+
+    def test_wrong_rank(self, lap):
+        with pytest.raises(ValueError):
+            StencilInstance(lap, (64,))
+
+
+class TestDerived:
+    def test_num_points(self, lap):
+        assert StencilInstance(lap, (64, 64, 64)).num_points == 64**3
+
+    def test_flops(self, lap):
+        q = StencilInstance(lap, (64, 64, 64))
+        assert q.flops == 64**3 * 14
+
+    def test_min_bytes(self, lap):
+        q = StencilInstance(lap, (64, 64, 64))
+        assert q.min_bytes == 64**3 * 16
+
+    def test_label_3d(self, lap):
+        assert StencilInstance(lap, (128, 128, 128)).label() == "lap-128x128x128"
+
+    def test_label_2d(self, blur):
+        assert StencilInstance(blur, (1024, 768)).label() == "blur-1024x768"
+
+    def test_hashable(self, lap):
+        a = StencilInstance(lap, (64, 64, 64))
+        b = StencilInstance(lap, (64, 64, 64))
+        assert a == b and hash(a) == hash(b)
+
+    def test_dims_follow_kernel(self, lap, blur):
+        assert StencilInstance(lap, (64, 64, 64)).dims == 3
+        assert StencilInstance(blur, (64, 64)).dims == 2

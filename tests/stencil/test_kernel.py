@@ -1,0 +1,101 @@
+"""Tests for StencilKernel static features."""
+
+import pytest
+
+from repro.stencil.kernel import DType, StencilKernel
+from repro.stencil.pattern import StencilPattern
+from repro.stencil.shapes import hypercube, laplacian, line
+
+
+class TestDType:
+    def test_itemsize(self):
+        assert DType.FLOAT.itemsize == 4
+        assert DType.DOUBLE.itemsize == 8
+
+    def test_feature_encoding(self):
+        assert DType.FLOAT.feature == 0.0
+        assert DType.DOUBLE.feature == 1.0
+
+    def test_parse_string(self):
+        assert DType.parse("Float") is DType.FLOAT
+        assert DType.parse("DOUBLE") is DType.DOUBLE
+
+    def test_parse_passthrough(self):
+        assert DType.parse(DType.FLOAT) is DType.FLOAT
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            DType.parse("int")
+
+
+class TestConstruction:
+    def test_needs_pattern(self):
+        with pytest.raises(ValueError, match="at least one buffer"):
+            StencilKernel("k", ())
+
+    def test_dtype_coerced(self):
+        k = StencilKernel.single_buffer("k", laplacian(3, 1), "double")
+        assert k.dtype is DType.DOUBLE
+
+    def test_negative_extra_reads(self):
+        with pytest.raises(ValueError):
+            StencilKernel("k", (laplacian(3, 1),), extra_point_reads=-1)
+
+    def test_space_dims_override(self):
+        flat = line(3, 2)  # geometrically flat pattern
+        k = StencilKernel("k", (flat,), space_dims=3)
+        assert k.dims == 3
+
+    def test_space_dims_too_small(self):
+        with pytest.raises(ValueError, match="smaller than pattern"):
+            StencilKernel("k", (laplacian(3, 1),), space_dims=2)
+
+    def test_space_dims_invalid(self):
+        with pytest.raises(ValueError):
+            StencilKernel("k", (laplacian(3, 1),), space_dims=4)
+
+    def test_replicated(self):
+        k = StencilKernel.replicated("k", laplacian(3, 1), buffers=3)
+        assert k.num_buffers == 3
+        assert k.pattern.counts[(0, 0, 0)] == 3
+
+
+class TestDerivedFeatures:
+    def test_laplacian_flops(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        assert k.reads_per_point == 7
+        assert k.flops_per_point == 14
+
+    def test_extra_reads_counted(self):
+        k = StencilKernel("wave", (laplacian(3, 2),), extra_point_reads=1)
+        assert k.reads_per_point == 14
+
+    def test_bytes_per_point(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        assert k.bytes_per_point == 16  # one input + one output stream
+        k3 = StencilKernel.replicated("k", laplacian(3, 1), 3, "float")
+        assert k3.bytes_per_point == 16  # (3 + 1) * 4
+
+    def test_combined_pattern_multibuffer(self):
+        x = StencilPattern.from_points([(-1, 0, 0), (1, 0, 0)])
+        y = StencilPattern.from_points([(0, -1, 0), (0, 1, 0)])
+        k = StencilKernel("div", (x, y), "double")
+        assert k.pattern.num_points == 4
+        assert k.radius == 1
+
+    def test_working_planes(self):
+        k = StencilKernel.single_buffer("lap2", laplacian(3, 2), "float")
+        assert k.working_planes() == 5
+
+    def test_2d_kernel_dims(self):
+        k = StencilKernel.single_buffer("blur", hypercube(2, 2), "float")
+        assert k.dims == 2
+
+    def test_repr_mentions_name(self):
+        k = StencilKernel.single_buffer("blur", hypercube(2, 1), "float")
+        assert "blur" in repr(k)
+
+    def test_kernels_hashable(self):
+        a = StencilKernel.single_buffer("k", laplacian(3, 1), "double")
+        b = StencilKernel.single_buffer("k", laplacian(3, 1), "double")
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,143 @@
+"""Tests for StencilPattern: construction, algebra, dense round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stencil.pattern import StencilPattern
+
+offsets_3d = st.tuples(
+    st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)
+)
+
+
+class TestConstruction:
+    def test_from_points_2d_promoted(self):
+        p = StencilPattern.from_points([(0, -1), (0, 1)])
+        assert p.offsets == ((0, -1, 0), (0, 1, 0))
+
+    def test_duplicates_accumulate(self):
+        p = StencilPattern.from_points([(0, 0, 0), (0, 0, 0)])
+        assert p.counts[(0, 0, 0)] == 2
+        assert p.num_points == 1
+        assert p.num_reads == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            StencilPattern.from_points([])
+
+    def test_bad_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            StencilPattern.from_points([(1,)])
+        with pytest.raises(ValueError):
+            StencilPattern.from_points([(1, 2, 3, 4)])
+
+    def test_from_counts_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            StencilPattern.from_counts({(0, 0, 0): 0})
+
+
+class TestProperties:
+    def test_laplacian5(self):
+        p = StencilPattern.from_points(
+            [(0, -1), (-1, 0), (0, 0), (1, 0), (0, 1)]
+        )
+        assert p.num_points == 5
+        assert p.radius == 1
+        assert p.dims == 2
+        assert p.reads_origin
+
+    def test_extent_per_axis(self):
+        p = StencilPattern.from_points([(2, 0, 0), (0, -1, 0), (0, 0, 3)])
+        assert p.extent == (2, 1, 3)
+
+    def test_axis_span(self):
+        p = StencilPattern.from_points([(-2, 0, 0), (1, 0, 0)])
+        assert p.axis_span(0) == (-2, 1)
+
+    def test_planes(self):
+        p = StencilPattern.from_points([(0, 0, -1), (0, 0, 0), (0, 0, 1)])
+        assert p.planes(axis=2) == 3
+        assert p.planes(axis=0) == 1
+
+    def test_no_origin(self):
+        p = StencilPattern.from_points([(1, 0, 0), (-1, 0, 0)])
+        assert not p.reads_origin
+
+    def test_contains_and_len(self):
+        p = StencilPattern.from_points([(0, 0, 0), (1, 0, 0)])
+        assert (1, 0, 0) in p
+        assert (0, 1, 0) not in p
+        assert len(p) == 2
+
+
+class TestDense:
+    def test_to_dense_center(self):
+        p = StencilPattern.from_points([(0, 0, 0)])
+        d = p.to_dense(1)
+        assert d.shape == (3, 3, 3)
+        assert d[1, 1, 1] == 1
+        assert d.sum() == 1
+
+    def test_to_dense_too_small_radius(self):
+        p = StencilPattern.from_points([(2, 0, 0)])
+        with pytest.raises(ValueError, match="too small"):
+            p.to_dense(1)
+
+    def test_from_dense_rejects_even(self):
+        with pytest.raises(ValueError, match="odd"):
+            StencilPattern.from_dense(np.ones((2, 2, 2)))
+
+    def test_from_dense_2d_promoted(self):
+        m = np.zeros((3, 3))
+        m[1, 1] = 1
+        m[2, 1] = 2
+        p = StencilPattern.from_dense(m)
+        assert p.counts == {(0, 0, 0): 1, (1, 0, 0): 2}
+
+    @given(st.sets(offsets_3d, min_size=1, max_size=12))
+    def test_dense_roundtrip(self, points):
+        p = StencilPattern.from_points(points)
+        assert StencilPattern.from_dense(p.to_dense()) == p
+
+    @given(st.sets(offsets_3d, min_size=1, max_size=12), st.integers(3, 5))
+    def test_dense_roundtrip_padded(self, points, radius):
+        p = StencilPattern.from_points(points)
+        assert StencilPattern.from_dense(p.to_dense(radius)) == p
+
+
+class TestAlgebra:
+    def test_merge_sums_counts(self):
+        a = StencilPattern.from_points([(0, 0, 0), (1, 0, 0)])
+        b = StencilPattern.from_points([(0, 0, 0)])
+        merged = a + b
+        assert merged.counts[(0, 0, 0)] == 2
+        assert merged.counts[(1, 0, 0)] == 1
+
+    def test_merge_type_checked(self):
+        a = StencilPattern.from_points([(0, 0, 0)])
+        with pytest.raises(TypeError):
+            a.merge("x")  # type: ignore[arg-type]
+
+    @given(st.sets(offsets_3d, min_size=1, max_size=8))
+    def test_merge_commutative(self, points):
+        a = StencilPattern.from_points(points)
+        b = StencilPattern.from_points([(0, 0, 0), (1, 1, 1)])
+        assert a.merge(b) == b.merge(a)
+
+    def test_shifted(self):
+        p = StencilPattern.from_points([(0, 0, 0)]).shifted((1, -1, 2))
+        assert p.offsets == ((1, -1, 2),)
+
+    @given(st.sets(offsets_3d, min_size=1, max_size=8), offsets_3d)
+    def test_shift_roundtrip(self, points, delta):
+        p = StencilPattern.from_points(points)
+        neg = tuple(-d for d in delta)
+        assert p.shifted(delta).shifted(neg) == p
+
+    def test_hashable_and_equal(self):
+        a = StencilPattern.from_points([(0, 0, 0), (1, 0, 0)])
+        b = StencilPattern.from_points([(1, 0, 0), (0, 0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)

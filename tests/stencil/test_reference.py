@@ -1,0 +1,124 @@
+"""Tests for the numpy reference executor (the semantics oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import Grid
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.pattern import StencilPattern
+from repro.stencil.reference import (
+    apply_kernel,
+    apply_stencil,
+    default_weights,
+    jacobi_reference,
+)
+from repro.stencil.shapes import laplacian
+
+
+class TestDefaultWeights:
+    def test_origin_weight_is_one(self):
+        p = laplacian(3, 1)
+        assert default_weights(p)[(0, 0, 0)] == 1.0
+
+    def test_distance_decay(self):
+        p = laplacian(3, 2)
+        w = default_weights(p)
+        assert w[(1, 0, 0)] > w[(2, 0, 0)]
+
+    def test_covers_all_offsets(self):
+        p = laplacian(3, 2)
+        assert set(default_weights(p)) == set(p.offsets)
+
+
+class TestApplyStencil:
+    def test_identity_stencil(self):
+        p = StencilPattern.from_points([(0, 0, 0)])
+        g = Grid.random((5, 4, 3), halo=0, rng=0)
+        out = apply_stencil(g, p, weights={(0, 0, 0): 1.0})
+        assert np.allclose(out.interior, g.interior)
+
+    def test_shift_stencil_moves_data(self):
+        p = StencilPattern.from_points([(1, 0, 0)])
+        g = Grid.zeros((4, 3, 3), halo=1)
+        g.interior[2, 1, 1] = 3.0
+        out = apply_stencil(g, p, weights={(1, 0, 0): 2.0})
+        assert out.interior[1, 1, 1] == 6.0
+
+    def test_against_manual_laplacian(self):
+        p = laplacian(3, 1)
+        w = {off: 1.0 for off in p.offsets}
+        g = Grid.random((6, 6, 6), halo=1, rng=3)
+        out = apply_stencil(g, p, weights=w)
+        x, y, z = 2, 3, 1
+        h = 1
+        d = g.data
+        manual = (
+            d[x + h, y + h, z + h]
+            + d[x + h + 1, y + h, z + h]
+            + d[x + h - 1, y + h, z + h]
+            + d[x + h, y + h + 1, z + h]
+            + d[x + h, y + h - 1, z + h]
+            + d[x + h, y + h, z + h + 1]
+            + d[x + h, y + h, z + h - 1]
+        )
+        assert np.isclose(out.interior[x, y, z], manual)
+
+    def test_out_reuse(self):
+        p = laplacian(3, 1)
+        g = Grid.random((5, 5, 5), halo=1, rng=1)
+        out = Grid.zeros((5, 5, 5), halo=1)
+        result = apply_stencil(g, p, out=out)
+        assert result is out
+
+    def test_linearity(self):
+        """Stencil application is linear in the input field."""
+        p = laplacian(3, 1)
+        a = Grid.random((5, 5, 5), halo=1, rng=1)
+        b = Grid.random((5, 5, 5), halo=1, rng=2)
+        summed = Grid(a.data + b.data, halo=1)
+        out_sum = apply_stencil(summed, p)
+        out_a = apply_stencil(a, p)
+        out_b = apply_stencil(b, p)
+        assert np.allclose(out_sum.interior, out_a.interior + out_b.interior)
+
+
+class TestApplyKernel:
+    def test_buffer_count_checked(self):
+        k = StencilKernel.replicated("k", laplacian(3, 1), 2, "double")
+        g = Grid.random((5, 5, 5), halo=1, rng=0)
+        with pytest.raises(ValueError, match="2 buffers"):
+            apply_kernel(k, [g])
+
+    def test_multibuffer_sums_contributions(self):
+        x = StencilPattern.from_points([(0, 0, 0)])
+        k = StencilKernel("two", (x, x), "double")
+        a = Grid.random((4, 4, 4), halo=0, rng=1)
+        b = Grid.random((4, 4, 4), halo=0, rng=2)
+        out = apply_kernel(k, [a, b], weights=[{(0, 0, 0): 1.0}, {(0, 0, 0): 1.0}])
+        assert np.allclose(out.interior, a.interior + b.interior)
+
+
+class TestJacobi:
+    def test_requires_positive_sweeps(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        g = Grid.random((5, 5, 5), halo=1, rng=0)
+        with pytest.raises(ValueError):
+            jacobi_reference(k, [g], sweeps=0)
+
+    def test_two_sweeps_differ_from_one(self):
+        k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+        g = Grid.random((6, 6, 6), halo=1, rng=5)
+        one = jacobi_reference(k, [g.copy()], sweeps=1)
+        two = jacobi_reference(k, [g.copy()], sweeps=2)
+        assert not np.allclose(one.interior, two.interior)
+
+    def test_mean_preserving_weights_smooth(self):
+        """A normalized Laplacian sweep keeps values bounded (smoothing)."""
+        p = laplacian(3, 1)
+        k = StencilKernel.single_buffer("lap", p, "double")
+        w = [{off: 1.0 / 7.0 for off in p.offsets}]
+        g = Grid.random((8, 8, 8), halo=1, rng=6)
+        g.fill_halo_periodic()
+        out = jacobi_reference(k, [g], sweeps=3, weights=w)
+        assert out.interior.max() <= g.interior.max() + 1e-12
+        assert out.interior.min() >= g.interior.min() - 1e-12

@@ -1,0 +1,107 @@
+"""Tests for the Fig. 1 training-shape generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stencil.shapes import TRAINING_SHAPES, hypercube, hyperplane, laplacian, line
+
+dims_st = st.sampled_from([2, 3])
+radius_st = st.integers(1, 4)
+
+
+class TestLine:
+    @given(dims_st, radius_st)
+    def test_point_count(self, dims, radius):
+        assert line(dims, radius).num_points == 2 * radius + 1
+
+    def test_axis_selection(self):
+        p = line(3, 2, axis=1)
+        assert all(off[0] == 0 and off[2] == 0 for off in p.offsets)
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            line(2, 1, axis=2)
+
+    def test_includes_origin(self):
+        assert line(3, 1).reads_origin
+
+
+class TestHyperplane:
+    @given(radius_st)
+    def test_3d_point_count(self, radius):
+        assert hyperplane(3, radius).num_points == (2 * radius + 1) ** 2
+
+    @given(radius_st)
+    def test_2d_point_count(self, radius):
+        assert hyperplane(2, radius).num_points == (2 * radius + 1) ** 2
+
+    def test_normal_axis(self):
+        p = hyperplane(3, 1, normal_axis=0)
+        assert all(off[0] == 0 for off in p.offsets)
+
+    def test_bad_normal(self):
+        with pytest.raises(ValueError):
+            hyperplane(3, 1, normal_axis=5)
+
+
+class TestHypercube:
+    @given(radius_st)
+    def test_3d_point_count(self, radius):
+        assert hypercube(3, radius).num_points == (2 * radius + 1) ** 3
+
+    @given(radius_st)
+    def test_2d_point_count(self, radius):
+        assert hypercube(2, radius).num_points == (2 * radius + 1) ** 2
+
+    @given(dims_st, radius_st)
+    def test_radius(self, dims, radius):
+        assert hypercube(dims, radius).radius == radius
+
+
+class TestLaplacian:
+    @given(radius_st)
+    def test_3d_point_count(self, radius):
+        assert laplacian(3, radius).num_points == 6 * radius + 1
+
+    @given(radius_st)
+    def test_2d_point_count(self, radius):
+        assert laplacian(2, radius).num_points == 4 * radius + 1
+
+    def test_wave_shape_is_13_points(self):
+        # Table III: the wave kernel uses a "13 laplacian"
+        assert laplacian(3, 2).num_points == 13
+
+    def test_laplacian6_is_19_points(self):
+        assert laplacian(3, 3).num_points == 19
+
+    @given(dims_st, radius_st)
+    def test_star_has_no_diagonal(self, dims, radius):
+        p = laplacian(dims, radius)
+        for off in p.offsets:
+            assert sum(1 for c in off if c != 0) <= 1
+
+
+class TestRegistry:
+    def test_four_families(self):
+        assert set(TRAINING_SHAPES) == {"line", "hyperplane", "hypercube", "laplacian"}
+
+    @given(st.sampled_from(sorted(TRAINING_SHAPES)), dims_st, radius_st)
+    def test_all_2d_shapes_flat(self, name, dims, radius):
+        p = TRAINING_SHAPES[name](dims, radius)
+        if dims == 2:
+            assert all(off[2] == 0 for off in p.offsets)
+
+    @given(st.sampled_from(sorted(TRAINING_SHAPES)), dims_st, radius_st)
+    def test_shapes_fit_declared_radius(self, name, dims, radius):
+        assert TRAINING_SHAPES[name](dims, radius).radius == radius
+
+    def test_invalid_dims(self):
+        for fn in TRAINING_SHAPES.values():
+            with pytest.raises(ValueError):
+                fn(4, 1)
+
+    def test_invalid_radius(self):
+        for fn in TRAINING_SHAPES.values():
+            with pytest.raises(ValueError):
+                fn(3, 0)

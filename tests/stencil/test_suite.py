@@ -1,0 +1,82 @@
+"""Tests pinning the Table III benchmark registry to the paper."""
+
+import pytest
+
+from repro.stencil.suite import BENCHMARKS, TEST_BENCHMARKS, benchmark_by_id, get_benchmark
+
+
+class TestRegistry:
+    def test_nine_kernels(self):
+        assert len(BENCHMARKS) == 9
+
+    def test_seventeen_benchmarks(self):
+        assert len(TEST_BENCHMARKS) == 17
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("nope")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            benchmark_by_id("nope-1x1")
+
+    def test_instance_requires_listed_size(self):
+        with pytest.raises(KeyError):
+            get_benchmark("blur").instance((333, 333))
+
+
+class TestTableIIIRows:
+    """Each case pins one row of Table III."""
+
+    @pytest.mark.parametrize(
+        "name, dims, points, buffers, dtype, n_sizes",
+        [
+            ("blur", 2, 25, 1, "float", 2),
+            ("edge", 2, 9, 1, "float", 2),
+            ("game-of-life", 2, 9, 1, "float", 2),
+            ("wave", 3, 13, 1, "float", 2),
+            ("tricubic", 3, 64 + 1, 3, "float", 2),  # cube + centre reads overlap
+            ("divergence", 3, 6, 3, "double", 1),
+            ("gradient", 3, 6, 1, "double", 2),
+            ("laplacian", 3, 7, 1, "double", 2),
+            ("laplacian6", 3, 19, 1, "double", 2),
+        ],
+    )
+    def test_row(self, name, dims, points, buffers, dtype, n_sizes):
+        b = get_benchmark(name)
+        assert b.kernel.dims == dims
+        assert b.kernel.num_buffers == buffers
+        assert b.kernel.dtype.value == dtype
+        assert len(b.sizes) == n_sizes
+        if name == "tricubic":
+            # 64-point cube on buffer 0, centre point on buffers 1 and 2;
+            # the centre lies inside the cube, so distinct offsets stay 64
+            assert b.kernel.pattern.num_points == 64
+            assert b.kernel.reads_per_point == 66
+        else:
+            assert b.kernel.pattern.num_points == points
+
+    def test_wave_reads_extra_point(self):
+        assert get_benchmark("wave").kernel.reads_per_point == 14
+
+    def test_divergence_center_not_read(self):
+        assert not get_benchmark("divergence").kernel.pattern.reads_origin
+
+    def test_gradient_center_not_read(self):
+        assert not get_benchmark("gradient").kernel.pattern.reads_origin
+
+    def test_fig4_order_starts_with_blur(self):
+        assert TEST_BENCHMARKS[0].label() == "blur-1024x1024"
+        assert TEST_BENCHMARKS[1].label() == "blur-1024x768"
+
+    def test_all_labels_resolvable(self):
+        for inst in TEST_BENCHMARKS:
+            assert benchmark_by_id(inst.label()) == inst
+
+    def test_divergence_per_axis_lines(self):
+        k = get_benchmark("divergence").kernel
+        assert len(k.buffer_patterns) == 3
+        for axis, pattern in enumerate(k.buffer_patterns):
+            for off in pattern.offsets:
+                nonzero = [i for i, c in enumerate(off) if c != 0]
+                assert nonzero == [axis]

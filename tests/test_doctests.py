@@ -1,0 +1,27 @@
+"""Executes every doctest in the library.
+
+The public API's docstring examples are part of the documentation
+deliverable; this test keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules() -> list[str]:
+    names = []
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

@@ -1,0 +1,114 @@
+"""Tests for tuning parameter types."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tuning.parameters import IntParameter, PowerOfTwoParameter
+
+
+class TestIntParameter:
+    def test_cardinality(self):
+        assert IntParameter("u", 0, 8).cardinality() == 9
+
+    def test_clip(self):
+        p = IntParameter("u", 0, 8)
+        assert p.clip(-3) == 0
+        assert p.clip(12.7) == 8
+        assert p.clip(4.4) == 4
+
+    def test_contains(self):
+        p = IntParameter("u", 0, 8)
+        assert p.contains(0) and p.contains(8)
+        assert not p.contains(9)
+
+    def test_default_grid_includes_lo_zero(self):
+        assert IntParameter("u", 0, 8).grid() == (0, 1, 2, 4, 8)
+
+    def test_grid_override(self):
+        p = IntParameter("u", 0, 8, grid_values=(0, 2, 4, 8))
+        assert p.grid() == (0, 2, 4, 8)
+
+    def test_grid_override_validated(self):
+        with pytest.raises(ValueError, match="outside"):
+            IntParameter("u", 0, 8, grid_values=(0, 16))
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            IntParameter("u", 5, 2)
+
+    @given(st.integers(-100, 100))
+    def test_from_unit_inverse_of_normalize(self, v):
+        p = IntParameter("u", 0, 8)
+        legal = p.clip(v)
+        assert p.from_unit(p.normalize(legal)) == legal
+
+    def test_sample_in_range(self):
+        p = IntParameter("u", 0, 8)
+        rng = np.random.default_rng(0)
+        vals = [p.sample(rng) for _ in range(200)]
+        assert min(vals) >= 0 and max(vals) <= 8
+        assert len(set(vals)) == 9  # all values reachable
+
+    def test_neighbor_stays_legal(self):
+        p = IntParameter("u", 0, 8)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            assert p.contains(p.neighbor(4, rng))
+
+
+class TestPowerOfTwoParameter:
+    def test_cardinality(self):
+        assert PowerOfTwoParameter("bx", 2, 1024).cardinality() == 10
+
+    def test_bounds_must_be_pow2(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoParameter("bx", 3, 1024)
+
+    def test_clip_to_nearest_pow2(self):
+        p = PowerOfTwoParameter("bx", 2, 1024)
+        assert p.clip(100) == 128
+        assert p.clip(89) == 64  # log-space rounding: 89 < sqrt(64*128) ≈ 90.5
+        assert p.clip(0) == 2
+        assert p.clip(10**9) == 1024
+
+    def test_grid(self):
+        p = PowerOfTwoParameter("c", 1, 8)
+        assert p.grid() == (1, 2, 4, 8)
+
+    def test_degenerate_range(self):
+        p = PowerOfTwoParameter("bz", 1, 1)
+        assert p.grid() == (1,)
+        assert p.normalize(1) == 0.0
+        assert p.sample(np.random.default_rng(0)) == 1
+
+    def test_normalize_log_scale(self):
+        p = PowerOfTwoParameter("bx", 2, 1024)
+        mid = p.normalize(64)  # exponent 6 of range 1..10
+        assert abs(mid - 5 / 9) < 1e-12
+
+    @given(st.integers(0, 12))
+    def test_from_unit_roundtrip(self, exp):
+        p = PowerOfTwoParameter("bx", 2, 1024)
+        v = p.clip(1 << exp)
+        assert p.from_unit(p.normalize(v)) == v
+
+    def test_neighbor_moves_on_exponent_axis(self):
+        p = PowerOfTwoParameter("bx", 2, 1024)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            n = p.neighbor(64, rng)
+            assert p.contains(n)
+
+    def test_neighbor_never_stays_put_for_unit_scale(self):
+        p = PowerOfTwoParameter("bx", 2, 1024)
+        rng = np.random.default_rng(3)
+        moves = [p.neighbor(64, rng, scale=0.5) for _ in range(50)]
+        assert any(m != 64 for m in moves)
+
+    def test_sample_distribution_covers_grid(self):
+        p = PowerOfTwoParameter("bx", 2, 1024)
+        rng = np.random.default_rng(4)
+        vals = {p.sample(rng) for _ in range(500)}
+        assert vals == set(p.grid())

@@ -1,0 +1,78 @@
+"""Tests for the pre-defined hierarchical candidate sets (§VI-A)."""
+
+from repro.tuning.presets import (
+    PRESET_SIZE_2D,
+    PRESET_SIZE_3D,
+    hierarchical_pow2_candidates,
+    preset_candidates,
+)
+from repro.tuning.space import patus_space
+
+
+class TestSizes:
+    def test_paper_sizes(self):
+        assert len(preset_candidates(2)) == PRESET_SIZE_2D == 1600
+        assert len(preset_candidates(3)) == PRESET_SIZE_3D == 8640
+
+    def test_unique(self):
+        for dims in (2, 3):
+            cands = preset_candidates(dims)
+            assert len(set(cands)) == len(cands)
+
+    def test_invalid_dims(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            preset_candidates(4)
+
+
+class TestHierarchicalOrder:
+    def test_coarsest_first(self):
+        cands = hierarchical_pow2_candidates(patus_space(3))
+        first = cands[0]
+        # level-0 everywhere: smallest grid value of every parameter
+        assert first.as_tuple() == (2, 2, 2, 0, 1)
+
+    def test_all_pow2_grid_values(self):
+        space = patus_space(3)
+        grids = [set(p.grid()) for p in space.parameters]
+        for cand in preset_candidates(3):
+            for value, grid in zip(cand.as_tuple(), grids):
+                assert value in grid
+
+    def test_truncation_is_prefix(self):
+        full = hierarchical_pow2_candidates(patus_space(3))
+        short = hierarchical_pow2_candidates(patus_space(3), 100)
+        assert full[:100] == short
+
+    def test_refinement_levels_monotone(self):
+        space = patus_space(3)
+        grids = [p.grid() for p in space.parameters]
+        cands = hierarchical_pow2_candidates(space)
+        max_levels = [
+            max(g.index(v) for g, v in zip(grids, c.as_tuple())) for c in cands
+        ]
+        assert max_levels == sorted(max_levels)
+
+    def test_truncated_3d_covers_coarse_grid_fully(self):
+        """The 8640 subset must contain every combination up to some level."""
+        space = patus_space(3)
+        grids = [p.grid() for p in space.parameters]
+        kept = set(preset_candidates(3))
+        # every combination with all levels <= 3 must be present
+        from itertools import product
+
+        coarse = [g[: min(4, len(g))] for g in grids]
+        missing = [
+            combo
+            for combo in product(*coarse)
+            if tuple(combo) not in {c.as_tuple() for c in kept}
+        ]
+        assert not missing
+
+    def test_2d_set_is_full_product(self):
+        space = patus_space(2)
+        n = 1
+        for p in space.parameters:
+            n *= len(p.grid())
+        assert len(hierarchical_pow2_candidates(space)) == n == 1600

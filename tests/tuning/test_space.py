@@ -1,0 +1,122 @@
+"""Tests for TuningSpace operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tuning.space import TuningSpace, patus_space
+from repro.tuning.vector import TuningVector
+
+
+class TestPatusSpace:
+    def test_3d_has_five_params(self):
+        s = patus_space(3)
+        assert s.names == ("bx", "by", "bz", "unroll", "chunk")
+
+    def test_2d_pins_bz(self):
+        s = patus_space(2)
+        assert s.parameter("bz").grid() == (1,)
+        v = s.random_vector(0)
+        assert v.bz == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            patus_space(4)
+
+    def test_cardinality_order_of_magnitude(self):
+        # the paper quotes ~10^6.5 for OpenTuner's stencil space
+        assert 10**4 < patus_space(3).cardinality() < 10**6
+
+    def test_2d_pow2_grid_product_is_1600(self):
+        s = patus_space(2)
+        n = 1
+        for p in s.parameters:
+            n *= len(p.grid())
+        assert n == 1600
+
+
+class TestSampling:
+    def test_random_vectors_unique(self):
+        s = patus_space(3)
+        vecs = s.random_vectors(200, rng=0)
+        assert len(set(vecs)) == 200
+
+    def test_random_vectors_deterministic(self):
+        s = patus_space(3)
+        assert s.random_vectors(20, rng=5) == s.random_vectors(20, rng=5)
+
+    def test_unique_fallback_when_space_tiny(self):
+        s = TuningSpace(
+            dims=2,
+            parameters=patus_space(2, block_lo=2, block_hi=4, unroll_hi=0, chunk_hi=1).parameters,
+        )
+        # space has 2*2*1*1*1 = 4 distinct vectors; asking for 30 must not hang
+        vecs = s.random_vectors(30, rng=0)
+        assert len(vecs) == 30
+
+    def test_contains_all_samples(self):
+        s = patus_space(3)
+        for v in s.random_vectors(100, rng=3):
+            assert s.contains(v)
+
+
+class TestRepairAndMoves:
+    def test_clip_repairs_arbitrary_reals(self):
+        s = patus_space(3)
+        v = s.clip([3.7, -10.0, 5000.0, 4.2, 0.1])
+        assert s.contains(v)
+
+    def test_clip_length_check(self):
+        with pytest.raises(ValueError):
+            patus_space(3).clip([1, 2, 3])
+
+    def test_neighbor_legal_and_close(self):
+        s = patus_space(3)
+        rng = np.random.default_rng(0)
+        start = TuningVector(64, 64, 64, 4, 2)
+        for _ in range(50):
+            n = s.neighbor(start, rng)
+            assert s.contains(n)
+            diffs = sum(a != b for a, b in zip(n.as_tuple(), start.as_tuple()))
+            assert diffs <= 1
+
+    def test_crossover_genes_from_parents(self):
+        s = patus_space(3)
+        rng = np.random.default_rng(1)
+        a = TuningVector(2, 4, 8, 1, 1)
+        b = TuningVector(1024, 512, 256, 8, 8)
+        for _ in range(30):
+            child = s.crossover(a, b, rng)
+            for gene, ga, gb in zip(child.as_tuple(), a.as_tuple(), b.as_tuple()):
+                assert gene in (ga, gb)
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self):
+        s = patus_space(3)
+        vecs = s.random_vectors(20, rng=7)
+        arr = s.encode(vecs)
+        assert arr.shape == (20, 5)
+        assert s.decode(arr) == vecs
+
+    def test_normalize_in_unit_interval(self):
+        s = patus_space(3)
+        norm = s.normalize(s.random_vectors(50, rng=8))
+        assert norm.min() >= 0.0 and norm.max() <= 1.0
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10_000))
+    def test_unit_roundtrip(self, seed):
+        s = patus_space(3)
+        v = s.random_vector(seed)
+        assert s.from_unit(s.to_unit(v)) == v
+
+    def test_from_unit_shape_check(self):
+        with pytest.raises(ValueError):
+            patus_space(3).from_unit(np.zeros(3))
+
+    def test_param_order_enforced(self):
+        s = patus_space(3)
+        with pytest.raises(ValueError, match="named"):
+            TuningSpace(dims=3, parameters=s.parameters[::-1])

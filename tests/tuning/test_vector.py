@@ -1,0 +1,73 @@
+"""Tests for TuningVector."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tuning.vector import TuningVector
+
+
+class TestConstruction:
+    def test_defaults(self):
+        t = TuningVector(16, 8)
+        assert t.bz == 1 and t.unroll == 0 and t.chunk == 1
+
+    def test_rejects_zero_block(self):
+        with pytest.raises(ValueError):
+            TuningVector(0, 8)
+
+    def test_rejects_negative_unroll(self):
+        with pytest.raises(ValueError):
+            TuningVector(8, 8, 1, -1)
+
+    def test_numpy_ints_coerced(self):
+        t = TuningVector(np.int64(8), np.int64(4), np.int64(2), np.int64(1), np.int64(1))
+        assert isinstance(t.bx, int)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            TuningVector(8.5, 4)  # type: ignore[arg-type]
+
+
+class TestViews:
+    def test_block_volume(self):
+        assert TuningVector(4, 4, 4).block_volume == 64
+
+    def test_effective_unroll(self):
+        assert TuningVector(2, 2, unroll=0).effective_unroll == 1
+        assert TuningVector(2, 2, unroll=4).effective_unroll == 4
+
+    def test_tuple_roundtrip(self):
+        t = TuningVector(64, 8, 4, 2, 2)
+        assert TuningVector.from_iterable(t.as_tuple()) == t
+
+    def test_from_iterable_rounds(self):
+        t = TuningVector.from_iterable([8.4, 4.0, 2.0, 1.6, 1.0])
+        assert t == TuningVector(8, 4, 2, 2, 1)
+
+    def test_from_iterable_length(self):
+        with pytest.raises(ValueError, match="5 values"):
+            TuningVector.from_iterable([1, 2, 3])
+
+    def test_replace(self):
+        t = TuningVector(8, 8, 8, 2, 1).replace(unroll=4)
+        assert t.unroll == 4 and t.bx == 8
+
+    def test_iter_and_str(self):
+        t = TuningVector(8, 4, 2, 1, 1)
+        assert list(t) == [8, 4, 2, 1, 1]
+        assert "bx=8" in str(t)
+
+    @given(
+        st.integers(1, 1024),
+        st.integers(1, 1024),
+        st.integers(1, 1024),
+        st.integers(0, 8),
+        st.integers(1, 16),
+    )
+    def test_ordered_and_hashable(self, bx, by, bz, u, c):
+        t = TuningVector(bx, by, bz, u, c)
+        assert t == TuningVector(*t.as_tuple())
+        assert hash(t) == hash(TuningVector(*t.as_tuple()))
+        assert not (t < t)

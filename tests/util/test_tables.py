@@ -1,0 +1,68 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.util.tables import Table, format_histogram, format_series, format_table
+
+
+class TestTable:
+    def test_basic_render(self):
+        t = Table(["name", "value"])
+        t.add_row(["x", 1.25])
+        out = t.render(floatfmt=".2f")
+        assert "name" in out and "1.25" in out
+        assert out.splitlines()[1].startswith("----")
+
+    def test_row_length_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_add_mapping_with_default(self):
+        t = Table(["a", "b"])
+        t.add_mapping({"a": 1})
+        assert t.rows[0] == [1, ""]
+
+    def test_sort_by(self):
+        t = Table(["k", "v"])
+        t.add_row(["b", 2])
+        t.add_row(["a", 1])
+        t.sort_by("k")
+        assert [r[0] for r in t.rows] == ["a", "b"]
+        t.sort_by("v", reverse=True)
+        assert [r[1] for r in t.rows] == [2, 1]
+
+    def test_title_rendered_first(self):
+        t = Table(["a"], title="My Title")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "My Title"
+
+    def test_alignment_pads_columns(self):
+        t = Table(["col", "v"])
+        t.add_row(["short", 1])
+        t.add_row(["a-much-longer-cell", 2])
+        lines = t.render().splitlines()
+        # the separator between first and second column is aligned
+        assert lines[1].index("|") == lines[2].index("|") == lines[3].index("|")
+
+
+class TestFormatHelpers:
+    def test_format_table_one_shot(self):
+        out = format_table(["x"], [[1], [2]])
+        assert out.count("\n") == 3
+
+    def test_format_series_aligns_columns(self):
+        out = format_series([1, 2], {"a": [0.5, 0.6], "b": [1.0, 2.0]}, x_label="n")
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "n"
+        assert "0.6" in out and "2" in out
+
+    def test_format_histogram_counts(self):
+        out = format_histogram([0.1, 0.1, 0.9], bins=2, lo=0.0, hi=1.0)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("2")
+        assert lines[1].endswith("1")
+
+    def test_format_histogram_empty(self):
+        assert format_histogram([]) == "(empty)"

@@ -1,0 +1,51 @@
+"""Tests for stopwatch and duration formatting."""
+
+import time
+
+from repro.util.timing import Stopwatch, format_seconds
+
+
+class TestFormatSeconds:
+    def test_sub_millisecond(self):
+        assert format_seconds(0.0001) == "<1 ms"
+
+    def test_milliseconds(self):
+        assert "ms" in format_seconds(0.25)
+
+    def test_seconds(self):
+        assert format_seconds(2.5).endswith("s")
+
+    def test_minutes(self):
+        assert format_seconds(240) == "4m 0s"
+
+    def test_hours(self):
+        assert format_seconds(32 * 3600) == "32h 0m"
+
+    def test_table2_values_roundtrip_shapes(self):
+        # the formats the paper's Table II uses must all be producible
+        assert format_seconds(115200).startswith("32h")
+        assert format_seconds(26 * 60).startswith("26m")
+
+
+class TestStopwatch:
+    def test_lap_accumulates(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            time.sleep(0.01)
+        with sw.lap("a"):
+            time.sleep(0.01)
+        assert sw.laps["a"] >= 0.02
+
+    def test_total_sums_laps(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            pass
+        assert sw.total() == sum(sw.laps.values())
+
+    def test_report_mentions_names(self):
+        sw = Stopwatch()
+        with sw.lap("train"):
+            pass
+        assert "train" in sw.report()

@@ -1,0 +1,70 @@
+"""Tests for validation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_type,
+    is_power_of_two,
+)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_rejects_with_name(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "no", int)
+
+    def test_multiple_types(self):
+        assert check_type("x", 2.5, int, float) == 2.5
+
+
+class TestCheckPositive:
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("n", 0)
+
+    def test_non_strict_accepts_zero(self):
+        assert check_positive("n", 0, strict=False) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="n must be"):
+            check_positive("n", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range("v", 1, 1, 3) == 1
+        assert check_in_range("v", 3, 1, 3) == 3
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("v", 4, 1, 3)
+
+
+class TestPowerOfTwo:
+    def test_known_values(self):
+        assert [v for v in range(1, 17) if is_power_of_two(v)] == [1, 2, 4, 8, 16]
+
+    def test_zero_and_negative(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    def test_non_integer(self):
+        assert not is_power_of_two(2.0)  # type: ignore[arg-type]
+
+    @given(st.integers(min_value=0, max_value=62))
+    def test_all_powers_accepted(self, exp):
+        assert is_power_of_two(1 << exp)
+
+    @given(st.integers(min_value=3, max_value=10**9).filter(lambda v: v & (v - 1)))
+    def test_non_powers_rejected(self, v):
+        assert not is_power_of_two(v)
+        with pytest.raises(ValueError):
+            check_power_of_two("v", v)

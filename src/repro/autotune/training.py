@@ -25,7 +25,6 @@ from repro.codegen.compiler import PatusCompiler
 from repro.features.encoder import FeatureEncoder
 from repro.machine.executor import SimulatedMachine
 from repro.ranking.partial import RankingGroups
-from repro.stencil.execution import StencilExecution
 from repro.stencil.instance import StencilInstance
 from repro.stencil.kernel import StencilKernel
 from repro.stencil.shapes import TRAINING_SHAPES
@@ -127,7 +126,15 @@ class TrainingSetBuilder:
     def point_allocation(
         self, instances: list[StencilInstance], total_points: int
     ) -> list[int]:
-        """Per-instance point counts (2:1 for 3-D, each ≥ 2, sum ≈ total)."""
+        """Per-instance point counts (2:1 for 3-D, each ≥ 2, exact total).
+
+        Largest-remainder apportionment: start from the floored proportional
+        shares (clipped to the ≥2 floor) and hand out the leftover points to
+        the largest fractional remainders, so ``sum(counts)`` equals
+        ``total_points`` exactly instead of drifting by rounding.  If the
+        ≥2 floor overshoots the budget, points are taken back from the
+        smallest remainders that sit above the floor.
+        """
         if total_points < 2 * len(instances):
             raise ValueError(
                 f"need at least {2 * len(instances)} points for "
@@ -135,7 +142,24 @@ class TrainingSetBuilder:
             )
         weights = np.array([2.0 if q.dims == 3 else 1.0 for q in instances])
         raw = total_points * weights / weights.sum()
-        counts = np.maximum(np.round(raw).astype(int), 2)
+        counts = np.maximum(np.floor(raw).astype(int), 2)
+        # remainder relative to what was actually assigned: instances lifted
+        # to the floor already hold more than their share and sort last
+        remainder = raw - counts
+        deficit = total_points - int(counts.sum())
+        if deficit > 0:
+            order = np.argsort(-remainder, kind="stable")
+            for step in range(deficit):
+                counts[order[step % len(counts)]] += 1
+        elif deficit < 0:
+            order = np.argsort(remainder, kind="stable")
+            step = 0
+            while deficit < 0:
+                j = order[step % len(counts)]
+                if counts[j] > 2:
+                    counts[j] -= 1
+                    deficit += 1
+                step += 1
         return counts.tolist()
 
     def build(
@@ -160,14 +184,11 @@ class TrainingSetBuilder:
             rng = spawn(self.seed, "training-tunings", instance.label())
             space = patus_space(instance.dims)
             tunings = space.random_vectors(count, rng=rng)
-            measured = np.array(
-                [
-                    self.machine.measure(
-                        StencilExecution(instance, tv), repeats=self.repeats
-                    ).time
-                    for tv in tunings
-                ]
-            )
+            # one vectorized measurement pass per instance (cost model,
+            # noise and budget accounting identical to scalar measure())
+            measured = self.machine.measure_batch(
+                instance, tunings, repeats=self.repeats
+            ).medians
             X_blocks.append(self.encoder.encode_batch(instance, tunings))
             times_blocks.append(measured)
             group_blocks.append(np.full(count, gid, dtype=np.int64))

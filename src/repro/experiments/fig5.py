@@ -20,7 +20,6 @@ from repro.experiments.common import (
     ExperimentContext,
     experiment_scale,
 )
-from repro.stencil.execution import StencilExecution
 from repro.stencil.suite import benchmark_by_id
 from repro.tuning.presets import preset_candidates
 from repro.util.tables import Table, format_series
@@ -104,14 +103,17 @@ def run_fig5(
             curves[name] = [flops / curve[k] / 1e9 for k in checkpoints]
             tts[name] = result.total_wall_s
 
+        # one vectorized ground-truth pass over all model picks
         levels: dict[str, float] = {}
-        for size in config.training_sizes:
-            tuner = context.tuner(size)
-            pick = tuner.best(instance, candidates)
-            t = machine.true_time(StencilExecution(instance, pick))
+        picks = {
+            size: context.tuner(size).best(instance, candidates)
+            for size in config.training_sizes
+        }
+        pick_times = machine.true_times_batch(instance, list(picks.values()))
+        for size, t in zip(picks, pick_times):
             key = f"ord.regression size={size}"
-            levels[key] = flops / t / 1e9
-            tts[key] = tuner.last_rank_seconds
+            levels[key] = flops / float(t) / 1e9
+            tts[key] = context.tuner(size).last_rank_seconds
 
         out.append(
             StencilProgress(

@@ -11,7 +11,9 @@ For each training-set size the paper reports four columns:
 Compilation and generation are *simulated-testbed* seconds from the
 accounting models; training and regression are *measured* wall-clock of
 this implementation (expect a constant-factor gap to the paper's C binary —
-recorded in EXPERIMENTS.md).
+recorded in EXPERIMENTS.md).  Training-set generation rides the vectorized
+batch measurement pipeline (one cost-model pass per instance), so the real
+wall-clock of this harness is dominated by SVM training, not simulation.
 """
 
 from __future__ import annotations

@@ -20,19 +20,40 @@ same *landscape structure* a real machine exposes to the autotuner:
 All simulated "measurements" flow through :class:`SimulatedMachine`, which
 also counts evaluations so search budgets are accounted exactly like
 iterative compilation runs in the paper.
+
+Every model exposes the same physics through two paths: a **scalar** path
+(one execution at a time, full diagnostic reports — the oracle) and a
+**batch** path (``sweep_costs_batch`` / ``measure_batch`` /
+``true_times_batch``) that evaluates *n* tunings of one instance in a
+single vectorized NumPy pass.  Training-set generation, preset ranking and
+the population-based searches run on the batch path; its results are
+pinned against the scalar oracle to ≤1e-12 relative error by the
+equivalence test suite.  Costs are cached per execution stable-hash with a
+FIFO bound; scalar and batch share the cache, so mixing the paths on one
+machine never produces two different times for the same execution.
 """
 
 from repro.machine.spec import CacheLevel, MachineSpec, XEON_E5_2680_V3
-from repro.machine.cache import TrafficModel, TrafficReport
+from repro.machine.cache import BatchTrafficReport, TrafficModel, TrafficReport
 from repro.machine.simd import SimdModel
-from repro.machine.threads import ScheduleModel, ScheduleReport
-from repro.machine.cost import CostModel, SweepCost
+from repro.machine.threads import BatchScheduleReport, ScheduleModel, ScheduleReport
+from repro.machine.cost import BatchSweepCost, CostModel, SweepCost
 from repro.machine.noise import NoiseModel
-from repro.machine.executor import Measurement, SimulatedMachine
+from repro.machine.executor import (
+    BatchMeasurement,
+    FifoCache,
+    Measurement,
+    SimulatedMachine,
+)
 
 __all__ = [
+    "BatchMeasurement",
+    "BatchScheduleReport",
+    "BatchSweepCost",
+    "BatchTrafficReport",
     "CacheLevel",
     "CostModel",
+    "FifoCache",
     "MachineSpec",
     "Measurement",
     "NoiseModel",

@@ -31,15 +31,26 @@ from repro.machine.spec import MachineSpec
 from repro.stencil.kernel import StencilKernel
 from repro.stencil.pattern import StencilPattern
 
-__all__ = ["TrafficModel", "TrafficReport"]
+__all__ = ["BatchTrafficReport", "TrafficModel", "TrafficReport"]
 
 
-def _logistic_excess(working_set: float, capacity: float, width: float = 0.35) -> float:
-    """0 → working set far below capacity, 1 → far above (log-space ramp)."""
-    if capacity <= 0:
-        return 1.0
-    x = np.log(max(working_set, 1.0) / capacity) / width
-    return float(1.0 / (1.0 + np.exp(-x)))
+def _logistic_excess(working_set, capacity, width: float = 0.35):
+    """0 → working set far below capacity, 1 → far above (log-space ramp).
+
+    Accepts scalars or arrays (any broadcastable mix); returns a ``float``
+    for all-scalar input and an array otherwise.  The array path applies the
+    identical formula elementwise, which is what lets the batch traffic
+    analysis evaluate the layer-condition regime blend for every tuning in
+    one pass.
+    """
+    scalar = np.ndim(working_set) == 0 and np.ndim(capacity) == 0
+    cap = np.asarray(capacity, dtype=float)
+    ws = np.maximum(np.asarray(working_set, dtype=float), 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = np.log(ws / cap) / width
+        ramp = 1.0 / (1.0 + np.exp(-x))
+    out = np.where(cap > 0, ramp, 1.0)
+    return float(out) if scalar else out
 
 
 @dataclass(frozen=True)
@@ -60,6 +71,22 @@ class TrafficReport:
     def total_factor(self) -> float:
         """Sum of per-buffer DRAM traffic factors (diagnostic)."""
         return float(sum(self.buffer_factors))
+
+
+@dataclass(frozen=True)
+class BatchTrafficReport:
+    """Struct-of-arrays :class:`TrafficReport` for ``n`` tunings at once.
+
+    ``dram_bytes`` is ``(n,)``; ``level_bytes`` maps each cache level name
+    to an ``(n,)`` array; ``buffer_factors`` is ``(n, num_buffers)``.
+    """
+
+    dram_bytes: np.ndarray
+    level_bytes: dict[str, np.ndarray]
+    buffer_factors: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.dram_bytes)
 
 
 class TrafficModel:
@@ -201,4 +228,115 @@ class TrafficModel:
             dram_bytes=dram_bytes,
             level_bytes=level_bytes,
             buffer_factors=dram_factors,
+        )
+
+    # -- batch analysis --------------------------------------------------------
+
+    def buffer_factor_batch(
+        self,
+        pattern: StencilPattern,
+        bx: np.ndarray,
+        by: np.ndarray,
+        itemsize: int,
+        capacity_bytes,
+    ) -> np.ndarray:
+        """Vectorized :meth:`buffer_factor`: ``(n,)`` factors for one buffer.
+
+        ``capacity_bytes`` may be scalar (private levels) or ``(n,)``
+        (shared levels divided by the per-tuning thread count).
+        """
+        rx, ry, rz = pattern.extent
+        p_z, p_y = self.pattern_planes(pattern)
+
+        ws_planes = p_z * (by + 2 * ry) * (bx + 2 * rx) * itemsize
+        ws_rows = p_z * p_y * (bx + 2 * rx) * itemsize
+
+        spill_planes = _logistic_excess(ws_planes, capacity_bytes)
+        spill_rows = _logistic_excess(ws_rows, capacity_bytes)
+
+        f_best, f_mid, f_worst = 1.0, float(p_z), float(p_z * p_y)
+        return (
+            (1.0 - spill_planes) * f_best
+            + spill_planes * (1.0 - spill_rows) * f_mid
+            + spill_planes * spill_rows * f_worst
+        )
+
+    def halo_overfetch_batch(
+        self,
+        pattern: StencilPattern,
+        bx: np.ndarray,
+        by: np.ndarray,
+        bz: np.ndarray,
+        itemsize: int,
+        line_bytes: int,
+    ) -> np.ndarray:
+        """Vectorized :meth:`halo_overfetch`: ``(n,)`` multipliers."""
+        rx, ry, rz = pattern.extent
+        row_bytes = (bx + 2 * rx) * itemsize
+        lines = np.ceil(row_bytes / line_bytes) * line_bytes
+        x_factor = lines / np.maximum(bx * itemsize, 1)
+        y_factor = 1.0 + ry / by
+        z_factor = 1.0 + rz / bz
+        return x_factor * y_factor * z_factor
+
+    def analyze_batch(
+        self,
+        kernel: StencilKernel,
+        eff_blocks: np.ndarray,
+        threads: np.ndarray,
+        grid_points: int | None = None,
+    ) -> BatchTrafficReport:
+        """Vectorized :meth:`analyze` over ``(n, 3)`` effective blocks.
+
+        One NumPy pass per (cache level × buffer pattern) instead of one
+        Python call per tuning; semantics — including the shared-capacity
+        division by the per-tuning thread count and the whole-problem
+        footprint check — match the scalar path to float rounding.
+        """
+        eb = np.asarray(eff_blocks, dtype=np.int64)
+        threads = np.asarray(threads, dtype=np.int64)
+        bx, by, bz = eb[:, 0], eb[:, 1], eb[:, 2]
+
+        itemsize = kernel.dtype.itemsize
+        streams = kernel.num_buffers + 0.5
+        level_bytes: dict[str, np.ndarray] = {}
+        dram_factors: list[np.ndarray] = []
+
+        for level in self.spec.caches:
+            if level.shared:
+                capacity = (level.size_bytes // np.maximum(threads, 1)).astype(float)
+            else:
+                capacity = float(level.size_bytes)
+            capacity = capacity * (0.8 / streams)
+            factors = [
+                self.buffer_factor_batch(p, bx, by, itemsize, capacity)
+                for p in kernel.buffer_patterns
+            ]
+            bytes_in = sum(factors) * itemsize
+            extra = kernel.extra_point_reads * itemsize
+            level_bytes[level.name] = bytes_in + extra + self.OUTPUT_STREAMS * itemsize
+            dram_factors = factors
+
+        last = self.spec.caches[-1]
+        dram_in = sum(
+            f * self.halo_overfetch_batch(p, bx, by, bz, itemsize, last.line_bytes)
+            for f, p in zip(dram_factors, kernel.buffer_patterns)
+        ) * itemsize
+        dram_bytes = (
+            dram_in
+            + kernel.extra_point_reads * itemsize
+            + self.OUTPUT_STREAMS * itemsize
+        )
+
+        if grid_points is not None:
+            footprint = (kernel.num_buffers + 1) * grid_points * itemsize
+            llc = float(last.size_bytes)
+            spill = _logistic_excess(footprint, llc * 0.9, width=0.25)
+            dram_bytes = dram_bytes * max(spill, 0.15)
+
+        level_bytes[last.name] = dram_bytes
+        return BatchTrafficReport(
+            dram_bytes=dram_bytes,
+            level_bytes=level_bytes,
+            buffer_factors=np.column_stack(dram_factors),
         )

@@ -12,6 +12,9 @@ end to end), while different variants get independent draws.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.util.rng import spawn
 
@@ -36,6 +39,31 @@ class NoiseModel:
         if self.spike_probability > 0 and rng.random() < self.spike_probability:
             f *= self.spike_factor
         return f
+
+    def factors(
+        self, execution_hashes: Sequence[int], repeats: int
+    ) -> np.ndarray:
+        """Noise multipliers for a batch: ``(n, repeats)`` array.
+
+        Entry ``[i, r]`` equals ``factor(execution_hashes[i], r)`` exactly —
+        each (execution, repeat) pair owns an independent, deterministic RNG
+        stream, so batch and scalar measurements observe identical noise.
+        The noise-free case (``exact()`` models, analysis paths) short-
+        circuits to ones without spawning any streams; the noisy case still
+        spawns one stream per pair, which is irreducible if scalar
+        equivalence is to hold, but is a small cost next to the vectorized
+        cost-model pass.
+        """
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        n = len(execution_hashes)
+        if self.sigma <= 0 and self.spike_probability <= 0:
+            return np.ones((n, repeats))
+        out = np.empty((n, repeats))
+        for i, h in enumerate(execution_hashes):
+            for r in range(repeats):
+                out[i, r] = self.factor(int(h), r)
+        return out
 
     def exact(self) -> "NoiseModel":
         """A copy with noise disabled (used by analysis tools and tests)."""

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.machine.spec import MachineSpec
 from repro.stencil.kernel import StencilKernel
 
@@ -91,3 +93,39 @@ class SimdModel:
         body = self.body_cycles_per_point(kernel) / eff
         body *= self.unroll_factor_cycles(kernel, unroll)
         return body + self.loop_overhead_cycles(unroll, lanes)
+
+    def cycles_per_point_batch(
+        self, kernel: StencilKernel, inner_extent: np.ndarray, unroll: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`cycles_per_point` over ``(n,)`` tuning arrays.
+
+        The per-kernel quantities (body cycles, rows in flight) are computed
+        once and broadcast; only the tuning-dependent terms (vector
+        efficiency, unroll multiplier, loop overhead) are per-element.
+        Operation order mirrors the scalar path so results agree to float
+        rounding.
+        """
+        lanes = self.spec.lanes(kernel.dtype)
+        inner = np.asarray(inner_extent, dtype=np.int64)
+        u = np.maximum(np.asarray(unroll, dtype=np.int64), 1)
+
+        # vector efficiency (scalar: vector_efficiency)
+        full, rem = np.divmod(inner, lanes)
+        iters = full + (rem != 0)
+        eff = np.where(
+            inner > 0, inner / np.maximum(iters * lanes, 1), 1e-3
+        )
+
+        # unroll multiplier (scalar: unroll_factor_cycles)
+        ilp_gain = 1.15 - 0.15 * (1.0 - 1.0 / u) / (1.0 - 1.0 / 4.0)
+        ilp_gain = np.maximum(ilp_gain, 0.97)
+        rows_in_flight = max(kernel.pattern.planes(axis=2), 1) + max(
+            kernel.num_buffers - 1, 0
+        )
+        live = 2 + u * rows_in_flight
+        excess = np.maximum(0, live - self.spec.vector_registers)
+        spill_penalty = 1.0 + 0.045 * excess
+
+        body = self.body_cycles_per_point(kernel) / eff
+        body = body * (ilp_gain * spill_penalty)
+        return body + 2.0 / (u * lanes)

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.stencil.kernel import DType
 from repro.util.validation import check_positive
 
@@ -99,17 +101,23 @@ class MachineSpec:
         n = self.cores if cores is None else cores
         return self.peak_flops_per_cycle(dtype) * self.freq_ghz * n
 
-    def mem_bandwidth(self, threads: int) -> float:
+    def mem_bandwidth(self, threads):
         """Sustained DRAM bandwidth (GB/s) for ``threads`` streaming cores.
 
         A standard saturation curve: bandwidth rises with core count and
         saturates near the chip limit (a single core cannot saturate DDR4).
+        Accepts a scalar thread count (returns ``float``) or an ``(n,)``
+        array of per-tuning thread counts (returns an array) — the batch
+        cost pipeline uses the latter.
         """
-        t = max(1, min(threads, self.cores))
         b_inf = self.mem_bandwidth_gbs
         b_one = self.mem_bandwidth_single_gbs
         # hyperbolic saturation through (1, b_one) with asymptote b_inf
         k = b_one / (b_inf - b_one) if b_inf > b_one else 1e9
+        if np.ndim(threads) == 0:
+            t = max(1, min(threads, self.cores))
+            return b_inf * (k * t) / (1.0 + k * t)
+        t = np.clip(np.asarray(threads), 1, self.cores)
         return b_inf * (k * t) / (1.0 + k * t)
 
     def cycle_time_s(self) -> float:

@@ -18,9 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
+import numpy as np
+
 from repro.machine.spec import MachineSpec
 
-__all__ = ["ScheduleModel", "ScheduleReport"]
+__all__ = ["BatchScheduleReport", "ScheduleModel", "ScheduleReport"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,29 @@ class ScheduleReport:
     @property
     def parallel_efficiency(self) -> float:
         """Fraction of ideal speedup retained (1 / imbalance)."""
+        return 1.0 / self.imbalance
+
+
+@dataclass(frozen=True)
+class BatchScheduleReport:
+    """Struct-of-arrays :class:`ScheduleReport` for ``n`` tunings at once.
+
+    Every field is an ``(n,)`` array; entry ``i`` equals the corresponding
+    scalar :meth:`ScheduleModel.schedule` result for tuning ``i``.
+    """
+
+    num_tiles: np.ndarray
+    num_chunks: np.ndarray
+    threads_used: np.ndarray
+    imbalance: np.ndarray
+    overhead_s: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.num_tiles)
+
+    @property
+    def parallel_efficiency(self) -> np.ndarray:
+        """Fraction of ideal speedup retained, per tuning."""
         return 1.0 / self.imbalance
 
 
@@ -79,6 +104,39 @@ class ScheduleModel:
             + self.spec.chunk_overhead_us * num_chunks / threads_used
         ) * 1e-6
         return ScheduleReport(
+            num_tiles=num_tiles,
+            num_chunks=num_chunks,
+            threads_used=threads_used,
+            imbalance=imbalance,
+            overhead_s=overhead_s,
+        )
+
+    def schedule_batch(
+        self, num_tiles: np.ndarray, chunk: np.ndarray
+    ) -> BatchScheduleReport:
+        """Vectorized :meth:`schedule` over ``(n,)`` tile/chunk arrays.
+
+        Work distribution is pure integer arithmetic, so the batch result is
+        bit-identical to ``n`` scalar calls — the equivalence suite pins it.
+        """
+        num_tiles = np.asarray(num_tiles, dtype=np.int64)
+        chunk = np.asarray(chunk, dtype=np.int64)
+        if num_tiles.size and int(num_tiles.min()) < 1:
+            raise ValueError(f"num_tiles must be >= 1, got {int(num_tiles.min())}")
+        if chunk.size and int(chunk.min()) < 1:
+            raise ValueError(f"chunk must be >= 1, got {int(chunk.min())}")
+        cores = self.spec.cores
+        num_chunks = -(-num_tiles // chunk)
+        threads_used = np.minimum(cores, num_chunks)
+        chunks_per_thread = -(-num_chunks // threads_used)
+        busiest_tiles = np.minimum(chunks_per_thread * chunk, num_tiles)
+        mean_tiles = num_tiles / threads_used
+        imbalance = busiest_tiles / mean_tiles
+        overhead_s = (
+            self.spec.parallel_overhead_us
+            + self.spec.chunk_overhead_us * num_chunks / threads_used
+        ) * 1e-6
+        return BatchScheduleReport(
             num_tiles=num_tiles,
             num_chunks=num_chunks,
             threads_used=threads_used,

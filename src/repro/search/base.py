@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.machine.executor import SimulatedMachine
-from repro.stencil.execution import StencilExecution
+from repro.stencil.execution import StencilExecution, execution_hashes
 from repro.stencil.instance import StencilInstance
 from repro.tuning.space import TuningSpace
 from repro.tuning.vector import TuningVector
@@ -163,6 +163,60 @@ class SearchAlgorithm(abc.ABC):
         )
         return t
 
+    def evaluate_batch(self, tunings: "list[TuningVector]") -> np.ndarray:
+        """Measure a batch of variants, charging one budget unit each.
+
+        The vectorized counterpart of :meth:`evaluate`: cache-missing
+        tunings are measured in one :meth:`SimulatedMachine.measure_batch`
+        pass (duplicates within the batch measured once), every proposal —
+        duplicates included — is appended to the history and charged against
+        the budget, exactly like the scalar loop.  If the budget runs out
+        mid-batch, the affordable prefix is recorded and
+        :class:`BudgetExhausted` is raised, matching the scalar loop's
+        stop-mid-population behavior.
+        """
+        assert self._result is not None and self._instance is not None
+        allowed = self._budget - len(self._result.history)
+        exhausted = allowed < len(tunings)
+        charged = tunings[:allowed] if exhausted else list(tunings)
+        hashes = execution_hashes(self._instance, charged)
+
+        to_measure: list[TuningVector] = []
+        to_hashes: list[int] = []
+        seen: set[TuningVector] = set()
+        for tuning, h in zip(charged, hashes):
+            if tuning not in self._cache and tuning not in seen:
+                seen.add(tuning)
+                to_measure.append(tuning)
+                to_hashes.append(h)
+        if to_measure:
+            batch = self.machine.measure_batch(
+                self._instance, to_measure, repeats=self.repeats, hashes=to_hashes
+            )
+            for tuning, median in zip(to_measure, batch.medians):
+                self._cache[tuning] = float(median)
+
+        times = np.array([self._cache[t] for t in charged])
+        walls = (
+            self.machine.wall_clock_costs(
+                self._instance, charged, self.repeats, hashes=hashes
+            )
+            if charged
+            else np.empty(0)
+        )
+        for tuning, t, wall in zip(charged, times, walls):
+            self._result.history.append(
+                EvaluationRecord(
+                    index=len(self._result.history),
+                    tuning=tuning,
+                    time=float(t),
+                    wall_clock_s=float(wall),
+                )
+            )
+        if exhausted:
+            raise BudgetExhausted
+        return times
+
     @property
     def remaining_budget(self) -> int:
         """Evaluations still available."""
@@ -197,8 +251,12 @@ class SearchAlgorithm(abc.ABC):
     # -- shared helpers for evolutionary subclasses ---------------------------
 
     def _evaluate_population(self, population: list[TuningVector]) -> np.ndarray:
-        """Evaluate a population, returning the fitness (time) vector."""
-        return np.array([self.evaluate(t) for t in population])
+        """Evaluate a population, returning the fitness (time) vector.
+
+        Runs on the batch measurement pipeline — one vectorized cost-model
+        pass for the whole population instead of one scalar walk per member.
+        """
+        return self.evaluate_batch(list(population))
 
     def _tournament(
         self,

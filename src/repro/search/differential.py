@@ -4,7 +4,11 @@ DE is a continuous-space method; integer/power-of-two parameters are
 handled by keeping the population in ``[0, 1]^5`` (block sizes live on
 their exponent axis there) and snapping to legal vectors only for
 evaluation — the standard discrete-DE recipe.  Classic *DE/rand/1/bin*
-mutation and binomial crossover.
+mutation and binomial crossover, in the **synchronous** (generational)
+variant: all trial vectors of a generation are built from the same
+population snapshot and measured in one batch pass, then selection is
+applied — which is what lets the whole generation ride the vectorized
+measurement pipeline.
 """
 
 from __future__ import annotations
@@ -30,10 +34,12 @@ class DifferentialEvolution(SearchAlgorithm):
         rng = self.rng(instance.label())
         d = len(self.space.parameters)
         pop_unit = rng.random((self.population_size, d))
-        population = [self.space.from_unit(u) for u in pop_unit]
-        fitness = self._evaluate_population(population)
+        fitness = self._evaluate_population(
+            [self.space.from_unit(u) for u in pop_unit]
+        )
 
         while True:
+            trial_units = np.empty_like(pop_unit)
             for i in range(self.population_size):
                 r1, r2, r3 = rng.choice(
                     [j for j in range(self.population_size) if j != i],
@@ -44,10 +50,10 @@ class DifferentialEvolution(SearchAlgorithm):
                 mutant = np.clip(mutant, 0.0, 1.0)
                 cross = rng.random(d) < self.crossover_rate
                 cross[rng.integers(d)] = True  # guarantee one mutant gene
-                trial_unit = np.where(cross, mutant, pop_unit[i])
-                trial = self.space.from_unit(trial_unit)
-                trial_time = self.evaluate(trial)
-                if trial_time <= fitness[i]:
-                    pop_unit[i] = trial_unit
-                    population[i] = trial
-                    fitness[i] = trial_time
+                trial_units[i] = np.where(cross, mutant, pop_unit[i])
+            trial_fit = self.evaluate_batch(
+                [self.space.from_unit(u) for u in trial_units]
+            )
+            improved = trial_fit <= fitness
+            pop_unit[improved] = trial_units[improved]
+            fitness = np.where(improved, trial_fit, fitness)

@@ -39,7 +39,6 @@ class EvolutionStrategy(SearchAlgorithm):
         while True:
             child_units = np.empty((self.lam, d))
             child_sigmas = np.empty(self.lam)
-            child_fit = np.empty(self.lam)
             for j in range(self.lam):
                 p = int(rng.integers(self.mu))
                 sigma = parents_sigma[p] * np.exp(tau * rng.normal())
@@ -47,7 +46,10 @@ class EvolutionStrategy(SearchAlgorithm):
                 unit = np.clip(parents_unit[p] + sigma * rng.normal(size=d), 0.0, 1.0)
                 child_units[j] = unit
                 child_sigmas[j] = sigma
-                child_fit[j] = self.evaluate(self.space.from_unit(unit))
+            # one vectorized measurement pass for the whole brood
+            child_fit = self.evaluate_batch(
+                [self.space.from_unit(u) for u in child_units]
+            )
             # (μ + λ) survival: best μ of parents ∪ offspring
             all_units = np.vstack([parents_unit, child_units])
             all_sigmas = np.concatenate([parents_sigma, child_sigmas])

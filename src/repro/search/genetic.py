@@ -6,7 +6,9 @@ configuration to compute the speedup ... because in our experiments it has
 shown to be the most stable of the analyzed search techniques.*"
 
 Standard design: tournament selection, uniform crossover, per-parameter
-mutation via the space's neighbour moves, elitism.
+mutation via the space's neighbour moves, elitism.  Each generation is
+measured in a single vectorized pass (``evaluate_batch``), so a 32-member
+population costs one cost-model sweep, not 32.
 """
 
 from __future__ import annotations

@@ -9,13 +9,14 @@ them directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.stencil.instance import StencilInstance
 from repro.tuning.vector import TuningVector
-from repro.util.rng import hash_seed
+from repro.util.rng import hash_seed, hash_seed_many
 from repro.util.validation import check_type
 
-__all__ = ["StencilExecution"]
+__all__ = ["StencilExecution", "execution_hashes"]
 
 
 @dataclass(frozen=True)
@@ -78,13 +79,7 @@ class StencilExecution:
         measurements of the same execution are reproducible (and distinct
         executions get independent noise).
         """
-        return hash_seed(
-            self.instance.kernel.name,
-            tuple(sorted(self.instance.kernel.pattern.counts.items())),
-            self.instance.kernel.dtype.value,
-            self.instance.size,
-            self.tuning.as_tuple(),
-        )
+        return hash_seed(*_instance_hash_parts(self.instance), self.tuning.as_tuple())
 
     def label(self) -> str:
         """Human-readable id including the tuning vector."""
@@ -92,3 +87,43 @@ class StencilExecution:
 
     def __repr__(self) -> str:
         return f"StencilExecution({self.label()})"
+
+
+def _instance_hash_parts(instance: StencilInstance) -> tuple[object, ...]:
+    """The instance-dependent prefix of an execution's stable hash.
+
+    Single source of truth shared by :meth:`StencilExecution.stable_hash`
+    and :func:`execution_hashes` — editing the key must change both paths
+    together, or batch and scalar would key caches and noise differently.
+    """
+    return (
+        instance.kernel.name,
+        tuple(sorted(instance.kernel.pattern.counts.items())),
+        instance.kernel.dtype.value,
+        instance.size,
+    )
+
+
+def execution_hashes(
+    instance: StencilInstance, tunings: Sequence[TuningVector]
+) -> list[int]:
+    """:meth:`StencilExecution.stable_hash` for many tunings of one instance.
+
+    The instance-dependent hash prefix is digested once via
+    :func:`repro.util.rng.hash_seed_many`, so hashing ``n`` tunings avoids
+    ``n`` :class:`StencilExecution` constructions and re-digests — this is
+    the key the batch measurement cache and noise model share with the
+    scalar path.
+
+    >>> from repro.stencil.shapes import laplacian
+    >>> from repro.stencil.kernel import StencilKernel
+    >>> k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    >>> q = StencilInstance(k, (64, 64, 64))
+    >>> t = TuningVector(16, 8, 8, 2, 1)
+    >>> execution_hashes(q, [t]) == [StencilExecution(q, t).stable_hash()]
+    True
+    """
+    return hash_seed_many(
+        _instance_hash_parts(instance),
+        (tuning.as_tuple() for tuning in tunings),
+    )

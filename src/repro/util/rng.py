@@ -20,9 +20,16 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["hash_seed", "spawn", "as_generator", "RngFactory"]
+__all__ = ["hash_seed", "hash_seed_many", "spawn", "as_generator", "RngFactory"]
 
 _MASK64 = (1 << 64) - 1
+
+
+def _absorb(h: "hashlib.blake2b", parts: Iterable[object]) -> None:
+    """Feed ``repr``-encoded, NUL-separated parts into a hasher."""
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
 
 
 def hash_seed(*parts: object) -> int:
@@ -37,10 +44,32 @@ def hash_seed(*parts: object) -> int:
     True
     """
     h = hashlib.blake2b(digest_size=8)
-    for part in parts:
-        h.update(repr(part).encode("utf-8"))
-        h.update(b"\x00")
+    _absorb(h, parts)
     return int.from_bytes(h.digest(), "little") & _MASK64
+
+
+def hash_seed_many(
+    prefix: Sequence[object], suffixes: Iterable[object]
+) -> list[int]:
+    """``hash_seed(*prefix, s)`` for every ``s``, digesting the prefix once.
+
+    The batch counterpart of :func:`hash_seed`: when many keys share a
+    common prefix (e.g. the instance part of an execution hash), the prefix
+    is absorbed once and the hasher state copied per suffix — same results,
+    one pass over the shared parts.
+
+    >>> hash_seed_many(["blur", (1024, 768)], [1, 2]) == [
+    ...     hash_seed("blur", (1024, 768), 1), hash_seed("blur", (1024, 768), 2)]
+    True
+    """
+    base = hashlib.blake2b(digest_size=8)
+    _absorb(base, prefix)
+    out: list[int] = []
+    for suffix in suffixes:
+        h = base.copy()
+        _absorb(h, (suffix,))
+        out.append(int.from_bytes(h.digest(), "little") & _MASK64)
+    return out
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:

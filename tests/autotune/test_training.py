@@ -69,6 +69,29 @@ class TestAllocation:
         with pytest.raises(ValueError, match="at least"):
             builder.point_allocation(training_instances(), 100)
 
+    @pytest.mark.parametrize("total", [420, 421, 520, 960, 2600, 2601, 6000, 16001])
+    def test_sum_exactly_total(self, machine, total):
+        """Largest-remainder correction: no rounding drift in the total."""
+        builder = TrainingSetBuilder(machine)
+        instances = training_instances()
+        counts = builder.point_allocation(instances, total)
+        assert sum(counts) == total
+        assert min(counts) >= 2
+
+    def test_floor_dominates_when_budget_is_tight(self, machine):
+        """At exactly 2 points per instance everyone sits on the floor."""
+        builder = TrainingSetBuilder(machine)
+        instances = training_instances()
+        counts = builder.point_allocation(instances, 2 * len(instances))
+        assert counts == [2] * len(instances)
+
+    def test_allocation_deterministic(self, machine):
+        builder = TrainingSetBuilder(machine)
+        instances = training_instances()
+        assert builder.point_allocation(instances, 2600) == builder.point_allocation(
+            instances, 2600
+        )
+
 
 class TestBuild:
     def test_build_shape(self, tiny_training_set):

@@ -1,0 +1,170 @@
+"""Batch-vs-scalar equivalence: the vectorized pipeline against its oracle.
+
+The scalar ``sweep_cost`` / ``true_time`` / ``measure`` path is the tested
+oracle; the batch path must reproduce it to ≤1e-12 relative error across
+randomly sampled kernels (2-D/3-D, 1–2 buffers, both dtypes), sizes and
+tuning vectors, including clipped-block and single-tile edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.cost import CostModel
+from repro.machine.executor import SimulatedMachine
+from repro.machine.noise import NoiseModel
+from repro.stencil.execution import StencilExecution, execution_hashes
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import TRAINING_SHAPES
+from repro.tuning.space import patus_space
+from repro.tuning.vector import TuningVector
+from repro.util.rng import spawn
+
+RTOL = 1e-12
+
+SIZES_3D = [(24, 24, 24), (64, 64, 64), (96, 48, 32)]
+SIZES_2D = [(64, 64, 1), (512, 256, 1)]
+
+
+def random_kernels(n: int, seed: int = 0) -> list[StencilKernel]:
+    """Sample kernels across shape, dims, radius, dtype and buffer count."""
+    rng = spawn(seed, "equivalence-kernels")
+    shapes = list(TRAINING_SHAPES.items())
+    kernels = []
+    for i in range(n):
+        name, fn = shapes[int(rng.integers(len(shapes)))]
+        dims = int(rng.choice([2, 3]))
+        radius = int(rng.integers(1, 4))
+        dtype = str(rng.choice(["float", "double"]))
+        buffers = int(rng.integers(1, 3))
+        pattern = fn(dims, radius)
+        kernels.append(
+            StencilKernel(
+                f"eq-{name}-{dims}d-r{radius}-{dtype}-{buffers}buf-{i}",
+                tuple([pattern] * buffers),
+                dtype=dtype,
+                space_dims=dims,
+            )
+        )
+    return kernels
+
+
+def random_instances(n: int, seed: int = 0) -> list[StencilInstance]:
+    rng = spawn(seed, "equivalence-instances")
+    out = []
+    for kernel in random_kernels(n, seed):
+        sizes = SIZES_3D if kernel.dims == 3 else SIZES_2D
+        out.append(StencilInstance(kernel, sizes[int(rng.integers(len(sizes)))]))
+    return out
+
+
+def sample_tunings(instance: StencilInstance, count: int, seed: int) -> list[TuningVector]:
+    space = patus_space(instance.dims)
+    tunings = space.random_vectors(count, rng=spawn(seed, instance.label()))
+    # edge cases: blocks clipped by the grid, and a single (whole-grid) tile
+    sx, sy, sz = instance.size
+    big = 1024
+    tunings.append(TuningVector(big, big, big if instance.dims == 3 else 1, 4, 2))
+    tunings.append(TuningVector(big, 2, 1 if instance.dims == 2 else 2, 0, 1))
+    return tunings
+
+
+class TestSweepCostEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_components_match_scalar(self, seed):
+        model = CostModel()
+        for instance in random_instances(6, seed=seed):
+            tunings = sample_tunings(instance, 24, seed)
+            batch = model.sweep_costs_batch(instance, tunings)
+            scalar = [
+                model.sweep_cost(StencilExecution(instance, t)) for t in tunings
+            ]
+            for field in ("t_core", "t_l2", "t_l3", "t_dram", "total_s"):
+                np.testing.assert_allclose(
+                    getattr(batch, field),
+                    np.array([getattr(c, field) for c in scalar]),
+                    rtol=RTOL,
+                    err_msg=f"{field} mismatch for {instance.label()}",
+                )
+            np.testing.assert_allclose(
+                batch.imbalance,
+                np.array([c.schedule.imbalance for c in scalar]),
+                rtol=RTOL,
+            )
+            np.testing.assert_allclose(
+                batch.overhead_s,
+                np.array([c.schedule.overhead_s for c in scalar]),
+                rtol=RTOL,
+            )
+            assert batch.bottlenecks == [c.bottleneck for c in scalar]
+            assert list(batch.memory_bound) == [c.memory_bound for c in scalar]
+
+    def test_single_tile_and_clipped_blocks(self):
+        model = CostModel()
+        for instance in random_instances(4, seed=99):
+            sx, sy, sz = instance.size
+            whole_grid = TuningVector(1024, 1024, 1024 if instance.dims == 3 else 1, 2, 1)
+            batch = model.sweep_costs_batch(instance, [whole_grid])
+            scalar = model.sweep_cost(StencilExecution(instance, whole_grid))
+            assert batch.total_s[0] == pytest.approx(scalar.total_s, rel=RTOL)
+            assert batch.threads_used[0] == scalar.schedule.threads_used
+
+    def test_empty_batch(self):
+        model = CostModel()
+        instance = random_instances(1, seed=5)[0]
+        batch = model.sweep_costs_batch(instance, [])
+        assert len(batch) == 0
+        assert batch.total_s.shape == (0,)
+
+    def test_2d_bz_validated_like_scalar(self):
+        model = CostModel()
+        instance = next(q for q in random_instances(8, seed=1) if q.dims == 2)
+        with pytest.raises(ValueError, match="bz"):
+            model.sweep_costs_batch(instance, [TuningVector(8, 8, 4, 2, 1)])
+
+
+class TestMachineEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_true_times_batch(self, seed):
+        for instance in random_instances(4, seed=seed + 10):
+            tunings = sample_tunings(instance, 16, seed)
+            batch = SimulatedMachine(seed=seed).true_times_batch(instance, tunings)
+            fresh = SimulatedMachine(seed=seed)
+            scalar = np.array(
+                [fresh.true_time(StencilExecution(instance, t)) for t in tunings]
+            )
+            np.testing.assert_allclose(batch, scalar, rtol=RTOL)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_measure_batch_times(self, seed):
+        instance = random_instances(1, seed=seed + 20)[0]
+        tunings = sample_tunings(instance, 10, seed)
+        bm = SimulatedMachine(seed=seed).measure_batch(instance, tunings, repeats=3)
+        fresh = SimulatedMachine(seed=seed)
+        for i, t in enumerate(tunings):
+            m = fresh.measure(StencilExecution(instance, t), repeats=3)
+            np.testing.assert_allclose(bm.times[i], np.array(m.times), rtol=RTOL)
+
+
+class TestHashAndNoiseEquivalence:
+    def test_execution_hashes_match_stable_hash(self):
+        for instance in random_instances(5, seed=30):
+            tunings = sample_tunings(instance, 12, 0)
+            assert execution_hashes(instance, tunings) == [
+                StencilExecution(instance, t).stable_hash() for t in tunings
+            ]
+
+    def test_noise_factors_match_scalar(self):
+        noise = NoiseModel(seed=17)
+        hashes = [h * 2654435761 % (1 << 64) for h in range(1, 40)]
+        factors = noise.factors(hashes, repeats=4)
+        for i, h in enumerate(hashes):
+            for r in range(4):
+                assert factors[i, r] == noise.factor(h, r)
+
+    def test_noise_free_fast_path(self):
+        exact = NoiseModel(seed=17).exact()
+        factors = exact.factors(list(range(100)), repeats=3)
+        assert (factors == 1.0).all()

@@ -102,4 +102,94 @@ class TestHelpers:
 
     def test_cost_cache_hit(self, machine, execution):
         machine.true_time(execution)
-        assert execution in machine._cost_cache
+        assert execution.stable_hash() in machine._cost_cache
+
+
+class TestBatchMeasurement:
+    def test_true_times_batch_matches_scalar(self, inst):
+        tunings = patus_space(3).random_vectors(30, rng=2)
+        batch = SimulatedMachine(seed=5).true_times_batch(inst, tunings)
+        scalar = np.array(
+            [
+                SimulatedMachine(seed=5).true_time(StencilExecution(inst, t))
+                for t in tunings
+            ]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12)
+
+    def test_measure_batch_matches_scalar(self, inst):
+        tunings = patus_space(3).random_vectors(12, rng=3)
+        bm = SimulatedMachine(seed=6).measure_batch(inst, tunings, repeats=3)
+        assert bm.times.shape == (12, 3)
+        other = SimulatedMachine(seed=6)
+        for i, t in enumerate(tunings):
+            m = other.measure(StencilExecution(inst, t), repeats=3)
+            np.testing.assert_allclose(bm.times[i], np.array(m.times), rtol=1e-12)
+            assert bm.medians[i] == pytest.approx(m.time, rel=1e-12)
+
+    def test_measure_batch_charges_budget(self, machine, inst):
+        tunings = patus_space(3).random_vectors(7, rng=4)
+        machine.measure_batch(inst, tunings, repeats=2)
+        assert machine.evaluations == 7
+        assert machine.simulated_wall_s > 7 * machine.SETUP_SECONDS
+
+    def test_measure_batch_wall_clock_matches_scalar(self, inst):
+        tunings = patus_space(3).random_vectors(9, rng=5)
+        a = SimulatedMachine(seed=7)
+        a.measure_batch(inst, tunings, repeats=3)
+        b = SimulatedMachine(seed=7)
+        for t in tunings:
+            b.measure(StencilExecution(inst, t), repeats=3)
+        assert a.simulated_wall_s == pytest.approx(b.simulated_wall_s, rel=1e-12)
+        assert a.evaluations == b.evaluations
+
+    def test_measure_batch_repeats_validated(self, machine, inst):
+        with pytest.raises(ValueError):
+            machine.measure_batch(inst, patus_space(3).random_vectors(2, rng=0), 0)
+
+    def test_batch_and_scalar_share_cache(self, machine, inst):
+        tunings = patus_space(3).random_vectors(5, rng=6)
+        batch = machine.true_times_batch(inst, tunings)
+        for t, bt in zip(tunings, batch):
+            assert machine.true_time(StencilExecution(inst, t)) == bt
+
+    def test_batch_measurement_views(self, machine, inst):
+        tunings = patus_space(3).random_vectors(4, rng=7)
+        bm = machine.measure_batch(inst, tunings, repeats=2)
+        views = list(bm.measurements())
+        assert len(views) == 4
+        for v, med in zip(views, bm.medians):
+            assert v.time == pytest.approx(float(med))
+
+    def test_wall_clock_costs_batch(self, machine, inst):
+        tunings = patus_space(3).random_vectors(6, rng=8)
+        walls = machine.wall_clock_costs(inst, tunings, repeats=3)
+        for t, w in zip(tunings, walls):
+            assert w == pytest.approx(
+                machine.wall_clock_cost(StencilExecution(inst, t), 3), rel=1e-12
+            )
+
+
+class TestCacheBounds:
+    def test_fifo_eviction(self, inst):
+        machine = SimulatedMachine(seed=0, max_cache_entries=8)
+        tunings = patus_space(3).random_vectors(20, rng=9)
+        machine.true_times_batch(inst, tunings)
+        assert len(machine._time_cache) <= 8
+        # evicted entries recompute to the same value
+        again = machine.true_times_batch(inst, tunings)
+        fresh = SimulatedMachine(seed=0).true_times_batch(inst, tunings)
+        np.testing.assert_array_equal(again, fresh)
+
+    def test_scalar_path_bounded_too(self, inst):
+        machine = SimulatedMachine(seed=0, max_cache_entries=4)
+        for t in patus_space(3).random_vectors(10, rng=10):
+            machine.true_time(StencilExecution(inst, t))
+        assert len(machine._cost_cache) <= 4
+        assert len(machine._time_cache) <= 4
+
+    def test_unbounded_by_request(self, inst):
+        machine = SimulatedMachine(seed=0, max_cache_entries=None)
+        tunings = patus_space(3).random_vectors(30, rng=11)
+        machine.true_times_batch(inst, tunings)
+        assert len(machine._time_cache) == 30

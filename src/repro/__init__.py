@@ -44,6 +44,7 @@ from repro.search import (
     RandomSearch,
     SteadyStateGA,
 )
+from repro.service import ModelRegistry, RankingCache, TuningService
 from repro.stencil import (
     BENCHMARKS,
     TEST_BENCHMARKS,
@@ -65,8 +66,10 @@ __all__ = [
     "FeatureEncoder",
     "GenerationalGA",
     "MachineSpec",
+    "ModelRegistry",
     "OrdinalAutotuner",
     "RandomSearch",
+    "RankingCache",
     "RankSVM",
     "RankSVMConfig",
     "RankingGroups",
@@ -79,6 +82,7 @@ __all__ = [
     "TEST_BENCHMARKS",
     "TrainingSet",
     "TrainingSetBuilder",
+    "TuningService",
     "TuningSpace",
     "TuningVector",
     "XEON_E5_2680_V3",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -42,7 +43,7 @@ class OrdinalAutotuner:
 
     def train(self, training_set: TrainingSet) -> "OrdinalAutotuner":
         """Fit the ranking model on a generated training set."""
-        fingerprint = self._fingerprint()
+        fingerprint = self.fingerprint()
         if (
             training_set.encoder_fingerprint
             and training_set.encoder_fingerprint != fingerprint
@@ -58,11 +59,9 @@ class OrdinalAutotuner:
         self.model = model
         return self
 
-    def _fingerprint(self) -> str:
-        return (
-            f"r{self.encoder.max_radius}-p{int(self.encoder.include_pattern)}-"
-            f"i{int(self.encoder.interactions)}-d{self.encoder.num_features}"
-        )
+    def fingerprint(self) -> str:
+        """Stable id of the encoder layout (guards model/encoder pairing)."""
+        return self.encoder.fingerprint()
 
     def _require_model(self) -> RankSVM:
         if self.model is None or not self.model.is_fitted:
@@ -90,6 +89,41 @@ class OrdinalAutotuner:
         order = np.argsort(-scores, kind="stable")
         return [candidates[int(i)] for i in order]
 
+    def score_candidate_sets(
+        self,
+        requests: "Sequence[tuple[StencilInstance, Sequence[TuningVector]]]",
+    ) -> list[np.ndarray]:
+        """Scores for many ``(instance, candidates)`` sets in one fused pass.
+
+        The whole mixed batch is encoded by
+        :meth:`~repro.features.encoder.FeatureEncoder.encode_many` and scored
+        with a **single** stacked ``decision_function`` call — this is the
+        cross-instance path the tuning service's micro-batching rides on.
+        Returns one score vector per request, aligned with its candidates.
+        """
+        model = self._require_model()
+        if not requests:
+            return []
+        X = self.encoder.encode_many(requests)
+        start = time.perf_counter()
+        scores = model.decision_function(X)
+        self.last_rank_seconds = time.perf_counter() - start
+        splits = np.cumsum([len(tunings) for _, tunings in requests])[:-1]
+        return [np.asarray(s) for s in np.split(scores, splits)]
+
+    def rank_many(
+        self,
+        requests: "Sequence[tuple[StencilInstance, Sequence[TuningVector]]]",
+    ) -> list[list[TuningVector]]:
+        """Best-first orderings for many candidate sets, one fused pass."""
+        rankings = []
+        for (_, candidates), scores in zip(
+            requests, self.score_candidate_sets(requests)
+        ):
+            order = np.argsort(-scores, kind="stable")
+            rankings.append([candidates[int(i)] for i in order])
+        return rankings
+
     def tune(
         self,
         instance: StencilInstance,
@@ -101,10 +135,12 @@ class OrdinalAutotuner:
         With no explicit candidates, the paper's pre-defined hierarchical
         power-of-two set is used (1600 configs for 2-D, 8640 for 3-D).
         """
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
         if candidates is None:
             candidates = preset_candidates(instance.dims)
         ranked = self.rank_candidates(instance, candidates)
-        return ranked[: max(top_k, 1)]
+        return ranked[:top_k]
 
     def best(
         self,
@@ -118,9 +154,9 @@ class OrdinalAutotuner:
 
     def save(self, path: str) -> None:
         """Persist the trained model (encoder fingerprint embedded)."""
-        save_model(self._require_model(), path, encoder_fingerprint=self._fingerprint())
+        save_model(self._require_model(), path, encoder_fingerprint=self.fingerprint())
 
     def load(self, path: str) -> "OrdinalAutotuner":
         """Load a model trained with a matching encoder."""
-        self.model = load_model(path, expect_fingerprint=self._fingerprint())
+        self.model = load_model(path, expect_fingerprint=self.fingerprint())
         return self

@@ -176,7 +176,7 @@ class TrainingSetBuilder:
         compile_s = compiler.training_set_compile_seconds(kernels)
 
         wall_before = self.machine.simulated_wall_s
-        X_blocks: list[np.ndarray] = []
+        requests: list[tuple[StencilInstance, list]] = []
         times_blocks: list[np.ndarray] = []
         group_blocks: list[np.ndarray] = []
         labels: dict[int, str] = {}
@@ -189,13 +189,14 @@ class TrainingSetBuilder:
             measured = self.machine.measure_batch(
                 instance, tunings, repeats=self.repeats
             ).medians
-            X_blocks.append(self.encoder.encode_batch(instance, tunings))
+            requests.append((instance, tunings))
             times_blocks.append(measured)
             group_blocks.append(np.full(count, gid, dtype=np.int64))
             labels[gid] = instance.label()
 
+        # one fused cross-instance encode of the whole corpus
         data = RankingGroups(
-            np.vstack(X_blocks),
+            self.encoder.encode_many(requests),
             np.concatenate(times_blocks),
             np.concatenate(group_blocks),
         )
@@ -209,7 +210,4 @@ class TrainingSetBuilder:
 
     def fingerprint(self) -> str:
         """Stable id of the encoder layout (guards model/encoder pairing)."""
-        return (
-            f"r{self.encoder.max_radius}-p{int(self.encoder.include_pattern)}-"
-            f"i{int(self.encoder.interactions)}-d{self.encoder.num_features}"
-        )
+        return self.encoder.fingerprint()

@@ -92,6 +92,22 @@ class FeatureEncoder:
             n += self.N_TUNING * self.N_DESCRIPTOR
         return n
 
+    def fingerprint(self) -> str:
+        """Stable id of the feature layout.
+
+        Persisted with every trained model and training set so a model can
+        never silently be paired with a mismatched encoder — the single
+        source of truth for the id format (tuner, training builder, model
+        registry and tuning service all delegate here).
+
+        >>> FeatureEncoder().fingerprint()
+        'r3-p1-i1-d637'
+        """
+        return (
+            f"r{self.max_radius}-p{int(self.include_pattern)}-"
+            f"i{int(self.interactions)}-d{self.num_features}"
+        )
+
     def feature_names(self) -> list[str]:
         """Human-readable name per feature index (diagnostics, model dumps)."""
         names: list[str] = []
@@ -225,10 +241,20 @@ class FeatureEncoder:
     def tuning_features(
         self, instance: StencilInstance, tunings: Sequence[TuningVector]
     ) -> np.ndarray:
-        """Vectorized ``(n, 10)`` tuning block for one instance."""
-        raw = np.array([t.as_tuple() for t in tunings], dtype=float)
+        """Vectorized ``(n, 19)`` tuning block for one instance."""
+        raw = np.array([t.as_tuple() for t in tunings], dtype=float).reshape(-1, 5)
+        sizes = np.array([instance.size], dtype=float)
+        return self._tuning_block(raw, np.broadcast_to(sizes, (len(raw), 3)))
+
+    def _tuning_block(self, raw: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        """The tuning block for ``(n, 5)`` raw tunings with per-row sizes.
+
+        ``sizes`` is ``(n, 3)`` — rows may belong to *different* instances,
+        which is what lets :meth:`encode_many` fuse whole request batches
+        into one pass.
+        """
         bx, by, bz, u, c = raw.T
-        sx, sy, sz = (float(v) for v in instance.size)
+        sx, sy, sz = sizes.T
         bx_n = log_norm(bx, _BLOCK_LO, _BLOCK_HI)
         by_n = log_norm(by, _BLOCK_LO, _BLOCK_HI)
         bz_n = log_norm(bz, _BLOCK_LO, _BLOCK_HI)
@@ -259,6 +285,64 @@ class FeatureEncoder:
         return np.column_stack(cols)
 
     # -- public API -----------------------------------------------------------
+
+    def encode_many(
+        self,
+        requests: Sequence[tuple[StencilInstance, Sequence[TuningVector]]],
+    ) -> np.ndarray:
+        """Encode several candidate sets of *different* instances at once.
+
+        ``requests`` is a sequence of ``(instance, tunings)`` pairs; the
+        result stacks their encodings row-contiguously — request ``i``
+        occupies rows ``[sum(counts[:i]), sum(counts[:i+1]))`` where
+        ``counts[i] = len(requests[i][1])``.  The per-instance parts
+        (pattern, scalars, descriptor) are computed once per request and
+        gathered; the tuning and interaction blocks run as **one** NumPy
+        pass over all rows.  This is the cross-instance encode path that
+        micro-batching services and corpus-scale training builds need: the
+        whole mixed batch becomes a single matrix ready for one stacked
+        ``decision_function`` call.
+        """
+        if not requests:
+            return np.empty((0, self.num_features))
+        counts = [len(tunings) for _, tunings in requests]
+        total = sum(counts)
+        flat = [t.as_tuple() for _, tunings in requests for t in tunings]
+        raw = np.array(flat, dtype=float).reshape(-1, 5)
+        row_of = np.repeat(np.arange(len(requests)), counts)
+        sizes = np.array([q.size for q, _ in requests], dtype=float)
+        tune = self._tuning_block(raw, sizes[row_of])
+        # blocks are written straight into the preallocated result; the
+        # per-instance parts broadcast one cached row per request slice
+        # (reads stay L1-resident) instead of materializing row-gathered
+        # temporaries — that keeps the fused path at encode_batch's
+        # bytes-written-once memory traffic
+        out = np.empty((total, self.num_features))
+        col = 0
+        if self.include_pattern:
+            pats = [self.pattern_features(q) for q, _ in requests]
+            block = out[:, col : col + self._pattern_cells]
+            offset = 0
+            for pat, count in zip(pats, counts):
+                block[offset : offset + count] = pat
+                offset += count
+            col += self._pattern_cells
+        insts = np.stack([self.instance_features(q) for q, _ in requests])
+        out[:, col : col + self.N_INSTANCE] = insts[row_of]
+        col += self.N_INSTANCE
+        out[:, col : col + self.N_TUNING] = tune
+        col += self.N_TUNING
+        if self.interactions:
+            descs = np.stack([self.instance_descriptor(q) for q, _ in requests])
+            # write the outer products through a 3-D strided view of the
+            # destination slice — no (n, 19, 14) temporary plus copy
+            view = np.lib.stride_tricks.as_strided(
+                out[:, col:],
+                shape=(total, self.N_TUNING, self.N_DESCRIPTOR),
+                strides=(out.strides[0], self.N_DESCRIPTOR * out.itemsize, out.itemsize),
+            )
+            np.multiply(tune[:, :, None], descs[row_of][:, None, :], out=view)
+        return out
 
     def encode_batch(
         self, instance: StencilInstance, tunings: Sequence[TuningVector]
@@ -292,12 +376,18 @@ class FeatureEncoder:
     def encode_executions(
         self, executions: Sequence[StencilExecution]
     ) -> np.ndarray:
-        """Encode a heterogeneous list of executions, batching per instance."""
-        out = np.empty((len(executions), self.num_features))
+        """Encode a heterogeneous list of executions in one fused pass."""
         by_instance: dict[StencilInstance, list[int]] = {}
         for i, ex in enumerate(executions):
             by_instance.setdefault(ex.instance, []).append(i)
-        for instance, idxs in by_instance.items():
-            block = self.encode_batch(instance, [executions[i].tuning for i in idxs])
-            out[idxs] = block
+        requests = [
+            (instance, [executions[i].tuning for i in idxs])
+            for instance, idxs in by_instance.items()
+        ]
+        X = self.encode_many(requests)
+        out = np.empty((len(executions), self.num_features))
+        offset = 0
+        for _, idxs in by_instance.items():
+            out[idxs] = X[offset : offset + len(idxs)]
+            offset += len(idxs)
         return out

@@ -5,20 +5,29 @@ expensive training phase runs once per machine, then the model is loaded at
 compile time to rank candidates.  Models are stored as ``.npz`` archives
 holding the weight vector, the hyper-parameters and an encoder fingerprint
 so a model cannot silently be applied to a mismatched feature layout.
+
+Writes are **atomic**: the archive is written to a same-directory temp file
+and moved into place with :func:`os.replace`, so a reader (for example a
+running tuning service hot-loading a new version from the model registry)
+can never observe a half-written model.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.learn.ranksvm import RankSVM, RankSVMConfig
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "MODEL_FORMAT_VERSION"]
 
-_FORMAT_VERSION = 1
+#: on-disk archive format; bump when the layout changes incompatibly
+MODEL_FORMAT_VERSION = 1
+_FORMAT_VERSION = MODEL_FORMAT_VERSION
 
 
 def save_model(
@@ -40,21 +49,25 @@ def save_model(
         "tie_tol": model.config.tie_tol,
         "seed": model.config.seed,
     }
-    np.savez(
-        path,
-        w=model.w_,
-        meta=np.array(
-            json.dumps(
-                {
-                    "format_version": _FORMAT_VERSION,
-                    "config": config,
-                    "num_pairs": model.num_pairs_,
-                    "encoder_fingerprint": encoder_fingerprint,
-                }
-            )
-        ),
-    )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    tmp = final.with_name(final.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez(
+            fh,
+            w=model.w_,
+            meta=np.array(
+                json.dumps(
+                    {
+                        "format_version": _FORMAT_VERSION,
+                        "config": config,
+                        "num_pairs": model.num_pairs_,
+                        "encoder_fingerprint": encoder_fingerprint,
+                    }
+                )
+            ),
+        )
+    os.replace(tmp, final)
+    return final
 
 
 def load_model(
@@ -65,9 +78,16 @@ def load_model(
     ``expect_fingerprint`` (if given) must match the fingerprint recorded at
     save time — guards against pairing a model with the wrong encoder.
     """
-    with np.load(Path(path), allow_pickle=False) as archive:
-        w = archive["w"]
-        meta = json.loads(str(archive["meta"]))
+    try:
+        with np.load(Path(path), allow_pickle=False) as archive:
+            w = archive["w"]
+            meta = json.loads(str(archive["meta"]))
+    except FileNotFoundError:
+        raise
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise ValueError(
+            f"corrupted or unreadable model archive {str(path)!r}: {exc}"
+        ) from exc
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported model format: {meta.get('format_version')}")
     if expect_fingerprint is not None:

@@ -3,10 +3,23 @@
 Real autotuning measurements jitter: frequency scaling, cache/TLB state and
 OS interference perturb every run by a few percent, with occasional larger
 spikes.  The noise model reproduces that with a multiplicative log-normal
-term plus a rare positive outlier, and is **deterministically seeded** from
-the execution's stable hash and the repeat index — so re-measuring the same
-variant returns the same sequence of times (experiments are reproducible
-end to end), while different variants get independent draws.
+term plus a rare positive outlier.
+
+The noise is **counter-based**: instead of spawning a PRNG stream per
+(execution, repeat) pair, both draws a pair needs — a standard normal for
+the log-normal term and a uniform for the spike — are derived directly from
+a 128-bit BLAKE2b digest of ``(seed, execution hash, repeat)`` via the
+inverse normal CDF.  The properties that matter are preserved:
+
+* **determinism** — the same (seed, execution, repeat) always observes the
+  same multiplier, so experiments are reproducible end to end;
+* **independence** — distinct executions and repeats get cryptographically
+  independent draws;
+* **scalar/batch equivalence** — :meth:`factor` and :meth:`factors` share
+  one array code path, so a batch entry is bit-identical to the scalar
+  call.  Unlike the earlier stream-per-pair design, a batch costs two
+  hasher copies per pair plus one vectorized NumPy pass — no
+  ``SeedSequence``/``Generator`` construction at all.
 """
 
 from __future__ import annotations
@@ -15,10 +28,20 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+from scipy.special import ndtri
 
-from repro.util.rng import spawn
+from repro.util.rng import hash_bits_grid
 
 __all__ = ["NoiseModel"]
+
+
+def _uniforms(bits: np.ndarray) -> np.ndarray:
+    """Map uint64 words onto the open interval (0, 1).
+
+    The top 53 bits give the usual double-precision uniform grid; the
+    half-ULP offset keeps 0 and 1 unreachable so ``ndtri`` stays finite.
+    """
+    return (bits >> np.uint64(11)) * 2.0**-53 + 2.0**-54
 
 
 @dataclass(frozen=True)
@@ -32,38 +55,51 @@ class NoiseModel:
     spike_factor: float = 1.12
     seed: int = 0
 
+    def _factor_grid(
+        self, execution_hashes: Sequence[int], repeat_indices: Sequence[int]
+    ) -> np.ndarray:
+        """Multipliers for every (hash, repeat) pair: ``(n, m)`` array.
+
+        The single code path behind :meth:`factor` and :meth:`factors` —
+        routing both through the same array ops is what guarantees their
+        results are bit-identical.
+        """
+        bits = hash_bits_grid(
+            ["noise", self.seed],
+            [int(h) for h in execution_hashes],
+            [int(r) for r in repeat_indices],
+        )
+        shape = bits.shape[:2]
+        if self.sigma > 0:
+            out = np.exp(self.sigma * ndtri(_uniforms(bits[..., 0])))
+        else:
+            out = np.ones(shape)
+        if self.spike_probability > 0:
+            spiked = _uniforms(bits[..., 1]) < self.spike_probability
+            out = np.where(spiked, out * self.spike_factor, out)
+        return out
+
     def factor(self, execution_hash: int, repeat: int = 0) -> float:
         """Noise multiplier for the ``repeat``-th run of a given execution."""
-        rng = spawn(self.seed, "noise", execution_hash, repeat)
-        f = float(rng.lognormal(mean=0.0, sigma=self.sigma)) if self.sigma > 0 else 1.0
-        if self.spike_probability > 0 and rng.random() < self.spike_probability:
-            f *= self.spike_factor
-        return f
+        if self.sigma <= 0 and self.spike_probability <= 0:
+            return 1.0
+        return float(self._factor_grid([execution_hash], [repeat])[0, 0])
 
     def factors(
         self, execution_hashes: Sequence[int], repeats: int
     ) -> np.ndarray:
         """Noise multipliers for a batch: ``(n, repeats)`` array.
 
-        Entry ``[i, r]`` equals ``factor(execution_hashes[i], r)`` exactly —
-        each (execution, repeat) pair owns an independent, deterministic RNG
-        stream, so batch and scalar measurements observe identical noise.
+        Entry ``[i, r]`` equals ``factor(execution_hashes[i], r)`` exactly.
         The noise-free case (``exact()`` models, analysis paths) short-
-        circuits to ones without spawning any streams; the noisy case still
-        spawns one stream per pair, which is irreducible if scalar
-        equivalence is to hold, but is a small cost next to the vectorized
-        cost-model pass.
+        circuits to ones without hashing anything.
         """
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
         n = len(execution_hashes)
         if self.sigma <= 0 and self.spike_probability <= 0:
             return np.ones((n, repeats))
-        out = np.empty((n, repeats))
-        for i, h in enumerate(execution_hashes):
-            for r in range(repeats):
-                out[i, r] = self.factor(int(h), r)
-        return out
+        return self._factor_grid(execution_hashes, range(repeats))
 
     def exact(self) -> "NoiseModel":
         """A copy with noise disabled (used by analysis tools and tests)."""

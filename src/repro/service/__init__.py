@@ -1,0 +1,36 @@
+"""Ranking-as-a-service: the serving layer over the trained tuner.
+
+The paper's headline property — ranking a candidate set is one
+matrix-vector product — makes the trained model a natural *service*.  This
+package provides the production pieces around it:
+
+* :mod:`repro.service.server` — :class:`TuningService`, the asyncio
+  front-end that micro-batches concurrent requests into fused
+  ``encode_many`` + stacked ``decision_function`` passes;
+* :mod:`repro.service.batching` — the generic request coalescer;
+* :mod:`repro.service.cache` — the LRU :class:`RankingCache` keyed by
+  (instance fingerprint, candidate-set hash, model version);
+* :mod:`repro.service.registry` — the versioned, tagged
+  :class:`ModelRegistry` with atomic writes and fingerprint validation;
+* :mod:`repro.service.telemetry` — request/batch/cache/latency counters.
+
+See ``docs/serving.md`` for the architecture and ``examples/serve_tuner.py``
+for a runnable end-to-end session.
+"""
+
+from repro.service.batching import MicroBatcher
+from repro.service.cache import CachedRanking, RankingCache, candidate_set_hash
+from repro.service.registry import ModelRegistry
+from repro.service.server import RankingResponse, TuningService
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = [
+    "CachedRanking",
+    "MicroBatcher",
+    "ModelRegistry",
+    "RankingCache",
+    "RankingResponse",
+    "ServiceTelemetry",
+    "TuningService",
+    "candidate_set_hash",
+]

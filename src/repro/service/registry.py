@@ -1,0 +1,207 @@
+"""The versioned model registry.
+
+Training is the expensive phase; serving reuses its artifact many times —
+possibly across machines and across model generations.  The registry gives
+trained models a home with the operations a serving layer needs:
+
+* **versions** — every published model gets a monotonically increasing id
+  (``v0001``, ``v0002``, …) and an immutable archive + metadata pair;
+* **tags** — mutable names (``prod``, ``canary``) mapping to versions, so a
+  running service can be repointed without restarting (``latest`` is a
+  built-in dynamic tag for the newest version);
+* **fingerprint validation** — the encoder fingerprint is stored in both
+  the archive and the metadata, and checked on load, so a registry shared
+  by several encoder layouts can never hand out a mismatched model;
+* **atomic writes** — archives ride :func:`repro.learn.model_io.save_model`
+  (temp file + ``os.replace``), and metadata/tag files are replaced the
+  same way, so concurrent readers never observe torn state.
+
+Layout under the registry root::
+
+    root/
+      models/v0001.npz     immutable model archive
+      models/v0001.json    metadata (version, fingerprint, note, counts)
+      tags.json            mutable tag -> version map
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+from repro.learn.model_io import load_model, save_model
+from repro.learn.ranksvm import RankSVM
+
+__all__ = ["ModelRegistry"]
+
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+#: dynamic built-in tag: always the highest published version
+LATEST = "latest"
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+class ModelRegistry:
+    """Versioned, tagged, fingerprint-validated store of trained models."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.models_dir = self.root / "models"
+        self.models_dir.mkdir(parents=True, exist_ok=True)
+        self._tags_path = self.root / "tags.json"
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(
+        self,
+        model: RankSVM,
+        encoder_fingerprint: str,
+        tags: "tuple[str, ...] | list[str]" = (),
+        note: str = "",
+    ) -> str:
+        """Store a fitted model as the next version; returns its id.
+
+        The version id is reserved with an exclusive-create claim file, so
+        concurrent publishers (several trainers sharing one registry root)
+        can never allocate the same id and overwrite each other.  The
+        archive lands atomically before the metadata, and the metadata
+        before any tag moves — a crash can leave an orphaned archive or a
+        stale claim (which just skips that id) but never a resolvable
+        version without its model.
+        """
+        version, claim = self._reserve_version()
+        try:
+            archive = save_model(
+                model, self.models_dir / f"{version}.npz", encoder_fingerprint
+            )
+            meta = {
+                "version": version,
+                "encoder_fingerprint": encoder_fingerprint,
+                "note": note,
+                "num_pairs": model.num_pairs_,
+                "num_features": int(model.w_.size),
+                "created_unix_s": time.time(),
+                "archive": archive.name,
+            }
+            _atomic_write_json(self.models_dir / f"{version}.json", meta)
+        finally:
+            # the metadata (if written) now holds the id; drop the claim
+            # only on success so a failed publish keeps the id burned
+            # rather than reusable mid-flight
+            if (self.models_dir / f"{version}.json").exists():
+                claim.unlink(missing_ok=True)
+        for tag in tags:
+            self.tag(tag, version)
+        return version
+
+    def _next_version(self) -> str:
+        """Smallest unused id, counting published, claimed and orphaned files."""
+        taken = [0]
+        for path in self.models_dir.glob("v*"):
+            m = _VERSION_RE.match(path.stem)
+            if m and path.suffix in (".json", ".claim", ".npz"):
+                taken.append(int(m.group(1)))
+        return f"v{max(taken) + 1:04d}"
+
+    def _reserve_version(self) -> "tuple[str, Path]":
+        """Atomically allocate the next version id via an exclusive create."""
+        while True:
+            version = self._next_version()
+            claim = self.models_dir / f"{version}.claim"
+            try:
+                claim.touch(exist_ok=False)
+            except FileExistsError:  # raced by another publisher; rescan
+                continue
+            return version, claim
+
+    # -- resolution ------------------------------------------------------------
+
+    def versions(self) -> list[str]:
+        """All published version ids, oldest first."""
+        found = []
+        for path in self.models_dir.glob("v*.json"):
+            m = _VERSION_RE.match(path.stem)
+            if m:
+                found.append((int(m.group(1)), path.stem))
+        return [name for _, name in sorted(found)]
+
+    def tags(self) -> dict[str, str]:
+        """The current tag → version map (excluding the dynamic ``latest``)."""
+        if not self._tags_path.exists():
+            return {}
+        return json.loads(self._tags_path.read_text())
+
+    def tag(self, name: str, ref: str) -> str:
+        """Point tag ``name`` at the version ``ref`` resolves to.
+
+        The read-modify-write of ``tags.json`` runs under an advisory file
+        lock, so concurrent publishers tagging different names cannot lose
+        each other's updates.
+        """
+        if _VERSION_RE.match(name) or name == LATEST:
+            raise ValueError(f"tag name {name!r} is reserved")
+        version = self.resolve(ref)
+        with open(self.root / "tags.lock", "w") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            tags = self.tags()
+            tags[name] = version
+            _atomic_write_json(self._tags_path, tags)
+        return version
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a version id, a tag, or ``latest`` to a version id."""
+        if ref == LATEST:
+            versions = self.versions()
+            if not versions:
+                raise KeyError("registry is empty; publish a model first")
+            return versions[-1]
+        if _VERSION_RE.match(ref):
+            if not (self.models_dir / f"{ref}.json").exists():
+                raise KeyError(f"unknown model version {ref!r}")
+            return ref
+        tags = self.tags()
+        if ref in tags:
+            return tags[ref]
+        raise KeyError(
+            f"unknown model reference {ref!r}; "
+            f"versions: {self.versions()}, tags: {sorted(tags)}"
+        )
+
+    # -- loading ---------------------------------------------------------------
+
+    def describe(self, ref: str) -> dict:
+        """Metadata of the version ``ref`` resolves to."""
+        version = self.resolve(ref)
+        return json.loads((self.models_dir / f"{version}.json").read_text())
+
+    def load(self, ref: str = LATEST, expect_fingerprint: "str | None" = None) -> RankSVM:
+        """Load the model ``ref`` resolves to, validating the fingerprint.
+
+        The check runs against both the registry metadata and the
+        fingerprint embedded in the archive itself, so neither a stale
+        metadata file nor a swapped archive can slip through.
+        """
+        version = self.resolve(ref)
+        meta = self.describe(version)
+        if (
+            expect_fingerprint is not None
+            and meta.get("encoder_fingerprint") != expect_fingerprint
+        ):
+            raise ValueError(
+                f"encoder fingerprint mismatch for {version}: registry has "
+                f"{meta.get('encoder_fingerprint')!r}, expected {expect_fingerprint!r}"
+            )
+        return load_model(
+            self.models_dir / f"{version}.npz", expect_fingerprint=expect_fingerprint
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry({str(self.root)!r}, versions={self.versions()})"

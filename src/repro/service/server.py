@@ -1,0 +1,363 @@
+"""The asynchronous tuning service front-end.
+
+``TuningService`` turns the trained ranker into ranking-as-a-service: an
+asyncio request loop accepting ``(instance, candidate set, model ref)``
+queries and answering with the model's best-first ordering.  Three layers
+make it fast under load:
+
+1. **Micro-batching** — concurrent requests are coalesced by a
+   :class:`~repro.service.batching.MicroBatcher`; each batch is encoded by
+   ``FeatureEncoder.encode_many`` and scored with *one* stacked
+   ``decision_function`` call across all instances in the batch.
+2. **Ranking cache** — answers are memoized per (instance fingerprint,
+   candidate-set hash, model version); repeat queries return without
+   re-encoding (:class:`~repro.service.cache.RankingCache`).
+3. **Versioned models** — requests may name a registry version or tag;
+   tags are re-resolved on every batch, so publishing a new version and
+   moving a tag **hot-swaps** the model with no restart and no dropped
+   requests.  Loaded models are validated against the service encoder's
+   fingerprint and memoized per version.
+
+Answers are bit-identical to :meth:`OrdinalAutotuner.rank_candidates` for
+the same model version: the same encoder rows, the same ``X @ w`` scoring,
+the same stable argsort tie-breaking.
+
+Scoring runs inline on the event loop — it is a NumPy matrix product that
+releases the GIL and takes well under a millisecond per query, so handing
+it to a thread pool would cost more than it saves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.encoder import FeatureEncoder
+from repro.learn.ranksvm import RankSVM
+from repro.service.batching import MicroBatcher
+from repro.service.cache import CachedRanking, RankingCache, candidate_set_hash
+from repro.service.registry import LATEST, ModelRegistry
+from repro.service.telemetry import ServiceTelemetry
+from repro.stencil.execution import instance_hash
+from repro.stencil.instance import StencilInstance
+from repro.tuning.presets import preset_candidates
+from repro.tuning.vector import TuningVector
+
+__all__ = ["RankingResponse", "TuningService"]
+
+
+@dataclass(frozen=True)
+class RankingResponse:
+    """One answered ranking query."""
+
+    #: candidates best-first, exactly as ``rank_candidates`` would order them
+    ranked: list[TuningVector]
+    #: model scores aligned with the *request's* candidate order
+    scores: np.ndarray
+    #: the concrete model version that produced the answer
+    model_version: str
+    #: whether the answer came from the ranking cache
+    cached: bool
+    #: queue-to-answer latency in seconds
+    latency_s: float
+
+    @property
+    def best(self) -> TuningVector:
+        """The top-ranked configuration."""
+        return self.ranked[0]
+
+
+@dataclass
+class _Pending:
+    """A queued request plus its completion future."""
+
+    instance: StencilInstance
+    candidates: list[TuningVector]
+    model_ref: str
+    future: "asyncio.Future[RankingResponse]"
+    enqueued_at: float
+    version: str = ""
+    cache_key: "tuple[int, int, str] | None" = field(default=None, repr=False)
+    #: precomputed candidate-set hash (service-owned default sets skip
+    #: per-request digesting entirely)
+    candidates_hash: "int | None" = field(default=None, repr=False)
+
+
+class TuningService:
+    """Async ranking service over a model registry.
+
+    Usage::
+
+        service = TuningService(registry)
+        async with service:
+            response = await service.rank(instance)
+            best = response.best
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        encoder: "FeatureEncoder | None" = None,
+        default_model: str = LATEST,
+        max_batch_size: int = 64,
+        max_batch_delay_s: float = 0.002,
+        cache_entries: int = 4096,
+        latency_window: int = 4096,
+    ) -> None:
+        self.registry = registry
+        self.encoder = encoder or FeatureEncoder()
+        self.default_model = default_model
+        self.cache = RankingCache(cache_entries)
+        self.telemetry = ServiceTelemetry(latency_window)
+        self._models: dict[str, RankSVM] = {}
+        #: dims -> (shared preset list, its content hash), computed once
+        self._default_sets: dict[int, tuple[list[TuningVector], int]] = {}
+        self._batcher = MicroBatcher(
+            self._process_batch,
+            max_batch_size=max_batch_size,
+            max_delay_s=max_batch_delay_s,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start accepting requests (idempotent)."""
+        await self._batcher.start()
+
+    async def stop(self) -> None:
+        """Answer everything already queued, then stop."""
+        await self._batcher.stop()
+
+    async def __aenter__(self) -> "TuningService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the request loop is accepting work."""
+        return self._batcher.running
+
+    # -- request API -----------------------------------------------------------
+
+    async def rank(
+        self,
+        instance: StencilInstance,
+        candidates: "Sequence[TuningVector] | None" = None,
+        model: "str | None" = None,
+    ) -> RankingResponse:
+        """Rank a candidate set for an instance (defaults: presets, default model).
+
+        Concurrent callers are transparently micro-batched; the awaited
+        response carries the ordering, scores, serving model version and
+        whether the ranking cache answered.
+        """
+        if not self.running:
+            raise RuntimeError("TuningService is not running; call start() first")
+        if candidates is None:
+            candidates, candidates_hash = self._default_candidates(instance.dims)
+        else:
+            candidates, candidates_hash = list(candidates), None
+        self.telemetry.record_request()
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            instance=instance,
+            candidates=candidates,
+            model_ref=model or self.default_model,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+            candidates_hash=candidates_hash,
+        )
+        await self._batcher.submit(pending)
+        return await pending.future
+
+    def _default_candidates(self, dims: int) -> tuple[list[TuningVector], int]:
+        """The paper's preset set for ``dims``, with its hash, memoized.
+
+        The list is shared across requests (responses never mutate it), so
+        default-candidate traffic pays neither preset regeneration nor
+        per-request content hashing.
+        """
+        cached = self._default_sets.get(dims)
+        if cached is None:
+            presets = preset_candidates(dims)
+            cached = (presets, candidate_set_hash(presets))
+            self._default_sets[dims] = cached
+        return cached
+
+    def set_default_model(self, ref: str) -> None:
+        """Repoint the service default (tag or version) — a hot swap."""
+        self.registry.resolve(ref)  # fail fast on unknown refs
+        self.default_model = ref
+
+    def stats(self) -> dict:
+        """Telemetry + cache counters in one flat dict."""
+        return {**self.telemetry.snapshot(), **self.cache.snapshot()}
+
+    # -- batch processing ------------------------------------------------------
+
+    def _process_batch(self, batch: Sequence[_Pending]) -> None:
+        self.telemetry.record_batch(len(batch))
+        try:
+            misses = self._answer_from_cache(batch)
+            by_version: dict[str, list[_Pending]] = {}
+            for req in misses:
+                by_version.setdefault(req.version, []).append(req)
+            for version, reqs in by_version.items():
+                self._score_group(version, reqs)
+        except Exception as exc:  # defensive: never strand a future
+            for req in batch:
+                if not req.future.done():
+                    self._fail(req, exc)
+
+    def _answer_from_cache(self, batch: Sequence[_Pending]) -> list[_Pending]:
+        """Resolve refs, serve cache hits; returns the requests left to score.
+
+        Tag resolution happens here, once per request per batch, so a moved
+        tag takes effect on the very next batch (hot swap) while every
+        request inside one batch sees a consistent mapping.
+        """
+        resolved: dict[str, str] = {}
+        misses: list[_Pending] = []
+        for req in batch:
+            try:
+                if req.model_ref not in resolved:
+                    resolved[req.model_ref] = self.registry.resolve(req.model_ref)
+                req.version = resolved[req.model_ref]
+                if req.candidates_hash is None:
+                    req.candidates_hash = candidate_set_hash(req.candidates)
+                req.cache_key = (
+                    instance_hash(req.instance),
+                    req.candidates_hash,
+                    req.version,
+                )
+            except Exception as exc:  # unknown ref / malformed request:
+                self._fail(req, exc)  # fail just this one
+                continue
+            entry = self.cache.get(req.cache_key)
+            if entry is None:
+                misses.append(req)
+            else:
+                self._answer(req, entry, cached=True)
+        return misses
+
+    def _score_group(self, version: str, reqs: list[_Pending]) -> None:
+        """Encode+score all requests of one model version in one fused pass.
+
+        Identical queries that landed in the same micro-batch (same cache
+        key) are deduplicated first: one representative is encoded and
+        scored, the duplicates are answered from the just-cached entry —
+        a repeat instance never pays for encoding twice, even before the
+        LRU has seen it.
+        """
+        unique: dict[tuple[int, int, str], list[_Pending]] = {}
+        for req in reqs:
+            unique.setdefault(req.cache_key, []).append(req)
+        reps = [group[0] for group in unique.values()]
+        try:
+            model = self._model(version)
+        except Exception as exc:  # bad model: fail the whole version group
+            for req in reqs:
+                self._fail(req, exc)
+            return
+        try:
+            X = self.encoder.encode_many(
+                [(req.instance, req.candidates) for req in reps]
+            )
+            scores = model.decision_function(X)
+        except Exception:
+            # one unencodable request (e.g. kernel radius beyond the
+            # encoder's max_radius) must not poison the batch: fall back
+            # to isolating each unique query so only the culprit fails
+            for group in unique.values():
+                self._score_isolated(model, version, group)
+            return
+        self.telemetry.record_scored(len(X))
+        splits = np.cumsum([len(req.candidates) for req in reps])[:-1]
+        for group, s in zip(unique.values(), np.split(scores, splits)):
+            order = np.argsort(-s, kind="stable")
+            rep = group[0]
+            entry = CachedRanking(
+                order=order,
+                scores=np.asarray(s),
+                model_version=version,
+                ranked=[rep.candidates[i] for i in order.tolist()],
+            )
+            self.cache.put(rep.cache_key, entry)
+            self._answer(rep, entry, cached=False)
+            for dup in group[1:]:
+                # route through get() so LRU recency and hit counters see it
+                self._answer(dup, self.cache.get(dup.cache_key), cached=True)
+
+    def _score_isolated(
+        self, model: RankSVM, version: str, group: list[_Pending]
+    ) -> None:
+        """Error-path scoring of one unique query (fused pass failed)."""
+        rep = group[0]
+        try:
+            X = self.encoder.encode_many([(rep.instance, rep.candidates)])
+            s = model.decision_function(X)
+        except Exception as exc:
+            for req in group:
+                self._fail(req, exc)
+            return
+        self.telemetry.record_scored(len(X))
+        order = np.argsort(-s, kind="stable")
+        entry = CachedRanking(
+            order=order,
+            scores=np.asarray(s),
+            model_version=version,
+            ranked=[rep.candidates[i] for i in order.tolist()],
+        )
+        self.cache.put(rep.cache_key, entry)
+        self._answer(rep, entry, cached=False)
+        for dup in group[1:]:
+            self._answer(dup, self.cache.get(dup.cache_key), cached=True)
+
+    def _model(self, version: str) -> RankSVM:
+        """The memoized model for a concrete version (fingerprint-checked)."""
+        model = self._models.get(version)
+        if model is None:
+            model = self.registry.load(
+                version, expect_fingerprint=self.encoder.fingerprint()
+            )
+            self._models[version] = model
+        return model
+
+    # -- completion ------------------------------------------------------------
+
+    def _latency(self, req: _Pending) -> float:
+        return asyncio.get_running_loop().time() - req.enqueued_at
+
+    def _answer(self, req: _Pending, entry: CachedRanking, cached: bool) -> None:
+        if req.future.done():  # cancelled by the caller
+            return
+        latency = self._latency(req)
+        self.telemetry.record_completion(latency)
+        # entries built by the service always carry the materialized
+        # ranking; callers get their own (shallow) copy
+        ranked = (
+            list(entry.ranked)
+            if entry.ranked is not None
+            else [req.candidates[i] for i in entry.order.tolist()]
+        )
+        req.future.set_result(
+            RankingResponse(
+                ranked=ranked,
+                scores=entry.scores,
+                model_version=entry.model_version,
+                cached=cached,
+                latency_s=latency,
+            )
+        )
+
+    def _fail(self, req: _Pending, exc: Exception) -> None:
+        if req.future.done():  # cancelled by the caller
+            return
+        self.telemetry.record_completion(self._latency(req), failed=True)
+        req.future.set_exception(exc)

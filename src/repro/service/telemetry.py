@@ -1,0 +1,93 @@
+"""Service telemetry: request counters, batch shapes and latency quantiles.
+
+The tuning service records enough to answer the operational questions a
+ranking service gets asked: how many requests, how well micro-batching is
+coalescing them (batches formed, mean/max batch size), how often the
+ranking cache answers without re-encoding, and where the latency quantiles
+sit.  Latencies are kept in a bounded sliding window so a long-lived
+service node reports *recent* p50/p99, not all-time averages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServiceTelemetry"]
+
+
+class ServiceTelemetry:
+    """Counters and quantiles for one :class:`~repro.service.TuningService`."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        if latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {latency_window}")
+        self.requests_total = 0
+        self.completed_total = 0
+        self.failed_total = 0
+        self.batches_total = 0
+        self.batched_requests_total = 0
+        self.max_batch_size = 0
+        self.scored_candidates_total = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # -- recording -------------------------------------------------------------
+
+    def record_request(self) -> None:
+        """A request was accepted into the queue."""
+        self.requests_total += 1
+
+    def record_batch(self, size: int) -> None:
+        """A micro-batch of ``size`` requests was formed."""
+        self.batches_total += 1
+        self.batched_requests_total += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_scored(self, num_candidates: int) -> None:
+        """``num_candidates`` rows went through encode+score (cache misses)."""
+        self.scored_candidates_total += num_candidates
+
+    def record_completion(self, latency_s: float, failed: bool = False) -> None:
+        """A request finished (successfully or not) after ``latency_s``."""
+        if failed:
+            self.failed_total += 1
+        else:
+            self.completed_total += 1
+        self._latencies.append(float(latency_s))
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per micro-batch (0 before the first batch)."""
+        if self.batches_total == 0:
+            return 0.0
+        return self.batched_requests_total / self.batches_total
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile over the sliding window, in seconds."""
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._latencies, dtype=float), q))
+
+    def snapshot(self) -> dict:
+        """One dict with every headline number (for logs and benchmarks)."""
+        return {
+            "requests_total": self.requests_total,
+            "completed_total": self.completed_total,
+            "failed_total": self.failed_total,
+            "batches_total": self.batches_total,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "scored_candidates_total": self.scored_candidates_total,
+            "latency_p50_ms": self.latency_percentile(50) * 1e3,
+            "latency_p99_ms": self.latency_percentile(99) * 1e3,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceTelemetry(requests={self.requests_total}, "
+            f"batches={self.batches_total}, "
+            f"mean_batch={self.mean_batch_size:.1f})"
+        )

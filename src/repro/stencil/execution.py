@@ -16,7 +16,7 @@ from repro.tuning.vector import TuningVector
 from repro.util.rng import hash_seed, hash_seed_many
 from repro.util.validation import check_type
 
-__all__ = ["StencilExecution", "execution_hashes"]
+__all__ = ["StencilExecution", "execution_hashes", "instance_hash"]
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,30 @@ def _instance_hash_parts(instance: StencilInstance) -> tuple[object, ...]:
         instance.kernel.dtype.value,
         instance.size,
     )
+
+
+def instance_hash(instance: StencilInstance) -> int:
+    """64-bit process-stable content hash of an instance (kernel + size).
+
+    The instance half of :meth:`StencilExecution.stable_hash` — two
+    instances with the same kernel content and size hash identically even
+    across processes, which is what lets the ranking cache of the tuning
+    service recognize repeat instances.
+
+    >>> from repro.stencil.shapes import laplacian
+    >>> from repro.stencil.kernel import StencilKernel
+    >>> k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    >>> instance_hash(StencilInstance(k, (64, 64, 64))) == instance_hash(
+    ...     StencilInstance(k, (64, 64, 64)))
+    True
+    """
+    cached = getattr(instance, "_content_hash", None)
+    if cached is None:
+        cached = hash_seed(*_instance_hash_parts(instance))
+        # memoized on the (frozen) instance: repeat requests for a hot
+        # instance skip re-digesting the kernel pattern every lookup
+        object.__setattr__(instance, "_content_hash", cached)
+    return cached
 
 
 def execution_hashes(

@@ -7,7 +7,7 @@ algorithms and the machine model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -31,6 +31,10 @@ class TuningVector:
     bz: int = 1
     unroll: int = 0
     chunk: int = 1
+    #: precomputed content hash (set in __post_init__; equal-content vectors
+    #: share it, so set-level digests can combine keys instead of re-hashing
+    #: every field — see repro.service.cache.candidate_set_hash)
+    content_key: int = field(init=False, compare=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
         for name in ("bx", "by", "bz", "chunk"):
@@ -41,6 +45,12 @@ class TuningVector:
         if not isinstance(self.unroll, (int, np.integer)) or self.unroll < 0:
             raise ValueError(f"unroll must be a non-negative integer, got {self.unroll!r}")
         object.__setattr__(self, "unroll", int(self.unroll))
+        # the tuple view and a content key are requested on every encode/hash
+        # of every candidate (service hot path); cache both once — the
+        # object is frozen anyway
+        astuple = (self.bx, self.by, self.bz, self.unroll, self.chunk)
+        object.__setattr__(self, "_astuple", astuple)
+        object.__setattr__(self, "content_key", hash(astuple))
 
     @property
     def block(self) -> tuple[int, int, int]:
@@ -59,7 +69,7 @@ class TuningVector:
 
     def as_tuple(self) -> tuple[int, int, int, int, int]:
         """``(bx, by, bz, unroll, chunk)``."""
-        return (self.bx, self.by, self.bz, self.unroll, self.chunk)
+        return self._astuple
 
     def as_array(self) -> np.ndarray:
         """Float array view, in the canonical parameter order."""

@@ -20,7 +20,15 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["hash_seed", "hash_seed_many", "spawn", "as_generator", "RngFactory"]
+__all__ = [
+    "hash_seed",
+    "hash_seed_many",
+    "hash_bits",
+    "hash_bits_grid",
+    "spawn",
+    "as_generator",
+    "RngFactory",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -70,6 +78,59 @@ def hash_seed_many(
         _absorb(h, (suffix,))
         out.append(int.from_bytes(h.digest(), "little") & _MASK64)
     return out
+
+
+def hash_bits(*parts: object, words: int = 2) -> tuple[int, ...]:
+    """``words`` independent 64-bit values derived from one key.
+
+    Same absorb convention as :func:`hash_seed` (``repr``-encoded,
+    NUL-separated), but with a wider digest split into little-endian 64-bit
+    words — the scalar counterpart of :func:`hash_bits_grid`.
+
+    >>> hash_bits("noise", 0, 1, 2) == hash_bits("noise", 0, 1, 2)
+    True
+    >>> hash_bits("a")[0] != hash_bits("b")[0]
+    True
+    """
+    h = hashlib.blake2b(digest_size=8 * words)
+    _absorb(h, parts)
+    digest = h.digest()
+    return tuple(
+        int.from_bytes(digest[8 * i : 8 * (i + 1)], "little") for i in range(words)
+    )
+
+
+def hash_bits_grid(
+    prefix: Sequence[object],
+    rows: Sequence[object],
+    cols: Sequence[object],
+    words: int = 2,
+) -> np.ndarray:
+    """:func:`hash_bits` for every ``(prefix, row, col)`` key, as a grid.
+
+    Returns a ``(len(rows), len(cols), words)`` uint64 array with
+    ``out[i, j] == hash_bits(*prefix, rows[i], cols[j], words=words)``.
+    The prefix is absorbed once and the row digests once per row, so an
+    ``n × m`` grid costs ``n + n·m`` hasher copies instead of ``n·m`` full
+    re-digests — this is what lets counter-based consumers (the measurement
+    noise model) evaluate whole batches without per-cell stream objects.
+
+    >>> g = hash_bits_grid(["noise", 7], [11, 12], [0, 1])
+    >>> tuple(int(w) for w in g[1, 0]) == hash_bits("noise", 7, 12, 0)
+    True
+    """
+    base = hashlib.blake2b(digest_size=8 * words)
+    _absorb(base, prefix)
+    buf = bytearray()
+    for row in rows:
+        hr = base.copy()
+        _absorb(hr, (row,))
+        for col in cols:
+            h = hr.copy()
+            _absorb(h, (col,))
+            buf += h.digest()
+    out = np.frombuffer(bytes(buf), dtype="<u8")
+    return out.reshape(len(rows), len(cols), words)
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:

@@ -149,3 +149,46 @@ class TestBatch:
         desc = enc.instance_descriptor(inst)
         inter = x[-(enc.N_TUNING * enc.N_DESCRIPTOR):]
         assert np.allclose(inter, np.outer(tune, desc).ravel())
+
+
+class TestEncodeMany:
+    """The fused cross-instance path must reproduce encode_batch bit-for-bit."""
+
+    def test_matches_per_instance_batches(self, enc):
+        labels = [
+            "laplacian-128x128x128",
+            "blur-1024x768",
+            "edge-512x512",
+            "wave-128x128x128",
+        ]
+        requests = [
+            (q, patus_space(q.dims).random_vectors(7 + i, rng=i))
+            for i, q in enumerate(benchmark_by_id(l) for l in labels)
+        ]
+        X = enc.encode_many(requests)
+        stacked = np.vstack([enc.encode_batch(q, t) for q, t in requests])
+        assert X.shape == stacked.shape
+        assert np.array_equal(X, stacked)
+
+    def test_row_layout_is_request_contiguous(self, enc):
+        a = benchmark_by_id("laplacian-128x128x128")
+        b = benchmark_by_id("blur-1024x768")
+        ta = patus_space(3).random_vectors(3, rng=0)
+        tb = patus_space(2).random_vectors(2, rng=1)
+        X = enc.encode_many([(a, ta), (b, tb)])
+        assert np.array_equal(X[:3], enc.encode_batch(a, ta))
+        assert np.array_equal(X[3:], enc.encode_batch(b, tb))
+
+    def test_no_interactions_layout(self, inst):
+        enc = FeatureEncoder(interactions=False)
+        tunings = patus_space(3).random_vectors(4, rng=2)
+        X = enc.encode_many([(inst, tunings)])
+        assert np.array_equal(X, enc.encode_batch(inst, tunings))
+
+    def test_empty_inputs(self, enc, inst):
+        assert enc.encode_many([]).shape == (0, enc.num_features)
+        assert enc.encode_many([(inst, [])]).shape == (0, enc.num_features)
+
+    def test_fingerprint_is_stable_id(self, enc):
+        assert enc.fingerprint() == f"r3-p1-i1-d{enc.num_features}"
+        assert FeatureEncoder(interactions=False).fingerprint() != enc.fingerprint()

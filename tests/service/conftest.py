@@ -1,0 +1,31 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.service.registry import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def trained_tuner(tiny_training_set) -> OrdinalAutotuner:
+    """An OrdinalAutotuner trained on the shared ~500-point corpus."""
+    return OrdinalAutotuner(config=RankSVMConfig(seed=0)).train(tiny_training_set)
+
+
+@pytest.fixture(scope="session")
+def alternate_model(tiny_training_set) -> RankSVM:
+    """A second model (different C) for version/hot-swap tests."""
+    return RankSVM(RankSVMConfig(C=0.05, seed=1)).fit(tiny_training_set.data)
+
+
+@pytest.fixture()
+def registry(tmp_path, trained_tuner) -> ModelRegistry:
+    """A fresh registry holding the trained model as v0001, tagged prod."""
+    reg = ModelRegistry(tmp_path / "registry")
+    reg.publish(
+        trained_tuner.model, trained_tuner.fingerprint(), tags=("prod",), note="seed"
+    )
+    return reg

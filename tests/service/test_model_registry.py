@@ -1,0 +1,121 @@
+"""Tests for the versioned model registry."""
+
+import numpy as np
+import pytest
+
+from repro.service.registry import ModelRegistry
+
+
+class TestPublishAndLoad:
+    def test_round_trip_weights(self, registry, trained_tuner):
+        loaded = registry.load("v0001")
+        assert np.array_equal(loaded.w_, trained_tuner.model.w_)
+
+    def test_versions_monotonic(self, registry, alternate_model, trained_tuner):
+        v2 = registry.publish(alternate_model, trained_tuner.fingerprint())
+        assert v2 == "v0002"
+        assert registry.versions() == ["v0001", "v0002"]
+
+    def test_latest_resolves_to_newest(self, registry, alternate_model, trained_tuner):
+        registry.publish(alternate_model, trained_tuner.fingerprint())
+        assert registry.resolve("latest") == "v0002"
+        loaded = registry.load("latest")
+        assert np.array_equal(loaded.w_, alternate_model.w_)
+
+    def test_describe_metadata(self, registry, trained_tuner):
+        meta = registry.describe("v0001")
+        assert meta["version"] == "v0001"
+        assert meta["encoder_fingerprint"] == trained_tuner.fingerprint()
+        assert meta["note"] == "seed"
+        assert meta["num_features"] == trained_tuner.model.w_.size
+
+    def test_no_temp_files_left_behind(self, registry):
+        leftovers = (
+            list(registry.root.rglob("*.tmp"))
+            + list(registry.root.rglob("*.tmp.npz"))
+            + list(registry.root.rglob("*.claim"))
+        )
+        assert leftovers == []
+
+    def test_claimed_version_never_reallocated(self, registry, alternate_model, trained_tuner):
+        """A concurrent publisher's claim (or a crashed publish) burns the id."""
+        (registry.models_dir / "v0002.claim").touch()
+        v = registry.publish(alternate_model, trained_tuner.fingerprint())
+        assert v == "v0003"
+        assert registry.versions() == ["v0001", "v0003"]
+        assert registry.resolve("latest") == "v0003"
+
+    def test_concurrent_tagging_loses_no_updates(self, registry):
+        """tag() is a locked read-modify-write; parallel writers both land."""
+        import threading
+
+        from repro.service.registry import ModelRegistry
+
+        def retag(name):
+            reg = ModelRegistry(registry.root)  # separate handle, same root
+            for _ in range(25):
+                reg.tag(name, "v0001")
+
+        threads = [threading.Thread(target=retag, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.tags()["a"] == "v0001"
+        assert registry.tags()["b"] == "v0001"
+
+
+class TestTags:
+    def test_publish_tags_resolve(self, registry):
+        assert registry.resolve("prod") == "v0001"
+
+    def test_retag_moves_pointer(self, registry, alternate_model, trained_tuner):
+        v2 = registry.publish(alternate_model, trained_tuner.fingerprint())
+        registry.tag("prod", v2)
+        assert registry.resolve("prod") == "v0002"
+        # v1 remains loadable by explicit version
+        assert registry.load("v0001") is not None
+
+    def test_tag_of_tag(self, registry):
+        registry.tag("canary", "prod")
+        assert registry.resolve("canary") == "v0001"
+
+    def test_reserved_tag_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="reserved"):
+            registry.tag("latest", "v0001")
+        with pytest.raises(ValueError, match="reserved"):
+            registry.tag("v0009", "v0001")
+
+    def test_unknown_ref_raises(self, registry):
+        with pytest.raises(KeyError, match="unknown model reference"):
+            registry.resolve("nope")
+        with pytest.raises(KeyError, match="unknown model version"):
+            registry.resolve("v9999")
+
+    def test_empty_registry_latest_raises(self, tmp_path):
+        reg = ModelRegistry(tmp_path / "empty")
+        with pytest.raises(KeyError, match="registry is empty"):
+            reg.resolve("latest")
+
+
+class TestGuards:
+    def test_fingerprint_mismatch_rejected(self, registry):
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            registry.load("v0001", expect_fingerprint="r9-p0-i0-d1")
+
+    def test_fingerprint_match_ok(self, registry, trained_tuner):
+        assert registry.load(
+            "v0001", expect_fingerprint=trained_tuner.fingerprint()
+        ).is_fitted
+
+    def test_corrupted_archive_errors(self, registry):
+        archive = registry.models_dir / "v0001.npz"
+        archive.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="corrupted or unreadable"):
+            registry.load("v0001")
+
+    def test_truncated_archive_errors(self, registry):
+        archive = registry.models_dir / "v0001.npz"
+        archive.write_bytes(archive.read_bytes()[:100])
+        with pytest.raises(ValueError, match="corrupted or unreadable"):
+            registry.load("v0001")

@@ -1,0 +1,90 @@
+"""Tests for the LRU ranking cache."""
+
+import numpy as np
+import pytest
+
+from repro.service.cache import CachedRanking, RankingCache, candidate_set_hash
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import laplacian
+from repro.tuning.vector import TuningVector
+
+
+def _instance(size=(64, 64, 64)):
+    k = StencilKernel.single_buffer("lap", laplacian(3, 1), "double")
+    return StencilInstance(k, size)
+
+
+def _entry(n=4, version="v0001"):
+    scores = np.arange(n, dtype=float)
+    return CachedRanking(
+        order=np.argsort(-scores, kind="stable"), scores=scores, model_version=version
+    )
+
+
+CANDS = [TuningVector(16, 8, 8, 2, 1), TuningVector(32, 4, 4, 0, 2)]
+
+
+class TestKeys:
+    def test_content_based_across_objects(self):
+        # distinct Python objects with equal content share one key
+        k1 = RankingCache.key(_instance(), list(CANDS), "v0001")
+        k2 = RankingCache.key(_instance(), [TuningVector(*t.as_tuple()) for t in CANDS], "v0001")
+        assert k1 == k2
+
+    def test_size_changes_key(self):
+        assert RankingCache.key(_instance((64, 64, 64)), CANDS, "v1") != RankingCache.key(
+            _instance((128, 128, 128)), CANDS, "v1"
+        )
+
+    def test_model_version_changes_key(self):
+        assert RankingCache.key(_instance(), CANDS, "v0001") != RankingCache.key(
+            _instance(), CANDS, "v0002"
+        )
+
+    def test_candidate_order_matters(self):
+        assert candidate_set_hash(CANDS) != candidate_set_hash(CANDS[::-1])
+
+
+class TestLru:
+    def test_hit_and_miss_counters(self):
+        cache = RankingCache(max_entries=8)
+        key = RankingCache.key(_instance(), CANDS, "v0001")
+        assert cache.get(key) is None
+        cache.put(key, _entry())
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_drops_least_recent(self):
+        cache = RankingCache(max_entries=2)
+        keys = [(i, 0, "v") for i in range(3)]
+        cache.put(keys[0], _entry())
+        cache.put(keys[1], _entry())
+        cache.get(keys[0])  # refresh 0 -> 1 becomes LRU
+        cache.put(keys[2], _entry())
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert len(cache) == 2
+
+    def test_invalidate_version(self):
+        cache = RankingCache()
+        cache.put((1, 1, "v0001"), _entry(version="v0001"))
+        cache.put((1, 1, "v0002"), _entry(version="v0002"))
+        assert cache.invalidate_version("v0001") == 1
+        assert len(cache) == 1
+
+    def test_entries_read_only(self):
+        entry = _entry()
+        with pytest.raises(ValueError):
+            entry.scores[0] = 99.0
+
+    def test_snapshot_fields(self):
+        cache = RankingCache()
+        snap = cache.snapshot()
+        assert set(snap) == {
+            "cache_entries",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+        }

@@ -35,7 +35,15 @@ from repro.autotune import (
 )
 from repro.features import FeatureEncoder
 from repro.learn import RankSVM, RankSVMConfig
-from repro.machine import MachineSpec, SimulatedMachine, XEON_E5_2680_V3
+from repro.machine import BudgetedMachine, MachineSpec, SimulatedMachine, XEON_E5_2680_V3
+from repro.online import (
+    ContinualLearningPipeline,
+    DriftMonitor,
+    FeedbackCollector,
+    IncrementalTrainer,
+    PromotionPolicy,
+    ShadowEvaluator,
+)
 from repro.ranking import RankingGroups, kendall_tau
 from repro.search import (
     DifferentialEvolution,
@@ -60,19 +68,26 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BENCHMARKS",
+    "BudgetedMachine",
     "CompilationWorkflow",
+    "ContinualLearningPipeline",
     "DifferentialEvolution",
+    "DriftMonitor",
     "EvolutionStrategy",
     "FeatureEncoder",
+    "FeedbackCollector",
     "GenerationalGA",
+    "IncrementalTrainer",
     "MachineSpec",
     "ModelRegistry",
     "OrdinalAutotuner",
+    "PromotionPolicy",
     "RandomSearch",
     "RankingCache",
     "RankSVM",
     "RankSVMConfig",
     "RankingGroups",
+    "ShadowEvaluator",
     "SimulatedMachine",
     "StencilExecution",
     "StencilInstance",

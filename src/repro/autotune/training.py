@@ -29,9 +29,15 @@ from repro.stencil.instance import StencilInstance
 from repro.stencil.kernel import StencilKernel
 from repro.stencil.shapes import TRAINING_SHAPES
 from repro.tuning.space import patus_space
-from repro.util.rng import spawn
+from repro.util.rng import as_generator, spawn
 
-__all__ = ["generate_training_kernels", "training_instances", "TrainingSetBuilder"]
+__all__ = [
+    "generate_training_kernels",
+    "training_instances",
+    "TrainingSetBuilder",
+    "merge_corpus",
+    "reweight_groups",
+]
 
 #: 3-D training input sizes (paper §V-B)
 SIZES_3D = ((64, 64, 64), (128, 128, 128), (256, 256, 256))
@@ -211,3 +217,81 @@ class TrainingSetBuilder:
     def fingerprint(self) -> str:
         """Stable id of the encoder layout (guards model/encoder pairing)."""
         return self.encoder.fingerprint()
+
+
+# -- continual-learning corpus assembly ---------------------------------------
+
+
+def reweight_groups(
+    groups: RankingGroups,
+    weights: "dict[object, float]",
+    min_points: int = 2,
+    rng: "np.random.Generator | int | None" = 0,
+) -> RankingGroups:
+    """Down-weight ranking groups by subsampling their points.
+
+    The RankSVM objective has no per-pair sample weights, but a group
+    contributing fewer points contributes quadratically fewer preference
+    pairs — so point subsampling *is* the weighting mechanism available to
+    a pairwise ranker.  Each group keeps ``round(weight · n)`` of its
+    points (clipped to ``[min_points, n]``); groups missing from
+    ``weights`` keep weight 1.0, a weight of 0 drops the group entirely.
+
+    Used by the continual trainer for recency weighting: old feedback
+    windows decay geometrically instead of accumulating forever.
+    """
+    gen = as_generator(rng)
+    keep: list[np.ndarray] = []
+    for gid, rows in groups.iter_groups():
+        weight = float(weights.get(gid, 1.0))
+        if weight >= 1.0:
+            keep.append(rows)
+            continue
+        if weight <= 0.0:
+            continue
+        k = min(rows.size, max(min_points, int(round(weight * rows.size))))
+        keep.append(np.sort(gen.choice(rows, size=k, replace=False)))
+    if not keep:
+        return RankingGroups(
+            groups.X[:0], groups.times[:0], np.asarray(groups.groups)[:0]
+        )
+    rows = np.sort(np.concatenate(keep))
+    return groups.subset(rows)
+
+
+def merge_corpus(
+    offline: TrainingSet,
+    feedback: RankingGroups,
+    offline_points: "int | None" = None,
+    seed: int = 0,
+) -> RankingGroups:
+    """Merge the offline corpus with collected serving feedback.
+
+    The offline training set anchors the model on the synthetic families it
+    has always known; the feedback groups carry what production traffic
+    actually looks like.  ``offline_points`` optionally subsamples the
+    offline corpus (per group, every instance stays represented) so fresh
+    feedback is not drowned out by a much larger static corpus.  Feedback
+    group ids are shifted past the offline ids, so the two sources can
+    never alias into one ranking group (runtimes are only comparable
+    within one instance).
+    """
+    base = (
+        offline if offline_points is None else offline.subset_points(offline_points, seed)
+    ).data
+    if len(feedback) == 0:
+        return base
+    if base.X.shape[1] != feedback.X.shape[1]:
+        raise ValueError(
+            f"feature dimension mismatch: offline corpus has {base.X.shape[1]}, "
+            f"feedback has {feedback.X.shape[1]} (encoder layouts differ?)"
+        )
+    offset = int(np.max(base.groups)) + 1 if len(base) else 0
+    fb_ids = np.unique(feedback.groups)
+    remap = {gid: offset + i for i, gid in enumerate(fb_ids.tolist())}
+    fb_groups = np.array([remap[g] for g in feedback.groups.tolist()], dtype=np.int64)
+    return RankingGroups(
+        np.vstack([base.X, feedback.X]),
+        np.concatenate([base.times, feedback.times]),
+        np.concatenate([np.asarray(base.groups, dtype=np.int64), fb_groups]),
+    )

@@ -79,8 +79,16 @@ class RankSVM:
 
     # -- training ------------------------------------------------------------
 
-    def fit(self, data: RankingGroups) -> "RankSVM":
+    def fit(
+        self, data: RankingGroups, warm_start: "np.ndarray | None" = None
+    ) -> "RankSVM":
         """Train on a grouped dataset; returns self.
+
+        ``warm_start`` optionally seeds the solver with a previous weight
+        vector (e.g. the currently serving model's ``w_``) instead of zeros.
+        The objective is convex, so the solution is the same up to solver
+        tolerance — warm starts buy convergence speed when the data shifts
+        incrementally, which is exactly the continual-retraining case.
 
         >>> import numpy as np
         >>> from repro.ranking.partial import RankingGroups
@@ -98,6 +106,13 @@ class RankSVM:
             rng=cfg.seed,
         )
         self.num_pairs_ = int(better.size)
+        if warm_start is not None:
+            warm_start = np.asarray(warm_start, dtype=float)
+            if warm_start.shape != (data.X.shape[1],):
+                raise ValueError(
+                    f"warm_start has shape {warm_start.shape}, "
+                    f"expected ({data.X.shape[1]},)"
+                )
         # solvers implement (C/m)·Σξ; "sum" weighting passes C·m to cancel m
         c_eff = cfg.C * better.size if cfg.pair_weighting == "sum" else cfg.C
         if cfg.solver == "lbfgs":
@@ -109,6 +124,7 @@ class RankSVM:
                 margin=cfg.margin,
                 max_iter=cfg.max_iter,
                 tol=cfg.tol,
+                w0=warm_start,
             )
         else:
             result = solve_sgd(
@@ -118,6 +134,7 @@ class RankSVM:
                 C=c_eff,
                 margin=cfg.margin,
                 rng=cfg.seed,
+                w0=warm_start,
             )
         self.w_ = result.w
         self.solver_result_ = result

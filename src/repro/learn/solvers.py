@@ -135,19 +135,21 @@ def solve_sgd(
     batch_size: int = 256,
     rng: np.random.Generator | int | None = None,
     average: bool = True,
+    w0: np.ndarray | None = None,
 ) -> SolverResult:
     """Pegasos-style SGD on the (linear) pairwise hinge.
 
     The regularizer weight is λ = 1/(C·m·…) in Pegasos form; here we keep
     the same objective as :func:`solve_lbfgs` (linear hinge variant) and use
-    the standard 1/(λt) step schedule with iterate averaging.
+    the standard 1/(λt) step schedule with iterate averaging.  ``w0``
+    optionally warm-starts the iterate from a previous solution.
     """
     _check_inputs(X, better, worse)
     gen = as_generator(rng)
     n_pairs = better.size
     m = float(n_pairs)
     lam = 1.0  # coefficient of the 1/2||w||² term
-    w = np.zeros(X.shape[1])
+    w = np.zeros(X.shape[1]) if w0 is None else np.asarray(w0, dtype=float).copy()
     w_sum = np.zeros_like(w)
     t = 0
     for _ in range(epochs):

@@ -45,9 +45,12 @@ from repro.machine.executor import (
     Measurement,
     SimulatedMachine,
 )
+from repro.machine.budget import BudgetedMachine, MeasurementBudgetExceeded
 
 __all__ = [
     "BatchMeasurement",
+    "BudgetedMachine",
+    "MeasurementBudgetExceeded",
     "BatchScheduleReport",
     "BatchSweepCost",
     "BatchTrafficReport",

@@ -1,0 +1,185 @@
+"""Budgeted measurement: a hard cap on background ground-truth probing.
+
+The continual-learning loop measures served rankings asynchronously to
+obtain labels.  On a real installation that probing competes with the
+machine's actual workload, so it must run under an explicit budget — so
+many evaluations and so many simulated seconds per window, never more.
+:class:`BudgetedMachine` wraps a :class:`SimulatedMachine` and enforces
+exactly that: measurement calls that would exceed the remaining budget
+raise :class:`MeasurementBudgetExceeded` (or return ``None`` from the
+``try_`` variants) *before* charging anything, so a probe either runs in
+full or not at all — no partially charged batches.
+
+The wrapper keeps its own counters (the underlying machine may be shared
+with other consumers) and can be refilled per collection window with
+:meth:`refill`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.machine.executor import BatchMeasurement, SimulatedMachine
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+
+__all__ = ["BudgetedMachine", "MeasurementBudgetExceeded"]
+
+
+class MeasurementBudgetExceeded(RuntimeError):
+    """A measurement was requested beyond the configured probing budget."""
+
+
+class BudgetedMachine:
+    """A measurement budget enforced in front of a :class:`SimulatedMachine`.
+
+    ``max_evaluations`` caps the number of (tuning, instance) evaluations;
+    ``max_wall_s`` caps the *simulated* testbed seconds those evaluations
+    would consume.  Either may be ``None`` (unlimited).
+    """
+
+    def __init__(
+        self,
+        machine: SimulatedMachine,
+        max_evaluations: "int | None" = None,
+        max_wall_s: "float | None" = None,
+    ) -> None:
+        if max_evaluations is not None and max_evaluations < 0:
+            raise ValueError(f"max_evaluations must be >= 0, got {max_evaluations}")
+        if max_wall_s is not None and max_wall_s < 0:
+            raise ValueError(f"max_wall_s must be >= 0, got {max_wall_s}")
+        self.machine = machine
+        self.max_evaluations = max_evaluations
+        self.max_wall_s = max_wall_s
+        self.spent_evaluations = 0
+        self.spent_wall_s = 0.0
+        #: probes refused because the budget would have been exceeded
+        self.refused = 0
+
+    # -- budget arithmetic -----------------------------------------------------
+
+    @property
+    def remaining_evaluations(self) -> "int | None":
+        """Evaluations left in the budget (None = unlimited)."""
+        if self.max_evaluations is None:
+            return None
+        return max(0, self.max_evaluations - self.spent_evaluations)
+
+    @property
+    def remaining_wall_s(self) -> "float | None":
+        """Simulated seconds left in the budget (None = unlimited)."""
+        if self.max_wall_s is None:
+            return None
+        return max(0.0, self.max_wall_s - self.spent_wall_s)
+
+    def _fits(
+        self,
+        evaluations_left: "int | None",
+        wall_left: "float | None",
+        instance: StencilInstance,
+        tunings: Sequence[TuningVector],
+        repeats: int,
+    ) -> bool:
+        """Whether this batch fits the given allowances (None = unlimited).
+
+        The wall-clock check prices the batch through the machine's cost
+        model — cached and noise-free, so repeated pricing of the same
+        batch costs dictionary lookups.
+        """
+        if evaluations_left is not None and len(tunings) > evaluations_left:
+            return False
+        if wall_left is not None:
+            cost = float(
+                self.machine.wall_clock_costs(instance, list(tunings), repeats).sum()
+            )
+            if cost > wall_left + 1e-12:
+                return False
+        return True
+
+    def affordable(
+        self,
+        instance: StencilInstance,
+        tunings: Sequence[TuningVector],
+        repeats: int = 3,
+    ) -> bool:
+        """Whether measuring this batch fits the *remaining* budget."""
+        return self._fits(
+            self.remaining_evaluations, self.remaining_wall_s, instance, tunings, repeats
+        )
+
+    def ever_affordable(
+        self,
+        instance: StencilInstance,
+        tunings: Sequence[TuningVector],
+        repeats: int = 3,
+    ) -> bool:
+        """Whether this batch could fit a *fresh* (fully refilled) budget.
+
+        Distinguishes "wait for the next refill" from "will never fit":
+        consumers use it to drop impossible probes instead of stalling
+        head-of-line behind them forever.
+        """
+        return self._fits(
+            self.max_evaluations, self.max_wall_s, instance, tunings, repeats
+        )
+
+    def refill(
+        self,
+        max_evaluations: "int | None" = None,
+        max_wall_s: "float | None" = None,
+    ) -> None:
+        """Reset spent counters for a new collection window.
+
+        New caps may be supplied; omitted ones keep their current value.
+        """
+        if max_evaluations is not None:
+            self.max_evaluations = max_evaluations
+        if max_wall_s is not None:
+            self.max_wall_s = max_wall_s
+        self.spent_evaluations = 0
+        self.spent_wall_s = 0.0
+
+    # -- measurement -----------------------------------------------------------
+
+    def measure_batch(
+        self,
+        instance: StencilInstance,
+        tunings: Sequence[TuningVector],
+        repeats: int = 3,
+    ) -> BatchMeasurement:
+        """Measure a batch, charging the budget; raises if it does not fit."""
+        result = self.try_measure_batch(instance, tunings, repeats)
+        if result is None:
+            raise MeasurementBudgetExceeded(
+                f"measuring {len(tunings)} tunings (repeats={repeats}) exceeds the "
+                f"remaining budget ({self.remaining_evaluations} evaluations, "
+                f"{self.remaining_wall_s} simulated s)"
+            )
+        return result
+
+    def try_measure_batch(
+        self,
+        instance: StencilInstance,
+        tunings: Sequence[TuningVector],
+        repeats: int = 3,
+    ) -> "BatchMeasurement | None":
+        """Measure a batch if the budget allows; ``None`` if it does not.
+
+        All-or-nothing: a batch that does not fit charges nothing (it only
+        counts toward :attr:`refused`).
+        """
+        if not self.affordable(instance, tunings, repeats):
+            self.refused += 1
+            return None
+        wall_before = self.machine.simulated_wall_s
+        result = self.machine.measure_batch(instance, list(tunings), repeats=repeats)
+        self.spent_evaluations += len(tunings)
+        self.spent_wall_s += self.machine.simulated_wall_s - wall_before
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BudgetedMachine(spent={self.spent_evaluations}"
+            f"/{self.max_evaluations} evals, "
+            f"{self.spent_wall_s:.1f}/{self.max_wall_s} sim s)"
+        )

@@ -1,0 +1,65 @@
+"""Continual learning: the loop from serving back into training.
+
+The paper trains its ordinal tuner once on a synthetic corpus and freezes
+it.  A production ranking service cannot: traffic drifts, and every served
+ranking is itself a free label — execute a few of the ranked candidates
+and the observed runtimes grade (and retrain) the model.  This package
+closes that loop around :mod:`repro.service`:
+
+* :mod:`repro.online.feedback` — :class:`FeedbackCollector`: records
+  served rankings via the service's response-hook API and measures
+  rank-stratified ground-truth probes on a budgeted background machine;
+* :mod:`repro.online.drift` — :class:`DriftMonitor`: rolling Kendall τ
+  per stencil family plus instance-feature shift vs the training
+  fingerprint;
+* :mod:`repro.online.trainer` — :class:`IncrementalTrainer`: merges
+  feedback (recency/importance-weighted) with the offline corpus and fits
+  a candidate model, warm-started from production weights;
+* :mod:`repro.online.shadow` — :class:`ShadowEvaluator`: candidate vs
+  production on held-out feedback, before anything serves;
+* :mod:`repro.online.promotion` — :class:`PromotionPolicy`: shadow-gated
+  publication, atomic serving-tag move, one-call rollback;
+* :mod:`repro.online.pipeline` — :class:`ContinualLearningPipeline`: the
+  orchestrated loop, pulled forward by ``step()`` calls off the serving
+  path;
+* :mod:`repro.online.workload` — :class:`DriftingWorkload`: deterministic
+  drifting request streams for tests, the example and the benchmark.
+
+See ``docs/continual_learning.md`` for the architecture and
+``examples/continual_tuning.py`` for a runnable end-to-end episode.
+"""
+
+from repro.online.drift import DriftMonitor, DriftReport, instance_feature_slice
+from repro.online.feedback import (
+    FeedbackCollector,
+    MeasuredFeedback,
+    ServedRecord,
+    probe_ranks,
+    stencil_family,
+)
+from repro.online.pipeline import ContinualConfig, ContinualLearningPipeline
+from repro.online.promotion import PromotionDecision, PromotionPolicy
+from repro.online.shadow import ShadowEvaluator, ShadowReport, mean_model_tau
+from repro.online.trainer import IncrementalTrainer
+from repro.online.workload import DriftingWorkload, family_kernels
+
+__all__ = [
+    "ContinualConfig",
+    "ContinualLearningPipeline",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftingWorkload",
+    "FeedbackCollector",
+    "IncrementalTrainer",
+    "MeasuredFeedback",
+    "PromotionDecision",
+    "PromotionPolicy",
+    "ServedRecord",
+    "ShadowEvaluator",
+    "ShadowReport",
+    "family_kernels",
+    "instance_feature_slice",
+    "mean_model_tau",
+    "probe_ranks",
+    "stencil_family",
+]

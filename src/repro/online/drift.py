@@ -1,0 +1,219 @@
+"""Drift detection: when does the serving model need retraining?
+
+Two complementary signals, both cheap and both computed from the measured
+feedback stream:
+
+* **Ranking-quality drift** — the rolling Kendall τ of served rankings
+  against measured truth, tracked **per stencil family**.  A global mean
+  hides a new family arriving badly ranked behind a majority of well-known
+  traffic; per-family windows catch exactly the "unseen shape shows up"
+  failure mode the transfer-learning literature warns about.
+* **Feature-distribution shift** — the mean absolute z-score of the served
+  instances' scalar features (dimensionality, sizes, radius, points, …)
+  against the *training fingerprint*: the per-feature mean/std of the
+  corpus the serving model was fitted on.  This fires even while ranking
+  quality still looks fine — a leading indicator that traffic left the
+  training distribution.
+
+:class:`DriftMonitor` keeps a bounded observation window, so a long-lived
+service judges *recent* traffic; :meth:`DriftMonitor.report` condenses the
+window into a :class:`DriftReport` with the triggered reasons spelled out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autotune.dataset import TrainingSet
+from repro.features.encoder import FeatureEncoder
+from repro.online.feedback import MeasuredFeedback
+from repro.ranking.partial import RankingGroups
+
+__all__ = ["DriftMonitor", "DriftReport", "instance_feature_slice"]
+
+
+def instance_feature_slice(encoder: FeatureEncoder) -> slice:
+    """Columns of the encoded matrix holding the 9 instance scalars.
+
+    Derived from the encoder's published layout (pattern block, instance
+    scalars, tuning block, interactions), so it stays correct for encoders
+    with the pattern or interaction blocks disabled.
+    """
+    start = encoder.num_features - encoder.N_INSTANCE - encoder.N_TUNING
+    if encoder.interactions:
+        start -= encoder.N_TUNING * encoder.N_DESCRIPTOR
+    return slice(start, start + encoder.N_INSTANCE)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift assessment over the monitor's current window."""
+
+    drifted: bool
+    #: human-readable trigger descriptions (empty when not drifted)
+    reasons: tuple[str, ...]
+    #: rolling mean τ per stencil family (families with ≥ 1 observation)
+    family_tau: dict[str, float]
+    #: rolling mean τ over the whole window (0.0 when empty)
+    overall_tau: float
+    #: mean |z| of window instance features vs the training fingerprint
+    feature_shift: float
+    n_observations: int
+
+
+@dataclass
+class DriftMonitor:
+    """Rolling ranking-quality and feature-shift watcher.
+
+    ``tau_threshold`` — a family whose rolling mean τ (over ≥
+    ``min_family_samples`` observations) falls below this triggers drift.
+    ``shift_threshold`` — mean |z| of instance features vs the training
+    fingerprint above this triggers drift.  ``window`` bounds how much
+    history ever matters.
+    """
+
+    encoder: FeatureEncoder = field(default_factory=FeatureEncoder)
+    window: int = 64
+    tau_threshold: float = 0.55
+    shift_threshold: float = 2.0
+    min_family_samples: int = 4
+    _observations: "deque[tuple[str, float, np.ndarray]]" = field(
+        init=False, repr=False
+    )
+    _ref_mean: "np.ndarray | None" = field(init=False, default=None, repr=False)
+    _ref_std: "np.ndarray | None" = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        self._observations = deque(maxlen=self.window)
+
+    # -- training fingerprint --------------------------------------------------
+
+    def fit_reference(self, corpus: "TrainingSet | RankingGroups") -> "DriftMonitor":
+        """Record a training corpus's instance-feature fingerprint.
+
+        The fingerprint is the per-feature mean/std of the instance-scalar
+        columns of the (already encoded) corpus — rows are weighted by
+        measured points per instance, exactly as the model's constraints
+        were.  Accepts the offline :class:`TrainingSet` (initial fit) or a
+        merged :class:`~repro.ranking.partial.RankingGroups` corpus — after
+        a promotion the reference must be *refit* to what the new model was
+        actually trained on, otherwise a permanent traffic shift keeps the
+        shift signal latched and triggers retraining forever.
+        """
+        if isinstance(corpus, TrainingSet):
+            if (
+                corpus.encoder_fingerprint
+                and corpus.encoder_fingerprint != self.encoder.fingerprint()
+            ):
+                raise ValueError(
+                    f"training set was encoded with "
+                    f"{corpus.encoder_fingerprint!r}, monitor encoder is "
+                    f"{self.encoder.fingerprint()!r}"
+                )
+            X = corpus.data.X
+        else:
+            X = corpus.X
+        cols = X[:, instance_feature_slice(self.encoder)]
+        self._ref_mean = cols.mean(axis=0)
+        self._ref_std = cols.std(axis=0)
+        return self
+
+    @property
+    def reference(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        """The current fingerprint as an opaque ``(mean, std)`` snapshot.
+
+        Save it before refitting for a promotion; assigning it back
+        restores the fingerprint when the promotion is rolled back (the
+        restored model's training distribution is the old one).
+        """
+        if self._ref_mean is None:
+            return None
+        return self._ref_mean, self._ref_std
+
+    @reference.setter
+    def reference(self, ref: "tuple[np.ndarray, np.ndarray] | None") -> None:
+        if ref is None:
+            self._ref_mean = self._ref_std = None
+        else:
+            self._ref_mean, self._ref_std = ref
+
+    # -- observation -----------------------------------------------------------
+
+    def observe(self, feedback: MeasuredFeedback) -> None:
+        """Fold one measured record into the rolling window."""
+        features = self.encoder.instance_features(feedback.instance)
+        self._observations.append((feedback.family, feedback.tau, features))
+
+    def reset(self) -> None:
+        """Clear the window (e.g. after promoting a new model, so stale
+        observations of the previous model don't re-trigger drift)."""
+        self._observations.clear()
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)
+
+    # -- signals ---------------------------------------------------------------
+
+    def family_tau(self) -> dict[str, float]:
+        """Rolling mean τ per family over the window."""
+        sums: dict[str, list[float]] = {}
+        for family, tau, _ in self._observations:
+            sums.setdefault(family, []).append(tau)
+        return {family: float(np.mean(taus)) for family, taus in sums.items()}
+
+    def overall_tau(self) -> float:
+        """Rolling mean τ over the whole window (0.0 when empty)."""
+        if not self._observations:
+            return 0.0
+        return float(np.mean([tau for _, tau, _ in self._observations]))
+
+    def feature_shift(self) -> float:
+        """Mean |z| of the window's instance features vs the fingerprint.
+
+        0.0 until both a fingerprint and at least one observation exist.
+        """
+        if self._ref_mean is None or not self._observations:
+            return 0.0
+        feats = np.stack([f for _, _, f in self._observations])
+        # instance scalars live in [0, 1]; flooring the scale keeps a
+        # zero-variance reference column (e.g. a 3-D-only corpus's dims
+        # flag) from turning one out-of-support request into an astronomic
+        # z that latches drift — deviation on a constant feature still
+        # registers strongly (0.5 off → z = 10), just finitely
+        scale = np.maximum(self._ref_std, 0.05)
+        z = np.abs(feats.mean(axis=0) - self._ref_mean) / scale
+        return float(z.mean())
+
+    def report(self) -> DriftReport:
+        """Assess the current window against both thresholds."""
+        family_tau = self.family_tau()
+        counts: dict[str, int] = {}
+        for family, _, _ in self._observations:
+            counts[family] = counts.get(family, 0) + 1
+        reasons: list[str] = []
+        for family, tau in sorted(family_tau.items()):
+            if counts[family] >= self.min_family_samples and tau < self.tau_threshold:
+                reasons.append(
+                    f"family {family!r}: rolling tau {tau:.3f} < "
+                    f"{self.tau_threshold} over {counts[family]} records"
+                )
+        shift = self.feature_shift()
+        if shift > self.shift_threshold:
+            reasons.append(
+                f"instance feature shift {shift:.2f} > {self.shift_threshold} "
+                f"vs training fingerprint"
+            )
+        return DriftReport(
+            drifted=bool(reasons),
+            reasons=tuple(reasons),
+            family_tau=family_tau,
+            overall_tau=self.overall_tau(),
+            feature_shift=shift,
+            n_observations=len(self._observations),
+        )

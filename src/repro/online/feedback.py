@@ -1,0 +1,304 @@
+"""Feedback collection: turning served rankings into labeled training data.
+
+Every ranking the service answers is a *prediction* whose ground truth is
+one measurement away: execute a handful of the ranked candidates and the
+observed runtimes grade the served ordering.  The collector implements the
+first half of the continual-learning loop:
+
+1. :meth:`FeedbackCollector.hook` rides the tuning service's response-hook
+   API and records served ``(instance, candidates, scores, model version)``
+   traffic — an O(1) append on the serving loop, nothing else;
+2. :meth:`FeedbackCollector.measure_pending` later (asynchronously, off the
+   serving path) probes a rank-stratified subset of each recorded candidate
+   set on a **budgeted** background machine
+   (:class:`~repro.machine.budget.BudgetedMachine`) and emits
+   :class:`MeasuredFeedback` — probed tunings, served scores, measured
+   truth, and the Kendall τ between them.
+
+Measured feedback is both the drift signal (τ per stencil family, feature
+shift) and the incremental training data (each record is one new ranking
+group).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.machine.budget import BudgetedMachine
+from repro.ranking.kendall import kendall_tau
+from repro.stencil.execution import instance_hash
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+from repro.util.rng import spawn
+
+__all__ = [
+    "FeedbackCollector",
+    "MeasuredFeedback",
+    "ServedRecord",
+    "probe_ranks",
+    "stencil_family",
+]
+
+
+def stencil_family(kernel_name: str) -> str:
+    """The shape-family label of a kernel name.
+
+    Kernel names throughout the repo lead with the family (``laplacian-…``,
+    ``hypercube-3d-r2-float``), with training codes prefixed ``train-``.
+    Unrecognized names fall back to their first dash-token, which keeps the
+    per-family drift bookkeeping total (every kernel lands somewhere).
+
+    >>> stencil_family("train-hypercube-3d-r2-float")
+    'hypercube'
+    >>> stencil_family("laplacian")
+    'laplacian'
+    """
+    name = kernel_name.removeprefix("train-")
+    return name.split("-", 1)[0]
+
+
+def probe_ranks(n_candidates: int, probe_size: int) -> np.ndarray:
+    """Rank positions to probe: evenly spaced through the served ordering.
+
+    Stratifying by served rank (best, worst and evenly between) is what
+    makes a small probe informative about the *whole* ordering — probing
+    only the top would grade just the head, and a uniform random subset
+    wastes probes on indistinguishable mid-field neighbours.
+
+    >>> probe_ranks(9, 3).tolist()
+    [0, 4, 8]
+    >>> probe_ranks(4, 16).tolist()
+    [0, 1, 2, 3]
+    """
+    if probe_size >= n_candidates:
+        return np.arange(n_candidates)
+    return np.unique(np.round(np.linspace(0, n_candidates - 1, probe_size)).astype(int))
+
+
+@dataclass(frozen=True)
+class ServedRecord:
+    """One served ranking awaiting ground-truth measurement."""
+
+    seq: int
+    instance: StencilInstance
+    #: the request's candidates (shared reference; never mutated)
+    candidates: Sequence[TuningVector]
+    #: model scores aligned with ``candidates``
+    scores: np.ndarray
+    model_version: str
+
+
+@dataclass(frozen=True)
+class MeasuredFeedback:
+    """A served ranking graded against measured truth.
+
+    ``tunings`` is the probed (rank-stratified) subset of the candidate
+    set; ``served_scores`` the model's scores for exactly those tunings;
+    ``true_times`` the measured medians.  ``tau`` grades the served
+    ordering of the probed subset: +1 means the service ranked it exactly
+    as the machine runs it.
+    """
+
+    seq: int
+    instance: StencilInstance
+    family: str
+    model_version: str
+    tunings: tuple[TuningVector, ...]
+    served_scores: np.ndarray
+    true_times: np.ndarray
+    tau: float
+
+    def __len__(self) -> int:
+        return len(self.tunings)
+
+
+class FeedbackCollector:
+    """Records served rankings and measures ground truth under a budget.
+
+    Usage::
+
+        collector = FeedbackCollector(BudgetedMachine(machine, 2000))
+        collector.attach(service)
+        ...                       # serve traffic
+        new = collector.measure_pending(limit=8)   # off the serving path
+    """
+
+    def __init__(
+        self,
+        machine: BudgetedMachine,
+        probe_size: int = 16,
+        repeats: int = 3,
+        max_pending: int = 1024,
+        max_measured: int = 4096,
+        dedupe: bool = True,
+        probe_mode: str = "stratified",
+        probe_seed: int = 0,
+        max_seen: int = 16384,
+    ) -> None:
+        if probe_size < 2:
+            raise ValueError(f"probe_size must be >= 2, got {probe_size}")
+        if probe_mode not in ("stratified", "uniform"):
+            raise ValueError(
+                f"unknown probe_mode {probe_mode!r}; expected stratified/uniform"
+            )
+        self.machine = machine
+        self.probe_size = probe_size
+        self.repeats = repeats
+        self.dedupe = dedupe
+        self.probe_mode = probe_mode
+        self.probe_seed = probe_seed
+        self._pending: deque[ServedRecord] = deque()
+        self.max_pending = max_pending
+        #: measured feedback, oldest first (bounded; old windows age out)
+        self.measured: deque[MeasuredFeedback] = deque(maxlen=max_measured)
+        self._seq = 0
+        #: (instance hash, model version) pairs already recorded — an
+        #: insertion-ordered dict used as a bounded set: oldest keys are
+        #: evicted past ``max_seen``, so a long-lived service's dedupe
+        #: memory cannot grow without bound (an evicted instance simply
+        #: becomes measurable again)
+        self._seen: dict[tuple[int, str], None] = {}
+        self.max_seen = max_seen
+        self.dropped_overflow = 0
+        self.dropped_unaffordable = 0
+        self.skipped_repeats = 0
+
+    # -- recording (runs on the serving loop; must stay cheap) -----------------
+
+    def hook(self, instance: StencilInstance, candidates, response) -> None:
+        """Service response hook: queue one served ranking for measurement."""
+        if self.dedupe:
+            key = (instance_hash(instance), response.model_version)
+            if key in self._seen:
+                self.skipped_repeats += 1
+                return
+            self._seen[key] = None
+            while len(self._seen) > self.max_seen:
+                del self._seen[next(iter(self._seen))]
+        if len(self._pending) >= self.max_pending:
+            dropped = self._pending.popleft()
+            self.dropped_overflow += 1
+            # a dropped record was never measured: forget it was seen so
+            # a future serve of the same instance can still be probed
+            self._seen.pop(
+                (instance_hash(dropped.instance), dropped.model_version), None
+            )
+        self._pending.append(
+            ServedRecord(
+                seq=self._seq,
+                instance=instance,
+                candidates=candidates,
+                scores=np.asarray(response.scores),
+                model_version=response.model_version,
+            )
+        )
+        self._seq += 1
+
+    def attach(self, service) -> "FeedbackCollector":
+        """Register the hook on a :class:`~repro.service.TuningService`."""
+        service.add_response_hook(self.hook)
+        return self
+
+    def detach(self, service) -> None:
+        """Unregister the hook."""
+        service.remove_response_hook(self.hook)
+
+    @property
+    def pending_count(self) -> int:
+        """Served records still awaiting ground-truth measurement."""
+        return len(self._pending)
+
+    # -- measurement (background; budgeted) ------------------------------------
+
+    def measure_pending(self, limit: "int | None" = None) -> list[MeasuredFeedback]:
+        """Measure up to ``limit`` queued records; returns the new feedback.
+
+        Records are processed oldest-first.  A record whose probe does not
+        fit the remaining measurement budget is *put back* and processing
+        stops — nothing is half-measured, and the record is retried after
+        the next :meth:`~repro.machine.budget.BudgetedMachine.refill`.
+        A probe that could not fit even a freshly refilled budget is
+        dropped instead (``dropped_unaffordable``) — waiting would stall
+        every record behind it forever.
+        """
+        out: list[MeasuredFeedback] = []
+        while self._pending and (limit is None or len(out) < limit):
+            record = self._pending.popleft()
+            picks = self._probe_picks(record)
+            tunings = tuple(record.candidates[int(i)] for i in picks)
+            result = self.machine.try_measure_batch(
+                record.instance, tunings, repeats=self.repeats
+            )
+            if result is None:
+                if self.machine.ever_affordable(
+                    record.instance, tunings, self.repeats
+                ):  # budget merely exhausted: retry after the next refill
+                    self._pending.appendleft(record)
+                    break
+                self.dropped_unaffordable += 1
+                # like the overflow drop: an unmeasured record must not
+                # block re-measuring its instance (the budget caps may be
+                # raised by a later refill)
+                self._seen.pop(
+                    (instance_hash(record.instance), record.model_version), None
+                )
+                continue
+            fb = self._grade(record, picks, tunings, result.medians)
+            self.measured.append(fb)
+            out.append(fb)
+        return out
+
+    def _probe_picks(self, record: ServedRecord) -> np.ndarray:
+        """Which candidate indices to measure for one record.
+
+        ``stratified`` (default) spreads probes evenly through the *served*
+        ordering — the most informative grading of one service's answers,
+        but the subset depends on the serving model, so τ values from two
+        different services are not directly comparable.  ``uniform`` draws
+        a subset seeded only by the instance, independent of any model:
+        two services replaying the same episode probe identical subsets,
+        which is what a fair adapting-vs-frozen comparison needs.
+        """
+        n = len(record.candidates)
+        if self.probe_mode == "uniform":
+            rng = spawn(self.probe_seed, "feedback-probe", instance_hash(record.instance))
+            if self.probe_size >= n:
+                return np.arange(n)
+            return np.sort(rng.choice(n, size=self.probe_size, replace=False))
+        order = np.argsort(-record.scores, kind="stable")
+        return order[probe_ranks(n, self.probe_size)]
+
+    def _grade(
+        self,
+        record: ServedRecord,
+        picks: np.ndarray,
+        tunings: tuple[TuningVector, ...],
+        truth: np.ndarray,
+    ) -> MeasuredFeedback:
+        served = record.scores[picks]
+        return MeasuredFeedback(
+            seq=record.seq,
+            instance=record.instance,
+            family=stencil_family(record.instance.kernel.name),
+            model_version=record.model_version,
+            tunings=tunings,
+            served_scores=np.asarray(served),
+            true_times=np.asarray(truth),
+            tau=kendall_tau(-served, truth),
+        )
+
+    def window(self, n: "int | None" = None) -> list[MeasuredFeedback]:
+        """The most recent ``n`` measured records (all if ``None``)."""
+        if n is None:
+            return list(self.measured)
+        return list(self.measured)[-n:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeedbackCollector(pending={len(self._pending)}, "
+            f"measured={len(self.measured)})"
+        )

@@ -1,0 +1,257 @@
+"""The continual-learning loop: serve → collect → detect → retrain →
+shadow-evaluate → promote (→ roll back).
+
+:class:`ContinualLearningPipeline` wires the pieces of :mod:`repro.online`
+around a running :class:`~repro.service.TuningService`:
+
+* the :class:`~repro.online.feedback.FeedbackCollector` hooks the
+  service's responses and measures ground truth under a budget;
+* each :meth:`step` folds new measurements into the
+  :class:`~repro.online.drift.DriftMonitor`;
+* when the monitor reports drift (and enough feedback exists, and the
+  cooldown has passed), the :class:`~repro.online.trainer.IncrementalTrainer`
+  fits a candidate (warm-started from production), the
+  :class:`~repro.online.shadow.ShadowEvaluator` grades it on an interleaved
+  *held-out* split, and the :class:`~repro.online.promotion.PromotionPolicy`
+  decides; a promotion is one atomic registry tag move that the serving
+  layer hot-swaps onto at its next batch;
+* after every promotion the pipeline watches the promoted version's live
+  τ; if it falls materially below the displaced model's shadow τ, the
+  promotion is rolled back in one call.
+
+``step()`` is deliberately a *pull*: the embedding application decides when
+background work may run (between request waves, on a timer, in a worker).
+Nothing in the pipeline blocks the serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.online.drift import DriftMonitor, DriftReport
+from repro.online.feedback import FeedbackCollector, MeasuredFeedback
+from repro.online.promotion import PromotionDecision, PromotionPolicy
+from repro.online.shadow import ShadowEvaluator
+from repro.online.trainer import IncrementalTrainer
+from repro.service.registry import LATEST
+from repro.service.server import TuningService
+
+__all__ = ["ContinualConfig", "ContinualLearningPipeline"]
+
+
+@dataclass(frozen=True)
+class ContinualConfig:
+    """Knobs of the background loop (all counts are in records/steps)."""
+
+    #: ground-truth probes measured per step() call
+    measure_per_step: int = 8
+    #: minimum measured records before a retrain is considered
+    min_feedback_to_train: int = 12
+    #: every ``holdout_stride``-th record (newest first) is held out of
+    #: training and reserved for shadow evaluation
+    holdout_stride: int = 3
+    #: steps that must pass between retrain attempts
+    retrain_cooldown_steps: int = 2
+    #: post-promotion live τ this far below the displaced model's shadow τ
+    #: triggers rollback
+    rollback_margin: float = 0.15
+    #: live records of the promoted version needed before judging it
+    rollback_min_records: int = 6
+    #: registry retention after each promotion (None = never gc)
+    gc_keep_last: "int | None" = 8
+
+    def __post_init__(self) -> None:
+        if self.holdout_stride < 2:
+            raise ValueError(
+                f"holdout_stride must be >= 2 (some records must train), "
+                f"got {self.holdout_stride}"
+            )
+
+
+class ContinualLearningPipeline:
+    """Orchestrates the closed loop from serving back into training."""
+
+    def __init__(
+        self,
+        service: TuningService,
+        collector: FeedbackCollector,
+        monitor: DriftMonitor,
+        trainer: IncrementalTrainer,
+        evaluator: ShadowEvaluator,
+        policy: PromotionPolicy,
+        config: ContinualConfig = ContinualConfig(),
+    ) -> None:
+        self.service = service
+        self.collector = collector
+        self.monitor = monitor
+        self.trainer = trainer
+        self.evaluator = evaluator
+        self.policy = policy
+        self.config = config
+        #: chronological log of retrain/promotion/rejection/rollback events
+        self.events: list[dict] = []
+        self._steps_since_retrain = config.retrain_cooldown_steps + 1
+        #: post-promotion watch: {"version", "baseline", "taus"}
+        self._watch: "dict | None" = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self) -> "ContinualLearningPipeline":
+        """Hook the collector into the service's response stream."""
+        self.collector.attach(self.service)
+        return self
+
+    def detach(self) -> None:
+        """Unhook from the service (pending feedback is kept)."""
+        self.collector.detach(self.service)
+
+    # -- event accounting ------------------------------------------------------
+
+    def _count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e["type"] == kind)
+
+    @property
+    def retrain_count(self) -> int:
+        return self._count("retrain")
+
+    @property
+    def promotion_count(self) -> int:
+        return sum(1 for e in self.events if e["type"] == "retrain" and e["promoted"])
+
+    @property
+    def rollback_count(self) -> int:
+        return self._count("rollback")
+
+    # -- the loop --------------------------------------------------------------
+
+    def step(self) -> DriftReport:
+        """One background iteration: measure, monitor, maybe retrain.
+
+        Returns the drift report the retrain decision was based on.
+        """
+        new = self.collector.measure_pending(limit=self.config.measure_per_step)
+        # measurement lags serving: records of an already displaced model
+        # may arrive after a promotion, and their (old-model) τ must not
+        # be judged against the new one — observe only the current version
+        current = self.policy.current_version()
+        for fb in new:
+            if current is None or fb.model_version == current:
+                self.monitor.observe(fb)
+        self._maybe_rollback(new)
+        report = self.monitor.report()
+        self._steps_since_retrain += 1
+        if (
+            report.drifted
+            and self._watch is None  # let a fresh promotion prove itself first
+            and self._steps_since_retrain > self.config.retrain_cooldown_steps
+            and len(self.collector.measured) >= self.config.min_feedback_to_train
+        ):
+            self._retrain(report)
+            self._steps_since_retrain = 0
+        return report
+
+    # -- retraining ------------------------------------------------------------
+
+    def _split_holdout(
+        self, feedback: "list[MeasuredFeedback]"
+    ) -> "tuple[list[MeasuredFeedback], list[MeasuredFeedback]]":
+        """Interleaved train/holdout split, newest record always held out.
+
+        Counting strides from the *end* keeps the shadow window weighted
+        toward current traffic regardless of how much history exists, and
+        interleaving keeps both splits on the same distribution.
+        """
+        train: list[MeasuredFeedback] = []
+        hold: list[MeasuredFeedback] = []
+        for age, fb in enumerate(reversed(feedback)):
+            (hold if age % self.config.holdout_stride == 0 else train).append(fb)
+        train.reverse()
+        hold.reverse()
+        return train, hold
+
+    def _production_model(self):
+        fingerprint = self.trainer.encoder.fingerprint()
+        try:
+            return self.policy.registry.load(
+                self.policy.tag, expect_fingerprint=fingerprint
+            )
+        except KeyError:  # tag not created yet: fall back to newest
+            return self.policy.registry.load(LATEST, expect_fingerprint=fingerprint)
+
+    def _retrain(self, report: DriftReport) -> PromotionDecision:
+        production = self._production_model()
+        train, hold = self._split_holdout(self.collector.window())
+        candidate = self.trainer.train(train, warm_start=production)
+        shadow = self.evaluator.evaluate(candidate, production, hold)
+        decision = self.policy.consider(
+            candidate,
+            self.trainer.encoder.fingerprint(),
+            shadow,
+            note="continual retrain: " + "; ".join(report.reasons)[:300],
+        )
+        self.events.append(
+            {
+                "type": "retrain",
+                "reasons": list(report.reasons),
+                "n_train_records": len(train),
+                "n_holdout_records": len(hold),
+                "candidate_tau": shadow.candidate_tau,
+                "production_tau": shadow.production_tau,
+                "promoted": decision.promoted,
+                "version": decision.version,
+                "decision_reason": decision.reason,
+            }
+        )
+        if decision.promoted:
+            # fresh window: observations of the displaced model must not
+            # re-trigger drift against the new one — and the shift
+            # reference must now fingerprint what the *new* model was
+            # trained on, or a permanent traffic shift would keep the
+            # signal latched and retrain forever
+            self.monitor.reset()
+            previous_reference = self.monitor.reference
+            if self.trainer.last_corpus_ is not None:
+                self.monitor.fit_reference(self.trainer.last_corpus_)
+            self._watch = {
+                "version": decision.version,
+                "baseline": shadow.production_tau,
+                "taus": [],
+                # restored on rollback: the old model's training fingerprint
+                "reference": previous_reference,
+            }
+            if self.config.gc_keep_last is not None:
+                self.policy.registry.gc(keep_last=self.config.gc_keep_last)
+        return decision
+
+    # -- rollback --------------------------------------------------------------
+
+    def _maybe_rollback(self, new_feedback: "list[MeasuredFeedback]") -> None:
+        watch = self._watch
+        if watch is None:
+            return
+        watch["taus"].extend(
+            fb.tau for fb in new_feedback if fb.model_version == watch["version"]
+        )
+        if len(watch["taus"]) < self.config.rollback_min_records:
+            return
+        live_tau = float(np.mean(watch["taus"]))
+        if live_tau < watch["baseline"] - self.config.rollback_margin:
+            restored = self.policy.rollback()
+            self.monitor.reset()
+            if watch.get("reference") is not None:
+                # the restored model was trained on the *old* corpus; its
+                # fingerprint must come back too, or the shift signal would
+                # be judged against the demoted model's training data
+                self.monitor.reference = watch["reference"]
+            self.events.append(
+                {
+                    "type": "rollback",
+                    "demoted": watch["version"],
+                    "restored": restored,
+                    "live_tau": live_tau,
+                    "baseline_tau": watch["baseline"],
+                }
+            )
+        self._watch = None  # watch concluded either way

@@ -1,0 +1,146 @@
+"""Promotion: the only way a retrained model reaches the serving tag.
+
+The policy is the gate between shadow evaluation and production: a
+candidate is published and the serving tag moved **only** when the shadow
+report shows it beating the production model on enough held-out records.
+Tag moves ride :meth:`~repro.service.registry.ModelRegistry.tag` — an
+atomic, lock-guarded write that a serving
+:class:`~repro.service.TuningService` picks up at its next batch's tag
+re-resolution, so no request ever observes a torn model: every answer is
+computed end-to-end by exactly one version.
+
+Every promotion remembers the version it displaced, so
+:meth:`PromotionPolicy.rollback` restores the previous model in **one
+call** — the escape hatch when post-promotion drift worsens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.learn.ranksvm import RankSVM
+from repro.online.shadow import ShadowReport
+from repro.service.registry import ModelRegistry
+
+__all__ = ["PromotionDecision", "PromotionPolicy"]
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    """Outcome of one promotion consideration."""
+
+    promoted: bool
+    #: the newly serving version (None when not promoted)
+    version: "str | None"
+    #: the version serving before this decision (None for an empty tag)
+    previous: "str | None"
+    reason: str
+    shadow: ShadowReport
+
+
+class PromotionPolicy:
+    """Shadow-gated publication and tag movement, with one-call rollback."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        tag: str = "prod",
+        min_improvement: float = 0.0,
+        min_records: int = 4,
+    ) -> None:
+        if min_records < 1:
+            raise ValueError(f"min_records must be >= 1, got {min_records}")
+        self.registry = registry
+        self.tag = tag
+        self.min_improvement = min_improvement
+        self.min_records = min_records
+        #: the displaced version keeps this tag so retention gc (which
+        #: spares every tagged version) can never collect a rollback target
+        self.rollback_tag = f"{tag}-rollback"
+        #: (displaced version, promoted version) per promotion, oldest first
+        self.history: list[tuple["str | None", str]] = []
+
+    def current_version(self) -> "str | None":
+        """The version the serving tag resolves to (None for an empty tag)."""
+        try:
+            return self.registry.resolve(self.tag)
+        except KeyError:
+            return None
+
+    def consider(
+        self,
+        candidate: RankSVM,
+        encoder_fingerprint: str,
+        shadow: ShadowReport,
+        note: str = "",
+    ) -> PromotionDecision:
+        """Publish + move the tag iff the shadow report clears the bar."""
+        previous = self.current_version()
+        if shadow.n_records < self.min_records:
+            return PromotionDecision(
+                promoted=False,
+                version=None,
+                previous=previous,
+                reason=(
+                    f"insufficient shadow window: {shadow.n_records} records "
+                    f"< {self.min_records}"
+                ),
+                shadow=shadow,
+            )
+        if not shadow.candidate_wins(self.min_improvement):
+            return PromotionDecision(
+                promoted=False,
+                version=None,
+                previous=previous,
+                reason=(
+                    f"candidate tau {shadow.candidate_tau:.3f} does not clear "
+                    f"production {shadow.production_tau:.3f} "
+                    f"+ {self.min_improvement}"
+                ),
+                shadow=shadow,
+            )
+        version = self.registry.publish(
+            candidate, encoder_fingerprint, note=note or shadow.summary()
+        )
+        # protect the displaced version BEFORE moving the serving tag off
+        # it: the instant it is untagged, a concurrent gc could collect it
+        # and the rollback path would be gone while the new model serves
+        if previous is not None:
+            self.registry.tag(self.rollback_tag, previous)
+        self.registry.tag(self.tag, version)
+        self.history.append((previous, version))
+        return PromotionDecision(
+            promoted=True,
+            version=version,
+            previous=previous,
+            reason=shadow.summary(),
+            shadow=shadow,
+        )
+
+    def rollback(self) -> str:
+        """Restore the version displaced by the most recent promotion.
+
+        One atomic tag move; returns the version now serving.  Raises
+        :class:`RuntimeError` when there is nothing to roll back to — which
+        includes a history entry whose target has since been garbage-
+        collected: only the *most recent* displaced version is protected
+        from :meth:`~repro.service.registry.ModelRegistry.gc` (via
+        ``rollback_tag``), so rollback depth beyond one promotion is
+        best-effort under retention.
+        """
+        if not self.history:
+            raise RuntimeError("no promotion to roll back")
+        previous, _promoted = self.history.pop()
+        if previous is None:
+            raise RuntimeError(
+                "the last promotion created the tag; nothing to restore"
+            )
+        try:
+            self.registry.tag(self.tag, previous)
+        except KeyError:
+            self.history.append((previous, _promoted))  # undo the pop
+            raise RuntimeError(
+                f"rollback target {previous!r} no longer exists "
+                f"(garbage-collected by the retention policy)"
+            ) from None
+        return previous

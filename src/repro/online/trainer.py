@@ -1,0 +1,145 @@
+"""Incremental retraining: offline corpus + weighted serving feedback.
+
+The candidate model is never trained on feedback alone — a few dozen
+feedback records would catastrophically forget the synthetic families the
+offline corpus covers.  Instead the trainer assembles a merged corpus:
+
+* the **offline anchor** — the original training set, optionally
+  subsampled (:func:`repro.autotune.training.merge_corpus`) so a much
+  larger static corpus cannot drown out fresh traffic;
+* the **feedback groups** — each measured record becomes one ranking group
+  (runtimes are only comparable within one instance), encoded in a single
+  :meth:`~repro.features.encoder.FeatureEncoder.encode_many` pass across
+  all records;
+* **recency × importance weighting** — older records decay geometrically
+  (``decay ** age``), and records the serving model already ranked well
+  are relieved (a near-perfect τ carries little new constraint mass).
+  Weights act by per-group point subsampling
+  (:func:`~repro.autotune.training.reweight_groups`), the weighting
+  mechanism a pairwise ranker actually has.
+
+Fitting **warm-starts** from the production model's weight vector — the
+objective is convex so the optimum is unchanged, but the solver converges
+in a fraction of the iterations when the distribution moved incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autotune.dataset import TrainingSet
+from repro.autotune.training import merge_corpus, reweight_groups
+from repro.features.encoder import FeatureEncoder
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.online.feedback import MeasuredFeedback
+from repro.ranking.partial import RankingGroups
+
+__all__ = ["IncrementalTrainer"]
+
+
+@dataclass
+class IncrementalTrainer:
+    """Builds merged corpora and fits candidate models from feedback."""
+
+    offline: TrainingSet
+    encoder: FeatureEncoder = field(default_factory=FeatureEncoder)
+    config: RankSVMConfig = field(default_factory=RankSVMConfig)
+    #: subsample the offline corpus to ~this many points (None = keep all)
+    offline_points: "int | None" = None
+    #: recency decay per record of age (newest record has weight 1)
+    decay: float = 0.97
+    #: weight relief for records the model already ranks well: a record
+    #: with τ = 1 keeps ``1 - relief`` of its recency weight
+    relief: float = 0.4
+    #: most recent feedback records considered at all
+    max_feedback: int = 256
+    #: the merged corpus of the last :meth:`train` call (the pipeline
+    #: refits the drift monitor's reference fingerprint from it after a
+    #: promotion)
+    last_corpus_: "RankingGroups | None" = field(
+        init=False, default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+        if not 0.0 <= self.relief < 1.0:
+            raise ValueError(f"relief must be in [0, 1), got {self.relief}")
+        if (
+            self.offline.encoder_fingerprint
+            and self.offline.encoder_fingerprint != self.encoder.fingerprint()
+        ):
+            raise ValueError(
+                f"offline corpus was encoded with "
+                f"{self.offline.encoder_fingerprint!r}, trainer encoder is "
+                f"{self.encoder.fingerprint()!r}"
+            )
+
+    # -- corpus assembly -------------------------------------------------------
+
+    def feedback_groups(self, feedback: "list[MeasuredFeedback]") -> RankingGroups:
+        """Encode feedback records as ranking groups in one fused pass.
+
+        Group ids are the records' sequence numbers — unique per record,
+        remapped past the offline ids by :func:`merge_corpus`.
+        """
+        if not feedback:
+            return RankingGroups(
+                np.empty((0, self.encoder.num_features)),
+                np.empty(0),
+                np.empty(0, dtype=np.int64),
+            )
+        X = self.encoder.encode_many(
+            [(fb.instance, list(fb.tunings)) for fb in feedback]
+        )
+        times = np.concatenate([fb.true_times for fb in feedback])
+        groups = np.repeat(
+            np.array([fb.seq for fb in feedback], dtype=np.int64),
+            [len(fb) for fb in feedback],
+        )
+        return RankingGroups(X, times, groups)
+
+    def feedback_weights(
+        self, feedback: "list[MeasuredFeedback]"
+    ) -> "dict[object, float]":
+        """Recency × importance weight per record (keyed by group id)."""
+        n = len(feedback)
+        weights: dict[object, float] = {}
+        for age, fb in enumerate(reversed(feedback)):
+            recency = self.decay**age
+            importance = 1.0 - self.relief * max(0.0, fb.tau)
+            weights[fb.seq] = recency * importance
+        assert len(weights) == n
+        return weights
+
+    def build_corpus(self, feedback: "list[MeasuredFeedback]") -> RankingGroups:
+        """The merged, reweighted training corpus for one retraining round."""
+        recent = feedback[-self.max_feedback :]
+        groups = self.feedback_groups(recent)
+        weighted = reweight_groups(
+            groups, self.feedback_weights(recent), rng=self.config.seed
+        )
+        return merge_corpus(
+            self.offline, weighted, self.offline_points, seed=self.config.seed
+        )
+
+    # -- fitting ---------------------------------------------------------------
+
+    def train(
+        self,
+        feedback: "list[MeasuredFeedback]",
+        warm_start: "RankSVM | np.ndarray | None" = None,
+    ) -> RankSVM:
+        """Fit a candidate model on offline + feedback data.
+
+        ``warm_start`` may be the production model (its ``w_`` seeds the
+        solver) or a raw weight vector.
+        """
+        w0 = warm_start.w_ if isinstance(warm_start, RankSVM) else warm_start
+        corpus = self.build_corpus(feedback)
+        model = RankSVM(self.config)
+        model.fit(corpus, warm_start=w0)
+        self.last_corpus_ = corpus
+        return model

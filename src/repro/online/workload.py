@@ -1,0 +1,103 @@
+"""Synthetic drifting workloads for exercising the continual loop.
+
+A continual-learning pipeline is only testable against traffic whose
+distribution *moves*: :class:`DriftingWorkload` emits a deterministic
+stream of ranking requests whose stencil-family mix switches at a known
+request index — e.g. line/laplacian traffic (the families an offline
+corpus was trained on) giving way to hypercube/hyperplane shapes the
+serving model has never seen.  The end-to-end tests, the example and
+``benchmarks/bench_online.py`` all drive this stream.
+
+:func:`family_kernels` filters the paper's 60-code training corpus down to
+chosen families, which is how the deliberately *partial* offline corpus
+(the "frozen model" that drift will expose) is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.autotune.training import generate_training_kernels
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import TRAINING_SHAPES
+from repro.tuning.space import patus_space
+from repro.tuning.vector import TuningVector
+from repro.util.rng import spawn
+
+__all__ = ["DriftingWorkload", "family_kernels"]
+
+
+def family_kernels(
+    families: "tuple[str, ...] | list[str]",
+) -> list[StencilKernel]:
+    """The training-corpus kernels belonging to the given shape families.
+
+    >>> names = {k.name for k in family_kernels(("line",))}
+    >>> all("-line-" in n for n in names) and len(names) > 0
+    True
+    """
+    unknown = set(families) - set(TRAINING_SHAPES)
+    if unknown:
+        raise ValueError(f"unknown families {sorted(unknown)}")
+    wanted = tuple(f"-{family}-" for family in families)
+    return [k for k in generate_training_kernels() if any(w in k.name for w in wanted)]
+
+
+@dataclass(frozen=True)
+class DriftingWorkload:
+    """A deterministic request stream whose family mix shifts mid-stream.
+
+    Requests ``0 .. shift_at-1`` draw instances from ``phase1`` families;
+    request ``shift_at`` onward draws from ``phase2``.  Every request is a
+    fresh ``(instance, candidate set)`` pair derived only from the seed and
+    the request index, so two consumers (an adapting service and a frozen
+    baseline) can replay the *identical* episode.
+    """
+
+    shift_at: int
+    phase1: tuple[str, ...] = ("line", "laplacian")
+    phase2: tuple[str, ...] = ("hypercube", "hyperplane")
+    dims: int = 3
+    radii: tuple[int, ...] = (1, 2, 3)
+    sizes: tuple[tuple[int, int, int], ...] = ((64, 64, 64), (128, 128, 128))
+    dtypes: tuple[str, ...] = ("float", "double")
+    candidates_per_request: int = 32
+    seed: int = 0
+
+    def families_at(self, i: int) -> tuple[str, ...]:
+        """The family mix in effect for request ``i``."""
+        return self.phase1 if i < self.shift_at else self.phase2
+
+    def request(self, i: int) -> tuple[StencilInstance, list[TuningVector]]:
+        """The ``i``-th request: one instance plus its candidate set."""
+        rng = spawn(self.seed, "drifting-workload", i)
+        families = self.families_at(i)
+        family = families[int(rng.integers(len(families)))]
+        radius = int(self.radii[int(rng.integers(len(self.radii)))])
+        size = self.sizes[int(rng.integers(len(self.sizes)))]
+        dtype = self.dtypes[int(rng.integers(len(self.dtypes)))]
+        pattern = TRAINING_SHAPES[family](self.dims, radius)
+        # explicit space_dims: a line pattern along x must not demote a
+        # 3-D kernel to the pattern's inferred dimensionality
+        kernel = StencilKernel(
+            f"{family}-{self.dims}d-r{radius}-{dtype}",
+            (pattern,),
+            dtype=dtype,
+            space_dims=self.dims,
+        )
+        if self.dims == 2:
+            size = (size[0], size[1], 1)
+        instance = StencilInstance(kernel, size)
+        candidates = patus_space(self.dims).random_vectors(
+            self.candidates_per_request, rng=rng
+        )
+        return instance, candidates
+
+    def stream(
+        self, n: int, start: int = 0
+    ) -> Iterator[tuple[StencilInstance, list[TuningVector]]]:
+        """Requests ``start .. start+n-1`` in order."""
+        for i in range(start, start + n):
+            yield self.request(i)

@@ -19,13 +19,20 @@ for a runnable end-to-end session.
 """
 
 from repro.service.batching import MicroBatcher
-from repro.service.cache import CachedRanking, RankingCache, candidate_set_hash
+from repro.service.cache import (
+    CachedRanking,
+    InternedCandidates,
+    RankingCache,
+    candidate_set_hash,
+    intern_candidates,
+)
 from repro.service.registry import ModelRegistry
 from repro.service.server import RankingResponse, TuningService
 from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
     "CachedRanking",
+    "InternedCandidates",
     "MicroBatcher",
     "ModelRegistry",
     "RankingCache",
@@ -33,4 +40,5 @@ __all__ = [
     "ServiceTelemetry",
     "TuningService",
     "candidate_set_hash",
+    "intern_candidates",
 ]

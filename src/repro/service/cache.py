@@ -23,7 +23,13 @@ from repro.stencil.execution import instance_hash
 from repro.stencil.instance import StencilInstance
 from repro.tuning.vector import TuningVector
 
-__all__ = ["CachedRanking", "RankingCache", "candidate_set_hash"]
+__all__ = [
+    "CachedRanking",
+    "InternedCandidates",
+    "RankingCache",
+    "candidate_set_hash",
+    "intern_candidates",
+]
 
 #: C-level attribute fetch for the hot per-request hashing loop
 _CONTENT_KEY = operator.attrgetter("content_key")
@@ -41,6 +47,37 @@ def candidate_set_hash(candidates: Sequence[TuningVector]) -> int:
     in-process cache they guard.)
     """
     return hash(("candidates", tuple(map(_CONTENT_KEY, candidates))))
+
+
+@dataclass(frozen=True)
+class InternedCandidates:
+    """A candidate set hashed **once** and reused across requests.
+
+    Clients that re-rank the same explicit candidate set for many instances
+    (a compiler driving one tuning space over a kernel suite, a sweep over
+    sizes) would otherwise pay :func:`candidate_set_hash` on every request.
+    Interning moves that cost to construction time: the service recognizes
+    the interned object and reuses the precomputed digest, exactly like its
+    own default preset sets.  The tuple is shared, never copied — responses
+    never mutate candidate lists.
+    """
+
+    candidates: tuple[TuningVector, ...]
+    content_hash: int
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+
+def intern_candidates(candidates: Sequence[TuningVector]) -> InternedCandidates:
+    """Intern an ordered candidate set for repeated service requests."""
+    if isinstance(candidates, InternedCandidates):
+        return candidates
+    frozen = tuple(candidates)
+    return InternedCandidates(frozen, candidate_set_hash(frozen))
 
 
 @dataclass(frozen=True)
@@ -64,6 +101,19 @@ class CachedRanking:
     def __post_init__(self) -> None:
         self.order.setflags(write=False)
         self.scores.setflags(write=False)
+
+    def materialize(self, candidates: Sequence[TuningVector]) -> list[TuningVector]:
+        """The full best-first list, built on first demand and memoized.
+
+        Entries created by top-k-only requests skip materializing the full
+        ranking; a later full-ranking request for the same key pays the
+        list build once, here, and every subsequent hit shares it.
+        """
+        if self.ranked is None:
+            object.__setattr__(
+                self, "ranked", [candidates[i] for i in self.order.tolist()]
+            )
+        return self.ranked
 
 
 class RankingCache:

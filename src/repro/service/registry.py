@@ -148,9 +148,12 @@ class ModelRegistry:
         """
         if _VERSION_RE.match(name) or name == LATEST:
             raise ValueError(f"tag name {name!r} is reserved")
-        version = self.resolve(ref)
         with open(self.root / "tags.lock", "w") as lock:
             fcntl.flock(lock, fcntl.LOCK_EX)
+            # resolve under the lock: gc() holds the same lock while it
+            # deletes, so the target cannot vanish between the existence
+            # check and the tag write (no dangling tags)
+            version = self.resolve(ref)
             tags = self.tags()
             tags[name] = version
             _atomic_write_json(self._tags_path, tags)
@@ -174,6 +177,38 @@ class ModelRegistry:
             f"unknown model reference {ref!r}; "
             f"versions: {self.versions()}, tags: {sorted(tags)}"
         )
+
+    # -- retention -------------------------------------------------------------
+
+    def gc(self, keep_last: int = 3, dry_run: bool = False) -> list[str]:
+        """Delete old, untagged versions; returns the (would-be) victims.
+
+        Retention policy: the newest ``keep_last`` versions and every
+        tagged version survive; everything else is removed.  Continual
+        promotion publishes a version per retraining round, so without gc
+        the store grows unboundedly — this is the bound.
+
+        * ``dry_run=True`` reports the victims without touching anything.
+        * Runs under the same advisory lock as :meth:`tag`, so a concurrent
+          ``tag()`` cannot grab a version mid-deletion, and gc never races
+          another gc.
+        * Metadata is deleted before the archive: a crash between the two
+          leaves an orphaned ``.npz``, which is unresolvable (resolution
+          goes through metadata) and — like claim files — keeps its id
+          burned, so version ids are never reused.
+        """
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        with open(self.root / "tags.lock", "w") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            versions = self.versions()
+            protected = set(versions[-keep_last:]) | set(self.tags().values())
+            victims = [v for v in versions if v not in protected]
+            if not dry_run:
+                for version in victims:
+                    (self.models_dir / f"{version}.json").unlink(missing_ok=True)
+                    (self.models_dir / f"{version}.npz").unlink(missing_ok=True)
+        return victims
 
     # -- loading ---------------------------------------------------------------
 

@@ -31,14 +31,19 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.features.encoder import FeatureEncoder
 from repro.learn.ranksvm import RankSVM
 from repro.service.batching import MicroBatcher
-from repro.service.cache import CachedRanking, RankingCache, candidate_set_hash
+from repro.service.cache import (
+    CachedRanking,
+    InternedCandidates,
+    RankingCache,
+    candidate_set_hash,
+)
 from repro.service.registry import LATEST, ModelRegistry
 from repro.service.telemetry import ServiceTelemetry
 from repro.stencil.execution import instance_hash
@@ -54,6 +59,7 @@ class RankingResponse:
     """One answered ranking query."""
 
     #: candidates best-first, exactly as ``rank_candidates`` would order them
+    #: (truncated to ``top_k`` entries when the request asked for top-k only)
     ranked: list[TuningVector]
     #: model scores aligned with the *request's* candidate order
     scores: np.ndarray
@@ -75,15 +81,17 @@ class _Pending:
     """A queued request plus its completion future."""
 
     instance: StencilInstance
-    candidates: list[TuningVector]
+    candidates: Sequence[TuningVector]
     model_ref: str
     future: "asyncio.Future[RankingResponse]"
     enqueued_at: float
     version: str = ""
     cache_key: "tuple[int, int, str] | None" = field(default=None, repr=False)
-    #: precomputed candidate-set hash (service-owned default sets skip
-    #: per-request digesting entirely)
+    #: precomputed candidate-set hash (service-owned default sets and
+    #: client-interned sets skip per-request digesting entirely)
     candidates_hash: "int | None" = field(default=None, repr=False)
+    #: answer with only the k best candidates (None = full ranking)
+    top_k: "int | None" = None
 
 
 class TuningService:
@@ -115,6 +123,13 @@ class TuningService:
         self._models: dict[str, RankSVM] = {}
         #: dims -> (shared preset list, its content hash), computed once
         self._default_sets: dict[int, tuple[list[TuningVector], int]] = {}
+        #: observers called with (instance, candidates, response) per answer
+        self._response_hooks: list[
+            Callable[[StencilInstance, Sequence[TuningVector], RankingResponse], None]
+        ] = []
+        #: exceptions swallowed from response hooks (serving never breaks)
+        self.hook_errors = 0
+        self.last_hook_error: "Exception | None" = None
         self._batcher = MicroBatcher(
             self._process_batch,
             max_batch_size=max_batch_size,
@@ -148,19 +163,34 @@ class TuningService:
     async def rank(
         self,
         instance: StencilInstance,
-        candidates: "Sequence[TuningVector] | None" = None,
+        candidates: "Sequence[TuningVector] | InternedCandidates | None" = None,
         model: "str | None" = None,
+        top_k: "int | None" = None,
     ) -> RankingResponse:
         """Rank a candidate set for an instance (defaults: presets, default model).
 
         Concurrent callers are transparently micro-batched; the awaited
         response carries the ordering, scores, serving model version and
         whether the ranking cache answered.
+
+        ``candidates`` may be a pre-interned set (see
+        :func:`~repro.service.cache.intern_candidates`) so repeat clients
+        pay the content hash once instead of per request.  ``top_k``
+        requests only the k best candidates in ``response.ranked`` — the
+        scoring work is identical, but a preset-sized best-first list is
+        never materialized; scores stay complete and aligned with the
+        request's candidate order.  Top-k and full-ranking requests share
+        cache entries (the key ignores ``top_k``; the entry stores the full
+        order).
         """
         if not self.running:
             raise RuntimeError("TuningService is not running; call start() first")
+        if top_k is not None and top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
         if candidates is None:
             candidates, candidates_hash = self._default_candidates(instance.dims)
+        elif isinstance(candidates, InternedCandidates):
+            candidates, candidates_hash = candidates.candidates, candidates.content_hash
         else:
             candidates, candidates_hash = list(candidates), None
         self.telemetry.record_request()
@@ -172,9 +202,46 @@ class TuningService:
             future=loop.create_future(),
             enqueued_at=loop.time(),
             candidates_hash=candidates_hash,
+            top_k=top_k,
         )
         await self._batcher.submit(pending)
         return await pending.future
+
+    # -- feedback hooks --------------------------------------------------------
+
+    def add_response_hook(
+        self,
+        hook: Callable[
+            [StencilInstance, Sequence[TuningVector], RankingResponse], None
+        ],
+    ) -> None:
+        """Register an observer called for every *successful* answer.
+
+        Hooks receive ``(instance, candidates, response)`` — candidates in
+        the request's order, aligned with ``response.scores`` — and run
+        synchronously on the serving loop, so they must be cheap (append to
+        a buffer; measure later).  This is the attachment point for the
+        continual-learning :class:`~repro.online.feedback.FeedbackCollector`.
+        A raising hook is counted (``hook_errors``) and detached from the
+        request path's outcome: serving never fails because observability
+        did.
+        """
+        self._response_hooks.append(hook)
+
+    def remove_response_hook(self, hook: Callable) -> None:
+        """Unregister a previously added response hook (no-op if absent)."""
+        try:
+            self._response_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _notify_hooks(self, req: "_Pending", response: RankingResponse) -> None:
+        for hook in self._response_hooks:
+            try:
+                hook(req.instance, req.candidates, response)
+            except Exception as exc:
+                self.hook_errors += 1
+                self.last_hook_error = exc
 
     def _default_candidates(self, dims: int) -> tuple[list[TuningVector], int]:
         """The paper's preset set for ``dims``, with its hash, memoized.
@@ -280,19 +347,7 @@ class TuningService:
         self.telemetry.record_scored(len(X))
         splits = np.cumsum([len(req.candidates) for req in reps])[:-1]
         for group, s in zip(unique.values(), np.split(scores, splits)):
-            order = np.argsort(-s, kind="stable")
-            rep = group[0]
-            entry = CachedRanking(
-                order=order,
-                scores=np.asarray(s),
-                model_version=version,
-                ranked=[rep.candidates[i] for i in order.tolist()],
-            )
-            self.cache.put(rep.cache_key, entry)
-            self._answer(rep, entry, cached=False)
-            for dup in group[1:]:
-                # route through get() so LRU recency and hit counters see it
-                self._answer(dup, self.cache.get(dup.cache_key), cached=True)
+            self._finish_group(version, group, s)
 
     def _score_isolated(
         self, model: RankSVM, version: str, group: list[_Pending]
@@ -307,16 +362,29 @@ class TuningService:
                 self._fail(req, exc)
             return
         self.telemetry.record_scored(len(X))
-        order = np.argsort(-s, kind="stable")
+        self._finish_group(version, group, s)
+
+    def _finish_group(
+        self, version: str, group: list[_Pending], scores: np.ndarray
+    ) -> None:
+        """Cache and answer one scored unique query (plus its duplicates).
+
+        The full best-first list is materialized into the entry only when
+        some request in the group wants the full ranking; pure top-k
+        groups leave it for a later full request to build lazily.
+        """
+        rep = group[0]
         entry = CachedRanking(
-            order=order,
-            scores=np.asarray(s),
+            order=np.argsort(-scores, kind="stable"),
+            scores=np.asarray(scores),
             model_version=version,
-            ranked=[rep.candidates[i] for i in order.tolist()],
         )
+        if any(req.top_k is None for req in group):
+            entry.materialize(rep.candidates)
         self.cache.put(rep.cache_key, entry)
         self._answer(rep, entry, cached=False)
         for dup in group[1:]:
+            # route through get() so LRU recency and hit counters see it
             self._answer(dup, self.cache.get(dup.cache_key), cached=True)
 
     def _model(self, version: str) -> RankSVM:
@@ -339,22 +407,27 @@ class TuningService:
             return
         latency = self._latency(req)
         self.telemetry.record_completion(latency)
-        # entries built by the service always carry the materialized
-        # ranking; callers get their own (shallow) copy
-        ranked = (
-            list(entry.ranked)
-            if entry.ranked is not None
-            else [req.candidates[i] for i in entry.order.tolist()]
-        )
-        req.future.set_result(
-            RankingResponse(
-                ranked=ranked,
-                scores=entry.scores,
-                model_version=entry.model_version,
-                cached=cached,
-                latency_s=latency,
+        if req.top_k is not None:
+            # top-k mode: never build the full list for this request —
+            # slice the memoized one if present, else pick from the order
+            ranked = (
+                entry.ranked[: req.top_k]
+                if entry.ranked is not None
+                else [req.candidates[i] for i in entry.order[: req.top_k].tolist()]
             )
+        else:
+            # full ranking: materialize into the entry once, share after
+            ranked = list(entry.materialize(req.candidates))
+        response = RankingResponse(
+            ranked=ranked,
+            scores=entry.scores,
+            model_version=entry.model_version,
+            cached=cached,
+            latency_s=latency,
         )
+        req.future.set_result(response)
+        if self._response_hooks:
+            self._notify_hooks(req, response)
 
     def _fail(self, req: _Pending, exc: Exception) -> None:
         if req.future.done():  # cancelled by the caller

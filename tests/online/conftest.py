@@ -1,0 +1,86 @@
+"""Shared fixtures for the continual-learning tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.autotune.training import TrainingSetBuilder
+from repro.machine.budget import BudgetedMachine
+from repro.machine.executor import SimulatedMachine
+from repro.online.feedback import FeedbackCollector, MeasuredFeedback, stencil_family
+from repro.online.workload import DriftingWorkload, family_kernels
+from repro.service.registry import ModelRegistry
+
+PHASE1 = ("line", "laplacian")
+PHASE2 = ("hypercube", "hyperplane")
+
+
+@pytest.fixture(scope="session")
+def phase1_training_set():
+    """An offline corpus deliberately restricted to two shape families."""
+    builder = TrainingSetBuilder(SimulatedMachine(seed=7), seed=7)
+    return builder.build(630, kernels=family_kernels(PHASE1))
+
+
+@pytest.fixture(scope="session")
+def phase1_tuner(phase1_training_set) -> OrdinalAutotuner:
+    """The frozen baseline trained on the partial corpus."""
+    return OrdinalAutotuner().train(phase1_training_set)
+
+
+@pytest.fixture()
+def online_registry(tmp_path, phase1_tuner) -> ModelRegistry:
+    """A registry seeded with the phase-1 model as v0001, tagged prod."""
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(
+        phase1_tuner.model, phase1_tuner.fingerprint(), tags=("prod",), note="seed"
+    )
+    return registry
+
+
+@pytest.fixture()
+def budgeted_machine() -> BudgetedMachine:
+    return BudgetedMachine(SimulatedMachine(seed=11), max_evaluations=4096)
+
+
+@pytest.fixture()
+def collector(budgeted_machine) -> FeedbackCollector:
+    return FeedbackCollector(budgeted_machine, probe_size=8)
+
+
+def make_feedback(
+    instance, machine: SimulatedMachine, seq=0, model_version="v0001", n=8, seed=0
+) -> MeasuredFeedback:
+    """A measured record with *real* encoder-compatible contents.
+
+    Served scores are drawn at random, so ``tau`` is whatever grading those
+    scores against the measured truth yields — tests that need a specific
+    τ overwrite the field via dataclasses.replace.
+    """
+    from repro.ranking.kendall import kendall_tau
+    from repro.tuning.space import patus_space
+    from repro.util.rng import spawn
+
+    rng = spawn(seed, "make-feedback", instance.label(), seq)
+    tunings = tuple(patus_space(instance.dims).random_vectors(n, rng=rng))
+    times = machine.measure_batch(instance, list(tunings)).medians
+    scores = rng.normal(size=n)
+    return MeasuredFeedback(
+        seq=seq,
+        instance=instance,
+        family=stencil_family(instance.kernel.name),
+        model_version=model_version,
+        tunings=tunings,
+        served_scores=scores,
+        true_times=np.asarray(times),
+        tau=kendall_tau(-scores, times),
+    )
+
+
+@pytest.fixture()
+def workload() -> DriftingWorkload:
+    return DriftingWorkload(
+        shift_at=24, phase1=PHASE1, phase2=PHASE2, seed=3, candidates_per_request=24
+    )

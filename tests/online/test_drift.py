@@ -1,0 +1,155 @@
+"""Tests for the drift monitor: τ windows, feature shift, thresholds."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.features.encoder import FeatureEncoder
+from repro.machine.executor import SimulatedMachine
+from repro.online.drift import DriftMonitor, instance_feature_slice
+from repro.online.workload import DriftingWorkload
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, line
+
+from tests.online.conftest import make_feedback
+
+
+def _with_tau(fb, tau):
+    return dataclasses.replace(fb, tau=tau)
+
+
+@pytest.fixture()
+def monitor():
+    return DriftMonitor(
+        FeatureEncoder(),
+        window=32,
+        tau_threshold=0.5,
+        shift_threshold=1.0,
+        min_family_samples=3,
+    )
+
+
+def _line_instance(machine, seq=0, tau=None):
+    kernel = StencilKernel(
+        "line-3d-r1-float", (line(3, 1),), dtype="float", space_dims=3
+    )
+    fb = make_feedback(StencilInstance(kernel, (64, 64, 64)), machine, seq=seq)
+    return fb if tau is None else _with_tau(fb, tau)
+
+
+def _cube_instance(machine, seq=0, tau=None):
+    kernel = StencilKernel.single_buffer("hypercube-3d-r3", hypercube(3, 3), "double")
+    fb = make_feedback(StencilInstance(kernel, (128, 128, 128)), machine, seq=seq)
+    return fb if tau is None else _with_tau(fb, tau)
+
+
+class TestInstanceSlice:
+    def test_slice_isolates_instance_scalars(self):
+        enc = FeatureEncoder()
+        sl = instance_feature_slice(enc)
+        names = enc.feature_names()[sl]
+        assert names == [n for n in enc.feature_names() if n.startswith("inst.")]
+
+    def test_slice_without_pattern_or_interactions(self):
+        enc = FeatureEncoder(include_pattern=False, interactions=False)
+        sl = instance_feature_slice(enc)
+        assert sl == slice(0, enc.N_INSTANCE)
+
+
+class TestTauDrift:
+    def test_low_family_tau_triggers(self, monitor, machine):
+        for i in range(4):
+            monitor.observe(_line_instance(machine, seq=i, tau=0.2))
+        report = monitor.report()
+        assert report.drifted
+        assert any("line" in r for r in report.reasons)
+        assert report.family_tau["line"] == pytest.approx(0.2)
+
+    def test_minority_family_not_masked_by_majority(self, monitor, machine):
+        """A badly ranked new family triggers even among good traffic."""
+        for i in range(12):
+            monitor.observe(_line_instance(machine, seq=i, tau=0.95))
+        for i in range(3):
+            monitor.observe(_cube_instance(machine, seq=100 + i, tau=0.0))
+        assert monitor.overall_tau() > 0.5  # the global mean looks healthy
+        report = monitor.report()
+        assert report.drifted
+        assert any("hypercube" in r for r in report.reasons)
+
+    def test_too_few_samples_do_not_trigger(self, monitor, machine):
+        for i in range(2):  # below min_family_samples=3
+            monitor.observe(_line_instance(machine, seq=i, tau=-1.0))
+        assert not monitor.report().drifted
+
+    def test_healthy_window_reports_clean(self, monitor, machine):
+        for i in range(6):
+            monitor.observe(_line_instance(machine, seq=i, tau=0.9))
+        report = monitor.report()
+        assert not report.drifted
+        assert report.reasons == ()
+
+    def test_reset_clears_window(self, monitor, machine):
+        for i in range(4):
+            monitor.observe(_line_instance(machine, seq=i, tau=0.0))
+        assert monitor.report().drifted
+        monitor.reset()
+        assert monitor.n_observations == 0
+        assert not monitor.report().drifted
+
+
+class TestFeatureShift:
+    def test_shift_fires_on_family_change(
+        self, phase1_training_set, phase1_tuner, machine
+    ):
+        """Phase-2 traffic must move the fingerprint even at healthy τ."""
+        monitor = DriftMonitor(
+            phase1_tuner.encoder,
+            tau_threshold=0.0,  # τ can never trigger here
+            shift_threshold=1.0,
+        ).fit_reference(phase1_training_set)
+        workload = DriftingWorkload(shift_at=0, seed=5)  # phase-2 from request 0
+        for i in range(8):
+            inst, _ = workload.request(i)
+            monitor.observe(_with_tau(make_feedback(inst, machine, seq=i), 0.9))
+        report = monitor.report()
+        assert report.drifted
+        assert report.feature_shift > 1.0
+        assert any("feature shift" in r for r in report.reasons)
+
+    def test_in_distribution_traffic_stays_quiet(
+        self, phase1_training_set, phase1_tuner, machine
+    ):
+        monitor = DriftMonitor(
+            phase1_tuner.encoder, tau_threshold=0.0, shift_threshold=1.0
+        ).fit_reference(phase1_training_set)
+        workload = DriftingWorkload(shift_at=10**9, seed=5)  # never shifts
+        for i in range(8):
+            inst, _ = workload.request(i)
+            monitor.observe(_with_tau(make_feedback(inst, machine, seq=i), 0.9))
+        report = monitor.report()
+        assert not report.drifted
+        assert report.feature_shift < 1.0
+
+    def test_no_reference_means_no_shift_signal(self, monitor, machine):
+        monitor.observe(_cube_instance(machine, tau=0.9))
+        assert monitor.feature_shift() == 0.0
+
+    def test_fingerprint_mismatch_rejected(self, phase1_training_set):
+        monitor = DriftMonitor(FeatureEncoder(interactions=False))
+        with pytest.raises(ValueError, match="encoded with"):
+            monitor.fit_reference(phase1_training_set)
+
+
+class TestWindow:
+    def test_window_bounds_history(self, machine):
+        monitor = DriftMonitor(FeatureEncoder(), window=4)
+        for i in range(10):
+            monitor.observe(_line_instance(machine, seq=i, tau=float(i % 2)))
+        assert monitor.n_observations == 4
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            DriftMonitor(FeatureEncoder(), window=0)

@@ -1,0 +1,228 @@
+"""Tests for feedback collection: hooks, probing, budgets, dedupe."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.machine.budget import BudgetedMachine, MeasurementBudgetExceeded
+from repro.machine.executor import SimulatedMachine
+from repro.online.feedback import FeedbackCollector, probe_ranks, stencil_family
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube, laplacian
+from repro.tuning.space import patus_space
+
+
+def _instance(name="lap", radius=1, size=(64, 64, 64)) -> StencilInstance:
+    kernel = StencilKernel.single_buffer(name, laplacian(3, radius), "double")
+    return StencilInstance(kernel, size)
+
+
+def _response(scores, version="v0001"):
+    return SimpleNamespace(scores=np.asarray(scores), model_version=version)
+
+
+def _serve(collector, instance, n=24, version="v0001", seed=0, score_seed=None):
+    cands = patus_space(instance.dims).random_vectors(n, rng=seed)
+    scores = np.random.default_rng(
+        seed if score_seed is None else score_seed
+    ).normal(size=n)
+    collector.hook(instance, cands, _response(scores, version))
+    return cands, scores
+
+
+class TestHelpers:
+    def test_family_parsing(self):
+        assert stencil_family("train-hypercube-3d-r2-float") == "hypercube"
+        assert stencil_family("hyperplane-3d-r1-double") == "hyperplane"
+        assert stencil_family("laplacian") == "laplacian"
+
+    def test_probe_ranks_cover_head_and_tail(self):
+        ranks = probe_ranks(100, 10)
+        assert ranks[0] == 0 and ranks[-1] == 99
+        assert len(ranks) == 10
+        assert (np.diff(ranks) > 0).all()
+
+    def test_probe_ranks_small_sets_complete(self):
+        assert probe_ranks(4, 16).tolist() == [0, 1, 2, 3]
+
+
+class TestCollector:
+    def test_hook_records_and_measure_produces_feedback(self, collector):
+        inst = _instance()
+        cands, scores = _serve(collector, inst)
+        assert collector.pending_count == 1
+        new = collector.measure_pending()
+        assert collector.pending_count == 0
+        assert len(new) == 1
+        fb = new[0]
+        assert fb.family == "lap"
+        assert fb.model_version == "v0001"
+        assert len(fb.tunings) == collector.probe_size
+        assert fb.true_times.shape == (collector.probe_size,)
+        assert (fb.true_times > 0).all()
+        assert -1.0 <= fb.tau <= 1.0
+        # probed tunings are a subset of the candidate set
+        keys = {t.as_tuple() for t in cands}
+        assert all(t.as_tuple() in keys for t in fb.tunings)
+
+    def test_served_scores_align_with_probed_tunings(self, collector):
+        inst = _instance()
+        cands, scores = _serve(collector, inst)
+        fb = collector.measure_pending()[0]
+        by_key = {t.as_tuple(): s for t, s in zip(cands, scores)}
+        expect = [by_key[t.as_tuple()] for t in fb.tunings]
+        assert np.allclose(fb.served_scores, expect)
+
+    def test_dedupe_skips_repeat_instance_same_version(self, collector):
+        inst = _instance()
+        _serve(collector, inst)
+        _serve(collector, inst, seed=1)  # same instance, same version
+        assert collector.pending_count == 1
+        assert collector.skipped_repeats == 1
+        # a new model version re-records the same instance
+        _serve(collector, inst, version="v0002")
+        assert collector.pending_count == 2
+
+    def test_no_dedupe_records_everything(self, budgeted_machine):
+        collector = FeedbackCollector(budgeted_machine, probe_size=8, dedupe=False)
+        inst = _instance()
+        _serve(collector, inst)
+        _serve(collector, inst, seed=1)
+        assert collector.pending_count == 2
+
+    def test_budget_exhaustion_puts_record_back(self):
+        machine = BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=12)
+        collector = FeedbackCollector(machine, probe_size=8, dedupe=False)
+        inst = _instance()
+        _serve(collector, inst)
+        _serve(collector, inst, seed=1)
+        new = collector.measure_pending()
+        assert len(new) == 1  # 12-evaluation budget covers one 8-probe record
+        assert collector.pending_count == 1  # second put back, not lost
+        assert machine.refused == 1
+        machine.refill()
+        assert len(collector.measure_pending()) == 1
+
+    def test_never_affordable_probe_dropped_not_stalling(self):
+        """A probe too big for even a full budget must not block the queue."""
+        machine = BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=4)
+        collector = FeedbackCollector(machine, probe_size=8, dedupe=False)
+        _serve(collector, _instance())  # 8-probe record can never fit
+        small = _instance(name="small")
+        cands = patus_space(3).random_vectors(3, rng=1)  # 3 < 4: fits
+        scores = np.random.default_rng(1).normal(size=3)
+        collector.hook(small, cands, _response(scores))
+        new = collector.measure_pending()
+        assert collector.dropped_unaffordable == 1
+        assert [fb.instance.label() for fb in new] == [small.label()]
+        assert collector.pending_count == 0
+
+    def test_unaffordable_drop_forgets_seen_key(self):
+        """After a raised budget, the dropped instance is measurable again."""
+        machine = BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=4)
+        collector = FeedbackCollector(machine, probe_size=8)  # dedupe on
+        inst = _instance()
+        _serve(collector, inst)
+        collector.measure_pending()
+        assert collector.dropped_unaffordable == 1
+        machine.refill(max_evaluations=64)
+        _serve(collector, inst, seed=1)  # same instance, same version
+        assert collector.pending_count == 1  # not blocked by a stale key
+        assert len(collector.measure_pending()) == 1
+
+    def test_seen_memory_bounded_and_overflow_unblocks(self, budgeted_machine):
+        collector = FeedbackCollector(
+            budgeted_machine, probe_size=8, max_pending=1, max_seen=2
+        )
+        insts = [_instance(name=f"lap{i}") for i in range(3)]
+        for i, inst in enumerate(insts):
+            _serve(collector, inst, seed=i)
+        assert len(collector._seen) <= 2
+        # lap0 and lap1 were dropped by pending overflow; re-serving them
+        # must be recordable again (their keys were forgotten)
+        _serve(collector, insts[0], seed=9)
+        assert collector.pending_count == 1
+        assert collector._pending[-1].instance.label() == insts[0].label()
+
+    def test_measure_limit(self, collector):
+        for i in range(4):
+            _serve(collector, _instance(name=f"lap{i}"), seed=i)
+        assert len(collector.measure_pending(limit=3)) == 3
+        assert collector.pending_count == 1
+
+    def test_uniform_probe_identical_across_collectors(self, budgeted_machine):
+        """Two services replaying one episode must probe the same subsets."""
+        inst = _instance()
+        subsets = []
+        for score_seed in (0, 99):  # different served scores, same candidates
+            collector = FeedbackCollector(
+                BudgetedMachine(SimulatedMachine(seed=1)),
+                probe_size=8,
+                probe_mode="uniform",
+            )
+            _serve(collector, inst, seed=0, score_seed=score_seed)
+            fb = collector.measure_pending()[0]
+            subsets.append(tuple(t.as_tuple() for t in fb.tunings))
+        assert subsets[0] == subsets[1]
+
+    def test_overflow_drops_oldest(self, budgeted_machine):
+        collector = FeedbackCollector(
+            budgeted_machine, probe_size=8, max_pending=2, dedupe=False
+        )
+        inst = _instance()
+        for i in range(3):
+            _serve(collector, inst, seed=i)
+        assert collector.pending_count == 2
+        assert collector.dropped_overflow == 1
+
+    def test_rejects_bad_probe_mode(self, budgeted_machine):
+        with pytest.raises(ValueError, match="probe_mode"):
+            FeedbackCollector(budgeted_machine, probe_mode="nope")
+
+
+class TestBudgetedMachine:
+    def test_charges_and_refuses(self):
+        base = SimulatedMachine(seed=0)
+        machine = BudgetedMachine(base, max_evaluations=10)
+        inst = _instance()
+        tunings = patus_space(3).random_vectors(6, rng=0)
+        result = machine.measure_batch(inst, tunings)
+        assert len(result) == 6
+        assert machine.spent_evaluations == 6
+        assert machine.remaining_evaluations == 4
+        with pytest.raises(MeasurementBudgetExceeded):
+            machine.measure_batch(inst, tunings)
+        # all-or-nothing: the refused batch charged nothing
+        assert machine.spent_evaluations == 6
+        assert base.evaluations == 6
+
+    def test_wall_clock_budget(self):
+        base = SimulatedMachine(seed=0)
+        machine = BudgetedMachine(base, max_wall_s=1e-9)
+        inst = _instance()
+        tunings = patus_space(3).random_vectors(2, rng=0)
+        assert machine.try_measure_batch(inst, tunings) is None
+        assert machine.refused == 1
+
+    def test_times_match_unbudgeted_machine(self):
+        inst = _instance()
+        tunings = patus_space(3).random_vectors(5, rng=0)
+        budgeted = BudgetedMachine(SimulatedMachine(seed=42), max_evaluations=100)
+        plain = SimulatedMachine(seed=42)
+        a = budgeted.measure_batch(inst, tunings).times
+        b = plain.measure_batch(inst, tunings).times
+        assert np.array_equal(a, b)
+
+    def test_refill_updates_caps(self):
+        machine = BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=4)
+        machine.spent_evaluations = 4
+        machine.refill(max_evaluations=8)
+        assert machine.remaining_evaluations == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=-1)

@@ -1,0 +1,262 @@
+"""End-to-end continual-learning tests: the full drift scenario.
+
+The acceptance criteria of the subsystem, in one place: on a workload
+whose family mix shifts mid-stream, the pipeline must *detect* the drift,
+*retrain*, *shadow-evaluate*, *promote* through the registry tag (which
+the service hot-swaps onto), and the adapting service's post-shift τ must
+beat the frozen model's on identical measured records.  Promotion must be
+atomic from the requests' point of view, and a bad promotion must roll
+back in one call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.machine.budget import BudgetedMachine
+from repro.machine.executor import SimulatedMachine
+from repro.online import (
+    ContinualConfig,
+    ContinualLearningPipeline,
+    DriftingWorkload,
+    DriftMonitor,
+    FeedbackCollector,
+    IncrementalTrainer,
+    PromotionPolicy,
+    ShadowEvaluator,
+    mean_model_tau,
+)
+from repro.online.shadow import ShadowReport
+from repro.service.server import TuningService
+
+from tests.online.conftest import PHASE1, PHASE2, make_feedback
+
+N_REQUESTS = 144
+SHIFT_AT = 40
+WAVE = 8
+
+
+def _pipeline(service, registry, tuner, offline) -> ContinualLearningPipeline:
+    return ContinualLearningPipeline(
+        service=service,
+        collector=FeedbackCollector(
+            BudgetedMachine(SimulatedMachine(seed=11), max_evaluations=4096),
+            probe_size=16,
+            probe_mode="uniform",
+            dedupe=False,
+        ),
+        monitor=DriftMonitor(
+            tuner.encoder, window=48, tau_threshold=0.45, shift_threshold=1.2
+        ).fit_reference(offline),
+        trainer=IncrementalTrainer(offline, tuner.encoder, max_feedback=128),
+        evaluator=ShadowEvaluator(tuner.encoder),
+        policy=PromotionPolicy(registry, tag="prod", min_records=4),
+        config=ContinualConfig(
+            measure_per_step=10, min_feedback_to_train=16, gc_keep_last=2
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def episode(request):
+    """One full adapting episode (module-cached: several tests read it)."""
+    phase1_training_set = request.getfixturevalue("phase1_training_set")
+    phase1_tuner = request.getfixturevalue("phase1_tuner")
+    import tempfile
+
+    from repro.service.registry import ModelRegistry
+
+    tmp = tempfile.TemporaryDirectory()
+    request.addfinalizer(tmp.cleanup)
+    registry = ModelRegistry(tmp.name)
+    v1 = registry.publish(
+        phase1_tuner.model, phase1_tuner.fingerprint(), tags=("prod",), note="seed"
+    )
+    service = TuningService(registry, default_model="prod")
+    pipeline = _pipeline(service, registry, phase1_tuner, phase1_training_set)
+    workload = DriftingWorkload(
+        shift_at=SHIFT_AT, phase1=PHASE1, phase2=PHASE2, seed=3
+    )
+    responses = []
+    reports = []
+
+    async def run():
+        async with service:
+            pipeline.attach()
+            for start in range(0, N_REQUESTS, WAVE):
+                wave = [workload.request(i) for i in range(start, start + WAVE)]
+                responses.extend(
+                    await asyncio.gather(*(service.rank(q, c) for q, c in wave))
+                )
+                reports.append(pipeline.step())
+            pipeline.detach()
+
+    asyncio.run(run())
+    return {
+        "registry": registry,
+        "pipeline": pipeline,
+        "responses": responses,
+        "reports": reports,
+        "v1": v1,
+        "tuner": phase1_tuner,
+    }
+
+
+class TestEndToEndDrift:
+    def test_drift_detected_after_shift_not_before(self, episode):
+        reports = episode["reports"]
+        pre = reports[: SHIFT_AT // WAVE - 1]
+        assert not any(r.drifted for r in pre), [r.reasons for r in pre]
+        assert any(r.drifted for r in reports[SHIFT_AT // WAVE :])
+
+    def test_retrain_and_promotion_happened(self, episode):
+        pipeline = episode["pipeline"]
+        assert pipeline.retrain_count >= 1
+        assert pipeline.promotion_count >= 1
+        promoted = [
+            e for e in pipeline.events if e["type"] == "retrain" and e["promoted"]
+        ]
+        # every promotion was shadow-gated: candidate beat production
+        for event in promoted:
+            assert event["candidate_tau"] >= event["production_tau"]
+
+    def test_service_hot_swapped_to_promoted_versions(self, episode):
+        versions = {r.model_version for r in episode["responses"]}
+        assert episode["v1"] in versions  # served the seed first
+        assert len(versions) >= 2  # and switched after promotion
+        final_prod = episode["registry"].resolve("prod")
+        assert episode["responses"][-1].model_version == final_prod
+
+    def test_no_request_observed_a_torn_model(self, episode):
+        """Every answer names a version that was completely published.
+
+        Served versions may have been garbage-collected since (retention
+        keeps only tagged + newest), so the check runs against the
+        publication history: the seed plus every promoted version.
+        """
+        pipeline = episode["pipeline"]
+        published = {episode["v1"]} | {
+            e["version"]
+            for e in pipeline.events
+            if e["type"] == "retrain" and e["promoted"]
+        }
+        assert {r.model_version for r in episode["responses"]} <= published
+        # and everything still in the store loads cleanly
+        registry = episode["registry"]
+        tuner = episode["tuner"]
+        for version in registry.versions():
+            model = registry.load(version, expect_fingerprint=tuner.fingerprint())
+            assert model.is_fitted
+
+    def test_adapting_beats_frozen_on_identical_records(self, episode):
+        """The headline: post-shift rolling τ, adapting vs frozen, on the
+        exact same measured (instance, tunings, truth) records."""
+        tuner = episode["tuner"]
+        # the seed version may have been garbage-collected by now; the
+        # frozen baseline is the in-memory model it was published from
+        frozen = tuner.model
+        post = [
+            fb
+            for fb in episode["pipeline"].collector.window()
+            if fb.family in PHASE2
+        ]
+        assert len(post) >= 32
+        adapting_tau = float(np.mean([fb.tau for fb in post]))
+        frozen_tau = mean_model_tau(tuner.encoder, frozen, post)
+        assert adapting_tau >= frozen_tau, (adapting_tau, frozen_tau)
+
+    def test_registry_store_stays_bounded(self, episode):
+        """gc_keep_last=2: only tagged versions + the 2 newest survive."""
+        registry = episode["registry"]
+        versions = registry.versions()
+        protected = set(versions[-2:]) | set(registry.tags().values())
+        assert set(versions) == protected
+
+    def test_feedback_never_broke_serving(self, episode):
+        assert episode["pipeline"].service.hook_errors == 0
+        assert episode["pipeline"].service.telemetry.failed_total == 0
+        assert len(episode["responses"]) == N_REQUESTS
+
+
+class TestRollback:
+    def test_post_promotion_regression_rolls_back(
+        self, online_registry, phase1_tuner, phase1_training_set, machine
+    ):
+        """A promoted model that degrades live τ is demoted in one step."""
+        service = TuningService(online_registry, default_model="prod")
+        pipeline = _pipeline(
+            service, online_registry, phase1_tuner, phase1_training_set
+        )
+        # promote a deliberately inverted model (shadow report forged the
+        # way an unlucky holdout would)
+        bad = dataclasses.replace(phase1_tuner.model)
+        bad.w_ = -phase1_tuner.model.w_
+        decision = pipeline.policy.consider(
+            bad,
+            phase1_tuner.fingerprint(),
+            ShadowReport(candidate_tau=0.9, production_tau=0.7, n_records=8),
+        )
+        assert decision.promoted and online_registry.resolve("prod") == "v0002"
+        old_reference = pipeline.monitor.reference
+        # pretend the promotion refit the fingerprint to a shifted corpus
+        pipeline.monitor.reference = (
+            old_reference[0] + 1.0,
+            old_reference[1],
+        )
+        pipeline._watch = {
+            "version": decision.version,
+            "baseline": 0.7,
+            "taus": [],
+            "reference": old_reference,
+        }
+        # live feedback under the bad model comes back far below baseline
+        from repro.stencil.instance import StencilInstance
+        from repro.stencil.kernel import StencilKernel
+        from repro.stencil.shapes import hypercube
+
+        inst = StencilInstance(
+            StencilKernel.single_buffer("hypercube-3d-r1", hypercube(3, 1), "float"),
+            (64, 64, 64),
+        )
+        live = [
+            dataclasses.replace(
+                make_feedback(inst, machine, seq=i, seed=i),
+                model_version="v0002",
+                tau=0.1,
+            )
+            for i in range(6)
+        ]
+        pipeline._maybe_rollback(live)
+        assert online_registry.resolve("prod") == "v0001"  # one-call restore
+        assert pipeline.rollback_count == 1
+        # the restored model's training fingerprint came back with it
+        assert np.array_equal(pipeline.monitor.reference[0], old_reference[0])
+        event = pipeline.events[-1]
+        assert event["type"] == "rollback"
+        assert event["demoted"] == "v0002" and event["restored"] == "v0001"
+
+    def test_healthy_promotion_keeps_serving(
+        self, online_registry, phase1_tuner, phase1_training_set
+    ):
+        service = TuningService(online_registry, default_model="prod")
+        pipeline = _pipeline(
+            service, online_registry, phase1_tuner, phase1_training_set
+        )
+        decision = pipeline.policy.consider(
+            phase1_tuner.model,
+            phase1_tuner.fingerprint(),
+            ShadowReport(candidate_tau=0.8, production_tau=0.7, n_records=8),
+        )
+        pipeline._watch = {
+            "version": decision.version,
+            "baseline": 0.7,
+            "taus": [0.72] * 6,
+        }
+        pipeline._maybe_rollback([])
+        assert online_registry.resolve("prod") == decision.version
+        assert pipeline.rollback_count == 0
+        assert pipeline._watch is None  # watch concluded

@@ -1,0 +1,183 @@
+"""Tests for shadow evaluation and the promotion/rollback policy."""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+import pytest
+
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.online.promotion import PromotionPolicy
+from repro.online.shadow import ShadowEvaluator, ShadowReport, mean_model_tau
+from repro.service.registry import ModelRegistry
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube
+
+from tests.online.conftest import make_feedback
+
+
+def _window(machine, n=6):
+    out = []
+    for i in range(n):
+        kernel = StencilKernel.single_buffer(
+            f"hypercube-3d-r{1 + i % 3}", hypercube(3, 1 + i % 3), "float"
+        )
+        inst = StencilInstance(kernel, (64, 64, 64))
+        out.append(make_feedback(inst, machine, seq=i, n=8, seed=i))
+    return out
+
+
+def _anti_model(model: RankSVM) -> RankSVM:
+    """A model scoring exactly opposite to ``model`` (τ flips sign)."""
+    worse = RankSVM(model.config)
+    worse.w_ = -model.w_
+    worse.num_pairs_ = model.num_pairs_
+    return worse
+
+
+class TestShadowEvaluator:
+    def test_better_model_scores_higher(self, phase1_tuner, machine):
+        window = _window(machine)
+        evaluator = ShadowEvaluator(phase1_tuner.encoder)
+        report = evaluator.evaluate(
+            phase1_tuner.model, _anti_model(phase1_tuner.model), window
+        )
+        assert report.n_records == len(window)
+        assert report.candidate_tau == pytest.approx(-report.production_tau)
+        assert report.candidate_tau > report.production_tau
+        assert report.candidate_wins()
+        assert len(report.candidate_taus) == len(window)
+
+    def test_served_tau_matches_model_tau(self, phase1_tuner, machine):
+        """A record's stored τ must equal re-scoring its serving model —
+        the consistency that makes live and shadow τ comparable."""
+        window = _window(machine, n=3)
+        # overwrite served scores with the phase-1 model's actual scores
+        replayed = []
+        for fb in window:
+            X = phase1_tuner.encoder.encode_batch(fb.instance, list(fb.tunings))
+            scores = phase1_tuner.model.decision_function(X)
+            from repro.ranking.kendall import kendall_tau
+
+            replayed.append(
+                dataclasses.replace(
+                    fb,
+                    served_scores=scores,
+                    tau=kendall_tau(-scores, fb.true_times),
+                )
+            )
+        live = float(np.mean([fb.tau for fb in replayed]))
+        shadow = mean_model_tau(phase1_tuner.encoder, phase1_tuner.model, replayed)
+        assert live == pytest.approx(shadow)
+
+    def test_empty_window(self, phase1_tuner):
+        report = ShadowEvaluator(phase1_tuner.encoder).evaluate(
+            phase1_tuner.model, phase1_tuner.model, []
+        )
+        assert report.n_records == 0
+        assert mean_model_tau(phase1_tuner.encoder, phase1_tuner.model, []) == 0.0
+
+    def test_min_improvement_margin(self):
+        report = ShadowReport(candidate_tau=0.60, production_tau=0.58, n_records=10)
+        assert report.candidate_wins()
+        assert report.candidate_wins(0.01)
+        assert not report.candidate_wins(0.05)
+
+
+class TestPromotionPolicy:
+    def _good_shadow(self, n=10):
+        return ShadowReport(candidate_tau=0.8, production_tau=0.5, n_records=n)
+
+    def test_promotes_and_moves_tag(self, online_registry, phase1_tuner):
+        policy = PromotionPolicy(online_registry, tag="prod")
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), self._good_shadow()
+        )
+        assert decision.promoted and decision.version == "v0002"
+        assert decision.previous == "v0001"
+        assert online_registry.resolve("prod") == "v0002"
+        assert online_registry.resolve(policy.rollback_tag) == "v0001"
+
+    def test_rejects_thin_shadow_window(self, online_registry, phase1_tuner):
+        policy = PromotionPolicy(online_registry, min_records=4)
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), self._good_shadow(n=2)
+        )
+        assert not decision.promoted
+        assert "insufficient" in decision.reason
+        assert online_registry.versions() == ["v0001"]  # nothing published
+
+    def test_rejects_losing_candidate(self, online_registry, phase1_tuner):
+        policy = PromotionPolicy(online_registry, min_improvement=0.05)
+        shadow = ShadowReport(candidate_tau=0.52, production_tau=0.50, n_records=10)
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), shadow
+        )
+        assert not decision.promoted
+        assert "does not clear" in decision.reason
+        assert online_registry.resolve("prod") == "v0001"
+
+    def test_rollback_restores_previous_in_one_call(
+        self, online_registry, phase1_tuner
+    ):
+        policy = PromotionPolicy(online_registry)
+        policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), self._good_shadow()
+        )
+        assert online_registry.resolve("prod") == "v0002"
+        restored = policy.rollback()
+        assert restored == "v0001"
+        assert online_registry.resolve("prod") == "v0001"
+
+    def test_rollback_without_promotion_raises(self, online_registry):
+        with pytest.raises(RuntimeError, match="no promotion"):
+            PromotionPolicy(online_registry).rollback()
+
+    def test_stacked_promotions_roll_back_in_order(
+        self, online_registry, phase1_tuner
+    ):
+        policy = PromotionPolicy(online_registry)
+        for _ in range(2):
+            policy.consider(
+                phase1_tuner.model, phase1_tuner.fingerprint(), self._good_shadow()
+            )
+        assert online_registry.resolve("prod") == "v0003"
+        assert policy.rollback() == "v0002"
+        assert policy.rollback() == "v0001"
+
+    def test_promotion_atomic_under_concurrent_readers(
+        self, online_registry, phase1_tuner
+    ):
+        """Readers resolving/loading the tag during promotions and rollbacks
+        must only ever observe complete, valid versions."""
+        policy = PromotionPolicy(online_registry)
+        fingerprint = phase1_tuner.fingerprint()
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    version = online_registry.resolve("prod")
+                    model = online_registry.load(version, expect_fingerprint=fingerprint)
+                    assert model.is_fitted
+                    assert version in online_registry.versions()
+                except BaseException as exc:  # noqa: BLE001 - collected for assert
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(5):
+                policy.consider(phase1_tuner.model, fingerprint, self._good_shadow())
+                policy.rollback()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not failures

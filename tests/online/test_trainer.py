@@ -1,0 +1,172 @@
+"""Tests for corpus merge, reweighting and warm-started incremental fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune.training import merge_corpus, reweight_groups
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.online.trainer import IncrementalTrainer
+from repro.ranking.partial import RankingGroups
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube
+
+from tests.online.conftest import make_feedback
+
+
+def _feedback(machine, n_records=3, n_points=8):
+    out = []
+    for i in range(n_records):
+        kernel = StencilKernel.single_buffer(
+            f"hypercube-3d-r{1 + i % 3}", hypercube(3, 1 + i % 3), "float"
+        )
+        inst = StencilInstance(kernel, (64, 64, 64))
+        out.append(make_feedback(inst, machine, seq=i, n=n_points, seed=i))
+    return out
+
+
+class TestReweightGroups:
+    def _groups(self, per_group=10, n_groups=3):
+        n = per_group * n_groups
+        return RankingGroups(
+            np.arange(n, dtype=float)[:, None],
+            np.arange(n, dtype=float),
+            np.repeat(np.arange(n_groups), per_group),
+        )
+
+    def test_full_weight_keeps_everything(self):
+        g = self._groups()
+        out = reweight_groups(g, {0: 1.0, 1: 1.0})
+        assert len(out) == len(g)
+
+    def test_fractional_weight_subsamples(self):
+        out = reweight_groups(self._groups(), {0: 0.5}, rng=0)
+        sizes = {gid: rows.size for gid, rows in out.iter_groups()}
+        assert sizes == {0: 5, 1: 10, 2: 10}
+
+    def test_zero_weight_drops_group(self):
+        out = reweight_groups(self._groups(), {1: 0.0})
+        assert set(np.unique(out.groups)) == {0, 2}
+
+    def test_min_points_floor(self):
+        out = reweight_groups(self._groups(), {0: 0.01}, min_points=2, rng=0)
+        sizes = {gid: rows.size for gid, rows in out.iter_groups()}
+        assert sizes[0] == 2
+
+    def test_all_groups_dropped_yields_empty(self):
+        out = reweight_groups(self._groups(), {0: 0.0, 1: 0.0, 2: 0.0})
+        assert len(out) == 0
+
+
+class TestMergeCorpus:
+    def test_feedback_groups_offset_past_offline(self, phase1_training_set):
+        fb = RankingGroups(
+            np.zeros((4, phase1_training_set.data.X.shape[1])),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            np.array([7, 7, 99, 99]),
+        )
+        merged = merge_corpus(phase1_training_set, fb)
+        assert len(merged) == len(phase1_training_set) + 4
+        offline_max = int(np.max(phase1_training_set.data.groups))
+        fb_groups = merged.groups[-4:]
+        assert fb_groups.min() > offline_max
+        assert len(np.unique(fb_groups)) == 2
+
+    def test_offline_subsampling(self, phase1_training_set):
+        merged = merge_corpus(
+            phase1_training_set,
+            RankingGroups(
+                np.empty((0, phase1_training_set.data.X.shape[1])),
+                np.empty(0),
+                np.empty(0, dtype=np.int64),
+            ),
+            offline_points=len(phase1_training_set) // 2,
+        )
+        assert len(merged) < len(phase1_training_set)
+        # every offline instance stays represented
+        assert merged.num_groups == phase1_training_set.num_instances
+
+    def test_dimension_mismatch_rejected(self, phase1_training_set):
+        bad = RankingGroups(np.zeros((2, 3)), np.ones(2), np.zeros(2))
+        with pytest.raises(ValueError, match="feature dimension"):
+            merge_corpus(phase1_training_set, bad)
+
+
+class TestIncrementalTrainer:
+    def test_feedback_groups_encoding(self, phase1_training_set, phase1_tuner, machine):
+        trainer = IncrementalTrainer(phase1_training_set, phase1_tuner.encoder)
+        feedback = _feedback(machine)
+        groups = trainer.feedback_groups(feedback)
+        assert len(groups) == sum(len(fb) for fb in feedback)
+        assert groups.num_groups == len(feedback)
+        # rows match the per-record encode exactly
+        first = feedback[0]
+        expect = phase1_tuner.encoder.encode_batch(first.instance, list(first.tunings))
+        assert np.array_equal(groups.X[: len(first)], expect)
+        assert np.array_equal(groups.times[: len(first)], first.true_times)
+
+    def test_weights_decay_with_age_and_relieve_good_records(
+        self, phase1_training_set, phase1_tuner, machine
+    ):
+        import dataclasses
+
+        trainer = IncrementalTrainer(
+            phase1_training_set, phase1_tuner.encoder, decay=0.5, relief=0.4
+        )
+        feedback = [
+            dataclasses.replace(fb, tau=tau)
+            for fb, tau in zip(_feedback(machine), [0.0, 0.0, 1.0])
+        ]
+        weights = trainer.feedback_weights(feedback)
+        # newest (seq 2, τ=1): recency 1.0 × importance 0.6
+        assert weights[2] == pytest.approx(0.6)
+        # middle (seq 1, τ=0): recency 0.5 × importance 1.0
+        assert weights[1] == pytest.approx(0.5)
+        # oldest (seq 0, τ=0): recency 0.25
+        assert weights[0] == pytest.approx(0.25)
+
+    def test_train_produces_fitted_model(self, phase1_training_set, phase1_tuner, machine):
+        trainer = IncrementalTrainer(
+            phase1_training_set,
+            phase1_tuner.encoder,
+            config=RankSVMConfig(max_iter=60, seed=0),
+        )
+        model = trainer.train(_feedback(machine), warm_start=phase1_tuner.model)
+        assert model.is_fitted
+        assert model.w_.shape == phase1_tuner.model.w_.shape
+
+    def test_encoder_mismatch_rejected(self, phase1_training_set):
+        from repro.features.encoder import FeatureEncoder
+
+        with pytest.raises(ValueError, match="encoded with"):
+            IncrementalTrainer(phase1_training_set, FeatureEncoder(interactions=False))
+
+    def test_validation(self, phase1_training_set, phase1_tuner):
+        with pytest.raises(ValueError, match="decay"):
+            IncrementalTrainer(phase1_training_set, phase1_tuner.encoder, decay=0.0)
+        with pytest.raises(ValueError, match="relief"):
+            IncrementalTrainer(phase1_training_set, phase1_tuner.encoder, relief=1.0)
+
+
+class TestWarmStart:
+    def test_warm_start_reaches_same_optimum(self, synthetic_ranking_data):
+        cold = RankSVM(RankSVMConfig(seed=0)).fit(synthetic_ranking_data)
+        warm = RankSVM(RankSVMConfig(seed=0)).fit(
+            synthetic_ranking_data, warm_start=cold.w_
+        )
+        # convex objective: warm start changes the path, not the solution
+        assert np.allclose(warm.w_, cold.w_, atol=1e-3)
+        assert warm.solver_result_.iterations <= cold.solver_result_.iterations
+
+    def test_warm_start_shape_validated(self, synthetic_ranking_data):
+        with pytest.raises(ValueError, match="warm_start"):
+            RankSVM().fit(synthetic_ranking_data, warm_start=np.zeros(2))
+
+    def test_sgd_accepts_warm_start(self, synthetic_ranking_data):
+        model = RankSVM(RankSVMConfig(solver="sgd", seed=0)).fit(
+            synthetic_ranking_data,
+            warm_start=np.zeros(synthetic_ranking_data.X.shape[1]),
+        )
+        assert model.is_fitted

@@ -98,6 +98,95 @@ class TestTags:
             reg.resolve("latest")
 
 
+class TestGarbageCollection:
+    def _publish_n(self, registry, model, fingerprint, n):
+        return [registry.publish(model, fingerprint) for _ in range(n)]
+
+    def test_keeps_last_n_and_tagged(self, registry, alternate_model, trained_tuner):
+        self._publish_n(registry, alternate_model, trained_tuner.fingerprint(), 4)
+        registry.tag("pinned", "v0002")
+        removed = registry.gc(keep_last=2)
+        # v0003 goes; v0001 (prod) and v0002 (pinned) are tagged,
+        # v0004/v0005 are the newest two
+        assert removed == ["v0003"]
+        assert registry.versions() == ["v0001", "v0002", "v0004", "v0005"]
+        assert registry.load("v0002").is_fitted
+
+    def test_dry_run_deletes_nothing(self, registry, alternate_model, trained_tuner):
+        self._publish_n(registry, alternate_model, trained_tuner.fingerprint(), 2)
+        victims = registry.gc(keep_last=1, dry_run=True)
+        assert victims == ["v0002"]  # v0001 is tagged prod, v0003 is newest
+        assert registry.versions() == ["v0001", "v0002", "v0003"]
+
+    def test_collected_version_unresolvable(self, registry, alternate_model, trained_tuner):
+        self._publish_n(registry, alternate_model, trained_tuner.fingerprint(), 1)
+        registry.tag("prod", "v0002")  # move prod off the victim
+        assert registry.gc(keep_last=1) == ["v0001"]
+        with pytest.raises(KeyError, match="unknown model version"):
+            registry.resolve("v0001")
+        assert not (registry.models_dir / "v0001.npz").exists()
+
+    def test_ids_never_reused_after_gc(self, registry, alternate_model, trained_tuner):
+        self._publish_n(registry, alternate_model, trained_tuner.fingerprint(), 1)
+        registry.tag("prod", "v0002")
+        registry.gc(keep_last=1)
+        assert registry.publish(
+            alternate_model, trained_tuner.fingerprint()
+        ) == "v0003"
+
+    def test_everything_protected_is_noop(self, registry):
+        assert registry.gc(keep_last=5) == []
+        assert registry.versions() == ["v0001"]
+
+    def test_keep_last_validated(self, registry):
+        with pytest.raises(ValueError, match="keep_last"):
+            registry.gc(keep_last=0)
+
+
+class TestTagRollbackUnderConcurrentReaders:
+    def test_readers_always_see_complete_models(
+        self, registry, alternate_model, trained_tuner
+    ):
+        """Flip a tag back and forth while readers load through it: every
+        read must observe a complete (v0001 or v0002) model — never torn
+        state, never a missing file."""
+        import threading
+
+        v2 = registry.publish(alternate_model, trained_tuner.fingerprint())
+        expected = {
+            "v0001": trained_tuner.model.w_,
+            v2: alternate_model.w_,
+        }
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    version = registry.resolve("prod")
+                    model = registry.load(
+                        version, expect_fingerprint=trained_tuner.fingerprint()
+                    )
+                    assert np.array_equal(model.w_, expected[version])
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(30):  # promote / roll back repeatedly
+                registry.tag("prod", v2)
+                registry.tag("prod", "v0001")
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert failures == []
+        assert registry.resolve("prod") == "v0001"
+
+
 class TestGuards:
     def test_fingerprint_mismatch_rejected(self, registry):
         with pytest.raises(ValueError, match="fingerprint mismatch"):

@@ -1,0 +1,189 @@
+"""Tests for the PR-3 service features: top-k mode, candidate interning,
+and the response-hook (feedback) API."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service.cache import InternedCandidates, candidate_set_hash, intern_candidates
+from repro.service.server import TuningService
+from repro.stencil.suite import benchmark_by_id
+from repro.tuning.space import patus_space
+
+
+def _candidates(instance, n=48, seed=0):
+    return patus_space(instance.dims).random_vectors(n, rng=seed)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestTopK:
+    def test_top_k_is_prefix_of_full_ranking(self, registry):
+        inst = benchmark_by_id("laplacian-128x128x128")
+        cands = _candidates(inst)
+
+        async def main():
+            async with TuningService(registry) as service:
+                top = await service.rank(inst, cands, top_k=5)
+                full = await service.rank(inst, list(cands))
+                return top, full
+
+        top, full = run(main())
+        assert len(top.ranked) == 5
+        assert top.ranked == full.ranked[:5]
+        assert top.best == full.best
+        # scores stay complete and aligned with the request's order
+        assert np.array_equal(top.scores, full.scores)
+
+    def test_top_k_and_full_share_cache_entries(self, registry):
+        inst = benchmark_by_id("blur-1024x768")
+        cands = _candidates(inst)
+
+        async def main():
+            async with TuningService(registry) as service:
+                first = await service.rank(inst, cands, top_k=3)
+                second = await service.rank(inst, list(cands))  # full, same key
+                third = await service.rank(inst, list(cands), top_k=7)
+                return service, first, second, third
+
+        service, first, second, third = run(main())
+        assert not first.cached and second.cached and third.cached
+        # one encode+score pass served all three shapes of the answer
+        assert service.telemetry.scored_candidates_total == len(cands)
+        assert third.ranked == second.ranked[:7]
+
+    def test_top_k_larger_than_set_returns_everything(self, registry):
+        inst = benchmark_by_id("edge-512x512")
+        cands = _candidates(inst, n=6)
+
+        async def main():
+            async with TuningService(registry) as service:
+                return await service.rank(inst, cands, top_k=100)
+
+        response = run(main())
+        assert len(response.ranked) == 6
+
+    def test_top_k_validated(self, registry):
+        inst = benchmark_by_id("edge-512x512")
+
+        async def main():
+            async with TuningService(registry) as service:
+                with pytest.raises(ValueError, match="top_k"):
+                    await service.rank(inst, _candidates(inst), top_k=0)
+
+        run(main())
+
+
+class TestInterning:
+    def test_interned_answers_match_plain(self, registry):
+        inst = benchmark_by_id("laplacian-128x128x128")
+        cands = _candidates(inst)
+        interned = intern_candidates(cands)
+
+        async def main():
+            async with TuningService(registry) as service:
+                plain = await service.rank(inst, cands)
+                via_interned = await service.rank(inst, interned)
+                return plain, via_interned
+
+        plain, via_interned = run(main())
+        assert via_interned.ranked == plain.ranked
+        assert via_interned.cached  # same cache key as the plain request
+
+    def test_intern_precomputes_the_hash(self):
+        cands = _candidates(benchmark_by_id("edge-512x512"))
+        interned = intern_candidates(cands)
+        assert isinstance(interned, InternedCandidates)
+        assert interned.content_hash == candidate_set_hash(cands)
+        assert len(interned) == len(cands)
+        assert list(interned) == list(cands)
+
+    def test_intern_is_idempotent(self):
+        cands = _candidates(benchmark_by_id("edge-512x512"))
+        interned = intern_candidates(cands)
+        assert intern_candidates(interned) is interned
+
+    def test_interned_requests_skip_per_request_hashing(self, registry, monkeypatch):
+        inst = benchmark_by_id("blur-1024x768")
+        interned = intern_candidates(_candidates(inst))
+        calls = {"n": 0}
+        import repro.service.server as server_mod
+
+        real = server_mod.candidate_set_hash
+
+        def counting(cands):
+            calls["n"] += 1
+            return real(cands)
+
+        monkeypatch.setattr(server_mod, "candidate_set_hash", counting)
+
+        async def main():
+            async with TuningService(registry) as service:
+                for _ in range(3):
+                    await service.rank(inst, interned)
+
+        run(main())
+        assert calls["n"] == 0
+
+
+class TestResponseHooks:
+    def test_hook_sees_every_answer(self, registry):
+        inst = benchmark_by_id("laplacian-128x128x128")
+        cands = _candidates(inst)
+        seen = []
+
+        async def main():
+            async with TuningService(registry) as service:
+                service.add_response_hook(
+                    lambda q, c, r: seen.append((q, c, r))
+                )
+                first = await service.rank(inst, cands)
+                second = await service.rank(inst, list(cands))  # cache hit
+                return first, second
+
+        first, second = run(main())
+        assert len(seen) == 2
+        q, c, r = seen[0]
+        assert q is inst
+        assert list(c) == list(cands)
+        assert r.ranked == first.ranked
+        assert seen[1][2].cached
+
+    def test_raising_hook_never_fails_the_request(self, registry):
+        inst = benchmark_by_id("edge-512x512")
+
+        def bad_hook(q, c, r):
+            raise RuntimeError("observability went down")
+
+        async def main():
+            async with TuningService(registry) as service:
+                service.add_response_hook(bad_hook)
+                response = await service.rank(inst, _candidates(inst))
+                return service, response
+
+        service, response = run(main())
+        assert response.ranked
+        assert service.hook_errors == 1
+        assert "observability" in str(service.last_hook_error)
+        assert service.telemetry.failed_total == 0
+
+    def test_remove_hook(self, registry):
+        inst = benchmark_by_id("edge-512x512")
+        seen = []
+        hook = lambda q, c, r: seen.append(r)  # noqa: E731
+
+        async def main():
+            async with TuningService(registry) as service:
+                service.add_response_hook(hook)
+                await service.rank(inst, _candidates(inst))
+                service.remove_response_hook(hook)
+                service.remove_response_hook(hook)  # no-op, no error
+                await service.rank(inst, _candidates(inst, seed=1))
+
+        run(main())
+        assert len(seen) == 1

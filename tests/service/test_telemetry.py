@@ -1,0 +1,69 @@
+"""Tests for ServiceTelemetry, including percentile edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.telemetry import ServiceTelemetry
+
+
+class TestPercentileEdgeCases:
+    def test_empty_window_reports_zero(self):
+        t = ServiceTelemetry()
+        assert t.latency_percentile(50) == 0.0
+        assert t.latency_percentile(99) == 0.0
+        snap = t.snapshot()
+        assert snap["latency_p50_ms"] == 0.0
+        assert snap["latency_p99_ms"] == 0.0
+
+    def test_single_sample_all_percentiles_equal(self):
+        t = ServiceTelemetry()
+        t.record_completion(0.25)
+        assert t.latency_percentile(0) == pytest.approx(0.25)
+        assert t.latency_percentile(50) == pytest.approx(0.25)
+        assert t.latency_percentile(99) == pytest.approx(0.25)
+        assert t.latency_percentile(100) == pytest.approx(0.25)
+
+    def test_single_failed_sample_still_counts_latency(self):
+        t = ServiceTelemetry()
+        t.record_completion(0.1, failed=True)
+        assert t.failed_total == 1 and t.completed_total == 0
+        assert t.latency_percentile(50) == pytest.approx(0.1)
+
+    def test_window_eviction_drops_old_latencies(self):
+        t = ServiceTelemetry(latency_window=2)
+        for latency in (10.0, 1.0, 2.0):
+            t.record_completion(latency)
+        # the 10 s outlier aged out of the 2-entry window
+        assert t.latency_percentile(100) == pytest.approx(2.0)
+
+    def test_window_size_validated(self):
+        with pytest.raises(ValueError, match="latency_window"):
+            ServiceTelemetry(latency_window=0)
+
+
+class TestCounters:
+    def test_mean_batch_size_zero_before_first_batch(self):
+        assert ServiceTelemetry().mean_batch_size == 0.0
+
+    def test_batch_accounting(self):
+        t = ServiceTelemetry()
+        t.record_batch(4)
+        t.record_batch(8)
+        assert t.batches_total == 2
+        assert t.mean_batch_size == pytest.approx(6.0)
+        assert t.max_batch_size == 8
+
+    def test_snapshot_keys_stable(self):
+        keys = set(ServiceTelemetry().snapshot())
+        assert {
+            "requests_total",
+            "completed_total",
+            "failed_total",
+            "batches_total",
+            "mean_batch_size",
+            "max_batch_size",
+            "scored_candidates_total",
+            "latency_p50_ms",
+            "latency_p99_ms",
+        } <= keys

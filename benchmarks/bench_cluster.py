@@ -1,0 +1,315 @@
+"""Benchmark of the multi-process cluster vs single-process serving.
+
+Pins the scale-out claim of PR 4 on the **established 256-request mixed
+preset load** (the ``bench_service.py`` workload: 16 distinct Fig. 4
+instances round-robined 16×): a 4-worker
+:class:`~repro.service.cluster.ServiceCluster` must clear **≥ 2.5×** the
+throughput of the single-process per-request baseline (one synchronous
+``rank_candidates`` pass per request — serving without batching, caching
+or parallelism), while answering with bit-identical top-k prefixes.
+Instance-affine routing is what makes this hold even on one core: every
+repeat lands on its owner's cache, so the cluster does the distinct-
+instance encodes once and answers the rest from per-worker LRUs.
+
+A second, deliberately encode-heavy row (64 distinct instances × 4) is
+recorded for the regime where fused encodes dominate.  The single-process
+``TuningService`` is measured alongside for transparency: on a multi-core
+box the cluster should beat it on the encode-heavy mix (parallel
+encodes); on a 1-core box it cannot (same work + IPC), which is why every
+row carries ``cpu_count``.
+
+Requests use worker-side preset candidate sets (``candidates=None`` —
+nothing preset-sized crosses the wire) and ``top_k=8`` answers with
+``include_scores=False``, the thrifty wire mode a production client
+would run.
+
+Run under pytest for the CI-safe smoke (no timing assertions), or as a
+script to record the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py   # writes BENCH_cluster.json
+
+In CI the script enforces a relaxed floor (cluster ≥ the single-process
+baseline) because shared-runner wall clocks make exact ratios unreliable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+import pytest
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.autotune.training import TrainingSetBuilder
+from repro.machine.executor import SimulatedMachine
+from repro.service import ModelRegistry, ServiceCluster, TuningService
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import TRAINING_SHAPES
+from repro.stencil.suite import TEST_BENCHMARKS
+from repro.tuning.presets import preset_candidates
+
+N_CONCURRENT = 256
+#: the established mixed preset load (bench_service.py): 16 distinct × 16
+N_DISTINCT = 16
+#: the encode-heavy stress mix: 64 distinct × 4
+N_DISTINCT_STRESS = 64
+N_WORKERS = 4
+TOP_K = 8
+TRAINING_POINTS = 640
+OUT_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
+
+
+def _train_tuner(points: int = TRAINING_POINTS) -> OrdinalAutotuner:
+    builder = TrainingSetBuilder(SimulatedMachine(seed=7), seed=7)
+    return OrdinalAutotuner().train(builder.build(points))
+
+
+def _distinct_instances(n: int) -> list[StencilInstance]:
+    """``n`` distinct instances: 3-D and 2-D, all families, varied content."""
+    families = sorted(TRAINING_SHAPES)
+    out: list[StencilInstance] = []
+    i = 0
+    while len(out) < n:
+        dims = 2 if i % 4 == 3 else 3  # one quarter 2-D traffic
+        family = families[i % len(families)]
+        radius = 1 + (i // len(families)) % 2
+        dtype = ("float", "double")[(i // (2 * len(families))) % 2]
+        base = 48 + 16 * ((i // (4 * len(families))) % 6)
+        kernel = StencilKernel(
+            f"{family}-bench-{dims}d-r{radius}-{dtype}",
+            (TRAINING_SHAPES[family](dims, radius),),
+            dtype=dtype,
+            space_dims=dims,
+        )
+        size = (base, base, base) if dims == 3 else (4 * base, 4 * base, 1)
+        out.append(StencilInstance(kernel, size))
+        i += 1
+    return out
+
+
+def _workload(n_requests: int, n_distinct: int) -> list[StencilInstance]:
+    """Mixed preset load: ``n_distinct`` instances, repeats shuffled in.
+
+    At the default 16 this is exactly the ``bench_service.py`` pool (the
+    Fig. 4 benchmarks); larger counts extend it with synthetic instances
+    for the encode-heavy regime.
+    """
+    if n_distinct <= len(TEST_BENCHMARKS):
+        pool = list(TEST_BENCHMARKS[:n_distinct])
+    else:
+        pool = _distinct_instances(n_distinct)
+    requests = [pool[i % len(pool)] for i in range(n_requests)]
+    rng = np.random.default_rng(2024)
+    rng.shuffle(requests)
+    return requests
+
+
+def _sequential(tuner: OrdinalAutotuner, instances, presets) -> tuple[list, float]:
+    """Single-process per-request baseline: one rank_candidates per request.
+
+    Preset lists are precomputed and shared, so the loop pays encode+score
+    only — the same work per request that ``tune()`` would do, minus
+    preset regeneration (which would only flatter the other sides).
+    """
+    start = time.perf_counter()
+    tops = [
+        tuner.rank_candidates(q, presets[q.dims])[:TOP_K] for q in instances
+    ]
+    return tops, time.perf_counter() - start
+
+
+async def _serve_single(registry: ModelRegistry, instances) -> tuple[list, float, dict]:
+    """Single-process TuningService on the identical workload (top-k mode)."""
+    async with TuningService(registry, default_model="prod") as service:
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(service.rank(q, top_k=TOP_K) for q in instances)
+        )
+        elapsed = time.perf_counter() - start
+        return [r.ranked for r in responses], elapsed, service.stats()
+
+
+def _warm_instances(cluster, per_worker: int = 3) -> list[StencilInstance]:
+    """Warmup instances covering *every* worker's shard, none in the workload.
+
+    Routing is instance-affine, so a blind warmup can leave workers cold
+    (model load, first fused encode, allocator growth) and charge that to
+    the timed region.  The parent shares the router, so it can pick warm
+    instances per shard deterministically.
+    """
+    from repro.stencil.execution import instance_hash
+
+    # drawn past every workload pool, so warming never pre-fills a cache
+    # entry the timed region will ask for
+    pool = _distinct_instances(N_DISTINCT_STRESS + 64)[N_DISTINCT_STRESS:]
+    per_shard: dict[int, int] = {}
+    picked = []
+    for q in pool:
+        worker = cluster.router.route(instance_hash(q))
+        if per_shard.get(worker, 0) < per_worker:
+            per_shard[worker] = per_shard.get(worker, 0) + 1
+            picked.append(q)
+        if len(per_shard) == len(cluster.alive_workers()) and all(
+            n >= per_worker for n in per_shard.values()
+        ):
+            break
+    return picked
+
+
+def _serve_cluster(
+    registry_root, instances, n_workers: int
+) -> tuple[list, float, dict]:
+    """The cluster side: concurrent submits, worker-side presets, thrifty wire."""
+    with ServiceCluster(
+        registry_root, n_workers=n_workers, default_model="prod"
+    ) as cluster:
+        # warm every worker (imports, model load, first fused preset
+        # encodes) off the clock — the timed region measures serving, not
+        # process boot
+        warm_futures = [
+            cluster.submit(q, top_k=1, include_scores=False)
+            for q in _warm_instances(cluster)
+        ]
+        for fut in warm_futures:
+            fut.result(timeout=300)
+        start = time.perf_counter()
+        futures = [
+            cluster.submit(q, top_k=TOP_K, include_scores=False) for q in instances
+        ]
+        answers = [f.result(timeout=600) for f in futures]
+        elapsed = time.perf_counter() - start
+        stats = cluster.stats()
+    return [a.ranked for a in answers], elapsed, stats
+
+
+def bench_cluster(
+    n_requests: int = N_CONCURRENT,
+    n_distinct: int = N_DISTINCT,
+    n_workers: int = N_WORKERS,
+    tuner: "OrdinalAutotuner | None" = None,
+) -> dict:
+    """One full three-way comparison; returns the result row (plus answers)."""
+    tuner = tuner or _train_tuner()
+    instances = _workload(n_requests, n_distinct)
+    presets = {2: preset_candidates(2), 3: preset_candidates(3)}
+    # untimed warmup of the in-process sides
+    pool = instances[:8]
+    _sequential(tuner, pool, presets)
+    tuner.encoder.encode_many([(q, presets[q.dims]) for q in pool])
+    with TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
+        clustered, cluster_s, cluster_stats = _serve_cluster(
+            tmp, instances, n_workers
+        )
+        single, single_s, single_stats = asyncio.run(_serve_single(registry, instances))
+    sequential, sequential_s = _sequential(tuner, instances, presets)
+    return {
+        "n_requests": n_requests,
+        "n_distinct_instances": n_distinct,
+        "n_workers": n_workers,
+        "top_k": TOP_K,
+        "cpu_count": os.cpu_count(),
+        "cluster_s": cluster_s,
+        "single_service_s": single_s,
+        "sequential_s": sequential_s,
+        "cluster_rps": n_requests / cluster_s,
+        "single_service_rps": n_requests / single_s,
+        "sequential_rps": n_requests / sequential_s,
+        "speedup_vs_single_process": sequential_s / cluster_s,
+        "speedup_vs_single_service": single_s / cluster_s,
+        "cluster_stats": cluster_stats["cluster"],
+        "single_service_stats": single_stats,
+        "_clustered": clustered,
+        "_single": single,
+        "_sequential": sequential,
+    }
+
+
+# -- pytest smoke (timing-free where CI is involved) ---------------------------
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    return _train_tuner()
+
+
+def test_smoke_two_workers_mixed_load(tuner):
+    """2 workers, 48 mixed requests: bit-identical top-k vs both baselines,
+    no failures, both shards exercised, repeats cached worker-side."""
+    result = bench_cluster(48, n_distinct=12, n_workers=2, tuner=tuner)
+    assert result["_clustered"] == result["_sequential"], "top-k answers diverged"
+    assert result["_clustered"] == result["_single"]
+    stats = result["cluster_stats"]
+    assert stats["workers"] == 2
+    assert stats["failed_total"] == 0
+    assert stats["requests_total"] >= 48  # workload (+ per-shard warmup)
+    assert stats["cache_hits"] > 0, "repeats must hit the per-worker caches"
+
+
+def main() -> None:
+    """Record the cluster-vs-single trajectory to BENCH_cluster.json."""
+    tuner = _train_tuner()
+    rows = []
+    for n_workers, n_distinct in (
+        (1, N_DISTINCT),
+        (N_WORKERS, N_DISTINCT),  # the headline row (acceptance gate)
+        (N_WORKERS, N_DISTINCT_STRESS),  # encode-heavy stress mix
+    ):
+        row = bench_cluster(N_CONCURRENT, n_distinct, n_workers, tuner)
+        assert row.pop("_clustered") == row.pop("_sequential"), "answers diverged"
+        row.pop("_single")
+        rows.append(row)
+        print(
+            f"workers={n_workers} distinct={n_distinct:3d}  "
+            f"cluster {row['cluster_s'] * 1e3:8.1f} ms "
+            f"({row['cluster_rps']:6.0f} req/s)  "
+            f"single-service {row['single_service_s'] * 1e3:8.1f} ms  "
+            f"sequential {row['sequential_s'] * 1e3:8.1f} ms  "
+            f"vs-single-process {row['speedup_vs_single_process']:5.2f}x  "
+            f"vs-single-service {row['speedup_vs_single_service']:5.2f}x  "
+            f"hit rate {row['cluster_stats']['cache_hit_rate']:.2f}"
+        )
+    headline = rows[1]
+    in_ci = os.environ.get("CI", "").lower() == "true"
+    floor = 1.0 if in_ci else 2.5
+    assert headline["speedup_vs_single_process"] >= floor, (
+        f"cluster at {N_WORKERS} workers is only "
+        f"{headline['speedup_vs_single_process']:.2f}x the single-process "
+        f"baseline on the mixed preset load (floor {floor}x)"
+    )
+    payload = {
+        "benchmark": (
+            "ServiceCluster (multi-process, instance-affine) vs single-process "
+            "serving"
+        ),
+        "workload": (
+            f"{N_CONCURRENT} concurrent top-{TOP_K} requests; headline row: "
+            f"the bench_service mixed preset load ({N_DISTINCT} distinct "
+            f"Fig. 4 instances x {N_CONCURRENT // N_DISTINCT}); stress row: "
+            f"{N_DISTINCT_STRESS} distinct mixed 2-D/3-D instances x "
+            f"{N_CONCURRENT // N_DISTINCT_STRESS}; worker-side preset "
+            f"candidate sets (1600 2-D / 8640 3-D)"
+        ),
+        "baselines": {
+            "single_process": "sequential per-request rank_candidates loop",
+            "single_service": "one in-process TuningService (batched + cached)",
+        },
+        "acceptance": (
+            f">= 2.5x vs single_process at {N_WORKERS} workers on the mixed "
+            f"preset load (CI floor: >= 1.0x on shared runners)"
+        ),
+        "results": rows,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,12 +12,16 @@ full or not at all — no partially charged batches.
 
 The wrapper keeps its own counters (the underlying machine may be shared
 with other consumers) and can be refilled per collection window with
-:meth:`refill`.
+:meth:`refill` — or automatically on a wall-clock schedule armed with
+:meth:`refill_every` ("so many probes per N seconds"), which is how a
+long-running continual-learning deployment budgets probing without anyone
+remembering to call :meth:`refill`.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+from typing import Callable, Sequence
 
 from repro.machine.executor import BatchMeasurement, SimulatedMachine
 from repro.stencil.instance import StencilInstance
@@ -55,12 +59,19 @@ class BudgetedMachine:
         self.spent_wall_s = 0.0
         #: probes refused because the budget would have been exceeded
         self.refused = 0
+        #: wall-clock budget window in seconds (None = manual refills only)
+        self.refill_window_s: "float | None" = None
+        #: completed automatic window rollovers
+        self.auto_refills = 0
+        self._clock: "Callable[[], float]" = time.monotonic
+        self._window_start = 0.0
 
     # -- budget arithmetic -----------------------------------------------------
 
     @property
     def remaining_evaluations(self) -> "int | None":
         """Evaluations left in the budget (None = unlimited)."""
+        self._auto_refill()
         if self.max_evaluations is None:
             return None
         return max(0, self.max_evaluations - self.spent_evaluations)
@@ -68,6 +79,7 @@ class BudgetedMachine:
     @property
     def remaining_wall_s(self) -> "float | None":
         """Simulated seconds left in the budget (None = unlimited)."""
+        self._auto_refill()
         if self.max_wall_s is None:
             return None
         return max(0.0, self.max_wall_s - self.spent_wall_s)
@@ -131,6 +143,8 @@ class BudgetedMachine:
         """Reset spent counters for a new collection window.
 
         New caps may be supplied; omitted ones keep their current value.
+        A manual refill also restarts the automatic window, if one is
+        armed — "refill now" means "the new window starts now".
         """
         if max_evaluations is not None:
             self.max_evaluations = max_evaluations
@@ -138,6 +152,60 @@ class BudgetedMachine:
             self.max_wall_s = max_wall_s
         self.spent_evaluations = 0
         self.spent_wall_s = 0.0
+        if self.refill_window_s is not None:
+            self._window_start = self._clock()
+
+    def refill_every(
+        self,
+        seconds: "float | None",
+        clock: "Callable[[], float] | None" = None,
+    ) -> "BudgetedMachine":
+        """Arm (or with ``None`` disarm) automatic wall-clock-window refills.
+
+        Once armed, the spent counters reset whenever ``seconds`` of real
+        time have passed since the window opened — checked lazily at every
+        affordability decision, so no timer thread is involved.  Several
+        idle windows collapse into **one** reset (budget never accumulates
+        across windows), and the window grid stays aligned to the arming
+        instant: a refill at 2.3 windows leaves the next boundary at 3.0,
+        not 3.3.
+
+        The accounting contract with all-or-nothing batches: a batch is
+        priced, admitted and charged entirely against the window observed
+        when its measurement *starts*.  A boundary passing mid-measurement
+        takes effect at the next affordability check — an inflight batch
+        is never split across windows and never double-refunded.
+
+        ``clock`` defaults to :func:`time.monotonic`; tests inject a fake.
+        Arming starts a fresh window with full budget.  Returns ``self``
+        so construction can chain: ``BudgetedMachine(m, 100).refill_every(60)``.
+        """
+        if seconds is None:
+            self.refill_window_s = None
+            return self
+        if seconds <= 0:
+            raise ValueError(f"refill window must be positive, got {seconds}")
+        if clock is not None:
+            self._clock = clock
+        self.refill_window_s = float(seconds)
+        self._window_start = self._clock()
+        self.spent_evaluations = 0
+        self.spent_wall_s = 0.0
+        return self
+
+    def _auto_refill(self) -> None:
+        """Roll the budget window forward if its wall-clock span has passed."""
+        if self.refill_window_s is None:
+            return
+        elapsed = self._clock() - self._window_start
+        if elapsed >= self.refill_window_s:
+            # advance by whole windows: long idle stretches do not bank
+            # multiple budgets, and the boundary grid stays fixed
+            windows = int(elapsed // self.refill_window_s)
+            self._window_start += windows * self.refill_window_s
+            self.spent_evaluations = 0
+            self.spent_wall_s = 0.0
+            self.auto_refills += 1
 
     # -- measurement -----------------------------------------------------------
 

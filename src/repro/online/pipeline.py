@@ -199,6 +199,9 @@ class ContinualLearningPipeline:
                 "n_holdout_records": len(hold),
                 "candidate_tau": shadow.candidate_tau,
                 "production_tau": shadow.production_tau,
+                # per-family (candidate, production, n) — the evidence the
+                # family-regression veto judged, kept for post-mortems
+                "family_taus": shadow.family_taus(),
                 "promoted": decision.promoted,
                 "version": decision.version,
                 "decision_reason": decision.reason,

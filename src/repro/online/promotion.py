@@ -47,13 +47,32 @@ class PromotionPolicy:
         tag: str = "prod",
         min_improvement: float = 0.0,
         min_records: int = 4,
+        max_family_regression: "float | None" = None,
+        min_family_records: int = 2,
     ) -> None:
         if min_records < 1:
             raise ValueError(f"min_records must be >= 1, got {min_records}")
+        if max_family_regression is not None and max_family_regression < 0:
+            raise ValueError(
+                f"max_family_regression must be >= 0, got {max_family_regression}"
+            )
+        if min_family_records < 1:
+            raise ValueError(
+                f"min_family_records must be >= 1, got {min_family_records}"
+            )
         self.registry = registry
         self.tag = tag
         self.min_improvement = min_improvement
         self.min_records = min_records
+        #: per-family veto: a candidate that improves the *mean* but drops
+        #: any single stencil family's shadow τ by more than this below
+        #: production is rejected (None disables the gate).  Guards against
+        #: the classic continual-learning failure of trading away a quiet
+        #: family's quality for the currently drifting one's.
+        self.max_family_regression = max_family_regression
+        #: families with fewer held-out records than this cannot veto — a
+        #: one-record family is noise, not evidence
+        self.min_family_records = min_family_records
         #: the displaced version keeps this tag so retention gc (which
         #: spares every tagged version) can never collect a rollback target
         self.rollback_tag = f"{tag}-rollback"
@@ -99,6 +118,25 @@ class PromotionPolicy:
                 ),
                 shadow=shadow,
             )
+        if self.max_family_regression is not None:
+            regressed = shadow.regressed_families(
+                self.max_family_regression, self.min_family_records
+            )
+            if regressed:
+                worst = ", ".join(
+                    f"{family} ({cand:.3f} vs {prod:.3f})"
+                    for family, cand, prod in regressed
+                )
+                return PromotionDecision(
+                    promoted=False,
+                    version=None,
+                    previous=previous,
+                    reason=(
+                        f"family regression veto (tolerance "
+                        f"{self.max_family_regression}): {worst}"
+                    ),
+                    shadow=shadow,
+                )
         version = self.registry.publish(
             candidate, encoder_fingerprint, note=note or shadow.summary()
         )

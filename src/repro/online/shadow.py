@@ -64,10 +64,48 @@ class ShadowReport:
     #: ``production_taus[i]`` grade the same held-out record
     candidate_taus: tuple[float, ...] = ()
     production_taus: tuple[float, ...] = ()
+    #: stencil family of each held-out record, aligned with the τ tuples —
+    #: what lets the promotion policy veto a mean-improving candidate that
+    #: trades one family's quality away for another's
+    families: tuple[str, ...] = ()
 
     def candidate_wins(self, min_improvement: float = 0.0) -> bool:
         """Whether the candidate clears production by ``min_improvement``."""
         return self.candidate_tau >= self.production_tau + min_improvement
+
+    def family_taus(self) -> "dict[str, tuple[float, float, int]]":
+        """Per-family (candidate mean τ, production mean τ, record count).
+
+        Empty when the report carries no family annotations (older
+        records, or a hand-built report) — the per-family gate then has
+        nothing to veto on and promotion falls back to the global bar.
+        """
+        sums: dict[str, list[float]] = {}
+        for family, cand, prod in zip(
+            self.families, self.candidate_taus, self.production_taus
+        ):
+            acc = sums.setdefault(family, [0.0, 0.0, 0])
+            acc[0] += cand
+            acc[1] += prod
+            acc[2] += 1
+        return {
+            family: (cand_sum / n, prod_sum / n, n)
+            for family, (cand_sum, prod_sum, n) in sums.items()
+        }
+
+    def regressed_families(
+        self, tolerance: float, min_records: int = 1
+    ) -> "list[tuple[str, float, float]]":
+        """Families where the candidate falls more than ``tolerance`` below
+        production, among families with at least ``min_records`` held-out
+        records; returns (family, candidate mean τ, production mean τ)
+        sorted worst regression first."""
+        out = [
+            (family, cand, prod)
+            for family, (cand, prod, n) in self.family_taus().items()
+            if n >= min_records and cand < prod - tolerance
+        ]
+        return sorted(out, key=lambda item: item[1] - item[2])
 
     def summary(self) -> str:
         """One-line description for logs and events."""
@@ -99,4 +137,5 @@ class ShadowEvaluator:
             n_records=len(window),
             candidate_taus=tuple(float(t) for t in taus[0]),
             production_taus=tuple(float(t) for t in taus[1]),
+            families=tuple(fb.family for fb in window),
         )

@@ -12,10 +12,17 @@ package provides the production pieces around it:
   (instance fingerprint, candidate-set hash, model version);
 * :mod:`repro.service.registry` — the versioned, tagged
   :class:`ModelRegistry` with atomic writes and fingerprint validation;
-* :mod:`repro.service.telemetry` — request/batch/cache/latency counters.
+* :mod:`repro.service.telemetry` — request/batch/cache/latency counters,
+  plus :func:`merge_stats` for cluster-wide aggregation;
+* :mod:`repro.service.cluster` — :class:`ServiceCluster`, the
+  multi-process scale-out: instance-affine
+  (:class:`~repro.service.routing.ShardRouter`) worker processes behind
+  the shared registry, with crash rerouting and merged telemetry;
+* :mod:`repro.service.worker` / :mod:`repro.service.ipc` — the worker
+  entry point and the pickle wire protocol between parent and workers.
 
 See ``docs/serving.md`` for the architecture and ``examples/serve_tuner.py``
-for a runnable end-to-end session.
+/ ``examples/serve_cluster.py`` for runnable end-to-end sessions.
 """
 
 from repro.service.batching import MicroBatcher
@@ -26,19 +33,27 @@ from repro.service.cache import (
     candidate_set_hash,
     intern_candidates,
 )
+from repro.service.cluster import ClusterResponse, ServiceCluster
 from repro.service.registry import ModelRegistry
+from repro.service.routing import ShardRouter
 from repro.service.server import RankingResponse, TuningService
-from repro.service.telemetry import ServiceTelemetry
+from repro.service.telemetry import ServiceTelemetry, merge_stats
+from repro.service.worker import WorkerConfig
 
 __all__ = [
     "CachedRanking",
+    "ClusterResponse",
     "InternedCandidates",
     "MicroBatcher",
     "ModelRegistry",
     "RankingCache",
     "RankingResponse",
+    "ServiceCluster",
     "ServiceTelemetry",
+    "ShardRouter",
     "TuningService",
+    "WorkerConfig",
     "candidate_set_hash",
     "intern_candidates",
+    "merge_stats",
 ]

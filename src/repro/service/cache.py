@@ -34,6 +34,13 @@ __all__ = [
 #: C-level attribute fetch for the hot per-request hashing loop
 _CONTENT_KEY = operator.attrgetter("content_key")
 
+#: int domain tag mixed into every set digest.  Deliberately *not* a string:
+#: str hashes are randomized per process (PYTHONHASHSEED), while int and
+#: tuple-of-int hashes are build-stable — and an interned digest computed in
+#: a cluster parent must equal the digest its worker would compute for the
+#: same content, or repeat requests would never share cache entries.
+_SET_DOMAIN = 0x63616E6473  # "cands"
+
 
 def candidate_set_hash(candidates: Sequence[TuningVector]) -> int:
     """Content digest of an *ordered* candidate set.
@@ -43,10 +50,12 @@ def candidate_set_hash(candidates: Sequence[TuningVector]) -> int:
     Combines the vectors' precomputed ``content_key`` values with one tuple
     hash — this runs once per request on the service hot path, and for a
     preset-sized set it is ~50× cheaper than re-digesting every field.
-    (Keys are stable within one Python build — exactly the lifetime of the
-    in-process cache they guard.)
+    Every input to the digest is an int, so the value is stable across
+    processes and PYTHONHASHSEED draws (pinned by
+    ``tests/cluster/test_hash_properties.py``) — which is what lets
+    :class:`InternedCandidates` cross the cluster wire carrying its digest.
     """
-    return hash(("candidates", tuple(map(_CONTENT_KEY, candidates))))
+    return hash((_SET_DOMAIN, tuple(map(_CONTENT_KEY, candidates))))
 
 
 @dataclass(frozen=True)
@@ -126,6 +135,9 @@ class RankingCache:
         self._data: OrderedDict[tuple[int, int, str], CachedRanking] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: entries dropped by LRU pressure or version invalidation — the
+        #: cluster telemetry watches this to spot undersized worker caches
+        self.evictions = 0
 
     @staticmethod
     def key(
@@ -153,6 +165,7 @@ class RankingCache:
         self._data[key] = value
         while len(self._data) > self.max_entries:
             self._data.popitem(last=False)
+            self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
@@ -165,6 +178,7 @@ class RankingCache:
         stale = [k for k in self._data if k[2] == model_version]
         for k in stale:
             del self._data[k]
+        self.evictions += len(stale)
         return len(stale)
 
     def clear(self) -> None:
@@ -178,6 +192,7 @@ class RankingCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_hit_rate": self.hit_rate,
+            "cache_evictions": self.evictions,
         }
 
     def __len__(self) -> int:

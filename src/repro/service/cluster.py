@@ -1,0 +1,592 @@
+"""Multi-process serving: a cluster of tuning-service workers behind one registry.
+
+A single :class:`~repro.service.server.TuningService` is one core of
+encode+score.  :class:`ServiceCluster` is the scale-out unit the serving
+docs promised: N worker processes, each running its own service (own event
+loop, own :class:`~repro.service.cache.RankingCache`, own telemetry), all
+reading the **same on-disk**
+:class:`~repro.service.registry.ModelRegistry`.
+
+::
+
+     submit(instance, …)                     ┌───────────────────────────┐
+          │   instance_hash ── ShardRouter ──▶ worker 0  TuningService   │
+          │   (rendezvous,      │            │ worker 1  TuningService   │──┐
+          ▼    affine)          └───────────▶│ worker …  (per-worker     │  │
+     Future[ClusterResponse] ◀── replies ────│            cache+stats)   │  │
+                                             └─────────────┬─────────────┘  │
+                                                 ModelRegistry (shared root,│
+                                                 tags.json re-resolved per  │
+                                                 batch → cluster-wide hot   │
+                                                 swap on one tag move) ◀────┘
+
+Properties the ``tests/cluster/`` suites pin:
+
+* **bit-identical rankings** — every worker loads the same archive bytes
+  and runs the same fused encode + ``X @ w`` + stable argsort, so a
+  cluster answer equals ``OrdinalAutotuner.rank_candidates`` exactly, for
+  any worker count;
+* **instance affinity** — routing is rendezvous hashing over the alive
+  set (:class:`~repro.service.routing.ShardRouter`), so one instance
+  always hits one worker and per-worker caches stay hot;
+* **atomic hot swap** — a promotion is one atomic tag write; each worker
+  re-resolves tags per micro-batch, so every in-flight answer is computed
+  end-to-end by exactly one version (old or new, never a mixture);
+* **crash containment** — a killed worker's unanswered requests are
+  requeued to the surviving shards (ranking is pure, so re-execution is
+  safe), the router stops sending it traffic, and (by default) a
+  replacement process is spawned; the registry and the other workers'
+  caches are untouched.
+
+The parent API is thread-friendly (``submit`` returns a
+``concurrent.futures.Future``) with an async adapter (:meth:`rank`), so
+both sync drivers and asyncio applications can use the cluster directly.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing as mp
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.service.cache import InternedCandidates
+from repro.service.ipc import (
+    ErrorReply,
+    RankReply,
+    RankRequest,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+)
+from repro.service.registry import LATEST
+from repro.service.routing import ShardRouter
+from repro.service.telemetry import merge_stats
+from repro.service.worker import WorkerConfig, worker_main
+from repro.stencil.execution import instance_hash
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+
+__all__ = ["ClusterResponse", "ServiceCluster"]
+
+
+def _settle(future: "concurrent.futures.Future", value=None, error: "Exception | None" = None) -> None:
+    """Resolve a future, tolerating a client cancelling it concurrently.
+
+    ``submit()`` hands out plain futures, so a caller may ``cancel()``
+    one at any moment — including between a ``done()`` check and the
+    ``set_result`` call.  The resulting ``InvalidStateError`` must never
+    escape into a reader thread: a dead reader would leave its worker
+    routed but unread, hanging the whole shard.
+    """
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+    except concurrent.futures.InvalidStateError:
+        pass  # cancelled (or already settled) by the caller: drop the answer
+
+
+@dataclass(frozen=True)
+class ClusterResponse:
+    """One answered cluster query."""
+
+    #: candidates best-first (truncated to ``top_k`` when requested)
+    ranked: list[TuningVector]
+    #: full score array aligned with the request's candidate order
+    #: (None when the request set ``include_scores=False``)
+    scores: "np.ndarray | None"
+    #: the concrete model version that produced the answer
+    model_version: str
+    #: whether the owning worker's ranking cache answered
+    cached: bool
+    #: parent-observed submit-to-answer latency, in seconds
+    latency_s: float
+    #: queue-to-answer latency inside the worker's service
+    service_latency_s: float
+    #: which worker answered (affinity: stable per instance)
+    worker_id: int
+    #: how many times the request was (re)dispatched (1 = no crash on its path)
+    attempts: int
+
+    @property
+    def best(self) -> TuningVector:
+        """The top-ranked configuration."""
+        return self.ranked[0]
+
+
+@dataclass
+class _PendingReq:
+    """A dispatched request awaiting its reply (or a re-dispatch)."""
+
+    req_id: int
+    instance: StencilInstance
+    candidates: "Sequence[TuningVector] | InternedCandidates | None"
+    model_ref: str
+    top_k: "int | None"
+    include_scores: bool
+    future: "concurrent.futures.Future[ClusterResponse]"
+    submitted_at: float
+    attempts: int = 0
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    worker_id: int
+    process: "mp.process.BaseProcess"
+    conn: object  # multiprocessing.connection.Connection
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    pending: "dict[int, _PendingReq]" = field(default_factory=dict)
+    stats_pending: "dict[int, concurrent.futures.Future]" = field(default_factory=dict)
+    reader: "threading.Thread | None" = None
+    dead: bool = False
+    restarts: int = 0
+
+
+class ServiceCluster:
+    """Instance-affine, crash-tolerant multi-process tuning service.
+
+    Usage::
+
+        with ServiceCluster(registry_root, n_workers=4) as cluster:
+            future = cluster.submit(instance)          # thread-friendly
+            best = future.result().best
+            response = await cluster.rank(instance)    # or async
+    """
+
+    def __init__(
+        self,
+        registry_root: "str | Path",
+        n_workers: int = 4,
+        default_model: str = LATEST,
+        start_method: "str | None" = None,
+        restart_workers: bool = True,
+        max_restarts: int = 3,
+        max_batch_size: int = 64,
+        max_batch_delay_s: float = 0.002,
+        cache_entries: int = 4096,
+        latency_window: int = 4096,
+        max_cached_models: int = 8,
+        max_rows_per_pass: int = 32768,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.registry_root = str(registry_root)
+        self.n_workers = n_workers
+        self.restart_workers = restart_workers
+        self.max_restarts = max_restarts
+        self.config = WorkerConfig(
+            default_model=default_model,
+            max_batch_size=max_batch_size,
+            max_batch_delay_s=max_batch_delay_s,
+            cache_entries=cache_entries,
+            latency_window=latency_window,
+            max_cached_models=max_cached_models,
+            max_rows_per_pass=max_rows_per_pass,
+        )
+        self._ctx = _context(start_method)
+        self.router = ShardRouter(range(n_workers))
+        for worker_id in range(n_workers):  # routable only once spawned
+            self.router.mark_dead(worker_id)
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._lock = threading.RLock()
+        self._req_ids = iter(range(1, 1 << 62)).__next__
+        self._started = False
+        self._stopping = False
+        #: worker exits observed outside a clean stop
+        self.crashes = 0
+        #: chronological worker lifecycle events (spawn/exit/restart)
+        self.events: list[dict] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ServiceCluster":
+        """Spawn the worker processes (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._stopping = False
+            self._started = True
+        for worker_id in range(self.n_workers):
+            self._spawn(worker_id)
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Drain every accepted request, then stop all workers."""
+        with self._lock:
+            if not self._started:
+                return
+            self._stopping = True
+            handles = list(self._workers.values())
+        for handle in handles:
+            try:
+                with handle.send_lock:
+                    handle.conn.send(Shutdown())
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + timeout_s
+        for handle in handles:
+            handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():  # pragma: no cover - hung worker
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            # the dead process's pipe EOF wakes the reader; joining it
+            # before closing the connection keeps close() and recv() from
+            # ever running concurrently
+            if handle.reader is not None:
+                handle.reader.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        with self._lock:
+            stranded = [
+                p for h in self._workers.values() for p in h.pending.values()
+            ]
+            self._workers.clear()
+            for worker_id in self.router.alive():
+                self.router.mark_dead(worker_id)
+            self._started = False
+        for pending in stranded:  # pragma: no cover - drain failed
+            _settle(
+                pending.future,
+                error=RuntimeError("cluster stopped before the request was answered"),
+            )
+
+    def __enter__(self) -> "ServiceCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the cluster is accepting requests."""
+        return self._started and not self._stopping
+
+    def alive_workers(self) -> tuple[int, ...]:
+        """Worker ids currently routable."""
+        return self.router.alive()
+
+    # -- request API -----------------------------------------------------------
+
+    def submit(
+        self,
+        instance: StencilInstance,
+        candidates: "Sequence[TuningVector] | InternedCandidates | None" = None,
+        model: "str | None" = None,
+        top_k: "int | None" = None,
+        include_scores: bool = True,
+    ) -> "concurrent.futures.Future[ClusterResponse]":
+        """Route one ranking query to its shard; returns a future.
+
+        ``candidates=None`` uses the owning worker's preset set (nothing
+        preset-sized crosses the wire); an
+        :class:`~repro.service.cache.InternedCandidates` set ships its
+        precomputed digest, which stays valid across the process boundary.
+        """
+        if not self.running:
+            raise RuntimeError("ServiceCluster is not running; call start() first")
+        if top_k is not None and top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        pending = _PendingReq(
+            req_id=self._req_ids(),
+            instance=instance,
+            candidates=candidates,
+            model_ref=model or self.config.default_model,
+            top_k=top_k,
+            include_scores=include_scores,
+            future=concurrent.futures.Future(),
+            submitted_at=time.perf_counter(),
+        )
+        self._dispatch(pending)
+        return pending.future
+
+    async def rank(
+        self,
+        instance: StencilInstance,
+        candidates: "Sequence[TuningVector] | InternedCandidates | None" = None,
+        model: "str | None" = None,
+        top_k: "int | None" = None,
+        include_scores: bool = True,
+    ) -> ClusterResponse:
+        """Async adapter over :meth:`submit` for asyncio applications."""
+        import asyncio
+
+        return await asyncio.wrap_future(
+            self.submit(instance, candidates, model, top_k, include_scores)
+        )
+
+    def rank_sync(self, instance: StencilInstance, **kwargs: object) -> ClusterResponse:
+        """Blocking convenience wrapper: submit and wait."""
+        return self.submit(instance, **kwargs).result()  # type: ignore[arg-type]
+
+    # -- telemetry -------------------------------------------------------------
+
+    def stats(self, timeout_s: float = 10.0) -> dict:
+        """Aggregated cluster telemetry plus each worker's own snapshot.
+
+        ``cluster`` merges every worker's counters (summed totals, merged
+        hit rate, cluster-wide p50/p99 over the concatenated latency
+        windows — see :func:`repro.service.telemetry.merge_stats`);
+        ``workers`` maps worker id to its raw ``service.stats()``.
+        """
+        futures: dict[int, concurrent.futures.Future] = {}
+        with self._lock:
+            handles = [
+                self._workers[w] for w in self.router.alive() if w in self._workers
+            ]
+            for handle in handles:
+                req_id = self._req_ids()
+                fut: concurrent.futures.Future = concurrent.futures.Future()
+                handle.stats_pending[req_id] = fut
+                futures[handle.worker_id] = fut
+                try:
+                    with handle.send_lock:
+                        handle.conn.send(StatsRequest(req_id=req_id))
+                except (BrokenPipeError, OSError):
+                    handle.stats_pending.pop(req_id, None)
+                    _settle(fut, error=RuntimeError("worker pipe closed"))
+        replies: dict[int, StatsReply] = {}
+        for worker_id, fut in futures.items():
+            try:
+                replies[worker_id] = fut.result(timeout=timeout_s)
+            except Exception:  # dead mid-question: exclude from the merge
+                continue
+        merged = merge_stats(
+            [r.stats for r in replies.values()],
+            [r.latency_window for r in replies.values()],
+        )
+        return {
+            "cluster": merged,
+            "workers": {w: r.stats for w, r in sorted(replies.items())},
+            "alive_workers": list(self.router.alive()),
+            "crashes": self.crashes,
+        }
+
+    # -- fault injection (tests and drills) ------------------------------------
+
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL one worker — the crash-injection hook the test harness uses."""
+        with self._lock:
+            handle = self._workers.get(worker_id)
+        if handle is None:
+            raise KeyError(f"no such worker {worker_id}")
+        handle.process.kill()
+
+    # -- internals -------------------------------------------------------------
+
+    def _spawn(self, worker_id: int, restarts: int = 0) -> "_WorkerHandle | None":
+        """Start one worker process and register it for routing.
+
+        The expensive part — forking/spawning the process — runs *outside*
+        the cluster lock, so a restart never stalls the healthy shards'
+        traffic; only the registration (worker map, router, events) is
+        locked.  Returns None when the cluster stopped mid-spawn (the
+        orphan process is torn down).
+        """
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.registry_root, child_conn, self.config),
+            name=f"tuning-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # the parent must drop its copy of the child end, or reads on
+        # parent_conn would never see EOF when the worker dies
+        child_conn.close()
+        handle = _WorkerHandle(
+            worker_id=worker_id, process=process, conn=parent_conn, restarts=restarts
+        )
+        handle.reader = threading.Thread(
+            target=self._read_replies,
+            args=(handle,),
+            name=f"cluster-reader-{worker_id}",
+            daemon=True,
+        )
+        with self._lock:
+            if self._stopping or not self._started:
+                parent_conn.close()
+                process.terminate()
+                process.join(timeout=5.0)
+                return None
+            self._workers[worker_id] = handle
+            self.router.mark_alive(worker_id)
+            self.events.append(
+                {
+                    "type": "spawn",
+                    "worker": worker_id,
+                    "restarts": restarts,
+                    "pid": process.pid,
+                }
+            )
+        handle.reader.start()
+        return handle
+
+    def _read_replies(self, handle: _WorkerHandle) -> None:
+        """Reader thread: resolve futures for one worker until its pipe closes."""
+        while True:
+            try:
+                msg = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            except TypeError:
+                # CPython's Connection surfaces a concurrent close() from
+                # another thread (stop(), or a crash handler reacting to a
+                # failed send) as TypeError from the raw read — treat it
+                # exactly like the EOF it is
+                break
+            if isinstance(msg, (RankReply, ErrorReply)):
+                with self._lock:
+                    pending = handle.pending.pop(msg.req_id, None)
+                if pending is None:
+                    continue
+                if isinstance(msg, ErrorReply):
+                    _settle(pending.future, error=msg.error)
+                else:
+                    _settle(
+                        pending.future,
+                        ClusterResponse(
+                            ranked=msg.ranked,
+                            scores=msg.scores,
+                            model_version=msg.model_version,
+                            cached=msg.cached,
+                            latency_s=time.perf_counter() - pending.submitted_at,
+                            service_latency_s=msg.service_latency_s,
+                            worker_id=msg.worker_id,
+                            attempts=pending.attempts,
+                        ),
+                    )
+            elif isinstance(msg, StatsReply):
+                with self._lock:
+                    fut = handle.stats_pending.pop(msg.req_id, None)
+                if fut is not None:
+                    _settle(fut, msg)
+        self._on_worker_exit(handle)
+
+    def _on_worker_exit(self, handle: _WorkerHandle) -> None:
+        """Crash path: unroute, requeue the dead worker's shard, maybe restart."""
+        with self._lock:
+            if handle.dead or self._stopping:
+                return
+            handle.dead = True
+            self.crashes += 1
+            self.router.mark_dead(handle.worker_id)
+            orphans = list(handle.pending.values())
+            handle.pending.clear()
+            stats_orphans = list(handle.stats_pending.values())
+            handle.stats_pending.clear()
+            if self._workers.get(handle.worker_id) is handle:
+                del self._workers[handle.worker_id]
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            restart = self.restart_workers and handle.restarts < self.max_restarts
+            self.events.append(
+                {
+                    "type": "worker-exit",
+                    "worker": handle.worker_id,
+                    "requeued": len(orphans),
+                    "restarted": restart,
+                }
+            )
+        handle.process.join(timeout=5.0)  # reap; already exited
+        for fut in stats_orphans:
+            _settle(fut, error=RuntimeError("worker died before answering stats"))
+        if restart:  # outside the lock: a restart must not stall other shards
+            self._spawn(handle.worker_id, restarts=handle.restarts + 1)
+        # requeue after the replacement is routable: ranking is pure, so
+        # re-executing an orphaned request on another shard is safe
+        for pending in orphans:
+            self._dispatch(pending)
+
+    def _dispatch(self, pending: _PendingReq) -> None:
+        """Route and send one request; crashes during send trigger requeue."""
+        pending.attempts += 1
+        if pending.attempts > self.n_workers + self.max_restarts + 1:
+            _settle(  # pragma: no cover - repeated crashes
+                pending.future,
+                error=RuntimeError(
+                    f"request gave up after {pending.attempts - 1} dispatch attempts"
+                ),
+            )
+            return
+        with self._lock:
+            try:
+                worker_id = self.router.route(instance_hash(pending.instance))
+            except RuntimeError as exc:  # no alive workers
+                _settle(pending.future, error=exc)
+                return
+            handle = self._workers.get(worker_id)
+            if handle is None:  # stop() won the race with this dispatch
+                _settle(
+                    pending.future,
+                    error=RuntimeError("cluster stopped before the request was routed"),
+                )
+                return
+            handle.pending[pending.req_id] = pending
+        request = RankRequest(
+            req_id=pending.req_id,
+            instance=pending.instance,
+            candidates=pending.candidates,
+            model_ref=pending.model_ref,
+            top_k=pending.top_k,
+            include_scores=pending.include_scores,
+        )
+        try:
+            with handle.send_lock:
+                handle.conn.send(request)
+        except (BrokenPipeError, OSError):
+            # the worker died under our pen: the crash path requeues
+            # everything in its pending map, including this request
+            self._on_worker_exit(handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceCluster({self.registry_root!r}, "
+            f"alive={self.router.alive()}, crashes={self.crashes})"
+        )
+
+
+#: whether this process's (interpreter-wide) forkserver was asked to
+#: preload the worker module.  ``mp.get_context("forkserver")`` returns a
+#: process-global singleton, so the preload is configured exactly once —
+#: and only if the forkserver has not already been started by earlier
+#: code, in which case a late preload request would be silently ignored
+#: and workers would simply pay the numpy/scipy import themselves.
+_forkserver_preload_requested = False
+
+
+def _context(start_method: "str | None") -> "mp.context.BaseContext":
+    """The multiprocessing context to spawn workers with.
+
+    Default is ``forkserver`` (clean children — no inherited threads or
+    event loops — forked from a preloaded server, so per-worker startup
+    does not pay the numpy/scipy import) with the worker module preloaded;
+    platforms without it fall back to ``spawn``.  ``fork`` remains
+    selectable for tests that want millisecond spawns.
+    """
+    global _forkserver_preload_requested
+    if start_method is not None:
+        return mp.get_context(start_method)
+    try:
+        ctx = mp.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return mp.get_context("spawn")
+    if not _forkserver_preload_requested:
+        _forkserver_preload_requested = True
+        try:
+            ctx.set_forkserver_preload(["repro.service.worker"])
+        except Exception:  # pragma: no cover - server already running
+            pass
+    return ctx

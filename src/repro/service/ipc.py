@@ -1,0 +1,120 @@
+"""The cluster wire protocol: what crosses a worker pipe, and nothing else.
+
+One frozen dataclass per message kind, shipped over
+``multiprocessing.Pipe`` connections by pickle.  Everything on the wire is
+**content**, never identity: instances and tuning vectors are value
+objects whose hashes (:func:`repro.stencil.execution.instance_hash`,
+``TuningVector.content_key``) survive pickling bit-for-bit, which is what
+lets a worker's ranking cache and the parent's router agree on keys
+without ever sharing memory.
+
+Two deliberate wire economies, both load-bearing for throughput:
+
+* a :class:`RankRequest` with ``candidates=None`` means "use your preset
+  set" — the worker regenerates (and memoizes) the paper's preset
+  candidates locally instead of receiving ~8640 pickled vectors per
+  request (~700 bytes instead of ~300 KB on the wire);
+* ``include_scores=False`` asks the worker to omit the full score array
+  from the reply — a top-k client shipping 8 vectors back instead of a
+  preset-sized payload.
+
+Determinism note: scores travel as pickled ``float64`` arrays, which is an
+exact byte-level round trip — the cross-process bit-identity suites in
+``tests/cluster/`` compare them with ``np.array_equal``, no tolerance.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.service.cache import InternedCandidates
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+
+__all__ = [
+    "ErrorReply",
+    "RankReply",
+    "RankRequest",
+    "Shutdown",
+    "StatsReply",
+    "StatsRequest",
+    "picklable_error",
+]
+
+
+@dataclass(frozen=True)
+class RankRequest:
+    """One ranking query routed to a worker."""
+
+    req_id: int
+    instance: StencilInstance
+    #: explicit candidates, an interned set, or None for worker-side presets
+    candidates: "Sequence[TuningVector] | InternedCandidates | None"
+    #: registry version id, tag, or ``latest``
+    model_ref: str
+    #: answer with only the k best candidates (None = full ranking)
+    top_k: "int | None" = None
+    #: ship the full score array back (False: reply.scores is None)
+    include_scores: bool = True
+
+
+@dataclass(frozen=True)
+class RankReply:
+    """A successfully answered :class:`RankRequest`."""
+
+    req_id: int
+    ranked: list[TuningVector]
+    scores: "np.ndarray | None"
+    model_version: str
+    cached: bool
+    #: queue-to-answer latency inside the worker's service, in seconds
+    service_latency_s: float
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask a worker for its service stats and telemetry window."""
+
+    req_id: int
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """One worker's ``service.stats()`` snapshot plus its latency window."""
+
+    req_id: int
+    worker_id: int
+    stats: dict
+    latency_window: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A request that failed inside the worker (the exception travels)."""
+
+    req_id: int
+    error: Exception
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Drain inflight work, then exit the worker process."""
+
+
+def picklable_error(exc: Exception) -> Exception:
+    """``exc`` itself when it survives pickling, else a faithful stand-in.
+
+    Exceptions holding unpicklable payloads (open handles, locks) must not
+    kill the reply path — the *request* failed, the pipe must not.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")

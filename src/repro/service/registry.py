@@ -57,6 +57,10 @@ class ModelRegistry:
         self.models_dir = self.root / "models"
         self.models_dir.mkdir(parents=True, exist_ok=True)
         self._tags_path = self.root / "tags.json"
+        #: (raw bytes, parsed map) of the last tags.json read — a serving
+        #: worker re-resolves its tag on *every* micro-batch, so the poll
+        #: must cost a small read, not a JSON parse (see tags())
+        self._tags_cache: "tuple[bytes, dict[str, str]] | None" = None
 
     # -- publishing ------------------------------------------------------------
 
@@ -134,10 +138,25 @@ class ModelRegistry:
         return [name for _, name in sorted(found)]
 
     def tags(self) -> dict[str, str]:
-        """The current tag → version map (excluding the dynamic ``latest``)."""
-        if not self._tags_path.exists():
+        """The current tag → version map (excluding the dynamic ``latest``).
+
+        The parse is memoized against the file's raw bytes: the file is a
+        few dozen bytes, so re-reading it is a cheap syscall, and keying
+        the cache on content (rather than a stat signature, which can
+        alias when an inode is recycled within one filesystem timestamp
+        tick) means a moved tag can never be served stale — this is the
+        cross-process poll that lets every cluster worker observe a
+        promotion within one micro-batch.
+        """
+        try:
+            raw = self._tags_path.read_bytes()
+        except FileNotFoundError:
             return {}
-        return json.loads(self._tags_path.read_text())
+        cached = self._tags_cache
+        if cached is None or cached[0] != raw:
+            cached = (raw, json.loads(raw))
+            self._tags_cache = cached
+        return dict(cached[1])
 
     def tag(self, name: str, ref: str) -> str:
         """Point tag ``name`` at the version ``ref`` resolves to.
@@ -223,20 +242,40 @@ class ModelRegistry:
         The check runs against both the registry metadata and the
         fingerprint embedded in the archive itself, so neither a stale
         metadata file nor a swapped archive can slip through.
+
+        Resolution and the file reads are not one atomic step, so a
+        concurrent ``tag()`` + :meth:`gc` in another process can delete
+        the resolved version between them.  A tag or ``latest`` ref
+        retries against a fresh resolution (the mover's lock ordering
+        guarantees the *new* target exists, so each retry fails only if a
+        whole further move+gc cycle lands inside the read window); a
+        vanished concrete version id surfaces as :class:`KeyError`, same
+        as one never published.
         """
-        version = self.resolve(ref)
-        meta = self.describe(version)
-        if (
-            expect_fingerprint is not None
-            and meta.get("encoder_fingerprint") != expect_fingerprint
-        ):
-            raise ValueError(
-                f"encoder fingerprint mismatch for {version}: registry has "
-                f"{meta.get('encoder_fingerprint')!r}, expected {expect_fingerprint!r}"
-            )
-        return load_model(
-            self.models_dir / f"{version}.npz", expect_fingerprint=expect_fingerprint
-        )
+        attempts = 3
+        for attempt in range(attempts):
+            version = self.resolve(ref)
+            try:
+                meta = json.loads((self.models_dir / f"{version}.json").read_text())
+                if (
+                    expect_fingerprint is not None
+                    and meta.get("encoder_fingerprint") != expect_fingerprint
+                ):
+                    raise ValueError(
+                        f"encoder fingerprint mismatch for {version}: registry has "
+                        f"{meta.get('encoder_fingerprint')!r}, expected {expect_fingerprint!r}"
+                    )
+                return load_model(
+                    self.models_dir / f"{version}.npz",
+                    expect_fingerprint=expect_fingerprint,
+                )
+            except FileNotFoundError:
+                if attempt == attempts - 1 or ref == version:
+                    raise KeyError(
+                        f"model version {version!r} disappeared while loading "
+                        f"(garbage-collected by a concurrent retention pass)"
+                    ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ModelRegistry({str(self.root)!r}, versions={self.versions()})"

@@ -1,0 +1,91 @@
+"""Instance-affine routing: which worker owns which instance.
+
+A cluster of tuning-service workers only scales if each worker's ranking
+cache stays hot, and a per-worker cache stays hot only if the *same*
+instance always lands on the *same* worker.  :class:`ShardRouter` maps an
+instance fingerprint (:func:`repro.stencil.execution.instance_hash`) to a
+worker id with rendezvous (highest-random-weight) hashing:
+
+* **deterministic & process-stable** — the weight of (key, worker) is a
+  BLAKE2b hash (:func:`repro.util.rng.hash_seed`), so every process —
+  parents, workers, a test asserting affinity — computes the identical
+  route for the same alive set;
+* **balanced** — weights are uniform, so keys spread evenly across
+  workers (pinned over 10k synthetic instances in
+  ``tests/cluster/test_hash_properties.py``);
+* **minimal movement** — when a worker dies, only *its* keys move (each
+  key falls to its second-highest worker); every other instance keeps its
+  worker and therefore its warm cache.  Mod-N routing would reshuffle
+  nearly everything on a membership change.
+
+The router is pure bookkeeping over an alive-set — it neither talks to
+processes nor owns sockets, which keeps it independently testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.util.rng import hash_seed
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Rendezvous-hash routing of instance fingerprints to worker ids."""
+
+    def __init__(self, worker_ids: "Sequence[int] | Iterable[int]") -> None:
+        self._all = tuple(sorted(set(worker_ids)))
+        if not self._all:
+            raise ValueError("ShardRouter needs at least one worker id")
+        self._alive = set(self._all)
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def worker_ids(self) -> tuple[int, ...]:
+        """Every worker id ever registered, dead or alive, sorted."""
+        return self._all
+
+    def alive(self) -> tuple[int, ...]:
+        """Currently routable worker ids, sorted."""
+        return tuple(sorted(self._alive))
+
+    def mark_dead(self, worker_id: int) -> None:
+        """Remove a worker from routing (no-op if already dead)."""
+        self._alive.discard(worker_id)
+
+    def mark_alive(self, worker_id: int) -> None:
+        """(Re-)admit a worker to routing — e.g. after a restart."""
+        if worker_id not in self._all:
+            self._all = tuple(sorted(self._all + (worker_id,)))
+        self._alive.add(worker_id)
+
+    # -- routing ---------------------------------------------------------------
+
+    @staticmethod
+    def weight(key: int, worker_id: int) -> int:
+        """The rendezvous weight of (key, worker) — process-stable."""
+        return hash_seed("shard", key, worker_id)
+
+    def route(self, key: int) -> int:
+        """The alive worker owning ``key`` (an instance fingerprint).
+
+        Raises :class:`RuntimeError` when no worker is alive — the caller
+        decides whether that fails the request or waits for a restart.
+        """
+        if not self._alive:
+            raise RuntimeError("no alive workers to route to")
+        # ties are impossible in practice (64-bit uniform weights), but the
+        # worker-id tiebreak keeps the route a total function regardless
+        return max(self._alive, key=lambda w: (self.weight(key, w), w))
+
+    def shards(self, keys: Iterable[int]) -> dict[int, list[int]]:
+        """Group keys by their routed worker (diagnostics and tests)."""
+        out: dict[int, list[int]] = {w: [] for w in self.alive()}
+        for key in keys:
+            out[self.route(key)].append(key)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardRouter(alive={self.alive()}, all={self._all})"

@@ -30,6 +30,7 @@ it to a thread pool would cost more than it saves.
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -114,13 +115,33 @@ class TuningService:
         max_batch_delay_s: float = 0.002,
         cache_entries: int = 4096,
         latency_window: int = 4096,
+        max_cached_models: int = 8,
+        max_rows_per_pass: int = 32768,
     ) -> None:
+        if max_cached_models < 1:
+            raise ValueError(f"max_cached_models must be >= 1, got {max_cached_models}")
+        if max_rows_per_pass < 1:
+            raise ValueError(f"max_rows_per_pass must be >= 1, got {max_rows_per_pass}")
         self.registry = registry
         self.encoder = encoder or FeatureEncoder()
         self.default_model = default_model
         self.cache = RankingCache(cache_entries)
         self.telemetry = ServiceTelemetry(latency_window)
-        self._models: dict[str, RankSVM] = {}
+        self.max_cached_models = max_cached_models
+        #: cap on candidate rows encoded+scored in one fused pass.  A batch
+        #: of many distinct preset-sized instances would otherwise stack a
+        #: multi-GB feature matrix whose transients are page-fault-bound
+        #: (measured ~5× slower than the same rows in bounded slabs); the
+        #: slab boundary never splits one request, so answers stay
+        #: bit-identical — each row's X @ w is independent
+        self.max_rows_per_pass = max_rows_per_pass
+        #: resident encode buffer reused across fused passes (lazily sized);
+        #: without it every slab faults in a fresh ~100 MB allocation, which
+        #: dominates large mixed batches on first touch
+        self._encode_scratch: "np.ndarray | None" = None
+        #: LRU of loaded models — a long-lived worker hot-swaps through
+        #: many promotions, and retired versions must not accumulate
+        self._models: OrderedDict[str, RankSVM] = OrderedDict()
         #: dims -> (shared preset list, its content hash), computed once
         self._default_sets: dict[int, tuple[list[TuningVector], int]] = {}
         #: observers called with (instance, candidates, response) per answer
@@ -314,13 +335,17 @@ class TuningService:
         return misses
 
     def _score_group(self, version: str, reqs: list[_Pending]) -> None:
-        """Encode+score all requests of one model version in one fused pass.
+        """Encode+score all requests of one model version in fused passes.
 
         Identical queries that landed in the same micro-batch (same cache
         key) are deduplicated first: one representative is encoded and
         scored, the duplicates are answered from the just-cached entry —
         a repeat instance never pays for encoding twice, even before the
-        LRU has seen it.
+        LRU has seen it.  Representatives are packed into slabs of at most
+        ``max_rows_per_pass`` candidate rows (never splitting one request),
+        so a batch of many distinct preset-sized instances keeps its
+        transient arrays memory-resident instead of stacking one giant
+        feature matrix.
         """
         unique: dict[tuple[int, int, str], list[_Pending]] = {}
         for req in reqs:
@@ -332,22 +357,59 @@ class TuningService:
             for req in reqs:
                 self._fail(req, exc)
             return
-        try:
-            X = self.encoder.encode_many(
-                [(req.instance, req.candidates) for req in reps]
-            )
-            scores = model.decision_function(X)
-        except Exception:
-            # one unencodable request (e.g. kernel radius beyond the
-            # encoder's max_radius) must not poison the batch: fall back
-            # to isolating each unique query so only the culprit fails
-            for group in unique.values():
-                self._score_isolated(model, version, group)
-            return
-        self.telemetry.record_scored(len(X))
-        splits = np.cumsum([len(req.candidates) for req in reps])[:-1]
-        for group, s in zip(unique.values(), np.split(scores, splits)):
-            self._finish_group(version, group, s)
+        for slab in self._slabs(reps):
+            try:
+                X = self.encoder.encode_many(
+                    [(req.instance, req.candidates) for req in slab],
+                    out=self._scratch(sum(len(req.candidates) for req in slab)),
+                )
+                scores = model.decision_function(X)
+            except Exception:
+                # one unencodable request (e.g. kernel radius beyond the
+                # encoder's max_radius) must not poison the slab: fall back
+                # to isolating each unique query so only the culprit fails
+                for rep in slab:
+                    self._score_isolated(model, version, unique[rep.cache_key])
+                continue
+            self.telemetry.record_scored(len(X))
+            splits = np.cumsum([len(req.candidates) for req in slab])[:-1]
+            for rep, s in zip(slab, np.split(scores, splits)):
+                self._finish_group(version, unique[rep.cache_key], s)
+
+    def _scratch(self, rows: int) -> np.ndarray:
+        """The reusable encode buffer, grown (never shrunk) to ``rows``.
+
+        Growth is geometric, so a service settles at one resident buffer
+        matched to its workload — at most a ``max_rows_per_pass`` slab
+        (unless a single over-cap candidate set forces more) — while
+        small-query services never pay for a slab they will not fill.
+        """
+        current = 0 if self._encode_scratch is None else self._encode_scratch.shape[0]
+        if current < rows:
+            size = min(max(rows, 2 * current), max(rows, self.max_rows_per_pass))
+            self._encode_scratch = np.empty((size, self.encoder.num_features))
+        return self._encode_scratch
+
+    def _slabs(self, reps: list[_Pending]) -> "list[list[_Pending]]":
+        """Greedily pack requests into row-bounded fused-pass slabs.
+
+        A single oversized request (one candidate set beyond the cap)
+        still gets its own slab — the cap bounds *stacking*, it never
+        rejects a query.
+        """
+        slabs: list[list[_Pending]] = []
+        current: list[_Pending] = []
+        rows = 0
+        for rep in reps:
+            n = len(rep.candidates)
+            if current and rows + n > self.max_rows_per_pass:
+                slabs.append(current)
+                current, rows = [], 0
+            current.append(rep)
+            rows += n
+        if current:
+            slabs.append(current)
+        return slabs
 
     def _score_isolated(
         self, model: RankSVM, version: str, group: list[_Pending]
@@ -388,13 +450,25 @@ class TuningService:
             self._answer(dup, self.cache.get(dup.cache_key), cached=True)
 
     def _model(self, version: str) -> RankSVM:
-        """The memoized model for a concrete version (fingerprint-checked)."""
+        """The memoized model for a concrete version (fingerprint-checked).
+
+        Memoization is LRU-bounded: when a version is evicted (a worker
+        that has hot-swapped through many promotions), its ranking-cache
+        entries go with it — they are only reachable by requests pinning
+        that retired version, and keeping them would let every promotion
+        permanently grow the worker's footprint.
+        """
         model = self._models.get(version)
         if model is None:
             model = self.registry.load(
                 version, expect_fingerprint=self.encoder.fingerprint()
             )
             self._models[version] = model
+            while len(self._models) > self.max_cached_models:
+                evicted, _ = self._models.popitem(last=False)
+                self.cache.invalidate_version(evicted)
+        else:
+            self._models.move_to_end(version)
         return model
 
     # -- completion ------------------------------------------------------------

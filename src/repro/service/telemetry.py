@@ -6,15 +6,22 @@ coalescing them (batches formed, mean/max batch size), how often the
 ranking cache answers without re-encoding, and where the latency quantiles
 sit.  Latencies are kept in a bounded sliding window so a long-lived
 service node reports *recent* p50/p99, not all-time averages.
+
+A multi-process cluster has one telemetry object **per worker**;
+:func:`merge_stats` folds those snapshots into one cluster view — summed
+counters, a hit rate recomputed over the summed lookups (never an average
+of per-worker rates, which would weight an idle worker like a busy one),
+and cluster-wide percentiles over the concatenated latency windows.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ServiceTelemetry"]
+__all__ = ["ServiceTelemetry", "merge_stats"]
 
 
 class ServiceTelemetry:
@@ -71,6 +78,15 @@ class ServiceTelemetry:
             return 0.0
         return float(np.percentile(np.fromiter(self._latencies, dtype=float), q))
 
+    def window(self) -> tuple[float, ...]:
+        """The raw sliding latency window, oldest first.
+
+        This is what crosses the wire for cluster aggregation: merged
+        percentiles must be computed over the pooled samples — percentiles
+        of percentiles are not a thing.
+        """
+        return tuple(self._latencies)
+
     def snapshot(self) -> dict:
         """One dict with every headline number (for logs and benchmarks)."""
         return {
@@ -91,3 +107,67 @@ class ServiceTelemetry:
             f"batches={self.batches_total}, "
             f"mean_batch={self.mean_batch_size:.1f})"
         )
+
+
+#: snapshot counters that merge by summation (telemetry + cache keys)
+_SUMMED = (
+    "requests_total",
+    "completed_total",
+    "failed_total",
+    "batches_total",
+    "scored_candidates_total",
+    "cache_entries",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+)
+
+
+def merge_stats(
+    snapshots: Sequence[dict],
+    latency_windows: "Sequence[Sequence[float]] | None" = None,
+) -> dict:
+    """Fold per-worker ``service.stats()`` snapshots into one cluster view.
+
+    * counters sum; ``max_batch_size`` takes the max;
+    * ``mean_batch_size`` is recomputed as total batched requests over
+      total batches (recovered from each worker's own mean × count);
+    * ``cache_hit_rate`` is recomputed over the summed lookups;
+    * ``latency_p50_ms``/``latency_p99_ms`` come from the **pooled**
+      latency windows when provided (cluster-wide percentiles), else 0.
+
+    >>> merged = merge_stats([
+    ...     {"requests_total": 3, "batches_total": 1, "mean_batch_size": 3.0,
+    ...      "max_batch_size": 3, "cache_hits": 2, "cache_misses": 1},
+    ...     {"requests_total": 1, "batches_total": 1, "mean_batch_size": 1.0,
+    ...      "max_batch_size": 1, "cache_hits": 0, "cache_misses": 1},
+    ... ], [[0.1], [0.3]])
+    >>> merged["requests_total"], merged["mean_batch_size"]
+    (4, 2.0)
+    >>> round(merged["cache_hit_rate"], 3)
+    0.5
+    """
+    merged: dict = {"workers": len(snapshots)}
+    for key in _SUMMED:
+        merged[key] = sum(int(s.get(key, 0)) for s in snapshots)
+    merged["max_batch_size"] = max(
+        (int(s.get("max_batch_size", 0)) for s in snapshots), default=0
+    )
+    batched = sum(
+        s.get("mean_batch_size", 0.0) * s.get("batches_total", 0) for s in snapshots
+    )
+    merged["mean_batch_size"] = (
+        batched / merged["batches_total"] if merged["batches_total"] else 0.0
+    )
+    lookups = merged["cache_hits"] + merged["cache_misses"]
+    merged["cache_hit_rate"] = merged["cache_hits"] / lookups if lookups else 0.0
+    pooled = (
+        np.fromiter(
+            (x for window in latency_windows for x in window), dtype=float
+        )
+        if latency_windows is not None
+        else np.empty(0)
+    )
+    for name, q in (("latency_p50_ms", 50), ("latency_p99_ms", 99)):
+        merged[name] = float(np.percentile(pooled, q)) * 1e3 if pooled.size else 0.0
+    return merged

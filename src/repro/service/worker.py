@@ -1,0 +1,168 @@
+"""The cluster worker: one process, one event loop, one ``TuningService``.
+
+:func:`worker_main` is the target of every
+:class:`~repro.service.cluster.ServiceCluster` process.  It builds a fresh
+:class:`~repro.service.registry.ModelRegistry` handle on the shared root
+and a :class:`~repro.service.server.TuningService` with its **own**
+ranking cache and telemetry, then bridges the parent pipe onto the event
+loop:
+
+* a reader thread blocks on ``conn.recv()`` and forwards each message to
+  the loop (the loop itself must never block on the pipe);
+* each :class:`~repro.service.ipc.RankRequest` becomes a task awaiting
+  ``service.rank(...)`` — so requests micro-batch *inside* the worker
+  exactly as they would in a single-process service;
+* replies are sent from the loop thread only, which serializes pipe
+  writes without a lock.
+
+Hot swap needs no cluster machinery: the service re-resolves model tags
+against the on-disk registry on every micro-batch, so a tag moved by any
+process (a promotion, an operator) is observed here within one batch —
+the registry's content-cached tag reads make that poll one tiny file
+read, not a JSON parse.
+
+A worker never dies because one request did: per-request failures travel
+back as :class:`~repro.service.ipc.ErrorReply`; only
+:class:`~repro.service.ipc.Shutdown` (or a closed pipe) ends the process,
+and both drain inflight work first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+
+from repro.service.ipc import (
+    ErrorReply,
+    RankReply,
+    RankRequest,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+    picklable_error,
+)
+from repro.service.registry import LATEST, ModelRegistry
+from repro.service.server import TuningService
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Per-worker service knobs, shipped once at spawn time."""
+
+    default_model: str = LATEST
+    max_batch_size: int = 64
+    max_batch_delay_s: float = 0.002
+    cache_entries: int = 4096
+    latency_window: int = 4096
+    max_cached_models: int = 8
+    max_rows_per_pass: int = 32768
+
+
+def worker_main(worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig) -> None:
+    """Process entry point: serve ranking requests from ``conn`` until told to stop."""
+    try:
+        asyncio.run(_serve(worker_id, registry_root, conn, config))
+    finally:
+        conn.close()
+
+
+async def _serve(
+    worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig
+) -> None:
+    registry = ModelRegistry(registry_root)
+    service = TuningService(
+        registry,
+        default_model=config.default_model,
+        max_batch_size=config.max_batch_size,
+        max_batch_delay_s=config.max_batch_delay_s,
+        cache_entries=config.cache_entries,
+        latency_window=config.latency_window,
+        max_cached_models=config.max_cached_models,
+        max_rows_per_pass=config.max_rows_per_pass,
+    )
+    loop = asyncio.get_running_loop()
+    inbox: "asyncio.Queue[object]" = asyncio.Queue()
+
+    def read_pipe() -> None:
+        """Blocking pipe reads, forwarded to the loop; EOF means shutdown."""
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                msg = Shutdown()
+            except TypeError:
+                # a concurrent close() of the connection (worker_main's
+                # cleanup) surfaces as TypeError from the raw read; it
+                # carries the same meaning as EOF
+                msg = Shutdown()
+            loop.call_soon_threadsafe(inbox.put_nowait, msg)
+            if isinstance(msg, Shutdown):
+                return
+
+    reader = threading.Thread(
+        target=read_pipe, name=f"cluster-worker-{worker_id}-pipe", daemon=True
+    )
+    reader.start()
+
+    inflight: set[asyncio.Task] = set()
+    async with service:
+        while True:
+            msg = await inbox.get()
+            if isinstance(msg, Shutdown):
+                break
+            if isinstance(msg, StatsRequest):
+                _send(
+                    conn,
+                    StatsReply(
+                        req_id=msg.req_id,
+                        worker_id=worker_id,
+                        stats=service.stats(),
+                        latency_window=service.telemetry.window(),
+                    ),
+                )
+                continue
+            assert isinstance(msg, RankRequest), f"unexpected message {msg!r}"
+            task = asyncio.create_task(_handle(service, conn, msg, worker_id))
+            inflight.add(task)
+            task.add_done_callback(inflight.discard)
+        # drain: every accepted request is answered before the process exits,
+        # so a clean stop never strands a parent-side future
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+
+
+async def _handle(
+    service: TuningService, conn: Connection, req: RankRequest, worker_id: int
+) -> None:
+    try:
+        response = await service.rank(
+            req.instance,
+            candidates=req.candidates,
+            model=req.model_ref,
+            top_k=req.top_k,
+        )
+        reply: "RankReply | ErrorReply" = RankReply(
+            req_id=req.req_id,
+            ranked=list(response.ranked),
+            scores=response.scores if req.include_scores else None,
+            model_version=response.model_version,
+            cached=response.cached,
+            service_latency_s=response.latency_s,
+            worker_id=worker_id,
+        )
+    except Exception as exc:
+        reply = ErrorReply(req_id=req.req_id, error=picklable_error(exc), worker_id=worker_id)
+    _send(conn, reply)
+
+
+def _send(conn: Connection, reply: object) -> None:
+    try:
+        conn.send(reply)
+    except (BrokenPipeError, OSError):
+        # the parent is gone; nothing useful left to do with this reply —
+        # the dispatch loop will see EOF and shut the worker down
+        pass

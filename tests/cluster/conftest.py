@@ -1,0 +1,55 @@
+"""Shared fixtures for the multi-process serving (cluster) suites.
+
+The expensive things are session-scoped (one trained tuner); everything
+process-shaped is per-test: a fresh registry root under ``tmp_path`` and a
+cluster factory that guarantees worker processes are stopped even when an
+assertion fails mid-test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.service.cluster import ServiceCluster
+from repro.service.registry import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def cluster_tuner(tiny_training_set) -> OrdinalAutotuner:
+    """The single-process oracle every cluster answer is compared against."""
+    return OrdinalAutotuner(config=RankSVMConfig(seed=0)).train(tiny_training_set)
+
+
+@pytest.fixture(scope="session")
+def second_model(tiny_training_set) -> RankSVM:
+    """A distinguishable second model (different C) for hot-swap tests."""
+    return RankSVM(RankSVMConfig(C=0.05, seed=1)).fit(tiny_training_set.data)
+
+
+@pytest.fixture()
+def cluster_registry(tmp_path, cluster_tuner) -> ModelRegistry:
+    """A fresh registry holding the trained model as v0001, tagged prod."""
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(
+        cluster_tuner.model, cluster_tuner.fingerprint(), tags=("prod",), note="seed"
+    )
+    return registry
+
+
+@pytest.fixture()
+def make_cluster(cluster_registry):
+    """Factory for started clusters that are always stopped at teardown."""
+    started: list[ServiceCluster] = []
+
+    def factory(**kwargs) -> ServiceCluster:
+        kwargs.setdefault("n_workers", 2)
+        kwargs.setdefault("default_model", "prod")
+        cluster = ServiceCluster(cluster_registry.root, **kwargs)
+        started.append(cluster)
+        return cluster.start()
+
+    yield factory
+    for cluster in started:
+        cluster.stop()

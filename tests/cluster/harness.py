@@ -1,0 +1,115 @@
+"""Reusable helpers for the multi-process serving suites.
+
+Everything the cluster tests need to be *deterministic about concurrency*:
+request generators derived from :class:`~repro.online.workload.DriftingWorkload`
+(two runs, or two processes, see the identical episode), single-process
+oracles to compare cluster answers against bit-for-bit, and crash-injection
+utilities that wait for the cluster's crash handling to settle instead of
+sleeping and hoping.
+
+The benchmark (``benchmarks/bench_cluster.py``) intentionally does not
+import this module — benchmarks stay standalone scripts — but mirrors the
+same workload shape.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.online.workload import DriftingWorkload
+from repro.stencil.instance import StencilInstance
+from repro.tuning.vector import TuningVector
+
+__all__ = [
+    "assert_response_matches",
+    "expected_answer",
+    "kill_and_settle",
+    "wait_until",
+    "workload_requests",
+]
+
+
+def workload_requests(
+    n: int, seed: int = 0, candidates_per_request: int = 24, shift_at: "int | None" = None
+) -> "list[tuple[StencilInstance, list[TuningVector]]]":
+    """``n`` deterministic mixed-family ranking requests.
+
+    Derived from :class:`DriftingWorkload`, so the stream covers both the
+    phase-1 and phase-2 stencil families (the shift sits mid-stream by
+    default), instances repeat (cache traffic) and every run — every
+    *process* — regenerates the identical episode from the seed alone.
+    """
+    workload = DriftingWorkload(
+        shift_at=n // 2 if shift_at is None else shift_at,
+        seed=seed,
+        candidates_per_request=candidates_per_request,
+    )
+    return list(workload.stream(n))
+
+
+def expected_answer(
+    tuner: OrdinalAutotuner,
+    instance: StencilInstance,
+    candidates: "Sequence[TuningVector]",
+) -> "tuple[list[TuningVector], np.ndarray]":
+    """The single-process oracle: ``rank_candidates`` ordering + scores.
+
+    This is the exact bit-pattern every cluster worker must reproduce —
+    same encoder rows, same ``X @ w``, same stable argsort tie-breaking.
+    """
+    candidates = list(candidates)
+    scores = tuner.score_candidates(instance, candidates)
+    ranked = tuner.rank_candidates(instance, candidates)
+    return ranked, scores
+
+
+def assert_response_matches(
+    response,
+    ranked: "list[TuningVector]",
+    scores: np.ndarray,
+    top_k: "int | None" = None,
+) -> None:
+    """Assert one cluster response is bit-identical to the oracle answer."""
+    expected_list = ranked if top_k is None else ranked[:top_k]
+    assert response.ranked == expected_list, (
+        f"ranking diverged on worker {response.worker_id} "
+        f"(model {response.model_version})"
+    )
+    if response.scores is not None:
+        assert np.array_equal(np.asarray(response.scores), np.asarray(scores)), (
+            f"scores diverged on worker {response.worker_id} — not bit-identical"
+        )
+
+
+def wait_until(
+    predicate: "Callable[[], bool]", timeout_s: float = 10.0, interval_s: float = 0.02
+) -> bool:
+    """Poll ``predicate`` until true or the timeout passes."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def kill_and_settle(cluster, worker_id: int, timeout_s: float = 15.0) -> None:
+    """SIGKILL one worker and wait for the crash path to finish.
+
+    "Settled" means the exit was observed (crash counter moved) and either
+    a replacement is routable or the worker stays out of the alive set —
+    after this returns, new submissions cannot race the reroute.
+    """
+    crashes_before = cluster.crashes
+    cluster.kill_worker(worker_id)
+    assert wait_until(lambda: cluster.crashes > crashes_before, timeout_s), (
+        "worker exit was never observed"
+    )
+    if cluster.restart_workers:
+        assert wait_until(
+            lambda: worker_id in cluster.alive_workers(), timeout_s
+        ), "replacement worker never became routable"

@@ -1,0 +1,181 @@
+"""Worker crashes: rerouting without corrupting answers, cache, or registry.
+
+A SIGKILLed worker takes its process, event loop and ranking cache with
+it.  The cluster's obligations: requests that were inflight on the dead
+worker are re-executed elsewhere (ranking is pure, so that is safe), its
+shard reroutes deterministically, surviving workers' caches keep serving
+bit-identical answers, and the shared on-disk registry is untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.routing import ShardRouter
+from repro.stencil.execution import instance_hash
+from tests.cluster.harness import (
+    assert_response_matches,
+    expected_answer,
+    kill_and_settle,
+    wait_until,
+    workload_requests,
+)
+
+
+class TestCrashRerouting:
+    def test_inflight_requests_survive_a_kill(self, make_cluster, cluster_tuner):
+        """Kill a worker with a burst inflight: every request still gets a
+        bit-identical answer (requeued ones on another shard)."""
+        requests = workload_requests(60, seed=53)
+        cluster = make_cluster(n_workers=3, restart_workers=False)
+        futures = [cluster.submit(q, c) for q, c in requests]
+        cluster.kill_worker(1)
+        responses = [f.result(timeout=120) for f in futures]
+        for (instance, candidates), response in zip(requests, responses):
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores)
+        assert cluster.crashes == 1
+        requeued = [r for r in responses if r.attempts > 1]
+        routed_to_dead = [
+            (q, c)
+            for q, c in requests
+            if ShardRouter(range(3)).route(instance_hash(q)) == 1
+        ]
+        # everything that was answered despite targeting the dead shard
+        # either beat the kill or was requeued; nothing may be lost
+        assert len(responses) == len(requests)
+        if routed_to_dead:
+            survivors = {
+                r.worker_id
+                for q, _ in routed_to_dead
+                for r in responses
+                if r.worker_id != 1
+            }
+            assert survivors <= {0, 2}
+        assert all(r.attempts <= 2 for r in requeued)
+
+    def test_dead_shard_reroutes_deterministically(self, make_cluster):
+        """After the kill, the dead worker's instances land exactly where
+        rendezvous hashing over the surviving set says; other instances
+        keep their original owner (minimal movement)."""
+        requests = workload_requests(40, seed=59)
+        cluster = make_cluster(n_workers=3, restart_workers=False)
+        # settle baseline ownership first
+        baseline = {}
+        for instance, candidates in requests:
+            r = cluster.submit(instance, candidates, include_scores=False).result(
+                timeout=120
+            )
+            baseline[instance_hash(instance)] = r.worker_id
+        kill_and_settle(cluster, 2)
+        assert cluster.alive_workers() == (0, 1)
+        survivor_router = ShardRouter([0, 1])
+        for instance, candidates in requests:
+            r = cluster.submit(instance, candidates, include_scores=False).result(
+                timeout=120
+            )
+            key = instance_hash(instance)
+            assert r.worker_id == survivor_router.route(key)
+            if baseline[key] != 2:
+                assert r.worker_id == baseline[key], (
+                    "an instance not owned by the dead worker must not move"
+                )
+
+    def test_restart_returns_the_shard_to_its_owner(self, make_cluster, cluster_tuner):
+        """With restart_workers=True the replacement rejoins routing, the
+        original shard map is restored, and answers stay bit-identical
+        (the replacement's cold cache re-encodes to the same bytes)."""
+        requests = workload_requests(20, seed=61)
+        cluster = make_cluster(n_workers=2, restart_workers=True)
+        owners = {}
+        for instance, candidates in requests:
+            r = cluster.submit(instance, candidates, include_scores=False).result(
+                timeout=120
+            )
+            owners[instance_hash(instance)] = r.worker_id
+        kill_and_settle(cluster, 0)
+        assert wait_until(lambda: cluster.alive_workers() == (0, 1), timeout_s=15.0)
+        for instance, candidates in requests:
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert response.worker_id == owners[instance_hash(instance)]
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores)
+        assert any(
+            e["type"] == "worker-exit" and e["restarted"] for e in cluster.events
+        )
+
+    def test_registry_and_surviving_caches_are_unharmed(
+        self, make_cluster, cluster_registry, cluster_tuner
+    ):
+        """A crash must not corrupt shared state: the registry still
+        resolves and loads, and a surviving worker's cache still answers
+        repeat instances (cached=True) with the oracle's bytes."""
+        requests = workload_requests(12, seed=67)
+        cluster = make_cluster(n_workers=2, restart_workers=False)
+        for instance, candidates in requests:
+            cluster.submit(instance, candidates, include_scores=False).result(
+                timeout=120
+            )
+        victim = 0
+        kill_and_settle(cluster, victim)
+        assert cluster_registry.resolve("prod") == "v0001"
+        assert cluster_registry.load("prod").is_fitted
+        survivor = cluster.alive_workers()[0]
+        for instance, candidates in requests:
+            if ShardRouter(range(2)).route(instance_hash(instance)) != survivor:
+                continue  # originally the victim's; its cache died with it
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert response.cached, "the survivor's cache must still be intact"
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores)
+
+    def test_all_workers_dead_fails_requests_cleanly(self, make_cluster):
+        requests = workload_requests(1, seed=71)
+        cluster = make_cluster(n_workers=1, restart_workers=False)
+        kill_and_settle(cluster, 0)
+        with pytest.raises(RuntimeError, match="no alive workers"):
+            cluster.submit(requests[0][0], requests[0][1]).result(timeout=120)
+
+
+class TestStressMixedFailure:
+    def test_storm_with_kill_and_hot_swap(
+        self, make_cluster, cluster_registry, cluster_tuner, second_model
+    ):
+        """The combined drill: 96 concurrent mixed requests, one worker
+        killed and a promotion landing mid-storm.  Every answer must be
+        bit-identical to one single version's oracle — crashes and swaps
+        may change *who* and *which version* answers, never the bytes."""
+        import dataclasses
+
+        from repro.online.promotion import PromotionPolicy
+        from repro.online.shadow import ShadowReport
+
+        requests = workload_requests(96, seed=73)
+        cluster = make_cluster(n_workers=3, restart_workers=True)
+        futures = [cluster.submit(q, c) for q, c in requests[:48]]
+        cluster.kill_worker(2)
+        policy = PromotionPolicy(cluster_registry, tag="prod")
+        report = ShadowReport(
+            candidate_tau=0.9, production_tau=0.1, n_records=8,
+            candidate_taus=(0.9,) * 8, production_taus=(0.1,) * 8,
+            families=("line",) * 8,
+        )
+        decision = policy.consider(
+            second_model, cluster_tuner.fingerprint(), report
+        )
+        assert decision.promoted
+        futures += [cluster.submit(q, c) for q, c in requests[48:]]
+        responses = [f.result(timeout=180) for f in futures]
+        oracles = {
+            "v0001": cluster_tuner,
+            "v0002": dataclasses.replace(cluster_tuner, model=second_model),
+        }
+        for (instance, candidates), response in zip(requests, responses):
+            oracle = oracles[response.model_version]
+            ranked, scores = expected_answer(oracle, instance, candidates)
+            assert response.ranked == ranked
+            assert np.array_equal(response.scores, scores)
+        assert cluster.crashes == 1
+        stats = cluster.stats()
+        assert stats["cluster"]["failed_total"] == 0

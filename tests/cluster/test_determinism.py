@@ -1,0 +1,150 @@
+"""Cross-process determinism: cluster answers ≡ single-process rankings.
+
+The cluster is only trustworthy if distributing the service across
+processes changes *nothing* about the answers: every ranking and every
+score must be bit-identical to ``OrdinalAutotuner.rank_candidates`` in
+this process, regardless of which worker answered, how requests were
+batched, or whether the cache served them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.cache import intern_candidates
+from repro.stencil.execution import instance_hash
+from repro.tuning.presets import preset_candidates
+from tests.cluster.harness import (
+    assert_response_matches,
+    expected_answer,
+    workload_requests,
+)
+
+
+class TestBitIdentity:
+    def test_mixed_stream_across_two_workers(self, make_cluster, cluster_tuner):
+        """48 deterministic drifting-workload requests, 2 worker processes:
+        every ranking and every score array equals the in-process oracle."""
+        requests = workload_requests(48, seed=3)
+        cluster = make_cluster(n_workers=2)
+        futures = [cluster.submit(q, cands) for q, cands in requests]
+        responses = [f.result(timeout=120) for f in futures]
+        used_workers = set()
+        for (instance, candidates), response in zip(requests, responses):
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores)
+            assert response.model_version == "v0001"
+            used_workers.add(response.worker_id)
+        assert used_workers == {0, 1}, "the stream should exercise both shards"
+
+    def test_preset_requests_regenerated_worker_side(self, make_cluster, cluster_tuner):
+        """candidates=None ships no candidate payload; the worker's preset
+        set must reproduce the oracle's preset ranking exactly."""
+        requests = workload_requests(4, seed=5)
+        cluster = make_cluster(n_workers=2)
+        for instance, _ in requests:
+            response = cluster.submit(instance).result(timeout=120)
+            presets = preset_candidates(instance.dims)
+            ranked, scores = expected_answer(cluster_tuner, instance, presets)
+            assert_response_matches(response, ranked, scores)
+
+    def test_interned_digest_survives_the_wire(self, make_cluster, cluster_tuner):
+        """A parent-side interned set is recognized by the worker: repeat
+        requests hit the worker cache (same content digest across the
+        process boundary) and still match the oracle."""
+        requests = workload_requests(1, seed=7)
+        instance, candidates = requests[0]
+        shared = intern_candidates(candidates)
+        cluster = make_cluster(n_workers=2)
+        first = cluster.submit(instance, shared).result(timeout=120)
+        second = cluster.submit(instance, shared).result(timeout=120)
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        assert_response_matches(first, ranked, scores)
+        assert_response_matches(second, ranked, scores)
+        assert second.cached, "identical interned request must hit the worker cache"
+        assert second.worker_id == first.worker_id, "affinity keeps the cache hot"
+
+    def test_top_k_is_a_prefix_of_the_full_ranking(self, make_cluster, cluster_tuner):
+        requests = workload_requests(6, seed=11)
+        cluster = make_cluster(n_workers=2)
+        for instance, candidates in requests:
+            response = cluster.submit(instance, candidates, top_k=5).result(timeout=120)
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores, top_k=5)
+            assert len(response.ranked) == 5
+
+    def test_include_scores_false_omits_the_array_only(
+        self, make_cluster, cluster_tuner
+    ):
+        requests = workload_requests(1, seed=13)
+        instance, candidates = requests[0]
+        cluster = make_cluster(n_workers=2)
+        response = cluster.submit(
+            instance, candidates, top_k=3, include_scores=False
+        ).result(timeout=120)
+        assert response.scores is None
+        ranked, _ = expected_answer(cluster_tuner, instance, candidates)
+        assert response.ranked == ranked[:3]
+
+
+class TestAffinityAndConsistency:
+    def test_instance_affinity_is_stable_and_router_predicted(self, make_cluster):
+        """Every repeat of an instance is answered by the worker the shared
+        rendezvous router names — the property that keeps per-worker
+        caches hot and shard-local."""
+        requests = workload_requests(30, seed=17)
+        cluster = make_cluster(n_workers=3)
+        owner_seen: dict[int, int] = {}
+        for instance, candidates in requests:
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            key = instance_hash(instance)
+            assert response.worker_id == cluster.router.route(key)
+            assert owner_seen.setdefault(key, response.worker_id) == response.worker_id
+        assert len(set(owner_seen.values())) > 1
+
+    def test_same_episode_twice_yields_identical_bytes(self, make_cluster):
+        """Replaying the identical request stream against a fresh cluster
+        reproduces every ranking and score byte-for-byte — the determinism
+        discipline that makes cross-run comparisons meaningful."""
+        requests = workload_requests(16, seed=19)
+        first = make_cluster(n_workers=2)
+        a = [first.submit(q, c).result(timeout=120) for q, c in requests]
+        first.stop()
+        second = make_cluster(n_workers=2)
+        b = [second.submit(q, c).result(timeout=120) for q, c in requests]
+        for ra, rb in zip(a, b):
+            assert ra.ranked == rb.ranked
+            assert np.array_equal(ra.scores, rb.scores)
+            assert ra.worker_id == rb.worker_id  # routing is deterministic too
+
+
+class TestErrorsAndLifecycle:
+    def test_unknown_model_ref_fails_only_that_request(self, make_cluster):
+        requests = workload_requests(2, seed=23)
+        cluster = make_cluster(n_workers=2)
+        (q1, c1), (q2, c2) = requests
+        bad = cluster.submit(q1, c1, model="no-such-tag")
+        good = cluster.submit(q2, c2)
+        with pytest.raises(KeyError, match="no-such-tag"):
+            bad.result(timeout=120)
+        assert good.result(timeout=120).model_version == "v0001"
+        assert cluster.crashes == 0, "a bad request must not look like a crash"
+
+    def test_submit_after_stop_raises(self, make_cluster):
+        requests = workload_requests(1, seed=29)
+        cluster = make_cluster(n_workers=2)
+        cluster.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            cluster.submit(requests[0][0], requests[0][1])
+
+    def test_stop_drains_inflight_requests(self, make_cluster, cluster_tuner):
+        """Everything accepted before stop() is answered, never stranded."""
+        requests = workload_requests(24, seed=31)
+        cluster = make_cluster(n_workers=2)
+        futures = [cluster.submit(q, c) for q, c in requests]
+        cluster.stop()
+        for (instance, candidates), future in zip(requests, futures):
+            response = future.result(timeout=120)
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores)

@@ -1,0 +1,200 @@
+"""Property tests for the content hashes the cluster's correctness rides on.
+
+Routing, per-worker caches and cross-process cache keys all assume three
+properties of the hashing layer, pinned here over large synthetic
+populations:
+
+* **process-stability** — a fresh interpreter (different
+  ``PYTHONHASHSEED``, no shared memory) computes identical
+  ``instance_hash``, ``stable_hash``, ``content_key`` and
+  ``candidate_set_hash`` values;
+* **collision-freedom at working scale** — distinct instances, preset
+  candidates and executions get distinct keys across 10k-sized
+  populations (a collision would silently serve one instance another's
+  ranking);
+* **shard balance + minimal movement** — rendezvous routing spreads 10k
+  instances evenly and reroutes only the dead worker's keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.online.workload import DriftingWorkload
+from repro.service.cache import candidate_set_hash, intern_candidates
+from repro.service.routing import ShardRouter
+from repro.stencil.execution import StencilExecution, instance_hash
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import TRAINING_SHAPES
+from repro.tuning.presets import preset_candidates
+
+_FINGERPRINT_SCRIPT = """
+import json
+from repro.online.workload import DriftingWorkload
+from repro.service.cache import candidate_set_hash
+from repro.stencil.execution import StencilExecution, instance_hash
+
+workload = DriftingWorkload(shift_at=4, seed=123)
+rows = []
+for i in range(8):
+    instance, candidates = workload.request(i)
+    rows.append({
+        "instance": instance_hash(instance),
+        "candidate_set": candidate_set_hash(candidates),
+        "content_keys": [c.content_key for c in candidates[:4]],
+        "execution": StencilExecution(instance, candidates[0]).stable_hash(),
+    })
+print(json.dumps(rows))
+"""
+
+
+def _fingerprint_rows() -> list[dict]:
+    workload = DriftingWorkload(shift_at=4, seed=123)
+    rows = []
+    for i in range(8):
+        instance, candidates = workload.request(i)
+        rows.append(
+            {
+                "instance": instance_hash(instance),
+                "candidate_set": candidate_set_hash(candidates),
+                "content_keys": [c.content_key for c in candidates[:4]],
+                "execution": StencilExecution(instance, candidates[0]).stable_hash(),
+            }
+        )
+    return rows
+
+
+def synthetic_instances(n: int) -> list[StencilInstance]:
+    """``n`` distinct-content instances spanning families/radii/sizes/dtypes.
+
+    Patterns are shared objects (pattern *content* enters the hash, so
+    reuse is sound) to keep 10k constructions fast.
+    """
+    families = sorted(TRAINING_SHAPES)
+    patterns = {
+        (family, radius): TRAINING_SHAPES[family](3, radius)
+        for family in families
+        for radius in (1, 2)
+    }
+    instances = []
+    i = 0
+    while len(instances) < n:
+        family = families[i % len(families)]
+        radius = 1 + (i // len(families)) % 2
+        dtype = ("float", "double")[(i // (2 * len(families))) % 2]
+        # size varies without bound, so instance content never repeats
+        base = 16 + 4 * (i // (4 * len(families)))
+        kernel = StencilKernel(
+            f"{family}-synth-r{radius}-{dtype}",
+            (patterns[(family, radius)],),
+            dtype=dtype,
+            space_dims=3,
+        )
+        instances.append(StencilInstance(kernel, (base, base + 4, base + 8)))
+        i += 1
+    return instances
+
+
+class TestProcessStability:
+    def test_fresh_interpreter_reproduces_every_hash(self):
+        """A subprocess with a different PYTHONHASHSEED and cold caches must
+        compute the same fingerprints — the property that lets the parent
+        route to a shard whose worker keys its cache independently."""
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "271828"  # str-hash randomization changes...
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert json.loads(result.stdout) == _fingerprint_rows()
+
+    def test_interned_digest_equals_recomputed_digest(self):
+        workload = DriftingWorkload(shift_at=2, seed=5)
+        _, candidates = workload.request(0)
+        interned = intern_candidates(candidates)
+        assert interned.content_hash == candidate_set_hash(candidates)
+        assert intern_candidates(interned) is interned
+
+
+class TestCollisionFreedom:
+    def test_preset_content_keys_are_distinct(self):
+        for dims in (2, 3):
+            presets = preset_candidates(dims)
+            keys = {c.content_key for c in presets}
+            assert len(keys) == len(presets), f"content_key collision in {dims}-D presets"
+
+    def test_preset_execution_hashes_are_distinct(self):
+        """Every (instance, preset tuning) execution hashes uniquely — the
+        key under which measurement noise and cost caches are shared."""
+        workload = DriftingWorkload(shift_at=1, seed=9)
+        instance, _ = workload.request(0)
+        presets = preset_candidates(3)
+        hashes = {StencilExecution(instance, t).stable_hash() for t in presets}
+        assert len(hashes) == len(presets)
+
+    def test_10k_synthetic_instances_hash_uniquely(self):
+        instances = synthetic_instances(10_000)
+        hashes = [instance_hash(q) for q in instances]
+        assert len(set(hashes)) == len(hashes), "instance_hash collision at 10k scale"
+
+    def test_candidate_set_hash_is_order_sensitive(self):
+        workload = DriftingWorkload(shift_at=1, seed=13)
+        _, candidates = workload.request(0)
+        reversed_set = list(reversed(candidates))
+        assert candidate_set_hash(candidates) != candidate_set_hash(reversed_set), (
+            "scores align with request order, so permutations must key separately"
+        )
+
+
+class TestRoutingProperties:
+    def test_shard_balance_over_10k_instances(self):
+        instances = synthetic_instances(10_000)
+        router = ShardRouter(range(4))
+        counts = Counter(router.route(instance_hash(q)) for q in instances)
+        assert set(counts) == {0, 1, 2, 3}
+        for worker, count in counts.items():
+            assert 2100 <= count <= 2900, (
+                f"worker {worker} owns {count}/10000 — rendezvous weights skewed"
+            )
+
+    def test_killing_a_worker_moves_only_its_keys(self):
+        keys = [instance_hash(q) for q in synthetic_instances(2_000)]
+        router = ShardRouter(range(4))
+        before = {key: router.route(key) for key in keys}
+        router.mark_dead(2)
+        moved = 0
+        for key in keys:
+            after = router.route(key)
+            if before[key] == 2:
+                moved += 1
+                assert after != 2
+            else:
+                assert after == before[key], "a surviving shard's key moved"
+        assert moved == sum(1 for w in before.values() if w == 2)
+        # and the orphaned keys spread over all survivors, not one
+        orphan_homes = {router.route(k) for k in keys if before[k] == 2}
+        assert orphan_homes == {0, 1, 3}
+
+    def test_revival_restores_the_original_map(self):
+        keys = [instance_hash(q) for q in synthetic_instances(500)]
+        router = ShardRouter(range(3))
+        before = {key: router.route(key) for key in keys}
+        router.mark_dead(1)
+        router.mark_alive(1)
+        assert {key: router.route(key) for key in keys} == before
+
+    def test_route_is_pure_across_router_instances(self):
+        keys = [instance_hash(q) for q in synthetic_instances(200)]
+        a, b = ShardRouter(range(5)), ShardRouter(range(5))
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]

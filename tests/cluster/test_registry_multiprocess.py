@@ -1,0 +1,182 @@
+"""Registry concurrency across *processes*: gc vs tag-move vs reader vs publisher.
+
+``tests/service/test_model_registry.py`` covers threaded contention inside
+one interpreter; the cluster shares one registry root between genuinely
+separate processes, where only the on-disk protocol (flock around
+tags.json RMW and gc, exclusive-create claim files, atomic replaces)
+provides the guarantees.  This drill runs four roles concurrently against
+one root and then audits the invariants:
+
+* a reader never observes torn state: tagged refs always resolve and load
+  a fitted, fingerprint-valid model;
+* tag moves and gc never leave a tag dangling at a deleted version;
+* concurrent publishers never reuse or overwrite a version id;
+* gc never deletes a protected (tagged or newest-N) version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_READER = """
+import sys
+from repro.service.registry import ModelRegistry
+
+registry = ModelRegistry(sys.argv[1])
+for _ in range(120):
+    version = registry.resolve("prod")
+    assert version.startswith("v"), version
+    model = registry.load("prod")
+    assert model.is_fitted
+    registry.resolve("latest")
+print("reader-ok")
+"""
+
+_TAGGER = """
+import sys
+from repro.service.registry import ModelRegistry
+
+registry = ModelRegistry(sys.argv[1])
+moved = 0
+for i in range(150):
+    versions = registry.versions()
+    # both tags race gc for their targets: the versions() snapshot is
+    # taken outside the lock, so a concurrent publisher can shift the
+    # keep_last protection window and gc can delete the chosen target
+    # before tag()'s locked resolve.  Losing the race must surface as a
+    # clean KeyError (the guarantee is no torn state, not target
+    # persistence) — and tag() resolving under the lock is what keeps
+    # every *successful* move pointing at a live version.
+    for name, target in (("prod", versions[-1 - (i % 3)]), ("pin", versions[i % len(versions)])):
+        try:
+            registry.tag(name, target)
+            moved += 1
+        except KeyError:
+            pass
+assert moved > 0, "every single tag move lost its race — setup is broken"
+print("tagger-ok")
+"""
+
+_GC = """
+import sys
+from repro.service.registry import ModelRegistry
+
+registry = ModelRegistry(sys.argv[1])
+for _ in range(80):
+    victims = registry.gc(keep_last=3)
+    for victim in victims:
+        assert victim not in registry.tags().values()
+print("gc-ok")
+"""
+
+_PUBLISHER = """
+import sys
+from repro.service.registry import ModelRegistry
+
+registry = ModelRegistry(sys.argv[1])
+# load whatever the serving tag points at: a pinned version id could be
+# legitimately garbage-collected mid-race, a *tagged* ref cannot stay
+# gone — consecutive attempts must land within a couple of re-resolutions
+for attempt in range(10):
+    try:
+        model = registry.load("prod")
+        break
+    except KeyError:
+        continue
+else:
+    raise AssertionError("the tagged ref never loaded in 10 attempts")
+published = [
+    registry.publish(model, sys.argv[2], note="race-publisher")
+    for _ in range(12)
+]
+assert len(set(published)) == len(published)
+print("published:" + ",".join(published))
+"""
+
+
+def _spawn(script: str, root: Path, *extra_args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", script, str(root), *extra_args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def test_gc_vs_tag_vs_reader_vs_publisher_across_processes(
+    cluster_registry, cluster_tuner
+):
+    """The full four-way race, then a structural audit of the survivors."""
+    for _ in range(5):  # history for gc and the tagger to fight over
+        cluster_registry.publish(
+            cluster_tuner.model, cluster_tuner.fingerprint(), note="seed-history"
+        )
+    root = cluster_registry.root
+    fingerprint = cluster_tuner.fingerprint()
+    procs = {
+        name: _spawn(script, root, *args)
+        for name, script, args in (
+            ("reader", _READER, ()),
+            ("tagger", _TAGGER, ()),
+            ("gc", _GC, ()),
+            ("publisher", _PUBLISHER, (fingerprint,)),
+        )
+    }
+    outputs = {}
+    for name, proc in procs.items():
+        out, err = proc.communicate(timeout=180)
+        assert proc.returncode == 0, f"{name} crashed:\n{err[-2000:]}"
+        outputs[name] = out
+
+    # every role ran to completion
+    assert "reader-ok" in outputs["reader"]
+    assert "tagger-ok" in outputs["tagger"]
+    assert "gc-ok" in outputs["gc"]
+    published = outputs["publisher"].split("published:")[1].strip().split(",")
+
+    # --- structural audit ----------------------------------------------------
+    versions = cluster_registry.versions()
+    assert versions == sorted(set(versions)), "version listing corrupt"
+    # ids are never reused: the publisher's 12 fresh ids are all above the
+    # 6 seeds, distinct, and any gc'd id stays gone from the listing
+    assert len(set(published)) == 12
+    assert all(int(v[1:]) > 6 for v in published)
+    # no claim files or temp files survive the storm
+    leftovers = list(root.rglob("*.tmp")) + list(root.rglob("*.claim"))
+    assert leftovers == []
+    # every surviving version is loadable and internally consistent
+    for version in versions:
+        meta = json.loads((cluster_registry.models_dir / f"{version}.json").read_text())
+        assert meta["version"] == version
+        assert cluster_registry.load(version).is_fitted
+    # every tag points at a live version (no dangling tags)
+    for tag, target in cluster_registry.tags().items():
+        assert target in versions, f"tag {tag!r} dangles at deleted {target!r}"
+    # gc protection held: the serving tag still resolves and loads
+    assert cluster_registry.load("prod").is_fitted
+
+
+def test_cached_tags_see_other_processes_moves(cluster_registry):
+    """The content-cached tag reader must observe a move made by a
+    *different* process immediately — the cluster's hot-swap poll."""
+    script = """
+import sys
+from repro.service.registry import ModelRegistry
+ModelRegistry(sys.argv[1]).tag("prod", "v0001")
+ModelRegistry(sys.argv[1]).tag("external", "v0001")
+"""
+    assert cluster_registry.resolve("prod") == "v0001"  # warm the cache
+    proc = _spawn(script, cluster_registry.root)
+    _, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, err
+    assert cluster_registry.tags().get("external") == "v0001", (
+        "content cache served a stale tag map"
+    )

@@ -1,0 +1,178 @@
+"""Wall-clock-window budget refills: ``BudgetedMachine.refill_every``.
+
+The continual-learning ROADMAP follow-up: probing budgets should renew on
+a schedule ("N evaluations per minute") instead of someone calling
+``refill()`` by hand.  These tests pin the scheduling semantics with an
+injected clock — especially the two edge cases that bit the manual
+design: a batch inflight while the window boundary passes, and exhaustion
+landing exactly at a boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.budget import BudgetedMachine, MeasurementBudgetExceeded
+from repro.machine.executor import SimulatedMachine
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import laplacian
+from repro.tuning.space import patus_space
+from repro.util.rng import spawn
+
+
+class FakeClock:
+    """A deterministic, manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def instance() -> StencilInstance:
+    kernel = StencilKernel.single_buffer("laplacian", laplacian(3, 1), "double")
+    return StencilInstance(kernel, (32, 32, 32))
+
+
+@pytest.fixture()
+def tunings(instance):
+    return patus_space(3).random_vectors(4, rng=spawn(5, "budget-refill"))
+
+
+def make_budgeted(max_evaluations=8) -> "tuple[BudgetedMachine, FakeClock]":
+    clock = FakeClock()
+    machine = BudgetedMachine(
+        SimulatedMachine(seed=3), max_evaluations=max_evaluations
+    )
+    machine.refill_every(60.0, clock=clock)
+    return machine, clock
+
+
+class TestScheduling:
+    def test_spent_resets_after_the_window(self, instance, tunings):
+        machine, clock = make_budgeted()
+        machine.measure_batch(instance, tunings)
+        assert machine.spent_evaluations == 4
+        clock.advance(60.0)
+        assert machine.remaining_evaluations == 8
+        assert machine.spent_evaluations == 0
+        assert machine.auto_refills == 1
+
+    def test_no_refill_before_the_boundary(self, instance, tunings):
+        machine, clock = make_budgeted()
+        machine.measure_batch(instance, tunings)
+        clock.advance(59.999)
+        assert machine.remaining_evaluations == 4
+        assert machine.auto_refills == 0
+
+    def test_idle_windows_collapse_to_one_reset(self, instance, tunings):
+        """Three windows of idleness grant one fresh budget, not three."""
+        machine, clock = make_budgeted()
+        machine.measure_batch(instance, tunings)
+        clock.advance(3 * 60.0 + 5.0)
+        assert machine.remaining_evaluations == 8
+        assert machine.auto_refills == 1  # one rollover event, grid intact
+        machine.measure_batch(instance, tunings)
+        machine.measure_batch(instance, tunings)
+        with pytest.raises(MeasurementBudgetExceeded):
+            machine.measure_batch(instance, tunings)
+
+    def test_boundary_grid_stays_aligned_to_arming(self, instance, tunings):
+        """A rollover observed mid-window keeps later boundaries on the
+        original grid: next reset at 2T, not (1.7T + T)."""
+        machine, clock = make_budgeted()
+        clock.advance(60.0 + 42.0)  # observe rollover at 1.7 windows
+        assert machine.remaining_evaluations == 8
+        machine.measure_batch(instance, tunings)
+        clock.advance(18.0)  # exactly 2T since arming
+        assert machine.remaining_evaluations == 8
+        assert machine.auto_refills == 2
+
+    def test_rearming_and_disarming(self, instance, tunings):
+        machine, clock = make_budgeted()
+        machine.measure_batch(instance, tunings)
+        machine.refill_every(None)  # disarm: back to manual windows
+        clock.advance(600.0)
+        assert machine.remaining_evaluations == 4, "disarmed budget must not renew"
+        machine.refill_every(30.0, clock=clock)  # re-arm starts fresh
+        assert machine.remaining_evaluations == 8
+
+    def test_invalid_window_rejected(self):
+        machine, _ = make_budgeted()
+        with pytest.raises(ValueError, match="positive"):
+            machine.refill_every(0.0)
+
+    def test_manual_refill_restarts_the_window(self, instance, tunings):
+        """refill() means "the new window starts now": the next automatic
+        boundary is one full window after the manual refill."""
+        machine, clock = make_budgeted()
+        machine.measure_batch(instance, tunings)
+        clock.advance(50.0)
+        machine.refill()
+        machine.measure_batch(instance, tunings)
+        clock.advance(30.0)  # 80s after arming, but only 30s into new window
+        assert machine.remaining_evaluations == 4
+        clock.advance(30.0)
+        assert machine.remaining_evaluations == 8
+
+
+class TestEdgeCases:
+    def test_refill_during_inflight_batch_charges_the_starting_window(
+        self, instance, tunings
+    ):
+        """A batch admitted just before the boundary is charged to the
+        window it started in, even if the wall clock crosses the boundary
+        while the measurement runs; the *next* check sees a clean window
+        that was not pre-charged by the inflight batch."""
+        machine, clock = make_budgeted()
+
+        original = machine.machine.measure_batch
+
+        def slow_measure(*args, **kwargs):
+            clock.advance(5.0)  # the boundary passes mid-measurement
+            return original(*args, **kwargs)
+
+        machine.machine.measure_batch = slow_measure
+        clock.advance(58.0)  # 2s of window 1 left when the batch starts
+        machine.measure_batch(instance, tunings)
+        # charged in full, against the window observed at admission
+        assert machine.spent_evaluations == 4
+        assert machine.auto_refills == 0
+        # the next affordability check rolls the window and sees a fresh
+        # budget — the inflight charge does not leak into window 2
+        assert machine.remaining_evaluations == 8
+        assert machine.auto_refills == 1
+
+    def test_exhaustion_exactly_at_the_boundary(self, instance, tunings):
+        """Spending the budget to zero at the end of a window refuses
+        further probes until the boundary, then admits them — and the
+        refusal right at the edge does not consume the new window."""
+        machine, clock = make_budgeted(max_evaluations=4)
+        clock.advance(59.0)
+        machine.measure_batch(instance, tunings)  # budget now exactly 0
+        assert machine.remaining_evaluations == 0
+        assert machine.try_measure_batch(instance, tunings) is None
+        assert machine.refused == 1
+        clock.advance(1.0)  # exactly on the boundary: elapsed == window
+        result = machine.try_measure_batch(instance, tunings)
+        assert result is not None, "the boundary itself must admit the probe"
+        assert machine.spent_evaluations == 4
+        assert machine.refused == 1
+
+    def test_all_or_nothing_survives_the_schedule(self, instance, tunings):
+        """A refused batch under an armed schedule charges nothing — the
+        budget it was refused against renews untouched."""
+        machine, clock = make_budgeted(max_evaluations=2)
+        assert machine.try_measure_batch(instance, tunings) is None
+        assert machine.spent_evaluations == 0
+        clock.advance(60.0)
+        assert machine.try_measure_batch(instance, tunings) is None, (
+            "a batch larger than the full window budget can never run"
+        )
+        assert not machine.ever_affordable(instance, tunings)

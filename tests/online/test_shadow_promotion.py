@@ -181,3 +181,120 @@ class TestPromotionPolicy:
             for t in threads:
                 t.join()
         assert not failures
+
+
+def _family_report(
+    families: "tuple[str, ...]",
+    candidate: "tuple[float, ...]",
+    production: "tuple[float, ...]",
+) -> ShadowReport:
+    """A hand-built report with per-record family annotations."""
+    return ShadowReport(
+        candidate_tau=float(np.mean(candidate)),
+        production_tau=float(np.mean(production)),
+        n_records=len(families),
+        candidate_taus=candidate,
+        production_taus=production,
+        families=families,
+    )
+
+
+class TestFamilyTaus:
+    def test_per_family_means_and_counts(self):
+        report = _family_report(
+            families=("line", "line", "hypercube"),
+            candidate=(0.8, 0.6, 0.2),
+            production=(0.5, 0.5, 0.6),
+        )
+        taus = report.family_taus()
+        assert taus["line"] == (pytest.approx(0.7), pytest.approx(0.5), 2)
+        assert taus["hypercube"] == (pytest.approx(0.2), pytest.approx(0.6), 1)
+
+    def test_regressed_families_sorted_worst_first(self):
+        report = _family_report(
+            families=("a", "b", "c"),
+            candidate=(0.1, 0.4, 0.9),
+            production=(0.6, 0.5, 0.2),
+        )
+        regressed = report.regressed_families(tolerance=0.05)
+        assert [f for f, _, _ in regressed] == ["a", "b"]  # -0.5 before -0.1
+
+    def test_min_records_filters_noise_families(self):
+        report = _family_report(
+            families=("a", "b", "b"),
+            candidate=(0.0, 0.8, 0.8),
+            production=(0.9, 0.5, 0.5),
+        )
+        assert report.regressed_families(0.1, min_records=2) == []
+
+    def test_report_without_annotations_cannot_veto(self):
+        bare = ShadowReport(candidate_tau=0.9, production_tau=0.1, n_records=8)
+        assert bare.family_taus() == {}
+        assert bare.regressed_families(0.0) == []
+
+    def test_evaluator_annotates_families(self, phase1_tuner, machine):
+        window = _window(machine, n=4)
+        evaluator = ShadowEvaluator(phase1_tuner.encoder)
+        report = evaluator.evaluate(
+            phase1_tuner.model, _anti_model(phase1_tuner.model), window
+        )
+        assert report.families == tuple(fb.family for fb in window)
+        assert set(report.family_taus()) == {fb.family for fb in window}
+
+
+class TestFamilyGate:
+    def _mixed_report(self) -> ShadowReport:
+        """Candidate wins the global mean while trashing the 'line' family."""
+        return _family_report(
+            families=("hypercube",) * 4 + ("line",) * 2,
+            candidate=(0.9, 0.9, 0.9, 0.9, 0.1, 0.1),
+            production=(0.4, 0.4, 0.4, 0.4, 0.6, 0.6),
+        )
+
+    def test_veto_blocks_a_mean_improving_candidate(
+        self, online_registry, phase1_tuner
+    ):
+        policy = PromotionPolicy(
+            online_registry, max_family_regression=0.2, min_family_records=2
+        )
+        shadow = self._mixed_report()
+        assert shadow.candidate_wins()  # the global bar alone would promote
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), shadow
+        )
+        assert not decision.promoted
+        assert "family regression veto" in decision.reason
+        assert "line" in decision.reason
+        assert online_registry.versions() == ["v0001"], "a vetoed model is not published"
+        assert online_registry.resolve("prod") == "v0001"
+
+    def test_within_tolerance_regression_promotes(self, online_registry, phase1_tuner):
+        policy = PromotionPolicy(online_registry, max_family_regression=0.6)
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), self._mixed_report()
+        )
+        assert decision.promoted
+        assert online_registry.resolve("prod") == decision.version
+
+    def test_thin_family_cannot_veto(self, online_registry, phase1_tuner):
+        policy = PromotionPolicy(
+            online_registry, max_family_regression=0.1, min_family_records=3
+        )
+        # the regressing family has only 2 held-out records (< 3): noise
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), self._mixed_report()
+        )
+        assert decision.promoted
+
+    def test_gate_disabled_by_default(self, online_registry, phase1_tuner):
+        policy = PromotionPolicy(online_registry)
+        decision = policy.consider(
+            phase1_tuner.model, phase1_tuner.fingerprint(), self._mixed_report()
+        )
+        assert decision.promoted, "without the gate, the global bar decides"
+
+    def test_invalid_gate_parameters_rejected(self, online_registry):
+        with pytest.raises(ValueError, match="max_family_regression"):
+            PromotionPolicy(online_registry, max_family_regression=-0.1)
+        with pytest.raises(ValueError, match="min_family_records"):
+            PromotionPolicy(online_registry, min_family_records=0)

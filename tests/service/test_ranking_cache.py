@@ -87,4 +87,5 @@ class TestLru:
             "cache_hits",
             "cache_misses",
             "cache_hit_rate",
+            "cache_evictions",
         }

@@ -15,8 +15,16 @@ same candidate sets, same ground-truth machine seed).  Reported:
   the records the adapting service measured — which removes probe-subset
   variance from the headline number.
 
+The ``cluster`` row replays the same claim at cluster scale: a 4-worker
+:class:`~repro.service.cluster.ServiceCluster` streams feedback over the
+wire to one coordinator-side
+:class:`~repro.online.ClusterFeedbackCollector`, the pipeline retrains on
+it, and the promotion propagates to every worker through the shared
+registry — adapting must again beat frozen on the shifted traffic.
+
 Run under pytest for the CI smoke (asserts ≥1 retrain+promotion and
-adapting ≥ frozen), or as a script to record ``BENCH_online.json``::
+adapting ≥ frozen, single-process and cluster), or as a script to record
+``BENCH_online.json``::
 
     PYTHONPATH=src python benchmarks/bench_online.py
 """
@@ -36,6 +44,7 @@ from repro.autotune.training import TrainingSetBuilder
 from repro.machine.budget import BudgetedMachine
 from repro.machine.executor import SimulatedMachine
 from repro.online import (
+    ClusterFeedbackCollector,
     ContinualConfig,
     ContinualLearningPipeline,
     DriftingWorkload,
@@ -47,12 +56,13 @@ from repro.online import (
     family_kernels,
     mean_model_tau,
 )
-from repro.service import ModelRegistry, TuningService
+from repro.service import ModelRegistry, ServiceCluster, TuningService
 
 N_REQUESTS = 176
 SHIFT_AT = 40
 WAVE = 8
 OFFLINE_POINTS = 840
+CLUSTER_WORKERS = 4
 OUT_PATH = Path(__file__).parent.parent / "BENCH_online.json"
 
 PHASE1 = ("line", "laplacian")
@@ -66,11 +76,11 @@ def _offline_tuner() -> tuple[OrdinalAutotuner, "TrainingSet"]:
     return OrdinalAutotuner().train(offline), offline
 
 
-def _collector() -> FeedbackCollector:
+def _collector(cls=FeedbackCollector):
     """Uniform probes, identically seeded, no dedupe: both services measure
     the exact same (instance, tuning, truth) triple for every request, so
     their τ values are directly comparable record by record."""
-    return FeedbackCollector(
+    return cls(
         BudgetedMachine(SimulatedMachine(seed=11), max_evaluations=4096),
         probe_size=16,
         probe_mode="uniform",
@@ -78,10 +88,10 @@ def _collector() -> FeedbackCollector:
     )
 
 
-def _pipeline(service, registry, tuner, offline) -> ContinualLearningPipeline:
+def _pipeline(service, registry, tuner, offline, collector) -> ContinualLearningPipeline:
     return ContinualLearningPipeline(
         service=service,
-        collector=_collector(),
+        collector=collector,
         monitor=DriftMonitor(
             tuner.encoder, window=48, tau_threshold=0.45, shift_threshold=1.2
         ).fit_reference(offline),
@@ -114,7 +124,7 @@ def run_episode(tuner, offline, adapting: bool) -> dict:
         )
         service = TuningService(registry, default_model="prod")
         if adapting:
-            pipeline = _pipeline(service, registry, tuner, offline)
+            pipeline = _pipeline(service, registry, tuner, offline, _collector())
             collector, step = pipeline.collector, pipeline.step
         else:
             pipeline = None
@@ -155,12 +165,105 @@ def run_episode(tuner, offline, adapting: bool) -> dict:
         return row
 
 
-def bench_online(tuner=None, offline=None) -> dict:
+def run_cluster_episode(tuner, offline, adapting: bool) -> dict:
+    """The same drift episode served by a multi-process cluster.
+
+    Workers stream every answer back as a wire-level
+    ``FeedbackRecord`` (``feedback_every=1``); one coordinator-side
+    :class:`ClusterFeedbackCollector` measures probes on one budget, and
+    a promotion propagates to all workers through the shared registry's
+    atomic tag move.  After the episode, fresh requests probe every alive
+    worker to record which model version each shard now serves.
+    """
+    workload = DriftingWorkload(
+        shift_at=SHIFT_AT, phase1=PHASE1, phase2=PHASE2, seed=3
+    )
+    with TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        v1 = registry.publish(
+            tuner.model, tuner.fingerprint(), tags=("prod",), note="offline seed"
+        )
+        collector = _collector(ClusterFeedbackCollector)
+        with ServiceCluster(
+            tmp, n_workers=CLUSTER_WORKERS, default_model="prod", feedback_every=1
+        ) as cluster:
+            if adapting:
+                pipeline = _pipeline(cluster, registry, tuner, offline, collector)
+                pipeline.attach()
+                step = pipeline.step
+            else:
+                pipeline = None
+                collector.attach(cluster)
+                step = lambda: collector.measure_pending(limit=10)  # noqa: E731
+            for start in range(0, N_REQUESTS, WAVE):
+                wave = [workload.request(i) for i in range(start, start + WAVE)]
+                futures = [cluster.submit(q, c) for q, c in wave]
+                for future in futures:
+                    future.result()
+                # feedback precedes each reply on its worker's pipe, so the
+                # wave's records are all in the intake by now
+                step()
+            # which version does each shard serve now?  fresh (uncached)
+            # post-episode requests, one per worker, prove promotion reached
+            # every process
+            versions_by_worker: dict[int, str] = {}
+            probe_i = N_REQUESTS
+            while (
+                set(cluster.alive_workers()) - set(versions_by_worker)
+                and probe_i < N_REQUESTS + 64
+            ):
+                q, c = workload.request(probe_i)
+                reply = cluster.submit(q, c).result()
+                versions_by_worker.setdefault(reply.worker_id, reply.model_version)
+                probe_i += 1
+            wire_records = cluster.feedback_received
+            if pipeline is not None:
+                pipeline.detach()
+            else:
+                collector.detach(cluster)
+
+        records = collector.window()
+        post = [fb for fb in records if fb.family in PHASE2]
+        row = {
+            "adapting": adapting,
+            "workers": CLUSTER_WORKERS,
+            "n_measured": len(records),
+            "post_shift_records": len(post),
+            "post_shift_tau": float(np.mean([fb.tau for fb in post])),
+            "pre_shift_tau": float(
+                np.mean([fb.tau for fb in records if fb.family not in PHASE2])
+            ),
+            "wire_records": wire_records,
+            "records_by_worker": {
+                int(w): int(n) for w, n in sorted(collector.records_by_worker.items())
+            },
+            "versions_by_worker": {
+                int(w): v for w, v in sorted(versions_by_worker.items())
+            },
+            "serving_version": registry.resolve("prod"),
+        }
+        if pipeline is not None:
+            row.update(
+                retrains=pipeline.retrain_count,
+                promotions=pipeline.promotion_count,
+                rollbacks=pipeline.rollback_count,
+                tags=registry.tags(),
+                events=pipeline.events,
+                frozen_tau_same_records=mean_model_tau(
+                    tuner.encoder,
+                    registry.load(v1, expect_fingerprint=tuner.fingerprint()),
+                    post,
+                ),
+            )
+        return row
+
+
+def bench_online(tuner=None, offline=None, cluster: bool = True) -> dict:
     if tuner is None:
         tuner, offline = _offline_tuner()
     adapting = run_episode(tuner, offline, adapting=True)
     frozen = run_episode(tuner, offline, adapting=False)
-    return {
+    result = {
         "workload": (
             f"{N_REQUESTS} requests, families {PHASE1} -> {PHASE2} at "
             f"request {SHIFT_AT}, 32 candidates/request, probe 16"
@@ -169,6 +272,21 @@ def bench_online(tuner=None, offline=None) -> dict:
         "frozen": frozen,
         "tau_gain_post_shift": adapting["post_shift_tau"] - frozen["post_shift_tau"],
     }
+    if cluster:
+        cluster_adapting = run_cluster_episode(tuner, offline, adapting=True)
+        cluster_frozen = run_cluster_episode(tuner, offline, adapting=False)
+        result["cluster"] = {
+            "workload": (
+                f"same episode, {CLUSTER_WORKERS}-worker ServiceCluster, "
+                f"wire-level feedback (feedback_every=1)"
+            ),
+            "adapting": cluster_adapting,
+            "frozen": cluster_frozen,
+            "tau_gain_post_shift": (
+                cluster_adapting["post_shift_tau"] - cluster_frozen["post_shift_tau"]
+            ),
+        }
+    return result
 
 
 # -- pytest smoke (the CI online-loop job) -------------------------------------
@@ -182,7 +300,7 @@ def corpus():
 def test_online_loop_smoke(corpus):
     """Short drift episode: ≥1 retrain+promotion, adapting ≥ frozen."""
     tuner, offline = corpus
-    result = bench_online(tuner, offline)
+    result = bench_online(tuner, offline, cluster=False)
     adapting, frozen = result["adapting"], result["frozen"]
     assert adapting["retrains"] >= 1, adapting["events"]
     assert adapting["promotions"] >= 1, adapting["events"]
@@ -190,6 +308,26 @@ def test_online_loop_smoke(corpus):
     # well as the frozen one — per-service and on identical records
     assert adapting["post_shift_tau"] >= frozen["post_shift_tau"], result
     assert adapting["post_shift_tau"] >= adapting["frozen_tau_same_records"], result
+
+
+def test_cluster_online_loop_smoke(corpus):
+    """The same loop at cluster scale: wire-fed retrain, promoted everywhere."""
+    tuner, offline = corpus
+    adapting = run_cluster_episode(tuner, offline, adapting=True)
+    frozen = run_cluster_episode(tuner, offline, adapting=False)
+    assert adapting["retrains"] >= 1, adapting["events"]
+    assert adapting["promotions"] >= 1, adapting["events"]
+    # feedback arrived over the wire (dedupe off: one record per request)
+    assert adapting["wire_records"] >= N_REQUESTS
+    assert len(adapting["records_by_worker"]) >= 2, adapting["records_by_worker"]
+    # every worker now serves the promoted version
+    serving = adapting["serving_version"]
+    assert serving != "v0001"
+    assert adapting["versions_by_worker"], adapting
+    assert all(
+        v == serving for v in adapting["versions_by_worker"].values()
+    ), adapting["versions_by_worker"]
+    assert adapting["post_shift_tau"] >= frozen["post_shift_tau"], (adapting, frozen)
 
 
 def main() -> None:
@@ -206,6 +344,21 @@ def main() -> None:
             f"post-shift tau {row['post_shift_tau']:+.3f}{extra}"
         )
     print(f"post-shift tau gain: {result['tau_gain_post_shift']:+.3f}")
+    cluster = result["cluster"]
+    for side in ("adapting", "frozen"):
+        row = cluster[side]
+        extra = (
+            f"  retrains {row['retrains']}  promotions {row['promotions']}  "
+            f"serving {row['serving_version']} on all workers"
+            if side == "adapting"
+            else ""
+        )
+        print(
+            f"cluster {side:9s}  ({row['workers']} workers, "
+            f"{row['wire_records']} wire records)  "
+            f"post-shift tau {row['post_shift_tau']:+.3f}{extra}"
+        )
+    print(f"cluster post-shift tau gain: {cluster['tau_gain_post_shift']:+.3f}")
     out = {k: v for k, v in result.items()}
     OUT_PATH.write_text(json.dumps(out, indent=2, default=str) + "\n")
     print(f"wrote {OUT_PATH}")

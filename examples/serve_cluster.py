@@ -3,7 +3,11 @@
 Trains a tuner, publishes it to an on-disk registry, then serves a burst
 of mixed-instance ranking traffic from a 2-worker process cluster —
 showing instance-affine routing, per-worker caches, a hot model swap
-observed by every worker, crash recovery, and the aggregated telemetry.
+observed by every worker, crash recovery, the aggregated telemetry, and
+the wire-level feedback stream: workers sample served answers back to the
+coordinator, where one ``ClusterFeedbackCollector`` measures ground-truth
+probes under a single budget (the hook the continual-learning pipeline
+rides at cluster scale — see docs/continual_learning.md).
 
 Run::
 
@@ -15,10 +19,14 @@ from __future__ import annotations
 import time
 from tempfile import TemporaryDirectory
 
+import numpy as np
+
 from repro.autotune.autotuner import OrdinalAutotuner
 from repro.autotune.training import TrainingSetBuilder
 from repro.learn.ranksvm import RankSVM, RankSVMConfig
+from repro.machine.budget import BudgetedMachine
 from repro.machine.executor import SimulatedMachine
+from repro.online import ClusterFeedbackCollector
 from repro.service import ModelRegistry, ServiceCluster
 from repro.stencil.suite import TEST_BENCHMARKS
 
@@ -40,7 +48,13 @@ def main() -> None:
         v1 = registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
         print(f"== published {v1}, tagged prod ==\n")
 
-        with ServiceCluster(root, n_workers=2, default_model="prod") as cluster:
+        with ServiceCluster(
+            root, n_workers=2, default_model="prod", feedback_every=1
+        ) as cluster:
+            collector = ClusterFeedbackCollector(
+                BudgetedMachine(SimulatedMachine(seed=11), max_evaluations=256),
+                probe_size=8,
+            ).attach(cluster)
             print("== burst: 32 requests over 8 instances, 2 workers ==")
             start = time.perf_counter()
             futures = [
@@ -78,6 +92,15 @@ def main() -> None:
             print(f"all {len(survivors)} requests still answered "
                   f"(crashes observed: {cluster.crashes}; "
                   f"alive workers: {cluster.alive_workers()})\n")
+
+            print("== feedback over the wire ==")
+            measured = collector.measure_pending(limit=8)
+            print(f"workers streamed {cluster.feedback_received} records "
+                  f"(per shard: {dict(sorted(collector.records_by_worker.items()))})")
+            print(f"measured {len(measured)} ground-truth probes under one "
+                  f"budget; mean served-ranking tau "
+                  f"{float(np.mean([fb.tau for fb in measured])):+.3f}\n")
+            collector.detach(cluster)
 
             print("== aggregated telemetry ==")
             merged = cluster.stats()["cluster"]

@@ -22,9 +22,10 @@ Quickstart::
     tuner = OrdinalAutotuner().train(training_set)
     best = tuner.best(benchmark_by_id("laplacian-128x128x128"))
 
-See ``examples/`` for runnable scenarios, ``benchmarks/`` for the
-table/figure regeneration harnesses, and DESIGN.md / EXPERIMENTS.md for the
-reproduction methodology.
+See README.md for the subsystem map, ``examples/`` for runnable
+scenarios, ``benchmarks/`` for the table/figure regeneration harnesses
+and the ``BENCH_*.json`` recorders, and ``docs/`` (architecture.md,
+serving.md, continual_learning.md) for the deep dives.
 """
 
 from repro.autotune import (
@@ -37,8 +38,10 @@ from repro.features import FeatureEncoder
 from repro.learn import RankSVM, RankSVMConfig
 from repro.machine import BudgetedMachine, MachineSpec, SimulatedMachine, XEON_E5_2680_V3
 from repro.online import (
+    ClusterFeedbackCollector,
     ContinualLearningPipeline,
     DriftMonitor,
+    FeedbackArchive,
     FeedbackCollector,
     IncrementalTrainer,
     PromotionPolicy,
@@ -52,7 +55,7 @@ from repro.search import (
     RandomSearch,
     SteadyStateGA,
 )
-from repro.service import ModelRegistry, RankingCache, TuningService
+from repro.service import ModelRegistry, RankingCache, ServiceCluster, TuningService
 from repro.stencil import (
     BENCHMARKS,
     TEST_BENCHMARKS,
@@ -69,12 +72,14 @@ __version__ = "1.0.0"
 __all__ = [
     "BENCHMARKS",
     "BudgetedMachine",
+    "ClusterFeedbackCollector",
     "CompilationWorkflow",
     "ContinualLearningPipeline",
     "DifferentialEvolution",
     "DriftMonitor",
     "EvolutionStrategy",
     "FeatureEncoder",
+    "FeedbackArchive",
     "FeedbackCollector",
     "GenerationalGA",
     "IncrementalTrainer",
@@ -87,6 +92,7 @@ __all__ = [
     "RankSVM",
     "RankSVMConfig",
     "RankingGroups",
+    "ServiceCluster",
     "ShadowEvaluator",
     "SimulatedMachine",
     "StencilExecution",

@@ -17,6 +17,7 @@ codes — but spans the same axes: 4 shapes × {2-D, 3-D} × radii {1, 2, 3} ×
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -35,8 +36,10 @@ __all__ = [
     "generate_training_kernels",
     "training_instances",
     "TrainingSetBuilder",
+    "distill_points",
     "merge_corpus",
     "reweight_groups",
+    "stack_groups",
 ]
 
 #: 3-D training input sizes (paper §V-B)
@@ -259,6 +262,35 @@ def reweight_groups(
     return groups.subset(rows)
 
 
+def stack_groups(base: RankingGroups, extra: RankingGroups) -> RankingGroups:
+    """Concatenate two grouped datasets without ever aliasing their groups.
+
+    ``extra``'s group ids are remapped past ``base``'s maximum id, so two
+    sources that happen to share ids (an offline corpus and feedback
+    records, a distilled archive and a live window) can never merge into
+    one ranking group — runtimes are only comparable within one instance
+    *as measured by one source*.
+    """
+    if len(extra) == 0:
+        return base
+    if len(base) == 0:
+        return extra
+    if base.X.shape[1] != extra.X.shape[1]:
+        raise ValueError(
+            f"feature dimension mismatch: base has {base.X.shape[1]} features, "
+            f"extra has {extra.X.shape[1]} (encoder layouts differ?)"
+        )
+    offset = int(np.max(base.groups)) + 1
+    extra_ids = np.unique(extra.groups)
+    remap = {gid: offset + i for i, gid in enumerate(extra_ids.tolist())}
+    extra_groups = np.array([remap[g] for g in extra.groups.tolist()], dtype=np.int64)
+    return RankingGroups(
+        np.vstack([base.X, extra.X]),
+        np.concatenate([base.times, extra.times]),
+        np.concatenate([np.asarray(base.groups, dtype=np.int64), extra_groups]),
+    )
+
+
 def merge_corpus(
     offline: TrainingSet,
     feedback: RankingGroups,
@@ -272,26 +304,40 @@ def merge_corpus(
     actually looks like.  ``offline_points`` optionally subsamples the
     offline corpus (per group, every instance stays represented) so fresh
     feedback is not drowned out by a much larger static corpus.  Feedback
-    group ids are shifted past the offline ids, so the two sources can
-    never alias into one ranking group (runtimes are only comparable
-    within one instance).
+    group ids are shifted past the offline ids (:func:`stack_groups`), so
+    the two sources can never alias into one ranking group (runtimes are
+    only comparable within one instance).
     """
     base = (
         offline if offline_points is None else offline.subset_points(offline_points, seed)
     ).data
-    if len(feedback) == 0:
-        return base
-    if base.X.shape[1] != feedback.X.shape[1]:
-        raise ValueError(
-            f"feature dimension mismatch: offline corpus has {base.X.shape[1]}, "
-            f"feedback has {feedback.X.shape[1]} (encoder layouts differ?)"
-        )
-    offset = int(np.max(base.groups)) + 1 if len(base) else 0
-    fb_ids = np.unique(feedback.groups)
-    remap = {gid: offset + i for i, gid in enumerate(fb_ids.tolist())}
-    fb_groups = np.array([remap[g] for g in feedback.groups.tolist()], dtype=np.int64)
-    return RankingGroups(
-        np.vstack([base.X, feedback.X]),
-        np.concatenate([base.times, feedback.times]),
-        np.concatenate([np.asarray(base.groups, dtype=np.int64), fb_groups]),
-    )
+    return stack_groups(base, feedback)
+
+
+def distill_points(times: "np.ndarray | Sequence[float]", max_points: int) -> np.ndarray:
+    """Representative row indices spanning a group's measured runtime range.
+
+    Sorts by runtime and keeps ``max_points`` evenly spaced positions of
+    the sorted order — always including the fastest and the slowest.  For
+    a pairwise ranker that spread carries the most ordering signal per
+    point kept: the extremes anchor the large-margin pairs, the evenly
+    spaced middle keeps the transitive chain intact, and near-tied
+    neighbours (whose pairs constrain almost nothing) are what gets
+    dropped.  Deterministic — no RNG — so a distilled archive is
+    reproducible from its absorb sequence alone.
+
+    Returned indices are ascending positions into the *original* array.
+
+    >>> distill_points([1.0, 2.0, 9.0, 3.0, 5.0], 3).tolist()
+    [0, 2, 3]
+    >>> distill_points([2.0, 1.0], 8).tolist()
+    [0, 1]
+    """
+    if max_points < 2:
+        raise ValueError(f"max_points must be >= 2, got {max_points}")
+    t = np.asarray(times, dtype=float)
+    order = np.argsort(t, kind="stable")
+    if t.size <= max_points:
+        return np.sort(order)
+    picks = np.unique(np.round(np.linspace(0, t.size - 1, max_points)).astype(int))
+    return np.sort(order[picks])

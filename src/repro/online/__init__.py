@@ -9,12 +9,18 @@ closes that loop around :mod:`repro.service`:
 * :mod:`repro.online.feedback` — :class:`FeedbackCollector`: records
   served rankings via the service's response-hook API and measures
   rank-stratified ground-truth probes on a budgeted background machine;
+  :class:`ClusterFeedbackCollector`: the same loop behind a
+  :class:`~repro.service.cluster.ServiceCluster`, fed by the workers'
+  wire-level feedback stream — one budget and one drift monitor for N
+  worker processes;
 * :mod:`repro.online.drift` — :class:`DriftMonitor`: rolling Kendall τ
   per stencil family plus instance-feature shift vs the training
   fingerprint;
 * :mod:`repro.online.trainer` — :class:`IncrementalTrainer`: merges
   feedback (recency/importance-weighted) with the offline corpus and fits
   a candidate model, warm-started from production weights;
+  :class:`FeedbackArchive`: bounded distillation of records that aged out
+  of the live window, so retrains keep old signal at fixed cost;
 * :mod:`repro.online.shadow` — :class:`ShadowEvaluator`: candidate vs
   production on held-out feedback, before anything serves;
 * :mod:`repro.online.promotion` — :class:`PromotionPolicy`: shadow-gated
@@ -31,6 +37,7 @@ See ``docs/continual_learning.md`` for the architecture and
 
 from repro.online.drift import DriftMonitor, DriftReport, instance_feature_slice
 from repro.online.feedback import (
+    ClusterFeedbackCollector,
     FeedbackCollector,
     MeasuredFeedback,
     ServedRecord,
@@ -40,15 +47,17 @@ from repro.online.feedback import (
 from repro.online.pipeline import ContinualConfig, ContinualLearningPipeline
 from repro.online.promotion import PromotionDecision, PromotionPolicy
 from repro.online.shadow import ShadowEvaluator, ShadowReport, mean_model_tau
-from repro.online.trainer import IncrementalTrainer
+from repro.online.trainer import FeedbackArchive, IncrementalTrainer
 from repro.online.workload import DriftingWorkload, family_kernels
 
 __all__ = [
+    "ClusterFeedbackCollector",
     "ContinualConfig",
     "ContinualLearningPipeline",
     "DriftMonitor",
     "DriftReport",
     "DriftingWorkload",
+    "FeedbackArchive",
     "FeedbackCollector",
     "IncrementalTrainer",
     "MeasuredFeedback",

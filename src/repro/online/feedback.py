@@ -18,13 +18,23 @@ first half of the continual-learning loop:
 Measured feedback is both the drift signal (τ per stencil family, feature
 shift) and the incremental training data (each record is one new ranking
 group).
+
+Two variants of the collector exist: :class:`FeedbackCollector` hooks a
+single in-process :class:`~repro.service.TuningService`;
+:class:`ClusterFeedbackCollector` listens to a
+:class:`~repro.service.cluster.ServiceCluster`'s wire-level feedback
+stream instead, so one collector — one budget, one drift monitor — covers
+N worker processes.  Records aging out of the bounded measured window can
+be handed to a distillation archive via ``on_age_out`` (see
+:class:`~repro.online.trainer.FeedbackArchive`) instead of being lost.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import threading
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -36,6 +46,7 @@ from repro.tuning.vector import TuningVector
 from repro.util.rng import spawn
 
 __all__ = [
+    "ClusterFeedbackCollector",
     "FeedbackCollector",
     "MeasuredFeedback",
     "ServedRecord",
@@ -138,6 +149,7 @@ class FeedbackCollector:
         probe_mode: str = "stratified",
         probe_seed: int = 0,
         max_seen: int = 16384,
+        on_age_out: "Callable[[MeasuredFeedback], None] | None" = None,
     ) -> None:
         if probe_size < 2:
             raise ValueError(f"probe_size must be >= 2, got {probe_size}")
@@ -154,7 +166,15 @@ class FeedbackCollector:
         self._pending: deque[ServedRecord] = deque()
         self.max_pending = max_pending
         #: measured feedback, oldest first (bounded; old windows age out)
-        self.measured: deque[MeasuredFeedback] = deque(maxlen=max_measured)
+        self.measured: deque[MeasuredFeedback] = deque()
+        self.max_measured = max_measured
+        #: called with each record evicted past ``max_measured`` — the
+        #: attachment point for archive distillation
+        #: (:meth:`~repro.online.trainer.FeedbackArchive.absorb`); without
+        #: it, aged-out records are simply gone
+        self.on_age_out = on_age_out
+        #: records aged out of the measured window (distilled or dropped)
+        self.aged_out = 0
         self._seq = 0
         #: (instance hash, model version) pairs already recorded — an
         #: insertion-ordered dict used as a bounded set: oldest keys are
@@ -250,6 +270,11 @@ class FeedbackCollector:
             fb = self._grade(record, picks, tunings, result.medians)
             self.measured.append(fb)
             out.append(fb)
+            while len(self.measured) > self.max_measured:
+                aged = self.measured.popleft()
+                self.aged_out += 1
+                if self.on_age_out is not None:
+                    self.on_age_out(aged)
         return out
 
     def _probe_picks(self, record: ServedRecord) -> np.ndarray:
@@ -302,3 +327,96 @@ class FeedbackCollector:
             f"FeedbackCollector(pending={len(self._pending)}, "
             f"measured={len(self.measured)})"
         )
+
+
+class ClusterFeedbackCollector(FeedbackCollector):
+    """Feedback riding the cluster wire: one collector behind N workers.
+
+    Single-process collection hooks the service's response stream
+    in-process; a :class:`~repro.service.cluster.ServiceCluster` serves
+    from worker *processes*, so a per-worker hook would fragment the loop
+    into N collectors with N budgets and N drift monitors.  This
+    collector instead listens to the cluster's coordinator-side feedback
+    stream (workers sample answers onto the wire as
+    :class:`~repro.service.ipc.FeedbackRecord`; arm it with
+    ``ServiceCluster(feedback_every=1)``): **one** probing budget, **one**
+    measured window, **one** drift signal for the whole cluster.
+
+    Thread discipline: cluster listeners fire on per-worker reader
+    threads, so :meth:`hook` only appends to an intake queue under a
+    dedicated lock (held for the append and bound trim only — never
+    across collector work).  All collector state — dedupe memory,
+    pending queue, measured window — is touched exclusively on the
+    coordinator thread, when :meth:`measure_pending` (or an explicit
+    :meth:`drain`) folds the intake in.  Records are drained in arrival
+    order; ``records_by_worker`` keeps the per-shard accounting.
+    """
+
+    def __init__(self, machine: BudgetedMachine, **kwargs: object) -> None:
+        super().__init__(machine, **kwargs)  # type: ignore[arg-type]
+        #: raw (instance, candidates, record) triples from reader threads
+        self._intake: deque = deque()
+        #: guards intake append/trim/pop — reader threads race each other
+        #: (and the draining coordinator) on the overflow bound
+        self._intake_lock = threading.Lock()
+        #: intake entries discarded because the queue outgrew max_pending
+        #: (the same bound as the pending queue: unmeasured backlog)
+        self.dropped_intake = 0
+        #: records drained per worker id (wire-level shard accounting)
+        self.records_by_worker: Counter = Counter()
+
+    # -- recording (runs on cluster reader threads; append only) ---------------
+
+    def hook(self, instance, candidates, record) -> None:
+        """Cluster feedback listener: enqueue one streamed record.
+
+        Runs on a worker's reader thread — an O(1) append plus bound
+        trim under the intake lock, no collector state: everything else
+        happens at :meth:`drain` time on the coordinator thread.
+        """
+        with self._intake_lock:
+            self._intake.append((instance, candidates, record))
+            while len(self._intake) > self.max_pending:
+                self._intake.popleft()
+                self.dropped_intake += 1
+
+    def drain(self) -> int:
+        """Fold intake into the collector proper; returns records folded.
+
+        Coordinator-thread only.  Each drained triple goes through the
+        base class's :meth:`FeedbackCollector.hook` — dedupe, pending
+        bound and sequence numbering behave exactly as in the
+        single-process collector.  The intake lock is held per pop, not
+        across the fold, so reader threads never wait on collector work.
+        """
+        folded = 0
+        while True:
+            with self._intake_lock:
+                if not self._intake:
+                    break
+                instance, candidates, record = self._intake.popleft()
+            self.records_by_worker[record.worker_id] += 1
+            super().hook(instance, candidates, record)
+            folded += 1
+        return folded
+
+    def measure_pending(self, limit: "int | None" = None) -> list[MeasuredFeedback]:
+        """Drain the wire intake, then measure as the base collector does."""
+        self.drain()
+        return super().measure_pending(limit)
+
+    @property
+    def pending_count(self) -> int:
+        """Records awaiting measurement, including undrained intake."""
+        return len(self._pending) + len(self._intake)
+
+    # -- attachment ------------------------------------------------------------
+
+    def attach(self, cluster) -> "ClusterFeedbackCollector":
+        """Register on a :class:`~repro.service.cluster.ServiceCluster`."""
+        cluster.add_feedback_listener(self.hook)
+        return self
+
+    def detach(self, cluster) -> None:
+        """Unregister the listener (undrained intake is kept)."""
+        cluster.remove_feedback_listener(self.hook)

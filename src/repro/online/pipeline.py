@@ -22,11 +22,21 @@ around a running :class:`~repro.service.TuningService`:
 ``step()`` is deliberately a *pull*: the embedding application decides when
 background work may run (between request waves, on a timer, in a worker).
 Nothing in the pipeline blocks the serving loop.
+
+The serving front-end may be a single in-process
+:class:`~repro.service.TuningService` (with a
+:class:`~repro.online.feedback.FeedbackCollector`) **or** a multi-process
+:class:`~repro.service.cluster.ServiceCluster` (with a
+:class:`~repro.online.feedback.ClusterFeedbackCollector` riding the wire
+feedback stream) — the loop is identical either way: one collector, one
+budget, one drift monitor, and promotion propagates to every worker
+through the shared registry's atomic tag move with no extra wiring.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +47,9 @@ from repro.online.shadow import ShadowEvaluator
 from repro.online.trainer import IncrementalTrainer
 from repro.service.registry import LATEST
 from repro.service.server import TuningService
+
+if TYPE_CHECKING:  # annotation-only: keep the cluster stack a lazy import
+    from repro.service.cluster import ServiceCluster
 
 __all__ = ["ContinualConfig", "ContinualLearningPipeline"]
 
@@ -75,7 +88,7 @@ class ContinualLearningPipeline:
 
     def __init__(
         self,
-        service: TuningService,
+        service: "TuningService | ServiceCluster",
         collector: FeedbackCollector,
         monitor: DriftMonitor,
         trainer: IncrementalTrainer,
@@ -99,8 +112,23 @@ class ContinualLearningPipeline:
     # -- lifecycle -------------------------------------------------------------
 
     def attach(self) -> "ContinualLearningPipeline":
-        """Hook the collector into the service's response stream."""
+        """Hook the collector into the serving front-end's response stream.
+
+        Works for both front-ends — a :class:`FeedbackCollector` hooks a
+        :class:`~repro.service.TuningService` in-process, a
+        :class:`~repro.online.feedback.ClusterFeedbackCollector` listens
+        on a :class:`~repro.service.cluster.ServiceCluster`'s wire
+        feedback stream.  If the trainer carries a
+        :class:`~repro.online.trainer.FeedbackArchive` and the collector
+        has no aging hook yet, records aging out of the measured window
+        are wired to distill into it.
+        """
         self.collector.attach(self.service)
+        if (
+            self.trainer.archive is not None
+            and self.collector.on_age_out is None
+        ):
+            self.collector.on_age_out = self.trainer.archive.absorb
         return self
 
     def detach(self) -> None:
@@ -205,6 +233,13 @@ class ContinualLearningPipeline:
                 "promoted": decision.promoted,
                 "version": decision.version,
                 "decision_reason": decision.reason,
+                # distilled-history footprint at retrain time (None when
+                # the trainer keeps no archive)
+                "archive": (
+                    self.trainer.archive.snapshot()
+                    if self.trainer.archive is not None
+                    else None
+                ),
             }
         )
         if decision.promoted:

@@ -21,22 +21,164 @@ offline corpus covers.  Instead the trainer assembles a merged corpus:
 Fitting **warm-starts** from the production model's weight vector — the
 objective is convex so the optimum is unchanged, but the solver converges
 in a fraction of the iterations when the distribution moved incrementally.
+
+A fourth corpus source closes the retention gap: the collector's measured
+window is bounded (``max_measured``), so on a long-lived deployment old
+feedback ages out and its signal would be lost — exactly the families
+that stopped drifting and went quiet.  :class:`FeedbackArchive` receives
+aged-out records (wire it to
+:attr:`~repro.online.feedback.FeedbackCollector.on_age_out`) and
+**distills** each (instance, family) group down to a bounded set of
+representative preference points spanning the measured runtime range
+(:func:`~repro.autotune.training.distill_points`), so retrains keep the
+old signal at a fixed memory cost instead of forgetting it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.autotune.dataset import TrainingSet
-from repro.autotune.training import merge_corpus, reweight_groups
+from repro.autotune.training import (
+    distill_points,
+    merge_corpus,
+    reweight_groups,
+    stack_groups,
+)
 from repro.features.encoder import FeatureEncoder
 from repro.learn.ranksvm import RankSVM, RankSVMConfig
 from repro.online.feedback import MeasuredFeedback
 from repro.ranking.partial import RankingGroups
+from repro.stencil.execution import instance_hash
 
-__all__ = ["IncrementalTrainer"]
+__all__ = ["FeedbackArchive", "IncrementalTrainer"]
+
+
+@dataclass
+class _ArchiveGroup:
+    """One instance's distilled measurement history."""
+
+    instance: object  # StencilInstance (kept opaque: only re-encoded, never run)
+    family: str
+    #: tuning ``content_key`` -> (tuning, measured time); insertion-ordered,
+    #: newest measurement of a tuning overwrites in place
+    points: "OrderedDict[object, tuple[object, float]]"
+    records_absorbed: int = 0
+
+
+class FeedbackArchive:
+    """Bounded distillation of feedback that aged out of the live window.
+
+    Wire :meth:`absorb` to a collector's ``on_age_out``: every record
+    evicted past ``max_measured`` folds into the archive group of its
+    instance instead of vanishing.  A group is a deduplicated (tuning →
+    newest measured time) map, distilled after every absorb down to
+    ``max_points_per_group`` representatives spanning the measured
+    runtime range (:func:`~repro.autotune.training.distill_points` —
+    fastest, slowest, evenly between: the subset whose preference pairs
+    keep the most ordering signal per point).  Groups beyond
+    ``max_groups`` evict least-recently-absorbed, so the archive's total
+    footprint is a hard ``max_groups × max_points_per_group`` points no
+    matter how long the deployment runs.
+
+    Everything is deterministic: no RNG in distillation, and
+    :meth:`groups` emits instances in sorted-fingerprint order, so two
+    runs absorbing the same record sequence produce byte-identical
+    training corpora.
+    """
+
+    def __init__(self, max_points_per_group: int = 8, max_groups: int = 256) -> None:
+        if max_points_per_group < 2:
+            raise ValueError(
+                f"max_points_per_group must be >= 2 (pairs need two points), "
+                f"got {max_points_per_group}"
+            )
+        if max_groups < 1:
+            raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+        self.max_points_per_group = max_points_per_group
+        self.max_groups = max_groups
+        #: instance fingerprint -> distilled group, recency-ordered
+        self._groups: "OrderedDict[int, _ArchiveGroup]" = OrderedDict()
+        self.records_absorbed = 0
+        self.evicted_groups = 0
+
+    def __len__(self) -> int:
+        """Number of (instance, family) groups currently archived."""
+        return len(self._groups)
+
+    @property
+    def n_points(self) -> int:
+        """Total representative points across all groups."""
+        return sum(len(g.points) for g in self._groups.values())
+
+    def absorb(self, fb: MeasuredFeedback) -> None:
+        """Fold one aged-out record into its instance's distilled group."""
+        key = instance_hash(fb.instance)
+        group = self._groups.get(key)
+        if group is None:
+            group = _ArchiveGroup(fb.instance, fb.family, OrderedDict())
+            self._groups[key] = group
+        else:
+            self._groups.move_to_end(key)
+        for tuning, t in zip(fb.tunings, fb.true_times):
+            group.points[tuning.content_key] = (tuning, float(t))
+        group.records_absorbed += 1
+        if len(group.points) > self.max_points_per_group:
+            items = list(group.points.values())
+            keep = distill_points(
+                np.array([t for _, t in items]), self.max_points_per_group
+            )
+            group.points = OrderedDict(
+                (items[i][0].content_key, items[i]) for i in keep.tolist()
+            )
+        self.records_absorbed += 1
+        while len(self._groups) > self.max_groups:
+            self._groups.popitem(last=False)
+            self.evicted_groups += 1
+
+    def groups(self, encoder: FeatureEncoder) -> RankingGroups:
+        """The archive as ranking groups, encoded in one fused pass.
+
+        Group ids are 0..n-1 over instances in sorted-fingerprint order —
+        stable across runs and independent of absorb recency (callers
+        remap ids anyway via :func:`~repro.autotune.training.stack_groups`).
+        """
+        if not self._groups:
+            return RankingGroups(
+                np.empty((0, encoder.num_features)),
+                np.empty(0),
+                np.empty(0, dtype=np.int64),
+            )
+        ordered = [self._groups[key] for key in sorted(self._groups)]
+        X = encoder.encode_many(
+            [(g.instance, [tuning for tuning, _ in g.points.values()]) for g in ordered]
+        )
+        times = np.concatenate(
+            [np.array([t for _, t in g.points.values()]) for g in ordered]
+        )
+        ids = np.repeat(
+            np.arange(len(ordered), dtype=np.int64),
+            [len(g.points) for g in ordered],
+        )
+        return RankingGroups(X, times, ids)
+
+    def snapshot(self) -> dict:
+        """Counters for telemetry and benchmark rows."""
+        return {
+            "groups": len(self._groups),
+            "points": self.n_points,
+            "records_absorbed": self.records_absorbed,
+            "evicted_groups": self.evicted_groups,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeedbackArchive(groups={len(self._groups)}, points={self.n_points}, "
+            f"absorbed={self.records_absorbed})"
+        )
 
 
 @dataclass
@@ -55,6 +197,10 @@ class IncrementalTrainer:
     relief: float = 0.4
     #: most recent feedback records considered at all
     max_feedback: int = 256
+    #: distilled history of aged-out records, merged into every corpus
+    #: (None = aged-out feedback is simply forgotten).  The pipeline wires
+    #: the collector's ``on_age_out`` to ``archive.absorb`` on attach.
+    archive: "FeedbackArchive | None" = None
     #: the merged corpus of the last :meth:`train` call (the pipeline
     #: refits the drift monitor's reference fingerprint from it after a
     #: promotion)
@@ -115,12 +261,21 @@ class IncrementalTrainer:
         return weights
 
     def build_corpus(self, feedback: "list[MeasuredFeedback]") -> RankingGroups:
-        """The merged, reweighted training corpus for one retraining round."""
+        """The merged, reweighted training corpus for one retraining round.
+
+        Sources, in stacking order: the (optionally subsampled) offline
+        anchor, the distilled archive of aged-out feedback (already
+        bounded per group — its point cap *is* its weighting), and the
+        recency × importance-weighted live feedback window.  Group ids
+        from the three sources never alias (:func:`stack_groups`).
+        """
         recent = feedback[-self.max_feedback :]
         groups = self.feedback_groups(recent)
         weighted = reweight_groups(
             groups, self.feedback_weights(recent), rng=self.config.seed
         )
+        if self.archive is not None and len(self.archive):
+            weighted = stack_groups(self.archive.groups(self.encoder), weighted)
         return merge_corpus(
             self.offline, weighted, self.offline_points, seed=self.config.seed
         )

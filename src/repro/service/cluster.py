@@ -36,7 +36,14 @@ Properties the ``tests/cluster/`` suites pin:
   requeued to the surviving shards (ranking is pure, so re-execution is
   safe), the router stops sending it traffic, and (by default) a
   replacement process is spawned; the registry and the other workers'
-  caches are untouched.
+  caches are untouched;
+* **feedback rides the wire** — with ``feedback_every >= 1`` each worker
+  streams every Nth successful answer back as a
+  :class:`~repro.service.ipc.FeedbackRecord`; the parent rehydrates
+  preset candidate sets from its own memo and fans records out to
+  :meth:`add_feedback_listener` observers, which is how one
+  coordinator-side continual-learning collector (one probing budget, one
+  drift monitor) sees the whole cluster's traffic.
 
 The parent API is thread-friendly (``submit`` returns a
 ``concurrent.futures.Future``) with an async adapter (:meth:`rank`), so
@@ -51,13 +58,14 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.service.cache import InternedCandidates
 from repro.service.ipc import (
     ErrorReply,
+    FeedbackRecord,
     RankReply,
     RankRequest,
     Shutdown,
@@ -70,6 +78,7 @@ from repro.service.telemetry import merge_stats
 from repro.service.worker import WorkerConfig, worker_main
 from repro.stencil.execution import instance_hash
 from repro.stencil.instance import StencilInstance
+from repro.tuning.presets import preset_candidates
 from repro.tuning.vector import TuningVector
 
 __all__ = ["ClusterResponse", "ServiceCluster"]
@@ -176,9 +185,12 @@ class ServiceCluster:
         latency_window: int = 4096,
         max_cached_models: int = 8,
         max_rows_per_pass: int = 32768,
+        feedback_every: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if feedback_every < 0:
+            raise ValueError(f"feedback_every must be >= 0, got {feedback_every}")
         self.registry_root = str(registry_root)
         self.n_workers = n_workers
         self.restart_workers = restart_workers
@@ -191,6 +203,7 @@ class ServiceCluster:
             latency_window=latency_window,
             max_cached_models=max_cached_models,
             max_rows_per_pass=max_rows_per_pass,
+            feedback_every=feedback_every,
         )
         self._ctx = _context(start_method)
         self.router = ShardRouter(range(n_workers))
@@ -205,6 +218,20 @@ class ServiceCluster:
         self.crashes = 0
         #: chronological worker lifecycle events (spawn/exit/restart)
         self.events: list[dict] = []
+        #: observers called with (instance, candidates, record) per
+        #: worker-streamed FeedbackRecord — the cluster-level analogue of
+        #: TuningService.add_response_hook
+        self._feedback_listeners: list[
+            Callable[[StencilInstance, Sequence[TuningVector], FeedbackRecord], None]
+        ] = []
+        #: FeedbackRecords received from workers (all listeners included)
+        self.feedback_received = 0
+        #: exceptions swallowed from feedback listeners (serving never breaks)
+        self.feedback_errors = 0
+        self.last_feedback_error: "Exception | None" = None
+        #: dims -> regenerated preset list for candidates=None records
+        #: (same content the workers serve, regenerated once per parent)
+        self._preset_sets: dict[int, list[TuningVector]] = {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -329,6 +356,77 @@ class ServiceCluster:
         """Blocking convenience wrapper: submit and wait."""
         return self.submit(instance, **kwargs).result()  # type: ignore[arg-type]
 
+    # -- feedback stream -------------------------------------------------------
+
+    def add_feedback_listener(
+        self,
+        listener: Callable[
+            [StencilInstance, Sequence[TuningVector], FeedbackRecord], None
+        ],
+    ) -> None:
+        """Register an observer for worker-streamed feedback records.
+
+        Listeners receive ``(instance, candidates, record)`` — candidates
+        in the request's order, aligned with ``record.scores`` (preset
+        requests are rehydrated from the parent's memo, so the list is
+        always concrete).  They run on the owning worker's reader thread
+        and must be cheap and thread-safe (append to an intake queue;
+        process later) — this is the attachment point for
+        :class:`~repro.online.feedback.ClusterFeedbackCollector`.  A
+        raising listener is counted (``feedback_errors``) and never
+        disturbs the reply path.
+
+        The stream only carries records when the cluster was built with
+        ``feedback_every >= 1`` — listeners on a cluster that never armed
+        worker-side streaming observe nothing.
+        """
+        self._feedback_listeners.append(listener)
+
+    def remove_feedback_listener(self, listener: Callable) -> None:
+        """Unregister a previously added feedback listener (no-op if absent)."""
+        try:
+            self._feedback_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _on_feedback(self, record: FeedbackRecord) -> None:
+        """Rehydrate one streamed record and fan it out to the listeners.
+
+        Runs on the owning worker's reader thread: counters are guarded
+        by the cluster lock (a bare ``+=`` would lose increments between
+        concurrent readers), listeners are called outside it.
+        """
+        with self._lock:
+            self.feedback_received += 1
+        candidates = (
+            self._presets(record.instance.dims)
+            if record.candidates is None
+            else record.candidates
+        )
+        for listener in list(self._feedback_listeners):
+            try:
+                listener(record.instance, candidates, record)
+            except Exception as exc:
+                with self._lock:
+                    self.feedback_errors += 1
+                    self.last_feedback_error = exc
+
+    def _presets(self, dims: int) -> list[TuningVector]:
+        """The preset candidate list for ``dims``, regenerated + memoized.
+
+        Bit-identical to every worker's own preset set (both sides call
+        :func:`~repro.tuning.presets.preset_candidates`), so a record that
+        shipped ``candidates=None`` grades against exactly the list the
+        worker scored.
+        """
+        cached = self._preset_sets.get(dims)
+        if cached is None:
+            # no lock: two reader threads racing here both generate the
+            # identical list; setdefault keeps one winner and the loser's
+            # copy is content-equal anyway
+            cached = self._preset_sets.setdefault(dims, preset_candidates(dims))
+        return cached
+
     # -- telemetry -------------------------------------------------------------
 
     def stats(self, timeout_s: float = 10.0) -> dict:
@@ -370,6 +468,7 @@ class ServiceCluster:
             "workers": {w: r.stats for w, r in sorted(replies.items())},
             "alive_workers": list(self.router.alive()),
             "crashes": self.crashes,
+            "feedback_received": self.feedback_received,
         }
 
     # -- fault injection (tests and drills) ------------------------------------
@@ -471,6 +570,8 @@ class ServiceCluster:
                     fut = handle.stats_pending.pop(msg.req_id, None)
                 if fut is not None:
                     _settle(fut, msg)
+            elif isinstance(msg, FeedbackRecord):
+                self._on_feedback(msg)
         self._on_worker_exit(handle)
 
     def _on_worker_exit(self, handle: _WorkerHandle) -> None:

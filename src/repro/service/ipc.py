@@ -18,6 +18,13 @@ Two deliberate wire economies, both load-bearing for throughput:
   from the reply — a top-k client shipping 8 vectors back instead of a
   preset-sized payload.
 
+The same preset economy applies in the opposite direction: a
+:class:`FeedbackRecord` (a served answer sampled for the coordinator's
+continual-learning collector) ships ``candidates=None`` when the request
+used the worker's preset set, and the coordinator regenerates the
+identical list from its own memo — the scores array is the only
+preset-sized payload that ever rides the feedback stream.
+
 Determinism note: scores travel as pickled ``float64`` arrays, which is an
 exact byte-level round trip — the cross-process bit-identity suites in
 ``tests/cluster/`` compare them with ``np.array_equal``, no tolerance.
@@ -37,6 +44,7 @@ from repro.tuning.vector import TuningVector
 
 __all__ = [
     "ErrorReply",
+    "FeedbackRecord",
     "RankReply",
     "RankRequest",
     "Shutdown",
@@ -73,6 +81,32 @@ class RankReply:
     cached: bool
     #: queue-to-answer latency inside the worker's service, in seconds
     service_latency_s: float
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class FeedbackRecord:
+    """One served answer streamed back for coordinator-side feedback.
+
+    Workers sample their *successful* responses (every ``feedback_every``-th
+    answer, counted per worker) and ship the ``(instance, candidates,
+    scores, version)`` tuple the continual-learning collector needs to
+    grade the ranking later — response content only, no reply plumbing:
+    the record is an observation, not an answer, and losing one can never
+    strand a request.
+
+    ``candidates=None`` means the request used the worker's preset set;
+    the coordinator regenerates (and memoizes) the identical list instead
+    of receiving ~8640 pickled vectors.
+    """
+
+    instance: StencilInstance
+    #: the request's explicit candidates, or None for the preset set
+    candidates: "Sequence[TuningVector] | None"
+    #: full model scores aligned with the request's candidate order
+    scores: np.ndarray
+    #: the concrete version that served the answer
+    model_version: str
     worker_id: int
 
 

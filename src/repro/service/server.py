@@ -278,6 +278,17 @@ class TuningService:
             self._default_sets[dims] = cached
         return cached
 
+    def is_default_set(self, dims: int, candidates: Sequence[TuningVector]) -> bool:
+        """Whether ``candidates`` *is* this service's shared preset list.
+
+        An identity check against the memo (never generating presets), so
+        observers on the response-hook path — the cluster worker's feedback
+        streamer — can tell "preset request" from "explicit set" in O(1)
+        and keep preset-sized payloads off the wire.
+        """
+        cached = self._default_sets.get(dims)
+        return cached is not None and candidates is cached[0]
+
     def set_default_model(self, ref: str) -> None:
         """Repoint the service default (tag or version) — a hot swap."""
         self.registry.resolve(ref)  # fail fast on unknown refs

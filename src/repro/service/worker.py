@@ -15,6 +15,15 @@ loop:
 * replies are sent from the loop thread only, which serializes pipe
   writes without a lock.
 
+When the parent armed feedback streaming (``WorkerConfig.feedback_every``),
+the worker also rides its own service's response-hook API: every Nth
+successful answer is shipped back as a
+:class:`~repro.service.ipc.FeedbackRecord` — content only (preset requests
+travel as ``candidates=None``), sent from the loop thread like any reply,
+so the stream can never interleave into a torn pipe write.  The
+coordinator's :class:`~repro.online.feedback.ClusterFeedbackCollector`
+is the consumer.
+
 Hot swap needs no cluster machinery: the service re-resolves model tags
 against the on-disk registry on every micro-batch, so a tag moved by any
 process (a promotion, an operator) is observed here within one batch —
@@ -34,8 +43,11 @@ import threading
 from dataclasses import dataclass
 from multiprocessing.connection import Connection
 
+import numpy as np
+
 from repro.service.ipc import (
     ErrorReply,
+    FeedbackRecord,
     RankReply,
     RankRequest,
     Shutdown,
@@ -60,6 +72,9 @@ class WorkerConfig:
     latency_window: int = 4096
     max_cached_models: int = 8
     max_rows_per_pass: int = 32768
+    #: stream every Nth successful answer back to the coordinator as a
+    #: :class:`~repro.service.ipc.FeedbackRecord` (0 = no feedback stream)
+    feedback_every: int = 0
 
 
 def worker_main(worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig) -> None:
@@ -84,6 +99,8 @@ async def _serve(
         max_cached_models=config.max_cached_models,
         max_rows_per_pass=config.max_rows_per_pass,
     )
+    if config.feedback_every > 0:
+        service.add_response_hook(_feedback_streamer(service, conn, worker_id, config))
     loop = asyncio.get_running_loop()
     inbox: "asyncio.Queue[object]" = asyncio.Queue()
 
@@ -133,6 +150,43 @@ async def _serve(
         # so a clean stop never strands a parent-side future
         if inflight:
             await asyncio.gather(*inflight, return_exceptions=True)
+
+
+def _feedback_streamer(
+    service: TuningService, conn: Connection, worker_id: int, config: WorkerConfig
+):
+    """A response hook shipping every Nth answer back as a FeedbackRecord.
+
+    Hooks fire synchronously on the event loop — the same thread every
+    reply is sent from — so the record send is serialized with reply
+    sends for free.  Preset requests (the service's own shared candidate
+    list) travel as ``candidates=None``; the coordinator regenerates the
+    identical list from its memo.
+    """
+    state = {"count": 0}
+
+    def stream(instance, candidates, response) -> None:
+        n = state["count"]
+        state["count"] = n + 1
+        if n % config.feedback_every:
+            return
+        wire_candidates = (
+            None
+            if service.is_default_set(instance.dims, candidates)
+            else list(candidates)
+        )
+        _send(
+            conn,
+            FeedbackRecord(
+                instance=instance,
+                candidates=wire_candidates,
+                scores=np.asarray(response.scores),
+                model_version=response.model_version,
+                worker_id=worker_id,
+            ),
+        )
+
+    return stream
 
 
 async def _handle(

@@ -1,0 +1,328 @@
+"""Feedback-archive distillation: aged-out records keep their signal.
+
+The collector's measured window is bounded; without distillation, records
+evicted past ``max_measured`` vanish and a long-lived deployment forgets
+exactly the families that stopped drifting.  These suites pin the
+:class:`~repro.online.trainer.FeedbackArchive` semantics — absorb, dedupe,
+representative-point distillation, bounds, determinism — plus the wiring
+through :attr:`FeedbackCollector.on_age_out` and the retrain-quality
+floor: a distilled archive must never rank worse than simply truncating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune.training import distill_points, stack_groups
+from repro.features.encoder import FeatureEncoder
+from repro.machine.executor import SimulatedMachine
+from repro.online import FeedbackArchive, IncrementalTrainer, mean_model_tau
+from repro.online.feedback import MeasuredFeedback
+from repro.ranking.partial import RankingGroups
+from repro.stencil.instance import StencilInstance
+from repro.stencil.kernel import StencilKernel
+from repro.stencil.shapes import hypercube
+from repro.tuning.space import patus_space
+
+from tests.online.conftest import PHASE2, make_feedback
+
+
+@pytest.fixture()
+def encoder() -> FeatureEncoder:
+    return FeatureEncoder()
+
+
+def _instance(i: int = 0) -> StencilInstance:
+    kernel = StencilKernel.single_buffer(
+        f"hypercube-3d-r1-float-{i}", hypercube(3, 1), "float"
+    )
+    return StencilInstance(kernel, (64, 64, 64))
+
+
+# -- distill_points ------------------------------------------------------------
+
+
+class TestDistillPoints:
+    def test_keeps_everything_when_small(self):
+        assert distill_points([3.0, 1.0, 2.0], 8).tolist() == [0, 1, 2]
+
+    def test_always_keeps_fastest_and_slowest(self):
+        rng = np.random.default_rng(4)
+        times = rng.random(50)
+        keep = distill_points(times, 5)
+        assert len(keep) == 5
+        assert int(np.argmin(times)) in keep.tolist()
+        assert int(np.argmax(times)) in keep.tolist()
+
+    def test_spread_over_sorted_order(self):
+        times = np.arange(9, dtype=float)[::-1]  # 8..0
+        # sorted order is reversed row order; evenly spaced positions
+        assert distill_points(times, 3).tolist() == [0, 4, 8]
+
+    def test_no_rng_pure_function(self):
+        times = np.random.default_rng(7).random(40)
+        a = distill_points(times, 6)
+        b = distill_points(times.copy(), 6)
+        assert np.array_equal(a, b)
+
+    def test_rejects_degenerate_cap(self):
+        with pytest.raises(ValueError, match="max_points"):
+            distill_points([1.0, 2.0], 1)
+
+
+# -- the archive ---------------------------------------------------------------
+
+
+class TestFeedbackArchive:
+    def test_empty_archive(self, encoder):
+        archive = FeedbackArchive()
+        assert len(archive) == 0
+        groups = archive.groups(encoder)
+        assert len(groups) == 0
+        assert groups.X.shape == (0, encoder.num_features)
+        assert archive.snapshot()["points"] == 0
+
+    def test_single_record_group(self, machine, encoder):
+        archive = FeedbackArchive(max_points_per_group=16)
+        fb = make_feedback(_instance(), machine, seq=0, n=6)
+        archive.absorb(fb)
+        assert len(archive) == 1
+        assert archive.n_points == 6
+        groups = archive.groups(encoder)
+        assert len(groups) == 6
+        assert groups.num_groups == 1
+        # the group's times are exactly the record's measurements
+        assert np.array_equal(np.sort(groups.times), np.sort(fb.true_times))
+
+    def test_distills_to_cap_keeping_extremes(self, machine):
+        archive = FeedbackArchive(max_points_per_group=4)
+        instance = _instance()
+        records = [make_feedback(instance, machine, seq=i, seed=i) for i in range(5)]
+        for fb in records:
+            archive.absorb(fb)
+        assert len(archive) == 1
+        assert archive.n_points == 4
+        all_times = np.concatenate([fb.true_times for fb in records])
+        kept = [t for _, t in archive._groups[next(iter(archive._groups))].points.values()]
+        assert float(min(all_times)) == pytest.approx(min(kept), abs=0)
+        assert float(max(all_times)) == pytest.approx(max(kept), abs=0)
+
+    def test_newest_measurement_of_a_tuning_wins(self, machine):
+        archive = FeedbackArchive(max_points_per_group=8)
+        instance = _instance()
+        fb = make_feedback(instance, machine, seq=0, n=4)
+        archive.absorb(fb)
+        # same tunings, shifted times: re-absorbing must overwrite in place
+        newer = MeasuredFeedback(
+            seq=1,
+            instance=fb.instance,
+            family=fb.family,
+            model_version=fb.model_version,
+            tunings=fb.tunings,
+            served_scores=fb.served_scores,
+            true_times=fb.true_times * 2.0,
+            tau=fb.tau,
+        )
+        archive.absorb(newer)
+        assert archive.n_points == 4
+        kept = sorted(
+            t for _, t in archive._groups[next(iter(archive._groups))].points.values()
+        )
+        assert kept == sorted((fb.true_times * 2.0).tolist())
+
+    def test_max_groups_evicts_least_recently_absorbed(self, machine):
+        archive = FeedbackArchive(max_groups=2)
+        for i in range(3):
+            archive.absorb(make_feedback(_instance(i), machine, seq=i))
+        assert len(archive) == 2
+        assert archive.evicted_groups == 1
+        families = [g.instance.kernel.name for g in archive._groups.values()]
+        assert all("-0" not in name for name in families), families
+
+    def test_deterministic_across_runs(self, machine, encoder):
+        """Same absorb sequence ⇒ byte-identical distilled corpus."""
+        def build() -> RankingGroups:
+            archive = FeedbackArchive(max_points_per_group=4)
+            for i in range(6):
+                archive.absorb(make_feedback(_instance(i % 3), machine, seq=i, seed=i))
+            return archive.groups(encoder)
+
+        a, b = build(), build()
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.groups, b.groups)
+
+    def test_group_order_independent_of_recency(self, machine, encoder):
+        """groups() ids follow sorted fingerprints, not absorb order."""
+        records = [make_feedback(_instance(i), machine, seq=i) for i in range(3)]
+        forward, backward = FeedbackArchive(), FeedbackArchive()
+        for fb in records:
+            forward.absorb(fb)
+        for fb in reversed(records):
+            backward.absorb(fb)
+        a, b = forward.groups(encoder), backward.groups(encoder)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.groups, b.groups)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FeedbackArchive(max_points_per_group=1)
+        with pytest.raises(ValueError):
+            FeedbackArchive(max_groups=0)
+
+
+# -- collector wiring ----------------------------------------------------------
+
+
+class TestAgeOutWiring:
+    def test_aged_records_flow_into_archive(self, budgeted_machine, machine):
+        from repro.online.feedback import FeedbackCollector
+
+        archive = FeedbackArchive()
+        collector = FeedbackCollector(
+            budgeted_machine, probe_size=4, max_measured=3, dedupe=False
+        )
+        collector.on_age_out = archive.absorb
+        space = patus_space(3)
+        for i in range(5):
+            instance = _instance(i)
+            candidates = space.random_vectors(8, rng=i)
+            scores = np.linspace(1.0, 0.0, 8)
+            collector.hook(
+                instance, candidates, _FakeResponse(scores, "v0001")
+            )
+        measured = collector.measure_pending()
+        assert len(measured) == 5
+        assert len(collector.measured) == 3
+        assert collector.aged_out == 2
+        assert archive.records_absorbed == 2
+        assert len(archive) == 2
+
+    def test_pipeline_attach_wires_archive(
+        self, online_registry, phase1_tuner, phase1_training_set, budgeted_machine
+    ):
+        from repro.online import (
+            ContinualLearningPipeline,
+            DriftMonitor,
+            FeedbackCollector,
+            PromotionPolicy,
+            ShadowEvaluator,
+        )
+        from repro.service import TuningService
+
+        archive = FeedbackArchive()
+        collector = FeedbackCollector(budgeted_machine, probe_size=4)
+        service = TuningService(online_registry, default_model="prod")
+        pipeline = ContinualLearningPipeline(
+            service=service,
+            collector=collector,
+            monitor=DriftMonitor(phase1_tuner.encoder),
+            trainer=IncrementalTrainer(
+                phase1_training_set, phase1_tuner.encoder, archive=archive
+            ),
+            evaluator=ShadowEvaluator(phase1_tuner.encoder),
+            policy=PromotionPolicy(online_registry),
+        )
+        pipeline.attach()
+        assert collector.on_age_out == archive.absorb
+
+
+class _FakeResponse:
+    def __init__(self, scores, model_version):
+        self.scores = scores
+        self.model_version = model_version
+
+
+# -- corpus assembly and the retrain-quality floor -----------------------------
+
+
+class TestDistilledCorpus:
+    def test_empty_archive_changes_nothing(
+        self, phase1_training_set, phase1_tuner, machine
+    ):
+        feedback = [make_feedback(_instance(i), machine, seq=i) for i in range(4)]
+        plain = IncrementalTrainer(phase1_training_set, phase1_tuner.encoder)
+        archived = IncrementalTrainer(
+            phase1_training_set, phase1_tuner.encoder, archive=FeedbackArchive()
+        )
+        a, b = plain.build_corpus(feedback), archived.build_corpus(feedback)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.groups, b.groups)
+
+    def test_archive_groups_never_alias_live_or_offline(
+        self, phase1_training_set, phase1_tuner, machine
+    ):
+        archive = FeedbackArchive()
+        for i in range(3):
+            archive.absorb(make_feedback(_instance(i), machine, seq=i))
+        live = [make_feedback(_instance(i), machine, seq=10 + i) for i in range(2)]
+        # neutral weights: every live point survives, so sizes are exact
+        trainer = IncrementalTrainer(
+            phase1_training_set,
+            phase1_tuner.encoder,
+            archive=archive,
+            decay=1.0,
+            relief=0.0,
+        )
+        corpus = trainer.build_corpus(live)
+        base = phase1_training_set.data
+        extra_groups = corpus.num_groups - base.num_groups
+        assert extra_groups == 5  # 3 archived + 2 live, none merged
+        assert len(corpus) == len(base) + archive.n_points + sum(len(fb) for fb in live)
+
+    def test_stack_groups_rejects_mismatched_features(self):
+        a = RankingGroups(np.zeros((2, 3)), np.ones(2), np.zeros(2, dtype=np.int64))
+        b = RankingGroups(np.zeros((2, 4)), np.ones(2), np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError, match="feature dimension"):
+            stack_groups(a, b)
+
+    def test_retrain_quality_floor(
+        self, phase1_training_set, phase1_tuner, workload
+    ):
+        """Distilled ≥ truncated on the PR 3 drift episode.
+
+        Thirty-two shifted-family records age out of a live window that
+        keeps only the newest eight.  A trainer that distilled the aged
+        records must rank held-out shifted traffic at least as well as
+        one that simply forgot them.
+        """
+        machine = SimulatedMachine(seed=11)
+        records = []
+        for i in range(48):
+            instance, candidates = workload.request(workload.shift_at + i)
+            assert instance.kernel.name.split("-")[0] in PHASE2
+            tunings = tuple(candidates[:8])
+            times = machine.measure_batch(instance, list(tunings)).medians
+            records.append(
+                MeasuredFeedback(
+                    seq=i,
+                    instance=instance,
+                    family=instance.kernel.name.split("-")[0],
+                    model_version="v0001",
+                    tunings=tunings,
+                    served_scores=np.linspace(1.0, 0.0, 8),
+                    true_times=np.asarray(times),
+                    tau=0.0,
+                )
+            )
+        aged, live, heldout = records[:32], records[32:40], records[40:]
+
+        archive = FeedbackArchive(max_points_per_group=6)
+        for fb in aged:
+            archive.absorb(fb)
+        distilled = IncrementalTrainer(
+            phase1_training_set, phase1_tuner.encoder, archive=archive
+        ).train(live, warm_start=phase1_tuner.model)
+        truncated = IncrementalTrainer(
+            phase1_training_set, phase1_tuner.encoder
+        ).train(live, warm_start=phase1_tuner.model)
+
+        encoder = phase1_tuner.encoder
+        tau_distilled = mean_model_tau(encoder, distilled, heldout)
+        tau_truncated = mean_model_tau(encoder, truncated, heldout)
+        assert tau_distilled >= tau_truncated, (tau_distilled, tau_truncated)
+        # and the distilled model must actually have learned the shift
+        tau_offline = mean_model_tau(encoder, phase1_tuner.model, heldout)
+        assert tau_distilled > tau_offline, (tau_distilled, tau_offline)

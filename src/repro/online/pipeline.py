@@ -105,6 +105,9 @@ class ContinualLearningPipeline:
         self.config = config
         #: chronological log of retrain/promotion/rejection/rollback events
         self.events: list[dict] = []
+        #: retrain attempts that raised (isolated; serving never sees them)
+        self.retrain_errors = 0
+        self.last_retrain_error: "Exception | None" = None
         self._steps_since_retrain = config.retrain_cooldown_steps + 1
         #: post-promotion watch: {"version", "baseline", "taus"}
         self._watch: "dict | None" = None
@@ -176,7 +179,23 @@ class ContinualLearningPipeline:
             and self._steps_since_retrain > self.config.retrain_cooldown_steps
             and len(self.collector.measured) >= self.config.min_feedback_to_train
         ):
-            self._retrain(report)
+            # a failing retrain (bad archive, unloadable production model,
+            # a solver blow-up) is a *background* failure: it must never
+            # propagate into the caller's serving loop.  Count it, log it,
+            # and burn the cooldown so a persistently broken retrain does
+            # not spin every step.
+            try:
+                self._retrain(report)
+            except Exception as exc:
+                self.retrain_errors += 1
+                self.last_retrain_error = exc
+                self.events.append(
+                    {
+                        "type": "retrain-error",
+                        "reasons": list(report.reasons),
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
             self._steps_since_retrain = 0
         return report
 

@@ -19,7 +19,13 @@ package provides the production pieces around it:
   (:class:`~repro.service.routing.ShardRouter`) worker processes behind
   the shared registry, with crash rerouting and merged telemetry;
 * :mod:`repro.service.worker` / :mod:`repro.service.ipc` — the worker
-  entry point and the pickle wire protocol between parent and workers.
+  entry point and the pickle wire protocol between parent and workers;
+* :mod:`repro.service.health` / :mod:`repro.service.degrade` /
+  :mod:`repro.service.chaos` — the resilience layer: per-worker circuit
+  breakers fed by timeouts, corrupt frames and heartbeat silence
+  (healthy → suspect → quarantined, probe-readmitted); coordinator-side
+  degraded answers and deterministic load shedding; and the fault
+  injections the chaos drills run against all of it.
 
 See ``docs/serving.md`` for the architecture and ``examples/serve_tuner.py``
 / ``examples/serve_cluster.py`` for runnable end-to-end sessions.
@@ -33,7 +39,15 @@ from repro.service.cache import (
     candidate_set_hash,
     intern_candidates,
 )
+from repro.service.chaos import ChaosConfig
 from repro.service.cluster import ClusterResponse, ServiceCluster
+from repro.service.degrade import (
+    ClusterOverloadedError,
+    DeadlineExceededError,
+    FallbackScorer,
+    FallbackStore,
+)
+from repro.service.health import CircuitBreaker, HealthState, ResilienceConfig
 from repro.service.registry import ModelRegistry
 from repro.service.routing import ShardRouter
 from repro.service.server import RankingResponse, TuningService
@@ -42,12 +56,20 @@ from repro.service.worker import WorkerConfig
 
 __all__ = [
     "CachedRanking",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "ClusterOverloadedError",
     "ClusterResponse",
+    "DeadlineExceededError",
+    "FallbackScorer",
+    "FallbackStore",
+    "HealthState",
     "InternedCandidates",
     "MicroBatcher",
     "ModelRegistry",
     "RankingCache",
     "RankingResponse",
+    "ResilienceConfig",
     "ServiceCluster",
     "ServiceTelemetry",
     "ShardRouter",

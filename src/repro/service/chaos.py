@@ -1,0 +1,212 @@
+"""Chaos injection: the faults the resilience layer is proven against.
+
+The cluster's crash story used to be tested with exactly one weapon —
+``ServiceCluster.kill_worker`` (SIGKILL).  Real fleets fail in softer,
+nastier ways: workers that answer *slowly*, workers whose event loop hangs
+mid-request (slow loris), replies that vanish, frames that arrive as
+garbage bytes, and shared files that a sick process half-writes.  This
+module packages those faults as deterministic, per-worker injections:
+
+* :class:`ChaosConfig` — a frozen description of which faults a worker
+  injects, shipped to the worker inside its
+  :class:`~repro.service.worker.WorkerConfig` at spawn time;
+* :class:`ChaosState` — the worker-side counter that turns the config into
+  per-request decisions (every decision is a function of the request
+  ordinal, so a drill replays identically);
+* :func:`corrupt_registry_tags` — smash the shared ``tags.json`` with
+  non-JSON bytes, the registry-corruption fault
+  (:class:`~repro.service.registry.ModelRegistry` detects it by checksum
+  and falls back to its mirror);
+* :data:`CORRUPT_FRAME` — the byte payload a chaotic worker ships instead
+  of a pickled reply; it fails to unpickle on the parent, exercising the
+  reader's corrupt-frame containment.
+
+Faults apply **only to ranking traffic**: heartbeats and probe replies
+stay honest, because the point of a drill is to watch the health machinery
+observe real symptoms (a slow loris stalls its own heartbeats by blocking
+the loop), not to forge the instruments.  ``burst_n`` bounds every fault
+to the first N requests a worker handles, so a drill can demonstrate the
+full arc: degrade → quarantine → recover → readmit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from pathlib import Path
+
+__all__ = [
+    "CORRUPT_FRAME",
+    "ChaosConfig",
+    "ChaosState",
+    "corrupt_model_archive",
+    "corrupt_registry_tags",
+    "send_corrupt_frame",
+]
+
+#: bytes that can never unpickle (``\x00`` is not a pickle opcode) — what a
+#: corrupt-reply injection puts on the wire in place of a real frame
+CORRUPT_FRAME = b"\x00chaos-corrupt-frame"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic fault injections for one worker.
+
+    All ``*_every`` knobs count the worker's rank requests from 1: a value
+    of ``k`` fires on requests ``k, 2k, 3k, …`` (0 never fires).  With
+    ``burst_n`` set, every fault is confined to the worker's first
+    ``burst_n`` requests — afterwards the worker behaves perfectly, which
+    is what lets a drill assert *recovery* (readmission after quarantine),
+    not just damage.
+    """
+
+    #: asyncio sleep before handling (slow but responsive worker)
+    latency_s: float = 0.0
+    #: apply the latency to every Nth request (1 = all; 0 = never)
+    latency_every: int = 1
+    #: *blocking* sleep on the event loop before handling — stalls every
+    #: concurrent request AND the worker's own heartbeats (a hung worker)
+    slow_loris_s: float = 0.0
+    #: silently drop every Nth rank reply (0 = never)
+    drop_reply_every: int = 0
+    #: replace every Nth rank reply with :data:`CORRUPT_FRAME` (0 = never)
+    corrupt_reply_every: int = 0
+    #: confine all faults to the first N rank requests (None = forever)
+    burst_n: "int | None" = None
+
+    def __post_init__(self) -> None:
+        for name in ("latency_s", "slow_loris_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        for name in ("latency_every", "drop_reply_every", "corrupt_reply_every"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.burst_n is not None and self.burst_n < 0:
+            raise ValueError(f"burst_n must be >= 0, got {self.burst_n}")
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this config injects anything at all."""
+        return bool(
+            (self.latency_s and self.latency_every)
+            or self.slow_loris_s
+            or self.drop_reply_every
+            or self.corrupt_reply_every
+        )
+
+
+class ChaosState:
+    """Worker-side fault decisions, derived from the request ordinal.
+
+    One instance per worker process.  Decisions depend only on the
+    config and the order requests are *handled* in, never on wall time or
+    randomness, so the same drill produces the same injections.
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._n = 0
+        self.injected_latency = 0
+        self.injected_loris = 0
+        self.dropped_replies = 0
+        self.corrupted_replies = 0
+
+    def next_request(self) -> int:
+        """Claim the next request ordinal (1-based)."""
+        self._n += 1
+        return self._n
+
+    def _active(self, n: int) -> bool:
+        burst = self.config.burst_n
+        return burst is None or n <= burst
+
+    def pre_delay(self, n: int) -> "tuple[float, float]":
+        """(blocking loris sleep, async latency sleep) for request ``n``."""
+        if not self._active(n):
+            return (0.0, 0.0)
+        loris = self.config.slow_loris_s
+        if loris:
+            self.injected_loris += 1
+        latency = 0.0
+        if (
+            self.config.latency_s
+            and self.config.latency_every
+            and n % self.config.latency_every == 0
+        ):
+            latency = self.config.latency_s
+            self.injected_latency += 1
+        return (loris, latency)
+
+    def reply_fate(self, n: int) -> str:
+        """What happens to the reply of request ``n``: send/drop/corrupt."""
+        if not self._active(n):
+            return "send"
+        if self.config.drop_reply_every and n % self.config.drop_reply_every == 0:
+            self.dropped_replies += 1
+            return "drop"
+        if (
+            self.config.corrupt_reply_every
+            and n % self.config.corrupt_reply_every == 0
+        ):
+            self.corrupted_replies += 1
+            return "corrupt"
+        return "send"
+
+    def block(self, seconds: float) -> None:
+        """The slow-loris primitive: a *blocking* sleep on the loop thread."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def snapshot(self) -> dict:
+        """Injection counters (per worker, for drill reporting)."""
+        return {
+            "requests_seen": self._n,
+            "injected_latency": self.injected_latency,
+            "injected_loris": self.injected_loris,
+            "dropped_replies": self.dropped_replies,
+            "corrupted_replies": self.corrupted_replies,
+        }
+
+
+def send_corrupt_frame(conn: Connection) -> None:
+    """Ship :data:`CORRUPT_FRAME` where a pickled reply was expected.
+
+    The receiver's ``recv()`` will raise an unpickling error — exactly the
+    symptom of a torn or bit-flipped frame — which the parent reader must
+    contain (count + health penalty) without dying.
+    """
+    try:
+        conn.send_bytes(CORRUPT_FRAME)
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+
+
+def corrupt_registry_tags(root: "str | Path") -> bytes:
+    """Overwrite the registry's ``tags.json`` with non-JSON garbage.
+
+    Simulates a writer dying mid-write (or disk corruption) on the one
+    *mutable* shared file in the registry.  Returns the original bytes so
+    a drill can prove recovery happened through the registry's own
+    checksum-and-mirror machinery, not through the test restoring the
+    file.  The write is deliberately *not* atomic — that is the fault.
+    """
+    path = Path(root) / "tags.json"
+    original = path.read_bytes() if path.exists() else b""
+    path.write_bytes(b'{"chaos": this-is-not-json')
+    return original
+
+
+def corrupt_model_archive(root: "str | Path", version: str) -> bytes:
+    """Truncate-and-garbage a version's ``.npz`` archive in place.
+
+    The immutable-archive corruption fault:
+    :meth:`~repro.service.registry.ModelRegistry.load` detects it (the
+    archive fails to parse) and, for dynamic refs, falls back to the
+    newest older version that still loads.  Returns the original bytes.
+    """
+    path = Path(root) / "models" / f"{version}.npz"
+    original = path.read_bytes()
+    path.write_bytes(b"\x00chaos" + original[: min(64, len(original))])
+    return original

@@ -45,6 +45,34 @@ Properties the ``tests/cluster/`` suites pin:
   coordinator-side continual-learning collector (one probing budget, one
   drift monitor) sees the whole cluster's traffic.
 
+A SIGKILL is the *easy* failure (the pipe EOFs and everyone knows).  The
+resilience layer (``tests/cluster/test_resilience.py``) covers the
+partial ones:
+
+* **deadlines + bounded retry** — ``submit(..., deadline_s=…)`` gives a
+  request a total time budget; an attempt that outlives its per-dispatch
+  timeout is re-dispatched to another worker with jittered exponential
+  backoff (deterministic per request: the jitter is hashed from the
+  request id), at most ``ResilienceConfig.max_retries`` times.  A hung
+  worker can therefore delay a request, never strand it.
+* **health-state routing** — a per-worker
+  :class:`~repro.service.health.CircuitBreaker` (healthy → suspect →
+  quarantined) is fed by attempt timeouts, corrupted reply frames,
+  crashes, and heartbeat silence (workers beat from their event loop, so
+  a blocked loop goes quiet — the slow-loris signature).  Dispatch
+  prefers healthy workers, tolerates suspects as a last resort, and
+  unroutes quarantined ones entirely (their pending work is requeued).
+  Quarantined workers are probed with
+  :class:`~repro.service.ipc.Ping`; a :class:`~repro.service.ipc.Pong`
+  readmits them — shard and warm cache restored.
+* **graceful degradation** — with ``degraded_answers=True``, a request no
+  healthy worker can answer before its deadline is answered by the
+  coordinator itself (a remembered full ranking, else an in-coordinator
+  scorer that is bit-identical to a worker) with an explicit
+  ``degraded=True``; past ``max_queue_depth`` undispatched requests,
+  ``submit`` sheds deterministically with
+  :class:`~repro.service.degrade.ClusterOverloadedError`.
+
 The parent API is thread-friendly (``submit`` returns a
 ``concurrent.futures.Future``) with an async adapter (:meth:`rank`), so
 both sync drivers and asyncio applications can use the cluster directly.
@@ -53,6 +81,7 @@ both sync drivers and asyncio applications can use the cluster directly.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import multiprocessing as mp
 import threading
 import time
@@ -63,9 +92,21 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.service.cache import InternedCandidates
+from repro.service.chaos import ChaosConfig
+from repro.service.degrade import (
+    ClusterOverloadedError,
+    DeadlineExceededError,
+    FallbackScorer,
+    FallbackStore,
+)
+from repro.service.health import CircuitBreaker, HealthState, ResilienceConfig
 from repro.service.ipc import (
+    UNPICKLING_ERRORS,
     ErrorReply,
     FeedbackRecord,
+    Heartbeat,
+    Ping,
+    Pong,
     RankReply,
     RankRequest,
     Shutdown,
@@ -80,6 +121,7 @@ from repro.stencil.execution import instance_hash
 from repro.stencil.instance import StencilInstance
 from repro.tuning.presets import preset_candidates
 from repro.tuning.vector import TuningVector
+from repro.util.rng import hash_bits
 
 __all__ = ["ClusterResponse", "ServiceCluster"]
 
@@ -91,7 +133,10 @@ def _settle(future: "concurrent.futures.Future", value=None, error: "Exception |
     one at any moment — including between a ``done()`` check and the
     ``set_result`` call.  The resulting ``InvalidStateError`` must never
     escape into a reader thread: a dead reader would leave its worker
-    routed but unread, hanging the whole shard.
+    routed but unread, hanging the whole shard.  (It also makes duplicate
+    settles benign — a request that was retried *and* then answered by
+    its first, written-off worker keeps the first settle and drops the
+    straggler.)
     """
     try:
         if error is not None:
@@ -109,7 +154,8 @@ class ClusterResponse:
     #: candidates best-first (truncated to ``top_k`` when requested)
     ranked: list[TuningVector]
     #: full score array aligned with the request's candidate order
-    #: (None when the request set ``include_scores=False``)
+    #: (None when the request set ``include_scores=False``; a degraded
+    #: answer may also lack scores when the remembered reply had none)
     scores: "np.ndarray | None"
     #: the concrete model version that produced the answer
     model_version: str
@@ -119,10 +165,16 @@ class ClusterResponse:
     latency_s: float
     #: queue-to-answer latency inside the worker's service
     service_latency_s: float
-    #: which worker answered (affinity: stable per instance)
+    #: which worker answered (affinity: stable per instance; -1 = the
+    #: coordinator itself answered, which only happens when degraded)
     worker_id: int
-    #: how many times the request was (re)dispatched (1 = no crash on its path)
+    #: how many times the request was (re)dispatched (1 = no crash or
+    #: timeout on its path)
     attempts: int
+    #: True when no healthy worker could answer in time and the
+    #: coordinator served a fallback (cache replay or local scoring);
+    #: ``model_version`` still names exactly the model that computed it
+    degraded: bool = False
 
     @property
     def best(self) -> TuningVector:
@@ -143,6 +195,20 @@ class _PendingReq:
     future: "concurrent.futures.Future[ClusterResponse]"
     submitted_at: float
     attempts: int = 0
+    #: absolute monotonic deadline (None = no time budget)
+    deadline_at: "float | None" = None
+    #: per-dispatch timeout before the monitor retries elsewhere
+    attempt_timeout_s: "float | None" = None
+    #: timeout-triggered re-dispatches so far (crash requeues not counted)
+    retries: int = 0
+    #: current dispatch target and when it was sent there
+    worker_id: "int | None" = None
+    attempt_started: "float | None" = None
+    #: earliest monotonic time the next retry may dispatch (backoff gate)
+    not_before: float = 0.0
+    #: workers that already timed this request out (avoided while any
+    #: other worker can take it)
+    excluded: set = field(default_factory=set)
 
 
 @dataclass
@@ -186,6 +252,8 @@ class ServiceCluster:
         max_cached_models: int = 8,
         max_rows_per_pass: int = 32768,
         feedback_every: int = 0,
+        resilience: "ResilienceConfig | None" = None,
+        chaos: "ChaosConfig | dict[int, ChaosConfig] | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -195,6 +263,16 @@ class ServiceCluster:
         self.n_workers = n_workers
         self.restart_workers = restart_workers
         self.max_restarts = max_restarts
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        #: per-worker fault injections for chaos drills: one config for
+        #: every worker, or a {worker_id: config} map for targeted faults
+        self._chaos: "dict[int, ChaosConfig]" = (
+            dict(chaos)
+            if isinstance(chaos, dict)
+            else {w: chaos for w in range(n_workers)}
+            if chaos is not None
+            else {}
+        )
         self.config = WorkerConfig(
             default_model=default_model,
             max_batch_size=max_batch_size,
@@ -204,6 +282,7 @@ class ServiceCluster:
             max_cached_models=max_cached_models,
             max_rows_per_pass=max_rows_per_pass,
             feedback_every=feedback_every,
+            heartbeat_interval_s=self.resilience.heartbeat_interval_s,
         )
         self._ctx = _context(start_method)
         self.router = ShardRouter(range(n_workers))
@@ -216,8 +295,41 @@ class ServiceCluster:
         self._stopping = False
         #: worker exits observed outside a clean stop
         self.crashes = 0
-        #: chronological worker lifecycle events (spawn/exit/restart)
+        #: chronological worker lifecycle events
+        #: (spawn/exit/restart/quarantine/readmit)
         self.events: list[dict] = []
+        #: per-worker health state machines (kept across restarts; reset
+        #: when a replacement process takes the worker id over)
+        self._health: dict[int, CircuitBreaker] = {
+            w: CircuitBreaker.from_config(self.resilience) for w in range(n_workers)
+        }
+        #: monotonic receipt time of the last frame heard per worker.
+        #: Written lock-free from reader threads (dict stores are atomic
+        #: under the GIL); the monitor tolerates a one-tick-stale read.
+        self._last_heard: dict[int, float] = {}
+        self._spawned_at: dict[int, float] = {}
+        #: workers currently past heartbeat_stale_s (monitor-thread only;
+        #: makes the suspect penalty fire once per silence, not per tick)
+        self._hb_flagged: set[int] = set()
+        #: timeout-retried requests waiting out their backoff
+        self._retry_queue: list[_PendingReq] = []
+        self._monitor: "threading.Thread | None" = None
+        self._monitor_stop = threading.Event()
+        #: coordinator-side fallback machinery (degraded answers)
+        self._fallback_store: "FallbackStore | None" = (
+            FallbackStore(self.resilience.fallback_cache_entries)
+            if self.resilience.degraded_answers
+            else None
+        )
+        self._fallback_scorer: "FallbackScorer | None" = None
+        #: resilience counters
+        self.timeouts = 0
+        self.retries_scheduled = 0
+        self.degraded_served = 0
+        self.shed_requests = 0
+        self.corrupted_frames = 0
+        self.quarantines = 0
+        self.readmissions = 0
         #: observers called with (instance, candidates, record) per
         #: worker-streamed FeedbackRecord — the cluster-level analogue of
         #: TuningService.add_response_hook
@@ -236,7 +348,7 @@ class ServiceCluster:
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "ServiceCluster":
-        """Spawn the worker processes (idempotent)."""
+        """Spawn the worker processes and the health monitor (idempotent)."""
         with self._lock:
             if self._started:
                 return self
@@ -244,6 +356,11 @@ class ServiceCluster:
             self._started = True
         for worker_id in range(self.n_workers):
             self._spawn(worker_id)
+        self._monitor_stop.clear()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True
+        )
+        self._monitor.start()
         return self
 
     def stop(self, timeout_s: float = 30.0) -> None:
@@ -253,6 +370,10 @@ class ServiceCluster:
                 return
             self._stopping = True
             handles = list(self._workers.values())
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
         for handle in handles:
             try:
                 with handle.send_lock:
@@ -278,11 +399,13 @@ class ServiceCluster:
             stranded = [
                 p for h in self._workers.values() for p in h.pending.values()
             ]
+            stranded += self._retry_queue
+            self._retry_queue = []
             self._workers.clear()
             for worker_id in self.router.alive():
                 self.router.mark_dead(worker_id)
             self._started = False
-        for pending in stranded:  # pragma: no cover - drain failed
+        for pending in stranded:
             _settle(
                 pending.future,
                 error=RuntimeError("cluster stopped before the request was answered"),
@@ -300,8 +423,12 @@ class ServiceCluster:
         return self._started and not self._stopping
 
     def alive_workers(self) -> tuple[int, ...]:
-        """Worker ids currently routable."""
+        """Worker ids currently routable (quarantined workers excluded)."""
         return self.router.alive()
+
+    def worker_health(self, worker_id: int) -> HealthState:
+        """The health state of one worker."""
+        return self._health[worker_id].state
 
     # -- request API -----------------------------------------------------------
 
@@ -312,6 +439,7 @@ class ServiceCluster:
         model: "str | None" = None,
         top_k: "int | None" = None,
         include_scores: bool = True,
+        deadline_s: "float | None" = None,
     ) -> "concurrent.futures.Future[ClusterResponse]":
         """Route one ranking query to its shard; returns a future.
 
@@ -319,11 +447,40 @@ class ServiceCluster:
         preset-sized crosses the wire); an
         :class:`~repro.service.cache.InternedCandidates` set ships its
         precomputed digest, which stays valid across the process boundary.
+
+        ``deadline_s`` caps the request's total wall time (default:
+        ``ResilienceConfig.default_deadline_s``).  A deadlined request
+        whose worker attempt stalls is retried on another shard (bounded,
+        jitter-backed-off); at the deadline it either degrades (when
+        ``degraded_answers`` is on) or fails with
+        :class:`~repro.service.degrade.DeadlineExceededError`.  Raises
+        :class:`~repro.service.degrade.ClusterOverloadedError` *here* —
+        not on the future — when the backlog is past ``max_queue_depth``:
+        shed load fails fast at the front door.
         """
         if not self.running:
             raise RuntimeError("ServiceCluster is not running; call start() first")
         if top_k is not None and top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        resil = self.resilience
+        if resil.max_queue_depth is not None:
+            with self._lock:
+                depth = self._queue_depth_locked()
+            if depth >= resil.max_queue_depth:
+                self.shed_requests += 1
+                raise ClusterOverloadedError(
+                    f"cluster backlog ({depth}) at max_queue_depth "
+                    f"({resil.max_queue_depth}); request shed"
+                )
+        effective_deadline = (
+            deadline_s if deadline_s is not None else resil.default_deadline_s
+        )
+        attempt_timeout = resil.attempt_timeout_s
+        if attempt_timeout is None and effective_deadline is not None:
+            # split the budget so every allowed retry fits inside it
+            attempt_timeout = effective_deadline / (resil.max_retries + 1)
         pending = _PendingReq(
             req_id=self._req_ids(),
             instance=instance,
@@ -333,6 +490,12 @@ class ServiceCluster:
             include_scores=include_scores,
             future=concurrent.futures.Future(),
             submitted_at=time.perf_counter(),
+            deadline_at=(
+                time.monotonic() + effective_deadline
+                if effective_deadline is not None
+                else None
+            ),
+            attempt_timeout_s=attempt_timeout,
         )
         self._dispatch(pending)
         return pending.future
@@ -344,12 +507,13 @@ class ServiceCluster:
         model: "str | None" = None,
         top_k: "int | None" = None,
         include_scores: bool = True,
+        deadline_s: "float | None" = None,
     ) -> ClusterResponse:
         """Async adapter over :meth:`submit` for asyncio applications."""
         import asyncio
 
         return await asyncio.wrap_future(
-            self.submit(instance, candidates, model, top_k, include_scores)
+            self.submit(instance, candidates, model, top_k, include_scores, deadline_s)
         )
 
     def rank_sync(self, instance: StencilInstance, **kwargs: object) -> ClusterResponse:
@@ -436,39 +600,83 @@ class ServiceCluster:
         hit rate, cluster-wide p50/p99 over the concatenated latency
         windows — see :func:`repro.service.telemetry.merge_stats`);
         ``workers`` maps worker id to its raw ``service.stats()``.
+
+        Every non-dead worker is asked — including quarantined ones (a
+        hung worker simply will not answer).  Workers that miss the
+        shared ``timeout_s`` are listed in ``missing_workers``, their
+        orphaned stats futures are cleaned up (not leaked), and the merge
+        proceeds over the answers that did arrive — partial stats beat no
+        stats during an incident.  ``health`` carries each worker's
+        circuit-breaker snapshot; ``resilience`` the coordinator's
+        failure-handling counters.
         """
-        futures: dict[int, concurrent.futures.Future] = {}
+        requests: "list[tuple[int, _WorkerHandle, int, concurrent.futures.Future]]" = []
         with self._lock:
-            handles = [
-                self._workers[w] for w in self.router.alive() if w in self._workers
-            ]
-            for handle in handles:
+            for handle in self._workers.values():
+                if handle.dead:
+                    continue
                 req_id = self._req_ids()
                 fut: concurrent.futures.Future = concurrent.futures.Future()
                 handle.stats_pending[req_id] = fut
-                futures[handle.worker_id] = fut
-                try:
-                    with handle.send_lock:
-                        handle.conn.send(StatsRequest(req_id=req_id))
-                except (BrokenPipeError, OSError):
-                    handle.stats_pending.pop(req_id, None)
-                    _settle(fut, error=RuntimeError("worker pipe closed"))
-        replies: dict[int, StatsReply] = {}
-        for worker_id, fut in futures.items():
+                requests.append((handle.worker_id, handle, req_id, fut))
+        for worker_id, handle, req_id, fut in requests:
             try:
-                replies[worker_id] = fut.result(timeout=timeout_s)
-            except Exception:  # dead mid-question: exclude from the merge
-                continue
+                with handle.send_lock:
+                    handle.conn.send(StatsRequest(req_id=req_id))
+            except (BrokenPipeError, OSError):
+                with self._lock:
+                    handle.stats_pending.pop(req_id, None)
+                _settle(fut, error=RuntimeError("worker pipe closed"))
+        deadline = time.monotonic() + timeout_s
+        replies: dict[int, StatsReply] = {}
+        missing: list[int] = []
+        for worker_id, handle, req_id, fut in requests:
+            try:
+                replies[worker_id] = fut.result(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except Exception:  # dead or hung mid-question
+                # clean up the orphaned future so a worker that answers
+                # *after* the timeout finds nothing to resolve (and the
+                # handle's stats_pending map does not grow forever)
+                with self._lock:
+                    handle.stats_pending.pop(req_id, None)
+                missing.append(worker_id)
         merged = merge_stats(
             [r.stats for r in replies.values()],
             [r.latency_window for r in replies.values()],
         )
+        with self._lock:
+            health = {w: b.snapshot() for w, b in sorted(self._health.items())}
+            resilience = {
+                "timeouts": self.timeouts,
+                "retries_scheduled": self.retries_scheduled,
+                "degraded_served": self.degraded_served,
+                "shed_requests": self.shed_requests,
+                "corrupted_frames": self.corrupted_frames,
+                "quarantines": self.quarantines,
+                "readmissions": self.readmissions,
+                "retry_queue_depth": len(self._retry_queue),
+                "fallback_cache_entries": (
+                    len(self._fallback_store)
+                    if self._fallback_store is not None
+                    else 0
+                ),
+                "fallback_scored": (
+                    self._fallback_scorer.scored
+                    if self._fallback_scorer is not None
+                    else 0
+                ),
+            }
         return {
             "cluster": merged,
             "workers": {w: r.stats for w, r in sorted(replies.items())},
             "alive_workers": list(self.router.alive()),
             "crashes": self.crashes,
             "feedback_received": self.feedback_received,
+            "missing_workers": missing,
+            "health": health,
+            "resilience": resilience,
         }
 
     # -- fault injection (tests and drills) ------------------------------------
@@ -492,10 +700,14 @@ class ServiceCluster:
         locked.  Returns None when the cluster stopped mid-spawn (the
         orphan process is torn down).
         """
+        config = self.config
+        chaos = self._chaos.get(worker_id)
+        if chaos is not None:
+            config = dataclasses.replace(config, chaos=chaos)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
-            args=(worker_id, self.registry_root, child_conn, self.config),
+            args=(worker_id, self.registry_root, child_conn, config),
             name=f"tuning-worker-{worker_id}",
             daemon=True,
         )
@@ -520,6 +732,12 @@ class ServiceCluster:
                 return None
             self._workers[worker_id] = handle
             self.router.mark_alive(worker_id)
+            # a fresh process takes the worker id over with a clean slate:
+            # its predecessor's failures are not its own
+            self._health[worker_id].reset()
+            self._spawned_at[worker_id] = time.monotonic()
+            self._last_heard.pop(worker_id, None)
+            self._hb_flagged.discard(worker_id)
             self.events.append(
                 {
                     "type": "spawn",
@@ -544,14 +762,37 @@ class ServiceCluster:
                 # failed send) as TypeError from the raw read — treat it
                 # exactly like the EOF it is
                 break
+            except UNPICKLING_ERRORS:
+                # a corrupted *frame*: the pipe still frames messages, so
+                # only this reply is lost — count it, penalize the worker,
+                # and keep reading.  The request it answered is recovered
+                # by its attempt timeout (or by quarantine requeue).
+                with self._lock:
+                    self.corrupted_frames += 1
+                self._note_failure(handle.worker_id, "corrupt-frame")
+                continue
+            self._last_heard[handle.worker_id] = time.monotonic()
             if isinstance(msg, (RankReply, ErrorReply)):
                 with self._lock:
                     pending = handle.pending.pop(msg.req_id, None)
+                    # any reply proves the loop is serving: heal a suspect
+                    self._health[handle.worker_id].record_success()
                 if pending is None:
                     continue
                 if isinstance(msg, ErrorReply):
                     _settle(pending.future, error=msg.error)
                 else:
+                    if (
+                        self._fallback_store is not None
+                        and pending.top_k is None
+                    ):
+                        self._fallback_store.remember(
+                            pending.instance,
+                            pending.candidates,
+                            msg.ranked,
+                            msg.scores,
+                            msg.model_version,
+                        )
                     _settle(
                         pending.future,
                         ClusterResponse(
@@ -565,6 +806,10 @@ class ServiceCluster:
                             attempts=pending.attempts,
                         ),
                     )
+            elif isinstance(msg, Heartbeat):
+                pass  # receipt time (recorded above) is the signal
+            elif isinstance(msg, Pong):
+                self._on_pong(handle)
             elif isinstance(msg, StatsReply):
                 with self._lock:
                     fut = handle.stats_pending.pop(msg.req_id, None)
@@ -574,6 +819,54 @@ class ServiceCluster:
                 self._on_feedback(msg)
         self._on_worker_exit(handle)
 
+    def _on_pong(self, handle: _WorkerHandle) -> None:
+        """A probe round-tripped: close the breaker and readmit the shard."""
+        with self._lock:
+            breaker = self._health[handle.worker_id]
+            was = breaker.state
+            breaker.record_probe_ok()
+            if was is HealthState.QUARANTINED and not handle.dead and not self._stopping:
+                self.router.mark_alive(handle.worker_id)
+                self._hb_flagged.discard(handle.worker_id)
+                self.readmissions += 1
+                self.events.append(
+                    {"type": "readmit", "worker": handle.worker_id}
+                )
+
+    def _note_failure(self, worker_id: int, kind: str) -> None:
+        """Feed one failure to a worker's breaker; act on a trip."""
+        requeue: list[_PendingReq] = []
+        with self._lock:
+            breaker = self._health.get(worker_id)
+            if breaker is None:
+                return
+            was = breaker.state
+            now = breaker.record_failure(kind)
+            if now is HealthState.QUARANTINED and was is not HealthState.QUARANTINED:
+                requeue = self._quarantine_locked(worker_id, kind)
+        for pending in requeue:
+            self._dispatch(pending)
+
+    def _quarantine_locked(self, worker_id: int, reason: str) -> "list[_PendingReq]":
+        """Unroute a quarantined worker and strip its pending work (caller
+        holds the lock and re-dispatches the returned requests outside it)."""
+        self.router.mark_dead(worker_id)
+        self.quarantines += 1
+        handle = self._workers.get(worker_id)
+        orphans: list[_PendingReq] = []
+        if handle is not None:
+            orphans = list(handle.pending.values())
+            handle.pending.clear()
+        self.events.append(
+            {
+                "type": "quarantine",
+                "worker": worker_id,
+                "reason": reason,
+                "requeued": len(orphans),
+            }
+        )
+        return orphans
+
     def _on_worker_exit(self, handle: _WorkerHandle) -> None:
         """Crash path: unroute, requeue the dead worker's shard, maybe restart."""
         with self._lock:
@@ -582,6 +875,8 @@ class ServiceCluster:
             handle.dead = True
             self.crashes += 1
             self.router.mark_dead(handle.worker_id)
+            self._health[handle.worker_id].record_failure("crash")
+            self._hb_flagged.discard(handle.worker_id)
             orphans = list(handle.pending.values())
             handle.pending.clear()
             stats_orphans = list(handle.stats_pending.values())
@@ -612,21 +907,44 @@ class ServiceCluster:
             self._dispatch(pending)
 
     def _dispatch(self, pending: _PendingReq) -> None:
-        """Route and send one request; crashes during send trigger requeue."""
+        """Route and send one request; crashes during send trigger requeue.
+
+        Routing is health-aware and widens in rings: healthy workers the
+        request has not timed out on, then any alive worker it has not
+        timed out on (suspects as a last resort), then any alive worker
+        at all (better a worker it already distrusts than nobody).
+        Quarantined workers are not in the alive set and take no traffic.
+        """
         pending.attempts += 1
-        if pending.attempts > self.n_workers + self.max_restarts + 1:
-            _settle(  # pragma: no cover - repeated crashes
-                pending.future,
-                error=RuntimeError(
+        if pending.attempts > (
+            self.n_workers + self.max_restarts + 1 + self.resilience.max_retries
+        ):
+            self._degrade_or_fail(  # pragma: no cover - repeated crashes
+                pending,
+                RuntimeError(
                     f"request gave up after {pending.attempts - 1} dispatch attempts"
                 ),
             )
             return
+        key = instance_hash(pending.instance)
         with self._lock:
-            try:
-                worker_id = self.router.route(instance_hash(pending.instance))
-            except RuntimeError as exc:  # no alive workers
-                _settle(pending.future, error=exc)
+            alive = set(self.router.alive())
+            healthy = {
+                w for w in alive if self._health[w].state is HealthState.HEALTHY
+            }
+            worker_id: "int | None" = None
+            for pool in (
+                healthy - pending.excluded,
+                alive - pending.excluded,
+                alive,
+            ):
+                if pool:
+                    worker_id = self.router.route(key, within=pool)
+                    break
+            if worker_id is None:  # nothing alive at all
+                self._degrade_or_fail(
+                    pending, RuntimeError("no alive workers to route to")
+                )
                 return
             handle = self._workers.get(worker_id)
             if handle is None:  # stop() won the race with this dispatch
@@ -635,6 +953,8 @@ class ServiceCluster:
                     error=RuntimeError("cluster stopped before the request was routed"),
                 )
                 return
+            pending.worker_id = worker_id
+            pending.attempt_started = time.monotonic()
             handle.pending[pending.req_id] = pending
         request = RankRequest(
             req_id=pending.req_id,
@@ -651,6 +971,247 @@ class ServiceCluster:
             # the worker died under our pen: the crash path requeues
             # everything in its pending map, including this request
             self._on_worker_exit(handle)
+
+    # -- the monitor: deadlines, retries, heartbeats, probes -------------------
+
+    def _monitor_loop(self) -> None:
+        """The coordinator's failure-domain heartbeat, one small thread.
+
+        Every tick: release backed-off retries whose time has come,
+        expire attempts and deadlines, judge heartbeat silence, and probe
+        unhealthy workers.  All decisions happen under the cluster lock;
+        all resulting sends/dispatches happen outside it.
+        """
+        interval = self.resilience.monitor_interval_s
+        while not self._monitor_stop.wait(interval):
+            if self._stopping:
+                return
+            try:
+                self._tick()
+            except Exception:  # pragma: no cover - monitor must survive
+                # a monitor crash would silently disable every deadline;
+                # nothing it does is worth dying for
+                continue
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        self._release_retries(now)
+        self._expire_attempts(now)
+        self._judge_heartbeats(now)
+        self._probe_unhealthy()
+
+    def _release_retries(self, now: float) -> None:
+        """Dispatch backed-off retries that are due; expire dead-on-arrival ones."""
+        due: list[_PendingReq] = []
+        expired: list[_PendingReq] = []
+        with self._lock:
+            if not self._retry_queue:
+                return
+            waiting: list[_PendingReq] = []
+            for pending in self._retry_queue:
+                if pending.deadline_at is not None and now >= pending.deadline_at:
+                    expired.append(pending)
+                elif now >= pending.not_before:
+                    due.append(pending)
+                else:
+                    waiting.append(pending)
+            self._retry_queue = waiting
+        for pending in expired:
+            self._degrade_or_fail(
+                pending,
+                DeadlineExceededError(
+                    f"deadline exceeded after {pending.attempts} attempts"
+                ),
+            )
+        for pending in due:
+            self._dispatch(pending)
+
+    def _expire_attempts(self, now: float) -> None:
+        """Time out stalled dispatches; retry, degrade, or fail each one."""
+        victims: "list[tuple[int, _PendingReq]]" = []
+        with self._lock:
+            for handle in self._workers.values():
+                for pending in list(handle.pending.values()):
+                    timeout = pending.attempt_timeout_s
+                    started = pending.attempt_started
+                    overdue = (
+                        timeout is not None
+                        and started is not None
+                        and now - started > timeout
+                    )
+                    past_deadline = (
+                        pending.deadline_at is not None
+                        and now >= pending.deadline_at
+                    )
+                    if overdue or past_deadline:
+                        handle.pending.pop(pending.req_id, None)
+                        victims.append((handle.worker_id, pending))
+        for worker_id, pending in victims:
+            with self._lock:
+                self.timeouts += 1
+            # the stall is evidence against the worker regardless of what
+            # happens to the request
+            self._note_failure(worker_id, "timeout")
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                self._degrade_or_fail(
+                    pending,
+                    DeadlineExceededError(
+                        f"deadline exceeded after {pending.attempts} attempts"
+                    ),
+                )
+            elif pending.retries < self.resilience.max_retries:
+                self._queue_retry(pending, worker_id, now)
+            else:
+                self._degrade_or_fail(
+                    pending,
+                    RuntimeError(
+                        f"request timed out on {pending.attempts} dispatch attempts"
+                    ),
+                )
+
+    def _queue_retry(self, pending: _PendingReq, timed_out_on: int, now: float) -> None:
+        """Schedule a timed-out request for re-dispatch with jittered backoff.
+
+        The jitter is hashed from (request id, retry ordinal) — spread
+        like randomness, reproducible like everything else in this repo.
+        """
+        pending.retries += 1
+        pending.excluded.add(timed_out_on)
+        u = hash_bits("cluster-retry", pending.req_id, pending.retries)[0] / 2**64
+        backoff = self.resilience.retry_backoff_s * (2 ** (pending.retries - 1))
+        pending.not_before = now + backoff * (0.5 + u)
+        with self._lock:
+            self.retries_scheduled += 1
+            self._retry_queue.append(pending)
+
+    def _judge_heartbeats(self, now: float) -> None:
+        """Turn heartbeat silence into health state.
+
+        Crossing ``heartbeat_stale_s`` costs one breaker failure (suspect);
+        crossing twice that quarantines outright — a loop silent that long
+        is hung, not busy.  Workers that have never spoken get
+        ``boot_grace_s`` (model load + imports happen before the first
+        beat).  Hearing the worker again clears the flag and heals a
+        suspect.
+        """
+        if self.config.heartbeat_interval_s <= 0:
+            return
+        resil = self.resilience
+        actions: "list[tuple[str, int]]" = []
+        with self._lock:
+            for worker_id, handle in self._workers.items():
+                if handle.dead:
+                    continue
+                heard = self._last_heard.get(worker_id)
+                if heard is None:
+                    born = self._spawned_at.get(worker_id, now)
+                    if now - born <= resil.boot_grace_s:
+                        continue
+                    silence = now - born
+                else:
+                    silence = now - heard
+                breaker = self._health[worker_id]
+                if silence > 2 * resil.heartbeat_stale_s:
+                    if breaker.state is not HealthState.QUARANTINED:
+                        breaker.quarantine("heartbeat")
+                        actions.append(("quarantine", worker_id))
+                elif silence > resil.heartbeat_stale_s:
+                    if worker_id not in self._hb_flagged:
+                        self._hb_flagged.add(worker_id)
+                        was = breaker.state
+                        state = breaker.record_failure("heartbeat")
+                        if (
+                            state is HealthState.QUARANTINED
+                            and was is not HealthState.QUARANTINED
+                        ):
+                            actions.append(("quarantine", worker_id))
+                elif worker_id in self._hb_flagged:
+                    self._hb_flagged.discard(worker_id)
+                    breaker.record_success()  # heard again: heal a suspect
+            requeue: list[_PendingReq] = []
+            for kind, worker_id in actions:
+                requeue += self._quarantine_locked(worker_id, "heartbeat")
+        for pending in requeue:
+            self._dispatch(pending)
+
+    def _probe_unhealthy(self) -> None:
+        """Ping suspect/quarantined workers that are due for a probe."""
+        probes: "list[tuple[_WorkerHandle, Ping]]" = []
+        with self._lock:
+            for worker_id, handle in self._workers.items():
+                if handle.dead:
+                    continue
+                breaker = self._health[worker_id]
+                if breaker.should_probe():
+                    breaker.record_probe_sent()
+                    probes.append((handle, Ping(req_id=self._req_ids())))
+        for handle, ping in probes:
+            try:
+                with handle.send_lock:
+                    handle.conn.send(ping)
+            except (BrokenPipeError, OSError):
+                pass  # the reader's EOF will run the crash path
+
+    # -- degradation -----------------------------------------------------------
+
+    def _degrade_or_fail(self, pending: _PendingReq, error: Exception) -> None:
+        """The request's ending when no worker answered in time."""
+        if self.resilience.degraded_answers:
+            response = self._fallback_response(pending)
+            if response is not None:
+                with self._lock:
+                    self.degraded_served += 1
+                _settle(pending.future, response)
+                return
+        _settle(pending.future, error=error)
+
+    def _fallback_response(self, pending: _PendingReq) -> "ClusterResponse | None":
+        """A coordinator-side answer: remembered ranking, else local scoring."""
+        answer = None
+        if self._fallback_store is not None:
+            answer = self._fallback_store.lookup(pending.instance, pending.candidates)
+        if answer is None:
+            try:
+                candidates = pending.candidates
+                if candidates is None:
+                    candidates = self._presets(pending.instance.dims)
+                elif isinstance(candidates, InternedCandidates):
+                    candidates = list(candidates.candidates)
+                answer = self._scorer().score(
+                    pending.instance, candidates, pending.model_ref
+                )
+            except Exception:
+                return None  # degradation also failed: the strict error stands
+        ranked = (
+            answer.ranked[: pending.top_k]
+            if pending.top_k is not None
+            else list(answer.ranked)
+        )
+        return ClusterResponse(
+            ranked=ranked,
+            scores=answer.scores if pending.include_scores else None,
+            model_version=answer.model_version,
+            cached=answer.cached,
+            latency_s=time.perf_counter() - pending.submitted_at,
+            service_latency_s=0.0,
+            worker_id=-1,
+            attempts=pending.attempts,
+            degraded=True,
+        )
+
+    def _scorer(self) -> FallbackScorer:
+        """The lazily built in-coordinator scorer (first degradation pays)."""
+        with self._lock:
+            if self._fallback_scorer is None:
+                self._fallback_scorer = FallbackScorer(self.registry_root)
+            return self._fallback_scorer
+
+    def _queue_depth_locked(self) -> int:
+        """Requests accepted but not yet answered (dispatched + backed off)."""
+        return (
+            sum(len(h.pending) for h in self._workers.values())
+            + len(self._retry_queue)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

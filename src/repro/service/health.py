@@ -1,0 +1,293 @@
+"""Per-worker health: a circuit breaker driving the cluster's routing.
+
+A cluster that only distinguishes "alive" from "crashed" is blind to the
+failure modes that actually dominate real fleets: workers that are *slow*
+(an overloaded host), *hung* (a blocked event loop), or *flaky* (answers
+that arrive corrupted or not at all).  :class:`CircuitBreaker` is the
+per-worker state machine the coordinator keeps for each shard:
+
+::
+
+                 failure                    failures >= quarantine_after
+    HEALTHY ───────────────▶ SUSPECT ──────────────────────▶ QUARANTINED
+       ▲                        │                                 │
+       │  success / probe ok    │                                 │ probe ok
+       └────────────────────────┴─────────────────────────────────┘
+                                         (readmit)
+
+* **healthy** — routable; the normal state.
+* **suspect** — something failed recently (a request timeout, a corrupted
+  reply frame, a missed heartbeat).  A suspect worker keeps its inflight
+  work and remains routable *as a last resort* (the cluster prefers
+  healthy shards), and is probed; a success or probe reply heals it.
+* **quarantined** — the breaker is open: the worker is removed from
+  routing entirely, its pending requests are re-dispatched to surviving
+  shards, and only a successful probe (a ``Ping``/``Pong`` round trip)
+  readmits it.  Quarantine is deliberately *reversible* — a slow-loris
+  worker that recovers gets its shard back, cache intact.
+
+Failures are counted in a rolling time window, so one bad moment last
+hour cannot combine with one bad moment now to trip the breaker.  All
+clock reads go through an injectable ``clock`` so tests drive the machine
+deterministically without sleeping.
+
+:class:`ResilienceConfig` groups every knob of the resilience layer —
+deadlines, retry/backoff, health thresholds, heartbeat cadence, degraded
+answers and load shedding — into one value shipped to
+:class:`~repro.service.cluster.ServiceCluster`.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "HealthState", "ResilienceConfig"]
+
+
+class HealthState(enum.Enum):
+    """The three routing-relevant states of one worker."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Every knob of the cluster's failure-domain behavior, in one value.
+
+    The defaults are deliberately conservative: no deadlines (a request
+    without one behaves exactly as before this layer existed), no
+    degraded answers, no shedding — but health tracking (heartbeats,
+    the circuit breaker, quarantine + readmission) is always on, since
+    it only ever *removes* demonstrably sick workers from routing and
+    readmits them on recovery.
+    """
+
+    #: total time budget applied to requests that do not pass their own
+    #: ``deadline_s`` (None = requests without a deadline never time out)
+    default_deadline_s: "float | None" = None
+    #: per-dispatch timeout before a request is retried elsewhere; when
+    #: None it is derived per request as ``deadline / (max_retries + 1)``
+    attempt_timeout_s: "float | None" = None
+    #: timeout-triggered re-dispatches allowed per request (crash requeues
+    #: are not retries and are bounded separately)
+    max_retries: int = 2
+    #: base of the exponential, jittered backoff between retries
+    retry_backoff_s: float = 0.05
+    #: answer from the coordinator-side fallback (cache, then scorer) with
+    #: ``degraded=True`` instead of failing when no healthy worker can
+    #: take a request before its deadline
+    degraded_answers: bool = False
+    #: bound of the coordinator-side fallback answer cache
+    fallback_cache_entries: int = 1024
+    #: shed new submissions (ClusterOverloadedError) past this many
+    #: cluster-wide undispatched/unanswered requests (None = never shed)
+    max_queue_depth: "int | None" = None
+    #: worker-side heartbeat cadence (0 disables heartbeats entirely)
+    heartbeat_interval_s: float = 0.25
+    #: heartbeat silence that makes a worker suspect; 2x this quarantines
+    heartbeat_stale_s: float = 5.0
+    #: grace period after spawn before a never-heard-from worker can be
+    #: considered stale (model load + first encode happen here)
+    boot_grace_s: float = 30.0
+    #: minimum spacing between probes of a suspect/quarantined worker
+    probe_interval_s: float = 0.25
+    #: rolling-window failures that make a worker suspect
+    suspect_after: int = 1
+    #: rolling-window failures that open the breaker (quarantine)
+    quarantine_after: int = 3
+    #: rolling window the failure counts live in
+    failure_window_s: float = 30.0
+    #: cadence of the coordinator's monitor thread
+    monitor_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {self.suspect_after}")
+        if self.quarantine_after < self.suspect_after:
+            raise ValueError(
+                f"quarantine_after ({self.quarantine_after}) must be >= "
+                f"suspect_after ({self.suspect_after})"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be positive, got {self.default_deadline_s}"
+            )
+        if self.monitor_interval_s <= 0:
+            raise ValueError(
+                f"monitor_interval_s must be positive, got {self.monitor_interval_s}"
+            )
+
+
+class CircuitBreaker:
+    """The health state machine for one worker.
+
+    Pure bookkeeping — it never talks to processes; the cluster feeds it
+    events (timeouts, corrupted frames, crashes, heartbeat misses,
+    successes, probe replies) and acts on the state transitions it
+    returns.  Not thread-safe by itself: the cluster serializes access
+    under its own lock.
+    """
+
+    def __init__(
+        self,
+        suspect_after: int = 1,
+        quarantine_after: int = 3,
+        failure_window_s: float = 30.0,
+        probe_interval_s: float = 0.25,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        if suspect_after < 1:
+            raise ValueError(f"suspect_after must be >= 1, got {suspect_after}")
+        if quarantine_after < suspect_after:
+            raise ValueError(
+                f"quarantine_after ({quarantine_after}) must be >= "
+                f"suspect_after ({suspect_after})"
+            )
+        self.suspect_after = suspect_after
+        self.quarantine_after = quarantine_after
+        self.failure_window_s = failure_window_s
+        self.probe_interval_s = probe_interval_s
+        self._clock = clock
+        self.state = HealthState.HEALTHY
+        #: timestamps of failures still inside the rolling window
+        self._failures: deque[float] = deque()
+        #: failure counts by kind (timeout / corrupt-frame / heartbeat / crash)
+        self.failure_kinds: Counter = Counter()
+        #: chronological (time, from, to, reason) transitions
+        self.transitions: list[tuple[float, str, str, str]] = []
+        self.successes = 0
+        self.probes_sent = 0
+        self.probes_ok = 0
+        self._last_probe_at: "float | None" = None
+
+    @classmethod
+    def from_config(
+        cls, config: ResilienceConfig, clock: "Callable[[], float]" = time.monotonic
+    ) -> "CircuitBreaker":
+        """A breaker with the thresholds of one :class:`ResilienceConfig`."""
+        return cls(
+            suspect_after=config.suspect_after,
+            quarantine_after=config.quarantine_after,
+            failure_window_s=config.failure_window_s,
+            probe_interval_s=config.probe_interval_s,
+            clock=clock,
+        )
+
+    # -- event intake ----------------------------------------------------------
+
+    def _trim(self, now: float) -> None:
+        while self._failures and now - self._failures[0] > self.failure_window_s:
+            self._failures.popleft()
+
+    def _move(self, to: HealthState, reason: str) -> HealthState:
+        if to is not self.state:
+            self.transitions.append(
+                (self._clock(), self.state.value, to.value, reason)
+            )
+            self.state = to
+        return self.state
+
+    def record_failure(self, kind: str) -> HealthState:
+        """One failure of ``kind``; returns the (possibly new) state.
+
+        Quarantine is sticky: once open, further failures keep it open and
+        only :meth:`record_probe_ok` (or :meth:`reset`) closes it.
+        """
+        now = self._clock()
+        self._trim(now)
+        self._failures.append(now)
+        self.failure_kinds[kind] += 1
+        if self.state is HealthState.QUARANTINED:
+            return self.state
+        if len(self._failures) >= self.quarantine_after:
+            return self._move(HealthState.QUARANTINED, kind)
+        if len(self._failures) >= self.suspect_after:
+            return self._move(HealthState.SUSPECT, kind)
+        return self.state
+
+    def quarantine(self, reason: str) -> HealthState:
+        """Open the breaker immediately (sustained heartbeat silence)."""
+        self._failures.append(self._clock())
+        self.failure_kinds[reason] += 1
+        return self._move(HealthState.QUARANTINED, reason)
+
+    def record_success(self) -> HealthState:
+        """A served answer: heals a suspect worker, never a quarantined one.
+
+        Readmission from quarantine must go through a probe — the cluster
+        has already unrouted the worker, so only an explicit round trip
+        (not a straggler reply from before the breaker opened) may bring
+        it back.
+        """
+        self.successes += 1
+        if self.state is HealthState.SUSPECT:
+            self._failures.clear()
+            return self._move(HealthState.HEALTHY, "success")
+        return self.state
+
+    # -- probing ---------------------------------------------------------------
+
+    def should_probe(self) -> bool:
+        """Whether an unhealthy worker is due for a Ping."""
+        if self.state is HealthState.HEALTHY:
+            return False
+        now = self._clock()
+        return (
+            self._last_probe_at is None
+            or now - self._last_probe_at >= self.probe_interval_s
+        )
+
+    def record_probe_sent(self) -> None:
+        self.probes_sent += 1
+        self._last_probe_at = self._clock()
+
+    def record_probe_ok(self) -> HealthState:
+        """A probe round-tripped: close the breaker (readmit)."""
+        self.probes_ok += 1
+        if self.state is not HealthState.HEALTHY:
+            self._failures.clear()
+            return self._move(HealthState.HEALTHY, "probe-ok")
+        return self.state
+
+    def reset(self) -> None:
+        """Fresh start (a replacement process took this worker id over)."""
+        self._failures.clear()
+        self._last_probe_at = None
+        self._move(HealthState.HEALTHY, "reset")
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def recent_failures(self) -> int:
+        """Failures inside the rolling window, as of now."""
+        self._trim(self._clock())
+        return len(self._failures)
+
+    def snapshot(self) -> dict:
+        """One dict for telemetry: state, counts, transition history."""
+        return {
+            "state": self.state.value,
+            "recent_failures": self.recent_failures,
+            "failure_kinds": dict(self.failure_kinds),
+            "successes": self.successes,
+            "probes_sent": self.probes_sent,
+            "probes_ok": self.probes_ok,
+            "transitions": [
+                {"at": t, "from": src, "to": dst, "reason": reason}
+                for t, src, dst, reason in self.transitions
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker({self.state.value}, "
+            f"recent_failures={self.recent_failures})"
+        )

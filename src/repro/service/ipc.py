@@ -45,11 +45,15 @@ from repro.tuning.vector import TuningVector
 __all__ = [
     "ErrorReply",
     "FeedbackRecord",
+    "Heartbeat",
+    "Ping",
+    "Pong",
     "RankReply",
     "RankRequest",
     "Shutdown",
     "StatsReply",
     "StatsRequest",
+    "UNPICKLING_ERRORS",
     "picklable_error",
 ]
 
@@ -137,8 +141,53 @@ class ErrorReply:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """Periodic worker liveness beacon (sent unprompted from the loop).
+
+    Because it is sent *from the event loop*, a heartbeat proves more than
+    "the process exists": it proves the loop is scheduling — a worker
+    blocked mid-request (a slow loris) goes heartbeat-silent even though
+    its process is alive, which is exactly the symptom the coordinator's
+    health machinery keys on.  ``sent_at`` is the worker's own monotonic
+    clock (cross-process monotonic clocks are not comparable; the
+    coordinator times staleness by *receipt*, this field is diagnostic).
+    """
+
+    worker_id: int
+    seq: int
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class Ping:
+    """A coordinator probe of a suspect or quarantined worker."""
+
+    req_id: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """The probe reply: the worker's loop round-tripped a frame."""
+
+    req_id: int
+    worker_id: int
+
+
+@dataclass(frozen=True)
 class Shutdown:
     """Drain inflight work, then exit the worker process."""
+
+
+#: what ``Connection.recv()`` raises when the *frame* is garbage rather
+#: than the pipe being closed (EOFError/OSError) — the documented failure
+#: modes of ``pickle.loads`` on corrupted bytes.  Readers on both sides
+#: treat these as "this frame is lost", never as "this peer is gone".
+UNPICKLING_ERRORS = (
+    pickle.UnpicklingError,
+    AttributeError,
+    ImportError,
+    IndexError,
+)
 
 
 def picklable_error(exc: Exception) -> Exception:

@@ -68,17 +68,25 @@ class ShardRouter:
         """The rendezvous weight of (key, worker) — process-stable."""
         return hash_seed("shard", key, worker_id)
 
-    def route(self, key: int) -> int:
+    def route(self, key: int, within: "Iterable[int] | None" = None) -> int:
         """The alive worker owning ``key`` (an instance fingerprint).
 
-        Raises :class:`RuntimeError` when no worker is alive — the caller
+        ``within`` restricts the election to a subset of the alive set —
+        the health-aware dispatch path routes over *healthy* workers first
+        and widens only when that pool is empty.  Rendezvous hashing makes
+        subsetting safe: the route over a subset is the highest-weight
+        member of that subset, so keys whose owner is in the subset do not
+        move, exactly as if the excluded workers had died.
+
+        Raises :class:`RuntimeError` when the pool is empty — the caller
         decides whether that fails the request or waits for a restart.
         """
-        if not self._alive:
+        pool = self._alive if within is None else self._alive & set(within)
+        if not pool:
             raise RuntimeError("no alive workers to route to")
         # ties are impossible in practice (64-bit uniform weights), but the
         # worker-id tiebreak keeps the route a total function regardless
-        return max(self._alive, key=lambda w: (self.weight(key, w), w))
+        return max(pool, key=lambda w: (self.weight(key, w), w))
 
     def shards(self, keys: Iterable[int]) -> dict[int, list[int]]:
         """Group keys by their routed worker (diagnostics and tests)."""

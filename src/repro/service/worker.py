@@ -34,6 +34,22 @@ A worker never dies because one request did: per-request failures travel
 back as :class:`~repro.service.ipc.ErrorReply`; only
 :class:`~repro.service.ipc.Shutdown` (or a closed pipe) ends the process,
 and both drain inflight work first.
+
+Liveness rides the same loop: a :class:`~repro.service.ipc.Heartbeat`
+task beats every ``heartbeat_interval_s`` — *from the event loop*, so a
+beat proves the loop is scheduling, and a worker hung mid-request goes
+beat-silent even though its process lives — and every
+:class:`~repro.service.ipc.Ping` is answered with a
+:class:`~repro.service.ipc.Pong` the moment the inbox loop sees it (the
+coordinator's probe of suspect/quarantined workers).  Unknown or
+corrupted inbound frames are *skipped*, never fatal: a garbage frame on
+the wire loses that frame, not the worker.
+
+Chaos drills (``WorkerConfig.chaos``) inject faults at exactly two
+points: before handling a rank request (latency / a loop-blocking slow
+loris) and on its reply (drop / corrupt).  Heartbeats and pongs are never
+forged — a slow loris stalls them *honestly* by blocking the loop, which
+is what the coordinator's health machinery is supposed to notice.
 """
 
 from __future__ import annotations
@@ -45,9 +61,14 @@ from multiprocessing.connection import Connection
 
 import numpy as np
 
+from repro.service.chaos import ChaosConfig, ChaosState, send_corrupt_frame
 from repro.service.ipc import (
+    UNPICKLING_ERRORS,
     ErrorReply,
     FeedbackRecord,
+    Heartbeat,
+    Ping,
+    Pong,
     RankReply,
     RankRequest,
     Shutdown,
@@ -75,6 +96,10 @@ class WorkerConfig:
     #: stream every Nth successful answer back to the coordinator as a
     #: :class:`~repro.service.ipc.FeedbackRecord` (0 = no feedback stream)
     feedback_every: int = 0
+    #: cadence of loop-liveness Heartbeat frames (0 = no heartbeats)
+    heartbeat_interval_s: float = 0.25
+    #: fault injections for chaos drills (None = behave perfectly)
+    chaos: "ChaosConfig | None" = None
 
 
 def worker_main(worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig) -> None:
@@ -116,6 +141,10 @@ async def _serve(
                 # cleanup) surfaces as TypeError from the raw read; it
                 # carries the same meaning as EOF
                 msg = Shutdown()
+            except UNPICKLING_ERRORS:
+                # a corrupted *frame* (garbage bytes where a pickle was
+                # expected): the pipe itself is fine — skip the frame
+                continue
             loop.call_soon_threadsafe(inbox.put_nowait, msg)
             if isinstance(msg, Shutdown):
                 return
@@ -125,29 +154,46 @@ async def _serve(
     )
     reader.start()
 
+    chaos = ChaosState(config.chaos) if config.chaos is not None else None
+    heartbeat: "asyncio.Task | None" = None
+    if config.heartbeat_interval_s > 0:
+        heartbeat = asyncio.create_task(
+            _heartbeat_loop(conn, worker_id, config.heartbeat_interval_s)
+        )
+
     inflight: set[asyncio.Task] = set()
     async with service:
         while True:
             msg = await inbox.get()
             if isinstance(msg, Shutdown):
                 break
+            if isinstance(msg, Ping):
+                # answered inline from the loop: a pong proves exactly
+                # what the coordinator's probe asks — the loop schedules
+                _send(conn, Pong(req_id=msg.req_id, worker_id=worker_id))
+                continue
             if isinstance(msg, StatsRequest):
                 _send(
                     conn,
                     StatsReply(
                         req_id=msg.req_id,
                         worker_id=worker_id,
-                        stats=service.stats(),
+                        stats=_stats_with_chaos(service, chaos),
                         latency_window=service.telemetry.window(),
                     ),
                 )
                 continue
-            assert isinstance(msg, RankRequest), f"unexpected message {msg!r}"
-            task = asyncio.create_task(_handle(service, conn, msg, worker_id))
+            if not isinstance(msg, RankRequest):
+                # unknown frame (a newer coordinator, or garbage that
+                # happened to unpickle): losing it must not lose the worker
+                continue
+            task = asyncio.create_task(_handle(service, conn, msg, worker_id, chaos))
             inflight.add(task)
             task.add_done_callback(inflight.discard)
         # drain: every accepted request is answered before the process exits,
         # so a clean stop never strands a parent-side future
+        if heartbeat is not None:
+            heartbeat.cancel()
         if inflight:
             await asyncio.gather(*inflight, return_exceptions=True)
 
@@ -189,9 +235,40 @@ def _feedback_streamer(
     return stream
 
 
+async def _heartbeat_loop(conn: Connection, worker_id: int, interval_s: float) -> None:
+    """Beat until cancelled.  Runs on the loop, so a blocked loop — a slow
+    loris, a wedged batch — silences the beat, which is the signal."""
+    loop = asyncio.get_running_loop()
+    seq = 0
+    while True:
+        _send(conn, Heartbeat(worker_id=worker_id, seq=seq, sent_at=loop.time()))
+        seq += 1
+        await asyncio.sleep(interval_s)
+
+
+def _stats_with_chaos(service: TuningService, chaos: "ChaosState | None") -> dict:
+    stats = service.stats()
+    if chaos is not None:
+        stats["chaos"] = chaos.snapshot()
+    return stats
+
+
 async def _handle(
-    service: TuningService, conn: Connection, req: RankRequest, worker_id: int
+    service: TuningService,
+    conn: Connection,
+    req: RankRequest,
+    worker_id: int,
+    chaos: "ChaosState | None" = None,
 ) -> None:
+    ordinal = 0
+    if chaos is not None:
+        ordinal = chaos.next_request()
+        loris_s, latency_s = chaos.pre_delay(ordinal)
+        # the loris blocks the whole loop (heartbeats included) — a hung
+        # worker; plain latency yields, so the worker stays responsive
+        chaos.block(loris_s)
+        if latency_s:
+            await asyncio.sleep(latency_s)
     try:
         response = await service.rank(
             req.instance,
@@ -210,6 +287,13 @@ async def _handle(
         )
     except Exception as exc:
         reply = ErrorReply(req_id=req.req_id, error=picklable_error(exc), worker_id=worker_id)
+    if chaos is not None:
+        fate = chaos.reply_fate(ordinal)
+        if fate == "drop":
+            return
+        if fate == "corrupt":
+            send_corrupt_frame(conn)
+            return
     _send(conn, reply)
 
 

@@ -1,0 +1,494 @@
+"""The resilience layer under injected faults: deadlines, health routing,
+degradation, shedding — and a compact chaos drill combining all of them.
+
+The unit half drives the :class:`~repro.service.health.CircuitBreaker`
+and :class:`~repro.service.degrade.FallbackStore` with a fake clock — no
+processes, no sleeping.  The process half runs real worker fleets with
+:class:`~repro.service.chaos.ChaosConfig` fault injections (dropped and
+corrupted replies, slow-loris loops) and asserts the coordinator's
+obligations: no request hangs, no request is lost, sick workers leave
+routing and recovered workers come back, and degraded answers say so.
+
+Process tests use ``start_method="fork"`` for millisecond spawns; chaos
+injections are deterministic functions of per-worker request ordinals, so
+every run exercises the identical fault script.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.chaos import ChaosConfig, ChaosState, corrupt_registry_tags
+from repro.service.degrade import (
+    ClusterOverloadedError,
+    DeadlineExceededError,
+    FallbackStore,
+)
+from repro.service.health import CircuitBreaker, HealthState, ResilienceConfig
+from repro.service.routing import ShardRouter
+from repro.stencil.execution import instance_hash
+from tests.cluster.harness import (
+    assert_response_matches,
+    expected_answer,
+    kill_and_settle,
+    wait_until,
+    workload_requests,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# unit: the circuit breaker state machine
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_failure_path_healthy_suspect_quarantined(self):
+        clock = FakeClock()
+        b = CircuitBreaker(
+            suspect_after=1, quarantine_after=3, failure_window_s=30.0, clock=clock
+        )
+        assert b.state is HealthState.HEALTHY
+        assert b.record_failure("timeout") is HealthState.SUSPECT
+        assert b.record_failure("timeout") is HealthState.SUSPECT
+        assert b.record_failure("corrupt-frame") is HealthState.QUARANTINED
+        # sticky: more failures keep it open, successes do not close it
+        assert b.record_failure("timeout") is HealthState.QUARANTINED
+        assert b.record_success() is HealthState.QUARANTINED
+
+    def test_success_heals_a_suspect(self):
+        clock = FakeClock()
+        b = CircuitBreaker(clock=clock)
+        b.record_failure("timeout")
+        assert b.state is HealthState.SUSPECT
+        assert b.record_success() is HealthState.HEALTHY
+        # healing cleared the window: the next failure starts from scratch
+        assert b.recent_failures == 0
+
+    def test_rolling_window_forgets_old_failures(self):
+        clock = FakeClock()
+        b = CircuitBreaker(quarantine_after=3, failure_window_s=10.0, clock=clock)
+        b.record_failure("timeout")
+        b.record_failure("timeout")
+        clock.now += 11.0  # both age out of the window
+        assert b.record_failure("timeout") is HealthState.SUSPECT, (
+            "one bad moment an hour ago must not combine with one now"
+        )
+
+    def test_probe_readmission_closes_the_breaker(self):
+        clock = FakeClock()
+        b = CircuitBreaker(quarantine_after=2, probe_interval_s=1.0, clock=clock)
+        b.record_failure("timeout")
+        b.record_failure("timeout")
+        assert b.state is HealthState.QUARANTINED
+        assert b.should_probe()
+        b.record_probe_sent()
+        assert not b.should_probe(), "probes must respect their spacing"
+        clock.now += 1.5
+        assert b.should_probe()
+        assert b.record_probe_ok() is HealthState.HEALTHY
+        assert b.recent_failures == 0
+
+    def test_healthy_workers_are_never_probed(self):
+        b = CircuitBreaker(clock=FakeClock())
+        assert not b.should_probe()
+
+    def test_quarantine_shortcut_and_transition_log(self):
+        clock = FakeClock()
+        b = CircuitBreaker(clock=clock)
+        b.quarantine("heartbeat")
+        assert b.state is HealthState.QUARANTINED
+        moves = [(src, dst, why) for _, src, dst, why in b.transitions]
+        assert moves == [("healthy", "quarantined", "heartbeat")]
+        snap = b.snapshot()
+        assert snap["state"] == "quarantined"
+        assert snap["failure_kinds"] == {"heartbeat": 1}
+
+    def test_reset_for_a_replacement_process(self):
+        b = CircuitBreaker(clock=FakeClock())
+        b.quarantine("crash")
+        b.reset()
+        assert b.state is HealthState.HEALTHY
+        assert b.recent_failures == 0
+
+    def test_from_config_carries_thresholds(self):
+        cfg = ResilienceConfig(suspect_after=2, quarantine_after=5)
+        b = CircuitBreaker.from_config(cfg, clock=FakeClock())
+        assert b.suspect_after == 2 and b.quarantine_after == 5
+
+
+class TestResilienceConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"suspect_after": 0},
+            {"suspect_after": 3, "quarantine_after": 2},
+            {"default_deadline_s": 0.0},
+            {"monitor_interval_s": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)
+
+
+class TestChaosDeterminism:
+    def test_fault_script_is_a_function_of_ordinals(self):
+        cfg = ChaosConfig(corrupt_reply_every=2, drop_reply_every=3, burst_n=6)
+        fates = []
+        state = ChaosState(cfg)
+        for _ in range(8):
+            fates.append(state.reply_fate(state.next_request()))
+        replay = ChaosState(cfg)
+        assert fates == [replay.reply_fate(replay.next_request()) for _ in range(8)]
+        assert fates[6:] == ["send", "send"], "faults must end with the burst"
+
+
+class TestFallbackStore:
+    def test_remember_and_lookup_roundtrip(self, cluster_tuner):
+        (instance, candidates), = workload_requests(1, seed=5)
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        store = FallbackStore(max_entries=4)
+        store.remember(instance, candidates, ranked, scores, "v0001")
+        hit = store.lookup(instance, candidates)
+        assert hit is not None and hit.cached
+        assert hit.ranked == ranked
+        assert np.array_equal(hit.scores, scores)
+        assert hit.model_version == "v0001"
+        assert store.lookup(instance, list(reversed(candidates))) is None, (
+            "a different candidate set must not alias"
+        )
+
+    def test_lru_bound(self, cluster_tuner):
+        requests = workload_requests(6, seed=6)
+        store = FallbackStore(max_entries=2)
+        for instance, candidates in requests:
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            store.remember(instance, candidates, ranked, scores, "v0001")
+        assert len(store) <= 2
+
+
+# ---------------------------------------------------------------------------
+# process: real fleets under injected faults
+# ---------------------------------------------------------------------------
+
+
+def request_owned_by(worker_id: int, n_workers: int, seed: int = 21):
+    """A deterministic request whose shard is ``worker_id``."""
+    for instance, candidates in workload_requests(64, seed=seed):
+        if ShardRouter(range(n_workers)).route(instance_hash(instance)) == worker_id:
+            return instance, candidates
+    raise AssertionError("no request routed to the requested worker")
+
+
+class TestRetriesAndDeadlines:
+    def test_dropped_replies_recovered_by_retry(self, make_cluster, cluster_tuner):
+        """A worker that swallows its first replies delays the answers,
+        never loses them: the attempt timeout re-dispatches."""
+        cluster = make_cluster(
+            n_workers=1,
+            start_method="fork",
+            restart_workers=False,
+            chaos=ChaosConfig(drop_reply_every=1, burst_n=2),
+            resilience=ResilienceConfig(
+                attempt_timeout_s=0.4,
+                max_retries=3,
+                retry_backoff_s=0.02,
+                monitor_interval_s=0.02,
+                quarantine_after=10,  # the sole worker must stay routable
+            ),
+        )
+        instance, candidates = workload_requests(1, seed=31)[0]
+        response = cluster.submit(instance, candidates).result(timeout=60)
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        assert_response_matches(response, ranked, scores)
+        assert response.attempts >= 2, "the dropped replies must have cost retries"
+        assert not response.degraded
+        assert cluster.timeouts >= 1
+        assert cluster.retries_scheduled >= 1
+
+    def test_deadline_exceeded_is_explicit_in_strict_mode(self, make_cluster):
+        """With degradation off, a request that cannot be answered inside
+        its budget fails with DeadlineExceededError — promptly, not after
+        the worker finally answers."""
+        cluster = make_cluster(
+            n_workers=1,
+            start_method="fork",
+            restart_workers=False,
+            chaos=ChaosConfig(latency_s=1.5, latency_every=1),
+            resilience=ResilienceConfig(max_retries=0, monitor_interval_s=0.02),
+        )
+        instance, candidates = workload_requests(1, seed=33)[0]
+        start = time.monotonic()
+        future = cluster.submit(instance, candidates, deadline_s=0.3)
+        with pytest.raises(DeadlineExceededError):
+            future.result(timeout=60)
+        assert time.monotonic() - start < 1.4, (
+            "the deadline must fire before the injected latency elapses"
+        )
+        assert cluster.timeouts >= 1
+
+    def test_corrupted_reply_frames_counted_and_survived(
+        self, make_cluster, cluster_tuner
+    ):
+        """A garbage frame where a pickle should be loses one reply, not
+        the pipe: the parent counts it and the retry recovers the answer."""
+        cluster = make_cluster(
+            n_workers=1,
+            start_method="fork",
+            restart_workers=False,
+            chaos=ChaosConfig(corrupt_reply_every=1, burst_n=1),
+            resilience=ResilienceConfig(
+                attempt_timeout_s=0.4,
+                max_retries=2,
+                retry_backoff_s=0.02,
+                monitor_interval_s=0.02,
+                quarantine_after=10,
+            ),
+        )
+        instance, candidates = workload_requests(1, seed=35)[0]
+        response = cluster.submit(instance, candidates).result(timeout=60)
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        assert_response_matches(response, ranked, scores)
+        assert cluster.corrupted_frames >= 1
+        assert response.attempts >= 2
+        # the reply after the burst healed the suspect breaker
+        assert wait_until(
+            lambda: cluster.worker_health(0) is HealthState.HEALTHY, timeout_s=10
+        )
+        assert cluster.crashes == 0, "frame corruption must never look like a crash"
+
+
+class TestHealthRouting:
+    def test_slow_loris_quarantined_then_readmitted(
+        self, make_cluster, cluster_tuner
+    ):
+        """A worker whose loop blocks goes heartbeat-silent: the cluster
+        quarantines it, requeues its pending request to the healthy shard,
+        and readmits it once its loop answers a probe again."""
+        loris = 1
+        cluster = make_cluster(
+            n_workers=2,
+            start_method="fork",
+            restart_workers=False,
+            chaos={loris: ChaosConfig(slow_loris_s=2.0, burst_n=1)},
+            resilience=ResilienceConfig(
+                heartbeat_interval_s=0.05,
+                heartbeat_stale_s=0.4,
+                probe_interval_s=0.1,
+                monitor_interval_s=0.02,
+            ),
+        )
+        # let both workers establish a heartbeat baseline
+        assert wait_until(lambda: len(cluster.alive_workers()) == 2, timeout_s=15)
+        instance, candidates = request_owned_by(loris, n_workers=2, seed=21)
+        response = cluster.submit(instance, candidates).result(timeout=60)
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        assert_response_matches(response, ranked, scores)
+        assert response.worker_id != loris, "the hung shard cannot have answered"
+        assert cluster.quarantines >= 1
+        assert any(
+            e["type"] == "quarantine" and e["worker"] == loris
+            for e in cluster.events
+        )
+        # the loris ends, heartbeats resume, a probe round-trips: readmit
+        assert wait_until(lambda: cluster.readmissions >= 1, timeout_s=30), (
+            "a recovered worker must get its shard back"
+        )
+        assert wait_until(lambda: loris in cluster.alive_workers(), timeout_s=10)
+        assert any(
+            e["type"] == "readmit" and e["worker"] == loris for e in cluster.events
+        )
+        # and it serves its shard again, bit-identically
+        again = cluster.submit(instance, candidates).result(timeout=60)
+        assert_response_matches(again, ranked, scores)
+        assert cluster.crashes == 0, "the loris process never died"
+
+
+class TestDegradationAndShedding:
+    def test_degraded_answers_from_store_and_scorer(
+        self, make_cluster, cluster_tuner
+    ):
+        """With every worker dead, a remembered ranking replays from the
+        coordinator's store and an unseen query is scored locally — both
+        explicitly degraded, both bit-identical to the oracle."""
+        cluster = make_cluster(
+            n_workers=1,
+            start_method="fork",
+            restart_workers=False,
+            resilience=ResilienceConfig(degraded_answers=True),
+        )
+        seen, unseen = workload_requests(2, seed=41, shift_at=1)
+        warm = cluster.submit(*seen).result(timeout=60)
+        assert not warm.degraded
+        kill_and_settle(cluster, 0)
+        replay = cluster.submit(*seen).result(timeout=60)
+        assert replay.degraded and replay.cached and replay.worker_id == -1
+        ranked, scores = expected_answer(cluster_tuner, *seen)
+        assert_response_matches(replay, ranked, scores)
+        scored = cluster.submit(*unseen).result(timeout=60)
+        assert scored.degraded and not scored.cached and scored.worker_id == -1
+        ranked, scores = expected_answer(cluster_tuner, *unseen)
+        assert_response_matches(scored, ranked, scores)
+        assert cluster.degraded_served == 2
+        stats_resilience = cluster.stats(timeout_s=5)["resilience"]
+        assert stats_resilience["degraded_served"] == 2
+        assert stats_resilience["fallback_scored"] == 1
+
+    def test_degraded_top_k_is_sliced(self, make_cluster, cluster_tuner):
+        cluster = make_cluster(
+            n_workers=1,
+            start_method="fork",
+            restart_workers=False,
+            resilience=ResilienceConfig(degraded_answers=True),
+        )
+        instance, candidates = workload_requests(1, seed=43)[0]
+        cluster.submit(instance, candidates).result(timeout=60)
+        kill_and_settle(cluster, 0)
+        response = cluster.submit(instance, candidates, top_k=3).result(timeout=60)
+        assert response.degraded
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        assert response.ranked == ranked[:3]
+
+    def test_strict_mode_still_fails_cleanly_when_all_dead(self, make_cluster):
+        """The pre-resilience contract is the default: no degradation
+        means the legacy 'no alive workers' RuntimeError."""
+        cluster = make_cluster(
+            n_workers=1, start_method="fork", restart_workers=False
+        )
+        kill_and_settle(cluster, 0)
+        instance, candidates = workload_requests(1, seed=45)[0]
+        with pytest.raises(RuntimeError, match="no alive workers"):
+            cluster.submit(instance, candidates).result(timeout=60)
+
+    def test_backlog_sheds_at_the_front_door(self, make_cluster):
+        cluster = make_cluster(
+            n_workers=1,
+            start_method="fork",
+            resilience=ResilienceConfig(max_queue_depth=0),
+        )
+        instance, candidates = workload_requests(1, seed=47)[0]
+        with pytest.raises(ClusterOverloadedError):
+            cluster.submit(instance, candidates)
+        assert cluster.shed_requests == 1
+
+
+class TestErrorReplyPath:
+    def test_worker_error_travels_back_and_worker_stays_healthy(
+        self, make_cluster, cluster_tuner
+    ):
+        """A per-request failure (unknown model ref) is the *request's*
+        problem: the exception crosses the wire, the worker neither dies
+        nor loses health, and the next request is served normally."""
+        cluster = make_cluster(n_workers=1, start_method="fork")
+        instance, candidates = workload_requests(1, seed=49)[0]
+        with pytest.raises(KeyError):
+            cluster.submit(instance, candidates, model="no-such-tag").result(
+                timeout=60
+            )
+        assert cluster.crashes == 0
+        assert cluster.worker_health(0) is HealthState.HEALTHY
+        response = cluster.submit(instance, candidates).result(timeout=60)
+        ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+        assert_response_matches(response, ranked, scores)
+
+
+class TestPartialStats:
+    def test_stats_timeout_returns_partial_and_cleans_up(self, make_cluster):
+        """A hung worker must cost stats() its row, not the whole call —
+        and its orphaned stats future must not leak."""
+        loris = 1
+        cluster = make_cluster(
+            n_workers=2,
+            start_method="fork",
+            restart_workers=False,
+            # heartbeats off: this test isolates the stats path from the
+            # quarantine machinery
+            chaos={loris: ChaosConfig(slow_loris_s=1.5, burst_n=1)},
+            resilience=ResilienceConfig(heartbeat_interval_s=0.0),
+        )
+        instance, candidates = request_owned_by(loris, n_workers=2, seed=23)
+        future = cluster.submit(instance, candidates)
+        time.sleep(0.4)  # let the loris start blocking its loop
+        stats = cluster.stats(timeout_s=0.3)
+        assert stats["missing_workers"] == [loris]
+        assert set(stats["workers"]) == {0}
+        assert stats["cluster"]["workers"] == 1
+        assert cluster._workers[loris].stats_pending == {}, (
+            "the timed-out stats future must be cleaned up, not leaked"
+        )
+        future.result(timeout=60)  # the loris eventually answers the request
+        stats = cluster.stats(timeout_s=10)
+        assert stats["missing_workers"] == []
+        assert set(stats["workers"]) == {0, 1}
+
+
+class TestCompactChaosDrill:
+    def test_mixed_run_with_kill_loris_corruption_and_bad_registry_write(
+        self, make_cluster, cluster_registry, cluster_tuner
+    ):
+        """The in-suite edition of the benchmark drill: 48 mixed requests
+        against 3 workers while one is SIGKILLed, one slow-lorises, one
+        corrupts reply frames, and a registry write is corrupted mid-run.
+        Every request must complete — correct or explicitly degraded —
+        with zero hangs and zero coordinator crashes, and the quarantined
+        worker must be readmitted."""
+        loris, corruptor, victim = 1, 2, 0
+        cluster = make_cluster(
+            n_workers=3,
+            start_method="fork",
+            restart_workers=True,
+            chaos={
+                loris: ChaosConfig(slow_loris_s=1.5, burst_n=1),
+                corruptor: ChaosConfig(corrupt_reply_every=2, burst_n=4),
+            },
+            resilience=ResilienceConfig(
+                default_deadline_s=30.0,
+                attempt_timeout_s=0.5,
+                max_retries=4,
+                retry_backoff_s=0.02,
+                degraded_answers=True,
+                heartbeat_interval_s=0.05,
+                heartbeat_stale_s=0.4,
+                probe_interval_s=0.1,
+                monitor_interval_s=0.02,
+                quarantine_after=6,  # frame corruption alone must not unroute
+            ),
+        )
+        assert wait_until(lambda: len(cluster.alive_workers()) == 3, timeout_s=15)
+        requests = workload_requests(48, seed=51)
+        futures = [cluster.submit(q, c) for q, c in requests[:24]]
+        cluster.kill_worker(victim)
+        corrupt_registry_tags(cluster_registry.root)
+        futures += [cluster.submit(q, c) for q, c in requests[24:]]
+        responses = [f.result(timeout=120) for f in futures]
+
+        assert len(responses) == len(requests), "zero lost requests"
+        for (instance, candidates), response in zip(requests, responses):
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(response, ranked, scores)
+        assert cluster.crashes == 1
+        assert cluster.corrupted_frames >= 1
+        assert cluster.quarantines >= 1
+        assert wait_until(lambda: cluster.readmissions >= 1, timeout_s=30), (
+            "the recovered loris must be readmitted"
+        )
+        assert wait_until(
+            lambda: set(cluster.alive_workers()) == {0, 1, 2}, timeout_s=30
+        )
+        # the corrupted tags.json was contained: reads fell back to the
+        # mirror, nothing resolved wrong, and serving never noticed
+        assert cluster_registry.resolve("prod") == "v0001"
+        stats = cluster.stats(timeout_s=10)
+        assert stats["missing_workers"] == []

@@ -226,3 +226,42 @@ class TestBudgetedMachine:
     def test_validation(self):
         with pytest.raises(ValueError):
             BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=-1)
+
+
+class TestMidBatchExhaustion:
+    def test_exhaustion_mid_batch_keeps_collector_consistent(self):
+        """The budget dying partway through a measure_pending batch must
+        leave every queue in a resumable state: the measured record is in
+        the window once, the unmeasured ones keep their order and their
+        dedupe keys, and nothing is half-measured or double-measured."""
+        machine = BudgetedMachine(SimulatedMachine(seed=0), max_evaluations=12)
+        collector = FeedbackCollector(machine, probe_size=8)  # dedupe on
+        insts = [_instance(name=f"lap{i}") for i in range(3)]
+        for i, inst in enumerate(insts):
+            _serve(collector, inst, seed=i)
+        new = collector.measure_pending()
+        # the 12-evaluation budget covers exactly one 8-probe record: the
+        # second hit the wall mid-batch and was put back, the third never
+        # got a turn
+        assert [fb.instance.label() for fb in new] == [insts[0].label()]
+        assert collector.pending_count == 2
+        assert machine.refused == 1
+        assert collector.dropped_unaffordable == 0
+        # dedupe keys survived the put-back: re-serving the unmeasured
+        # instances is still recognized as a repeat, not re-queued
+        _serve(collector, insts[1], seed=9)
+        _serve(collector, insts[2], seed=9)
+        assert collector.pending_count == 2
+        assert collector.skipped_repeats == 2
+        # after a refill, the put-back records measure in their original
+        # order, exactly once each
+        machine.refill(max_evaluations=64)
+        rest = collector.measure_pending()
+        assert [fb.instance.label() for fb in rest] == [
+            insts[1].label(),
+            insts[2].label(),
+        ]
+        assert [fb.instance.label() for fb in collector.window()] == [
+            inst.label() for inst in insts
+        ]
+        assert collector.pending_count == 0

@@ -260,3 +260,69 @@ class TestRollback:
         assert online_registry.resolve("prod") == decision.version
         assert pipeline.rollback_count == 0
         assert pipeline._watch is None  # watch concluded
+
+
+class TestRetrainIsolation:
+    """A failing retrain is background noise, never a serving outage."""
+
+    def _forced_drift(self) -> "DriftReport":
+        from repro.online.drift import DriftReport
+
+        return DriftReport(
+            drifted=True,
+            reasons=("forced",),
+            family_tau={},
+            overall_tau=0.0,
+            feature_shift=0.0,
+            n_observations=32,
+        )
+
+    def test_raising_retrain_is_contained_and_burns_the_cooldown(
+        self, online_registry, phase1_tuner, phase1_training_set, monkeypatch
+    ):
+        service = TuningService(online_registry, default_model="prod")
+        pipeline = _pipeline(
+            service, online_registry, phase1_tuner, phase1_training_set
+        )
+        # open the retrain gate without a real episode: a drifted report
+        # and a full-enough measured window
+        monkeypatch.setattr(pipeline.monitor, "report", self._forced_drift)
+        monkeypatch.setattr(pipeline.collector, "measure_pending", lambda limit: [])
+        pipeline.collector.measured.extend(
+            object() for _ in range(pipeline.config.min_feedback_to_train)
+        )
+
+        def exploding_retrain(report):
+            raise RuntimeError("solver blew up")
+
+        monkeypatch.setattr(pipeline, "_retrain", exploding_retrain)
+        report = pipeline.step()  # must not raise
+        assert report.drifted
+        assert pipeline.retrain_errors == 1
+        assert isinstance(pipeline.last_retrain_error, RuntimeError)
+        event = pipeline.events[-1]
+        assert event["type"] == "retrain-error"
+        assert "solver blew up" in event["error"]
+        # the failure burned the cooldown: the immediately next step must
+        # not spin another doomed attempt
+        pipeline.step()
+        assert pipeline.retrain_errors == 1
+        # ... but after the cooldown passes, retraining is attempted again
+        for _ in range(pipeline.config.retrain_cooldown_steps + 1):
+            pipeline.step()
+        assert pipeline.retrain_errors == 2
+        # nothing was promoted and the registry is untouched
+        assert online_registry.resolve("prod") == "v0001"
+        assert pipeline.retrain_count == 0
+
+    def test_successful_step_does_not_touch_error_counters(
+        self, online_registry, phase1_tuner, phase1_training_set, monkeypatch
+    ):
+        service = TuningService(online_registry, default_model="prod")
+        pipeline = _pipeline(
+            service, online_registry, phase1_tuner, phase1_training_set
+        )
+        monkeypatch.setattr(pipeline.collector, "measure_pending", lambda limit: [])
+        pipeline.step()  # no drift, no retrain, no errors
+        assert pipeline.retrain_errors == 0
+        assert pipeline.last_retrain_error is None

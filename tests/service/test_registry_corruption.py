@@ -1,0 +1,134 @@
+"""Registry corruption containment: checksummed tags, mirror fallback,
+last-good archive loading.
+
+The registry is the cluster's only shared mutable state, so a corrupted
+write there is the one fault that could take every worker down at once.
+These tests pin the containment story: tag reads detect corruption by
+checksum and fall back (read-only) to the mirror, the next tag write
+repairs the primary, ``latest`` archive loads fall back to the newest
+older version that still loads, and concrete refs never silently
+substitute a different model.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.chaos import corrupt_model_archive, corrupt_registry_tags
+from repro.service.registry import LATEST, ModelRegistry
+
+
+def _tags_file(registry: ModelRegistry):
+    return registry.root / "tags.json"
+
+
+def _bak_file(registry: ModelRegistry):
+    return registry.root / "tags.json.bak"
+
+
+class TestTagsEnvelope:
+    def test_tag_writes_checksummed_envelope_and_mirror(self, registry):
+        payload = json.loads(_tags_file(registry).read_text())
+        assert payload["format"] == "tags-v2"
+        assert payload["tags"] == {"prod": "v0001"}
+        assert isinstance(payload["sha256"], str) and len(payload["sha256"]) == 64
+        assert _bak_file(registry).read_bytes() == _tags_file(registry).read_bytes()
+
+    def test_legacy_plain_map_still_accepted(self, registry):
+        _tags_file(registry).write_text(json.dumps({"prod": "v0001", "old": "v0001"}))
+        fresh = ModelRegistry(registry.root)
+        assert fresh.tags() == {"prod": "v0001", "old": "v0001"}
+        assert fresh.corruption_detected == 0
+
+
+class TestTagsCorruptionFallback:
+    def test_corrupt_primary_served_from_mirror(self, registry):
+        original = corrupt_registry_tags(registry.root)
+        assert _tags_file(registry).read_bytes() != original
+        fresh = ModelRegistry(registry.root)  # no memo of the good bytes
+        assert fresh.tags() == {"prod": "v0001"}
+        assert fresh.resolve("prod") == "v0001"
+        assert fresh.corruption_detected == 1
+        # repeated reads of the same corrupt bytes count the incident once
+        fresh.tags()
+        fresh.tags()
+        assert fresh.corruption_detected == 1
+
+    def test_checksum_mismatch_detected_not_just_bad_json(self, registry):
+        payload = json.loads(_tags_file(registry).read_text())
+        payload["tags"] = {"prod": "v0999"}  # bit-flipped map, stale checksum
+        _tags_file(registry).write_text(json.dumps(payload))
+        fresh = ModelRegistry(registry.root)
+        assert fresh.tags() == {"prod": "v0001"}, (
+            "a tags map that fails its checksum must not be believed"
+        )
+        assert fresh.corruption_detected == 1
+
+    def test_both_copies_corrupt_yields_no_tags(self, registry):
+        corrupt_registry_tags(registry.root)
+        _bak_file(registry).write_bytes(b"also garbage")
+        fresh = ModelRegistry(registry.root)
+        assert fresh.tags() == {}
+        with pytest.raises(KeyError):
+            fresh.resolve("prod")
+
+    def test_next_tag_write_repairs_the_primary(self, registry):
+        corrupt_registry_tags(registry.root)
+        registry.tag("canary", "v0001")
+        payload = json.loads(_tags_file(registry).read_text())
+        assert payload["format"] == "tags-v2"
+        assert payload["tags"] == {"prod": "v0001", "canary": "v0001"}
+        fresh = ModelRegistry(registry.root)
+        assert fresh.tags() == {"prod": "v0001", "canary": "v0001"}
+        assert fresh.corruption_detected == 0
+
+    def test_corruption_is_readonly_fallback_not_repair_on_read(self, registry):
+        """Reading through corruption must not write anything: repair
+        belongs to the next writer (which holds the lock)."""
+        corrupt_registry_tags(registry.root)
+        corrupted = _tags_file(registry).read_bytes()
+        fresh = ModelRegistry(registry.root)
+        fresh.tags()
+        assert _tags_file(registry).read_bytes() == corrupted
+
+
+class TestArchiveCorruptionFallback:
+    def test_latest_falls_back_to_newest_loadable_version(
+        self, registry, trained_tuner, alternate_model
+    ):
+        v2 = registry.publish(
+            alternate_model, trained_tuner.fingerprint(), note="second"
+        )
+        corrupt_model_archive(registry.root, v2)
+        model = registry.load(LATEST)
+        assert model.is_fitted
+        assert registry.corruption_fallbacks == 1
+        # the fallback served v0001's bytes, not a broken v0002
+        import numpy as np
+
+        good = registry.load("v0001")
+        assert np.array_equal(model.w_, good.w_)
+
+    def test_concrete_ref_never_substitutes(self, registry, trained_tuner, alternate_model):
+        v2 = registry.publish(
+            alternate_model, trained_tuner.fingerprint(), note="second"
+        )
+        corrupt_model_archive(registry.root, v2)
+        with pytest.raises(ValueError, match="corrupted or unreadable"):
+            registry.load(v2)
+        registry.tag("pinned", v2)
+        with pytest.raises(ValueError, match="corrupted or unreadable"):
+            registry.load("pinned")
+        assert registry.corruption_fallbacks == 0
+
+    def test_restored_bytes_load_again(self, registry, trained_tuner, alternate_model):
+        v2 = registry.publish(
+            alternate_model, trained_tuner.fingerprint(), note="second"
+        )
+        original = corrupt_model_archive(registry.root, v2)
+        (registry.root / "models" / f"{v2}.npz").write_bytes(original)
+        fresh = ModelRegistry(registry.root)
+        assert fresh.load(v2).is_fitted
+        assert fresh.corruption_fallbacks == 0

@@ -28,9 +28,22 @@ script to record the perf trajectory::
 
     PYTHONPATH=src python benchmarks/bench_cluster.py           # throughput rows
     PYTHONPATH=src python benchmarks/bench_cluster.py --chaos   # resilience soak
+    PYTHONPATH=src python benchmarks/bench_cluster.py --trace   # stage attribution
 
 In CI the script enforces a relaxed floor (cluster ≥ the single-process
 baseline) because shared-runner wall clocks make exact ratios unreliable.
+
+``--trace`` answers "where does a request's time go": the same mixed load
+runs three ways — untraced, tracer-at-zero-sample-rate, and sampled at
+50% — interleaved 3× (min-of-3 per mode filters scheduler noise).  The
+sampled run's merged spans become a per-stage attribution (dispatch /
+worker-ingress / service-queue / encode / score / service-finish /
+reply-egress) that must cover ≥90% of each traced request's wall clock;
+tracing overhead is bounded (off ≤1%, sampled ≤5%, scaled by
+``TRACE_OVERHEAD_SLACK`` for noisy shared runners); merged-histogram
+p50/p99 must agree with the pooled-window percentiles within one bucket
+width.  The outcome lands as a ``"kind": "attribution"`` row in
+``BENCH_cluster.json`` and the merged spans as ``TRACE_cluster.jsonl``.
 
 ``--chaos`` runs the resilience drill instead: the same 256-request mixed
 load while one worker is SIGKILLed mid-run, one slow-lorises its event
@@ -57,6 +70,8 @@ import pytest
 from repro.autotune.autotuner import OrdinalAutotuner
 from repro.autotune.training import TrainingSetBuilder
 from repro.machine.executor import SimulatedMachine
+from repro.obs.metrics import Histogram
+from repro.obs.trace import TraceConfig, stage_breakdown, write_jsonl
 from repro.service import ModelRegistry, ServiceCluster, TuningService
 from repro.stencil.instance import StencilInstance
 from repro.stencil.kernel import StencilKernel
@@ -73,6 +88,7 @@ N_WORKERS = 4
 TOP_K = 8
 TRAINING_POINTS = 640
 OUT_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
+TRACE_PATH = Path(__file__).parent.parent / "TRACE_cluster.jsonl"
 
 
 def _train_tuner(points: int = TRAINING_POINTS) -> OrdinalAutotuner:
@@ -173,11 +189,11 @@ def _warm_instances(cluster, per_worker: int = 3) -> list[StencilInstance]:
 
 
 def _serve_cluster(
-    registry_root, instances, n_workers: int
-) -> tuple[list, float, dict]:
+    registry_root, instances, n_workers: int, trace: "TraceConfig | None" = None
+) -> tuple[list, float, dict, list]:
     """The cluster side: concurrent submits, worker-side presets, thrifty wire."""
     with ServiceCluster(
-        registry_root, n_workers=n_workers, default_model="prod"
+        registry_root, n_workers=n_workers, default_model="prod", trace=trace
     ) as cluster:
         # warm every worker (imports, model load, first fused preset
         # encodes) off the clock — the timed region measures serving, not
@@ -195,7 +211,8 @@ def _serve_cluster(
         answers = [f.result(timeout=600) for f in futures]
         elapsed = time.perf_counter() - start
         stats = cluster.stats()
-    return [a.ranked for a in answers], elapsed, stats
+        spans = cluster.trace_spans()
+    return [a.ranked for a in answers], elapsed, stats, spans
 
 
 def bench_cluster(
@@ -215,7 +232,7 @@ def bench_cluster(
     with TemporaryDirectory() as tmp:
         registry = ModelRegistry(tmp)
         registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
-        clustered, cluster_s, cluster_stats = _serve_cluster(
+        clustered, cluster_s, cluster_stats, _ = _serve_cluster(
             tmp, instances, n_workers
         )
         single, single_s, single_stats = asyncio.run(_serve_single(registry, instances))
@@ -383,6 +400,149 @@ def bench_chaos(
     }
 
 
+def _hist_bucket_width_ms(hist_dict: dict, value_ms: float) -> float:
+    """Width (ms) of the histogram bucket that ``value_ms`` falls into."""
+    h = Histogram(
+        lowest=hist_dict["lowest"],
+        growth=hist_dict["growth"],
+        buckets=hist_dict["buckets"],
+    )
+    lower, upper = h.bucket_bounds(h.bucket_index(value_ms / 1e3))
+    return (upper - lower) * 1e3
+
+
+def bench_trace(
+    n_requests: int = N_CONCURRENT,
+    n_distinct: int = N_DISTINCT,
+    n_workers: int = N_WORKERS,
+    reps: int = 3,
+    sample_rate: float = 0.5,
+    tuner: "OrdinalAutotuner | None" = None,
+) -> dict:
+    """Stage attribution + tracing-overhead bound on the established load.
+
+    Three cluster configurations serve the identical mixed preset load,
+    interleaved ``reps`` times (A/B/C A/B/C ... so slow-runner drift hits
+    all three equally), min-of-reps per mode:
+
+    * ``untraced``  — ``trace=None``: the no-op fast path (baseline);
+    * ``off``       — ``TraceConfig(sample_rate=0)``: tracer constructed,
+      every request declined at the sampling gate (bound: ≤1% overhead);
+    * ``sampled``   — ``TraceConfig(sample_rate=0.5)``: half the requests
+      carry spans over the wire (bound: ≤5% overhead).
+
+    Both bounds scale by ``TRACE_OVERHEAD_SLACK`` (env, default 1.0) for
+    noisy shared runners.  The sampled run's merged spans yield the
+    per-stage attribution (must cover ≥90% of traced wall clock per
+    request) and are dumped to ``TRACE_cluster.jsonl``; its cluster stats
+    cross-check merged-histogram p50/p99 against the pooled-window
+    percentiles (must agree within one bucket width).
+    """
+    tuner = tuner or _train_tuner()
+    instances = _workload(n_requests, n_distinct)
+    presets = {2: preset_candidates(2), 3: preset_candidates(3)}
+    oracle = {
+        q: tuner.rank_candidates(q, presets[q.dims])[:TOP_K]
+        for q in set(instances)
+    }
+    modes: "dict[str, TraceConfig | None]" = {
+        "untraced": None,
+        "off": TraceConfig(sample_rate=0.0),
+        "sampled": TraceConfig(sample_rate=sample_rate),
+    }
+    times: dict[str, list[float]] = {name: [] for name in modes}
+    sampled_answers: list = []
+    sampled_stats: dict = {}
+    sampled_spans: list = []
+    with TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
+        for _ in range(reps):
+            for name, cfg in modes.items():
+                answers, elapsed, stats, spans = _serve_cluster(
+                    tmp, instances, n_workers, trace=cfg
+                )
+                times[name].append(elapsed)
+                if name == "sampled":
+                    sampled_answers = answers
+                    sampled_stats = stats
+                    sampled_spans = spans
+    for q, a in zip(instances, sampled_answers):
+        assert a == oracle[q], "tracing must never change an answer"
+
+    best = {name: min(samples) for name, samples in times.items()}
+    slack = float(os.environ.get("TRACE_OVERHEAD_SLACK", "1.0"))
+    overhead_off = best["off"] / best["untraced"] - 1.0
+    overhead_sampled = best["sampled"] / best["untraced"] - 1.0
+    assert overhead_off <= 0.01 * slack, (
+        f"tracing-off overhead {overhead_off:+.2%} exceeds 1% "
+        f"(slack {slack}x; min-of-{reps})"
+    )
+    assert overhead_sampled <= 0.05 * slack, (
+        f"sampled-tracing overhead {overhead_sampled:+.2%} exceeds 5% "
+        f"(slack {slack}x; min-of-{reps})"
+    )
+
+    report = stage_breakdown(sampled_spans)
+    assert report["n_traces"] > 0, "the sampled run must trace something"
+    assert report["coverage_mean"] >= 0.90, (
+        f"stage attribution covers only {report['coverage_mean']:.1%} of "
+        f"traced wall clock (floor 90%)"
+    )
+
+    merged = sampled_stats["cluster"]
+    hist = merged["latency_hist"]
+    agreement = {}
+    for q in (50, 99):
+        hist_ms = merged[f"latency_p{q}_ms"]
+        pooled_ms = merged[f"latency_pooled_p{q}_ms"]
+        tol_ms = max(
+            _hist_bucket_width_ms(hist, hist_ms),
+            _hist_bucket_width_ms(hist, pooled_ms),
+        )
+        assert abs(hist_ms - pooled_ms) <= tol_ms, (
+            f"merged-histogram p{q} {hist_ms:.3f}ms disagrees with pooled "
+            f"p{q} {pooled_ms:.3f}ms beyond one bucket width ({tol_ms:.3f}ms)"
+        )
+        agreement[f"p{q}"] = {
+            "hist_ms": hist_ms,
+            "pooled_ms": pooled_ms,
+            "bucket_width_ms": tol_ms,
+        }
+
+    n_spans = write_jsonl(TRACE_PATH, sampled_spans)
+    return {
+        "kind": "attribution",
+        "n_requests": n_requests,
+        "n_distinct_instances": n_distinct,
+        "n_workers": n_workers,
+        "top_k": TOP_K,
+        "cpu_count": os.cpu_count(),
+        "reps": reps,
+        "sample_rate": sample_rate,
+        "untraced_s": best["untraced"],
+        "trace_off_s": best["off"],
+        "sampled_s": best["sampled"],
+        "overhead_off": overhead_off,
+        "overhead_sampled": overhead_sampled,
+        "overhead_bounds": {"off": 0.01 * slack, "sampled": 0.05 * slack},
+        "n_traces": report["n_traces"],
+        "n_spans": n_spans,
+        "coverage_mean": report["coverage_mean"],
+        "coverage_min": report["coverage_min"],
+        "coverage_p10": report["coverage_p10"],
+        "stages": report["stages"],
+        "percentile_agreement": agreement,
+        "trace_file": TRACE_PATH.name,
+        "acceptance": (
+            "stage attribution >= 90% of traced wall clock per request; "
+            "tracing-off overhead <= 1%, sampled <= 5% vs untraced "
+            "(x TRACE_OVERHEAD_SLACK); merged-histogram p50/p99 within one "
+            "bucket width of pooled-window percentiles"
+        ),
+    }
+
+
 # -- pytest smoke (timing-free where CI is involved) ---------------------------
 
 
@@ -402,6 +562,32 @@ def test_smoke_two_workers_mixed_load(tuner):
     assert stats["failed_total"] == 0
     assert stats["requests_total"] >= 48  # workload (+ per-shard warmup)
     assert stats["cache_hits"] > 0, "repeats must hit the per-worker caches"
+
+
+def test_smoke_trace_attribution(tuner):
+    """Timing-free slice of ``--trace``: a fully-sampled 32-request run must
+    yield complete per-stage attribution covering >=90% of wall clock."""
+    instances = _workload(32, n_distinct=8)
+    presets = {2: preset_candidates(2), 3: preset_candidates(3)}
+    oracle = {
+        q: tuner.rank_candidates(q, presets[q.dims])[:TOP_K]
+        for q in set(instances)
+    }
+    with TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
+        answers, _, stats, spans = _serve_cluster(
+            tmp, instances, n_workers=2, trace=TraceConfig(sample_rate=1.0)
+        )
+    for q, a in zip(instances, answers):
+        assert a == oracle[q], "tracing must never change an answer"
+    report = stage_breakdown(spans)
+    assert report["n_traces"] >= len(instances)  # workload (+ traced warmup)
+    assert report["coverage_mean"] >= 0.90, report
+    assert {"dispatch", "service-queue", "reply-egress"} <= set(report["stages"])
+    merged = stats["cluster"]
+    assert merged["latency_hist"]["count"] >= len(instances)
+    assert merged["latency_p99_ms"] >= merged["latency_p50_ms"] > 0.0
 
 
 def main() -> None:
@@ -489,10 +675,48 @@ def main_chaos() -> None:
     print(f"merged chaos row into {OUT_PATH}")
 
 
+def main_trace() -> None:
+    """Run the attribution bench and merge its row into BENCH_cluster.json."""
+    row = bench_trace()
+    print(
+        f"trace attribution: {row['n_traces']} traces / {row['n_spans']} "
+        f"spans (sample rate {row['sample_rate']})  "
+        f"coverage mean {row['coverage_mean']:.1%} "
+        f"min {row['coverage_min']:.1%}  "
+        f"overhead off {row['overhead_off']:+.2%} "
+        f"sampled {row['overhead_sampled']:+.2%}"
+    )
+    for name, stage in sorted(
+        row["stages"].items(), key=lambda kv: -kv[1]["total_s"]
+    ):
+        print(
+            f"  {name:16s} {stage['mean_ms']:8.3f} ms/req  "
+            f"{stage['fraction']:6.1%} of traced wall clock  "
+            f"(n={stage['count']})"
+        )
+    if OUT_PATH.exists():
+        payload = json.loads(OUT_PATH.read_text())
+    else:
+        payload = {
+            "benchmark": (
+                "ServiceCluster (multi-process, instance-affine) vs "
+                "single-process serving"
+            ),
+            "results": [],
+        }
+    payload["results"] = [
+        r for r in payload.get("results", []) if r.get("kind") != "attribution"
+    ] + [row]
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged attribution row into {OUT_PATH}; spans in {TRACE_PATH}")
+
+
 if __name__ == "__main__":
     import sys
 
     if "--chaos" in sys.argv[1:]:
         main_chaos()
+    elif "--trace" in sys.argv[1:]:
+        main_trace()
     else:
         main()

@@ -1,0 +1,58 @@
+"""Deterministic observability for the serving stack.
+
+Two halves, both import-light and dependency-free:
+
+- :mod:`repro.obs.trace` — per-request spans with hash-derived trace ids,
+  deterministic request-id sampling, a bounded ring recorder per process,
+  a JSONL sink, and per-stage latency attribution.
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-exponential-bucket
+  histograms that merge *exactly* across workers, with dict snapshots and
+  Prometheus-style text exposition.
+
+Everything is behind a no-op fast path: a cluster constructed without a
+:class:`TraceConfig` holds no tracer and pays only ``None`` checks.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exposition,
+    merge_histograms,
+    percentile_from_hist,
+)
+from repro.obs.trace import (
+    ROOT_SPAN,
+    Span,
+    SpanRecorder,
+    TraceConfig,
+    TraceContext,
+    Tracer,
+    read_jsonl,
+    sample_request,
+    stage_breakdown,
+    trace_id_for,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ROOT_SPAN",
+    "Span",
+    "SpanRecorder",
+    "TraceConfig",
+    "TraceContext",
+    "Tracer",
+    "exposition",
+    "merge_histograms",
+    "percentile_from_hist",
+    "read_jsonl",
+    "sample_request",
+    "stage_breakdown",
+    "trace_id_for",
+    "write_jsonl",
+]

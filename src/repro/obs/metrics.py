@@ -1,0 +1,367 @@
+"""Mergeable metrics: counters, gauges, and exponential-bucket histograms.
+
+The cluster's telemetry problem is aggregation: N worker processes each
+observe their own latencies, and the coordinator must answer for the
+*cluster*.  Percentiles do not merge — a pool of bounded sliding windows
+(the previous ``merge_stats`` approach) is an approximation whose error
+grows with what the windows have already evicted.  Histograms with
+**identical fixed buckets** merge *exactly*: summing per-bucket counts
+loses nothing, no matter how many workers, restarts, or snapshots are
+folded together.
+
+Buckets are exponential (``bound[i] = lowest · growth**i``), so one small
+counts array spans sub-millisecond cache hits and multi-second stalls at
+constant relative resolution.  A percentile read off the merged histogram
+is correct to within one bucket — a known, configured error bound, unlike
+the window pool's unbounded one.
+
+Everything here is deterministic and process-agnostic: a
+:class:`Histogram` serializes to a plain dict (what crosses the worker
+pipe inside stats snapshots), :func:`merge_histograms` folds those dicts,
+and :func:`exposition` renders any snapshot as Prometheus-style text for
+scrapers.  :class:`MetricsRegistry` is the named-instrument front door the
+online pipeline and operators use.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exposition",
+    "merge_histograms",
+    "percentile_from_hist",
+]
+
+
+class Counter:
+    """A monotonically increasing count (merge: sum)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0: counters only go up)."""
+        if n < 0:
+            raise ValueError(f"counters only increase, got inc({n})")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (merge: context-dependent, usually last/max)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-exponential-bucket histogram with exact cross-process merge.
+
+    Bucket ``i`` counts observations ``v <= lowest * growth**i`` (first
+    matching bucket); one overflow bucket catches everything past the top
+    bound.  Two histograms built with the same ``(lowest, growth,
+    buckets)`` triple bucket every value identically, so merging is a
+    per-bucket integer sum — exact, associative, order-free.
+
+    The defaults (0.1 ms lowest bound, ``2**0.25`` growth, 80 buckets)
+    cover 0.1 ms .. ~88 s at a constant ~19% relative bucket width, which
+    is the error bound on any percentile read back out.
+
+    >>> h = Histogram()
+    >>> for v in (0.001, 0.002, 0.004, 0.1):
+    ...     h.observe(v)
+    >>> h.count
+    4
+    >>> 0.001 <= h.percentile(50) <= 0.004
+    True
+    """
+
+    def __init__(
+        self,
+        lowest: float = 1e-4,
+        growth: float = 2**0.25,
+        buckets: int = 80,
+    ) -> None:
+        if lowest <= 0:
+            raise ValueError(f"lowest bound must be positive, got {lowest}")
+        if growth <= 1:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        self.lowest = float(lowest)
+        self.growth = float(growth)
+        self.n_buckets = int(buckets)
+        self._log_growth = math.log(self.growth)
+        #: per-bucket counts; index ``n_buckets`` is the overflow bucket
+        self.counts = [0] * (self.n_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket ``value`` lands in (deterministic across processes)."""
+        if value <= self.lowest:
+            return 0
+        i = math.ceil(math.log(value / self.lowest) / self._log_growth)
+        # guard the exact-boundary case float log can push either way:
+        # a value just at bound[i] must never land above its bucket
+        while i > 0 and value <= self.lowest * self.growth ** (i - 1):
+            i -= 1
+        return min(i, self.n_buckets)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values clamp into bucket 0)."""
+        value = float(value)
+        self.counts[self.bucket_index(value)] += 1
+        self.sum += value
+        self.count += 1
+
+    # -- reading ---------------------------------------------------------------
+
+    def bucket_bounds(self, i: int) -> tuple[float, float]:
+        """``(lower, upper)`` value bounds of bucket ``i`` (0-lower first)."""
+        upper = self.lowest * self.growth**i
+        lower = 0.0 if i == 0 else self.lowest * self.growth ** (i - 1)
+        if i >= self.n_buckets:  # overflow: one growth step past the top
+            lower = self.lowest * self.growth ** (self.n_buckets - 1)
+            upper = lower * self.growth
+        return lower, upper
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0 with no observations).
+
+        Walks the cumulative counts to the bucket holding the target rank
+        and interpolates linearly inside it — always within one bucket
+        width of the exact sample percentile.
+        """
+        return percentile_from_hist(self.to_dict(), q)
+
+    def to_dict(self) -> dict:
+        """The wire/snapshot form (plain JSON-able dict)."""
+        return {
+            "lowest": self.lowest,
+            "growth": self.growth,
+            "buckets": self.n_buckets,
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` form."""
+        h = cls(lowest=d["lowest"], growth=d["growth"], buckets=d["buckets"])
+        h.counts = list(d["counts"])
+        h.sum = float(d["sum"])
+        h.count = int(d["count"])
+        return h
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket configs must match)."""
+        merged = merge_histograms([self.to_dict(), other.to_dict()])
+        self.counts = list(merged["counts"])
+        self.sum = merged["sum"]
+        self.count = merged["count"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, lowest={self.lowest}, "
+            f"growth={self.growth:.4f}, buckets={self.n_buckets})"
+        )
+
+
+def merge_histograms(dicts: "Sequence[Mapping]") -> dict:
+    """Exactly merge histogram snapshot dicts (identical bucket configs).
+
+    >>> a, b = Histogram(), Histogram()
+    >>> a.observe(0.001); b.observe(0.5); b.observe(0.002)
+    >>> merged = merge_histograms([a.to_dict(), b.to_dict()])
+    >>> merged["count"]
+    3
+    """
+    if not dicts:
+        raise ValueError("nothing to merge")
+    first = dicts[0]
+    config = (first["lowest"], first["growth"], first["buckets"])
+    counts = [0] * (int(first["buckets"]) + 1)
+    total, count = 0.0, 0
+    for d in dicts:
+        if (d["lowest"], d["growth"], d["buckets"]) != config:
+            raise ValueError(
+                f"histogram bucket configs differ: "
+                f"{(d['lowest'], d['growth'], d['buckets'])} vs {config}"
+            )
+        for i, c in enumerate(d["counts"]):
+            counts[i] += int(c)
+        total += float(d["sum"])
+        count += int(d["count"])
+    return {
+        "lowest": first["lowest"],
+        "growth": first["growth"],
+        "buckets": first["buckets"],
+        "counts": counts,
+        "sum": total,
+        "count": count,
+    }
+
+
+def percentile_from_hist(d: Mapping, q: float) -> float:
+    """The ``q``-th percentile read from a histogram snapshot dict.
+
+    Rank convention matches ``np.percentile``'s linear interpolation
+    (target rank ``q/100 · (n-1)``); the value is interpolated inside the
+    owning bucket, so the estimate is within one bucket width of the
+    exact pooled-sample percentile.
+    """
+    count = int(d["count"])
+    if count == 0:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    h = Histogram(lowest=d["lowest"], growth=d["growth"], buckets=d["buckets"])
+    rank = q / 100.0 * (count - 1)
+    cum = 0
+    for i, c in enumerate(d["counts"]):
+        if c and rank < cum + c:
+            lower, upper = h.bucket_bounds(i)
+            frac = (rank - cum + 0.5) / c
+            return lower + min(max(frac, 0.0), 1.0) * (upper - lower)
+        cum += c
+    lower, upper = h.bucket_bounds(len(d["counts"]) - 1)
+    return upper  # rank == count-1 landed on the last occupied edge
+
+
+class MetricsRegistry:
+    """Named instruments with one snapshot and one text exposition.
+
+    The registry is the *live* instrumentation surface (the continual-
+    learning pipeline counts retrains here; operators scrape
+    :meth:`exposition_text`); the snapshot dict is the *mergeable* surface
+    (what rides stats replies and folds across workers).  Thread-safe for
+    creation; individual instrument updates are plain attribute writes
+    (atomic under the GIL), matching how the serving counters behave.
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+        self._helps: dict[str, str] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, help, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, help, lambda: Gauge(name, help), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        lowest: float = 1e-4,
+        growth: float = 2**0.25,
+        buckets: int = 80,
+    ) -> Histogram:
+        return self._get(
+            name, help, lambda: Histogram(lowest, growth, buckets), Histogram
+        )
+
+    def _get(self, name: str, help: str, build, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = build()
+                self._helps[name] = help
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def snapshot(self) -> dict:
+        """Every instrument's current value in one JSON-able dict."""
+        with self._lock:
+            items = list(self._metrics.items())
+        out: dict = {}
+        for name, metric in items:
+            out[name] = (
+                metric.to_dict() if isinstance(metric, Histogram) else metric.value
+            )
+        return out
+
+    def exposition_text(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        return exposition(self.snapshot(), prefix=self.prefix, helps=self._helps)
+
+
+def _is_hist_dict(value: object) -> bool:
+    return isinstance(value, Mapping) and {"counts", "lowest", "growth"} <= set(value)
+
+
+def exposition(
+    snapshot: Mapping,
+    prefix: str = "repro",
+    helps: "Mapping[str, str] | None" = None,
+) -> str:
+    """Render a metrics/stats snapshot as Prometheus-style text.
+
+    Scalars named ``*_total`` become counters, other scalars gauges, and
+    histogram dicts (:meth:`Histogram.to_dict`) become the standard
+    cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet.
+    Non-numeric values are skipped — the function accepts the cluster's
+    merged stats dict as-is.
+
+    >>> print(exposition({"requests_total": 3}, prefix="svc"))
+    # TYPE svc_requests_total counter
+    svc_requests_total 3
+    <BLANKLINE>
+    """
+    lines: list[str] = []
+    for name in snapshot:
+        value = snapshot[name]
+        full = f"{prefix}_{name}" if prefix else name
+        help_text = (helps or {}).get(name, "")
+        if _is_hist_dict(value):
+            if help_text:
+                lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} histogram")
+            h = Histogram(
+                lowest=value["lowest"],
+                growth=value["growth"],
+                buckets=value["buckets"],
+            )
+            cum = 0
+            for i, c in enumerate(value["counts"]):
+                cum += int(c)
+                if i < h.n_buckets:
+                    le = f"{h.lowest * h.growth ** i:.6g}"
+                else:
+                    le = "+Inf"
+                lines.append(f'{full}_bucket{{le="{le}"}} {cum}')
+            lines.append(f"{full}_sum {float(value['sum']):.9g}")
+            lines.append(f"{full}_count {int(value['count'])}")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue  # merged stats carry lists/strings too; not metrics
+        else:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            if help_text:
+                lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            rendered = str(int(value)) if float(value).is_integer() else f"{value:.9g}"
+            lines.append(f"{full} {rendered}")
+    return "\n".join(lines) + "\n"

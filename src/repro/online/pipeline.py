@@ -40,6 +40,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.online.drift import DriftMonitor, DriftReport
 from repro.online.feedback import FeedbackCollector, MeasuredFeedback
 from repro.online.promotion import PromotionDecision, PromotionPolicy
@@ -95,6 +97,9 @@ class ContinualLearningPipeline:
         evaluator: ShadowEvaluator,
         policy: PromotionPolicy,
         config: ContinualConfig = ContinualConfig(),
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.service = service
         self.collector = collector
@@ -103,6 +108,12 @@ class ContinualLearningPipeline:
         self.evaluator = evaluator
         self.policy = policy
         self.config = config
+        #: optional observability: a metrics registry mirrors the loop's
+        #: event log as scrapeable counters/gauges, and a tracer records
+        #: retrain/promotion/rollback as zero-width process events — both
+        #: None by default (the loop pays only ``None`` checks)
+        self.metrics = metrics
+        self.tracer = tracer
         #: chronological log of retrain/promotion/rejection/rollback events
         self.events: list[dict] = []
         #: retrain attempts that raised (isolated; serving never sees them)
@@ -196,8 +207,26 @@ class ContinualLearningPipeline:
                         "error": f"{type(exc).__name__}: {exc}",
                     }
                 )
+                self._observe("retrain-error", {"error": type(exc).__name__})
             self._steps_since_retrain = 0
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("pipeline_steps_total").inc()
+            m.counter("pipeline_measured_total").inc(len(new))
+            m.gauge("drift_family_tau").set(report.family_tau)
+            m.gauge("drift_overall_tau").set(report.overall_tau)
+            m.gauge("drift_feature_shift").set(report.feature_shift)
+            m.gauge("drift_observations").set(report.n_observations)
         return report
+
+    def _observe(self, kind: str, attrs: "dict | None" = None) -> None:
+        """Mirror one loop event into the optional metrics/tracer hooks."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"pipeline_{kind.replace('-', '_')}_total"
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.record_event(f"pipeline-{kind}", attrs=attrs)
 
     # -- retraining ------------------------------------------------------------
 
@@ -261,7 +290,15 @@ class ContinualLearningPipeline:
                 ),
             }
         )
+        self._observe(
+            "retrain",
+            {"promoted": decision.promoted, "version": decision.version},
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("shadow_candidate_tau").set(shadow.candidate_tau)
+            self.metrics.gauge("shadow_production_tau").set(shadow.production_tau)
         if decision.promoted:
+            self._observe("promotion", {"version": decision.version})
             # fresh window: observations of the displaced model must not
             # re-trigger drift against the new one — and the shift
             # reference must now fingerprint what the *new* model was
@@ -310,5 +347,8 @@ class ContinualLearningPipeline:
                     "live_tau": live_tau,
                     "baseline_tau": watch["baseline"],
                 }
+            )
+            self._observe(
+                "rollback", {"demoted": watch["version"], "restored": restored}
             )
         self._watch = None  # watch concluded either way

@@ -91,6 +91,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.trace import ROOT_SPAN, Span, TraceConfig, TraceContext, Tracer, write_jsonl
 from repro.service.cache import InternedCandidates
 from repro.service.chaos import ChaosConfig
 from repro.service.degrade import (
@@ -209,6 +210,14 @@ class _PendingReq:
     #: workers that already timed this request out (avoided while any
     #: other worker can take it)
     excluded: set = field(default_factory=set)
+    #: trace identity when this request is sampled (None: untraced)
+    trace_ctx: "TraceContext | None" = None
+    #: monotonic submit time (root-span clock; submitted_at is perf_counter)
+    submitted_mono: float = 0.0
+    #: monotonic time the current dispatch's pipe write returned
+    sent_at: "float | None" = None
+    #: monotonic time this request entered the retry backoff queue
+    backoff_queued_at: "float | None" = None
 
 
 @dataclass
@@ -254,6 +263,7 @@ class ServiceCluster:
         feedback_every: int = 0,
         resilience: "ResilienceConfig | None" = None,
         chaos: "ChaosConfig | dict[int, ChaosConfig] | None" = None,
+        trace: "TraceConfig | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -344,6 +354,15 @@ class ServiceCluster:
         #: dims -> regenerated preset list for candidates=None records
         #: (same content the workers serve, regenerated once per parent)
         self._preset_sets: dict[int, list[TuningVector]] = {}
+        #: distributed tracing (None: fully off — submit/dispatch/reply
+        #: paths pay only ``None`` checks).  Sampled requests carry a
+        #: TraceContext over the wire; workers return their stage spans on
+        #: the reply and the coordinator merges them into this recorder,
+        #: synthesizing the two transport stages from same-host monotonic
+        #: timestamps.
+        self.tracer: "Tracer | None" = (
+            Tracer(trace, process="coordinator") if trace is not None else None
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -470,6 +489,8 @@ class ServiceCluster:
                 depth = self._queue_depth_locked()
             if depth >= resil.max_queue_depth:
                 self.shed_requests += 1
+                if self.tracer is not None:
+                    self.tracer.record_event("shed", attrs={"depth": depth})
                 raise ClusterOverloadedError(
                     f"cluster backlog ({depth}) at max_queue_depth "
                     f"({resil.max_queue_depth}); request shed"
@@ -481,8 +502,9 @@ class ServiceCluster:
         if attempt_timeout is None and effective_deadline is not None:
             # split the budget so every allowed retry fits inside it
             attempt_timeout = effective_deadline / (resil.max_retries + 1)
+        req_id = self._req_ids()
         pending = _PendingReq(
-            req_id=self._req_ids(),
+            req_id=req_id,
             instance=instance,
             candidates=candidates,
             model_ref=model or self.config.default_model,
@@ -496,6 +518,10 @@ class ServiceCluster:
                 else None
             ),
             attempt_timeout_s=attempt_timeout,
+            trace_ctx=(
+                self.tracer.context_for(req_id) if self.tracer is not None else None
+            ),
+            submitted_mono=time.monotonic(),
         )
         self._dispatch(pending)
         return pending.future
@@ -668,6 +694,13 @@ class ServiceCluster:
                     else 0
                 ),
             }
+            # degraded answers and sheds happen in the coordinator, never
+            # inside a worker — fold them into the first-class telemetry
+            # counters so merged stats and resilience state agree
+            merged["degraded_total"] = (
+                merged.get("degraded_total", 0) + self.degraded_served
+            )
+            merged["shed_total"] = merged.get("shed_total", 0) + self.shed_requests
         return {
             "cluster": merged,
             "workers": {w: r.stats for w, r in sorted(replies.items())},
@@ -678,6 +711,18 @@ class ServiceCluster:
             "health": health,
             "resilience": resilience,
         }
+
+    def trace_spans(self) -> "list[Span]":
+        """Every span in the coordinator's recorder (worker spans merged).
+
+        Empty when the cluster was built without a
+        :class:`~repro.obs.trace.TraceConfig`.
+        """
+        return [] if self.tracer is None else self.tracer.spans()
+
+    def dump_trace(self, path: "str | Path") -> int:
+        """Write the merged span buffer as JSONL; returns spans written."""
+        return write_jsonl(path, self.trace_spans())
 
     # -- fault injection (tests and drills) ------------------------------------
 
@@ -793,6 +838,8 @@ class ServiceCluster:
                             msg.scores,
                             msg.model_version,
                         )
+                    if self.tracer is not None and pending.trace_ctx is not None:
+                        self._record_reply_trace(pending, msg)
                     _settle(
                         pending.future,
                         ClusterResponse(
@@ -819,6 +866,47 @@ class ServiceCluster:
                 self._on_feedback(msg)
         self._on_worker_exit(handle)
 
+    def _record_reply_trace(self, pending: _PendingReq, msg: RankReply) -> None:
+        """Merge a traced reply's worker spans and close the trace.
+
+        All processes share the host's monotonic clock, so the two
+        transport stages are synthesized from the gaps around the worker's
+        span block: ``worker-ingress`` (pipe transit + inbox/loop wait
+        before the service saw the request) and ``reply-egress`` (reply
+        pickle + transit + this reader thread's wake-up).  Clock skew
+        between processes is sub-microsecond but not zero; negative gaps
+        clamp to zero inside :meth:`Tracer.span`.
+        """
+        ctx = pending.trace_ctx
+        now = time.monotonic()
+        spans = msg.spans or ()
+        if spans:
+            self.tracer.recorder.record_many(spans)
+            first = min(s.start_s for s in spans)
+            last = max(s.end_s for s in spans)
+            if pending.sent_at is not None:
+                self.tracer.span(
+                    ctx,
+                    "worker-ingress",
+                    pending.sent_at,
+                    first,
+                    {"worker": msg.worker_id},
+                )
+            self.tracer.span(
+                ctx, "reply-egress", last, now, {"worker": msg.worker_id}
+            )
+        self.tracer.span(
+            ctx,
+            ROOT_SPAN,
+            pending.submitted_mono,
+            now,
+            {
+                "worker": msg.worker_id,
+                "attempts": pending.attempts,
+                "cached": msg.cached,
+            },
+        )
+
     def _on_pong(self, handle: _WorkerHandle) -> None:
         """A probe round-tripped: close the breaker and readmit the shard."""
         with self._lock:
@@ -832,6 +920,10 @@ class ServiceCluster:
                 self.events.append(
                     {"type": "readmit", "worker": handle.worker_id}
                 )
+                if self.tracer is not None:
+                    self.tracer.record_event(
+                        "readmit", attrs={"worker": handle.worker_id}
+                    )
 
     def _note_failure(self, worker_id: int, kind: str) -> None:
         """Feed one failure to a worker's breaker; act on a trip."""
@@ -865,6 +957,17 @@ class ServiceCluster:
                 "requeued": len(orphans),
             }
         )
+        if self.tracer is not None:
+            self.tracer.record_event(
+                "quarantine",
+                attrs={"worker": worker_id, "reason": reason, "requeued": len(orphans)},
+            )
+            now = time.monotonic()
+            for p in orphans:
+                if p.trace_ctx is not None:
+                    self.tracer.span(
+                        p.trace_ctx, "requeue", now, now, {"from_worker": worker_id}
+                    )
         return orphans
 
     def _on_worker_exit(self, handle: _WorkerHandle) -> None:
@@ -896,6 +999,21 @@ class ServiceCluster:
                     "restarted": restart,
                 }
             )
+        if self.tracer is not None:
+            self.tracer.record_event(
+                "worker-exit",
+                attrs={
+                    "worker": handle.worker_id,
+                    "requeued": len(orphans),
+                    "restarted": restart,
+                },
+            )
+            now = time.monotonic()
+            for p in orphans:
+                if p.trace_ctx is not None:
+                    self.tracer.span(
+                        p.trace_ctx, "requeue", now, now, {"from_worker": handle.worker_id}
+                    )
         handle.process.join(timeout=5.0)  # reap; already exited
         for fut in stats_orphans:
             _settle(fut, error=RuntimeError("worker died before answering stats"))
@@ -926,6 +1044,18 @@ class ServiceCluster:
                 ),
             )
             return
+        tracing = self.tracer is not None and pending.trace_ctx is not None
+        t_route = time.monotonic() if tracing else 0.0
+        if tracing and pending.backoff_queued_at is not None:
+            # the jittered wait this retry just served, as a detour stage
+            self.tracer.span(
+                pending.trace_ctx,
+                "retry-backoff",
+                pending.backoff_queued_at,
+                t_route,
+                {"retry": pending.retries},
+            )
+            pending.backoff_queued_at = None
         key = instance_hash(pending.instance)
         with self._lock:
             alive = set(self.router.alive())
@@ -963,6 +1093,7 @@ class ServiceCluster:
             model_ref=pending.model_ref,
             top_k=pending.top_k,
             include_scores=pending.include_scores,
+            trace=pending.trace_ctx,
         )
         try:
             with handle.send_lock:
@@ -971,6 +1102,17 @@ class ServiceCluster:
             # the worker died under our pen: the crash path requeues
             # everything in its pending map, including this request
             self._on_worker_exit(handle)
+            return
+        if tracing:
+            pending.sent_at = time.monotonic()
+            # route + pickle + pipe write, per attempt
+            self.tracer.span(
+                pending.trace_ctx,
+                "dispatch",
+                t_route,
+                pending.sent_at,
+                {"worker": worker_id, "attempt": pending.attempts},
+            )
 
     # -- the monitor: deadlines, retries, heartbeats, probes -------------------
 
@@ -1080,6 +1222,8 @@ class ServiceCluster:
         u = hash_bits("cluster-retry", pending.req_id, pending.retries)[0] / 2**64
         backoff = self.resilience.retry_backoff_s * (2 ** (pending.retries - 1))
         pending.not_before = now + backoff * (0.5 + u)
+        if self.tracer is not None and pending.trace_ctx is not None:
+            pending.backoff_queued_at = now  # closed by the next dispatch
         with self._lock:
             self.retries_scheduled += 1
             self._retry_queue.append(pending)
@@ -1157,10 +1301,27 @@ class ServiceCluster:
     def _degrade_or_fail(self, pending: _PendingReq, error: Exception) -> None:
         """The request's ending when no worker answered in time."""
         if self.resilience.degraded_answers:
+            t_fallback = time.monotonic()
             response = self._fallback_response(pending)
             if response is not None:
                 with self._lock:
                     self.degraded_served += 1
+                if self.tracer is not None and pending.trace_ctx is not None:
+                    now = time.monotonic()
+                    self.tracer.span(
+                        pending.trace_ctx,
+                        "degraded-score",
+                        t_fallback,
+                        now,
+                        {"cached": response.cached},
+                    )
+                    self.tracer.span(
+                        pending.trace_ctx,
+                        ROOT_SPAN,
+                        pending.submitted_mono,
+                        now,
+                        {"worker": -1, "attempts": pending.attempts, "degraded": True},
+                    )
                 _settle(pending.future, response)
                 return
         _settle(pending.future, error=error)

@@ -38,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.trace import Span, TraceContext
 from repro.service.cache import InternedCandidates
 from repro.stencil.instance import StencilInstance
 from repro.tuning.vector import TuningVector
@@ -72,6 +73,9 @@ class RankRequest:
     top_k: "int | None" = None
     #: ship the full score array back (False: reply.scores is None)
     include_scores: bool = True
+    #: trace identity when this request is sampled (None: untraced — the
+    #: worker emits no spans and the reply carries none)
+    trace: "TraceContext | None" = None
 
 
 @dataclass(frozen=True)
@@ -86,6 +90,9 @@ class RankReply:
     #: queue-to-answer latency inside the worker's service, in seconds
     service_latency_s: float
     worker_id: int
+    #: worker-emitted stage spans for a traced request (None: untraced);
+    #: the coordinator merges these into its own recorder
+    spans: "tuple[Span, ...] | None" = None
 
 
 @dataclass(frozen=True)

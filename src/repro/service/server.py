@@ -30,6 +30,7 @@ it to a thread pool would cost more than it saves.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -37,6 +38,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.features.encoder import FeatureEncoder
+from repro.obs.trace import Span, TraceContext
 from repro.learn.ranksvm import RankSVM
 from repro.service.batching import MicroBatcher
 from repro.service.cache import (
@@ -70,6 +72,9 @@ class RankingResponse:
     cached: bool
     #: queue-to-answer latency in seconds
     latency_s: float
+    #: stage spans for a traced request (None when the request carried no
+    #: trace context — the no-op fast path allocates nothing)
+    spans: "tuple[Span, ...] | None" = None
 
     @property
     def best(self) -> TuningVector:
@@ -93,6 +98,13 @@ class _Pending:
     candidates_hash: "int | None" = field(default=None, repr=False)
     #: answer with only the k best candidates (None = full ranking)
     top_k: "int | None" = None
+    #: trace identity when sampled (None: untraced, no span work at all)
+    trace: "TraceContext | None" = None
+    #: fused-pass timestamps ``(slab_start, encoded, scored, slab_rows)``
+    #: stamped on every traced request that waited through a slab
+    t_slab: "tuple[float, float, float, int] | None" = field(
+        default=None, repr=False
+    )
 
 
 class TuningService:
@@ -151,6 +163,9 @@ class TuningService:
         #: exceptions swallowed from response hooks (serving never breaks)
         self.hook_errors = 0
         self.last_hook_error: "Exception | None" = None
+        #: span ``process`` label for traced requests (the cluster worker
+        #: overrides this with its worker identity)
+        self.trace_process = "service"
         self._batcher = MicroBatcher(
             self._process_batch,
             max_batch_size=max_batch_size,
@@ -187,6 +202,7 @@ class TuningService:
         candidates: "Sequence[TuningVector] | InternedCandidates | None" = None,
         model: "str | None" = None,
         top_k: "int | None" = None,
+        trace: "TraceContext | None" = None,
     ) -> RankingResponse:
         """Rank a candidate set for an instance (defaults: presets, default model).
 
@@ -203,6 +219,11 @@ class TuningService:
         request's candidate order.  Top-k and full-ranking requests share
         cache entries (the key ignores ``top_k``; the entry stores the full
         order).
+
+        ``trace`` attaches a :class:`~repro.obs.trace.TraceContext`: the
+        answer's ``response.spans`` then carries the request's stage spans
+        (queue wait, fused encode/score, finish — or the cache path).
+        Untraced requests (the default) do no span work whatsoever.
         """
         if not self.running:
             raise RuntimeError("TuningService is not running; call start() first")
@@ -224,6 +245,7 @@ class TuningService:
             enqueued_at=loop.time(),
             candidates_hash=candidates_hash,
             top_k=top_k,
+            trace=trace,
         )
         await self._batcher.submit(pending)
         return await pending.future
@@ -369,12 +391,17 @@ class TuningService:
                 self._fail(req, exc)
             return
         for slab in self._slabs(reps):
+            # time.monotonic() is the asyncio loop clock, so slab stamps
+            # compare directly against _Pending.enqueued_at
+            t_start = time.monotonic()
             try:
                 X = self.encoder.encode_many(
                     [(req.instance, req.candidates) for req in slab],
                     out=self._scratch(sum(len(req.candidates) for req in slab)),
                 )
+                t_encoded = time.monotonic()
                 scores = model.decision_function(X)
+                t_scored = time.monotonic()
             except Exception:
                 # one unencodable request (e.g. kernel radius beyond the
                 # encoder's max_radius) must not poison the slab: fall back
@@ -385,7 +412,11 @@ class TuningService:
             self.telemetry.record_scored(len(X))
             splits = np.cumsum([len(req.candidates) for req in slab])[:-1]
             for rep, s in zip(slab, np.split(scores, splits)):
-                self._finish_group(version, unique[rep.cache_key], s)
+                group = unique[rep.cache_key]
+                for req in group:
+                    if req.trace is not None:
+                        req.t_slab = (t_start, t_encoded, t_scored, len(X))
+                self._finish_group(version, group, s)
 
     def _scratch(self, rows: int) -> np.ndarray:
         """The reusable encode buffer, grown (never shrunk) to ``rows``.
@@ -427,14 +458,20 @@ class TuningService:
     ) -> None:
         """Error-path scoring of one unique query (fused pass failed)."""
         rep = group[0]
+        t_start = time.monotonic()
         try:
             X = self.encoder.encode_many([(rep.instance, rep.candidates)])
+            t_encoded = time.monotonic()
             s = model.decision_function(X)
+            t_scored = time.monotonic()
         except Exception as exc:
             for req in group:
                 self._fail(req, exc)
             return
         self.telemetry.record_scored(len(X))
+        for req in group:
+            if req.trace is not None:
+                req.t_slab = (t_start, t_encoded, t_scored, len(X))
         self._finish_group(version, group, s)
 
     def _finish_group(
@@ -487,6 +524,48 @@ class TuningService:
     def _latency(self, req: _Pending) -> float:
         return asyncio.get_running_loop().time() - req.enqueued_at
 
+    def _build_spans(
+        self, req: _Pending, cached: bool, now: float
+    ) -> tuple[Span, ...]:
+        """The traced request's stage spans (partitioning its wall time).
+
+        A request that waited through a fused slab gets queue → encode →
+        score → finish (slab durations are *experienced* latency; attrs
+        carry the request's own rows vs the slab's for CPU-share math).  A
+        cache-path answer is all queue wait plus a zero-width ``cache``
+        marker.
+        """
+        ctx = req.trace
+
+        def span(name: str, start: float, end: float, attrs: "dict | None" = None) -> Span:
+            return Span(
+                trace_id=ctx.trace_id,
+                name=name,
+                start_s=start,
+                duration_s=max(0.0, end - start),
+                process=self.trace_process,
+                req_id=ctx.req_id,
+                attrs=attrs,
+            )
+
+        if req.t_slab is not None:
+            t_start, t_encoded, t_scored, slab_rows = req.t_slab
+            return (
+                span("service-queue", req.enqueued_at, t_start),
+                span(
+                    "encode",
+                    t_start,
+                    t_encoded,
+                    {"rows": len(req.candidates), "slab_rows": slab_rows},
+                ),
+                span("score", t_encoded, t_scored, {"slab_rows": slab_rows}),
+                span("service-finish", t_scored, now),
+            )
+        return (
+            span("service-queue", req.enqueued_at, now),
+            span("cache", now, now, {"hit": bool(cached)}),
+        )
+
     def _answer(self, req: _Pending, entry: CachedRanking, cached: bool) -> None:
         if req.future.done():  # cancelled by the caller
             return
@@ -509,6 +588,11 @@ class TuningService:
             model_version=entry.model_version,
             cached=cached,
             latency_s=latency,
+            spans=(
+                self._build_spans(req, cached, req.enqueued_at + latency)
+                if req.trace is not None
+                else None
+            ),
         )
         req.future.set_result(response)
         if self._response_hooks:

@@ -11,7 +11,12 @@ A multi-process cluster has one telemetry object **per worker**;
 :func:`merge_stats` folds those snapshots into one cluster view — summed
 counters, a hit rate recomputed over the summed lookups (never an average
 of per-worker rates, which would weight an idle worker like a busy one),
-and cluster-wide percentiles over the concatenated latency windows.
+and cluster-wide latency percentiles.  Each telemetry object now also
+feeds a fixed-bucket :class:`~repro.obs.metrics.Histogram` that rides the
+snapshot (``latency_hist``): when every snapshot carries one, merged
+percentiles come from the **exactly merged** histogram (error bounded by
+one bucket width, never by window eviction); otherwise the pooled
+sliding-window computation is preserved unchanged.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ from collections import deque
 from typing import Sequence
 
 import numpy as np
+
+from repro.obs.metrics import Histogram, merge_histograms, percentile_from_hist
 
 __all__ = ["ServiceTelemetry", "merge_stats"]
 
@@ -37,7 +44,12 @@ class ServiceTelemetry:
         self.batched_requests_total = 0
         self.max_batch_size = 0
         self.scored_candidates_total = 0
+        self.degraded_total = 0
+        self.shed_total = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        # unbounded companion to the window: buckets never evict, so the
+        # cluster merge stays exact over the full service lifetime
+        self._latency_hist = Histogram()
 
     # -- recording -------------------------------------------------------------
 
@@ -62,6 +74,15 @@ class ServiceTelemetry:
         else:
             self.completed_total += 1
         self._latencies.append(float(latency_s))
+        self._latency_hist.observe(latency_s)
+
+    def record_degraded(self) -> None:
+        """A request was answered by the degraded path (fallback/replay)."""
+        self.degraded_total += 1
+
+    def record_shed(self) -> None:
+        """A request was refused at admission (queue over capacity)."""
+        self.shed_total += 1
 
     # -- reporting -------------------------------------------------------------
 
@@ -74,9 +95,14 @@ class ServiceTelemetry:
 
     def latency_percentile(self, q: float) -> float:
         """Latency percentile over the sliding window, in seconds."""
+        return self.latency_percentiles((q,))[0]
+
+    def latency_percentiles(self, qs: Sequence[float]) -> tuple[float, ...]:
+        """Several window percentiles from **one** materialization + pass."""
         if not self._latencies:
-            return 0.0
-        return float(np.percentile(np.fromiter(self._latencies, dtype=float), q))
+            return tuple(0.0 for _ in qs)
+        window = np.fromiter(self._latencies, dtype=float)
+        return tuple(float(v) for v in np.percentile(window, list(qs)))
 
     def window(self) -> tuple[float, ...]:
         """The raw sliding latency window, oldest first.
@@ -89,6 +115,7 @@ class ServiceTelemetry:
 
     def snapshot(self) -> dict:
         """One dict with every headline number (for logs and benchmarks)."""
+        p50, p99 = self.latency_percentiles((50, 99))
         return {
             "requests_total": self.requests_total,
             "completed_total": self.completed_total,
@@ -97,8 +124,11 @@ class ServiceTelemetry:
             "mean_batch_size": self.mean_batch_size,
             "max_batch_size": self.max_batch_size,
             "scored_candidates_total": self.scored_candidates_total,
-            "latency_p50_ms": self.latency_percentile(50) * 1e3,
-            "latency_p99_ms": self.latency_percentile(99) * 1e3,
+            "degraded_total": self.degraded_total,
+            "shed_total": self.shed_total,
+            "latency_p50_ms": p50 * 1e3,
+            "latency_p99_ms": p99 * 1e3,
+            "latency_hist": self._latency_hist.to_dict(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -116,6 +146,10 @@ _SUMMED = (
     "failed_total",
     "batches_total",
     "scored_candidates_total",
+    "degraded_total",
+    "shed_total",
+    "registry_corruption_detected_total",
+    "registry_corruption_fallbacks_total",
     "cache_entries",
     "cache_hits",
     "cache_misses",
@@ -133,8 +167,13 @@ def merge_stats(
     * ``mean_batch_size`` is recomputed as total batched requests over
       total batches (recovered from each worker's own mean × count);
     * ``cache_hit_rate`` is recomputed over the summed lookups;
-    * ``latency_p50_ms``/``latency_p99_ms`` come from the **pooled**
-      latency windows when provided (cluster-wide percentiles), else 0.
+    * ``latency_p50_ms``/``latency_p99_ms``: when **every** snapshot
+      carries a compatible ``latency_hist``, the histograms are merged
+      exactly and percentiles read off the merged buckets (the merged
+      dict also keeps ``latency_hist`` plus, when windows were supplied,
+      the pooled values as ``latency_pooled_p50_ms``/``_p99_ms`` for
+      cross-checking); otherwise they come from the **pooled** latency
+      windows when provided (cluster-wide percentiles), else 0.
 
     >>> merged = merge_stats([
     ...     {"requests_total": 3, "batches_total": 1, "mean_batch_size": 3.0,
@@ -168,6 +207,26 @@ def merge_stats(
         if latency_windows is not None
         else np.empty(0)
     )
-    for name, q in (("latency_p50_ms", 50), ("latency_p99_ms", 99)):
-        merged[name] = float(np.percentile(pooled, q)) * 1e3 if pooled.size else 0.0
+    hists = [s.get("latency_hist") for s in snapshots]
+    merged_hist: "dict | None" = None
+    if hists and all(isinstance(h, dict) for h in hists):
+        try:
+            merged_hist = merge_histograms(hists)
+        except (KeyError, TypeError, ValueError):
+            merged_hist = None  # malformed/mismatched: fall back to pooling
+    if merged_hist is not None and merged_hist["count"] > 0:
+        merged["latency_hist"] = merged_hist
+        merged["latency_p50_ms"] = percentile_from_hist(merged_hist, 50) * 1e3
+        merged["latency_p99_ms"] = percentile_from_hist(merged_hist, 99) * 1e3
+        if pooled.size:
+            p50, p99 = np.percentile(pooled, [50, 99])
+            merged["latency_pooled_p50_ms"] = float(p50) * 1e3
+            merged["latency_pooled_p99_ms"] = float(p99) * 1e3
+    else:
+        if merged_hist is not None:
+            merged["latency_hist"] = merged_hist
+        for name, q in (("latency_p50_ms", 50), ("latency_p99_ms", 99)):
+            merged[name] = (
+                float(np.percentile(pooled, q)) * 1e3 if pooled.size else 0.0
+            )
     return merged

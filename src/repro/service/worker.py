@@ -124,6 +124,10 @@ async def _serve(
         max_cached_models=config.max_cached_models,
         max_rows_per_pass=config.max_rows_per_pass,
     )
+    # traced requests' spans carry this process's identity; the spans ride
+    # RankReply.spans back to the coordinator's recorder (same-host
+    # monotonic clocks, so they compose with coordinator timestamps)
+    service.trace_process = f"worker-{worker_id}"
     if config.feedback_every > 0:
         service.add_response_hook(_feedback_streamer(service, conn, worker_id, config))
     loop = asyncio.get_running_loop()
@@ -248,6 +252,10 @@ async def _heartbeat_loop(conn: Connection, worker_id: int, interval_s: float) -
 
 def _stats_with_chaos(service: TuningService, chaos: "ChaosState | None") -> dict:
     stats = service.stats()
+    # registry corruption containment events, surfaced per worker so the
+    # coordinator's merged stats can sum them cluster-wide
+    stats["registry_corruption_detected_total"] = service.registry.corruption_detected
+    stats["registry_corruption_fallbacks_total"] = service.registry.corruption_fallbacks
     if chaos is not None:
         stats["chaos"] = chaos.snapshot()
     return stats
@@ -275,6 +283,7 @@ async def _handle(
             candidates=req.candidates,
             model=req.model_ref,
             top_k=req.top_k,
+            trace=req.trace,
         )
         reply: "RankReply | ErrorReply" = RankReply(
             req_id=req.req_id,
@@ -284,6 +293,7 @@ async def _handle(
             cached=response.cached,
             service_latency_s=response.latency_s,
             worker_id=worker_id,
+            spans=response.spans,
         )
     except Exception as exc:
         reply = ErrorReply(req_id=req.req_id, error=picklable_error(exc), worker_id=worker_id)

@@ -1,0 +1,125 @@
+"""End-to-end distributed tracing over a live multi-process cluster.
+
+What these suites pin:
+
+* traced requests produce a complete trace — a coordinator root span plus
+  stage spans from both sides of the pipe, grouped by a trace id that is a
+  pure function of the request id;
+* the stage partition accounts for (nearly) all of each request's wall
+  time — the attribution the benchmark's ``--trace`` mode reports is
+  measured, not estimated;
+* sampling is deterministic and honored over the wire: an unsampled
+  request causes zero span traffic anywhere;
+* tracing never changes an answer (bit-identical to the untraced oracle);
+* the JSONL sink round-trips the merged span set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    ROOT_SPAN,
+    TraceConfig,
+    read_jsonl,
+    sample_request,
+    stage_breakdown,
+    trace_id_for,
+)
+from tests.cluster.harness import (
+    assert_response_matches,
+    expected_answer,
+    workload_requests,
+)
+
+pytestmark = pytest.mark.usefixtures("cluster_registry")
+
+
+def test_traced_cluster_produces_complete_spans(make_cluster, cluster_tuner):
+    cluster = make_cluster(n_workers=2, trace=TraceConfig(sample_rate=1.0))
+    requests = workload_requests(24, seed=3)
+    futures = [cluster.submit(inst, cands) for inst, cands in requests]
+    for (inst, cands), fut in zip(requests, futures):
+        ranked, scores = expected_answer(cluster_tuner, inst, cands)
+        assert_response_matches(fut.result(timeout=30), ranked, scores)
+    spans = cluster.trace_spans()
+    roots = [s for s in spans if s.name == ROOT_SPAN]
+    assert len(roots) == len(requests)
+    by_trace: dict[str, set[str]] = {}
+    processes: dict[str, set[str]] = {}
+    for s in spans:
+        if s.trace_id:
+            by_trace.setdefault(s.trace_id, set()).add(s.name)
+            processes.setdefault(s.trace_id, set()).add(s.process)
+    assert len(by_trace) == len(requests)
+    for trace_id, names in by_trace.items():
+        # every trace has the coordinator stages and a worker-side story
+        assert {"dispatch", "worker-ingress", "reply-egress", ROOT_SPAN} <= names
+        assert "service-queue" in names
+        assert ("encode" in names and "score" in names) or "cache" in names
+        # spans were emitted from both sides of the pipe
+        assert "coordinator" in processes[trace_id]
+        assert any(p.startswith("worker-") for p in processes[trace_id])
+
+
+def test_attribution_covers_wall_clock(make_cluster):
+    cluster = make_cluster(n_workers=2, trace=TraceConfig(sample_rate=1.0))
+    requests = workload_requests(32, seed=5)
+    futures = [cluster.submit(inst, cands) for inst, cands in requests]
+    for fut in futures:
+        fut.result(timeout=30)
+    report = stage_breakdown(cluster.trace_spans())
+    assert report["n_traces"] == len(requests)
+    # the acceptance bound: stages sum to >= 90% of per-request wall time
+    assert report["coverage_mean"] >= 0.90, report
+    fractions = {name: s["fraction"] for name, s in report["stages"].items()}
+    assert abs(sum(fractions.values()) - report["coverage_mean"]) < 0.25
+
+
+def test_trace_ids_deterministic_and_sampling_honored(make_cluster):
+    rate = 0.5
+    cluster = make_cluster(n_workers=2, trace=TraceConfig(sample_rate=rate))
+    requests = workload_requests(32, seed=7)
+    futures = [cluster.submit(inst, cands) for inst, cands in requests]
+    for fut in futures:
+        fut.result(timeout=30)
+    # req_ids are issued sequentially from 1 in submission order
+    expected_traced = {
+        trace_id_for(i + 1)
+        for i in range(len(requests))
+        if sample_request(i + 1, rate)
+    }
+    assert 0 < len(expected_traced) < len(requests)
+    seen = {s.trace_id for s in cluster.trace_spans() if s.trace_id}
+    assert seen == expected_traced
+
+
+def test_untraced_cluster_records_nothing(make_cluster):
+    cluster = make_cluster(n_workers=2)
+    for inst, cands in workload_requests(8, seed=9):
+        cluster.submit(inst, cands).result(timeout=30)
+    assert cluster.tracer is None
+    assert cluster.trace_spans() == []
+
+
+def test_jsonl_sink_round_trips(make_cluster, tmp_path):
+    cluster = make_cluster(n_workers=2, trace=TraceConfig(sample_rate=1.0))
+    for inst, cands in workload_requests(8, seed=11):
+        cluster.submit(inst, cands).result(timeout=30)
+    path = tmp_path / "trace.jsonl"
+    written = cluster.dump_trace(path)
+    spans = cluster.trace_spans()
+    assert written == len(spans) > 0
+    assert read_jsonl(path) == spans
+
+
+def test_ring_buffer_bounds_span_memory(make_cluster):
+    cluster = make_cluster(
+        n_workers=2, trace=TraceConfig(sample_rate=1.0, ring_size=16)
+    )
+    for inst, cands in workload_requests(16, seed=13):
+        cluster.submit(inst, cands).result(timeout=30)
+    recorder = cluster.tracer.recorder
+    assert len(recorder) <= 16
+    assert recorder.recorded > 16
+    assert recorder.dropped == recorder.recorded - len(recorder)

@@ -1,0 +1,239 @@
+"""Unit tests for the mergeable metrics layer (counters/gauges/histograms).
+
+The load-bearing property is *exact merge*: percentiles read from a merged
+histogram must match percentiles read from one histogram that saw every
+observation — bucketing is a pure function of the value, so summing
+per-bucket counts loses nothing.  The rest pins the error bound (one
+bucket width vs numpy's exact percentile), the wire round-trip, the
+registry's named-instrument semantics, and the Prometheus exposition
+format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exposition,
+    merge_histograms,
+    percentile_from_hist,
+)
+
+
+class TestCounterGauge:
+    def test_counter_sums_and_rejects_negative(self):
+        c = Counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError, match="only increase"):
+            c.inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        g = Gauge("drift_tau")
+        g.set(0.62)
+        g.set(0.58)
+        assert g.value == pytest.approx(0.58)
+
+
+class TestHistogramBuckets:
+    def test_bucket_index_deterministic_and_monotone(self):
+        h = Histogram()
+        values = np.geomspace(1e-5, 100.0, 500)
+        indices = [h.bucket_index(float(v)) for v in values]
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+        assert indices[-1] <= h.n_buckets
+
+    def test_boundary_value_lands_in_its_own_bucket(self):
+        h = Histogram()
+        for i in range(h.n_buckets):
+            bound = h.lowest * h.growth**i
+            assert h.bucket_index(bound) <= i, f"bound {i} escaped upward"
+            lower, upper = h.bucket_bounds(h.bucket_index(bound))
+            assert lower < bound <= upper or (i == 0 and bound <= upper)
+
+    def test_overflow_bucket_catches_huge_values(self):
+        h = Histogram(lowest=1e-3, growth=2.0, buckets=4)
+        h.observe(1e9)
+        assert h.counts[h.n_buckets] == 1
+        lower, upper = h.bucket_bounds(h.n_buckets)
+        assert upper == pytest.approx(lower * h.growth)
+
+    def test_negative_and_zero_clamp_into_bucket_zero(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.counts[0] == 2 and h.count == 2
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(lowest=0.0)
+        with pytest.raises(ValueError):
+            Histogram(growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram(buckets=0)
+
+
+class TestHistogramMerge:
+    def test_merge_is_exact_vs_single_observer(self):
+        """The headline property: merged == one histogram that saw it all."""
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-5.0, sigma=1.5, size=900)
+        parts = [Histogram() for _ in range(3)]
+        whole = Histogram()
+        for i, v in enumerate(samples):
+            parts[i % 3].observe(float(v))
+            whole.observe(float(v))
+        merged = merge_histograms([p.to_dict() for p in parts])
+        assert merged["counts"] == whole.to_dict()["counts"]
+        assert merged["count"] == whole.count == len(samples)
+        assert merged["sum"] == pytest.approx(whole.sum)
+        for q in (1, 50, 90, 99):
+            assert percentile_from_hist(merged, q) == whole.percentile(q)
+
+    def test_merge_rejects_mismatched_configs_and_empty(self):
+        a = Histogram().to_dict()
+        b = Histogram(growth=2.0).to_dict()
+        with pytest.raises(ValueError, match="configs differ"):
+            merge_histograms([a, b])
+        with pytest.raises(ValueError, match="nothing"):
+            merge_histograms([])
+
+    def test_merge_is_order_free(self):
+        hs = []
+        for seed in range(4):
+            h = Histogram()
+            rng = np.random.default_rng(seed)
+            for v in rng.exponential(0.01, size=50):
+                h.observe(float(v))
+            hs.append(h.to_dict())
+        forward = merge_histograms(hs)
+        backward = merge_histograms(hs[::-1])
+        assert forward == backward
+
+    def test_round_trip_through_dict(self):
+        h = Histogram()
+        for v in (0.0002, 0.01, 3.0):
+            h.observe(v)
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone.to_dict() == h.to_dict()
+        clone.observe(0.01)
+        assert clone.count == h.count + 1
+
+    def test_in_place_merge_matches_function(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(0.5)
+        expected = merge_histograms([a.to_dict(), b.to_dict()])
+        a.merge(b)
+        assert a.to_dict() == expected
+
+
+class TestPercentileAccuracy:
+    def test_within_one_bucket_width_of_numpy(self):
+        rng = np.random.default_rng(11)
+        samples = rng.lognormal(mean=-4.0, sigma=1.0, size=2000)
+        h = Histogram()
+        for v in samples:
+            h.observe(float(v))
+        for q in (10, 50, 90, 99):
+            exact = float(np.percentile(samples, q))
+            est = h.percentile(q)
+            lower, upper = h.bucket_bounds(h.bucket_index(exact))
+            assert abs(est - exact) <= (upper - lower), f"p{q} off by a bucket"
+
+    def test_empty_and_degenerate(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        h.observe(0.005)
+        lower, upper = h.bucket_bounds(h.bucket_index(0.005))
+        for q in (0, 50, 100):
+            assert lower <= h.percentile(q) <= upper
+
+    def test_q_out_of_range_rejected(self):
+        h = Histogram()
+        h.observe(0.01)
+        with pytest.raises(ValueError, match="percentile"):
+            h.percentile(101)
+
+    def test_percentile_monotone_in_q(self):
+        h = Histogram()
+        rng = np.random.default_rng(3)
+        for v in rng.exponential(0.02, size=300):
+            h.observe(float(v))
+        qs = list(range(0, 101, 5))
+        vals = [h.percentile(q) for q in qs]
+        assert vals == sorted(vals)
+
+
+class TestRegistryAndExposition:
+    def test_named_instruments_are_singletons(self):
+        reg = MetricsRegistry()
+        c = reg.counter("retrains_total")
+        c.inc(2)
+        assert reg.counter("retrains_total") is c
+        assert reg.snapshot()["retrains_total"] == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_snapshot_serializes_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("latency_s").observe(0.01)
+        snap = reg.snapshot()
+        assert snap["latency_s"]["count"] == 1
+
+    def test_exposition_counter_gauge_histogram(self):
+        reg = MetricsRegistry(prefix="svc")
+        reg.counter("requests_total", help="served").inc(3)
+        reg.gauge("queue_depth").set(2.5)
+        reg.histogram("latency_s", buckets=4, lowest=1e-3, growth=2.0).observe(
+            0.0015
+        )
+        text = reg.exposition_text()
+        assert "# TYPE svc_requests_total counter" in text
+        assert "svc_requests_total 3" in text
+        assert "# HELP svc_requests_total served" in text
+        assert "# TYPE svc_queue_depth gauge" in text
+        assert "svc_queue_depth 2.5" in text
+        assert "# TYPE svc_latency_s histogram" in text
+        assert 'svc_latency_s_bucket{le="+Inf"} 1' in text
+        assert "svc_latency_s_count 1" in text
+
+    def test_exposition_bucket_counts_are_cumulative(self):
+        h = Histogram(lowest=1e-3, growth=2.0, buckets=3)
+        for v in (0.0005, 0.0015, 0.003, 99.0):
+            h.observe(v)
+        text = exposition({"lat": h.to_dict()}, prefix="")
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "_bucket" in line
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_exposition_skips_non_numeric_and_accepts_merged_stats(self):
+        text = exposition(
+            {
+                "requests_total": 4,
+                "cache_hit_rate": 0.5,
+                "faults": "worker 0 killed",
+                "degraded": True,
+                "worker_events": [{"kind": "exit"}],
+            }
+        )
+        assert "repro_requests_total 4" in text
+        assert "repro_cache_hit_rate 0.5" in text
+        assert "faults" not in text
+        assert "degraded" not in text
+        assert "worker_events" not in text

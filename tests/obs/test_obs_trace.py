@@ -1,0 +1,165 @@
+"""Unit tests for the tracing primitives (no cluster involved).
+
+The live end-to-end behavior is pinned in ``tests/cluster/test_tracing.py``;
+here we pin the pure parts: deterministic ids and sampling, span math,
+ring-buffer bounds, the JSONL sink, and the attribution arithmetic of
+``stage_breakdown`` on hand-built span sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    ROOT_SPAN,
+    Span,
+    SpanRecorder,
+    TraceConfig,
+    TraceContext,
+    Tracer,
+    read_jsonl,
+    sample_request,
+    stage_breakdown,
+    trace_id_for,
+    write_jsonl,
+)
+
+
+class TestSamplingDeterminism:
+    def test_trace_id_is_pure_16_hex(self):
+        assert trace_id_for(42) == trace_id_for(42)
+        assert trace_id_for(42) != trace_id_for(43)
+        assert len(trace_id_for(1)) == 16
+        int(trace_id_for(1), 16)  # valid hex
+
+    def test_rate_extremes_short_circuit(self):
+        assert all(sample_request(i, 1.0) for i in range(100))
+        assert not any(sample_request(i, 0.0) for i in range(100))
+
+    def test_rate_half_traces_roughly_half(self):
+        n = 2000
+        traced = sum(sample_request(i, 0.5) for i in range(n))
+        assert 0.4 * n < traced < 0.6 * n
+
+    def test_sampling_monotone_in_rate(self):
+        """A request traced at rate r stays traced at every higher rate."""
+        for req_id in range(200):
+            decisions = [
+                sample_request(req_id, r) for r in (0.1, 0.3, 0.5, 0.9, 1.0)
+            ]
+            assert decisions == sorted(decisions)
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            TraceConfig(sample_rate=1.5)
+        with pytest.raises(ValueError, match="ring_size"):
+            TraceConfig(ring_size=0)
+
+
+class TestTracer:
+    def test_context_iff_sampled(self):
+        tracer = Tracer(TraceConfig(sample_rate=0.5))
+        for req_id in range(1, 50):
+            ctx = tracer.context_for(req_id)
+            if sample_request(req_id, 0.5):
+                assert ctx == TraceContext(trace_id_for(req_id), req_id)
+            else:
+                assert ctx is None
+
+    def test_span_clamps_negative_cross_process_skew(self):
+        tracer = Tracer(process="coordinator")
+        ctx = tracer.context_for(1)
+        span = tracer.span(ctx, "worker-ingress", 10.0, 9.5)
+        assert span.duration_s == 0.0
+        assert span.end_s == span.start_s == 10.0
+        assert tracer.spans() == [span]
+
+    def test_record_event_is_zero_width_and_unkeyed(self):
+        tracer = Tracer(process="coordinator")
+        tracer.record_event("shed", attrs={"depth": 9})
+        (event,) = tracer.spans()
+        assert event.trace_id == ""
+        assert event.name == "event:shed"
+        assert event.duration_s == 0.0
+        assert event.attrs == {"depth": 9}
+
+    def test_ring_keeps_newest_and_counts_drops(self):
+        rec = SpanRecorder(ring_size=3)
+        spans = [
+            Span("t", f"s{i}", float(i), 0.1, "p", req_id=i) for i in range(5)
+        ]
+        rec.record_many(spans)
+        assert [s.name for s in rec.spans()] == ["s2", "s3", "s4"]
+        assert rec.recorded == 5 and rec.dropped == 2
+        assert rec.drain() == spans[2:]
+        assert len(rec) == 0
+
+
+class TestJsonlSink:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        spans = [
+            Span("aa", "encode", 1.0, 0.25, "worker-0", 7, {"rows": 128}),
+            Span("", "event:shed", 2.0, 0.0, "coordinator"),
+        ]
+        path = tmp_path / "spans.jsonl"
+        assert write_jsonl(path, spans) == 2
+        assert read_jsonl(path) == spans
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        span = Span("aa", "score", 0.0, 0.1, "service")
+        write_jsonl(path, [span])
+        path.write_text(path.read_text() + "\n\n")
+        assert read_jsonl(path) == [span]
+
+
+def _trace(trace_id, wall, stages, t0=100.0):
+    """A hand-built trace: a root span + sequential named stage spans."""
+    spans = [Span(trace_id, ROOT_SPAN, t0, wall, "coordinator", req_id=1)]
+    t = t0
+    for name, dur in stages:
+        spans.append(Span(trace_id, name, t, dur, "worker-0", req_id=1))
+        t += dur
+    return spans
+
+
+class TestStageBreakdown:
+    def test_full_coverage_partition(self):
+        spans = _trace("a", 1.0, [("dispatch", 0.2), ("encode", 0.8)])
+        report = stage_breakdown(spans)
+        assert report["n_traces"] == 1
+        assert report["wall_total_s"] == pytest.approx(1.0)
+        assert report["coverage_mean"] == pytest.approx(1.0)
+        assert report["stages"]["dispatch"]["fraction"] == pytest.approx(0.2)
+        assert report["stages"]["encode"]["mean_ms"] == pytest.approx(800.0)
+
+    def test_missing_instrumentation_shows_as_low_coverage(self):
+        spans = _trace("a", 1.0, [("dispatch", 0.5)])  # half unaccounted
+        report = stage_breakdown(spans)
+        assert report["coverage_mean"] == pytest.approx(0.5)
+
+    def test_aggregates_across_traces_and_ignores_events(self):
+        spans = (
+            _trace("a", 1.0, [("encode", 1.0)])
+            + _trace("b", 3.0, [("encode", 3.0)], t0=200.0)
+            + [Span("", "event:shed", 0.0, 0.0, "coordinator")]
+        )
+        report = stage_breakdown(spans)
+        assert report["n_traces"] == 2
+        assert report["coverage_min"] == pytest.approx(1.0)
+        enc = report["stages"]["encode"]
+        assert enc["count"] == 2
+        assert enc["total_s"] == pytest.approx(4.0)
+        assert enc["mean_ms"] == pytest.approx(2000.0)
+        assert enc["fraction"] == pytest.approx(1.0)
+
+    def test_rootless_trace_skipped_and_empty_input(self):
+        orphan = [Span("x", "encode", 0.0, 1.0, "worker-0")]
+        report = stage_breakdown(orphan)
+        assert report["n_traces"] == 0
+        assert report["stages"] == {}
+        assert stage_breakdown([])["coverage_mean"] == 0.0
+
+    def test_zero_width_root_counts_as_covered(self):
+        spans = [Span("a", ROOT_SPAN, 0.0, 0.0, "coordinator", req_id=1)]
+        assert stage_breakdown(spans)["coverage_mean"] == pytest.approx(1.0)

@@ -23,13 +23,16 @@ import numpy as np
 import pytest
 
 from repro.machine.executor import SimulatedMachine
+from repro.obs.ledger import append_row, ledger_row
 from repro.stencil.execution import StencilExecution
 from repro.stencil.suite import benchmark_by_id
 from repro.tuning.presets import preset_candidates
 from repro.tuning.space import patus_space
 
 BENCH_SIZES = (100, 1000, 8640)
-OUT_PATH = Path(__file__).parent.parent / "BENCH_batch.json"
+ARTIFACTS = Path(__file__).parent / "artifacts"
+OUT_PATH = ARTIFACTS / "BENCH_batch.json"
+HISTORY_PATH = Path(__file__).parent.parent / "BENCH_history.jsonl"
 
 
 def _instance():
@@ -147,8 +150,22 @@ def main() -> None:
         "instance": instance.label(),
         "results": rows,
     }
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
+    headline = rows[-1]  # the 8640-candidate preset scale
+    append_row(
+        HISTORY_PATH,
+        ledger_row(
+            "batch",
+            {
+                "speedup": float(headline["speedup"]),
+                "per_eval_batch_us": float(headline["per_eval_batch_us"]),
+            },
+            extra={"n": headline["n"]},
+        ),
+    )
+    print(f"appended ledger row to {HISTORY_PATH}")
 
 
 if __name__ == "__main__":

@@ -70,7 +70,10 @@ import pytest
 from repro.autotune.autotuner import OrdinalAutotuner
 from repro.autotune.training import TrainingSetBuilder
 from repro.machine.executor import SimulatedMachine
+from repro.obs.audit import AuditJournal
+from repro.obs.ledger import append_row, check_regression, format_report, ledger_row
 from repro.obs.metrics import Histogram
+from repro.obs.slo import SLOEngine, default_objectives
 from repro.obs.trace import TraceConfig, stage_breakdown, write_jsonl
 from repro.service import ModelRegistry, ServiceCluster, TuningService
 from repro.stencil.instance import StencilInstance
@@ -87,8 +90,13 @@ N_DISTINCT_STRESS = 64
 N_WORKERS = 4
 TOP_K = 8
 TRAINING_POINTS = 640
-OUT_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
-TRACE_PATH = Path(__file__).parent.parent / "TRACE_cluster.jsonl"
+#: per-run artifacts (gitignored churn); curated history stays at the root
+ARTIFACTS = Path(__file__).parent / "artifacts"
+OUT_PATH = ARTIFACTS / "BENCH_cluster.json"
+TRACE_PATH = ARTIFACTS / "TRACE_cluster.jsonl"
+AUDIT_PATH = ARTIFACTS / "AUDIT_cluster.jsonl"
+#: the tracked longitudinal ledger every bench main() appends to
+HISTORY_PATH = Path(__file__).parent.parent / "BENCH_history.jsonl"
 
 
 def _train_tuner(points: int = TRAINING_POINTS) -> OrdinalAutotuner:
@@ -189,11 +197,19 @@ def _warm_instances(cluster, per_worker: int = 3) -> list[StencilInstance]:
 
 
 def _serve_cluster(
-    registry_root, instances, n_workers: int, trace: "TraceConfig | None" = None
+    registry_root,
+    instances,
+    n_workers: int,
+    trace: "TraceConfig | None" = None,
+    audit: "AuditJournal | None" = None,
 ) -> tuple[list, float, dict, list]:
     """The cluster side: concurrent submits, worker-side presets, thrifty wire."""
     with ServiceCluster(
-        registry_root, n_workers=n_workers, default_model="prod", trace=trace
+        registry_root,
+        n_workers=n_workers,
+        default_model="prod",
+        trace=trace,
+        audit=audit,
     ) as cluster:
         # warm every worker (imports, model load, first fused preset
         # encodes) off the clock — the timed region measures serving, not
@@ -297,6 +313,7 @@ def bench_chaos(
         for q in set(instances)
     }
     degraded_slice = instances[: max(8, n_requests // 16)]
+    journal = AuditJournal()
     with TemporaryDirectory() as tmp:
         registry = ModelRegistry(tmp)
         registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
@@ -306,6 +323,7 @@ def bench_chaos(
             n_workers=n_workers,
             default_model="prod",
             restart_workers=True,
+            audit=journal,
             chaos={
                 1: ChaosConfig(slow_loris_s=1.5, burst_n=1),
                 2: ChaosConfig(corrupt_reply_every=2, burst_n=6),
@@ -369,6 +387,20 @@ def bench_chaos(
     assert cluster.corrupted_frames >= 1, "the garbage frames must be observed"
     assert cluster.quarantines >= 1, "the loris must be quarantined"
     assert cluster.readmissions >= 1, "the recovered loris must be readmitted"
+    # the audit journal proves the fleet story end to end: a valid
+    # checksum chain, and every SIGKILL / quarantine / readmit recorded
+    # exactly once (event counts match the coordinator's own counters)
+    n_audit = journal.verify()
+    replay = AuditJournal.replay(journal.entries())
+    counts = replay["counts"]
+    assert counts.get("worker-exit", 0) == cluster.crashes == 1, counts
+    assert counts.get("quarantine", 0) == cluster.quarantines, counts
+    assert counts.get("readmit", 0) == cluster.readmissions, counts
+    assert counts.get("answer", 0) >= len(all_answers), counts
+    # every completed request is reconstructible: which version, and why
+    versions = {r.model_version for r in all_answers}
+    for entry in replay["answers"].values():
+        assert entry["model_version"] in versions, entry
     resilience = stats["resilience"]
     return {
         "kind": "chaos",
@@ -395,8 +427,23 @@ def bench_chaos(
         ),
         "acceptance": (
             "100% completion (bit-identical or degraded=True), 0 hangs, "
-            "0 coordinator crashes, quarantined worker readmitted"
+            "0 coordinator crashes, quarantined worker readmitted; audit "
+            "chain verifies with kill/quarantine/readmit exactly once"
         ),
+        "audit_entries": n_audit,
+        "audit_chain_ok": True,
+        "audit_counts": {
+            k: counts.get(k, 0)
+            for k in ("worker-exit", "quarantine", "readmit", "answer",
+                      "degrade", "breaker-transition", "spawn")
+        },
+        # private (stripped before JSON): the replay fold and the journal,
+        # for the two-run bit-identity assertion and the artifact dump
+        "_version_map": {
+            req_id: entry["model_version"]
+            for req_id, entry in replay["answers"].items()
+        },
+        "_journal": journal,
     }
 
 
@@ -454,19 +501,25 @@ def bench_trace(
     sampled_answers: list = []
     sampled_stats: dict = {}
     sampled_spans: list = []
+    sampled_audit: "AuditJournal | None" = None
     with TemporaryDirectory() as tmp:
         registry = ModelRegistry(tmp)
         registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
         for _ in range(reps):
             for name, cfg in modes.items():
+                # the PR-7 overhead bounds must keep holding with the
+                # audit journal enabled: both instrumented modes pay the
+                # per-answer audit append; only the baseline stays bare
+                audit = AuditJournal() if cfg is not None else None
                 answers, elapsed, stats, spans = _serve_cluster(
-                    tmp, instances, n_workers, trace=cfg
+                    tmp, instances, n_workers, trace=cfg, audit=audit
                 )
                 times[name].append(elapsed)
                 if name == "sampled":
                     sampled_answers = answers
                     sampled_stats = stats
                     sampled_spans = spans
+                    sampled_audit = audit
     for q, a in zip(instances, sampled_answers):
         assert a == oracle[q], "tracing must never change an answer"
 
@@ -510,9 +563,22 @@ def bench_trace(
             "bucket_width_ms": tol_ms,
         }
 
+    # audit journal sanity under load: valid chain, every request's answer
+    assert sampled_audit is not None
+    n_audit = sampled_audit.verify()
+    assert n_audit >= n_requests, "an answer event per request, at least"
+    # SLO engine over the run's merged stats: one tick must evaluate every
+    # default objective without touching the serving path
+    slo = SLOEngine(default_objectives(latency_p99_s=60.0))
+    evaluation = slo.evaluate(merged)
+    assert evaluation["availability"]["state"] == "ok", evaluation
+
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     n_spans = write_jsonl(TRACE_PATH, sampled_spans)
     return {
         "kind": "attribution",
+        "audit_entries": n_audit,
+        "slo_states": {name: row["state"] for name, row in evaluation.items()},
         "n_requests": n_requests,
         "n_distinct_instances": n_distinct,
         "n_workers": n_workers,
@@ -644,20 +710,71 @@ def main() -> None:
         ),
         "results": rows,
     }
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
+    # longitudinal ledger + trailing-median sentinel (report-only: the
+    # sentinel's verdict gates nothing until the history is deep enough)
+    metrics = {
+        "cluster_rps": headline["cluster_rps"],
+        "speedup_vs_single_process": headline["speedup_vs_single_process"],
+        "cluster_latency_p99_ms": headline["cluster_stats"].get(
+            "latency_p99_ms", 0.0
+        ),
+    }
+    report = check_regression(
+        HISTORY_PATH,
+        "cluster",
+        metrics,
+        {
+            "cluster_rps": ("higher", 0.5),
+            "speedup_vs_single_process": ("higher", 0.5),
+            "cluster_latency_p99_ms": ("lower", 2.0),
+        },
+    )
+    print(format_report(report))
+    append_row(
+        HISTORY_PATH,
+        ledger_row(
+            "cluster",
+            metrics,
+            extra={"n_workers": headline["n_workers"],
+                   "n_distinct": headline["n_distinct_instances"]},
+        ),
+    )
+    print(f"appended cluster row to {HISTORY_PATH}")
 
 
 def main_chaos() -> None:
-    """Run the chaos soak and merge its row into BENCH_cluster.json."""
-    row = bench_chaos()
+    """Run the chaos soak twice and merge its row into BENCH_cluster.json.
+
+    The second run pins replay determinism: at the same seed, the audit
+    journals of both runs must reconstruct the identical
+    model-version-per-request mapping (``AuditJournal.replay``), even
+    though scheduler-dependent event interleavings differ.
+    """
+    tuner = _train_tuner()
+    row = bench_chaos(tuner=tuner)
+    rerun = bench_chaos(tuner=tuner)
+    assert row["_version_map"] == rerun["_version_map"], (
+        "audit replay must reconstruct model-version-per-request "
+        "bit-identically across two runs at the same seed"
+    )
+    journal = row.pop("_journal")
+    rerun.pop("_journal")
+    row.pop("_version_map")
+    rerun.pop("_version_map")
+    row["replay_bit_identical"] = True
     print(
         f"chaos soak: {row['completed']} completed "
         f"({row['degraded_answers']} degraded) in {row['elapsed_s']:.1f}s  "
         f"timeouts={row['timeouts']} retries={row['retries_scheduled']} "
         f"corrupt_frames={row['corrupted_frames']} "
-        f"quarantines={row['quarantines']} readmissions={row['readmissions']}"
+        f"quarantines={row['quarantines']} readmissions={row['readmissions']}  "
+        f"audit={row['audit_entries']} entries (chain ok, replay reproducible)"
     )
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    journal.write(AUDIT_PATH)
     if OUT_PATH.exists():
         payload = json.loads(OUT_PATH.read_text())
     else:
@@ -672,7 +789,20 @@ def main_chaos() -> None:
         r for r in payload.get("results", []) if r.get("kind") != "chaos"
     ] + [row]
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"merged chaos row into {OUT_PATH}")
+    append_row(
+        HISTORY_PATH,
+        ledger_row(
+            "cluster-chaos",
+            {
+                "elapsed_s": row["elapsed_s"],
+                "completed": row["completed"],
+                "degraded_answers": row["degraded_answers"],
+                "audit_entries": row["audit_entries"],
+            },
+            extra={"n_workers": row["n_workers"]},
+        ),
+    )
+    print(f"merged chaos row into {OUT_PATH}; journal in {AUDIT_PATH}")
 
 
 def main_trace() -> None:
@@ -707,7 +837,21 @@ def main_trace() -> None:
     payload["results"] = [
         r for r in payload.get("results", []) if r.get("kind") != "attribution"
     ] + [row]
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    append_row(
+        HISTORY_PATH,
+        ledger_row(
+            "cluster-trace",
+            {
+                "overhead_off": row["overhead_off"],
+                "overhead_sampled": row["overhead_sampled"],
+                "coverage_mean": row["coverage_mean"],
+                "audit_entries": row["audit_entries"],
+            },
+            extra={"sample_rate": row["sample_rate"]},
+        ),
+    )
     print(f"merged attribution row into {OUT_PATH}; spans in {TRACE_PATH}")
 
 

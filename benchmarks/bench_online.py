@@ -56,6 +56,11 @@ from repro.online import (
     family_kernels,
     mean_model_tau,
 )
+from repro.obs.audit import AuditJournal
+from repro.obs.ledger import append_row, ledger_row
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import QualityWatch
+from repro.obs.slo import SLOEngine, SLObjective
 from repro.service import ModelRegistry, ServiceCluster, TuningService
 
 N_REQUESTS = 176
@@ -63,7 +68,12 @@ SHIFT_AT = 40
 WAVE = 8
 OFFLINE_POINTS = 840
 CLUSTER_WORKERS = 4
-OUT_PATH = Path(__file__).parent.parent / "BENCH_online.json"
+ARTIFACTS = Path(__file__).parent / "artifacts"
+OUT_PATH = ARTIFACTS / "BENCH_online.json"
+HISTORY_PATH = Path(__file__).parent.parent / "BENCH_history.jsonl"
+#: the quality watch must hold the whole episode, so its windowed
+#: family gauges are directly comparable to the offline post-shift τ
+QUALITY_WINDOW = 768
 
 PHASE1 = ("line", "laplacian")
 PHASE2 = ("hypercube", "hyperplane")
@@ -88,7 +98,9 @@ def _collector(cls=FeedbackCollector):
     )
 
 
-def _pipeline(service, registry, tuner, offline, collector) -> ContinualLearningPipeline:
+def _pipeline(
+    service, registry, tuner, offline, collector, quality=None, audit=None
+) -> ContinualLearningPipeline:
     return ContinualLearningPipeline(
         service=service,
         collector=collector,
@@ -99,6 +111,8 @@ def _pipeline(service, registry, tuner, offline, collector) -> ContinualLearning
         evaluator=ShadowEvaluator(tuner.encoder),
         policy=PromotionPolicy(registry, tag="prod", min_records=4),
         config=ContinualConfig(measure_per_step=10, min_feedback_to_train=16),
+        quality=quality,
+        audit=audit,
     )
 
 
@@ -184,17 +198,36 @@ def run_cluster_episode(tuner, offline, adapting: bool) -> dict:
             tuner.model, tuner.fingerprint(), tags=("prod",), note="offline seed"
         )
         collector = _collector(ClusterFeedbackCollector)
+        # fleet-and-loop observability rides along on the adapting side:
+        # rolling τ gauges fed from the same feedback stream, and an audit
+        # journal capturing answers, tag moves and promotions
+        quality = QualityWatch(MetricsRegistry(), window=QUALITY_WINDOW)
+        journal = AuditJournal() if adapting else None
+        if journal is not None:
+            journal.attach_registry(registry)
         with ServiceCluster(
-            tmp, n_workers=CLUSTER_WORKERS, default_model="prod", feedback_every=1
+            tmp,
+            n_workers=CLUSTER_WORKERS,
+            default_model="prod",
+            feedback_every=1,
+            audit=journal,
         ) as cluster:
             if adapting:
-                pipeline = _pipeline(cluster, registry, tuner, offline, collector)
+                pipeline = _pipeline(
+                    cluster, registry, tuner, offline, collector,
+                    quality=quality, audit=journal,
+                )
                 pipeline.attach()
                 step = pipeline.step
             else:
                 pipeline = None
                 collector.attach(cluster)
-                step = lambda: collector.measure_pending(limit=10)  # noqa: E731
+                # no pipeline, so stream measured records into the quality
+                # gauges by hand — frozen rows report realized τ too
+                step = lambda: [  # noqa: E731
+                    quality.observe(fb)
+                    for fb in collector.measure_pending(limit=10)
+                ]
             for start in range(0, N_REQUESTS, WAVE):
                 wave = [workload.request(i) for i in range(start, start + WAVE)]
                 futures = [cluster.submit(q, c) for q, c in wave]
@@ -224,6 +257,16 @@ def run_cluster_episode(tuner, offline, adapting: bool) -> dict:
 
         records = collector.window()
         post = [fb for fb in records if fb.family in PHASE2]
+        # realized online τ straight from the quality gauges: the per-family
+        # windows hold the whole episode, so the count-weighted mean over
+        # the shifted families must agree with the offline post-shift τ
+        post_counts = {f: sum(1 for fb in post if fb.family == f) for f in PHASE2}
+        n_post = sum(post_counts.values())
+        realized_tau_online = (
+            sum(quality.family_tau(f) * n for f, n in post_counts.items()) / n_post
+            if n_post
+            else 0.0
+        )
         row = {
             "adapting": adapting,
             "workers": CLUSTER_WORKERS,
@@ -233,6 +276,8 @@ def run_cluster_episode(tuner, offline, adapting: bool) -> dict:
             "pre_shift_tau": float(
                 np.mean([fb.tau for fb in records if fb.family not in PHASE2])
             ),
+            "realized_tau_online": float(realized_tau_online),
+            "quality": quality.snapshot(),
             "wire_records": wire_records,
             "records_by_worker": {
                 int(w): int(n) for w, n in sorted(collector.records_by_worker.items())
@@ -243,6 +288,7 @@ def run_cluster_episode(tuner, offline, adapting: bool) -> dict:
             "serving_version": registry.resolve("prod"),
         }
         if pipeline is not None:
+            replay = AuditJournal.replay(journal.entries())
             row.update(
                 retrains=pipeline.retrain_count,
                 promotions=pipeline.promotion_count,
@@ -254,6 +300,8 @@ def run_cluster_episode(tuner, offline, adapting: bool) -> dict:
                     registry.load(v1, expect_fingerprint=tuner.fingerprint()),
                     post,
                 ),
+                audit_entries=journal.verify(),
+                audit_counts=replay["counts"],
             )
         return row
 
@@ -328,6 +376,59 @@ def test_cluster_online_loop_smoke(corpus):
         v == serving for v in adapting["versions_by_worker"].values()
     ), adapting["versions_by_worker"]
     assert adapting["post_shift_tau"] >= frozen["post_shift_tau"], (adapting, frozen)
+    # realized online τ, read back from the streaming quality gauges, must
+    # agree with the offline-computed post-shift τ (same records, so the
+    # tolerance only absorbs float-summation order)
+    assert (
+        abs(adapting["realized_tau_online"] - adapting["post_shift_tau"]) <= 0.05
+    ), (adapting["realized_tau_online"], adapting["post_shift_tau"])
+    assert (
+        abs(frozen["realized_tau_online"] - frozen["post_shift_tau"]) <= 0.05
+    ), (frozen["realized_tau_online"], frozen["post_shift_tau"])
+    # the audit journal saw every promotion exactly once, and the realized-τ
+    # tracking started for the promoted version
+    assert adapting["audit_counts"].get("promote", 0) == adapting["promotions"]
+    outcomes = adapting["quality"]["outcomes"]
+    assert outcomes and outcomes[-1]["version"] == serving, outcomes
+
+
+def test_quality_slo_breach_on_injected_drop():
+    """An injected post-promotion quality drop must flip the quality SLO to
+    breach deterministically and fire the watch's regression alert once."""
+
+    class _FB:
+        def __init__(self, family, tau, version):
+            self.family, self.tau, self.model_version = family, tau, version
+
+    def drill():
+        metrics = MetricsRegistry()
+        watch = QualityWatch(
+            metrics, window=8, alert_margin=0.1, min_outcome_records=4
+        )
+        engine = SLOEngine(
+            [SLObjective("quality", kind="quality", target=0.6)],
+            metrics=metrics,
+            fast_window=2,
+            slow_window=4,
+        )
+        watch.note_promotion("v0002", shadow_tau=0.85, production_tau=0.7)
+        states = []
+        # healthy post-promotion traffic, then a sustained quality collapse
+        for tau in (0.9, 0.88, 0.86, 0.9) + (0.1,) * 8:
+            watch.observe(_FB("line", tau, "v0002"))
+            evaluation = engine.evaluate({}, quality_tau=watch.overall_tau())
+            states.append(evaluation["quality"]["state"])
+        return states, engine.events, list(watch.alerts)
+
+    states, events, alerts = drill()
+    assert states[3] == "ok", states  # healthy while τ holds
+    assert states[-1] == "breach", states  # sustained drop pages
+    assert any(e["to"] == "breach" for e in events), events
+    # the watch's own regression alert fired exactly once, for the promotion
+    assert len(alerts) == 1 and alerts[0]["version"] == "v0002", alerts
+    assert alerts[0]["realized_tau"] < alerts[0]["floor"]
+    # deterministic: the identical stream produces the identical transitions
+    assert (states, events, alerts) == drill()
 
 
 def main() -> None:
@@ -356,12 +457,24 @@ def main() -> None:
         print(
             f"cluster {side:9s}  ({row['workers']} workers, "
             f"{row['wire_records']} wire records)  "
-            f"post-shift tau {row['post_shift_tau']:+.3f}{extra}"
+            f"post-shift tau {row['post_shift_tau']:+.3f}  "
+            f"realized online tau {row['realized_tau_online']:+.3f}{extra}"
         )
     print(f"cluster post-shift tau gain: {cluster['tau_gain_post_shift']:+.3f}")
     out = {k: v for k, v in result.items()}
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(out, indent=2, default=str) + "\n")
     print(f"wrote {OUT_PATH}")
+    metrics = {
+        "tau_gain_post_shift": float(result["tau_gain_post_shift"]),
+        "adapting_post_shift_tau": float(result["adapting"]["post_shift_tau"]),
+        "cluster_tau_gain_post_shift": float(cluster["tau_gain_post_shift"]),
+        "cluster_realized_tau_online": float(
+            cluster["adapting"]["realized_tau_online"]
+        ),
+    }
+    append_row(HISTORY_PATH, ledger_row("online", metrics))
+    print(f"appended ledger row to {HISTORY_PATH}")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ import pytest
 from repro.autotune.autotuner import OrdinalAutotuner
 from repro.autotune.training import TrainingSetBuilder
 from repro.machine.executor import SimulatedMachine
+from repro.obs.ledger import append_row, ledger_row
 from repro.service import ModelRegistry, TuningService
 from repro.stencil.suite import TEST_BENCHMARKS
 from repro.tuning.presets import preset_candidates
@@ -37,7 +38,9 @@ from repro.tuning.presets import preset_candidates
 N_CONCURRENT = 256
 N_DISTINCT = 16
 TRAINING_POINTS = 640
-OUT_PATH = Path(__file__).parent.parent / "BENCH_service.json"
+ARTIFACTS = Path(__file__).parent / "artifacts"
+OUT_PATH = ARTIFACTS / "BENCH_service.json"
+HISTORY_PATH = Path(__file__).parent.parent / "BENCH_history.jsonl"
 
 
 def _train_tuner(points: int = TRAINING_POINTS) -> OrdinalAutotuner:
@@ -157,8 +160,23 @@ def main() -> None:
         ),
         "results": rows,
     }
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
+    headline = rows[-1]
+    append_row(
+        HISTORY_PATH,
+        ledger_row(
+            "service",
+            {
+                "speedup": float(headline["speedup"]),
+                "service_rps": float(headline["service_rps"]),
+                "latency_p99_ms": float(headline["stats"]["latency_p99_ms"]),
+            },
+            extra={"n_requests": headline["n_requests"]},
+        ),
+    )
+    print(f"appended ledger row to {HISTORY_PATH}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,133 @@
+"""Headless SLO dashboard: objectives, quality gauges, and the audit tail.
+
+One terminal-friendly pass over the fleet-and-loop observability layer:
+
+* **are we meeting our objectives?** — a burst of cluster traffic is
+  folded into :class:`~repro.obs.slo.SLOEngine` ticks; the state table
+  shows per-objective windowed values, burn rates and alert states, then
+  an injected quality collapse demonstrates the deterministic
+  ok → warning → breach walk;
+* **did the last promotion deliver?** — a :class:`QualityWatch` streams
+  probe-measured τ, so realized-vs-shadow quality is a live gauge, not a
+  post-mortem;
+* **what just happened?** — the audit journal's checksummed tail ties
+  answers, tag moves and SLO transitions into one verifiable record.
+
+Run::
+
+    PYTHONPATH=src python examples/slo_dashboard.py
+"""
+
+from __future__ import annotations
+
+from tempfile import TemporaryDirectory
+
+from repro.autotune.autotuner import OrdinalAutotuner
+from repro.autotune.training import TrainingSetBuilder
+from repro.machine.executor import SimulatedMachine
+from repro.obs.audit import AuditJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import QualityWatch
+from repro.obs.slo import SLOEngine, default_objectives
+from repro.service import ModelRegistry, ServiceCluster
+from repro.stencil.suite import TEST_BENCHMARKS
+
+
+def train() -> OrdinalAutotuner:
+    print("== training the tuner (one-time, offline) ==")
+    builder = TrainingSetBuilder(SimulatedMachine(seed=7), seed=7)
+    training_set = builder.build(640)
+    tuner = OrdinalAutotuner().train(training_set)
+    print(f"trained on {len(training_set.data)} points\n")
+    return tuner
+
+
+class FB:
+    """Minimal measured-feedback record (family, tau, model_version)."""
+
+    def __init__(self, family, tau, version):
+        self.family, self.tau, self.model_version = family, tau, version
+
+
+def main() -> None:
+    tuner = train()
+    metrics = MetricsRegistry()
+    journal = AuditJournal()
+    quality = QualityWatch(
+        metrics, window=32, alert_margin=0.1, min_outcome_records=4,
+        audit=journal,
+    )
+    # generous latency target: this is a 1-core demo box, not production
+    engine = SLOEngine(
+        default_objectives(latency_p99_s=60.0, quality_tau=0.5),
+        metrics=metrics, audit=journal, fast_window=2, slow_window=6,
+    )
+
+    with TemporaryDirectory() as root:
+        registry = ModelRegistry(root)
+        registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
+        journal.attach_registry(registry)
+
+        print("== serving 3 waves of 16 requests (2 workers, audited) ==")
+        with ServiceCluster(
+            root, n_workers=2, default_model="prod", audit=journal
+        ) as cluster:
+            evaluation = None
+            for wave in range(3):
+                futures = [
+                    cluster.submit(q, top_k=3, include_scores=False)
+                    for q in TEST_BENCHMARKS[:16]
+                ]
+                for fut in futures:
+                    fut.result()
+                # one SLO tick per wave, fed by the exact-merge stats
+                merged = cluster.stats()["cluster"]
+                evaluation = engine.evaluate(
+                    merged, quality_tau=quality.overall_tau() or None
+                )
+        print("per-objective state after healthy traffic:\n")
+        print(engine.state_table(evaluation))
+        print()
+
+        print("== promotion outcome: realized vs shadow τ ==")
+        quality.note_promotion("v0002", shadow_tau=0.82, production_tau=0.65)
+        for tau in (0.85, 0.83, 0.84, 0.81):
+            quality.observe(FB("line", tau, "v0002"))
+        outcome = quality.outcomes()[-1]
+        print(f"  promoted {outcome['version']}: shadow τ "
+              f"{outcome['shadow_tau']:+.2f}, realized τ "
+              f"{outcome['realized_tau']:+.2f} over {outcome['n_records']} "
+              f"records (gap {outcome['gap']:+.3f})\n")
+
+        print("== injected quality collapse: the deterministic breach walk ==")
+        states = []
+        for _ in range(16):
+            quality.observe(FB("line", 0.05, "v0002"))
+            evaluation = engine.evaluate({}, quality_tau=quality.overall_tau())
+            states.append(evaluation["quality"]["state"])
+        walk = [states[0]] + [s for prev, s in zip(states, states[1:])
+                              if s != prev]
+        print(f"  quality SLO state walk over 16 ticks: {' -> '.join(walk)}")
+        assert states[-1] == "breach", states  # same walk on every run
+        alert = quality.alerts[-1]
+        print(f"  quality-regression alert: realized τ "
+              f"{alert['realized_tau']:+.2f} fell below floor "
+              f"{alert['floor']:+.2f} (shadow {alert['shadow_tau']:+.2f})\n")
+        print(engine.state_table(evaluation))
+        print()
+
+        print("== audit journal tail (checksummed; newest last) ==")
+        n = journal.verify()
+        print(f"  {n} entries, chain verified")
+        for entry in journal.tail(8):
+            attrs = {k: v for k, v in entry["attrs"].items()
+                     if k in ("req_id", "model_version", "worker", "why",
+                              "tag", "version", "objective", "from", "to")}
+            print(f"  #{entry['seq']:<4d} {entry['event']:<18s} {attrs}")
+        replay = AuditJournal.replay(journal.entries())
+        print(f"\n  replay: {len(replay['answers'])} answers attributed, "
+              f"event counts {replay['counts']}")
+
+
+if __name__ == "__main__":
+    main()

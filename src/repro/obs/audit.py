@@ -1,0 +1,290 @@
+"""Append-only, checksum-chained audit journal for the serving fleet.
+
+Counters say *how often*; traces say *where the time went*; neither can
+answer the post-incident question "which model version answered request
+48123, and why was it degraded?".  The audit journal is the third
+instrument: an append-only log of **model-lifecycle** events (publish,
+promote, rollback, retrain-error, registry tag moves) and **fleet-health**
+events (spawn, worker-exit, quarantine, readmit, shed, degrade, SLO
+transitions), each entry carrying the trace ids in flight at event time so
+an entry can be joined against the span record.
+
+Integrity is structural, not trusted: every entry's checksum covers its
+payload *and* the previous entry's checksum (a hash chain), so a dropped,
+reordered, or edited line breaks :meth:`AuditJournal.verify` — the journal
+proves its own completeness, which is what lets the chaos drill assert
+"every SIGKILL/quarantine/readmit appears exactly once" from the artifact
+alone.
+
+Determinism: entries carry **no wall-clock time** — ordering is the
+explicit ``seq`` number, and every attribute comes from the deterministic
+serving state.  Two runs at the same seed that record the same events in
+the same order produce byte-identical journals; events whose interleaving
+is scheduler-dependent (concurrent reader threads) may permute between
+runs, but :func:`AuditJournal.replay` folds entries into per-request /
+per-tag mappings that are order-independent, so the *reconstruction* is
+bit-identical even when the interleaving is not.
+
+Wiring: :class:`~repro.service.cluster.ServiceCluster` accepts an
+``audit=`` journal and records fleet events (and per-request ``answer``
+events) automatically; :class:`~repro.online.ContinualLearningPipeline`
+records retrain/promotion/rollback; :meth:`AuditJournal.attach_registry`
+hooks :class:`~repro.service.registry.ModelRegistry` tag moves.
+
+>>> journal = AuditJournal()
+>>> _ = journal.record("promote", {"version": "v0002", "previous": "v0001"})
+>>> _ = journal.record("answer", {"req_id": 7, "model_version": "v0002",
+...                               "worker": 1, "why": "routed"})
+>>> journal.verify()
+2
+>>> AuditJournal.replay(journal.entries())["answers"][7]["model_version"]
+'v0002'
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["AuditJournal", "GENESIS"]
+
+#: the ``prev`` checksum of the first entry (nothing came before it)
+GENESIS = "0" * 16
+
+
+def _checksum(prev: str, payload: Mapping) -> str:
+    """64-bit hex chain checksum of one entry's payload after ``prev``."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256((prev + canon).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+class AuditJournal:
+    """An append-only event log whose checksum chain proves completeness.
+
+    Thread-safe: reader threads, the monitor thread and the pipeline all
+    append concurrently; each append holds one short lock for the
+    sequence number + chain update (and the file write, when journaling
+    to disk).
+    """
+
+    def __init__(self, path: "str | Path | None" = None) -> None:
+        self._entries: list[dict] = []
+        self._lock = threading.Lock()
+        self._head = GENESIS
+        self._path = Path(path) if path is not None else None
+        if self._path is not None:
+            # a fresh journal owns its file: start the chain from genesis
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._path.write_text("")
+
+    @property
+    def path(self) -> "Path | None":
+        return self._path
+
+    # -- recording -------------------------------------------------------------
+
+    def record(
+        self,
+        event: str,
+        attrs: "Mapping | None" = None,
+        trace_ids: "Sequence[str]" = (),
+    ) -> dict:
+        """Append one event; returns the completed (checksummed) entry.
+
+        ``trace_ids`` are the trace ids in flight at event time — the join
+        key from an audit entry to the span record.
+        """
+        with self._lock:
+            payload = {
+                "seq": len(self._entries),
+                "event": str(event),
+                "attrs": dict(attrs) if attrs else {},
+                "trace_ids": sorted(str(t) for t in trace_ids if t),
+                "prev": self._head,
+            }
+            payload["checksum"] = _checksum(self._head, {
+                k: payload[k] for k in ("seq", "event", "attrs", "trace_ids", "prev")
+            })
+            self._head = payload["checksum"]
+            self._entries.append(payload)
+            if self._path is not None:
+                with open(self._path, "a", encoding="utf-8") as fh:
+                    fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            return payload
+
+    # -- reading ---------------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Every entry, oldest first (a copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    def tail(self, n: int = 10) -> list[dict]:
+        """The newest ``n`` entries, oldest first."""
+        with self._lock:
+            return self._entries[-n:]
+
+    def events_of(self, *kinds: str) -> list[dict]:
+        """Entries whose event kind is one of ``kinds``, oldest first."""
+        wanted = set(kinds)
+        return [e for e in self.entries() if e["event"] in wanted]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- integrity -------------------------------------------------------------
+
+    def verify(self) -> int:
+        """Walk the chain re-deriving every checksum; returns entry count.
+
+        Raises :class:`ValueError` naming the first broken link — a
+        missing, reordered, or edited entry cannot pass.
+        """
+        return verify_entries(self.entries())
+
+    # -- persistence -----------------------------------------------------------
+
+    def write(self, path: "str | Path") -> int:
+        """Write the journal as JSONL; returns the number of entries."""
+        entries = self.entries()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        return len(entries)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "AuditJournal":
+        """Read a journal back, verifying the chain as it loads."""
+        entries: list[dict] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+        verify_entries(entries)
+        journal = cls()
+        journal._entries = entries
+        journal._head = entries[-1]["checksum"] if entries else GENESIS
+        return journal
+
+    # -- reconstruction --------------------------------------------------------
+
+    @staticmethod
+    def replay(entries: "Iterable[Mapping]") -> dict:
+        """Reconstruct serving state from an entry stream.
+
+        Folds the journal into order-independent mappings::
+
+            {
+              "answers":  {req_id: {"model_version", "worker", "why",
+                                    "degraded", "trace_ids"}},
+              "tags":     {tag: version},          # final tag positions
+              "promotions":  [...], "rollbacks": [...],   # lifecycle entries
+              "quarantines": [...], "readmissions": [...],
+              "worker_exits": [...],
+              "counts":  {event: n},
+            }
+
+        ``answers`` is the direct answer to "which model version answered
+        which request, and why": ``why`` is ``routed`` (a worker served
+        it), ``degraded-cache`` (coordinator replayed a remembered
+        ranking) or ``degraded-scored`` (coordinator scored locally).
+        Because the fold keys on ``req_id``/``tag``, two runs recording
+        the same events in scheduler-permuted order reconstruct
+        identically.
+        """
+        answers: dict[int, dict] = {}
+        tags: dict[str, str] = {}
+        out: dict = {
+            "answers": answers,
+            "tags": tags,
+            "promotions": [],
+            "rollbacks": [],
+            "quarantines": [],
+            "readmissions": [],
+            "worker_exits": [],
+            "counts": {},
+        }
+        buckets = {
+            "promote": "promotions",
+            "rollback": "rollbacks",
+            "quarantine": "quarantines",
+            "readmit": "readmissions",
+            "worker-exit": "worker_exits",
+        }
+        for entry in entries:
+            event = entry["event"]
+            attrs = entry.get("attrs", {})
+            out["counts"][event] = out["counts"].get(event, 0) + 1
+            if event == "answer":
+                req_id = attrs.get("req_id")
+                if req_id is not None:
+                    answers[int(req_id)] = {
+                        "model_version": attrs.get("model_version"),
+                        "worker": attrs.get("worker"),
+                        "why": attrs.get("why", "routed"),
+                        "degraded": bool(attrs.get("degraded", False)),
+                        "trace_ids": list(entry.get("trace_ids", [])),
+                    }
+            elif event == "tag":
+                name, version = attrs.get("tag"), attrs.get("version")
+                if name is not None and version is not None:
+                    tags[str(name)] = str(version)
+            elif event in buckets:
+                out[buckets[event]].append(dict(attrs))
+                if event == "promote" and attrs.get("version"):
+                    tags.setdefault("__serving__", str(attrs["version"]))
+                    tags["__serving__"] = str(attrs["version"])
+                if event == "rollback" and attrs.get("restored"):
+                    tags["__serving__"] = str(attrs["restored"])
+        return out
+
+    # -- registry hook ---------------------------------------------------------
+
+    def attach_registry(self, registry) -> "AuditJournal":
+        """Audit every tag move of a
+        :class:`~repro.service.registry.ModelRegistry` (sets ``on_tag``)."""
+        registry.on_tag = lambda tag, version: self.record(
+            "tag", {"tag": tag, "version": version}
+        )
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AuditJournal(entries={len(self)}, head={self._head!r})"
+
+
+def verify_entries(entries: "Sequence[Mapping]") -> int:
+    """Verify a checksum chain outside any journal; returns entry count."""
+    prev = GENESIS
+    for i, entry in enumerate(entries):
+        if entry.get("seq") != i:
+            raise ValueError(
+                f"audit chain broken at entry {i}: seq {entry.get('seq')!r} "
+                f"(an entry is missing or reordered)"
+            )
+        if entry.get("prev") != prev:
+            raise ValueError(
+                f"audit chain broken at entry {i}: prev {entry.get('prev')!r} "
+                f"!= head {prev!r}"
+            )
+        expect = _checksum(prev, {
+            "seq": entry.get("seq"),
+            "event": entry.get("event"),
+            "attrs": entry.get("attrs", {}),
+            "trace_ids": entry.get("trace_ids", []),
+            "prev": entry.get("prev"),
+        })
+        if entry.get("checksum") != expect:
+            raise ValueError(
+                f"audit chain broken at entry {i}: checksum "
+                f"{entry.get('checksum')!r} != {expect!r} (payload edited)"
+            )
+        prev = entry["checksum"]
+    return len(entries)

@@ -1,0 +1,266 @@
+"""Streaming ranking-quality estimation for the online learning loop.
+
+The paper's product is ranking quality — Kendall τ between predicted and
+true orderings — yet before this module τ was only computed *offline*
+(shadow evaluation at retrain time, episode post-mortems in benchmarks).
+:class:`QualityWatch` makes it a live signal: every
+:class:`~repro.online.feedback.MeasuredFeedback` record that flows through
+a :class:`~repro.online.feedback.FeedbackCollector` (or the cluster-wide
+collector) already carries the probe-measured τ of the model that served
+it, so streaming those into per-family rolling windows yields online
+quality gauges with zero extra kernel executions.
+
+Three layers, all deterministic functions of the feedback stream:
+
+* **rolling gauges** — overall and per-family windowed mean τ, published
+  to a :class:`~repro.obs.metrics.MetricsRegistry`
+  (``quality_online_tau``, ``quality_tau_<family>``,
+  ``quality_observations_total``);
+* **promotion outcomes** — at promote time the pipeline calls
+  :meth:`QualityWatch.note_promotion` with the shadow-evaluated τ; the
+  watch then accumulates the *realized* online τ of that version and
+  records the pair, answering "did the promotion deliver what the shadow
+  promised?";
+* **regression alerts** — when a promoted version's realized τ falls
+  below its shadow τ by more than ``alert_margin`` (after
+  ``min_outcome_records`` observations), a deterministic alert fires
+  exactly once per promotion: an entry in :attr:`alerts`, a counter inc,
+  and an optional audit-journal event.
+
+>>> watch = QualityWatch(window=4)
+>>> class _FB:  # stand-in for MeasuredFeedback
+...     def __init__(self, family, tau, version):
+...         self.family, self.tau, self.model_version = family, tau, version
+>>> for tau in (0.9, 0.8): _ = watch.observe(_FB("line", tau, "v0001"))
+>>> round(watch.overall_tau(), 3)
+0.85
+>>> round(watch.family_tau("line"), 3)
+0.85
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["PromotionOutcome", "QualityWatch"]
+
+
+@dataclass
+class PromotionOutcome:
+    """One promotion's promised-vs-delivered quality record."""
+
+    version: str
+    shadow_tau: float            # candidate τ the shadow evaluation promised
+    production_tau: float        # incumbent τ it beat at promote time
+    realized_taus: list = field(default_factory=list)
+    alerted: bool = False
+
+    @property
+    def n_records(self) -> int:
+        return len(self.realized_taus)
+
+    @property
+    def realized_tau(self) -> Optional[float]:
+        """Mean online τ observed for this version so far (None if none)."""
+        if not self.realized_taus:
+            return None
+        return float(sum(self.realized_taus) / len(self.realized_taus))
+
+    def summary(self) -> dict:
+        realized = self.realized_tau
+        return {
+            "version": self.version,
+            "shadow_tau": self.shadow_tau,
+            "production_tau": self.production_tau,
+            "realized_tau": realized,
+            "n_records": self.n_records,
+            "gap": None if realized is None else realized - self.shadow_tau,
+            "alerted": self.alerted,
+        }
+
+
+class QualityWatch:
+    """Rolling τ gauges + promotion-outcome tracking + regression alerts.
+
+    Feed it measured feedback via :meth:`observe` — the continual-learning
+    pipeline does this automatically when constructed with ``quality=`` —
+    and read quality back via :meth:`overall_tau` / :meth:`family_tau` /
+    the registry gauges.  All state is a pure fold over the observation
+    stream: same records in, same gauges and alerts out.
+    """
+
+    def __init__(
+        self,
+        metrics=None,
+        *,
+        window: int = 64,
+        alert_margin: float = 0.15,
+        min_outcome_records: int = 6,
+        max_outcomes: int = 64,
+        audit=None,
+        tracer=None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if alert_margin < 0.0:
+            raise ValueError(f"alert_margin must be >= 0, got {alert_margin}")
+        self.metrics = metrics
+        self.audit = audit
+        self.tracer = tracer
+        self.window = int(window)
+        self.alert_margin = float(alert_margin)
+        self.min_outcome_records = int(min_outcome_records)
+        self.max_outcomes = int(max_outcomes)
+        self._overall: deque = deque(maxlen=self.window)
+        self._families: dict[str, deque] = {}
+        self._outcomes: list[PromotionOutcome] = []
+        self.observations = 0
+        self.alerts: list[dict] = []
+
+    # -- ingest ----------------------------------------------------------------
+
+    def observe(self, feedback) -> "QualityWatch":
+        """Fold one measured-feedback record into the gauges.
+
+        Accepts anything with ``family``, ``tau`` and ``model_version``
+        attributes (i.e. :class:`~repro.online.feedback.MeasuredFeedback`).
+        """
+        tau = float(feedback.tau)
+        family = str(feedback.family)
+        version = str(feedback.model_version)
+        self.observations += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "quality_observations_total",
+                help="measured-feedback records folded into quality gauges",
+            ).inc()
+        self._overall.append(tau)
+        self._families.setdefault(family, deque(maxlen=self.window)).append(tau)
+        watch = self._current_outcome()
+        if watch is not None and watch.version == version:
+            watch.realized_taus.append(tau)
+            self._judge(watch)
+        self._publish()
+        return self
+
+    def note_promotion(
+        self, version: str, shadow_tau: float, production_tau: float = 0.0
+    ) -> PromotionOutcome:
+        """Start realized-τ tracking for a freshly promoted version."""
+        outcome = PromotionOutcome(
+            version=str(version),
+            shadow_tau=float(shadow_tau),
+            production_tau=float(production_tau),
+        )
+        self._outcomes.append(outcome)
+        if len(self._outcomes) > self.max_outcomes:
+            self._outcomes = self._outcomes[-self.max_outcomes:]
+        self._publish()
+        return outcome
+
+    # -- alerting --------------------------------------------------------------
+
+    def _current_outcome(self) -> Optional[PromotionOutcome]:
+        return self._outcomes[-1] if self._outcomes else None
+
+    def _judge(self, outcome: PromotionOutcome) -> None:
+        """Fire the regression alert once per promotion, deterministically."""
+        if outcome.alerted or outcome.n_records < self.min_outcome_records:
+            return
+        realized = outcome.realized_tau
+        floor = outcome.shadow_tau - self.alert_margin
+        if realized is None or realized >= floor:
+            return
+        outcome.alerted = True
+        alert = {
+            "type": "quality-regression",
+            "version": outcome.version,
+            "realized_tau": realized,
+            "shadow_tau": outcome.shadow_tau,
+            "floor": floor,
+            "n_records": outcome.n_records,
+        }
+        self.alerts.append(alert)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "quality_regression_alerts_total",
+                help="realized online tau fell below the shadow-gated floor",
+            ).inc()
+        if self.audit is not None:
+            self.audit.record("quality-regression", alert)
+        if self.tracer is not None:
+            self.tracer.record_event(
+                "quality-regression", attrs={"version": outcome.version}
+            )
+
+    # -- readback --------------------------------------------------------------
+
+    def overall_tau(self) -> float:
+        """Windowed mean τ across all families (0.0 before any feedback)."""
+        if not self._overall:
+            return 0.0
+        return float(sum(self._overall) / len(self._overall))
+
+    def family_tau(self, family: str) -> float:
+        """Windowed mean τ for one stencil family (0.0 if unseen)."""
+        window = self._families.get(str(family))
+        if not window:
+            return 0.0
+        return float(sum(window) / len(window))
+
+    def family_taus(self) -> dict[str, float]:
+        """Every family's windowed mean τ, sorted by family name."""
+        return {f: self.family_tau(f) for f in sorted(self._families)}
+
+    def realized_tau(self, version: "str | None" = None) -> Optional[float]:
+        """Realized online τ for ``version`` (latest promotion if None)."""
+        if version is None:
+            outcome = self._current_outcome()
+        else:
+            outcome = next(
+                (o for o in reversed(self._outcomes) if o.version == str(version)),
+                None,
+            )
+        return None if outcome is None else outcome.realized_tau
+
+    def outcomes(self) -> list[dict]:
+        """Promotion-outcome summaries, oldest first."""
+        return [o.summary() for o in self._outcomes]
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly dict with every quality signal."""
+        return {
+            "observations": self.observations,
+            "overall_tau": self.overall_tau(),
+            "family_taus": self.family_taus(),
+            "outcomes": self.outcomes(),
+            "alerts": list(self.alerts),
+        }
+
+    # -- metrics publishing ----------------------------------------------------
+
+    def _publish(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge(
+            "quality_online_tau", help="windowed mean Kendall tau, all families"
+        ).set(self.overall_tau())
+        for family, tau in self.family_taus().items():
+            self.metrics.gauge(
+                f"quality_tau_{family}",
+                help=f"windowed mean Kendall tau, family {family}",
+            ).set(tau)
+        outcome = self._current_outcome()
+        if outcome is not None:
+            self.metrics.gauge(
+                "quality_shadow_tau",
+                help="shadow-evaluated tau promised at the latest promotion",
+            ).set(outcome.shadow_tau)
+            realized = outcome.realized_tau
+            if realized is not None:
+                self.metrics.gauge(
+                    "quality_realized_tau",
+                    help="realized online tau of the latest promoted version",
+                ).set(realized)

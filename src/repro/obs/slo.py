@@ -1,0 +1,352 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+Counters tell you what happened; an SLO tells you whether it was *okay*.
+This module evaluates declarative objectives over the cluster's existing
+exact-merge telemetry — no new instrumentation on the hot path.  Four
+objective kinds cover the serving story:
+
+* ``latency_p99`` — p99 of the merged latency histogram ≤ ``target``
+  seconds (read via :func:`~repro.obs.metrics.percentile_from_hist`, so
+  the error is bounded by one bucket width);
+* ``availability`` — completed/requests ≥ ``target``;
+* ``degraded_ratio`` — degraded answers/requests ≤ ``target``;
+* ``quality`` — online Kendall τ (from
+  :class:`~repro.obs.quality.QualityWatch`) ≥ ``target``.
+
+Evaluation is **tick-based, not wall-clock**: each call to
+:meth:`SLOEngine.evaluate` is one tick, and the fast/slow windows are
+counts of ticks.  Windowed ratios are computed from *deltas* of the
+cumulative counters between the window's edges (histograms subtract
+per-bucket — exactly, thanks to the fixed layout), which is the SRE
+multi-window recipe made deterministic: the same snapshot sequence always
+produces the same burn rates and the same alert transitions, so CI can
+assert a breach fires on tick N.
+
+Burn rate is ``bad_fraction / error_budget`` (budget = ``1 - target`` for
+ratio objectives): 1.0 burns the budget exactly at the allowed pace,
+>1 exhausts it early.  The alert state machine is
+
+``ok → warning``  when the fast-window burn exceeds ``warn_burn``;
+``ok/warning → breach`` when **both** windows exceed ``breach_burn``
+(fast = still happening, slow = sustained — the classic page condition);
+recovery retraces to ``warning``/``ok`` as burns fall back under the
+thresholds.  Threshold objectives (latency, quality) use the windowed
+value against the target directly, with burn expressed as value/target
+(or target/value for higher-is-better).
+
+>>> slo = SLObjective("availability", kind="availability", target=0.99)
+>>> engine = SLOEngine([slo], fast_window=2, slow_window=4)
+>>> for _ in range(4):
+...     state = engine.evaluate({"requests_total": 100, "completed_total": 100})
+>>> state["availability"]["state"]
+'ok'
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.obs.metrics import merge_histograms, percentile_from_hist
+
+__all__ = ["SLObjective", "SLOEngine", "DEFAULT_OBJECTIVES", "default_objectives"]
+
+_KINDS = ("latency_p99", "availability", "degraded_ratio", "quality")
+
+#: objective kinds where *higher* observed values are better
+_HIGHER_IS_BETTER = {"availability": True, "degraded_ratio": False,
+                     "latency_p99": False, "quality": True}
+
+#: objective kinds evaluated as windowed ratios of counter deltas
+_RATIO_KINDS = ("availability", "degraded_ratio")
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective over the cluster's merged telemetry."""
+
+    name: str
+    kind: str
+    target: float
+    warn_burn: float = 1.0
+    breach_burn: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not (self.warn_burn > 0 and self.breach_burn >= self.warn_burn):
+            raise ValueError(
+                f"need 0 < warn_burn <= breach_burn, got "
+                f"{self.warn_burn}/{self.breach_burn}"
+            )
+        if self.kind in ("availability", "quality") and not 0 < self.target <= 1:
+            raise ValueError(f"{self.kind} target must be in (0, 1], got {self.target}")
+        if self.kind == "degraded_ratio" and not 0 <= self.target < 1:
+            raise ValueError(f"degraded_ratio target must be in [0, 1), got {self.target}")
+        if self.kind == "latency_p99" and self.target <= 0:
+            raise ValueError(f"latency_p99 target must be > 0, got {self.target}")
+
+
+def default_objectives(
+    latency_p99_s: float = 0.5,
+    availability: float = 0.99,
+    degraded_ratio: float = 0.05,
+    quality_tau: float = 0.5,
+) -> list[SLObjective]:
+    """The stock objective set for a serving cluster."""
+    return [
+        SLObjective("latency_p99", kind="latency_p99", target=latency_p99_s),
+        SLObjective("availability", kind="availability", target=availability),
+        SLObjective("degraded_ratio", kind="degraded_ratio", target=degraded_ratio),
+        SLObjective("quality", kind="quality", target=quality_tau),
+    ]
+
+
+DEFAULT_OBJECTIVES = default_objectives()
+
+_STATES = ("ok", "warning", "breach")
+
+
+class SLOEngine:
+    """Tick-based multi-window burn-rate evaluation of SLO objectives.
+
+    Feed it the cluster's merged stats dict (``cluster.stats()["cluster"]``)
+    each tick; read back per-objective burn rates and alert states.  With
+    a :class:`~repro.obs.metrics.MetricsRegistry` the engine publishes
+    ``slo_<name>_burn_fast`` / ``_burn_slow`` gauges, a numeric
+    ``slo_<name>_state`` gauge (0 ok / 1 warning / 2 breach), and an
+    ``slo_transitions_total`` counter; with an audit journal every state
+    transition lands as an ``slo-transition`` entry.
+    """
+
+    def __init__(
+        self,
+        objectives: "Sequence[SLObjective] | None" = None,
+        *,
+        metrics=None,
+        audit=None,
+        fast_window: int = 3,
+        slow_window: int = 12,
+    ) -> None:
+        if not (1 <= fast_window <= slow_window):
+            raise ValueError(
+                f"need 1 <= fast_window <= slow_window, got "
+                f"{fast_window}/{slow_window}"
+            )
+        self.objectives = list(objectives if objectives is not None
+                               else default_objectives())
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.metrics = metrics
+        self.audit = audit
+        self.fast_window = int(fast_window)
+        self.slow_window = int(slow_window)
+        # ring of (tick, snapshot) — slow_window deltas need one extra edge
+        self._snaps: deque = deque(maxlen=self.slow_window + 1)
+        self._states: dict[str, str] = {o.name: "ok" for o in self.objectives}
+        self.tick = 0
+        self.events: list[dict] = []
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        merged_stats: Mapping,
+        quality_tau: "float | None" = None,
+    ) -> dict:
+        """One tick: fold a merged-stats snapshot, return per-objective state.
+
+        ``merged_stats`` is the cluster-level dict from
+        ``ServiceCluster.stats()["cluster"]`` (anything with
+        ``requests_total`` / ``completed_total`` / ``degraded_total`` /
+        ``latency_hist`` works).  ``quality_tau`` feeds ``quality``
+        objectives (pass ``QualityWatch.overall_tau()``); quality is a
+        windowed *gauge*, not a counter delta, so the engine keeps its own
+        per-tick trail.
+        """
+        self.tick += 1
+        snap = {
+            "requests": float(merged_stats.get("requests_total", 0) or 0),
+            "completed": float(merged_stats.get("completed_total", 0) or 0),
+            "degraded": float(merged_stats.get("degraded_total", 0) or 0),
+            "hist": merged_stats.get("latency_hist"),
+            "quality": quality_tau,
+        }
+        self._snaps.append(snap)
+        out: dict = {}
+        for objective in self.objectives:
+            fast = self._burn(objective, self.fast_window)
+            slow = self._burn(objective, self.slow_window)
+            state = self._transition(objective, fast, slow)
+            out[objective.name] = {
+                "kind": objective.kind,
+                "target": objective.target,
+                "value_fast": fast["value"],
+                "value_slow": slow["value"],
+                "burn_fast": fast["burn"],
+                "burn_slow": slow["burn"],
+                "state": state,
+            }
+            self._publish(objective, out[objective.name])
+        return out
+
+    # -- window math -----------------------------------------------------------
+
+    def _window(self, n_ticks: int) -> list[dict]:
+        """The newest ``n_ticks`` snapshots plus the edge before them."""
+        snaps = list(self._snaps)
+        return snaps[-(n_ticks + 1):]
+
+    def _burn(self, objective: SLObjective, n_ticks: int) -> dict:
+        """Windowed value + burn rate for one objective over ``n_ticks``."""
+        window = self._window(n_ticks)
+        value = self._windowed_value(objective, window)
+        if value is None:
+            return {"value": None, "burn": 0.0}
+        return {"value": value, "burn": self._burn_rate(objective, value)}
+
+    def _windowed_value(
+        self, objective: SLObjective, window: "list[dict]"
+    ) -> Optional[float]:
+        if objective.kind in _RATIO_KINDS:
+            if len(window) < 2:
+                # no delta yet: treat the first snapshot as since-start
+                head, tail = {"requests": 0.0, "completed": 0.0, "degraded": 0.0}, \
+                    window[-1] if window else None
+            else:
+                head, tail = window[0], window[-1]
+            if tail is None:
+                return None
+            requests = tail["requests"] - head["requests"]
+            if requests <= 0:
+                return None  # idle window: nothing to judge
+            if objective.kind == "availability":
+                return (tail["completed"] - head["completed"]) / requests
+            return (tail["degraded"] - head["degraded"]) / requests
+        if objective.kind == "latency_p99":
+            hists = [s["hist"] for s in window if isinstance(s.get("hist"), Mapping)]
+            if not hists:
+                return None
+            tail = hists[-1]
+            if len(hists) >= 2 and hists[0] is not tail:
+                delta = self._hist_delta(hists[0], tail)
+            else:
+                delta = dict(tail)
+            if not delta.get("count"):
+                return None
+            return percentile_from_hist(delta, 99.0)
+        # quality: windowed mean of the per-tick gauge trail
+        taus = [s["quality"] for s in window[1:] or window
+                if s.get("quality") is not None]
+        if not taus:
+            return None
+        return float(sum(taus) / len(taus))
+
+    @staticmethod
+    def _hist_delta(head: Mapping, tail: Mapping) -> dict:
+        """Per-bucket subtraction of two cumulative histogram dicts.
+
+        The fixed bucket layout is what makes this exact — the same
+        property that makes cross-worker merge exact, run backwards.
+        Mismatched layouts raise (via :func:`merge_histograms`' config
+        check) rather than silently mis-subtracting.
+        """
+        merge_histograms([dict(head), dict(tail)])  # layout compatibility check
+        counts = [
+            max(0, int(t) - int(h))
+            for t, h in zip(tail["counts"], head["counts"])
+        ]
+        return {
+            **dict(tail),
+            "counts": counts,
+            "count": max(0, int(tail.get("count", 0)) - int(head.get("count", 0))),
+            "sum": float(tail.get("sum", 0.0)) - float(head.get("sum", 0.0)),
+        }
+
+    def _burn_rate(self, objective: SLObjective, value: float) -> float:
+        """How fast the window consumes the objective's error budget."""
+        if objective.kind == "availability":
+            budget = 1.0 - objective.target
+            bad = 1.0 - value
+            return bad / budget if budget > 0 else (0.0 if bad <= 0 else float("inf"))
+        if objective.kind == "degraded_ratio":
+            budget = objective.target
+            return value / budget if budget > 0 else (0.0 if value <= 0 else float("inf"))
+        if objective.kind == "latency_p99":
+            return value / objective.target
+        # quality (higher is better): burn = how far below target
+        return objective.target / value if value > 0 else float("inf")
+
+    # -- alert state machine ---------------------------------------------------
+
+    def _transition(self, objective: SLObjective, fast: dict, slow: dict) -> str:
+        previous = self._states[objective.name]
+        burn_fast, burn_slow = fast["burn"], slow["burn"]
+        if fast["value"] is None and slow["value"] is None:
+            return previous  # nothing observed: hold state
+        if burn_fast >= objective.breach_burn and burn_slow >= objective.breach_burn:
+            state = "breach"
+        elif max(burn_fast, burn_slow) >= objective.warn_burn:
+            state = "warning"
+        else:
+            state = "ok"
+        if state != previous:
+            self._states[objective.name] = state
+            event = {
+                "type": "slo-transition",
+                "objective": objective.name,
+                "from": previous,
+                "to": state,
+                "tick": self.tick,
+                "burn_fast": burn_fast,
+                "burn_slow": burn_slow,
+            }
+            self.events.append(event)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "slo_transitions_total", help="SLO alert state changes"
+                ).inc()
+            if self.audit is not None:
+                self.audit.record("slo-transition", event)
+        return self._states[objective.name]
+
+    # -- readback --------------------------------------------------------------
+
+    def states(self) -> dict[str, str]:
+        """Current alert state per objective name."""
+        return dict(self._states)
+
+    def state_table(self, evaluation: "Mapping | None" = None) -> str:
+        """A fixed-width text table of the latest evaluation (for dashboards)."""
+        header = f"{'objective':<16} {'state':<8} {'target':>8} " \
+                 f"{'fast':>10} {'slow':>10} {'burn_f':>7} {'burn_s':>7}"
+        lines = [header, "-" * len(header)]
+        evaluation = evaluation or {}
+        for objective in self.objectives:
+            row = evaluation.get(objective.name, {})
+            fmt = lambda v: "-" if v is None else f"{v:.4g}"
+            lines.append(
+                f"{objective.name:<16} {self._states[objective.name]:<8} "
+                f"{objective.target:>8.4g} {fmt(row.get('value_fast')):>10} "
+                f"{fmt(row.get('value_slow')):>10} "
+                f"{fmt(row.get('burn_fast')):>7} {fmt(row.get('burn_slow')):>7}"
+            )
+        return "\n".join(lines)
+
+    # -- metrics publishing ----------------------------------------------------
+
+    def _publish(self, objective: SLObjective, row: Mapping) -> None:
+        if self.metrics is None:
+            return
+        name = objective.name
+        self.metrics.gauge(
+            f"slo_{name}_burn_fast", help=f"{name} fast-window burn rate"
+        ).set(0.0 if row["burn_fast"] is None else min(row["burn_fast"], 1e9))
+        self.metrics.gauge(
+            f"slo_{name}_burn_slow", help=f"{name} slow-window burn rate"
+        ).set(0.0 if row["burn_slow"] is None else min(row["burn_slow"], 1e9))
+        self.metrics.gauge(
+            f"slo_{name}_state", help=f"{name} alert state (0 ok/1 warning/2 breach)"
+        ).set(float(_STATES.index(row["state"])))

@@ -40,7 +40,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.audit import AuditJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import QualityWatch
 from repro.obs.trace import Tracer
 from repro.online.drift import DriftMonitor, DriftReport
 from repro.online.feedback import FeedbackCollector, MeasuredFeedback
@@ -100,6 +102,8 @@ class ContinualLearningPipeline:
         *,
         metrics: "MetricsRegistry | None" = None,
         tracer: "Tracer | None" = None,
+        quality: "QualityWatch | None" = None,
+        audit: "AuditJournal | None" = None,
     ) -> None:
         self.service = service
         self.collector = collector
@@ -109,11 +113,16 @@ class ContinualLearningPipeline:
         self.policy = policy
         self.config = config
         #: optional observability: a metrics registry mirrors the loop's
-        #: event log as scrapeable counters/gauges, and a tracer records
-        #: retrain/promotion/rollback as zero-width process events — both
-        #: None by default (the loop pays only ``None`` checks)
+        #: event log as scrapeable counters/gauges, a tracer records
+        #: retrain/promotion/rollback as zero-width process events, a
+        #: QualityWatch streams every measured record into rolling τ
+        #: gauges (and is told about promotions so it can compare shadow
+        #: vs realized τ), and an AuditJournal receives the lifecycle
+        #: events — all None by default (the loop pays only ``None`` checks)
         self.metrics = metrics
         self.tracer = tracer
+        self.quality = quality
+        self.audit = audit
         #: chronological log of retrain/promotion/rejection/rollback events
         self.events: list[dict] = []
         #: retrain attempts that raised (isolated; serving never sees them)
@@ -181,6 +190,11 @@ class ContinualLearningPipeline:
         for fb in new:
             if current is None or fb.model_version == current:
                 self.monitor.observe(fb)
+            if self.quality is not None:
+                # the quality watch sees *every* record (it separates
+                # versions itself — stale-model τ still describes what
+                # users experienced while that model served)
+                self.quality.observe(fb)
         self._maybe_rollback(new)
         report = self.monitor.report()
         self._steps_since_retrain += 1
@@ -220,13 +234,15 @@ class ContinualLearningPipeline:
         return report
 
     def _observe(self, kind: str, attrs: "dict | None" = None) -> None:
-        """Mirror one loop event into the optional metrics/tracer hooks."""
+        """Mirror one loop event into the optional metrics/tracer/audit hooks."""
         if self.metrics is not None:
             self.metrics.counter(
                 f"pipeline_{kind.replace('-', '_')}_total"
             ).inc()
         if self.tracer is not None:
             self.tracer.record_event(f"pipeline-{kind}", attrs=attrs)
+        if self.audit is not None:
+            self.audit.record(kind if kind != "promotion" else "promote", attrs)
 
     # -- retraining ------------------------------------------------------------
 
@@ -299,6 +315,14 @@ class ContinualLearningPipeline:
             self.metrics.gauge("shadow_production_tau").set(shadow.production_tau)
         if decision.promoted:
             self._observe("promotion", {"version": decision.version})
+            if self.quality is not None:
+                # realized-vs-shadow tracking starts now: the watch will
+                # alert if online τ undercuts what the shadow promised
+                self.quality.note_promotion(
+                    decision.version,
+                    shadow_tau=shadow.candidate_tau,
+                    production_tau=shadow.production_tau,
+                )
             # fresh window: observations of the displaced model must not
             # re-trigger drift against the new one — and the shift
             # reference must now fingerprint what the *new* model was

@@ -91,6 +91,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.audit import AuditJournal
 from repro.obs.trace import ROOT_SPAN, Span, TraceConfig, TraceContext, Tracer, write_jsonl
 from repro.service.cache import InternedCandidates
 from repro.service.chaos import ChaosConfig
@@ -264,6 +265,7 @@ class ServiceCluster:
         resilience: "ResilienceConfig | None" = None,
         chaos: "ChaosConfig | dict[int, ChaosConfig] | None" = None,
         trace: "TraceConfig | None" = None,
+        audit: "AuditJournal | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -300,7 +302,12 @@ class ServiceCluster:
             self.router.mark_dead(worker_id)
         self._workers: dict[int, _WorkerHandle] = {}
         self._lock = threading.RLock()
+        # data-plane ids are pure submission ordinals: control-plane
+        # traffic (stats, probes) draws from a disjoint high range so
+        # timing-dependent probe counts never shift request numbering —
+        # the audit journal's req_id→version replay stays run-stable
         self._req_ids = iter(range(1, 1 << 62)).__next__
+        self._ctl_ids = iter(range(1 << 62, 1 << 63)).__next__
         self._started = False
         self._stopping = False
         #: worker exits observed outside a clean stop
@@ -363,6 +370,15 @@ class ServiceCluster:
         self.tracer: "Tracer | None" = (
             Tracer(trace, process="coordinator") if trace is not None else None
         )
+        #: model-lifecycle / fleet-health audit journal (None: fully off —
+        #: every audit point pays only a ``None`` check).  Fleet events
+        #: (spawn/worker-exit/quarantine/readmit/shed/degrade, breaker
+        #: transitions) and per-request ``answer`` events land here with
+        #: the trace ids in flight at event time.
+        self.audit: "AuditJournal | None" = audit
+        if audit is not None:
+            for worker_id, breaker in self._health.items():
+                breaker.on_transition = self._breaker_auditor(worker_id)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -397,7 +413,7 @@ class ServiceCluster:
             try:
                 with handle.send_lock:
                     handle.conn.send(Shutdown())
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, TypeError, ValueError):
                 pass
         deadline = time.monotonic() + timeout_s
         for handle in handles:
@@ -491,6 +507,10 @@ class ServiceCluster:
                 self.shed_requests += 1
                 if self.tracer is not None:
                     self.tracer.record_event("shed", attrs={"depth": depth})
+                if self.audit is not None:
+                    self.audit.record(
+                        "shed", {"depth": depth}, self._inflight_trace_ids()
+                    )
                 raise ClusterOverloadedError(
                     f"cluster backlog ({depth}) at max_queue_depth "
                     f"({resil.max_queue_depth}); request shed"
@@ -641,7 +661,7 @@ class ServiceCluster:
             for handle in self._workers.values():
                 if handle.dead:
                     continue
-                req_id = self._req_ids()
+                req_id = self._ctl_ids()
                 fut: concurrent.futures.Future = concurrent.futures.Future()
                 handle.stats_pending[req_id] = fut
                 requests.append((handle.worker_id, handle, req_id, fut))
@@ -649,7 +669,7 @@ class ServiceCluster:
             try:
                 with handle.send_lock:
                     handle.conn.send(StatsRequest(req_id=req_id))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, TypeError, ValueError):
                 with self._lock:
                     handle.stats_pending.pop(req_id, None)
                 _settle(fut, error=RuntimeError("worker pipe closed"))
@@ -693,7 +713,27 @@ class ServiceCluster:
                     if self._fallback_scorer is not None
                     else 0
                 ),
+                "fallback_cache_hits": (
+                    self._fallback_store.hits
+                    if self._fallback_store is not None
+                    else 0
+                ),
+                "fallback_cache_misses": (
+                    self._fallback_store.misses
+                    if self._fallback_store is not None
+                    else 0
+                ),
             }
+            # trace-ring accounting: recorded vs honestly dropped spans
+            # (the ring is bounded; silent loss would corrupt attribution)
+            trace_ring = (
+                {
+                    "recorded": self.tracer.recorder.recorded,
+                    "dropped": self.tracer.recorder.dropped,
+                }
+                if self.tracer is not None
+                else {"recorded": 0, "dropped": 0}
+            )
             # degraded answers and sheds happen in the coordinator, never
             # inside a worker — fold them into the first-class telemetry
             # counters so merged stats and resilience state agree
@@ -701,15 +741,34 @@ class ServiceCluster:
                 merged.get("degraded_total", 0) + self.degraded_served
             )
             merged["shed_total"] = merged.get("shed_total", 0) + self.shed_requests
+            # surface every coordinator counter in the merged dict under
+            # exposition-friendly names, so ``exposition(stats["cluster"])``
+            # exports the whole fleet story (no counter is scrape-invisible)
+            merged["crashes_total"] = self.crashes
+            merged["timeouts_total"] = self.timeouts
+            merged["retries_scheduled_total"] = self.retries_scheduled
+            merged["quarantines_total"] = self.quarantines
+            merged["readmissions_total"] = self.readmissions
+            merged["corrupted_frames_total"] = self.corrupted_frames
+            merged["feedback_received_total"] = self.feedback_received
+            merged["feedback_errors_total"] = self.feedback_errors
+            merged["fallback_cache_hits_total"] = resilience["fallback_cache_hits"]
+            merged["fallback_cache_misses_total"] = resilience["fallback_cache_misses"]
+            merged["fallback_scored_total"] = resilience["fallback_scored"]
+            merged["trace_spans_recorded_total"] = trace_ring["recorded"]
+            merged["trace_spans_dropped_total"] = trace_ring["dropped"]
         return {
             "cluster": merged,
             "workers": {w: r.stats for w, r in sorted(replies.items())},
             "alive_workers": list(self.router.alive()),
             "crashes": self.crashes,
             "feedback_received": self.feedback_received,
+            "feedback_errors": self.feedback_errors,
             "missing_workers": missing,
             "health": health,
             "resilience": resilience,
+            "trace": trace_ring,
+            "audit_entries": len(self.audit) if self.audit is not None else 0,
         }
 
     def trace_spans(self) -> "list[Span]":
@@ -723,6 +782,43 @@ class ServiceCluster:
     def dump_trace(self, path: "str | Path") -> int:
         """Write the merged span buffer as JSONL; returns spans written."""
         return write_jsonl(path, self.trace_spans())
+
+    # -- audit journal ----------------------------------------------------------
+
+    def _inflight_trace_ids(self, limit: int = 32) -> "tuple[str, ...]":
+        """Trace ids of requests in flight right now (bounded, sorted).
+
+        Stamped onto every audit entry: the join key from a fleet event
+        to the requests it may have affected.  Empty without tracing.
+        """
+        if self.tracer is None:
+            return ()
+        ids: set[str] = set()
+        with self._lock:
+            for handle in self._workers.values():
+                for pending in handle.pending.values():
+                    if pending.trace_ctx is not None:
+                        ids.add(pending.trace_ctx.trace_id)
+            for pending in self._retry_queue:
+                if pending.trace_ctx is not None:
+                    ids.add(pending.trace_ctx.trace_id)
+        return tuple(sorted(ids)[:limit])
+
+    def _audit(self, event: str, attrs: "dict | None" = None) -> None:
+        """Record one fleet event in the audit journal (no-op without one)."""
+        if self.audit is not None:
+            self.audit.record(event, attrs, self._inflight_trace_ids())
+
+    def _breaker_auditor(self, worker_id: int):
+        """An ``on_transition`` observer auditing one worker's breaker."""
+
+        def observe(origin: str, to: str, reason: str) -> None:
+            self._audit(
+                "breaker-transition",
+                {"worker": worker_id, "from": origin, "to": to, "reason": reason},
+            )
+
+        return observe
 
     # -- fault injection (tests and drills) ------------------------------------
 
@@ -791,6 +887,8 @@ class ServiceCluster:
                     "pid": process.pid,
                 }
             )
+        # pid is run-specific provenance the replay fold ignores
+        self._audit("spawn", {"worker": worker_id, "restarts": restarts})
         handle.reader.start()
         return handle
 
@@ -840,6 +938,24 @@ class ServiceCluster:
                         )
                     if self.tracer is not None and pending.trace_ctx is not None:
                         self._record_reply_trace(pending, msg)
+                    if self.audit is not None:
+                        # the request's own trace id only — answer events
+                        # are per-request, not fleet-wide, and must stay
+                        # off the lock (one per reply)
+                        self.audit.record(
+                            "answer",
+                            {
+                                "req_id": pending.req_id,
+                                "model_version": msg.model_version,
+                                "worker": msg.worker_id,
+                                "cached": msg.cached,
+                                "attempts": pending.attempts,
+                                "why": "routed",
+                            },
+                            (pending.trace_ctx.trace_id,)
+                            if pending.trace_ctx is not None
+                            else (),
+                        )
                     _settle(
                         pending.future,
                         ClusterResponse(
@@ -924,6 +1040,7 @@ class ServiceCluster:
                     self.tracer.record_event(
                         "readmit", attrs={"worker": handle.worker_id}
                     )
+                self._audit("readmit", {"worker": handle.worker_id})
 
     def _note_failure(self, worker_id: int, kind: str) -> None:
         """Feed one failure to a worker's breaker; act on a trip."""
@@ -956,6 +1073,10 @@ class ServiceCluster:
                 "reason": reason,
                 "requeued": len(orphans),
             }
+        )
+        self._audit(
+            "quarantine",
+            {"worker": worker_id, "reason": reason, "requeued": len(orphans)},
         )
         if self.tracer is not None:
             self.tracer.record_event(
@@ -999,6 +1120,14 @@ class ServiceCluster:
                     "restarted": restart,
                 }
             )
+        self._audit(
+            "worker-exit",
+            {
+                "worker": handle.worker_id,
+                "requeued": len(orphans),
+                "restarted": restart,
+            },
+        )
         if self.tracer is not None:
             self.tracer.record_event(
                 "worker-exit",
@@ -1098,9 +1227,11 @@ class ServiceCluster:
         try:
             with handle.send_lock:
                 handle.conn.send(request)
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, OSError, TypeError, ValueError):
             # the worker died under our pen: the crash path requeues
-            # everything in its pending map, including this request
+            # everything in its pending map, including this request.
+            # TypeError/ValueError cover a concurrent close() nulling the
+            # pipe handle between send()'s closed-check and the write.
             self._on_worker_exit(handle)
             return
         if tracing:
@@ -1288,12 +1419,12 @@ class ServiceCluster:
                 breaker = self._health[worker_id]
                 if breaker.should_probe():
                     breaker.record_probe_sent()
-                    probes.append((handle, Ping(req_id=self._req_ids())))
+                    probes.append((handle, Ping(req_id=self._ctl_ids())))
         for handle, ping in probes:
             try:
                 with handle.send_lock:
                     handle.conn.send(ping)
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, TypeError, ValueError):
                 pass  # the reader's EOF will run the crash path
 
     # -- degradation -----------------------------------------------------------
@@ -1306,6 +1437,28 @@ class ServiceCluster:
             if response is not None:
                 with self._lock:
                     self.degraded_served += 1
+                if self.audit is not None:
+                    why = "degraded-cache" if response.cached else "degraded-scored"
+                    self.audit.record(
+                        "answer",
+                        {
+                            "req_id": pending.req_id,
+                            "model_version": response.model_version,
+                            "worker": -1,
+                            "cached": response.cached,
+                            "attempts": pending.attempts,
+                            "why": why,
+                            "degraded": True,
+                        },
+                        (pending.trace_ctx.trace_id,)
+                        if pending.trace_ctx is not None
+                        else (),
+                    )
+                    self.audit.record(
+                        "degrade",
+                        {"req_id": pending.req_id, "why": why},
+                        self._inflight_trace_ids(),
+                    )
                 if self.tracer is not None and pending.trace_ctx is not None:
                     now = time.monotonic()
                     self.tracer.span(

@@ -167,6 +167,9 @@ class CircuitBreaker:
         self.probes_sent = 0
         self.probes_ok = 0
         self._last_probe_at: "float | None" = None
+        #: optional observer called as ``on_transition(from, to, reason)``
+        #: after every state change (the cluster audits breakers through it)
+        self.on_transition: "Callable[[str, str, str], None] | None" = None
 
     @classmethod
     def from_config(
@@ -189,10 +192,11 @@ class CircuitBreaker:
 
     def _move(self, to: HealthState, reason: str) -> HealthState:
         if to is not self.state:
-            self.transitions.append(
-                (self._clock(), self.state.value, to.value, reason)
-            )
+            origin = self.state.value
+            self.transitions.append((self._clock(), origin, to.value, reason))
             self.state = to
+            if self.on_transition is not None:
+                self.on_transition(origin, to.value, reason)
         return self.state
 
     def record_failure(self, kind: str) -> HealthState:

@@ -127,6 +127,9 @@ class ModelRegistry:
         self.corruption_detected = 0
         #: dynamic loads served by an older version after archive corruption
         self.corruption_fallbacks = 0
+        #: optional observer called as ``on_tag(name, version)`` after every
+        #: successful tag write (``AuditJournal.attach_registry`` sets it)
+        self.on_tag = None
 
     # -- publishing ------------------------------------------------------------
 
@@ -279,6 +282,8 @@ class ModelRegistry:
             payload = _encode_tags(tags)
             _atomic_write_json(self._tags_path, payload)
             _atomic_write_json(self._bak_path, payload)
+        if self.on_tag is not None:
+            self.on_tag(name, version)
         return version
 
     def resolve(self, ref: str) -> str:

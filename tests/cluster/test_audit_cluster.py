@@ -1,0 +1,103 @@
+"""Cluster audit journal: fleet events exactly once, replay bit-identical.
+
+The journal's job under fault injection: after a SIGKILL + restart the
+artifact alone must prove what happened — every worker exit recorded
+exactly once, every answer attributable to a model version, the checksum
+chain intact — and two identically-seeded episodes must reconstruct the
+same request→version map via :meth:`AuditJournal.replay`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.audit import AuditJournal
+from tests.cluster.harness import kill_and_settle, workload_requests
+
+N_REQUESTS = 24
+KILL_AFTER = 12
+
+
+def _episode(make_cluster, journal):
+    """One deterministic serve → SIGKILL → restart → serve episode."""
+    requests = workload_requests(N_REQUESTS, seed=91)
+    cluster = make_cluster(n_workers=2, restart_workers=True, audit=journal)
+    for instance, candidates in requests[:KILL_AFTER]:
+        cluster.submit(instance, candidates, include_scores=False).result(
+            timeout=120
+        )
+    kill_and_settle(cluster, 0)
+    for instance, candidates in requests[KILL_AFTER:]:
+        cluster.submit(instance, candidates, include_scores=False).result(
+            timeout=120
+        )
+    return cluster
+
+
+class TestClusterAudit:
+    def test_fleet_events_exactly_once_and_chain_intact(self, make_cluster):
+        journal = AuditJournal()
+        cluster = _episode(make_cluster, journal)
+
+        n = journal.verify()  # raises if any entry was dropped/edited
+        assert n == len(journal) > 0
+        assert cluster.stats()["audit_entries"] == len(journal)
+
+        replay = AuditJournal.replay(journal.entries())
+        # the one SIGKILL appears exactly once, as does its restart spawn
+        assert len(replay["worker_exits"]) == cluster.crashes == 1
+        assert replay["worker_exits"][0]["worker"] == 0
+        assert replay["worker_exits"][0]["restarted"] is True
+        spawns = [e["attrs"] for e in journal.events_of("spawn")]
+        assert len(spawns) == 3  # two initial workers + one replacement
+        assert sum(1 for s in spawns if s["restarts"] > 0) == 1
+        # quarantine/readmit events mirror the cluster's own counters 1:1
+        assert len(replay["quarantines"]) == cluster.quarantines
+        assert len(replay["readmissions"]) == cluster.readmissions
+
+        # every request answered exactly once, attributable to a version
+        assert len(replay["answers"]) == N_REQUESTS
+        assert replay["counts"]["answer"] == N_REQUESTS
+        for answer in replay["answers"].values():
+            assert answer["model_version"] == "v0001"
+            assert answer["why"] in ("routed", "degraded-cache", "degraded-scored")
+
+    def test_replay_reconstruction_is_bit_identical_across_runs(
+        self, make_cluster
+    ):
+        """Two identically-seeded episodes (each with its own kill+restart)
+        reconstruct the same request→model-version map from the journal."""
+
+        def version_map(journal):
+            replay = AuditJournal.replay(journal.entries())
+            return {
+                req_id: answer["model_version"]
+                for req_id, answer in sorted(replay["answers"].items())
+            }
+
+        first, second = AuditJournal(), AuditJournal()
+        _episode(make_cluster, first)
+        _episode(make_cluster, second)
+        assert version_map(first) == version_map(second)
+        assert len(version_map(first)) == N_REQUESTS
+
+    def test_trace_ids_join_audit_to_spans(self, make_cluster, tmp_path):
+        """With tracing on, each answer entry carries its request's trace id,
+        and the journal written to disk survives a verified reload."""
+        from repro.obs.trace import TraceConfig
+
+        journal = AuditJournal()
+        requests = workload_requests(6, seed=97)
+        cluster = make_cluster(
+            n_workers=2, trace=TraceConfig(sample_rate=1.0), audit=journal
+        )
+        for instance, candidates in requests:
+            cluster.submit(instance, candidates, include_scores=False).result(
+                timeout=120
+            )
+        answers = journal.events_of("answer")
+        assert len(answers) == 6
+        assert all(len(e["trace_ids"]) == 1 for e in answers)
+
+        path = tmp_path / "audit.jsonl"
+        journal.write(path)
+        reloaded = AuditJournal.load(path)
+        assert reloaded.entries() == journal.entries()

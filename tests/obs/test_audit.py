@@ -1,0 +1,214 @@
+"""Audit journal: chain integrity, tamper detection, replay, persistence."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.audit import GENESIS, AuditJournal, verify_entries
+
+
+class TestChain:
+    def test_empty_journal_verifies(self):
+        journal = AuditJournal()
+        assert journal.verify() == 0
+        assert len(journal) == 0
+
+    def test_first_entry_chains_from_genesis(self):
+        journal = AuditJournal()
+        entry = journal.record("promote", {"version": "v0002"})
+        assert entry["seq"] == 0
+        assert entry["prev"] == GENESIS
+        assert journal.verify() == 1
+
+    def test_chain_links_and_counts(self):
+        journal = AuditJournal()
+        for i in range(10):
+            journal.record("answer", {"req_id": i, "model_version": "v0001"})
+        entries = journal.entries()
+        assert [e["seq"] for e in entries] == list(range(10))
+        for prev, entry in zip(entries, entries[1:]):
+            assert entry["prev"] == prev["checksum"]
+        assert journal.verify() == 10
+
+    def test_edited_payload_breaks_chain(self):
+        journal = AuditJournal()
+        journal.record("promote", {"version": "v0002"})
+        journal.record("rollback", {"restored": "v0001"})
+        entries = journal.entries()
+        entries[0]["attrs"]["version"] = "v0666"
+        with pytest.raises(ValueError, match="audit chain broken at entry 0"):
+            verify_entries(entries)
+
+    def test_dropped_entry_breaks_chain(self):
+        journal = AuditJournal()
+        for i in range(4):
+            journal.record("answer", {"req_id": i})
+        entries = journal.entries()
+        del entries[1]
+        with pytest.raises(ValueError, match="audit chain broken at entry 1"):
+            verify_entries(entries)
+
+    def test_reordered_entries_break_chain(self):
+        journal = AuditJournal()
+        for i in range(4):
+            journal.record("answer", {"req_id": i})
+        entries = journal.entries()
+        entries[1], entries[2] = entries[2], entries[1]
+        with pytest.raises(ValueError, match="audit chain broken"):
+            verify_entries(entries)
+
+    def test_determinism_no_wall_clock(self):
+        """Same events in, byte-identical journal out — twice."""
+
+        def build():
+            journal = AuditJournal()
+            journal.record("spawn", {"worker": 0, "restarts": 0})
+            journal.record("answer", {"req_id": 1, "model_version": "v0001"},
+                           trace_ids=("t1",))
+            journal.record("quarantine", {"worker": 0, "reason": "timeout"})
+            return journal.entries()
+
+        assert build() == build()
+
+    def test_trace_ids_sorted_and_filtered(self):
+        journal = AuditJournal()
+        entry = journal.record("shed", {}, trace_ids=("b", "", "a"))
+        assert entry["trace_ids"] == ["a", "b"]
+
+
+class TestReplay:
+    def test_answers_keyed_by_req_id(self):
+        journal = AuditJournal()
+        journal.record("answer", {"req_id": 3, "model_version": "v0001",
+                                  "worker": 0, "why": "routed"})
+        journal.record("answer", {"req_id": 4, "model_version": "v0001",
+                                  "worker": 1, "why": "degraded-scored",
+                                  "degraded": True})
+        replay = AuditJournal.replay(journal.entries())
+        assert replay["answers"][3]["why"] == "routed"
+        assert replay["answers"][4]["degraded"] is True
+        assert replay["counts"]["answer"] == 2
+
+    def test_replay_is_order_independent(self):
+        """Scheduler-permuted interleavings reconstruct identically."""
+        a = [
+            {"event": "answer", "attrs": {"req_id": 1, "model_version": "v1"}},
+            {"event": "answer", "attrs": {"req_id": 2, "model_version": "v1"}},
+        ]
+        assert AuditJournal.replay(a) == AuditJournal.replay(list(reversed(a)))
+
+    def test_promote_rollback_move_serving_tag(self):
+        journal = AuditJournal()
+        journal.record("promote", {"version": "v0002"})
+        replay = AuditJournal.replay(journal.entries())
+        assert replay["tags"]["__serving__"] == "v0002"
+        journal.record("rollback", {"restored": "v0001"})
+        replay = AuditJournal.replay(journal.entries())
+        assert replay["tags"]["__serving__"] == "v0001"
+        assert len(replay["promotions"]) == len(replay["rollbacks"]) == 1
+
+    def test_fleet_event_buckets(self):
+        journal = AuditJournal()
+        journal.record("quarantine", {"worker": 2, "reason": "crash"})
+        journal.record("readmit", {"worker": 2})
+        journal.record("worker-exit", {"worker": 2, "requeued": 0})
+        replay = AuditJournal.replay(journal.entries())
+        assert replay["quarantines"] == [{"worker": 2, "reason": "crash"}]
+        assert replay["readmissions"] == [{"worker": 2}]
+        assert replay["worker_exits"] == [{"worker": 2, "requeued": 0}]
+
+    def test_tag_events_track_final_position(self):
+        journal = AuditJournal()
+        journal.record("tag", {"tag": "prod", "version": "v0001"})
+        journal.record("tag", {"tag": "prod", "version": "v0002"})
+        assert AuditJournal.replay(journal.entries())["tags"]["prod"] == "v0002"
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, tmp_path):
+        journal = AuditJournal()
+        journal.record("promote", {"version": "v0002"})
+        journal.record("answer", {"req_id": 1, "model_version": "v0002"})
+        path = tmp_path / "audit.jsonl"
+        assert journal.write(path) == 2
+        loaded = AuditJournal.load(path)
+        assert loaded.entries() == journal.entries()
+        assert loaded.verify() == 2
+
+    def test_load_rejects_tampered_file(self, tmp_path):
+        journal = AuditJournal()
+        journal.record("promote", {"version": "v0002"})
+        path = tmp_path / "audit.jsonl"
+        journal.write(path)
+        entry = json.loads(path.read_text())
+        entry["attrs"]["version"] = "v0666"
+        path.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        with pytest.raises(ValueError, match="audit chain broken"):
+            AuditJournal.load(path)
+
+    def test_streaming_file_matches_memory(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        journal = AuditJournal(path)
+        for i in range(5):
+            journal.record("answer", {"req_id": i})
+        on_disk = [json.loads(line) for line in path.read_text().splitlines()]
+        assert on_disk == journal.entries()
+        assert AuditJournal.load(path).verify() == 5
+
+    def test_loaded_journal_can_keep_appending(self, tmp_path):
+        journal = AuditJournal()
+        journal.record("promote", {"version": "v0002"})
+        path = tmp_path / "audit.jsonl"
+        journal.write(path)
+        resumed = AuditJournal.load(path)
+        resumed.record("rollback", {"restored": "v0001"})
+        assert resumed.verify() == 2
+
+
+class TestWiring:
+    def test_attach_registry_audits_tag_moves(self, tmp_path):
+        import numpy as np
+
+        from repro.learn.ranksvm import RankSVM
+        from repro.service.registry import ModelRegistry
+
+        model = RankSVM()
+        model.w_ = np.zeros(4)
+        model.num_pairs_ = 0
+        registry = ModelRegistry(tmp_path)
+        journal = AuditJournal().attach_registry(registry)
+        version = registry.publish(model, "fp", tags=("prod",))
+        tag_events = journal.events_of("tag")
+        assert {"tag": "prod", "version": version} in [
+            e["attrs"] for e in tag_events
+        ]
+        assert AuditJournal.replay(journal.entries())["tags"]["prod"] == version
+
+    def test_concurrent_appends_keep_chain_intact(self):
+        journal = AuditJournal()
+
+        def spam(worker):
+            for i in range(50):
+                journal.record("answer", {"req_id": worker * 1000 + i})
+
+        threads = [threading.Thread(target=spam, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert journal.verify() == 200
+        replay = AuditJournal.replay(journal.entries())
+        assert len(replay["answers"]) == 200
+
+    def test_events_of_and_tail(self):
+        journal = AuditJournal()
+        for i in range(5):
+            journal.record("answer", {"req_id": i})
+        journal.record("promote", {"version": "v0002"})
+        assert [e["attrs"]["version"] for e in journal.events_of("promote")] == [
+            "v0002"
+        ]
+        assert [e["seq"] for e in journal.tail(2)] == [4, 5]

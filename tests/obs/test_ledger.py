@@ -1,0 +1,172 @@
+"""Benchmark ledger: rows, history IO, and the trailing-median sentinel."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    append_row,
+    check_regression,
+    format_report,
+    git_sha,
+    ledger_row,
+    read_history,
+)
+
+
+class TestRows:
+    def test_row_shape(self):
+        row = ledger_row("cluster", {"rps": 120.5}, extra={"n": 256})
+        assert row["schema"] == LEDGER_SCHEMA_VERSION
+        assert row["benchmark"] == "cluster"
+        assert row["metrics"] == {"rps": 120.5}
+        assert row["extra"] == {"n": 256}
+        assert isinstance(row["cpu_count"], int) and row["cpu_count"] >= 1
+        assert isinstance(row["git_sha"], str) and row["git_sha"]
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(TypeError, match="must be numeric"):
+            ledger_row("cluster", {"rps": "fast"})
+        with pytest.raises(TypeError, match="must be numeric"):
+            ledger_row("cluster", {"ok": True})  # bools are not metrics
+
+    def test_git_sha_in_checkout(self):
+        sha = git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for rps in (100.0, 110.0):
+            append_row(path, ledger_row("cluster", {"rps": rps}))
+        rows = read_history(path)
+        assert [r["metrics"]["rps"] for r in rows] == [100.0, 110.0]
+
+    def test_read_history_skips_junk(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        good = ledger_row("cluster", {"rps": 100.0})
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps(good),
+                    "",  # blank
+                    "{not json",  # corrupt
+                    json.dumps([1, 2]),  # not a dict
+                    json.dumps({**good, "schema": LEDGER_SCHEMA_VERSION + 1}),
+                ]
+            )
+            + "\n"
+        )
+        assert len(read_history(path)) == 1
+
+    def test_read_missing_file(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+
+def _history(benchmark, values, metric="latency_ms"):
+    return [
+        {"schema": 1, "benchmark": benchmark, "metrics": {metric: v}}
+        for v in values
+    ]
+
+
+class TestSentinel:
+    def test_flags_synthetic_2x_latency_inflation(self):
+        """The acceptance case: a 2× p99 inflation against flat history."""
+        history = _history("cluster", [10.0, 11.0, 10.5, 10.8, 11.2])
+        report = check_regression(
+            history, "cluster", {"latency_ms": 21.8},
+            {"latency_ms": ("lower", 2.0)},
+        )
+        assert report["flagged"] == ["latency_ms"]
+        assert not report["ok"]
+        assert report["checks"]["latency_ms"]["verdict"] == "regressed"
+        assert report["checks"]["latency_ms"]["median"] == 10.8
+
+    def test_within_tolerance_passes(self):
+        history = _history("cluster", [10.0, 11.0, 10.5])
+        report = check_regression(
+            history, "cluster", {"latency_ms": 15.0},
+            {"latency_ms": ("lower", 2.0)},
+        )
+        assert report["ok"] and report["flagged"] == []
+
+    def test_higher_direction_flags_collapse(self):
+        history = _history("service", [10.0, 12.0, 11.0], metric="speedup")
+        report = check_regression(
+            history, "service", {"speedup": 4.0}, {"speedup": ("higher", 0.5)}
+        )
+        assert report["flagged"] == ["speedup"]
+        ok = check_regression(
+            history, "service", {"speedup": 9.0}, {"speedup": ("higher", 0.5)}
+        )
+        assert ok["ok"]
+
+    def test_insufficient_history_never_flags(self):
+        history = _history("cluster", [10.0, 11.0])  # < min_history
+        report = check_regression(
+            history, "cluster", {"latency_ms": 1000.0},
+            {"latency_ms": ("lower", 2.0)},
+        )
+        assert report["ok"]
+        assert report["checks"]["latency_ms"]["verdict"] == "insufficient-history"
+
+    def test_other_benchmarks_do_not_pollute(self):
+        history = _history("batch", [1.0, 1.0, 1.0]) + _history(
+            "cluster", [10.0, 11.0, 10.5]
+        )
+        report = check_regression(
+            history, "cluster", {"latency_ms": 15.0},
+            {"latency_ms": ("lower", 2.0)},
+        )
+        assert report["n_history"] == 3
+        assert report["ok"]
+
+    def test_window_limits_lookback(self):
+        # old terrible epoch, recent good epoch; window sees only the recent
+        history = _history("cluster", [100.0] * 5 + [10.0, 10.5, 11.0])
+        report = check_regression(
+            history, "cluster", {"latency_ms": 12.0},
+            {"latency_ms": ("lower", 2.0)}, window=3,
+        )
+        assert report["ok"]
+        assert report["checks"]["latency_ms"]["median"] == 10.5
+
+    def test_metric_missing_and_degenerate_median(self):
+        history = _history("cluster", [0.0, 0.0, 0.0])
+        report = check_regression(
+            history, "cluster", {"other": 1.0},
+            {"other": ("lower", 2.0), "latency_ms": ("lower", 2.0)},
+        )
+        assert report["checks"]["latency_ms"]["verdict"] == "metric-missing"
+        degenerate = check_regression(
+            history, "cluster", {"latency_ms": 5.0},
+            {"latency_ms": ("lower", 2.0)},
+        )
+        assert degenerate["checks"]["latency_ms"]["verdict"] == "degenerate-median"
+        assert degenerate["ok"]
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(ValueError, match="direction"):
+            check_regression([], "cluster", {"x": 1.0}, {"x": ("sideways", 2.0)})
+
+    def test_accepts_path_history(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for v in (10.0, 11.0, 10.5):
+            append_row(path, ledger_row("cluster", {"latency_ms": v}))
+        report = check_regression(
+            path, "cluster", {"latency_ms": 50.0}, {"latency_ms": ("lower", 2.0)}
+        )
+        assert report["flagged"] == ["latency_ms"]
+
+    def test_format_report_is_printable(self):
+        history = _history("cluster", [10.0, 11.0, 10.5])
+        report = check_regression(
+            history, "cluster", {"latency_ms": 50.0, "absent": 1.0},
+            {"latency_ms": ("lower", 2.0), "missing": ("higher", 0.5)},
+        )
+        text = format_report(report)
+        assert "REGRESSED: latency_ms" in text
+        assert "missing: metric-missing" in text

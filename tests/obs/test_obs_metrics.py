@@ -172,6 +172,79 @@ class TestPercentileAccuracy:
         assert vals == sorted(vals)
 
 
+class TestPercentileEdgeCases:
+    """percentile_from_hist on empty / single-bucket / saturated shapes."""
+
+    def test_empty_hist_dict_is_zero_for_any_q(self):
+        empty = Histogram().to_dict()
+        for q in (0, 50, 99, 100):
+            assert percentile_from_hist(empty, q) == 0.0
+        # count==0 short-circuits before q validation, by design
+        assert percentile_from_hist(empty, 500) == 0.0
+
+    def test_single_bucket_all_percentiles_inside_it(self):
+        h = Histogram()
+        for _ in range(1000):
+            h.observe(0.01)  # every observation in one bucket
+        d = h.to_dict()
+        lower, upper = h.bucket_bounds(h.bucket_index(0.01))
+        for q in (0, 1, 50, 99, 100):
+            assert lower <= percentile_from_hist(d, q) <= upper
+
+    def test_saturated_overflow_bucket(self):
+        """Observations far beyond the top bound all land in the overflow
+        bucket; percentiles must stay finite and equal its lower bound+."""
+        h = Histogram(lowest=1e-4, buckets=8)
+        for _ in range(100):
+            h.observe(1e9)
+        d = h.to_dict()
+        p50 = percentile_from_hist(d, 50)
+        p99 = percentile_from_hist(d, 99)
+        assert np.isfinite(p50) and np.isfinite(p99)
+        assert p99 >= p50 > 0.0
+        overflow_lower, _ = h.bucket_bounds(len(h.counts) - 1)
+        assert p50 >= overflow_lower
+
+    def test_q_validation_when_nonempty(self):
+        h = Histogram()
+        h.observe(0.01)
+        d = h.to_dict()
+        with pytest.raises(ValueError, match="percentile"):
+            percentile_from_hist(d, -1)
+        with pytest.raises(ValueError, match="percentile"):
+            percentile_from_hist(d, 100.5)
+
+
+class TestMergeLayoutMismatch:
+    """Every axis of the bucket layout must match for an exact merge."""
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            dict(lowest=2e-4),
+            dict(growth=2.0),
+            dict(buckets=40),
+        ],
+        ids=["lowest", "growth", "buckets"],
+    )
+    def test_mismatched_layout_raises(self, other):
+        a = Histogram()
+        b = Histogram(**other)
+        a.observe(0.01)
+        b.observe(0.01)
+        with pytest.raises(ValueError, match="configs differ"):
+            merge_histograms([a.to_dict(), b.to_dict()])
+
+    def test_in_place_merge_rejects_mismatch_without_corruption(self):
+        a, b = Histogram(), Histogram(growth=2.0)
+        a.observe(0.01)
+        b.observe(0.5)
+        before = a.to_dict()
+        with pytest.raises(ValueError, match="configs differ"):
+            a.merge(b)
+        assert a.to_dict() == before  # failed merge left no partial state
+
+
 class TestRegistryAndExposition:
     def test_named_instruments_are_singletons(self):
         reg = MetricsRegistry()

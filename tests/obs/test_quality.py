@@ -1,0 +1,156 @@
+"""QualityWatch: rolling τ gauges, promotion outcomes, regression alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.audit import AuditJournal
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import QualityWatch
+
+
+class FB:
+    """Stand-in for MeasuredFeedback: family + tau + model_version."""
+
+    def __init__(self, family, tau, version="v0001"):
+        self.family, self.tau, self.model_version = family, tau, version
+
+
+class TestGauges:
+    def test_empty_watch(self):
+        watch = QualityWatch()
+        assert watch.overall_tau() == 0.0
+        assert watch.family_tau("line") == 0.0
+        assert watch.family_taus() == {}
+        assert watch.realized_tau() is None
+
+    def test_overall_and_family_windows(self):
+        watch = QualityWatch(window=4)
+        for tau in (0.8, 0.6):
+            watch.observe(FB("line", tau))
+        watch.observe(FB("laplacian", 0.4))
+        assert watch.overall_tau() == pytest.approx(0.6)
+        assert watch.family_tau("line") == pytest.approx(0.7)
+        assert watch.family_taus() == {
+            "laplacian": pytest.approx(0.4),
+            "line": pytest.approx(0.7),
+        }
+
+    def test_window_ages_out(self):
+        watch = QualityWatch(window=2)
+        for tau in (0.0, 0.9, 0.9):
+            watch.observe(FB("line", tau))
+        assert watch.overall_tau() == pytest.approx(0.9)
+
+    def test_gauges_published_to_registry(self):
+        metrics = MetricsRegistry()
+        watch = QualityWatch(metrics, window=4)
+        watch.observe(FB("line", 0.5))
+        watch.observe(FB("line", 0.7))
+        assert metrics.gauge("quality_online_tau").value == pytest.approx(0.6)
+        assert metrics.gauge("quality_tau_line").value == pytest.approx(0.6)
+        assert metrics.counter("quality_observations_total").value == 2
+        text = metrics.exposition_text()
+        assert "quality_online_tau" in text
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="window"):
+            QualityWatch(window=0)
+        with pytest.raises(ValueError, match="alert_margin"):
+            QualityWatch(alert_margin=-0.1)
+
+
+class TestPromotionOutcomes:
+    def test_realized_tracking_only_for_promoted_version(self):
+        watch = QualityWatch(window=8)
+        watch.note_promotion("v0002", shadow_tau=0.8, production_tau=0.6)
+        watch.observe(FB("line", 0.9, "v0002"))
+        watch.observe(FB("line", 0.1, "v0001"))  # stale model: not judged
+        assert watch.realized_tau("v0002") == pytest.approx(0.9)
+        outcome = watch.outcomes()[-1]
+        assert outcome["n_records"] == 1
+        assert outcome["gap"] == pytest.approx(0.1)
+        assert not outcome["alerted"]
+
+    def test_shadow_and_realized_gauges(self):
+        metrics = MetricsRegistry()
+        watch = QualityWatch(metrics, window=8)
+        watch.note_promotion("v0002", shadow_tau=0.8)
+        watch.observe(FB("line", 0.7, "v0002"))
+        assert metrics.gauge("quality_shadow_tau").value == pytest.approx(0.8)
+        assert metrics.gauge("quality_realized_tau").value == pytest.approx(0.7)
+
+    def test_outcomes_bounded(self):
+        watch = QualityWatch(max_outcomes=3)
+        for i in range(6):
+            watch.note_promotion(f"v{i:04d}", shadow_tau=0.5)
+        outcomes = watch.outcomes()
+        assert len(outcomes) == 3
+        assert outcomes[-1]["version"] == "v0005"
+
+    def test_snapshot_shape(self):
+        watch = QualityWatch(window=4)
+        watch.note_promotion("v0002", shadow_tau=0.8)
+        watch.observe(FB("line", 0.7, "v0002"))
+        snap = watch.snapshot()
+        assert snap["observations"] == 1
+        assert snap["overall_tau"] == pytest.approx(0.7)
+        assert snap["outcomes"][-1]["version"] == "v0002"
+        assert snap["alerts"] == []
+
+
+class TestRegressionAlerts:
+    def _drop(self, watch, n=6, tau=0.1, version="v0002"):
+        for _ in range(n):
+            watch.observe(FB("line", tau, version))
+
+    def test_alert_fires_once_below_floor(self):
+        metrics = MetricsRegistry()
+        watch = QualityWatch(
+            metrics, window=16, alert_margin=0.1, min_outcome_records=4
+        )
+        watch.note_promotion("v0002", shadow_tau=0.8)
+        self._drop(watch, n=10)
+        assert len(watch.alerts) == 1
+        alert = watch.alerts[0]
+        assert alert["version"] == "v0002"
+        assert alert["realized_tau"] < alert["floor"] == pytest.approx(0.7)
+        assert metrics.counter("quality_regression_alerts_total").value == 1
+
+    def test_no_alert_before_min_records(self):
+        watch = QualityWatch(window=16, alert_margin=0.1, min_outcome_records=8)
+        watch.note_promotion("v0002", shadow_tau=0.8)
+        self._drop(watch, n=7)
+        assert watch.alerts == []
+
+    def test_no_alert_when_realized_holds(self):
+        watch = QualityWatch(window=16, alert_margin=0.1, min_outcome_records=4)
+        watch.note_promotion("v0002", shadow_tau=0.8)
+        self._drop(watch, n=10, tau=0.75)  # above 0.8 - 0.1
+        assert watch.alerts == []
+
+    def test_alert_lands_in_audit_journal(self):
+        journal = AuditJournal()
+        watch = QualityWatch(
+            window=16, alert_margin=0.1, min_outcome_records=4, audit=journal
+        )
+        watch.note_promotion("v0002", shadow_tau=0.8)
+        self._drop(watch, n=6)
+        events = journal.events_of("quality-regression")
+        assert len(events) == 1
+        assert events[0]["attrs"]["version"] == "v0002"
+        assert journal.verify() == 1
+
+    def test_deterministic_fold(self):
+        """Same stream in, same gauges/outcomes/alerts out."""
+
+        def run():
+            watch = QualityWatch(
+                window=8, alert_margin=0.1, min_outcome_records=4
+            )
+            watch.note_promotion("v0002", shadow_tau=0.8)
+            for tau in (0.9, 0.85, 0.2, 0.1, 0.15, 0.1):
+                watch.observe(FB("line", tau, "v0002"))
+            return watch.snapshot()
+
+        assert run() == run()

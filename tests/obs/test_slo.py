@@ -1,0 +1,196 @@
+"""SLO engine: objectives, windowed burn rates, and the alert state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.audit import AuditJournal
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLOEngine, SLObjective, default_objectives
+
+
+def _stats(requests, completed=None, degraded=0, hist=None):
+    return {
+        "requests_total": requests,
+        "completed_total": requests if completed is None else completed,
+        "degraded_total": degraded,
+        "latency_hist": hist,
+    }
+
+
+class TestObjectives:
+    def test_default_set_covers_all_kinds(self):
+        kinds = {o.kind for o in DEFAULT_OBJECTIVES}
+        assert kinds == {"latency_p99", "availability", "degraded_ratio", "quality"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective("x", kind="throughput", target=1.0)
+        with pytest.raises(ValueError, match="availability target"):
+            SLObjective("x", kind="availability", target=1.5)
+        with pytest.raises(ValueError, match="degraded_ratio target"):
+            SLObjective("x", kind="degraded_ratio", target=1.0)
+        with pytest.raises(ValueError, match="latency_p99 target"):
+            SLObjective("x", kind="latency_p99", target=0.0)
+        with pytest.raises(ValueError, match="warn_burn"):
+            SLObjective("x", kind="availability", target=0.99,
+                        warn_burn=2.0, breach_burn=1.0)
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError, match="fast_window"):
+            SLOEngine(fast_window=5, slow_window=3)
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([
+                SLObjective("a", kind="availability", target=0.99),
+                SLObjective("a", kind="quality", target=0.5),
+            ])
+
+
+class TestAvailability:
+    def test_healthy_traffic_stays_ok(self):
+        engine = SLOEngine(
+            [SLObjective("avail", kind="availability", target=0.99)],
+            fast_window=2, slow_window=4,
+        )
+        for tick in range(1, 6):
+            out = engine.evaluate(_stats(100 * tick))
+        assert out["avail"]["state"] == "ok"
+        assert out["avail"]["burn_fast"] == 0.0
+
+    def test_sustained_failures_breach(self):
+        engine = SLOEngine(
+            [SLObjective("avail", kind="availability", target=0.99)],
+            fast_window=2, slow_window=4,
+        )
+        states = []
+        completed = 0
+        for tick in range(1, 9):
+            completed += 90  # 10% of each tick's 100 requests fail
+            out = engine.evaluate(_stats(100 * tick, completed=completed))
+            states.append(out["avail"]["state"])
+        assert states[-1] == "breach"
+        # the engine records the transition trail deterministically
+        assert [e["to"] for e in engine.events][-1] == "breach"
+
+    def test_idle_window_holds_state(self):
+        engine = SLOEngine(
+            [SLObjective("avail", kind="availability", target=0.99)],
+            fast_window=1, slow_window=2,
+        )
+        engine.evaluate(_stats(100))
+        out = engine.evaluate(_stats(100))  # no new requests
+        assert out["avail"]["value_fast"] is None
+        assert out["avail"]["state"] == "ok"
+
+    def test_recovery_retraces_to_ok(self):
+        engine = SLOEngine(
+            [SLObjective("avail", kind="availability", target=0.9,
+                         warn_burn=1.0, breach_burn=1.5)],
+            fast_window=1, slow_window=2,
+        )
+        engine.evaluate(_stats(100, completed=50))   # since-start: burning
+        engine.evaluate(_stats(200, completed=100))  # still only 50% done
+        assert engine.states()["avail"] != "ok"
+        for requests in (300, 400, 500):
+            out = engine.evaluate(_stats(requests, completed=requests - 50))
+        assert out["avail"]["state"] == "ok"
+
+
+class TestDegradedAndLatency:
+    def test_degraded_ratio_breach(self):
+        engine = SLOEngine(
+            [SLObjective("deg", kind="degraded_ratio", target=0.05)],
+            fast_window=2, slow_window=4,
+        )
+        degraded = 0
+        for tick in range(1, 7):
+            degraded += 20  # 20% degraded vs 5% budget: burn 4×
+            out = engine.evaluate(_stats(100 * tick, degraded=degraded))
+        assert out["deg"]["state"] == "breach"
+
+    def test_latency_p99_from_hist_delta(self):
+        engine = SLOEngine(
+            [SLObjective("p99", kind="latency_p99", target=0.1)],
+            fast_window=2, slow_window=4,
+        )
+        fast = Histogram()
+        for _ in range(100):
+            fast.observe(0.01)
+        out = engine.evaluate(_stats(100, hist=fast.to_dict()))
+        assert out["p99"]["state"] == "ok"
+        # now 100 new slow observations: the windowed delta sees only them
+        for _ in range(100):
+            fast.observe(1.0)
+        out = engine.evaluate(_stats(200, hist=fast.to_dict()))
+        assert out["p99"]["value_fast"] > 0.5
+        assert out["p99"]["state"] == "breach"
+
+    def test_no_hist_is_none(self):
+        engine = SLOEngine(
+            [SLObjective("p99", kind="latency_p99", target=0.1)],
+            fast_window=1, slow_window=2,
+        )
+        out = engine.evaluate(_stats(100))
+        assert out["p99"]["value_fast"] is None
+        assert out["p99"]["state"] == "ok"
+
+
+class TestQualityObjective:
+    def test_quality_breach_and_recovery(self):
+        engine = SLOEngine(
+            [SLObjective("q", kind="quality", target=0.6)],
+            fast_window=2, slow_window=4,
+        )
+        for tau in (0.8, 0.8, 0.1, 0.1, 0.1, 0.1):
+            out = engine.evaluate({}, quality_tau=tau)
+        assert out["q"]["state"] == "breach"
+        for tau in (0.9,) * 5:
+            out = engine.evaluate({}, quality_tau=tau)
+        assert out["q"]["state"] == "ok"
+
+    def test_quality_none_holds_state(self):
+        engine = SLOEngine(
+            [SLObjective("q", kind="quality", target=0.6)],
+            fast_window=1, slow_window=2,
+        )
+        engine.evaluate({}, quality_tau=0.9)
+        out = engine.evaluate({})  # no quality signal this tick
+        assert out["q"]["state"] == "ok"
+
+
+class TestPlumbing:
+    def test_transitions_counted_and_audited(self):
+        metrics = MetricsRegistry()
+        journal = AuditJournal()
+        engine = SLOEngine(
+            [SLObjective("avail", kind="availability", target=0.9)],
+            metrics=metrics, audit=journal, fast_window=1, slow_window=2,
+        )
+        engine.evaluate(_stats(100, completed=10))  # since-start collapse
+        assert metrics.counter("slo_transitions_total").value >= 1
+        events = journal.events_of("slo-transition")
+        assert events and events[-1]["attrs"]["objective"] == "avail"
+        assert journal.verify() == len(events)
+        assert metrics.gauge("slo_avail_state").value >= 1.0
+
+    def test_state_table_renders(self):
+        engine = SLOEngine(default_objectives(), fast_window=2, slow_window=4)
+        evaluation = engine.evaluate(_stats(100))
+        table = engine.state_table(evaluation)
+        assert "availability" in table and "ok" in table
+
+    def test_deterministic_replay(self):
+        def run():
+            engine = SLOEngine(
+                [SLObjective("avail", kind="availability", target=0.99)],
+                fast_window=2, slow_window=4,
+            )
+            completed = 0
+            trail = []
+            for tick in range(1, 9):
+                completed += 90
+                out = engine.evaluate(_stats(100 * tick, completed=completed))
+                trail.append(out["avail"]["state"])
+            return trail, engine.events
+
+        assert run() == run()

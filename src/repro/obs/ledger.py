@@ -138,6 +138,55 @@ def read_history(path: "str | Path") -> list[dict]:
     return rows
 
 
+def _collapse_duplicate_shas(prior: "list[dict]") -> "list[dict]":
+    """Fold consecutive same-git-SHA rows into one per-metric-median row.
+
+    Some drivers append more than one row per invocation (the cluster
+    benchmark's ``--chaos`` mode runs twice for replay determinism), so a
+    commit can contribute several near-identical samples.  Left alone,
+    those duplicates stuff the trailing window with one commit's noise —
+    in the degenerate case the window is *entirely* the current commit
+    and the sentinel compares a run against itself.  Rows whose SHA is
+    ``"unknown"`` (runs outside a checkout) are kept as-is: they cannot
+    be proven to be the same build.
+    """
+    collapsed: list[dict] = []
+    group: list[dict] = []
+
+    def flush() -> None:
+        if not group:
+            return
+        if len(group) == 1:
+            collapsed.append(group[0])
+        else:
+            names = {n for row in group for n in row["metrics"]}
+            merged = dict(group[-1])
+            merged["metrics"] = {
+                name: float(
+                    statistics.median(
+                        float(row["metrics"][name])
+                        for row in group
+                        if name in row["metrics"]
+                    )
+                )
+                for name in names
+            }
+            collapsed.append(merged)
+        group.clear()
+
+    for row in prior:
+        sha = row.get("git_sha", "unknown")
+        if sha == "unknown":
+            flush()
+            collapsed.append(row)
+            continue
+        if group and group[-1].get("git_sha") != sha:
+            flush()
+        group.append(row)
+    flush()
+    return collapsed
+
+
 def check_regression(
     history: "Sequence[Mapping] | str | Path",
     benchmark: str,
@@ -145,6 +194,7 @@ def check_regression(
     tolerances: Mapping[str, tuple],
     window: int = DEFAULT_WINDOW,
     min_history: int = 3,
+    current_sha: "str | None" = None,
 ) -> dict:
     """Compare a run's metrics against the trailing median of its history.
 
@@ -160,13 +210,26 @@ def check_regression(
     ratio / bound / verdict), ``n_history``.  Metrics with fewer than
     ``min_history`` prior samples are reported as ``"insufficient-history"``
     and never flagged — a fresh clone cannot fail its first run.
+
+    Two degenerate-window guards keep the median honest:
+
+    * rows whose ``git_sha`` equals ``current_sha`` are excluded — a
+      driver that already appended this run's row (or ran twice per
+      invocation) must not let the sentinel compare a commit against
+      itself;
+    * consecutive rows sharing any other git SHA collapse to one
+      per-metric-median row before windowing, so a multi-append commit
+      contributes one sample, not ``window`` of them.
     """
     if isinstance(history, (str, Path)):
         history = read_history(history)
     prior = [
-        row for row in history
+        dict(row) for row in history
         if row.get("benchmark") == benchmark and isinstance(row.get("metrics"), dict)
     ]
+    if current_sha and current_sha != "unknown":
+        prior = [row for row in prior if row.get("git_sha") != current_sha]
+    prior = _collapse_duplicate_shas(prior)
     report: dict = {
         "benchmark": benchmark,
         "ok": True,

@@ -82,9 +82,12 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import itertools
 import multiprocessing as mp
+import os
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -103,7 +106,7 @@ from repro.service.degrade import (
 )
 from repro.service.health import CircuitBreaker, HealthState, ResilienceConfig
 from repro.service.ipc import (
-    UNPICKLING_ERRORS,
+    CorruptFrameError,
     ErrorReply,
     FeedbackRecord,
     Heartbeat,
@@ -111,12 +114,15 @@ from repro.service.ipc import (
     Pong,
     RankReply,
     RankRequest,
+    ReplyBatch,
     Shutdown,
     StatsReply,
     StatsRequest,
+    recv_frame,
 )
 from repro.service.registry import LATEST
 from repro.service.routing import ShardRouter
+from repro.service.shm import ScoreSlabRing, SlabRef
 from repro.service.telemetry import merge_stats
 from repro.service.worker import WorkerConfig, worker_main
 from repro.stencil.execution import instance_hash
@@ -126,6 +132,11 @@ from repro.tuning.vector import TuningVector
 from repro.util.rng import hash_bits
 
 __all__ = ["ClusterResponse", "ServiceCluster"]
+
+#: per-process ordinal distinguishing the slab segments of multiple
+#: clusters living in one coordinator process (test suites routinely run
+#: several); the pid in the name handles multiple coordinator processes
+_CLUSTER_TAGS = itertools.count()
 
 
 def _settle(future: "concurrent.futures.Future", value=None, error: "Exception | None" = None) -> None:
@@ -147,6 +158,31 @@ def _settle(future: "concurrent.futures.Future", value=None, error: "Exception |
             future.set_result(value)
     except concurrent.futures.InvalidStateError:
         pass  # cancelled (or already settled) by the caller: drop the answer
+
+
+class _SlabLease:
+    """One response's claim on a shared-memory score slot.
+
+    Releasing (idempotently) hands the slot back to the worker's slab
+    ring; the response's ``scores`` view must not be read afterwards.
+    Garbage collection releases as a safety net — a caller that drops its
+    response without calling :meth:`release` degrades ring occupancy only
+    until the collector runs, never permanently.
+
+    The safety net is a ``weakref.finalize``, **not** ``__del__``: the
+    finalizer registry keeps the ring (and its mapping) strongly alive
+    until every lease has released, so even when a response ends up in a
+    garbage cycle the cycle collector cannot unmap the segment before
+    the release callback writes its flag byte.
+    """
+
+    __slots__ = ("_finalizer", "__weakref__")
+
+    def __init__(self, ring: ScoreSlabRing, ref: SlabRef) -> None:
+        self._finalizer = weakref.finalize(self, ring.release, ref)
+
+    def release(self) -> None:
+        self._finalizer()
 
 
 @dataclass(frozen=True)
@@ -177,11 +213,26 @@ class ClusterResponse:
     #: coordinator served a fallback (cache replay or local scoring);
     #: ``model_version`` still names exactly the model that computed it
     degraded: bool = False
+    #: when ``scores`` is a zero-copy view into the worker's slab ring,
+    #: the lease guarding its slot; None means the scores (if any) are an
+    #: ordinary owned array.  Not part of equality — two answers with the
+    #: same content are the same answer regardless of transport.
+    slab_lease: "_SlabLease | None" = field(default=None, compare=False, repr=False)
 
     @property
     def best(self) -> TuningVector:
         """The top-ranked configuration."""
         return self.ranked[0]
+
+    def release(self) -> None:
+        """Return this answer's slab slot to its worker (idempotent).
+
+        After release ``scores`` must not be read — copy first if the
+        array outlives the answer.  A no-op for pickle-transported or
+        score-free responses, so callers can release unconditionally.
+        """
+        if self.slab_lease is not None:
+            self.slab_lease.release()
 
 
 @dataclass
@@ -266,11 +317,18 @@ class ServiceCluster:
         chaos: "ChaosConfig | dict[int, ChaosConfig] | None" = None,
         trace: "TraceConfig | None" = None,
         audit: "AuditJournal | None" = None,
+        score_transport: str = "shm",
+        dtype: str = "float64",
+        encode_cache_rows: int = 32768,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if feedback_every < 0:
             raise ValueError(f"feedback_every must be >= 0, got {feedback_every}")
+        if score_transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"score_transport must be 'shm' or 'pickle', got {score_transport!r}"
+            )
         self.registry_root = str(registry_root)
         self.n_workers = n_workers
         self.restart_workers = restart_workers
@@ -295,7 +353,25 @@ class ServiceCluster:
             max_rows_per_pass=max_rows_per_pass,
             feedback_every=feedback_every,
             heartbeat_interval_s=self.resilience.heartbeat_interval_s,
+            dtype=dtype,
+            encode_cache_rows=encode_cache_rows,
         )
+        #: "shm" parks score arrays in per-worker shared-memory slab rings
+        #: (zero-copy views on the answer path); "pickle" forces the plain
+        #: pipe transport everywhere — the cross-host posture, and what
+        #: "shm" itself degrades to per-array when a ring is full
+        self.score_transport = score_transport
+        self._cluster_tag = next(_CLUSTER_TAGS)
+        #: per-spawn ordinal so a restarted worker gets a fresh segment
+        #: name (its predecessor's, possibly still mapped by late views,
+        #: is already unlinked)
+        self._slab_gen = itertools.count()
+        #: every ring this cluster ever created, by segment name — late
+        #: replies can reference a replaced worker's ring, so rings stay
+        #: resolvable (already unlinked, mappings valid) until stop()
+        self._slab_rings: "dict[str, ScoreSlabRing]" = {}
+        #: the ring each live worker currently writes into
+        self._worker_ring: "dict[int, ScoreSlabRing]" = {}
         self._ctx = _context(start_method)
         self.router = ShardRouter(range(n_workers))
         for worker_id in range(n_workers):  # routable only once spawned
@@ -345,6 +421,9 @@ class ServiceCluster:
         self.degraded_served = 0
         self.shed_requests = 0
         self.corrupted_frames = 0
+        #: inbound frames whose *payload code* raised while materializing
+        #: — bugs surfaced, not frame loss (see ipc.CorruptFrameError)
+        self.frame_decode_bugs = 0
         self.quarantines = 0
         self.readmissions = 0
         #: observers called with (instance, candidates, record) per
@@ -440,6 +519,17 @@ class ServiceCluster:
             for worker_id in self.router.alive():
                 self.router.mark_dead(worker_id)
             self._started = False
+            rings = list(self._slab_rings.values())
+            self._slab_rings.clear()
+            self._worker_ring.clear()
+        # every reader is joined by now, so no new slab views can be
+        # handed out; unlink removes the names (workers are gone) and
+        # close drops our mapping unless an outstanding response still
+        # exports it — in which case GC finishes the job, safely, because
+        # the segment no longer has a name to leak
+        for ring in rings:
+            ring.unlink()
+            ring.close()
         for pending in stranded:
             _settle(
                 pending.future,
@@ -700,6 +790,7 @@ class ServiceCluster:
                 "degraded_served": self.degraded_served,
                 "shed_requests": self.shed_requests,
                 "corrupted_frames": self.corrupted_frames,
+                "frame_decode_bugs": self.frame_decode_bugs,
                 "quarantines": self.quarantines,
                 "readmissions": self.readmissions,
                 "retry_queue_depth": len(self._retry_queue),
@@ -750,6 +841,11 @@ class ServiceCluster:
             merged["quarantines_total"] = self.quarantines
             merged["readmissions_total"] = self.readmissions
             merged["corrupted_frames_total"] = self.corrupted_frames
+            # workers count decode bugs on their inbound direction too —
+            # add, don't overwrite, so neither side's count disappears
+            merged["frame_decode_bugs_total"] = (
+                merged.get("frame_decode_bugs_total", 0) + self.frame_decode_bugs
+            )
             merged["feedback_received_total"] = self.feedback_received
             merged["feedback_errors_total"] = self.feedback_errors
             merged["fallback_cache_hits_total"] = resilience["fallback_cache_hits"]
@@ -845,6 +941,24 @@ class ServiceCluster:
         chaos = self._chaos.get(worker_id)
         if chaos is not None:
             config = dataclasses.replace(config, chaos=chaos)
+        ring: "ScoreSlabRing | None" = None
+        if self.score_transport == "shm":
+            # short name: macOS caps shm names at 31 bytes.  pid + cluster
+            # tag + worker id + spawn generation is unique per segment
+            name = (
+                f"rsl-{os.getpid()}-{self._cluster_tag}"
+                f"-{worker_id}-{next(self._slab_gen)}"
+            )
+            try:
+                ring = ScoreSlabRing.create(
+                    name, config.slab_slots, config.slab_slot_bytes
+                )
+            except Exception:
+                # no shared memory on this platform/container: the worker
+                # gets no slab_name and pickles every score array
+                ring = None
+        if ring is not None:
+            config = dataclasses.replace(config, slab_name=ring.name)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=worker_main,
@@ -870,7 +984,13 @@ class ServiceCluster:
                 parent_conn.close()
                 process.terminate()
                 process.join(timeout=5.0)
+                if ring is not None:
+                    ring.unlink()
+                    ring.close()
                 return None
+            if ring is not None:
+                self._slab_rings[ring.name] = ring
+                self._worker_ring[worker_id] = ring
             self._workers[worker_id] = handle
             self.router.mark_alive(worker_id)
             # a fresh process takes the worker id over with a clean slate:
@@ -896,7 +1016,7 @@ class ServiceCluster:
         """Reader thread: resolve futures for one worker until its pipe closes."""
         while True:
             try:
-                msg = handle.conn.recv()
+                msg = recv_frame(handle.conn)
             except (EOFError, OSError):
                 break
             except TypeError:
@@ -905,82 +1025,163 @@ class ServiceCluster:
                 # failed send) as TypeError from the raw read — treat it
                 # exactly like the EOF it is
                 break
-            except UNPICKLING_ERRORS:
-                # a corrupted *frame*: the pipe still frames messages, so
-                # only this reply is lost — count it, penalize the worker,
-                # and keep reading.  The request it answered is recovered
-                # by its attempt timeout (or by quarantine requeue).
-                with self._lock:
-                    self.corrupted_frames += 1
-                self._note_failure(handle.worker_id, "corrupt-frame")
+            except CorruptFrameError as exc:
+                # the pipe still frames messages, so only this frame is
+                # lost — but *why* it was lost matters.  Garbage bytes are
+                # wire corruption: penalize the worker's breaker.  A
+                # payload whose own reconstruction code raised is a bug in
+                # that payload: surface it, and do not smear the worker.
+                # Either way the answered request is recovered by its
+                # attempt timeout (or by quarantine requeue).
+                if exc.genuine_bug:
+                    with self._lock:
+                        self.frame_decode_bugs += 1
+                    self._audit(
+                        "frame-decode-bug",
+                        {"worker": handle.worker_id, "cause": exc.cause_type},
+                    )
+                else:
+                    with self._lock:
+                        self.corrupted_frames += 1
+                    self._note_failure(handle.worker_id, "corrupt-frame")
                 continue
             self._last_heard[handle.worker_id] = time.monotonic()
-            if isinstance(msg, (RankReply, ErrorReply)):
-                with self._lock:
-                    pending = handle.pending.pop(msg.req_id, None)
-                    # any reply proves the loop is serving: heal a suspect
-                    self._health[handle.worker_id].record_success()
-                if pending is None:
-                    continue
-                if isinstance(msg, ErrorReply):
-                    _settle(pending.future, error=msg.error)
-                else:
-                    if (
-                        self._fallback_store is not None
-                        and pending.top_k is None
-                    ):
-                        self._fallback_store.remember(
-                            pending.instance,
-                            pending.candidates,
-                            msg.ranked,
-                            msg.scores,
-                            msg.model_version,
-                        )
-                    if self.tracer is not None and pending.trace_ctx is not None:
-                        self._record_reply_trace(pending, msg)
-                    if self.audit is not None:
-                        # the request's own trace id only — answer events
-                        # are per-request, not fleet-wide, and must stay
-                        # off the lock (one per reply)
-                        self.audit.record(
-                            "answer",
-                            {
-                                "req_id": pending.req_id,
-                                "model_version": msg.model_version,
-                                "worker": msg.worker_id,
-                                "cached": msg.cached,
-                                "attempts": pending.attempts,
-                                "why": "routed",
-                            },
-                            (pending.trace_ctx.trace_id,)
-                            if pending.trace_ctx is not None
-                            else (),
-                        )
-                    _settle(
-                        pending.future,
-                        ClusterResponse(
-                            ranked=msg.ranked,
-                            scores=msg.scores,
-                            model_version=msg.model_version,
-                            cached=msg.cached,
-                            latency_s=time.perf_counter() - pending.submitted_at,
-                            service_latency_s=msg.service_latency_s,
-                            worker_id=msg.worker_id,
-                            attempts=pending.attempts,
-                        ),
-                    )
-            elif isinstance(msg, Heartbeat):
-                pass  # receipt time (recorded above) is the signal
-            elif isinstance(msg, Pong):
-                self._on_pong(handle)
-            elif isinstance(msg, StatsReply):
-                with self._lock:
-                    fut = handle.stats_pending.pop(msg.req_id, None)
-                if fut is not None:
-                    _settle(fut, msg)
-            elif isinstance(msg, FeedbackRecord):
-                self._on_feedback(msg)
+            if isinstance(msg, ReplyBatch):
+                for part in msg.messages:
+                    self._handle_frame(handle, part)
+            else:
+                self._handle_frame(handle, msg)
         self._on_worker_exit(handle)
+
+    def _handle_frame(self, handle: _WorkerHandle, msg: object) -> None:
+        """Process one worker frame (possibly unpacked from a ReplyBatch)."""
+        if isinstance(msg, (RankReply, ErrorReply)):
+            with self._lock:
+                pending = handle.pending.pop(msg.req_id, None)
+                # any reply proves the loop is serving: heal a suspect
+                self._health[handle.worker_id].record_success()
+            if pending is None:
+                # a late reply for a request already retried, expired or
+                # requeued: nobody will consume it, so its slab slot (if
+                # any) must go straight back to the worker
+                if isinstance(msg, RankReply):
+                    self._release_ref(msg.scores)
+                return
+            if isinstance(msg, ErrorReply):
+                _settle(pending.future, error=msg.error)
+            else:
+                ranked, scores, lease = self._materialize_reply(pending, msg)
+                if self._fallback_store is not None and pending.top_k is None:
+                    # the store outlives the lease: hand it owned bytes,
+                    # never a view into a slot about to be recycled
+                    self._fallback_store.remember(
+                        pending.instance,
+                        pending.candidates,
+                        ranked,
+                        scores if lease is None or scores is None else np.array(scores),
+                        msg.model_version,
+                    )
+                if self.tracer is not None and pending.trace_ctx is not None:
+                    self._record_reply_trace(pending, msg)
+                if self.audit is not None:
+                    # the request's own trace id only — answer events
+                    # are per-request, not fleet-wide, and must stay
+                    # off the lock (one per reply)
+                    self.audit.record(
+                        "answer",
+                        {
+                            "req_id": pending.req_id,
+                            "model_version": msg.model_version,
+                            "worker": msg.worker_id,
+                            "cached": msg.cached,
+                            "attempts": pending.attempts,
+                            "why": "routed",
+                        },
+                        (pending.trace_ctx.trace_id,)
+                        if pending.trace_ctx is not None
+                        else (),
+                    )
+                _settle(
+                    pending.future,
+                    ClusterResponse(
+                        ranked=ranked,
+                        scores=scores,
+                        model_version=msg.model_version,
+                        cached=msg.cached,
+                        latency_s=time.perf_counter() - pending.submitted_at,
+                        service_latency_s=msg.service_latency_s,
+                        worker_id=msg.worker_id,
+                        attempts=pending.attempts,
+                        slab_lease=lease,
+                    ),
+                )
+        elif isinstance(msg, Heartbeat):
+            pass  # receipt time (recorded by the reader) is the signal
+        elif isinstance(msg, Pong):
+            self._on_pong(handle)
+        elif isinstance(msg, StatsReply):
+            with self._lock:
+                fut = handle.stats_pending.pop(msg.req_id, None)
+            if fut is not None:
+                _settle(fut, msg)
+        elif isinstance(msg, FeedbackRecord):
+            if isinstance(msg.scores, SlabRef):
+                ring = self._slab_rings.get(msg.scores.name)
+                if ring is None:  # pragma: no cover - stop raced the record
+                    return
+                # copy out and release immediately: records fan out to
+                # listeners that buffer them far beyond the slot's life
+                scores = np.array(ring.view(msg.scores))
+                ring.release(msg.scores)
+                msg = dataclasses.replace(msg, scores=scores)
+            self._on_feedback(msg)
+
+    def _reply_candidates(self, pending: _PendingReq) -> "Sequence[TuningVector]":
+        """The candidate list a reply's indices point into.
+
+        The coordinator always holds it: explicit lists ride the pending
+        entry, interned sets carry their tuple, and preset requests
+        (``candidates=None``) rehydrate from the parent memo —
+        bit-identical to the worker's own preset set.
+        """
+        candidates = pending.candidates
+        if candidates is None:
+            return self._presets(pending.instance.dims)
+        if isinstance(candidates, InternedCandidates):
+            return candidates.candidates
+        return candidates
+
+    def _materialize_reply(
+        self, pending: _PendingReq, msg: RankReply
+    ) -> "tuple[list[TuningVector], np.ndarray | None, _SlabLease | None]":
+        """Turn a wire reply into (ranked list, scores, slab lease).
+
+        ``ranked_idx`` replies are rehydrated against the coordinator's
+        own candidate list; slab-transported scores become read-only
+        zero-copy views guarded by a lease the caller must release.
+        """
+        if msg.ranked_idx is not None:
+            candidates = self._reply_candidates(pending)
+            ranked = [candidates[i] for i in msg.ranked_idx.tolist()]
+        else:
+            ranked = list(msg.ranked or ())
+        scores = msg.scores
+        lease: "_SlabLease | None" = None
+        if isinstance(scores, SlabRef):
+            ring = self._slab_rings.get(scores.name)
+            if ring is None:  # pragma: no cover - stop raced the reply
+                scores = None
+            else:
+                lease = _SlabLease(ring, scores)
+                scores = ring.view(scores)
+        return ranked, scores, lease
+
+    def _release_ref(self, scores: object) -> None:
+        """Return an unconsumed reply's slab slot (no-op for arrays/None)."""
+        if isinstance(scores, SlabRef):
+            ring = self._slab_rings.get(scores.name)
+            if ring is not None:
+                ring.release(scores)
 
     def _record_reply_trace(self, pending: _PendingReq, msg: RankReply) -> None:
         """Merge a traced reply's worker spans and close the trace.
@@ -1061,6 +1262,14 @@ class ServiceCluster:
         holds the lock and re-dispatches the returned requests outside it)."""
         self.router.mark_dead(worker_id)
         self.quarantines += 1
+        # a quarantined worker may be hung forever: unlink its slab
+        # segment *now* so a chaos run can never leak /dev/shm entries.
+        # Unlink only removes the name — both sides' mappings stay valid,
+        # so a worker that is later readmitted keeps writing into the
+        # same (now anonymous) ring without noticing
+        ring = self._worker_ring.get(worker_id)
+        if ring is not None:
+            ring.unlink()
         handle = self._workers.get(worker_id)
         orphans: list[_PendingReq] = []
         if handle is not None:
@@ -1101,6 +1310,14 @@ class ServiceCluster:
             self.router.mark_dead(handle.worker_id)
             self._health[handle.worker_id].record_failure("crash")
             self._hb_flagged.discard(handle.worker_id)
+            # the dead worker's segment loses its name immediately (a
+            # SIGKILLed worker never cleans up; the coordinator owns the
+            # lifecycle).  The ring object stays in _slab_rings so views
+            # already handed out — and any reply bytes still in the pipe —
+            # keep resolving; the replacement spawn creates a fresh ring
+            ring = self._worker_ring.pop(handle.worker_id, None)
+            if ring is not None:
+                ring.unlink()
             orphans = list(handle.pending.values())
             handle.pending.clear()
             stats_orphans = list(handle.stats_pending.values())

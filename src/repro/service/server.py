@@ -43,6 +43,7 @@ from repro.learn.ranksvm import RankSVM
 from repro.service.batching import MicroBatcher
 from repro.service.cache import (
     CachedRanking,
+    EncodeCache,
     InternedCandidates,
     RankingCache,
     candidate_set_hash,
@@ -75,6 +76,10 @@ class RankingResponse:
     #: stage spans for a traced request (None when the request carried no
     #: trace context — the no-op fast path allocates nothing)
     spans: "tuple[Span, ...] | None" = None
+    #: full best-first order as positions into the request's candidate
+    #: list (read-only, shared with the cache entry).  This is the compact
+    #: form cluster workers ship instead of re-pickling candidate objects.
+    order: "np.ndarray | None" = None
 
     @property
     def best(self) -> TuningVector:
@@ -100,9 +105,11 @@ class _Pending:
     top_k: "int | None" = None
     #: trace identity when sampled (None: untraced, no span work at all)
     trace: "TraceContext | None" = None
-    #: fused-pass timestamps ``(slab_start, encoded, scored, slab_rows)``
-    #: stamped on every traced request that waited through a slab
-    t_slab: "tuple[float, float, float, int] | None" = field(
+    #: fused-pass timestamps ``(slab_start, encoded, scored, slab_rows,
+    #: encode_cached)`` stamped on every traced request that was scored
+    #: (``encode_cached`` marks a zero-width encode served by the
+    #: instance-keyed encode cache)
+    t_slab: "tuple[float, float, float, int, bool] | None" = field(
         default=None, repr=False
     )
 
@@ -129,17 +136,35 @@ class TuningService:
         latency_window: int = 4096,
         max_cached_models: int = 8,
         max_rows_per_pass: int = 32768,
+        dtype: str = "float64",
+        encode_cache_rows: int = 0,
     ) -> None:
         if max_cached_models < 1:
             raise ValueError(f"max_cached_models must be >= 1, got {max_cached_models}")
         if max_rows_per_pass < 1:
             raise ValueError(f"max_rows_per_pass must be >= 1, got {max_rows_per_pass}")
+        if np.dtype(dtype) not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float64 or float32, got {dtype}")
         self.registry = registry
         self.encoder = encoder or FeatureEncoder()
         self.default_model = default_model
         self.cache = RankingCache(cache_entries)
         self.telemetry = ServiceTelemetry(latency_window)
         self.max_cached_models = max_cached_models
+        #: serving precision: float64 (default, bit-identical to the
+        #: offline ranker) or float32 (opt-in; rank order pinned by top-k
+        #: agreement, not bit identity — see docs/serving.md)
+        self.dtype = np.dtype(dtype)
+        #: per-version float32 weight vectors (float32 serving only) —
+        #: scoring must be X32 @ w32 end to end; routing float32 rows
+        #: through ``decision_function`` would silently upcast to float64
+        self._w32: dict[str, np.ndarray] = {}
+        #: encoded-matrix cache keyed by instance hash alone (off by
+        #: default in-process; cluster workers enable it so repeat
+        #: instances survive model hot-swaps without re-encoding)
+        self.encode_cache = (
+            EncodeCache(encode_cache_rows) if encode_cache_rows > 0 else None
+        )
         #: cap on candidate rows encoded+scored in one fused pass.  A batch
         #: of many distinct preset-sized instances would otherwise stack a
         #: multi-GB feature matrix whose transients are page-fault-bound
@@ -318,7 +343,10 @@ class TuningService:
 
     def stats(self) -> dict:
         """Telemetry + cache counters in one flat dict."""
-        return {**self.telemetry.snapshot(), **self.cache.snapshot()}
+        merged = {**self.telemetry.snapshot(), **self.cache.snapshot()}
+        if self.encode_cache is not None:
+            merged.update(self.encode_cache.snapshot())
+        return merged
 
     # -- batch processing ------------------------------------------------------
 
@@ -390,6 +418,32 @@ class TuningService:
             for req in reqs:
                 self._fail(req, exc)
             return
+        if self.encode_cache is not None:
+            # the instance-keyed cache answers the *encode*, not the
+            # ranking: hits skip encode_many entirely (a repeat instance
+            # after a model hot-swap is the designed case) and go straight
+            # to scoring; misses fall through to the fused slab passes
+            uncached: list[_Pending] = []
+            for rep in reps:
+                X = self.encode_cache.get(rep.cache_key[0], rep.candidates_hash)
+                if X is None:
+                    uncached.append(rep)
+                    continue
+                t_start = time.monotonic()
+                try:
+                    s = self._score(version, model, X)
+                except Exception as exc:
+                    for req in unique[rep.cache_key]:
+                        self._fail(req, exc)
+                    continue
+                t_scored = time.monotonic()
+                self.telemetry.record_scored(len(X))
+                group = unique[rep.cache_key]
+                for req in group:
+                    if req.trace is not None:
+                        req.t_slab = (t_start, t_start, t_scored, len(X), True)
+                self._finish_group(version, group, s)
+            reps = uncached
         for slab in self._slabs(reps):
             # time.monotonic() is the asyncio loop clock, so slab stamps
             # compare directly against _Pending.enqueued_at
@@ -400,7 +454,7 @@ class TuningService:
                     out=self._scratch(sum(len(req.candidates) for req in slab)),
                 )
                 t_encoded = time.monotonic()
-                scores = model.decision_function(X)
+                scores = self._score(version, model, X)
                 t_scored = time.monotonic()
             except Exception:
                 # one unencodable request (e.g. kernel radius beyond the
@@ -411,11 +465,16 @@ class TuningService:
                 continue
             self.telemetry.record_scored(len(X))
             splits = np.cumsum([len(req.candidates) for req in slab])[:-1]
-            for rep, s in zip(slab, np.split(scores, splits)):
+            row_blocks = np.split(X, splits) if self.encode_cache is not None else None
+            for i, (rep, s) in enumerate(zip(slab, np.split(scores, splits))):
+                if row_blocks is not None:
+                    self.encode_cache.put(
+                        rep.cache_key[0], rep.candidates_hash, row_blocks[i]
+                    )
                 group = unique[rep.cache_key]
                 for req in group:
                     if req.trace is not None:
-                        req.t_slab = (t_start, t_encoded, t_scored, len(X))
+                        req.t_slab = (t_start, t_encoded, t_scored, len(X), False)
                 self._finish_group(version, group, s)
 
     def _scratch(self, rows: int) -> np.ndarray:
@@ -429,8 +488,27 @@ class TuningService:
         current = 0 if self._encode_scratch is None else self._encode_scratch.shape[0]
         if current < rows:
             size = min(max(rows, 2 * current), max(rows, self.max_rows_per_pass))
-            self._encode_scratch = np.empty((size, self.encoder.num_features))
+            self._encode_scratch = np.empty(
+                (size, self.encoder.num_features), dtype=self.dtype
+            )
         return self._encode_scratch
+
+    def _score(self, version: str, model: RankSVM, X: np.ndarray) -> np.ndarray:
+        """Score encoded rows at the service's precision.
+
+        float64 goes through ``decision_function`` (bit-identical to the
+        offline ranker).  float32 multiplies against a per-version
+        float32 copy of the weights directly — ``decision_function`` casts
+        its input up to float64, which would silently undo the narrow
+        encode and hand back a float64 array that merely *started* narrow.
+        """
+        if self.dtype == np.float64:
+            return model.decision_function(X)
+        w32 = self._w32.get(version)
+        if w32 is None:
+            w32 = model.w_.astype(np.float32)
+            self._w32[version] = w32
+        return X @ w32
 
     def _slabs(self, reps: list[_Pending]) -> "list[list[_Pending]]":
         """Greedily pack requests into row-bounded fused-pass slabs.
@@ -460,9 +538,11 @@ class TuningService:
         rep = group[0]
         t_start = time.monotonic()
         try:
-            X = self.encoder.encode_many([(rep.instance, rep.candidates)])
+            X = self.encoder.encode_many(
+                [(rep.instance, rep.candidates)], dtype=self.dtype
+            )
             t_encoded = time.monotonic()
-            s = model.decision_function(X)
+            s = self._score(version, model, X)
             t_scored = time.monotonic()
         except Exception as exc:
             for req in group:
@@ -471,7 +551,7 @@ class TuningService:
         self.telemetry.record_scored(len(X))
         for req in group:
             if req.trace is not None:
-                req.t_slab = (t_start, t_encoded, t_scored, len(X))
+                req.t_slab = (t_start, t_encoded, t_scored, len(X), False)
         self._finish_group(version, group, s)
 
     def _finish_group(
@@ -515,6 +595,7 @@ class TuningService:
             while len(self._models) > self.max_cached_models:
                 evicted, _ = self._models.popitem(last=False)
                 self.cache.invalidate_version(evicted)
+                self._w32.pop(evicted, None)
         else:
             self._models.move_to_end(version)
         return model
@@ -549,14 +630,18 @@ class TuningService:
             )
 
         if req.t_slab is not None:
-            t_start, t_encoded, t_scored, slab_rows = req.t_slab
+            t_start, t_encoded, t_scored, slab_rows, enc_cached = req.t_slab
             return (
                 span("service-queue", req.enqueued_at, t_start),
                 span(
                     "encode",
                     t_start,
                     t_encoded,
-                    {"rows": len(req.candidates), "slab_rows": slab_rows},
+                    {
+                        "rows": len(req.candidates),
+                        "slab_rows": slab_rows,
+                        "encode_cache": enc_cached,
+                    },
                 ),
                 span("score", t_encoded, t_scored, {"slab_rows": slab_rows}),
                 span("service-finish", t_scored, now),
@@ -593,6 +678,7 @@ class TuningService:
                 if req.trace is not None
                 else None
             ),
+            order=entry.order,
         )
         req.future.set_result(response)
         if self._response_hooks:

@@ -63,7 +63,7 @@ import numpy as np
 
 from repro.service.chaos import ChaosConfig, ChaosState, send_corrupt_frame
 from repro.service.ipc import (
-    UNPICKLING_ERRORS,
+    CorruptFrameError,
     ErrorReply,
     FeedbackRecord,
     Heartbeat,
@@ -71,13 +71,16 @@ from repro.service.ipc import (
     Pong,
     RankReply,
     RankRequest,
+    ReplyBatch,
     Shutdown,
     StatsReply,
     StatsRequest,
     picklable_error,
+    recv_frame,
 )
 from repro.service.registry import LATEST, ModelRegistry
 from repro.service.server import TuningService
+from repro.service.shm import DEFAULT_SLOT_BYTES, DEFAULT_SLOTS, ScoreSlabRing
 
 __all__ = ["WorkerConfig", "worker_main"]
 
@@ -100,6 +103,16 @@ class WorkerConfig:
     heartbeat_interval_s: float = 0.25
     #: fault injections for chaos drills (None = behave perfectly)
     chaos: "ChaosConfig | None" = None
+    #: serving precision ("float64" default; "float32" opt-in — top-k
+    #: agreement instead of bit identity, see docs/serving.md)
+    dtype: str = "float64"
+    #: the coordinator-created score slab segment to attach (None: no
+    #: shared-memory transport — every score array pickles over the pipe)
+    slab_name: "str | None" = None
+    slab_slots: int = DEFAULT_SLOTS
+    slab_slot_bytes: int = DEFAULT_SLOT_BYTES
+    #: row budget of the instance-keyed encode cache (0 = disabled)
+    encode_cache_rows: int = 32768
 
 
 def worker_main(worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig) -> None:
@@ -108,6 +121,37 @@ def worker_main(worker_id: int, registry_root: str, conn: Connection, config: Wo
         asyncio.run(_serve(worker_id, registry_root, conn, config))
     finally:
         conn.close()
+
+
+class _ReplySender:
+    """Coalesces replies produced in one loop iteration into one pipe write.
+
+    A worker micro-batch completes tens of ``_handle`` tasks back to back
+    on the same event-loop pass; sending each reply as its own frame costs
+    a pipe write *and* a coordinator reader wake-up apiece.  ``send``
+    buffers and schedules one ``call_soon`` flush — everything buffered by
+    the time the loop drains its ready queue leaves as a single
+    :class:`~repro.service.ipc.ReplyBatch` frame (a lone message goes bare,
+    so the single-reply latency path is untouched).  Loop thread only.
+    """
+
+    def __init__(self, conn: Connection) -> None:
+        self._conn = conn
+        self._buf: list = []
+        self._scheduled = False
+
+    def send(self, msg: object) -> None:
+        self._buf.append(msg)
+        if not self._scheduled:
+            self._scheduled = True
+            asyncio.get_running_loop().call_soon(self.flush)
+
+    def flush(self) -> None:
+        self._scheduled = False
+        if not self._buf:
+            return
+        batch, self._buf = self._buf, []
+        _send(self._conn, batch[0] if len(batch) == 1 else ReplyBatch(tuple(batch)))
 
 
 async def _serve(
@@ -123,21 +167,39 @@ async def _serve(
         latency_window=config.latency_window,
         max_cached_models=config.max_cached_models,
         max_rows_per_pass=config.max_rows_per_pass,
+        dtype=config.dtype,
+        encode_cache_rows=config.encode_cache_rows,
     )
     # traced requests' spans carry this process's identity; the spans ride
     # RankReply.spans back to the coordinator's recorder (same-host
     # monotonic clocks, so they compose with coordinator timestamps)
     service.trace_process = f"worker-{worker_id}"
+    ring: "ScoreSlabRing | None" = None
+    if config.slab_name:
+        try:
+            ring = ScoreSlabRing.attach(
+                config.slab_name, config.slab_slots, config.slab_slot_bytes
+            )
+        except Exception:
+            # the segment is gone or the platform refused the mapping:
+            # every score array pickles instead — slower, never wrong
+            ring = None
+    sender = _ReplySender(conn)
     if config.feedback_every > 0:
-        service.add_response_hook(_feedback_streamer(service, conn, worker_id, config))
+        service.add_response_hook(
+            _feedback_streamer(service, sender, ring, worker_id, config)
+        )
     loop = asyncio.get_running_loop()
     inbox: "asyncio.Queue[object]" = asyncio.Queue()
+    #: inbound wire-health counters (reader thread writes, loop reads; a
+    #: plain dict is safe under the GIL for these monotonic bumps)
+    wire = {"frames_corrupt_total": 0, "frame_decode_bugs_total": 0}
 
     def read_pipe() -> None:
         """Blocking pipe reads, forwarded to the loop; EOF means shutdown."""
         while True:
             try:
-                msg = conn.recv()
+                msg = recv_frame(conn)
             except (EOFError, OSError):
                 msg = Shutdown()
             except TypeError:
@@ -145,9 +207,16 @@ async def _serve(
                 # cleanup) surfaces as TypeError from the raw read; it
                 # carries the same meaning as EOF
                 msg = Shutdown()
-            except UNPICKLING_ERRORS:
-                # a corrupted *frame* (garbage bytes where a pickle was
-                # expected): the pipe itself is fine — skip the frame
+            except CorruptFrameError as exc:
+                # the frame is lost either way; what we *count* differs —
+                # garbage bytes are wire corruption, a payload whose own
+                # reconstruction raised is a bug worth surfacing
+                key = (
+                    "frame_decode_bugs_total"
+                    if exc.genuine_bug
+                    else "frames_corrupt_total"
+                )
+                wire[key] += 1
                 continue
             loop.call_soon_threadsafe(inbox.put_nowait, msg)
             if isinstance(msg, Shutdown):
@@ -172,8 +241,9 @@ async def _serve(
             if isinstance(msg, Shutdown):
                 break
             if isinstance(msg, Ping):
-                # answered inline from the loop: a pong proves exactly
-                # what the coordinator's probe asks — the loop schedules
+                # answered inline from the loop, bypassing the batcher: a
+                # pong proves exactly what the coordinator's probe asks —
+                # the loop schedules — and must not wait for co-travelers
                 _send(conn, Pong(req_id=msg.req_id, worker_id=worker_id))
                 continue
             if isinstance(msg, StatsRequest):
@@ -182,7 +252,7 @@ async def _serve(
                     StatsReply(
                         req_id=msg.req_id,
                         worker_id=worker_id,
-                        stats=_stats_with_chaos(service, chaos),
+                        stats=_stats_with_chaos(service, chaos, ring, wire),
                         latency_window=service.telemetry.window(),
                     ),
                 )
@@ -191,7 +261,9 @@ async def _serve(
                 # unknown frame (a newer coordinator, or garbage that
                 # happened to unpickle): losing it must not lose the worker
                 continue
-            task = asyncio.create_task(_handle(service, conn, msg, worker_id, chaos))
+            task = asyncio.create_task(
+                _handle(service, conn, sender, ring, msg, worker_id, chaos)
+            )
             inflight.add(task)
             task.add_done_callback(inflight.discard)
         # drain: every accepted request is answered before the process exits,
@@ -200,18 +272,28 @@ async def _serve(
             heartbeat.cancel()
         if inflight:
             await asyncio.gather(*inflight, return_exceptions=True)
+    # anything the last tasks buffered after their final await: one last
+    # explicit flush, since the scheduled call_soon may never run again
+    sender.flush()
 
 
 def _feedback_streamer(
-    service: TuningService, conn: Connection, worker_id: int, config: WorkerConfig
+    service: TuningService,
+    sender: _ReplySender,
+    ring: "ScoreSlabRing | None",
+    worker_id: int,
+    config: WorkerConfig,
 ):
     """A response hook shipping every Nth answer back as a FeedbackRecord.
 
     Hooks fire synchronously on the event loop — the same thread every
-    reply is sent from — so the record send is serialized with reply
-    sends for free.  Preset requests (the service's own shared candidate
-    list) travel as ``candidates=None``; the coordinator regenerates the
-    identical list from its memo.
+    reply is sent from — so records coalesce into the same
+    :class:`~repro.service.ipc.ReplyBatch` frames as the replies they ride
+    with.  Preset requests (the service's own shared candidate list)
+    travel as ``candidates=None``; the coordinator regenerates the
+    identical list from its memo.  Scores park in the slab ring when a
+    slot is free (the coordinator copies them out and releases before
+    fanning the record to listeners) and pickle otherwise.
     """
     state = {"count": 0}
 
@@ -225,15 +307,20 @@ def _feedback_streamer(
             if service.is_default_set(instance.dims, candidates)
             else list(candidates)
         )
-        _send(
-            conn,
+        scores = np.asarray(response.scores)
+        payload = scores
+        if ring is not None:
+            ref = ring.write(scores)
+            if ref is not None:
+                payload = ref
+        sender.send(
             FeedbackRecord(
                 instance=instance,
                 candidates=wire_candidates,
-                scores=np.asarray(response.scores),
+                scores=payload,
                 model_version=response.model_version,
                 worker_id=worker_id,
-            ),
+            )
         )
 
     return stream
@@ -250,12 +337,21 @@ async def _heartbeat_loop(conn: Connection, worker_id: int, interval_s: float) -
         await asyncio.sleep(interval_s)
 
 
-def _stats_with_chaos(service: TuningService, chaos: "ChaosState | None") -> dict:
+def _stats_with_chaos(
+    service: TuningService,
+    chaos: "ChaosState | None",
+    ring: "ScoreSlabRing | None" = None,
+    wire: "dict | None" = None,
+) -> dict:
     stats = service.stats()
     # registry corruption containment events, surfaced per worker so the
     # coordinator's merged stats can sum them cluster-wide
     stats["registry_corruption_detected_total"] = service.registry.corruption_detected
     stats["registry_corruption_fallbacks_total"] = service.registry.corruption_fallbacks
+    if ring is not None:
+        stats.update(ring.stats())
+    if wire is not None:
+        stats.update(wire)
     if chaos is not None:
         stats["chaos"] = chaos.snapshot()
     return stats
@@ -264,6 +360,8 @@ def _stats_with_chaos(service: TuningService, chaos: "ChaosState | None") -> dic
 async def _handle(
     service: TuningService,
     conn: Connection,
+    sender: _ReplySender,
+    ring: "ScoreSlabRing | None",
     req: RankRequest,
     worker_id: int,
     chaos: "ChaosState | None" = None,
@@ -285,26 +383,55 @@ async def _handle(
             top_k=req.top_k,
             trace=req.trace,
         )
-        reply: "RankReply | ErrorReply" = RankReply(
-            req_id=req.req_id,
-            ranked=list(response.ranked),
-            scores=response.scores if req.include_scores else None,
-            model_version=response.model_version,
-            cached=response.cached,
-            service_latency_s=response.latency_s,
-            worker_id=worker_id,
-            spans=response.spans,
-        )
+        err: "Exception | None" = None
     except Exception as exc:
-        reply = ErrorReply(req_id=req.req_id, error=picklable_error(exc), worker_id=worker_id)
+        response, err = None, exc
     if chaos is not None:
+        # the reply's fate is decided *before* any slab write: a dropped
+        # or corrupted reply whose scores already claimed a slot would
+        # leak it forever — the coordinator never sees the ref to release
         fate = chaos.reply_fate(ordinal)
         if fate == "drop":
             return
         if fate == "corrupt":
             send_corrupt_frame(conn)
             return
-    _send(conn, reply)
+    if err is not None:
+        sender.send(
+            ErrorReply(req_id=req.req_id, error=picklable_error(err), worker_id=worker_id)
+        )
+        return
+    # prefer index form: positions into the request's own candidate order,
+    # which the coordinator rehydrates from the list it already holds —
+    # int32 indices instead of re-pickled candidate objects
+    order = response.order
+    if order is not None:
+        ranked = None
+        idx = order[: req.top_k] if req.top_k is not None else order
+        ranked_idx = np.ascontiguousarray(idx, dtype=np.int32)
+    else:  # pragma: no cover - defensive: a response without an order
+        ranked = list(response.ranked)
+        ranked_idx = None
+    scores: "object | None" = None
+    if req.include_scores and response.scores is not None:
+        scores = response.scores
+        if ring is not None:
+            ref = ring.write(response.scores)
+            if ref is not None:
+                scores = ref
+    sender.send(
+        RankReply(
+            req_id=req.req_id,
+            ranked=ranked,
+            scores=scores,
+            model_version=response.model_version,
+            cached=response.cached,
+            service_latency_s=response.latency_s,
+            worker_id=worker_id,
+            spans=response.spans,
+            ranked_idx=ranked_idx,
+        )
+    )
 
 
 def _send(conn: Connection, reply: object) -> None:

@@ -1,0 +1,225 @@
+"""Zero-copy score transport, float32 serving and the encode cache, end to end.
+
+The shm transport must be invisible at the answer layer: scores arriving
+through a slab ring are bit-identical to the pickle path and to the
+single-process oracle, slots are returned when responses are consumed,
+and a run full of SIGKILLs leaves nothing behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.online.promotion import PromotionPolicy
+from repro.online.shadow import ShadowReport
+from repro.service.shm import leaked_segments
+from tests.cluster.harness import (
+    assert_response_matches,
+    expected_answer,
+    kill_and_settle,
+    wait_until,
+    workload_requests,
+)
+
+_SHM_PREFIX = f"rsl-{os.getpid()}-"
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no visible /dev/shm on this platform"
+)
+
+
+class TestShmTransport:
+    def test_slab_scores_bit_identical_to_oracle(self, make_cluster, cluster_tuner):
+        requests = workload_requests(20, seed=71)
+        cluster = make_cluster(n_workers=2)
+        for instance, candidates in requests:
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert_response_matches(response, ranked, scores)
+            response.release()
+        stats = cluster.stats()["cluster"]
+        assert stats["slab_writes_total"] > 0, "no reply ever used the slab ring"
+
+    def test_release_after_consume_returns_slots(self, make_cluster):
+        requests = workload_requests(12, seed=72)
+        cluster = make_cluster(n_workers=2)
+        responses = [
+            cluster.submit(q, c).result(timeout=120) for q, c in requests
+        ]
+        held = sum(ring.in_use() for ring in cluster._worker_ring.values())
+        slabbed = [r for r in responses if r.slab_lease is not None]
+        assert held == len(slabbed), "slot refcounts diverged from live leases"
+        for response in responses:
+            response.release()
+        assert sum(ring.in_use() for ring in cluster._worker_ring.values()) == 0
+
+    def test_pickle_transport_stays_bit_identical(self, make_cluster, cluster_tuner):
+        requests = workload_requests(12, seed=73)
+        cluster = make_cluster(n_workers=2, score_transport="pickle")
+        assert not cluster._worker_ring  # no rings created at all
+        for instance, candidates in requests:
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert response.slab_lease is None
+            assert_response_matches(response, ranked, scores)
+        assert cluster.stats()["cluster"]["slab_writes_total"] == 0
+
+    def test_dropped_responses_release_via_gc(self, make_cluster):
+        """A caller that never calls release() only borrows slots until the
+        collector runs — ring occupancy must not decay permanently."""
+        import gc
+
+        requests = workload_requests(8, seed=74)
+        cluster = make_cluster(n_workers=1)
+        for instance, candidates in requests:
+            cluster.submit(instance, candidates).result(timeout=120)  # dropped
+        gc.collect()
+        assert sum(ring.in_use() for ring in cluster._worker_ring.values()) == 0
+
+    @needs_dev_shm
+    def test_stop_unlinks_all_segments(self, make_cluster):
+        requests = workload_requests(8, seed=75)
+        cluster = make_cluster(n_workers=2)
+        for instance, candidates in requests:
+            cluster.submit(instance, candidates).result(timeout=120)
+        assert leaked_segments(_SHM_PREFIX)  # rings exist while running
+        cluster.stop()
+        assert leaked_segments(_SHM_PREFIX) == []
+
+    @needs_dev_shm
+    def test_sigkill_mid_stream_leaks_no_segments(self, make_cluster, cluster_tuner):
+        """SIGKILL a worker with replies inflight: the replacement gets a
+        fresh ring and stop() leaves /dev/shm empty."""
+        requests = workload_requests(30, seed=76)
+        cluster = make_cluster(n_workers=2)
+        futures = [cluster.submit(q, c) for q, c in requests[:15]]
+        kill_and_settle(cluster, 0)
+        futures += [cluster.submit(q, c) for q, c in requests[15:]]
+        for (instance, candidates), future in zip(requests, futures):
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            assert_response_matches(future.result(timeout=120), ranked, scores)
+        cluster.stop()
+        assert leaked_segments(_SHM_PREFIX) == []
+
+
+def _passing_report(n: int = 8) -> ShadowReport:
+    return ShadowReport(
+        candidate_tau=0.9,
+        production_tau=0.1,
+        n_records=n,
+        candidate_taus=(0.9,) * n,
+        production_taus=(0.1,) * n,
+        families=("line",) * n,
+    )
+
+
+class TestEncodeCache:
+    def test_hot_swap_rescoring_hits_encode_cache(
+        self, make_cluster, cluster_registry, cluster_tuner, second_model
+    ):
+        """Re-scoring known instances under a freshly promoted model must
+        reuse their encodings: the ranking cache misses (new version) but
+        the encode cache, keyed by instance alone, hits — bit-identically."""
+        requests = workload_requests(10, seed=81)
+        cluster = make_cluster(n_workers=2)
+        for instance, candidates in requests:
+            cluster.submit(instance, candidates).result(timeout=120)
+        before = cluster.stats()["cluster"]
+
+        policy = PromotionPolicy(cluster_registry, tag="prod")
+        decision = policy.consider(
+            second_model, cluster_tuner.fingerprint(), _passing_report()
+        )
+        assert decision.promoted
+
+        v2_tuner = dataclasses.replace(cluster_tuner, model=second_model)
+
+        def swap_reached_everywhere() -> bool:
+            checks = [
+                cluster.submit(q, c, include_scores=False).result(timeout=120)
+                for q, c in requests[:4]
+            ]
+            return {r.model_version for r in checks} == {"v0002"}
+
+        assert wait_until(swap_reached_everywhere, timeout_s=30.0)
+        for instance, candidates in requests:
+            ranked, scores = expected_answer(v2_tuner, instance, candidates)
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert response.model_version == "v0002"
+            assert_response_matches(response, ranked, scores)
+
+        # insertion is on second touch: the v1 pass recorded the encodes,
+        # the v2 re-encode stored them — a *second* promotion is the first
+        # one whose re-scoring can hit.  Republishing the original model
+        # as v0003 doubles as a bit-identity check against the v1 oracle.
+        cluster_registry.publish(
+            cluster_tuner.model, cluster_tuner.fingerprint(), tags=("prod",)
+        )
+
+        def v3_reached_everywhere() -> bool:
+            checks = [
+                cluster.submit(q, c, include_scores=False).result(timeout=120)
+                for q, c in requests[:4]
+            ]
+            return {r.model_version for r in checks} == {"v0003"}
+
+        assert wait_until(v3_reached_everywhere, timeout_s=30.0)
+        for instance, candidates in requests:
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert response.model_version == "v0003"
+            assert_response_matches(response, ranked, scores)
+        after = cluster.stats()["cluster"]
+        assert after["encode_cache_hits"] > before["encode_cache_hits"], (
+            "hot-swap re-scoring never reused a cached encoding"
+        )
+
+    def test_disabled_cache_reports_no_lookups(self, make_cluster):
+        requests = workload_requests(6, seed=82)
+        cluster = make_cluster(n_workers=1, encode_cache_rows=0)
+        for instance, candidates in requests:
+            cluster.submit(instance, candidates).result(timeout=120)
+        stats = cluster.stats()["cluster"]
+        assert stats["encode_cache_hits"] == 0
+        assert stats["encode_cache_misses"] == 0
+
+
+class TestFloat32Serving:
+    def test_top_k_agreement_against_float64(self, make_cluster, cluster_tuner):
+        """The opt-in float32 path must track the float64 ranking closely on
+        the preset suite: identical top-1 and near-identical top-8 sets."""
+        requests = workload_requests(16, seed=91)
+        f64 = make_cluster(n_workers=1)
+        f32 = make_cluster(n_workers=1, dtype="float32")
+        overlaps = []
+        top1_matches = 0
+        for instance, candidates in requests:
+            a = f64.submit(instance, candidates, top_k=8).result(timeout=120)
+            b = f32.submit(instance, candidates, top_k=8).result(timeout=120)
+            assert b.scores is not None and b.scores.dtype == np.float32
+            assert np.allclose(
+                np.asarray(b.scores, dtype=np.float64),
+                np.asarray(a.scores, dtype=np.float64),
+                rtol=1e-4,
+                atol=1e-5,
+            )
+            set_a = {v.as_tuple() for v in a.ranked}
+            set_b = {v.as_tuple() for v in b.ranked}
+            overlaps.append(len(set_a & set_b) / max(len(set_a), 1))
+            top1_matches += a.ranked[0] == b.ranked[0]
+        assert float(np.mean(overlaps)) >= 0.9, overlaps
+        assert top1_matches >= int(0.9 * len(requests))
+
+    def test_float64_default_stays_bit_identical(self, make_cluster, cluster_tuner):
+        """The bit-identity guarantee is pinned to the default dtype."""
+        requests = workload_requests(6, seed=92)
+        cluster = make_cluster(n_workers=1)
+        for instance, candidates in requests:
+            ranked, scores = expected_answer(cluster_tuner, instance, candidates)
+            response = cluster.submit(instance, candidates).result(timeout=120)
+            assert response.scores.dtype == np.float64
+            assert_response_matches(response, ranked, scores)

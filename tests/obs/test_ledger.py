@@ -154,11 +154,98 @@ class TestSentinel:
 
     def test_accepts_path_history(self, tmp_path):
         path = tmp_path / "history.jsonl"
-        for v in (10.0, 11.0, 10.5):
-            append_row(path, ledger_row("cluster", {"latency_ms": v}))
+        # distinct SHAs: in a real ledger each row is one commit's run, and
+        # same-SHA rows deliberately collapse to a single sample
+        for i, v in enumerate((10.0, 11.0, 10.5)):
+            append_row(
+                path, {**ledger_row("cluster", {"latency_ms": v}), "git_sha": f"c{i}"}
+            )
         report = check_regression(
             path, "cluster", {"latency_ms": 50.0}, {"latency_ms": ("lower", 2.0)}
         )
+        assert report["flagged"] == ["latency_ms"]
+
+    def test_degenerate_window_duplicate_sha_collapses(self):
+        """--chaos double-runs append twice per commit; the window must see
+        one sample per commit, not two copies of each."""
+        history = []
+        for i, v in enumerate((10.0, 11.0, 10.5, 10.8)):
+            for jitter in (0.0, 0.2):  # two appends per invocation
+                history.append(
+                    {
+                        "schema": 1,
+                        "benchmark": "cluster",
+                        "git_sha": f"commit{i}",
+                        "metrics": {"latency_ms": v + jitter},
+                    }
+                )
+        report = check_regression(
+            history, "cluster", {"latency_ms": 50.0},
+            {"latency_ms": ("lower", 2.0)}, window=4,
+        )
+        # 8 raw rows collapse to 4 commit medians; the window holds all
+        # commits instead of the most recent two commits twice over
+        assert report["n_history"] == 4
+        assert report["checks"]["latency_ms"]["n_samples"] == 4
+        assert report["checks"]["latency_ms"]["median"] == pytest.approx(10.75)
+        assert report["flagged"] == ["latency_ms"]
+
+    def test_degenerate_window_current_sha_excluded(self):
+        """Rows this driver already appended for the current commit must not
+        let the sentinel compare the run against itself."""
+        history = _history("cluster", [10.0, 11.0, 10.5])
+        for i, row in enumerate(history):
+            row["git_sha"] = f"older{i}"
+        # the current commit already wrote two wildly-slow rows (chaos re-run)
+        for v in (100.0, 101.0):
+            history.append(
+                {
+                    "schema": 1,
+                    "benchmark": "cluster",
+                    "git_sha": "me",
+                    "metrics": {"latency_ms": v},
+                }
+            )
+        polluted = check_regression(
+            history, "cluster", {"latency_ms": 100.0},
+            {"latency_ms": ("lower", 2.0)}, window=3,
+        )
+        clean = check_regression(
+            history, "cluster", {"latency_ms": 100.0},
+            {"latency_ms": ("lower", 2.0)}, window=3, current_sha="me",
+        )
+        # without the guard the commit's own rows dilute the window median;
+        # with it the 10× inflation is judged purely against prior commits
+        assert clean["checks"]["latency_ms"]["median"] == pytest.approx(10.5)
+        assert clean["flagged"] == ["latency_ms"]
+        assert polluted["checks"]["latency_ms"]["median"] > clean["checks"][
+            "latency_ms"
+        ]["median"]
+
+    def test_degenerate_window_all_rows_current_sha(self):
+        """A fresh ledger seeded only by this commit's own runs cannot flag:
+        exclusion leaves <3 samples -> insufficient-history."""
+        history = _history("cluster", [10.0, 10.2, 10.1, 10.3])
+        for row in history:
+            row["git_sha"] = "me"
+        report = check_regression(
+            history, "cluster", {"latency_ms": 1000.0},
+            {"latency_ms": ("lower", 2.0)}, current_sha="me",
+        )
+        assert report["ok"]
+        assert report["n_history"] == 0
+        assert report["checks"]["latency_ms"]["verdict"] == "insufficient-history"
+
+    def test_unknown_sha_rows_never_collapse(self):
+        """Runs outside a checkout can't be proven same-build: keep each."""
+        history = _history("cluster", [10.0, 11.0, 10.5])
+        for row in history:
+            row["git_sha"] = "unknown"
+        report = check_regression(
+            history, "cluster", {"latency_ms": 50.0},
+            {"latency_ms": ("lower", 2.0)}, current_sha="unknown",
+        )
+        assert report["n_history"] == 3
         assert report["flagged"] == ["latency_ms"]
 
     def test_format_report_is_printable(self):

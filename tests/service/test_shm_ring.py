@@ -1,0 +1,184 @@
+"""Unit tests for the score slab ring and the instance-keyed encode cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.cache import EncodeCache
+from repro.service.shm import (
+    DEFAULT_SLOT_BYTES,
+    ScoreSlabRing,
+    SlabRef,
+    leaked_segments,
+)
+
+
+@pytest.fixture()
+def ring():
+    r = ScoreSlabRing.create("rsl-test-unit", slots=4, slot_bytes=256)
+    yield r
+    r.unlink()
+    r.close()
+
+
+class TestSlabRing:
+    def test_write_view_roundtrip_bit_identical(self, ring):
+        arr = np.arange(32, dtype=np.float64) * 0.5
+        ref = ring.write(arr)
+        assert isinstance(ref, SlabRef)
+        assert ref.count == 32 and ref.dtype == "float64"
+        view = ring.view(ref)
+        assert view.flags.writeable is False
+        assert np.array_equal(view, arr)
+
+    def test_release_returns_slot(self, ring):
+        refs = [ring.write(np.arange(4.0)) for _ in range(3)]
+        assert ring.in_use() == 3
+        for ref in refs:
+            ring.release(ref)
+        assert ring.in_use() == 0
+        assert ring.stats()["slab_releases_total"] == 3
+
+    def test_full_ring_falls_back_to_none(self, ring):
+        refs = [ring.write(np.arange(4.0)) for _ in range(4)]
+        assert all(r is not None for r in refs)
+        assert ring.write(np.arange(4.0)) is None  # full -> pickle fallback
+        assert ring.stats()["slab_fallbacks_total"] == 1
+        ring.release(refs[0])
+        assert ring.write(np.arange(4.0)) is not None  # freed slot reused
+
+    def test_oversized_array_falls_back(self, ring):
+        big = np.zeros(ring.slot_bytes // 8 + 1, dtype=np.float64)
+        assert ring.write(big) is None
+        assert ring.stats()["slab_fallbacks_total"] == 1
+        assert ring.in_use() == 0  # nothing claimed on the fallback path
+
+    def test_float32_roundtrip(self, ring):
+        arr = np.linspace(-1, 1, 16, dtype=np.float32)
+        ref = ring.write(arr)
+        assert ref.dtype == "float32"
+        assert np.array_equal(ring.view(ref), arr)
+
+    def test_attach_sees_owner_writes(self, ring):
+        attached = ScoreSlabRing.attach(ring.name, slots=4, slot_bytes=256)
+        try:
+            ref = attached.write(np.array([1.0, 2.0, 3.0]))
+            assert np.array_equal(ring.view(ref), [1.0, 2.0, 3.0])
+            assert ring.in_use() == 1
+            ring.release(ref)
+            assert attached.in_use() == 0
+        finally:
+            attached.close()
+
+    def test_close_defers_until_last_release(self):
+        ring = ScoreSlabRing.create("rsl-test-defer", slots=2, slot_bytes=256)
+        ref = ring.write(np.arange(4.0))
+        view = ring.view(ref)
+        ring.unlink()
+        ring.close()  # slot outstanding: must NOT unmap yet
+        assert view.sum() == 6.0  # view still readable
+        assert ring.write(np.arange(2.0)) is not None  # ring still live
+        assert ring.in_use() == 2
+        ring.release(SlabRef(ring.name, 1, 2, "float64"))
+        ring.release(ref)  # last release performs the real unmap
+        assert ring.in_use() == 0
+        assert ring.write(np.arange(2.0)) is None  # closed -> fallback
+        with pytest.raises(ValueError, match="closed"):
+            ring.view(ref)
+        ring.release(ref)  # idempotent no-op after close
+        assert leaked_segments("rsl-test-defer") == []
+
+    def test_unlink_is_owner_only_and_idempotent(self, ring):
+        attached = ScoreSlabRing.attach(ring.name, slots=4, slot_bytes=256)
+        try:
+            attached.unlink()  # non-owner: no-op
+            assert leaked_segments(ring.name) == [ring.name]
+        finally:
+            attached.close()
+        ring.unlink()
+        ring.unlink()
+        assert leaked_segments(ring.name) == []
+
+    def test_view_rejects_out_of_range_slot(self, ring):
+        with pytest.raises(ValueError, match="outside ring"):
+            ring.view(SlabRef(ring.name, 99, 4, "float64"))
+
+    def test_default_slot_fits_preset_score_array(self):
+        assert DEFAULT_SLOT_BYTES >= 8640 * 8
+
+
+class TestEncodeCache:
+    def _x(self, rows, seed=0):
+        return np.random.default_rng(seed).standard_normal((rows, 7))
+
+    def test_second_touch_defers_first_insert(self):
+        """Default policy: the first put records, only a repeat stores."""
+        cache = EncodeCache(max_rows=100)
+        X = self._x(10)
+        cache.put(1, 42, X)  # first touch: recorded, not copied
+        assert len(cache) == 0
+        assert cache.snapshot()["encode_cache_deferred"] == 1
+        cache.put(1, 42, X)  # the encode repeated: now it is stored
+        hit = cache.get(1, 42)
+        assert hit is not None and np.array_equal(hit, X)
+        # a different candidate set for the same instance starts over
+        cache.put(1, 43, self._x(10, seed=1))
+        assert cache.get(1, 43) is None
+
+    def test_second_touch_repeats_after_eviction(self):
+        """An evicted entry must re-prove demand before being re-stored."""
+        cache = EncodeCache(max_rows=10)
+        X = self._x(10)
+        cache.put(1, 1, X)
+        cache.put(1, 1, X)  # stored
+        cache.put(2, 1, self._x(10, seed=2))
+        cache.put(2, 1, self._x(10, seed=2))  # stored; evicts key 1
+        assert cache.get(1, 1) is None
+        cache.put(1, 1, X)  # first touch again, not stored
+        assert cache.get(1, 1) is None
+        cache.put(1, 1, X)
+        assert cache.get(1, 1) is not None
+
+    def test_hit_requires_matching_candidates_hash(self):
+        cache = EncodeCache(max_rows=100, second_touch=False)
+        X = self._x(10)
+        cache.put(1, 42, X)
+        hit = cache.get(1, 42)
+        assert hit is not None and np.array_equal(hit, X)
+        assert cache.get(1, 43) is None  # same instance, different candidates
+        assert cache.get(2, 42) is None  # different instance
+
+    def test_entries_are_owned_readonly_copies(self):
+        cache = EncodeCache(max_rows=100, second_touch=False)
+        X = self._x(4)
+        cache.put(1, 42, X)
+        X[:] = 0.0  # caller scribbles on its scratch buffer
+        hit = cache.get(1, 42)
+        assert hit.flags.writeable is False
+        assert not np.array_equal(hit, X)
+
+    def test_lru_eviction_bounds_total_rows(self):
+        cache = EncodeCache(max_rows=25, second_touch=False)
+        for key in range(4):
+            cache.put(key, 1, self._x(10, seed=key))
+        assert len(cache) == 2  # 40 rows inserted, only 20 fit
+        assert cache.get(0, 1) is None  # oldest evicted
+        assert cache.get(3, 1) is not None
+        assert cache.snapshot()["encode_cache_evictions"] == 2
+
+    def test_oversized_entry_skipped(self):
+        cache = EncodeCache(max_rows=5, second_touch=False)
+        cache.put(1, 1, self._x(10))
+        assert len(cache) == 0
+
+    def test_snapshot_and_hit_rate(self):
+        cache = EncodeCache(max_rows=100, second_touch=False)
+        cache.put(1, 1, self._x(10))
+        cache.get(1, 1)
+        cache.get(2, 1)
+        snap = cache.snapshot()
+        assert snap["encode_cache_hits"] == 1
+        assert snap["encode_cache_misses"] == 1
+        assert snap["encode_cache_rows"] == 10
+        assert cache.hit_rate == 0.5

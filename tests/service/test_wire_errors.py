@@ -1,0 +1,131 @@
+"""Wire-layer bugfix regressions: error transport and frame-loss triage.
+
+Satellite 1: ``picklable_error`` must preserve the original exception's
+type name and formatted traceback even when the exception itself cannot
+cross a pipe (e.g. it holds an open file handle).
+
+Satellite 2: ``recv_frame`` must distinguish a genuinely corrupt frame
+(transport damage — counted as frame loss) from a real bug raised while
+*materializing* the frame (e.g. an object's ``__setstate__`` explodes) —
+the latter used to be silently swallowed by the reader loop's
+``UNPICKLING_ERRORS`` catch-all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+
+import pytest
+
+from repro.service.ipc import (
+    CorruptFrameError,
+    WireError,
+    picklable_error,
+    recv_frame,
+)
+
+
+class _HoldsFileHandle(RuntimeError):
+    """An exception that cannot be pickled: it carries an open file."""
+
+    def __init__(self, message: str, handle) -> None:
+        super().__init__(message)
+        self.handle = handle
+
+
+class _SetstateBomb:
+    """Pickles fine; detonates in ``__setstate__`` on the receiving side."""
+
+    def __getstate__(self):
+        return {"armed": True}
+
+    def __setstate__(self, state):
+        raise ZeroDivisionError("bug while materializing the frame")
+
+
+class TestPicklableError:
+    def test_picklable_exception_passes_through(self):
+        exc = ValueError("plain")
+        assert picklable_error(exc) is exc
+
+    def test_unpicklable_error_keeps_type_and_traceback(self, tmp_path):
+        handle = open(tmp_path / "scratch.bin", "wb")
+        try:
+            try:
+                raise _HoldsFileHandle("flush failed mid-reply", handle)
+            except _HoldsFileHandle as exc:
+                with pytest.raises(Exception):
+                    pickle.dumps(exc)  # precondition: genuinely unpicklable
+                wire = picklable_error(exc)
+        finally:
+            handle.close()
+
+        assert isinstance(wire, WireError)
+        assert wire.original_type == "_HoldsFileHandle"
+        assert "flush failed mid-reply" in str(wire)
+        # the formatted traceback survives: frames + raise site
+        assert "raise _HoldsFileHandle" in wire.original_traceback
+        assert "Traceback" in wire.original_traceback
+
+    def test_wire_error_round_trips_through_pickle(self, tmp_path):
+        handle = open(tmp_path / "scratch.bin", "wb")
+        try:
+            try:
+                raise _HoldsFileHandle("boom", handle)
+            except _HoldsFileHandle as exc:
+                wire = picklable_error(exc)
+        finally:
+            handle.close()
+
+        clone = pickle.loads(pickle.dumps(wire))
+        assert isinstance(clone, WireError)
+        assert clone.original_type == wire.original_type
+        assert clone.original_traceback == wire.original_traceback
+        assert str(clone) == str(wire)
+
+
+class TestRecvFrameTriage:
+    def test_crafted_corrupt_frame_is_frame_loss(self):
+        a, b = mp.Pipe()
+        try:
+            a.send_bytes(b"\x80\x04this is not a pickle")
+            with pytest.raises(CorruptFrameError) as info:
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+        assert info.value.genuine_bug is False
+        assert info.value.cause_type  # the underlying decode error is named
+
+    def test_truncated_frame_is_frame_loss(self):
+        a, b = mp.Pipe()
+        try:
+            a.send_bytes(pickle.dumps({"req": 1})[:5])
+            with pytest.raises(CorruptFrameError) as info:
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+        assert info.value.genuine_bug is False
+
+    def test_setstate_bug_is_not_frame_loss(self):
+        a, b = mp.Pipe()
+        try:
+            a.send(_SetstateBomb())
+            with pytest.raises(CorruptFrameError) as info:
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+        assert info.value.genuine_bug is True
+        assert info.value.cause_type == "ZeroDivisionError"
+
+    def test_healthy_frame_passes(self):
+        a, b = mp.Pipe()
+        try:
+            a.send({"req": 7, "payload": [1, 2, 3]})
+            assert recv_frame(b) == {"req": 7, "payload": [1, 2, 3]}
+        finally:
+            a.close()
+            b.close()

@@ -29,6 +29,7 @@ script to record the perf trajectory::
     PYTHONPATH=src python benchmarks/bench_cluster.py           # throughput rows
     PYTHONPATH=src python benchmarks/bench_cluster.py --chaos   # resilience soak
     PYTHONPATH=src python benchmarks/bench_cluster.py --trace   # stage attribution
+    PYTHONPATH=src python benchmarks/bench_cluster.py --socket  # transport parity
 
 In CI the script enforces a relaxed floor (cluster ≥ the single-process
 baseline) because shared-runner wall clocks make exact ratios unreliable.
@@ -53,6 +54,16 @@ acceptance criteria are hard-asserted (100% of requests complete, correct
 or explicitly degraded; zero hangs; zero coordinator crashes; the
 quarantined worker is readmitted) and the outcome is merged into
 ``BENCH_cluster.json`` as a ``"kind": "chaos"`` row.
+
+``--socket`` is the cross-transport parity soak: the identical 256-request
+mixed preset load is served by a pipe cluster and by a loopback-socket
+cluster (workers dial back into the coordinator over TCP, length-prefixed
+frames), and the two answer streams must be **bit-identical** — the
+acceptance gate for the socket transport.  The weighted-rendezvous share
+check rides along (a weight-2 worker must take 2×±15% a weight-1 worker's
+shards over 20k keys).  The outcome is merged into ``BENCH_cluster.json``
+as a ``"kind": "socket"`` row and appended to the ledger as
+``cluster-socket``.
 """
 
 from __future__ import annotations
@@ -209,6 +220,7 @@ def _serve_cluster(
     n_workers: int,
     trace: "TraceConfig | None" = None,
     audit: "AuditJournal | None" = None,
+    transport: str = "pipe",
 ) -> tuple[list, float, dict, list]:
     """The cluster side: concurrent submits, worker-side presets, thrifty wire."""
     with ServiceCluster(
@@ -217,6 +229,7 @@ def _serve_cluster(
         default_model="prod",
         trace=trace,
         audit=audit,
+        transport=transport,
     ) as cluster:
         # warm every worker (imports, model load, first fused preset
         # encodes) off the clock — the timed region measures serving, not
@@ -621,6 +634,70 @@ def bench_trace(
     }
 
 
+def bench_socket(
+    n_requests: int = N_CONCURRENT,
+    n_workers: int = 2,
+    tuner: "OrdinalAutotuner | None" = None,
+) -> dict:
+    """Cross-transport parity: pipe-served vs socket-served, same bytes.
+
+    The same mixed preset workload runs against a pipe cluster and a
+    loopback-socket cluster built from the same registry.  Acceptance is
+    bit-identity of the full top-k answer streams — timing is recorded for
+    the trajectory but never asserted (loopback TCP pays a syscall tax a
+    shared runner cannot measure fairly).  The weighted-rendezvous share
+    check (the 2×±15% criterion) is asserted alongside, since capacity
+    weights exist for exactly this heterogeneous-transport posture.
+    """
+    from repro.service import ShardRouter
+    from repro.util.rng import hash_seed
+
+    tuner = tuner or _train_tuner()
+    instances = _workload(n_requests, N_DISTINCT)
+    with TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.publish(tuner.model, tuner.fingerprint(), tags=("prod",))
+        piped, pipe_s, pipe_stats, _ = _serve_cluster(
+            tmp, instances, n_workers, transport="pipe"
+        )
+        socketed, socket_s, socket_stats, _ = _serve_cluster(
+            tmp, instances, n_workers, transport="socket"
+        )
+    assert socketed == piped, (
+        "socket-served top-k answers diverged from pipe-served answers"
+    )
+    assert socket_stats["cluster"]["failed_total"] == 0
+    assert socket_stats["cluster"]["corrupted_frames_total"] == 0
+    assert socket_stats["missing_workers"] == []
+    # the weighted-rendezvous acceptance: weight 2 ⇒ 2×±15% the shards
+    router = ShardRouter(range(3), weights={0: 2.0})
+    keys = [hash_seed("bench-weighted-routing", i) for i in range(20_000)]
+    shares: dict[int, int] = {w: 0 for w in range(3)}
+    for key in keys:
+        shares[router.route(key)] += 1
+    light_mean = (shares[1] + shares[2]) / 2
+    weighted_ratio = shares[0] / light_mean
+    assert 2.0 * 0.85 <= weighted_ratio <= 2.0 * 1.15, (
+        f"weight-2 worker took {weighted_ratio:.2f}x a weight-1 worker's shards"
+    )
+    return {
+        "kind": "socket",
+        "n_requests": n_requests,
+        "n_workers": n_workers,
+        "top_k": TOP_K,
+        "cpu_count": os.cpu_count(),
+        "pipe_s": pipe_s,
+        "socket_s": socket_s,
+        "pipe_rps": n_requests / pipe_s,
+        "socket_rps": n_requests / socket_s,
+        "socket_over_pipe": socket_s / pipe_s,
+        "bit_identical": True,
+        "weighted_ratio": weighted_ratio,
+        "pipe_stats": pipe_stats["cluster"],
+        "socket_stats": socket_stats["cluster"],
+    }
+
+
 # -- pytest smoke (timing-free where CI is involved) ---------------------------
 
 
@@ -640,6 +717,15 @@ def test_smoke_two_workers_mixed_load(tuner):
     assert stats["failed_total"] == 0
     assert stats["requests_total"] >= 48  # workload (+ per-shard warmup)
     assert stats["cache_hits"] > 0, "repeats must hit the per-worker caches"
+
+
+def test_smoke_socket_parity(tuner):
+    """Timing-free slice of ``--socket``: 48 requests, pipe vs loopback TCP,
+    bit-identical answers and the weighted share inside the 2×±15% band."""
+    row = bench_socket(48, n_workers=2, tuner=tuner)
+    assert row["bit_identical"] is True
+    assert 2.0 * 0.85 <= row["weighted_ratio"] <= 2.0 * 1.15
+    assert row["socket_stats"]["requests_total"] >= 48
 
 
 def test_smoke_trace_attribution(tuner):
@@ -888,6 +974,49 @@ def main_trace() -> None:
     print(f"merged attribution row into {OUT_PATH}; spans in {TRACE_PATH}")
 
 
+def main_socket() -> None:
+    """Run the transport-parity soak and merge its row into BENCH_cluster.json."""
+    bench_workers = int(os.environ.get("BENCH_CLUSTER_WORKERS", 2))
+    row = bench_socket(N_CONCURRENT, n_workers=bench_workers)
+    print(
+        f"socket parity: {row['n_requests']} requests x {row['n_workers']} "
+        f"workers bit-identical over TCP  "
+        f"pipe {row['pipe_s'] * 1e3:8.1f} ms ({row['pipe_rps']:6.0f} req/s)  "
+        f"socket {row['socket_s'] * 1e3:8.1f} ms "
+        f"({row['socket_rps']:6.0f} req/s)  "
+        f"socket/pipe {row['socket_over_pipe']:.2f}x  "
+        f"weighted share {row['weighted_ratio']:.2f}x (target 2.00±15%)"
+    )
+    if OUT_PATH.exists():
+        payload = json.loads(OUT_PATH.read_text())
+    else:
+        payload = {
+            "benchmark": (
+                "ServiceCluster (multi-process, instance-affine) vs "
+                "single-process serving"
+            ),
+            "results": [],
+        }
+    payload["results"] = [
+        r for r in payload.get("results", []) if r.get("kind") != "socket"
+    ] + [row]
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    append_row(
+        HISTORY_PATH,
+        ledger_row(
+            "cluster-socket",
+            {
+                "socket_rps": row["socket_rps"],
+                "socket_over_pipe": row["socket_over_pipe"],
+                "weighted_ratio": row["weighted_ratio"],
+            },
+            extra={"n_workers": row["n_workers"]},
+        ),
+    )
+    print(f"merged socket row into {OUT_PATH}; appended cluster-socket ledger row")
+
+
 if __name__ == "__main__":
     import sys
 
@@ -895,5 +1024,7 @@ if __name__ == "__main__":
         main_chaos()
     elif "--trace" in sys.argv[1:]:
         main_trace()
+    elif "--socket" in sys.argv[1:]:
+        main_socket()
     else:
         main()

@@ -20,6 +20,12 @@ package provides the production pieces around it:
   the shared registry, with crash rerouting and merged telemetry;
 * :mod:`repro.service.worker` / :mod:`repro.service.ipc` — the worker
   entry point and the pickle wire protocol between parent and workers;
+* :mod:`repro.service.frames` / :mod:`repro.service.transport` /
+  :mod:`repro.service.remote` — the cross-host layer: the
+  length-prefixed frame codec, :class:`SocketConnection` (a TCP link
+  that duck-types a worker pipe), and :class:`RemoteWorkerHost` (the
+  per-machine listener a coordinator dials with
+  ``ServiceCluster(remote_workers=[...])``);
 * :mod:`repro.service.health` / :mod:`repro.service.degrade` /
   :mod:`repro.service.chaos` — the resilience layer: per-worker circuit
   breakers fed by timeouts, corrupt frames and heartbeat silence
@@ -49,9 +55,11 @@ from repro.service.degrade import (
 )
 from repro.service.health import CircuitBreaker, HealthState, ResilienceConfig
 from repro.service.registry import ModelRegistry
+from repro.service.remote import RemoteWorkerHost
 from repro.service.routing import ShardRouter
 from repro.service.server import RankingResponse, TuningService
 from repro.service.telemetry import ServiceTelemetry, merge_stats
+from repro.service.transport import SocketConnection
 from repro.service.worker import WorkerConfig
 
 __all__ = [
@@ -69,7 +77,9 @@ __all__ = [
     "ModelRegistry",
     "RankingCache",
     "RankingResponse",
+    "RemoteWorkerHost",
     "ResilienceConfig",
+    "SocketConnection",
     "ServiceCluster",
     "ServiceTelemetry",
     "ShardRouter",

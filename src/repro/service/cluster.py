@@ -76,6 +76,27 @@ partial ones:
 The parent API is thread-friendly (``submit`` returns a
 ``concurrent.futures.Future``) with an async adapter (:meth:`rank`), so
 both sync drivers and asyncio applications can use the cluster directly.
+
+**Transports.**  Workers attach over one of three links, all speaking the
+same :mod:`~repro.service.ipc` frames (so everything above — routing,
+health, retries, chaos — is transport-blind):
+
+* ``"pipe"`` (default) — a forked process on a duplex pipe, with
+  shared-memory score slabs when ``score_transport="shm"``;
+* ``"socket"`` — a forked process that dials back into a coordinator
+  loopback listener and talks the length-prefixed frame codec
+  (:mod:`~repro.service.frames`): the cross-host wire, exercised
+  locally.  Scores ride the wire (pickles), never slabs — this is the
+  remote posture, and ``tests/cluster/test_socket_transport.py`` pins
+  that its answers are *bit-identical* to pipe answers anyway;
+* ``remote_workers=["host:port", ...]`` — workers on other machines
+  behind a :class:`~repro.service.remote.RemoteWorkerHost`; the
+  coordinator dials out, opens with :class:`~repro.service.ipc.Hello`,
+  and a failed dial parks the worker in ``missing_workers`` instead of
+  failing the cluster.
+
+``worker_weights`` feeds the router's weighted rendezvous election: a
+weight-2 host takes ~2× the shards of a weight-1 host, weight 0 drains.
 """
 
 from __future__ import annotations
@@ -110,6 +131,7 @@ from repro.service.ipc import (
     ErrorReply,
     FeedbackRecord,
     Heartbeat,
+    Hello,
     Ping,
     Pong,
     RankReply,
@@ -124,7 +146,8 @@ from repro.service.registry import LATEST
 from repro.service.routing import ShardRouter
 from repro.service.shm import ScoreSlabRing, SlabRef
 from repro.service.telemetry import merge_stats
-from repro.service.worker import WorkerConfig, worker_main
+from repro.service.transport import accept_connection, dial, listen
+from repro.service.worker import WorkerConfig, socket_worker_main, worker_main
 from repro.stencil.execution import instance_hash
 from repro.stencil.instance import StencilInstance
 from repro.tuning.presets import preset_candidates
@@ -272,6 +295,38 @@ class _PendingReq:
     backoff_queued_at: "float | None" = None
 
 
+class _RemoteProcess:
+    """A process-shaped stub for a worker living on another host.
+
+    The coordinator does not own a remote worker's process — it owns a
+    *connection* to it — but every lifecycle path (stop, crash reap,
+    restart bookkeeping) is written against the ``mp.Process`` surface.
+    This stub answers that surface with no-ops: ``join`` returns at once,
+    ``is_alive`` is False (there is nothing to terminate locally), and
+    the signal methods do nothing — severing the link is how a remote
+    worker is "killed" (see :meth:`ServiceCluster.kill_worker`).
+    """
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.pid: "int | None" = None
+
+    def is_alive(self) -> bool:
+        return False
+
+    def join(self, timeout: "float | None" = None) -> None:
+        pass
+
+    def terminate(self) -> None:
+        pass
+
+    def kill(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_RemoteProcess(address={self.address!r})"
+
+
 @dataclass
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
@@ -320,6 +375,9 @@ class ServiceCluster:
         score_transport: str = "shm",
         dtype: str = "float64",
         encode_cache_rows: int = 32768,
+        transport: "str | dict[int, str]" = "pipe",
+        worker_weights: "dict[int, float] | None" = None,
+        remote_workers: "Sequence[str] | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -329,8 +387,34 @@ class ServiceCluster:
             raise ValueError(
                 f"score_transport must be 'shm' or 'pickle', got {score_transport!r}"
             )
+        named = (
+            transport.values() if isinstance(transport, dict) else (transport,)
+        )
+        for kind in named:
+            if kind not in ("pipe", "socket"):
+                raise ValueError(
+                    f"transport must be 'pipe' or 'socket', got {kind!r}"
+                )
         self.registry_root = str(registry_root)
         self.n_workers = n_workers
+        #: local transport selection: one kind for every forked worker, or
+        #: a {worker_id: kind} map (unlisted ids default to "pipe") — the
+        #: mixed-fleet posture the conformance suite exercises
+        self._transport: "str | dict[int, str]" = (
+            dict(transport) if isinstance(transport, dict) else transport
+        )
+        #: remote workers take the ids *after* the local ones, so local
+        #: routing/health/chaos indexing is unchanged by adding remotes
+        self._remote_addrs: dict[int, str] = {
+            n_workers + i: str(addr)
+            for i, addr in enumerate(remote_workers or ())
+        }
+        #: fleet size: local forked workers + configured remote addresses
+        self.n_total = n_workers + len(self._remote_addrs)
+        #: workers with no live connection because their dial (or re-dial)
+        #: failed: reported via ``stats()['missing_workers']`` and merged
+        #: as None snapshots — a dead address degrades, never raises
+        self._dial_failed: dict[int, str] = {}
         self.restart_workers = restart_workers
         self.max_restarts = max_restarts
         self.resilience = resilience if resilience is not None else ResilienceConfig()
@@ -339,7 +423,7 @@ class ServiceCluster:
         self._chaos: "dict[int, ChaosConfig]" = (
             dict(chaos)
             if isinstance(chaos, dict)
-            else {w: chaos for w in range(n_workers)}
+            else {w: chaos for w in range(self.n_total)}
             if chaos is not None
             else {}
         )
@@ -373,8 +457,8 @@ class ServiceCluster:
         #: the ring each live worker currently writes into
         self._worker_ring: "dict[int, ScoreSlabRing]" = {}
         self._ctx = _context(start_method)
-        self.router = ShardRouter(range(n_workers))
-        for worker_id in range(n_workers):  # routable only once spawned
+        self.router = ShardRouter(range(self.n_total), weights=worker_weights)
+        for worker_id in range(self.n_total):  # routable only once spawned
             self.router.mark_dead(worker_id)
         self._workers: dict[int, _WorkerHandle] = {}
         self._lock = threading.RLock()
@@ -394,7 +478,8 @@ class ServiceCluster:
         #: per-worker health state machines (kept across restarts; reset
         #: when a replacement process takes the worker id over)
         self._health: dict[int, CircuitBreaker] = {
-            w: CircuitBreaker.from_config(self.resilience) for w in range(n_workers)
+            w: CircuitBreaker.from_config(self.resilience)
+            for w in range(self.n_total)
         }
         #: monotonic receipt time of the last frame heard per worker.
         #: Written lock-free from reader threads (dict stores are atomic
@@ -468,7 +553,7 @@ class ServiceCluster:
                 return self
             self._stopping = False
             self._started = True
-        for worker_id in range(self.n_workers):
+        for worker_id in range(self.n_total):
             self._spawn(worker_id)
         self._monitor_stop.clear()
         self._monitor = threading.Thread(
@@ -748,6 +833,10 @@ class ServiceCluster:
         """
         requests: "list[tuple[int, _WorkerHandle, int, concurrent.futures.Future]]" = []
         with self._lock:
+            # workers whose dial failed never produced a connection to
+            # ask; they are missing by construction, and merge as None
+            # snapshots so the aggregate still counts the whole fleet
+            never_connected = sorted(self._dial_failed)
             for handle in self._workers.values():
                 if handle.dead:
                     continue
@@ -765,7 +854,7 @@ class ServiceCluster:
                 _settle(fut, error=RuntimeError("worker pipe closed"))
         deadline = time.monotonic() + timeout_s
         replies: dict[int, StatsReply] = {}
-        missing: list[int] = []
+        missing: list[int] = list(never_connected)
         for worker_id, handle, req_id, fut in requests:
             try:
                 replies[worker_id] = fut.result(
@@ -779,8 +868,9 @@ class ServiceCluster:
                     handle.stats_pending.pop(req_id, None)
                 missing.append(worker_id)
         merged = merge_stats(
-            [r.stats for r in replies.values()],
-            [r.latency_window for r in replies.values()],
+            [r.stats for r in replies.values()] + [None] * len(never_connected),
+            [r.latency_window for r in replies.values()]
+            + [None] * len(never_connected),
         )
         with self._lock:
             health = {w: b.snapshot() for w, b in sorted(self._health.items())}
@@ -860,7 +950,7 @@ class ServiceCluster:
             "crashes": self.crashes,
             "feedback_received": self.feedback_received,
             "feedback_errors": self.feedback_errors,
-            "missing_workers": missing,
+            "missing_workers": sorted(missing),
             "health": health,
             "resilience": resilience,
             "trace": trace_ring,
@@ -919,14 +1009,30 @@ class ServiceCluster:
     # -- fault injection (tests and drills) ------------------------------------
 
     def kill_worker(self, worker_id: int) -> None:
-        """SIGKILL one worker — the crash-injection hook the test harness uses."""
+        """SIGKILL one worker — the crash-injection hook the test harness uses.
+
+        A remote worker has no local process to signal; severing its
+        connection is the same event from the coordinator's point of view
+        (the reader EOFs and runs the crash path).
+        """
         with self._lock:
             handle = self._workers.get(worker_id)
         if handle is None:
             raise KeyError(f"no such worker {worker_id}")
+        if isinstance(handle.process, _RemoteProcess):
+            handle.conn.close()
+            return
         handle.process.kill()
 
     # -- internals -------------------------------------------------------------
+
+    def _transport_for(self, worker_id: int) -> str:
+        """Which link a worker attaches over: pipe, socket, or remote."""
+        if worker_id in self._remote_addrs:
+            return "remote"
+        if isinstance(self._transport, dict):
+            return self._transport.get(worker_id, "pipe")
+        return self._transport
 
     def _spawn(self, worker_id: int, restarts: int = 0) -> "_WorkerHandle | None":
         """Start one worker process and register it for routing.
@@ -935,16 +1041,24 @@ class ServiceCluster:
         the cluster lock, so a restart never stalls the healthy shards'
         traffic; only the registration (worker map, router, events) is
         locked.  Returns None when the cluster stopped mid-spawn (the
-        orphan process is torn down).
+        orphan process is torn down) — or, for a remote worker, when the
+        dial failed (recorded, not raised; the fleet serves without it).
         """
+        kind = self._transport_for(worker_id)
+        if kind == "remote":
+            return self._connect_remote(worker_id, restarts)
         config = self.config
         chaos = self._chaos.get(worker_id)
         if chaos is not None:
             config = dataclasses.replace(config, chaos=chaos)
         ring: "ScoreSlabRing | None" = None
-        if self.score_transport == "shm":
-            # short name: macOS caps shm names at 31 bytes.  pid + cluster
-            # tag + worker id + spawn generation is unique per segment
+        if self.score_transport == "shm" and kind == "pipe":
+            # slab rings are the pipe transport's zero-copy reply path;
+            # socket workers deliberately run the cross-host posture —
+            # scores ride the wire — so a remote fleet behaves exactly
+            # like the locally tested one.  short name: macOS caps shm
+            # names at 31 bytes.  pid + cluster tag + worker id + spawn
+            # generation is unique per segment
             name = (
                 f"rsl-{os.getpid()}-{self._cluster_tag}"
                 f"-{worker_id}-{next(self._slab_gen)}"
@@ -959,17 +1073,47 @@ class ServiceCluster:
                 ring = None
         if ring is not None:
             config = dataclasses.replace(config, slab_name=ring.name)
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=worker_main,
-            args=(worker_id, self.registry_root, child_conn, config),
-            name=f"tuning-worker-{worker_id}",
-            daemon=True,
-        )
-        process.start()
-        # the parent must drop its copy of the child end, or reads on
-        # parent_conn would never see EOF when the worker dies
-        child_conn.close()
+        if kind == "socket":
+            # the worker dials *back*: the coordinator listens on an
+            # ephemeral loopback port and ships only the port number into
+            # the child (an int survives any start method)
+            listener = listen()
+            port = listener.getsockname()[1]
+            process = self._ctx.Process(
+                target=socket_worker_main,
+                args=(worker_id, self.registry_root, port, config),
+                name=f"tuning-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            try:
+                parent_conn = accept_connection(
+                    listener,
+                    timeout_s=max(self.resilience.dial_timeout_s, 30.0),
+                )
+            except OSError:
+                # the child never dialed (died importing, wedged): there
+                # is no link to serve on — reap it and surface the fault
+                process.terminate()
+                process.join(timeout=5.0)
+                if ring is not None:
+                    ring.unlink()
+                    ring.close()
+                raise
+            finally:
+                listener.close()
+        else:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=worker_main,
+                args=(worker_id, self.registry_root, child_conn, config),
+                name=f"tuning-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            # the parent must drop its copy of the child end, or reads on
+            # parent_conn would never see EOF when the worker dies
+            child_conn.close()
         handle = _WorkerHandle(
             worker_id=worker_id, process=process, conn=parent_conn, restarts=restarts
         )
@@ -1009,6 +1153,81 @@ class ServiceCluster:
             )
         # pid is run-specific provenance the replay fold ignores
         self._audit("spawn", {"worker": worker_id, "restarts": restarts})
+        handle.reader.start()
+        return handle
+
+    def _connect_remote(
+        self, worker_id: int, restarts: int = 0
+    ) -> "_WorkerHandle | None":
+        """Dial one remote worker host and register it for routing.
+
+        A failed dial is an *operational* condition, not a programming
+        error: the address may be down, partitioned, or not started yet.
+        The worker is recorded in ``_dial_failed`` (surfaced through
+        ``stats()['missing_workers']`` and merged as a None snapshot),
+        an event/audit entry lands, and the cluster serves on without the
+        shard — exactly how it treats a crashed-and-unrestartable local
+        worker.
+        """
+        config = self.config  # slab_name stays None: shm cannot cross hosts
+        chaos = self._chaos.get(worker_id)
+        if chaos is not None:
+            config = dataclasses.replace(config, chaos=chaos)
+        address = self._remote_addrs[worker_id]
+        try:
+            conn = dial(address, timeout_s=self.resilience.dial_timeout_s)
+            # the handshake names the worker and ships its config — the
+            # remote host runs the same _serve loop a forked worker does
+            conn.send(Hello(worker_id=worker_id, config=config))
+        except OSError as exc:
+            with self._lock:
+                self._dial_failed[worker_id] = f"{type(exc).__name__}: {exc}"
+                self.events.append(
+                    {
+                        "type": "dial-failed",
+                        "worker": worker_id,
+                        "address": address,
+                    }
+                )
+            self._audit(
+                "dial-failed", {"worker": worker_id, "address": address}
+            )
+            return None
+        handle = _WorkerHandle(
+            worker_id=worker_id,
+            process=_RemoteProcess(address),
+            conn=conn,
+            restarts=restarts,
+        )
+        handle.reader = threading.Thread(
+            target=self._read_replies,
+            args=(handle,),
+            name=f"cluster-reader-{worker_id}",
+            daemon=True,
+        )
+        with self._lock:
+            if self._stopping or not self._started:
+                conn.close()
+                return None
+            self._dial_failed.pop(worker_id, None)
+            self._workers[worker_id] = handle
+            self.router.mark_alive(worker_id)
+            self._health[worker_id].reset()
+            self._spawned_at[worker_id] = time.monotonic()
+            self._last_heard.pop(worker_id, None)
+            self._hb_flagged.discard(worker_id)
+            self.events.append(
+                {
+                    "type": "spawn",
+                    "worker": worker_id,
+                    "restarts": restarts,
+                    "pid": None,
+                    "address": address,
+                }
+            )
+        self._audit(
+            "spawn", {"worker": worker_id, "restarts": restarts, "remote": True}
+        )
         handle.reader.start()
         return handle
 

@@ -1,0 +1,185 @@
+"""Length-prefixed frame codec: the byte layer of the socket transport.
+
+``multiprocessing.Pipe`` frames messages for free — every ``send_bytes``
+arrives as exactly one ``recv_bytes``.  A TCP stream does not: bytes
+arrive split and coalesced arbitrarily, so cross-host serving needs an
+explicit wire format.  This module is that format, and nothing else — no
+pickling, no sockets — which keeps it independently fuzzable
+(``tests/service/test_frame_codec.py``):
+
+::
+
+    +------+----------+----------------------+
+    | RSF1 | length   | payload (pickled     |
+    | (4B) | (u32 BE) |  ipc.py message)     |
+    +------+----------+----------------------+
+
+:class:`FrameDecoder` is the incremental parser: feed it whatever chunk
+the socket produced and pop complete payloads out.  Its error mapping is
+deterministic, the property the conformance suite pins:
+
+* a peer close **at a frame boundary** is a clean :class:`EOFError` —
+  the ordinary shutdown signal every reader thread already handles;
+* a close **mid-frame** is a truncated stream:
+  :class:`~repro.service.ipc.CorruptFrameError` (``genuine_bug=False``)
+  once, then EOF;
+* a **corrupt header** (bad magic, oversized or negative length) is
+  unrecoverable on a stream transport — unlike a pipe, there is no next
+  frame boundary to resynchronize on — so the decoder raises
+  ``CorruptFrameError`` once and then *poisons itself*: every later read
+  is EOF, and the connection owner tears the link down through the same
+  crash path a dead peer takes;
+* **payload corruption** (garbage bytes inside a well-formed frame) is
+  not this layer's business: the frame delimits correctly, the decode
+  failure is classified by :func:`repro.service.ipc.decode_frame_payload`
+  and costs only that frame.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+
+from repro.service.ipc import CorruptFrameError
+
+__all__ = [
+    "FrameDecoder",
+    "HEADER_BYTES",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "frame_bytes",
+]
+
+#: frame preamble — rejects cross-protocol garbage (an HTTP probe, a
+#: stray health checker) before a single payload byte is trusted
+MAGIC = b"RSF1"
+
+#: magic + big-endian u32 payload length
+HEADER_BYTES = len(MAGIC) + 4
+
+#: refuse frames beyond this (256 MB): a corrupt length prefix must never
+#: turn into a multi-gigabyte buffer allocation waiting for bytes that
+#: are not coming.  Real frames top out near one pickled preset-sized
+#: score array (~69 KB) plus slack for explicit candidate lists.
+MAX_FRAME_BYTES = 256 << 20
+
+_LEN = struct.Struct(">I")
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    """Wrap an already-serialized payload in one wire frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return MAGIC + _LEN.pack(len(payload)) + payload
+
+
+def encode_frame(message: object) -> bytes:
+    """One ipc message as wire bytes (pickle payload + frame header)."""
+    import pickle
+
+    return frame_bytes(pickle.dumps(message))
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrarily chunked byte stream.
+
+    ``feed`` never raises — it buffers, parses every complete frame into
+    an internal ready queue, and records (rather than throws) a header
+    corruption.  All error delivery happens in :meth:`next_payload`, in
+    order: buffered payloads first, then the stored corruption exactly
+    once, then EOF forever — so a reader loop observes the same sequence
+    regardless of how the bytes were chunked.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._ready: deque[bytes] = deque()
+        #: the recorded header corruption, raised once by next_payload
+        self._poison: "CorruptFrameError | None" = None
+        self._poison_raised = False
+        self._eof = False
+
+    # -- intake ----------------------------------------------------------------
+
+    def feed(self, data: bytes) -> None:
+        """Buffer one received chunk and parse every complete frame."""
+        if self._poison is not None or self._eof:
+            return  # framing is gone (or the peer is); nothing to parse into
+        self._buf += data
+        while len(self._buf) >= HEADER_BYTES:
+            if self._buf[: len(MAGIC)] != MAGIC:
+                self._poison = CorruptFrameError(
+                    f"bad frame magic {bytes(self._buf[:len(MAGIC)])!r}: "
+                    "stream framing lost",
+                )
+                self._buf.clear()
+                return
+            (length,) = _LEN.unpack_from(self._buf, len(MAGIC))
+            if length > MAX_FRAME_BYTES:
+                self._poison = CorruptFrameError(
+                    f"frame length {length} exceeds MAX_FRAME_BYTES "
+                    f"({MAX_FRAME_BYTES}): corrupt length prefix",
+                )
+                self._buf.clear()
+                return
+            end = HEADER_BYTES + length
+            if len(self._buf) < end:
+                return  # incomplete frame: wait for more bytes
+            self._ready.append(bytes(self._buf[HEADER_BYTES:end]))
+            del self._buf[:end]
+
+    def feed_eof(self) -> None:
+        """The peer closed: classify what (if anything) was left behind."""
+        self._eof = True
+
+    # -- delivery --------------------------------------------------------------
+
+    def next_payload(self) -> "bytes | None":
+        """The next complete payload; None means "feed me more bytes".
+
+        After a header corruption: every payload parsed *before* the
+        corruption is still delivered, then the stored
+        :class:`~repro.service.ipc.CorruptFrameError` is raised exactly
+        once, then :class:`EOFError` forever.  After a clean peer close:
+        remaining payloads, then ``EOFError``; a close mid-frame raises
+        ``CorruptFrameError`` (truncated stream) once first.
+        """
+        if self._ready:
+            return self._ready.popleft()
+        if self._poison is not None:
+            if not self._poison_raised:
+                self._poison_raised = True
+                raise self._poison
+            raise EOFError("frame stream poisoned by an earlier corrupt header")
+        if self._eof:
+            if self._buf:
+                pending, self._buf = len(self._buf), bytearray()
+                raise CorruptFrameError(
+                    f"stream truncated mid-frame ({pending} bytes of an "
+                    "incomplete frame at EOF)",
+                )
+            raise EOFError("clean end of frame stream")
+        return None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def poisoned(self) -> bool:
+        """Whether a corrupt header destroyed the stream's framing."""
+        return self._poison is not None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes not yet forming a complete frame."""
+        return len(self._buf)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrameDecoder(ready={len(self._ready)}, "
+            f"pending={len(self._buf)}B, poisoned={self.poisoned}, "
+            f"eof={self._eof})"
+        )

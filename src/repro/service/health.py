@@ -105,6 +105,10 @@ class ResilienceConfig:
     failure_window_s: float = 30.0
     #: cadence of the coordinator's monitor thread
     monitor_interval_s: float = 0.05
+    #: time budget for establishing a worker connection: dialing a remote
+    #: worker host's address, or waiting for a local socket-transport
+    #: worker to dial back into the coordinator's loopback listener
+    dial_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -123,6 +127,10 @@ class ResilienceConfig:
         if self.monitor_interval_s <= 0:
             raise ValueError(
                 f"monitor_interval_s must be positive, got {self.monitor_interval_s}"
+            )
+        if self.dial_timeout_s <= 0:
+            raise ValueError(
+                f"dial_timeout_s must be positive, got {self.dial_timeout_s}"
             )
 
 

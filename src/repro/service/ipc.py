@@ -64,6 +64,7 @@ __all__ = [
     "ErrorReply",
     "FeedbackRecord",
     "Heartbeat",
+    "Hello",
     "Ping",
     "Pong",
     "RankReply",
@@ -74,6 +75,7 @@ __all__ = [
     "StatsRequest",
     "UNPICKLING_ERRORS",
     "WireError",
+    "decode_frame_payload",
     "picklable_error",
     "recv_frame",
 ]
@@ -233,6 +235,22 @@ class Shutdown:
     """Drain inflight work, then exit the worker process."""
 
 
+@dataclass(frozen=True)
+class Hello:
+    """The coordinator's handshake to a *remote* worker host.
+
+    Local workers (forked or loopback-socket) receive their
+    :class:`~repro.service.worker.WorkerConfig` as a spawn argument; a
+    worker on another host has no spawn channel, so the first frame the
+    coordinator sends after dialing carries the worker's identity and
+    config instead.  ``config`` is typed loosely to keep this module free
+    of a worker import — on the wire it is always a ``WorkerConfig``.
+    """
+
+    worker_id: int
+    config: object
+
+
 #: what ``pickle.loads`` raises on corrupted bytes — kept for callers
 #: that still pattern-match exception types, but readers should use
 #: :func:`recv_frame`, which separates the byte read from the decode and
@@ -290,16 +308,16 @@ def _decode_is_genuine_bug(exc: BaseException) -> bool:
     )
 
 
-def recv_frame(conn) -> object:
-    """Read one frame and decode it, classifying decode failures.
+def decode_frame_payload(buf: bytes) -> object:
+    """Materialize one frame's payload bytes, classifying failures.
 
-    Splits what ``Connection.recv()`` fuses: ``recv_bytes`` raises
-    EOFError/OSError only for a genuinely gone peer (callers keep treating
-    those as shutdown), while decode failures surface as
-    :class:`CorruptFrameError` with ``genuine_bug`` telling the reader
-    whether to count frame loss or report a materialization bug.
+    The shared decode half of :func:`recv_frame`, reused by every
+    transport that delimits frames itself (the socket transport's
+    :class:`~repro.service.transport.SocketConnection` and the codec
+    fuzz suite): garbage bytes surface as :class:`CorruptFrameError`
+    with ``genuine_bug=False``, a well-formed pickle whose own
+    reconstruction code raised as ``genuine_bug=True``.
     """
-    buf = conn.recv_bytes()
     try:
         return pickle.loads(buf)
     except Exception as exc:
@@ -308,6 +326,24 @@ def recv_frame(conn) -> object:
             genuine_bug=_decode_is_genuine_bug(exc),
             cause_type=type(exc).__name__,
         ) from exc
+
+
+def recv_frame(conn) -> object:
+    """Read one frame and decode it, classifying decode failures.
+
+    Splits what ``Connection.recv()`` fuses: ``recv_bytes`` raises
+    EOFError/OSError only for a genuinely gone peer (callers keep treating
+    those as shutdown), while decode failures surface as
+    :class:`CorruptFrameError` with ``genuine_bug`` telling the reader
+    whether to count frame loss or report a materialization bug.  Works
+    against any connection exposing the duck-typed ``recv_bytes()`` —
+    ``multiprocessing.Pipe`` ends and
+    :class:`~repro.service.transport.SocketConnection` alike (the latter
+    may itself raise ``CorruptFrameError`` from ``recv_bytes`` for
+    framing-level corruption; it propagates with the same meaning).
+    """
+    buf = conn.recv_bytes()
+    return decode_frame_payload(buf)
 
 
 class WireError(RuntimeError):

@@ -10,13 +10,27 @@ worker id with rendezvous (highest-random-weight) hashing:
   BLAKE2b hash (:func:`repro.util.rng.hash_seed`), so every process —
   parents, workers, a test asserting affinity — computes the identical
   route for the same alive set;
-* **balanced** — weights are uniform, so keys spread evenly across
-  workers (pinned over 10k synthetic instances in
-  ``tests/cluster/test_hash_properties.py``);
-* **minimal movement** — when a worker dies, only *its* keys move (each
-  key falls to its second-highest worker); every other instance keeps its
+* **balanced, proportionally** — each worker carries a *capacity weight*
+  (default 1.0).  Equal weights spread keys evenly (pinned over 10k
+  synthetic instances in ``tests/cluster/test_hash_properties.py``); a
+  weight-2 worker takes ~2× the shard share of a weight-1 worker
+  (``tests/cluster/test_weighted_routing.py``) — the heterogeneous-fleet
+  knob for a big host behind the socket transport;
+* **minimal movement** — when a worker dies *or its weight changes*,
+  only keys involving that worker move; every other instance keeps its
   worker and therefore its warm cache.  Mod-N routing would reshuffle
   nearly everything on a membership change.
+
+Weighted election uses the standard logarithmic form: each worker scores
+``-weight / ln(u)`` where ``u ∈ (0, 1)`` is derived from the 64-bit
+(key, worker) hash, and the highest score wins.  The score is strictly
+monotonic in the hash at equal weights, so **uniform-weight routing
+elects exactly the worker the classic integer-hash argmax always did** —
+every affinity pin in the cluster suites survives the weighted upgrade
+bit-for-bit (the uniform case literally runs the classic argmax).  A
+weight of 0 *drains* a worker: it stops receiving new shards while it
+stays alive to finish what it has — unless every candidate is draining,
+in which case serving beats draining and the classic election applies.
 
 The router is pure bookkeeping over an alive-set — it neither talks to
 processes nor owns sockets, which keeps it independently testable.
@@ -24,7 +38,8 @@ processes nor owns sockets, which keeps it independently testable.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import math
+from typing import Iterable, Mapping, Sequence
 
 from repro.util.rng import hash_seed
 
@@ -34,11 +49,19 @@ __all__ = ["ShardRouter"]
 class ShardRouter:
     """Rendezvous-hash routing of instance fingerprints to worker ids."""
 
-    def __init__(self, worker_ids: "Sequence[int] | Iterable[int]") -> None:
+    def __init__(
+        self,
+        worker_ids: "Sequence[int] | Iterable[int]",
+        weights: "Mapping[int, float] | None" = None,
+    ) -> None:
         self._all = tuple(sorted(set(worker_ids)))
         if not self._all:
             raise ValueError("ShardRouter needs at least one worker id")
         self._alive = set(self._all)
+        self._weights: dict[int, float] = {w: 1.0 for w in self._all}
+        if weights is not None:
+            for worker_id, weight in weights.items():
+                self.set_weight(worker_id, weight)
 
     # -- membership ------------------------------------------------------------
 
@@ -59,14 +82,53 @@ class ShardRouter:
         """(Re-)admit a worker to routing — e.g. after a restart."""
         if worker_id not in self._all:
             self._all = tuple(sorted(self._all + (worker_id,)))
+            self._weights.setdefault(worker_id, 1.0)
         self._alive.add(worker_id)
+
+    # -- capacity weights ------------------------------------------------------
+
+    def set_weight(self, worker_id: int, weight: float) -> None:
+        """Set one worker's capacity weight (>= 0, finite; 0 = draining)."""
+        if worker_id not in self._weights:
+            raise KeyError(f"unknown worker id {worker_id}")
+        weight = float(weight)
+        if not (weight >= 0.0) or math.isinf(weight):  # also rejects NaN
+            raise ValueError(
+                f"weight must be finite and >= 0, got {weight!r} "
+                f"for worker {worker_id}"
+            )
+        self._weights[worker_id] = weight
+
+    def weight_of(self, worker_id: int) -> float:
+        """One worker's current capacity weight."""
+        return self._weights[worker_id]
+
+    @property
+    def weights(self) -> dict[int, float]:
+        """A copy of the capacity-weight map (diagnostics and tests)."""
+        return dict(self._weights)
 
     # -- routing ---------------------------------------------------------------
 
     @staticmethod
     def weight(key: int, worker_id: int) -> int:
-        """The rendezvous weight of (key, worker) — process-stable."""
+        """The rendezvous hash of (key, worker) — process-stable.
+
+        (Historically named; this is the 64-bit election hash, not the
+        capacity weight — see :meth:`weight_of` for that.)
+        """
         return hash_seed("shard", key, worker_id)
+
+    def _score(self, key: int, worker_id: int) -> float:
+        """The weighted rendezvous score: ``-capacity / ln(u)``.
+
+        ``u = (hash + 0.5) / 2**64`` lies strictly inside (0, 1) — never
+        0 or 1, so the log is finite and nonzero — and is monotonic in
+        the hash, which is what makes equal-weight elections agree with
+        the classic integer argmax.
+        """
+        u = (self.weight(key, worker_id) + 0.5) / 2.0**64
+        return -self._weights[worker_id] / math.log(u)
 
     def route(self, key: int, within: "Iterable[int] | None" = None) -> int:
         """The alive worker owning ``key`` (an instance fingerprint).
@@ -74,7 +136,7 @@ class ShardRouter:
         ``within`` restricts the election to a subset of the alive set —
         the health-aware dispatch path routes over *healthy* workers first
         and widens only when that pool is empty.  Rendezvous hashing makes
-        subsetting safe: the route over a subset is the highest-weight
+        subsetting safe: the route over a subset is the highest-score
         member of that subset, so keys whose owner is in the subset do not
         move, exactly as if the excluded workers had died.
 
@@ -84,9 +146,18 @@ class ShardRouter:
         pool = self._alive if within is None else self._alive & set(within)
         if not pool:
             raise RuntimeError("no alive workers to route to")
-        # ties are impossible in practice (64-bit uniform weights), but the
-        # worker-id tiebreak keeps the route a total function regardless
-        return max(pool, key=lambda w: (self.weight(key, w), w))
+        first = self._weights[next(iter(pool))]
+        if all(self._weights[w] == first for w in pool):
+            # uniform capacities (the default, and the all-draining
+            # fallback): the classic integer-hash election, bit-identical
+            # to the pre-weighted router.  Ties are impossible in practice
+            # (64-bit uniform hashes), but the worker-id tiebreak keeps
+            # the route a total function regardless.
+            return max(pool, key=lambda w: (self.weight(key, w), w))
+        # drop draining (weight-0) workers; the uniform branch above
+        # already handled the everyone-draining case, so this never empties
+        eligible = [w for w in pool if self._weights[w] > 0.0]
+        return max(eligible, key=lambda w: (self._score(key, w), w))
 
     def shards(self, keys: Iterable[int]) -> dict[int, list[int]]:
         """Group keys by their routed worker (diagnostics and tests)."""
@@ -96,4 +167,7 @@ class ShardRouter:
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ShardRouter(alive={self.alive()}, all={self._all})"
+        return (
+            f"ShardRouter(alive={self.alive()}, all={self._all}, "
+            f"weights={self._weights})"
+        )

@@ -197,6 +197,29 @@ class TuningService:
             max_delay_s=max_batch_delay_s,
         )
 
+    @classmethod
+    def from_worker_config(cls, registry: ModelRegistry, config) -> "TuningService":
+        """Build a service from a cluster :class:`~repro.service.worker.WorkerConfig`.
+
+        Every worker entry point — the forked pipe worker, the loopback
+        socket worker, a remote worker host accepting a ``Hello`` — maps
+        the coordinator's config to a service through this one
+        constructor, so a new serving knob cannot silently apply to one
+        transport and not another.
+        """
+        return cls(
+            registry,
+            default_model=config.default_model,
+            max_batch_size=config.max_batch_size,
+            max_batch_delay_s=config.max_batch_delay_s,
+            cache_entries=config.cache_entries,
+            latency_window=config.latency_window,
+            max_cached_models=config.max_cached_models,
+            max_rows_per_pass=config.max_rows_per_pass,
+            dtype=config.dtype,
+            encode_cache_rows=config.encode_cache_rows,
+        )
+
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:

@@ -198,15 +198,29 @@ def merge_stats(
     (4, 2.0)
     >>> round(merged["cache_hit_rate"], 3)
     0.5
+
+    A ``None`` snapshot stands for a worker that never produced stats —
+    a socket dial that failed, a worker that died before answering a
+    ``StatsRequest``.  Those workers are *counted* (``workers`` is the
+    fleet size the caller asked about, ``missing_workers`` how many of
+    them were silent) but contribute nothing to any aggregate:
+
+    >>> merged = merge_stats([{"requests_total": 2}, None])
+    >>> merged["workers"], merged["missing_workers"], merged["requests_total"]
+    (2, 1, 2)
     """
-    merged: dict = {"workers": len(snapshots)}
+    live = [s for s in snapshots if s is not None]
+    merged: dict = {
+        "workers": len(snapshots),
+        "missing_workers": len(snapshots) - len(live),
+    }
     for key in _SUMMED:
-        merged[key] = sum(int(s.get(key, 0)) for s in snapshots)
+        merged[key] = sum(int(s.get(key, 0)) for s in live)
     merged["max_batch_size"] = max(
-        (int(s.get("max_batch_size", 0)) for s in snapshots), default=0
+        (int(s.get("max_batch_size", 0)) for s in live), default=0
     )
     batched = sum(
-        s.get("mean_batch_size", 0.0) * s.get("batches_total", 0) for s in snapshots
+        s.get("mean_batch_size", 0.0) * s.get("batches_total", 0) for s in live
     )
     merged["mean_batch_size"] = (
         batched / merged["batches_total"] if merged["batches_total"] else 0.0
@@ -219,12 +233,13 @@ def merge_stats(
     )
     pooled = (
         np.fromiter(
-            (x for window in latency_windows for x in window), dtype=float
+            (x for window in latency_windows if window for x in window),
+            dtype=float,
         )
         if latency_windows is not None
         else np.empty(0)
     )
-    hists = [s.get("latency_hist") for s in snapshots]
+    hists = [s.get("latency_hist") for s in live]
     merged_hist: "dict | None" = None
     if hists and all(isinstance(h, dict) for h in hists):
         try:

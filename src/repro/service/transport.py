@@ -1,0 +1,180 @@
+"""The socket transport: framed connections that duck-type a worker pipe.
+
+Everything cluster-side — reader threads, dispatch, chaos injection,
+shutdown — talks to a worker through four methods: ``send(obj)``,
+``send_bytes(buf)``, ``recv_bytes()`` and ``close()``.
+:class:`SocketConnection` implements exactly that contract over a TCP
+(or any stream) socket using the length-prefixed codec in
+:mod:`repro.service.frames`, so the coordinator and worker run the same
+code whether the peer is a forked process on a pipe, a forked process on
+a loopback socket, or a worker on another host:
+
+* ``send(obj)`` pickles and writes one frame (one ``sendall`` under a
+  lock, so concurrent senders never interleave frame bytes);
+* ``send_bytes(buf)`` frames *raw payload bytes* — which is what keeps
+  the chaos drill's ``send_corrupt_frame`` honest on sockets: the frame
+  header stays valid, the garbage is confined to the payload, and the
+  receiver classifies it as payload corruption (one lost frame) instead
+  of destroying the stream's framing;
+* ``recv_bytes()`` returns one frame's payload, raising the decoder's
+  deterministic error ladder (clean :class:`EOFError` at a boundary,
+  :class:`~repro.service.ipc.CorruptFrameError` for truncation or a
+  corrupt header, EOF forever after poison) — the same exceptions every
+  existing pipe reader loop already handles;
+* errors from a dying peer surface as ``EOFError``/``OSError``, exactly
+  like a pipe, so crash rerouting and circuit breaking work unchanged.
+
+Address helpers (:func:`parse_address`, :func:`listen`, :func:`dial`,
+:func:`accept_connection`) keep the socket minutiae — ``SO_REUSEADDR``,
+``TCP_NODELAY`` (a reply frame must not sit in Nagle's buffer behind a
+40 ms timer), accept/dial timeouts — out of the cluster.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.service.frames import FrameDecoder, frame_bytes
+
+__all__ = [
+    "SocketConnection",
+    "accept_connection",
+    "dial",
+    "format_address",
+    "listen",
+    "parse_address",
+]
+
+#: per-recv read size: large enough to drain a coalesced ReplyBatch in
+#: few syscalls, small enough not to bloat per-connection buffers
+_RECV_CHUNK = 1 << 16
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (bracketed IPv6 supported)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"address must look like 'host:port', got {address!r}")
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
+def format_address(host: str, port: int) -> str:
+    """``(host, port)`` → the ``"host:port"`` form configs and logs use."""
+    return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+
+
+def listen(host: str = "127.0.0.1", port: int = 0, backlog: int = 16) -> socket.socket:
+    """A bound, listening TCP socket (``port=0`` picks a free one)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock
+
+
+def dial(address: "str | tuple[str, int]", timeout_s: float = 10.0) -> "SocketConnection":
+    """Connect to a listener; raises :class:`OSError` on refusal/timeout."""
+    host, port = parse_address(address) if isinstance(address, str) else address
+    sock = socket.create_connection((host, port), timeout=timeout_s)
+    return SocketConnection(sock)
+
+
+def accept_connection(listener: socket.socket, timeout_s: float = 10.0) -> "SocketConnection":
+    """Accept one framed connection; raises :class:`OSError` on timeout."""
+    listener.settimeout(timeout_s)
+    try:
+        sock, _ = listener.accept()
+    except socket.timeout as exc:  # normalize: callers catch OSError
+        raise TimeoutError(
+            f"no connection accepted within {timeout_s}s"
+        ) from exc
+    return SocketConnection(sock)
+
+
+class SocketConnection:
+    """One framed stream connection, pipe-shaped for the cluster's code."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.settimeout(None)  # blocking reads; close()/shutdown() unblocks
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not TCP (a socketpair in tests): latency knob N/A
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, obj: object) -> None:
+        """Pickle ``obj`` and write it as one frame."""
+        import pickle
+
+        self.send_bytes(pickle.dumps(obj))
+
+    def send_bytes(self, payload: bytes) -> None:
+        """Frame and write raw payload bytes (one atomic sendall)."""
+        if self._closed:
+            raise OSError("connection is closed")
+        frame = frame_bytes(bytes(payload))
+        with self._send_lock:
+            self._sock.sendall(frame)
+
+    # -- receiving -------------------------------------------------------------
+
+    def recv_bytes(self) -> bytes:
+        """Block for one frame's payload bytes.
+
+        Raises the frame layer's deterministic ladder: ``EOFError`` for a
+        clean peer close (or any read after poison),
+        :class:`~repro.service.ipc.CorruptFrameError` for truncation or a
+        corrupt header, ``OSError`` for transport-level failures.
+        """
+        decoder = self._decoder
+        while True:
+            payload = decoder.next_payload()  # raises at/after stream end
+            if payload is not None:
+                return payload
+            if self._closed:
+                raise EOFError("connection closed locally")
+            try:
+                data = self._sock.recv(_RECV_CHUNK)
+            except OSError:
+                if self._closed:
+                    # a concurrent close() raced the blocking read: that
+                    # is shutdown, not a transport fault
+                    raise EOFError("connection closed locally") from None
+                raise
+            if not data:
+                decoder.feed_eof()
+            else:
+                decoder.feed(data)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close both directions (idempotent); unblocks a pending recv."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # peer already gone
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        try:
+            peer = self._sock.getpeername()
+        except OSError:
+            peer = "<disconnected>"
+        return f"SocketConnection(peer={peer}, closed={self._closed})"

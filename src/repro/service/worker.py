@@ -82,7 +82,7 @@ from repro.service.registry import LATEST, ModelRegistry
 from repro.service.server import TuningService
 from repro.service.shm import DEFAULT_SLOT_BYTES, DEFAULT_SLOTS, ScoreSlabRing
 
-__all__ = ["WorkerConfig", "worker_main"]
+__all__ = ["WorkerConfig", "socket_worker_main", "worker_main"]
 
 
 @dataclass(frozen=True)
@@ -117,6 +117,29 @@ class WorkerConfig:
 
 def worker_main(worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig) -> None:
     """Process entry point: serve ranking requests from ``conn`` until told to stop."""
+    try:
+        asyncio.run(_serve(worker_id, registry_root, conn, config))
+    finally:
+        conn.close()
+
+
+def socket_worker_main(
+    worker_id: int, registry_root: str, port: int, config: WorkerConfig
+) -> None:
+    """Process entry point for a socket-transport worker.
+
+    The coordinator opens a loopback listener and spawns this with just
+    the port number (an ``int`` survives any multiprocessing start
+    method); the worker dials back and then runs the *same* serve loop as
+    a pipe worker — :class:`~repro.service.transport.SocketConnection`
+    duck-types the pipe, so from ``_serve``'s perspective the transports
+    are indistinguishable.  This is also why the conformance suite can
+    demand bit-identical answers across transports: the code path only
+    differs below the frame layer.
+    """
+    from repro.service.transport import dial
+
+    conn = dial(("127.0.0.1", port), timeout_s=30.0)
     try:
         asyncio.run(_serve(worker_id, registry_root, conn, config))
     finally:
@@ -158,18 +181,7 @@ async def _serve(
     worker_id: int, registry_root: str, conn: Connection, config: WorkerConfig
 ) -> None:
     registry = ModelRegistry(registry_root)
-    service = TuningService(
-        registry,
-        default_model=config.default_model,
-        max_batch_size=config.max_batch_size,
-        max_batch_delay_s=config.max_batch_delay_s,
-        cache_entries=config.cache_entries,
-        latency_window=config.latency_window,
-        max_cached_models=config.max_cached_models,
-        max_rows_per_pass=config.max_rows_per_pass,
-        dtype=config.dtype,
-        encode_cache_rows=config.encode_cache_rows,
-    )
+    service = TuningService.from_worker_config(registry, config)
     # traced requests' spans carry this process's identity; the spans ride
     # RankReply.spans back to the coordinator's recorder (same-host
     # monotonic clocks, so they compose with coordinator timestamps)

@@ -1,0 +1,168 @@
+"""Property suite for weighted rendezvous routing.
+
+The heterogeneous-fleet contract: a worker's shard share is proportional
+to its capacity weight (a weight-2 host takes 2×±15% a weight-1 host's
+shards — the acceptance criterion), changing one worker's weight moves
+only keys into or out of *that* worker, weight 0 drains a worker without
+killing it, and uniform weights are bit-compatible with the classic
+unweighted election every older routing test pins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.service.routing import ShardRouter
+from repro.util.rng import hash_seed
+
+from tests.cluster.test_hash_properties import synthetic_instances
+from repro.stencil.execution import instance_hash
+
+
+def routing_keys(n: int, salt: str = "weighted-routing") -> list[int]:
+    """``n`` deterministic, uniform 64-bit keys (fast stand-ins for
+    instance hashes; the 10k-instance test uses real ones)."""
+    return [hash_seed(salt, i) for i in range(n)]
+
+
+class TestProportionalShare:
+    def test_weight_2_worker_takes_2x_within_15pct_over_10k_instances(self):
+        """The acceptance criterion, on real instance fingerprints."""
+        keys = [instance_hash(q) for q in synthetic_instances(10_000)]
+        router = ShardRouter(range(3), weights={0: 2.0})
+        counts = Counter(router.route(k) for k in keys)
+        light_mean = (counts[1] + counts[2]) / 2
+        ratio = counts[0] / light_mean
+        assert 2.0 * 0.85 <= ratio <= 2.0 * 1.15, (
+            f"weight-2 worker took {ratio:.2f}x a weight-1 worker's shards"
+        )
+
+    def test_share_tracks_weight_across_a_spread(self):
+        keys = routing_keys(30_000)
+        weights = {0: 1.0, 1: 2.0, 2: 4.0, 3: 0.5}
+        router = ShardRouter(range(4), weights=weights)
+        counts = Counter(router.route(k) for k in keys)
+        total_weight = sum(weights.values())
+        for worker, weight in weights.items():
+            expected = len(keys) * weight / total_weight
+            assert counts[worker] == pytest.approx(expected, rel=0.15), (
+                f"worker {worker} (weight {weight}) owns {counts[worker]}, "
+                f"expected ~{expected:.0f}"
+            )
+
+    def test_uniform_weights_match_the_unweighted_election_exactly(self):
+        """Bit-compatibility: the default fleet must route identically to
+        the pre-weighted router, or every pinned affinity test lies."""
+        keys = routing_keys(5_000)
+        weighted = ShardRouter(range(4), weights={w: 3.5 for w in range(4)})
+        classic = ShardRouter(range(4))
+        assert [weighted.route(k) for k in keys] == [
+            classic.route(k) for k in keys
+        ]
+
+
+class TestMinimalMovement:
+    def test_one_weight_change_moves_keys_only_into_that_worker(self):
+        keys = routing_keys(5_000)
+        router = ShardRouter(range(4))
+        before = {k: router.route(k) for k in keys}
+        router.set_weight(2, 3.0)  # worker 2 grew
+        moved = 0
+        for k in keys:
+            after = router.route(k)
+            if after != before[k]:
+                moved += 1
+                assert after == 2, (
+                    "raising worker 2's weight moved a key between two "
+                    "other workers"
+                )
+        assert moved > 0  # the weight change did take effect
+
+    def test_lowering_a_weight_moves_keys_only_out_of_that_worker(self):
+        keys = routing_keys(5_000)
+        router = ShardRouter(range(4), weights={1: 4.0})
+        before = {k: router.route(k) for k in keys}
+        router.set_weight(1, 1.0)
+        for k in keys:
+            after = router.route(k)
+            if after != before[k]:
+                assert before[k] == 1, (
+                    "shrinking worker 1 moved a key it never owned"
+                )
+
+    def test_untouched_workers_keep_every_key(self):
+        keys = routing_keys(5_000)
+        router = ShardRouter(range(5), weights={0: 2.0, 3: 0.5})
+        owned_by_4 = {k for k in keys if router.route(k) == 4}
+        router.set_weight(0, 5.0)
+        router.set_weight(3, 2.0)
+        still_4 = {k for k in keys if router.route(k) == 4}
+        assert still_4 <= owned_by_4, (
+            "a worker whose weight never changed gained keys it did not own"
+        )
+
+
+class TestDraining:
+    def test_weight_zero_takes_no_new_shards_but_stays_alive(self):
+        keys = routing_keys(3_000)
+        router = ShardRouter(range(4))
+        router.set_weight(1, 0.0)
+        assert 1 in router.alive()  # draining, not dead
+        assert all(router.route(k) != 1 for k in keys)
+
+    def test_draining_routes_like_death_for_the_other_workers(self):
+        """Draining a worker and killing it must orphan the same keys to
+        the same survivors — weight 0 is a graceful mark_dead."""
+        keys = routing_keys(3_000)
+        drained = ShardRouter(range(4))
+        drained.set_weight(2, 0.0)
+        dead = ShardRouter(range(4))
+        dead.mark_dead(2)
+        assert [drained.route(k) for k in keys] == [dead.route(k) for k in keys]
+
+    def test_restoring_a_drained_weight_restores_the_original_map(self):
+        keys = routing_keys(1_000)
+        router = ShardRouter(range(3))
+        before = {k: router.route(k) for k in keys}
+        router.set_weight(0, 0.0)
+        router.set_weight(0, 1.0)
+        assert {k: router.route(k) for k in keys} == before
+
+    def test_all_drained_still_serves(self):
+        """Serving beats draining: a fleet where every worker is draining
+        keeps answering (uniform-weight fallback election)."""
+        router = ShardRouter(range(3))
+        for w in range(3):
+            router.set_weight(w, 0.0)
+        classic = ShardRouter(range(3))
+        keys = routing_keys(500)
+        assert [router.route(k) for k in keys] == [
+            classic.route(k) for k in keys
+        ]
+
+
+class TestWeightValidation:
+    def test_unknown_worker_id_is_a_key_error(self):
+        router = ShardRouter(range(2))
+        with pytest.raises(KeyError):
+            router.set_weight(7, 2.0)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("inf"), float("nan")])
+    def test_invalid_weights_are_rejected(self, bad):
+        router = ShardRouter(range(2))
+        with pytest.raises(ValueError):
+            router.set_weight(0, bad)
+
+    def test_weights_property_is_a_defensive_copy(self):
+        router = ShardRouter(range(2), weights={1: 2.0})
+        snapshot = router.weights
+        snapshot[1] = 99.0
+        assert router.weight_of(1) == 2.0
+
+    def test_revived_unknown_worker_defaults_to_weight_1(self):
+        router = ShardRouter(range(2), weights={0: 2.0})
+        router.mark_alive(5)
+        assert router.weight_of(5) == 1.0
+        assert 5 in router.worker_ids

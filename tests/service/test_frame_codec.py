@@ -1,0 +1,233 @@
+"""Property/fuzz suite for the length-prefixed frame codec.
+
+The codec (:mod:`repro.service.frames`) is the byte layer every socket
+transport conversation rests on, so its contract is pinned adversarially:
+
+* **chunking invariance** — however a byte stream is split or coalesced,
+  the decoder yields the same payload sequence and the same terminal
+  exception (TCP may deliver one byte at a time or a megabyte at once);
+* **deterministic error mapping** — a clean close at a frame boundary is
+  ``EOFError``; a close mid-frame is ``CorruptFrameError`` (truncated)
+  then EOF; a corrupt header (bad magic / oversized length) is
+  ``CorruptFrameError`` once, then EOF forever (stream framing is
+  unrecoverable); payload garbage inside a valid frame is classified by
+  :func:`~repro.service.ipc.decode_frame_payload` and costs one frame;
+* **no hangs** — every fuzz case drives the decoder to a terminal state
+  in bounded steps.
+"""
+
+import pickle
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.frames import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    encode_frame,
+    frame_bytes,
+)
+from repro.service.ipc import (
+    CorruptFrameError,
+    Heartbeat,
+    Ping,
+    RankReply,
+    Shutdown,
+    decode_frame_payload,
+)
+
+
+def drain(decoder: FrameDecoder) -> "tuple[list[bytes], BaseException | None]":
+    """Pop payloads until the decoder needs bytes or terminates.
+
+    Returns (payloads, terminal exception or None) — the observable
+    behavior every property compares across chunkings.
+    """
+    payloads: list[bytes] = []
+    while True:
+        try:
+            payload = decoder.next_payload()
+        except (EOFError, CorruptFrameError) as exc:
+            return payloads, exc
+        if payload is None:
+            return payloads, None
+        payloads.append(payload)
+
+
+def feed_chunked(decoder: FrameDecoder, data: bytes, cuts: "list[int]") -> None:
+    """Feed ``data`` split at the given cut points (order-normalized)."""
+    points = sorted({min(c, len(data)) for c in cuts})
+    prev = 0
+    for point in points:
+        decoder.feed(data[prev:point])
+        prev = point
+    decoder.feed(data[prev:])
+
+
+payload_lists = st.lists(st.binary(max_size=200), min_size=0, max_size=6)
+cut_lists = st.lists(st.integers(min_value=0, max_value=2000), max_size=12)
+
+
+class TestChunkingInvariance:
+    @settings(max_examples=200, deadline=None)
+    @given(payloads=payload_lists, cuts=cut_lists)
+    def test_any_split_yields_the_same_payloads(self, payloads, cuts):
+        stream = b"".join(frame_bytes(p) for p in payloads)
+        decoder = FrameDecoder()
+        feed_chunked(decoder, stream, cuts)
+        decoder.feed_eof()
+        got, terminal = drain(decoder)
+        assert got == payloads
+        assert isinstance(terminal, EOFError)  # boundary close is clean
+
+    @settings(max_examples=100, deadline=None)
+    @given(payloads=payload_lists)
+    def test_byte_at_a_time_equals_one_shot(self, payloads):
+        stream = b"".join(frame_bytes(p) for p in payloads)
+        slow, fast = FrameDecoder(), FrameDecoder()
+        for i in range(len(stream)):
+            slow.feed(stream[i : i + 1])
+        fast.feed(stream)
+        for d in (slow, fast):
+            d.feed_eof()
+        assert drain(slow)[0] == drain(fast)[0] == payloads
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=100), min_size=1, max_size=4),
+        trunc=st.integers(min_value=1, max_value=HEADER_BYTES + 100),
+        cuts=cut_lists,
+    )
+    def test_truncation_maps_to_corrupt_then_eof_under_any_split(
+        self, payloads, trunc, cuts
+    ):
+        stream = b"".join(frame_bytes(p) for p in payloads)
+        last = frame_bytes(payloads[-1])
+        cut = min(trunc, len(last) - 1)  # strictly inside the final frame
+        stream = stream[: len(stream) - len(last) + cut]
+        decoder = FrameDecoder()
+        feed_chunked(decoder, stream, cuts)
+        decoder.feed_eof()
+        got, terminal = drain(decoder)
+        assert got == payloads[:-1]  # complete frames all delivered
+        assert isinstance(terminal, CorruptFrameError)
+        assert not terminal.genuine_bug
+        # and after the truncation report: EOF forever
+        with pytest.raises(EOFError):
+            decoder.next_payload()
+
+
+class TestHeaderCorruption:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        garbage=st.binary(min_size=HEADER_BYTES, max_size=64),
+        cuts=cut_lists,
+    )
+    def test_bad_magic_poisons_exactly_once(self, garbage, cuts):
+        if garbage[: len(MAGIC)] == MAGIC:
+            garbage = b"XXXX" + garbage[len(MAGIC) :]
+        decoder = FrameDecoder()
+        feed_chunked(decoder, garbage, cuts)
+        _, terminal = drain(decoder)
+        assert isinstance(terminal, CorruptFrameError)
+        assert decoder.poisoned
+        # poisoned: EOF forever, and further feeds are inert
+        for _ in range(3):
+            with pytest.raises(EOFError):
+                decoder.next_payload()
+            decoder.feed(frame_bytes(b"late arrival"))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        length=st.integers(min_value=MAX_FRAME_BYTES + 1, max_value=2**32 - 1),
+        cuts=cut_lists,
+    )
+    def test_oversized_length_prefix_poisons(self, length, cuts):
+        header = MAGIC + struct.pack(">I", length)
+        decoder = FrameDecoder()
+        feed_chunked(decoder, header + b"\x00" * 32, cuts)
+        _, terminal = drain(decoder)
+        assert isinstance(terminal, CorruptFrameError)
+        assert "length" in str(terminal)
+        with pytest.raises(EOFError):
+            decoder.next_payload()
+
+    def test_payloads_before_the_corruption_still_deliver(self):
+        decoder = FrameDecoder()
+        decoder.feed(frame_bytes(b"first") + frame_bytes(b"second") + b"GARBAGEHDR")
+        assert decoder.next_payload() == b"first"
+        assert decoder.next_payload() == b"second"
+        with pytest.raises(CorruptFrameError):
+            decoder.next_payload()
+
+    def test_encoder_refuses_oversized_payloads(self):
+        class _Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(ValueError):
+            frame_bytes(_Huge())
+
+
+class TestInterleavedFrameTypes:
+    def test_mixed_ipc_frames_round_trip_in_order(self):
+        messages = [
+            Ping(req_id=7),
+            Heartbeat(worker_id=2, seq=0, sent_at=1.5),
+            Shutdown(),
+            RankReply(
+                req_id=9,
+                ranked=None,
+                scores=None,
+                model_version="v1",
+                cached=False,
+                service_latency_s=0.01,
+                worker_id=2,
+            ),
+        ]
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        # adversarial chunking across type boundaries
+        for i in range(0, len(stream), 3):
+            decoder.feed(stream[i : i + 3])
+        decoder.feed_eof()
+        got, terminal = drain(decoder)
+        assert [type(decode_frame_payload(p)) for p in got] == [
+            type(m) for m in messages
+        ]
+        assert isinstance(terminal, EOFError)
+
+    def test_payload_garbage_is_one_lost_frame_not_a_poisoned_stream(self):
+        decoder = FrameDecoder()
+        decoder.feed(
+            frame_bytes(b"\x00not a pickle")
+            + encode_frame(Ping(req_id=1))
+        )
+        bad = decoder.next_payload()
+        with pytest.raises(CorruptFrameError) as excinfo:
+            decode_frame_payload(bad)
+        assert not excinfo.value.genuine_bug  # wire garbage, not a code bug
+        # framing survived: the next frame decodes normally
+        assert decode_frame_payload(decoder.next_payload()) == Ping(req_id=1)
+        assert not decoder.poisoned
+
+    def test_raising_reconstruction_classifies_as_genuine_bug(self):
+        with pytest.raises(CorruptFrameError) as excinfo:
+            decode_frame_payload(pickle.dumps(_Explodes()))
+        assert excinfo.value.genuine_bug
+        assert excinfo.value.cause_type == "RuntimeError"
+
+
+class _Explodes:
+    """A payload whose own reconstruction raises — the genuine-bug case."""
+
+    def __reduce__(self):
+        return (_explode, ())
+
+
+def _explode():
+    raise RuntimeError("payload reconstruction bug")

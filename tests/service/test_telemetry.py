@@ -193,3 +193,45 @@ class TestMergeStatsEdgeCases:
         b["latency_hist"] = Histogram(growth=2.0).to_dict()
         merged = merge_stats([a, b], [[0.01], [0.02]])
         assert merged["latency_p50_ms"] == pytest.approx(15.0)
+
+
+class TestMergeStatsMissingWorkers:
+    """A ``None`` snapshot is a worker that never connected (a socket dial
+    failure) or never answered — counted in the fleet, absent from every
+    aggregate, never a crash."""
+
+    def test_none_snapshot_is_counted_not_merged(self):
+        live = _busy_snapshot([0.01, 0.02])
+        merged = merge_stats([live.snapshot(), None], [live.window(), None])
+        assert merged["workers"] == 2
+        assert merged["missing_workers"] == 1
+        assert merged["requests_total"] == 2
+        # pooled percentiles come from the one live window, unperturbed
+        assert merged["latency_pooled_p50_ms"] == pytest.approx(15.0)
+
+    def test_all_missing_merges_to_empty_fleet_shape(self):
+        merged = merge_stats([None, None, None], [None, None, None])
+        assert merged["workers"] == 3
+        assert merged["missing_workers"] == 3
+        assert merged["requests_total"] == 0
+        assert merged["max_batch_size"] == 0
+        assert merged["mean_batch_size"] == 0.0
+        assert merged["cache_hit_rate"] == 0.0
+        assert merged["latency_p50_ms"] == 0.0
+
+    def test_fully_connected_fleet_reports_zero_missing(self):
+        a, b = ServiceTelemetry(), ServiceTelemetry()
+        merged = merge_stats([a.snapshot(), b.snapshot()])
+        assert merged["missing_workers"] == 0
+
+    def test_histogram_merge_skips_missing_workers(self):
+        """Exact histogram merging must consider only live snapshots — a
+        None among them used to poison the hist path into a TypeError."""
+        a = _busy_snapshot([0.01])
+        b = _busy_snapshot([0.03])
+        merged = merge_stats(
+            [a.snapshot(), None, b.snapshot()], [a.window(), None, b.window()]
+        )
+        assert "latency_hist" in merged
+        assert merged["latency_hist"]["count"] == 2
+        assert merged["missing_workers"] == 1
